@@ -1,0 +1,77 @@
+//! Hash-family throughput.
+//!
+//! Includes **ablation: quantized vs float plane storage** (paper §4.3) —
+//! the 2-byte scheme halves memory; this measures what it costs (or saves)
+//! in hashing throughput.
+
+use std::hint::black_box;
+
+use bayeslsh_datasets::{generate, CorpusConfig};
+use bayeslsh_lsh::srp::PlaneStorage;
+use bayeslsh_lsh::{MinHasher, SrpHasher};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn corpus() -> bayeslsh_sparse::Dataset {
+    generate(&CorpusConfig {
+        n_vectors: 200,
+        dim: 8_000,
+        avg_len: 100,
+        seed: 77,
+        ..CorpusConfig::default()
+    })
+}
+
+fn bench_srp(c: &mut Criterion) {
+    let data = corpus();
+    let mut g = c.benchmark_group("srp_hashing");
+    g.sample_size(20);
+    for (label, storage) in
+        [("quantized", PlaneStorage::Quantized), ("float", PlaneStorage::Float)]
+    {
+        g.bench_function(format!("256bits_per_vector_{label}"), |b| {
+            // Pre-materialize planes so the measurement is pure hashing.
+            let mut hasher = SrpHasher::with_storage(data.dim(), 5, storage);
+            hasher.ensure_planes(256);
+            b.iter(|| {
+                let mut acc = 0u32;
+                for (_, v) in data.iter().take(50) {
+                    let mut words = Vec::with_capacity(8);
+                    hasher.hash_bits_into(v, 0, 256, &mut words);
+                    acc ^= words[0];
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.bench_function("plane_generation_64", |b| {
+        b.iter(|| {
+            let mut hasher = SrpHasher::new(black_box(data.dim()), 9);
+            hasher.ensure_planes(64);
+            black_box(hasher.planes_ready())
+        });
+    });
+    g.finish();
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let data = corpus().binarized();
+    let mut g = c.benchmark_group("minhash");
+    g.sample_size(20);
+    g.bench_function("64_hashes_per_vector", |b| {
+        let mut hasher = MinHasher::new(11);
+        hasher.ensure_functions(64);
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (_, v) in data.iter().take(50) {
+                let mut out = Vec::with_capacity(64);
+                hasher.hash_range_into(v, 0, 64, &mut out);
+                acc ^= out[0];
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_srp, bench_minhash);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Signature-comparison throughput: the XOR+popcount inner loop is what
+//! BayesLSH executes millions of times per join.
+
+use std::hint::black_box;
+
+use bayeslsh_lsh::{BitSignatures, IntSignatures, MinHasher, SignaturePool, SrpHasher};
+use bayeslsh_numeric::Xoshiro256;
+use bayeslsh_sparse::SparseVector;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn random_vectors(n: usize, dim: u32, len: usize, seed: u64) -> Vec<SparseVector> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let pairs: Vec<(u32, f32)> = (0..len)
+                .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                .collect();
+            SparseVector::from_pairs(pairs)
+        })
+        .collect()
+}
+
+fn bench_bit_agreements(c: &mut Criterion) {
+    let vs = random_vectors(64, 2000, 50, 3);
+    let mut pool = BitSignatures::new(SrpHasher::new(2000, 4), vs.len());
+    for (i, v) in vs.iter().enumerate() {
+        pool.ensure(i as u32, v, 2048);
+    }
+    let mut g = c.benchmark_group("agreements");
+    g.bench_function("bits_chunk32", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..63u32 {
+                acc += pool.agreements(i, i + 1, black_box(0), black_box(32));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("bits_full2048", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..63u32 {
+                acc += pool.agreements(i, i + 1, black_box(0), black_box(2048));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("bits_unaligned_range", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..63u32 {
+                acc += pool.agreements(i, i + 1, black_box(7), black_box(1999));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+fn bench_int_agreements(c: &mut Criterion) {
+    let vs: Vec<SparseVector> = random_vectors(64, 2000, 50, 5)
+        .into_iter()
+        .map(|v| v.binarize())
+        .collect();
+    let mut pool = IntSignatures::new(MinHasher::new(6), vs.len());
+    for (i, v) in vs.iter().enumerate() {
+        pool.ensure(i as u32, v, 512);
+    }
+    let mut g = c.benchmark_group("agreements");
+    g.bench_function("ints_chunk32", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..63u32 {
+                acc += pool.agreements(i, i + 1, black_box(0), black_box(32));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("ints_full512", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..63u32 {
+                acc += pool.agreements(i, i + 1, black_box(0), black_box(512));
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bit_agreements, bench_int_agreements);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the numeric substrate: the incomplete beta function
+//! is evaluated on every pruning/concentration query, so its cost (and the
+//! value of the §4.3 precomputation) is worth pinning down.
+//!
+//! Includes **ablation: minMatches table** — one posterior tail evaluation
+//! (what line 10 of Algorithm 1 would cost online) vs one table lookup.
+
+use std::hint::black_box;
+
+use bayeslsh_core::{CosineModel, JaccardModel, MinMatchTable, PosteriorModel};
+use bayeslsh_numeric::{ln_gamma, reg_inc_beta, BetaDist, Binomial};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_functions");
+    g.bench_function("ln_gamma", |b| {
+        b.iter(|| ln_gamma(black_box(123.456)));
+    });
+    g.bench_function("reg_inc_beta_small", |b| {
+        b.iter(|| reg_inc_beta(black_box(25.0), black_box(9.0), black_box(0.7)));
+    });
+    g.bench_function("reg_inc_beta_large", |b| {
+        b.iter(|| reg_inc_beta(black_box(1537.0), black_box(513.0), black_box(0.72)));
+    });
+    g.bench_function("binomial_cdf_n2048", |b| {
+        let bin = Binomial::new(2048, 0.7);
+        b.iter(|| bin.cdf(black_box(1400)));
+    });
+    g.bench_function("beta_posterior_update_and_mode", |b| {
+        let prior = BetaDist::uniform();
+        b.iter(|| prior.posterior(black_box(24), black_box(32)).mode());
+    });
+    g.finish();
+}
+
+fn bench_minmatch_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minmatch_ablation");
+    let jac = JaccardModel::uniform();
+    let cos = CosineModel::new();
+    // Online inference: what every chunk of every pair would cost without
+    // the precomputed table.
+    g.bench_function("online_tail_jaccard", |b| {
+        b.iter(|| jac.prob_above_threshold(black_box(20), black_box(32), black_box(0.7)));
+    });
+    g.bench_function("online_tail_cosine", |b| {
+        b.iter(|| cos.prob_above_threshold(black_box(20), black_box(32), black_box(0.7)));
+    });
+    // Precomputed: the lookup BayesLSH actually performs.
+    let table = MinMatchTable::build(&cos, 0.7, 0.03, 32, 2048);
+    g.bench_function("table_lookup", |b| {
+        b.iter(|| table.should_prune(black_box(20), black_box(32)));
+    });
+    // And the one-time build cost being amortized.
+    g.bench_function("table_build_2048", |b| {
+        b.iter(|| MinMatchTable::build(&cos, black_box(0.7), 0.03, 32, 2048));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_special, bench_minmatch_ablation);
+criterion_main!(benches);

@@ -1,0 +1,335 @@
+//! Regenerate the BayesLSH paper's tables and figures on scaled synthetic
+//! datasets.
+//!
+//! ```text
+//! repro <experiment> [--scale S] [--seed N]
+//!
+//! experiments:
+//!   fig1     hashes needed vs similarity (classical estimation)
+//!   fig2     runtime vs gamma/delta/epsilon (LSH+BayesLSH)
+//!   fig3     timing sweeps: all algorithms x datasets x thresholds
+//!   fig4     candidates remaining vs hashes examined
+//!   fig5     prior-vs-data posterior convergence
+//!   table1   dataset statistics
+//!   table2   fastest BayesLSH variant + speedups (runs the fig3 sweeps)
+//!   table3   recall of AP+BayesLSH / AP+BayesLSH-Lite
+//!   table4   estimate errors: LSH Approx vs LSH+BayesLSH
+//!   table5   output quality vs gamma/delta/epsilon
+//!   all      everything above
+//! ```
+//!
+//! Use `--release` — the sweeps are CPU-bound.
+
+use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
+use bayeslsh_bench::timing::Family;
+use bayeslsh_bench::{fig1, fig5, params, pruning, quality, table1, timing};
+use bayeslsh_datasets::Preset;
+
+struct Args {
+    command: String,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { command: String::new(), scale: 0.004, seed: 42 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            cmd if args.command.is_empty() && !cmd.starts_with('-') => {
+                args.command = cmd.to_string();
+            }
+            other => die(&format!("unknown argument {other:?}")),
+        }
+    }
+    if args.command.is_empty() {
+        print_usage();
+        std::process::exit(2);
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|all> \
+         [--scale S] [--seed N]"
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    match args.command.as_str() {
+        "fig1" => run_fig1(),
+        "fig2" => run_fig2(&args),
+        "fig3" => {
+            run_fig3(&args);
+        }
+        "fig4" => run_fig4(&args),
+        "fig5" => run_fig5(),
+        "table1" => run_table1(&args),
+        "table2" => {
+            let rows = run_fig3(&args);
+            run_table2(&rows);
+        }
+        "table3" => run_table3(&args),
+        "table4" => run_table4(&args),
+        "table5" => run_table5(&args),
+        "all" => {
+            run_fig1();
+            run_fig5();
+            run_table1(&args);
+            run_fig4(&args);
+            run_fig2(&args);
+            run_table5(&args);
+            run_table3(&args);
+            run_table4(&args);
+            let rows = run_fig3(&args);
+            run_table2(&rows);
+        }
+        other => die(&format!("unknown experiment {other:?}")),
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn run_fig1() {
+    banner("Figure 1: hashes required for delta=gamma=0.05 vs true similarity");
+    let rows = fig1::run(0.05, 0.05, 20_000);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.similarity),
+                r.hashes.map_or("-".into(), |h| h.to_string()),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["similarity", "min hashes"], &table));
+}
+
+fn run_fig5() {
+    banner("Figure 5: posterior convergence from priors x^-3 / uniform / x^3 (cos=0.70)");
+    let rows = fig5::run();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.n),
+                format!("{}", r.m),
+                format!("{:.4}", r.max_tv),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["hashes", "matches", "max pairwise TV distance"], &table)
+    );
+}
+
+fn run_table1(args: &Args) {
+    banner(&format!("Table 1: dataset details (scale {})", args.scale));
+    let rows = table1::run(args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{}", r.ours.n_vectors),
+                format!("{}", r.ours.dim),
+                format!("{:.0}", r.ours.avg_len),
+                fmt_count(r.ours.nnz),
+                format!("{:.1}", r.ours.len_std),
+                format!("{}x{} avg {}", r.paper.0, r.paper.1, r.paper.2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["dataset", "vectors", "dims", "avg len", "nnz", "len std", "paper shape"],
+            &table
+        )
+    );
+}
+
+fn run_fig2(args: &Args) {
+    banner("Figure 2: runtime vs gamma/delta/epsilon (LSH+BayesLSH, WikiWords100K-like, t=0.7)");
+    let (rows, refs) = params::run(args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| vec![r.varied.name().into(), format!("{:.2}", r.value), fmt_secs(r.secs)])
+        .collect();
+    print!("{}", render_table(&["varied", "value", "time"], &table));
+    for r in &refs {
+        println!("reference: {:<12} {}", r.algorithm.name(), fmt_secs(r.secs));
+    }
+}
+
+fn run_table5(args: &Args) {
+    banner("Table 5: output quality vs gamma/delta/epsilon (WikiWords100K-like, t=0.7)");
+    let (rows, _) = params::run(args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.varied.name().into(),
+                format!("{:.2}", r.value),
+                format!("{:.2}%", 100.0 * r.frac_err_above_005),
+                format!("{:.4}", r.mean_err),
+                format!("{:.2}%", 100.0 * r.recall),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["varied", "value", "errors > 0.05", "mean error", "recall"], &table)
+    );
+}
+
+fn run_fig4(args: &Args) {
+    banner("Figure 4: candidates remaining vs hashes examined");
+    for c in pruning::run(args.scale, args.seed) {
+        println!("{} / {} (output {}):", c.panel, c.source.name(), c.output);
+        let interesting: Vec<&(u32, u64)> = c
+            .points
+            .iter()
+            .filter(|(h, _)| [0, 32, 64, 96, 128, 256, 512, 1024, 2048].contains(h))
+            .collect();
+        for (h, n) in interesting {
+            println!("  after {h:>5} hashes: {} candidates", fmt_count(*n));
+        }
+    }
+}
+
+fn run_table3(args: &Args) {
+    banner("Table 3: recall (%) of AP+BayesLSH and AP+BayesLSH-Lite");
+    let thresholds = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let rows = quality::table3(&Preset::ALL, &thresholds, args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                r.algorithm.name().into(),
+                format!("{:.1}", r.threshold),
+                format!("{:.2}", r.recall_pct),
+                r.truth_size.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["dataset", "algorithm", "t", "recall %", "truth size"], &table)
+    );
+}
+
+fn run_table4(args: &Args) {
+    banner("Table 4: % of similarity estimates with error > 0.05");
+    let thresholds = [0.5, 0.6, 0.7, 0.8, 0.9];
+    let rows = quality::table4(&Preset::ALL, &thresholds, args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                r.algorithm.name().into(),
+                format!("{:.1}", r.threshold),
+                format!("{:.2}", r.pct_err_above_005),
+                format!("{:.4}", r.mean_err),
+                r.n_estimates.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["dataset", "algorithm", "t", "% err > 0.05", "mean err", "estimates"],
+            &table
+        )
+    );
+}
+
+fn run_fig3(args: &Args) -> Vec<timing::TimingRow> {
+    let mut all = Vec::new();
+    for family in [Family::WeightedCosine, Family::BinaryJaccard, Family::BinaryCosine] {
+        banner(&format!(
+            "Figure 3 ({}): total seconds, scale {}",
+            family.name(),
+            args.scale
+        ));
+        let rows = timing::run_sweep(family, args.scale, args.seed);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.to_string(),
+                    r.algorithm.name().into(),
+                    format!("{:.1}", r.threshold),
+                    fmt_secs(r.secs),
+                    r.output.to_string(),
+                    fmt_count(r.candidates),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["dataset", "algorithm", "t", "time", "output", "candidates"],
+                &table
+            )
+        );
+        all.extend(rows);
+    }
+    all
+}
+
+fn run_table2(rows: &[timing::TimingRow]) {
+    banner("Table 2: fastest BayesLSH variant and speedups over baselines");
+    let t2 = timing::table2_from(rows);
+    let fmt_speedup = |s: Option<f64>| s.map_or("-".to_string(), |v| format!("{v:.1}x"));
+    let table: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| {
+            vec![
+                r.family.name().into(),
+                r.dataset.to_string(),
+                r.fastest_variant.name().into(),
+                fmt_secs(r.variant_secs),
+                fmt_speedup(r.speedup_ap),
+                fmt_speedup(r.speedup_lsh),
+                fmt_speedup(r.speedup_lsh_approx),
+                fmt_speedup(r.speedup_ppjoin),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["family", "dataset", "fastest variant", "time", "vs AP", "vs LSH", "vs LSH-Approx", "vs PPJoin+"],
+            &table
+        )
+    );
+}

@@ -1,0 +1,76 @@
+//! **Figure 1** — hashes required for a `(δ, γ)` accuracy guarantee under
+//! classical MLE estimation, as a function of the true similarity.
+//!
+//! Reproduces the paper's Section 3.1 analysis: the minimum `n` such that
+//! `Pr[|m/n − s| < δ] ≥ 1 − γ`, computed with exact binomial sums.
+//! Similarities near 0.5 need hundreds of hashes; similarities near 0 or 1
+//! need almost none — which is why no fixed `n` suits a whole dataset.
+
+use bayeslsh_numeric::binomial::min_hashes_for_concentration;
+
+/// One point of the Figure 1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig1Row {
+    /// True similarity being estimated.
+    pub similarity: f64,
+    /// Minimum hashes for the accuracy guarantee (None = not reachable
+    /// within `max_n`).
+    pub hashes: Option<u64>,
+}
+
+/// Compute the curve on a similarity grid.
+pub fn run(delta: f64, gamma: f64, max_n: u64) -> Vec<Fig1Row> {
+    let mut rows = Vec::new();
+    for i in 1..=19 {
+        let s = i as f64 * 0.05;
+        rows.push(Fig1Row {
+            similarity: s,
+            hashes: min_hashes_for_concentration(s, delta, gamma, max_n),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape_peak_near_half() {
+        let rows = run(0.05, 0.05, 5_000);
+        let at = |s: f64| {
+            rows.iter()
+                .find(|r| (r.similarity - s).abs() < 1e-9)
+                .unwrap()
+                .hashes
+                .unwrap()
+        };
+        // Paper: "A similarity of 0.5 needs 350 hashes" (approximately —
+        // the exact number depends on the rounding convention at the
+        // interval endpoints); the curve must peak near 0.5 and collapse at
+        // the extremes.
+        assert!((250..=450).contains(&at(0.5)), "n(0.5) = {}", at(0.5));
+        assert!(at(0.5) > at(0.9), "mid must need more than high");
+        assert!(at(0.5) > at(0.1), "mid must need more than low");
+        assert!(at(0.95) < 150, "n(0.95) = {}", at(0.95));
+    }
+
+    #[test]
+    fn rows_cover_grid() {
+        let rows = run(0.05, 0.05, 2_000);
+        assert_eq!(rows.len(), 19);
+        assert!((rows[0].similarity - 0.05).abs() < 1e-12);
+        assert!((rows[18].similarity - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stricter_accuracy_needs_more_hashes() {
+        let loose = run(0.05, 0.05, 20_000);
+        let tight = run(0.02, 0.05, 20_000);
+        for (l, t) in loose.iter().zip(&tight) {
+            if let (Some(l), Some(t)) = (l.hashes, t.hashes) {
+                assert!(t >= l, "s={}: {t} < {l}", loose[0].similarity);
+            }
+        }
+    }
+}

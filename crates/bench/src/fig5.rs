@@ -1,0 +1,167 @@
+//! **Figure 5 (appendix)** — the influence of the prior versus the data.
+//!
+//! Three very different priors over the collision similarity
+//! `r ∈ [0.5, 1]` — `p(r) ∝ r⁻³`, uniform, and `p(r) ∝ r³` — are updated
+//! with the same hash outcomes (m, n) ∈ {(24,32), (48,64), (96,128)} for a
+//! pair with cosine 0.70 (r = 0.75). The posteriors converge rapidly: the
+//! paper's argument that the uniform prior is safe for cosine BayesLSH.
+
+/// The three priors of the paper's appendix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorKind {
+    /// `p(r) ∝ r⁻³` — negatively sloped power law.
+    PowNeg3,
+    /// Uniform on `[0.5, 1]`.
+    Uniform,
+    /// `p(r) ∝ r³` — positively sloped power law.
+    Pow3,
+}
+
+impl PriorKind {
+    /// All three, in the paper's legend order.
+    pub const ALL: [PriorKind; 3] = [PriorKind::PowNeg3, PriorKind::Uniform, PriorKind::Pow3];
+
+    /// Legend label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorKind::PowNeg3 => "x^-3",
+            PriorKind::Uniform => "uniform",
+            PriorKind::Pow3 => "x^3",
+        }
+    }
+
+    fn density(&self, r: f64) -> f64 {
+        match self {
+            PriorKind::PowNeg3 => r.powi(-3),
+            PriorKind::Uniform => 1.0,
+            PriorKind::Pow3 => r.powi(3),
+        }
+    }
+}
+
+const GRID: usize = 2_000;
+
+/// Normalized posterior density `p(r | M(m,n))` under `prior`, evaluated on
+/// a uniform grid over `[0.5, 1]` (trapezoid-normalized). `(0, 0)` gives
+/// the prior itself.
+pub fn posterior_grid(prior: PriorKind, m: u32, n: u32) -> Vec<(f64, f64)> {
+    assert!(m <= n);
+    let h = 0.5 / GRID as f64;
+    let unnorm: Vec<(f64, f64)> = (0..=GRID)
+        .map(|i| {
+            let r = 0.5 + i as f64 * h;
+            let r_c = r.min(1.0 - 1e-12); // avoid 0^0 edge at r = 1
+            let like = if n == 0 {
+                1.0
+            } else {
+                // Scale-free likelihood around the MLE to avoid underflow.
+                let p = (m as f64 / n as f64).clamp(1e-9, 1.0 - 1e-9);
+                ((m as f64) * (r_c.ln() - p.ln())
+                    + ((n - m) as f64) * ((1.0 - r_c).ln() - (1.0 - p).ln()))
+                .exp()
+            };
+            (r, like * prior.density(r_c))
+        })
+        .collect();
+    let mut z = 0.0;
+    for w in unnorm.windows(2) {
+        z += 0.5 * (w[0].1 + w[1].1) * h;
+    }
+    unnorm.into_iter().map(|(r, d)| (r, d / z)).collect()
+}
+
+/// Total-variation distance between two densities on the same grid.
+pub fn tv_distance(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let h = 0.5 / (a.len() - 1) as f64;
+    let mut acc = 0.0;
+    for (x, y) in a.windows(2).zip(b.windows(2)) {
+        let d0 = (x[0].1 - y[0].1).abs();
+        let d1 = (x[1].1 - y[1].1).abs();
+        acc += 0.5 * (d0 + d1) * h;
+    }
+    0.5 * acc
+}
+
+/// One convergence measurement: max pairwise TV distance between the three
+/// posteriors after observing `(m, n)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Row {
+    /// Hashes examined.
+    pub n: u32,
+    /// Matches observed.
+    pub m: u32,
+    /// Max pairwise total-variation distance across the three priors.
+    pub max_tv: f64,
+}
+
+/// The paper's observation schedule: 75% agreement at n = 0, 32, 64, 128
+/// (cosine 0.70 → r = 0.75).
+pub fn run() -> Vec<Fig5Row> {
+    [(0u32, 0u32), (32, 24), (64, 48), (128, 96)]
+        .iter()
+        .map(|&(n, m)| {
+            let grids: Vec<Vec<(f64, f64)>> =
+                PriorKind::ALL.iter().map(|&p| posterior_grid(p, m, n)).collect();
+            let mut max_tv = 0.0f64;
+            for i in 0..grids.len() {
+                for j in (i + 1)..grids.len() {
+                    max_tv = max_tv.max(tv_distance(&grids[i], &grids[j]));
+                }
+            }
+            Fig5Row { n, m, max_tv }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_normalize() {
+        for prior in PriorKind::ALL {
+            for &(m, n) in &[(0u32, 0u32), (24, 32), (96, 128)] {
+                let g = posterior_grid(prior, m, n);
+                let h = 0.5 / (g.len() - 1) as f64;
+                let z: f64 =
+                    g.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * h).sum();
+                assert!((z - 1.0).abs() < 1e-9, "{prior:?} ({m},{n}): Z = {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn priors_differ_then_converge() {
+        let rows = run();
+        assert_eq!(rows.len(), 4);
+        // Priors alone are far apart...
+        assert!(rows[0].max_tv > 0.25, "prior TV {}", rows[0].max_tv);
+        // ... and 128 observations shrink the gap severalfold (paper
+        // Fig 5d shows visually-overlapping curves; in TV terms the r^±3
+        // priors still retain ~0.1 after 128 draws).
+        assert!(rows[3].max_tv < 0.15, "posterior TV {}", rows[3].max_tv);
+        assert!(rows[3].max_tv < rows[0].max_tv / 2.5, "convergence too weak");
+        // Convergence is monotone along the schedule.
+        for w in rows.windows(2) {
+            assert!(w[1].max_tv <= w[0].max_tv + 1e-9);
+        }
+    }
+
+    #[test]
+    fn posterior_peaks_near_mle() {
+        let g = posterior_grid(PriorKind::PowNeg3, 96, 128);
+        let peak = g.iter().cloned().fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
+        assert!((peak.0 - 0.75).abs() < 0.02, "peak at {}", peak.0);
+    }
+
+    #[test]
+    fn tv_distance_properties() {
+        let a = posterior_grid(PriorKind::Uniform, 24, 32);
+        let b = posterior_grid(PriorKind::Pow3, 24, 32);
+        assert_eq!(tv_distance(&a, &a), 0.0);
+        let d = tv_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((tv_distance(&b, &a) - d).abs() < 1e-12);
+    }
+}

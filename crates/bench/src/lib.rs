@@ -1,0 +1,16 @@
+//! Experiment harness regenerating every table and figure of the BayesLSH
+//! paper (see DESIGN.md §4 for the experiment-by-experiment index).
+//!
+//! Each module is a library-level experiment returning structured rows so
+//! that the logic is unit-testable; the `repro` binary formats them for the
+//! terminal. Run with `cargo run --release -p bayeslsh-bench --bin repro --
+//! <experiment>`.
+
+pub mod fig1;
+pub mod fig5;
+pub mod params;
+pub mod pruning;
+pub mod quality;
+pub mod report;
+pub mod table1;
+pub mod timing;

@@ -1,0 +1,50 @@
+//! **Table 1** — dataset details (vectors, dimensions, average length,
+//! non-zeros) for the scaled synthetic stand-ins, side by side with the
+//! paper's numbers for the real datasets.
+
+use bayeslsh_datasets::Preset;
+use bayeslsh_sparse::DatasetStats;
+
+/// One Table 1 line.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Paper's (vectors, dimensions, average length).
+    pub paper: (usize, u32, usize),
+    /// Statistics of the scaled synthetic stand-in.
+    pub ours: DatasetStats,
+}
+
+/// Compute the table at `scale`.
+pub fn run(scale: f64, seed: u64) -> Vec<Table1Row> {
+    Preset::ALL
+        .iter()
+        .map(|&p| Table1Row {
+            dataset: p.name(),
+            paper: p.paper_shape(),
+            ours: p.load(scale, seed).stats(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_six_datasets_with_sane_stats() {
+        let rows = run(0.002, 17);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.ours.n_vectors >= 300, "{}: {}", r.dataset, r.ours.n_vectors);
+            assert!(r.ours.avg_len > 1.0);
+            assert!(r.ours.nnz > 0);
+        }
+        // Relative ordering of average lengths mirrors the paper: Twitter
+        // longest, WikiLinks shortest.
+        let avg = |name: &str| rows.iter().find(|r| r.dataset == name).unwrap().ours.avg_len;
+        assert!(avg("Twitter") > avg("RCV1"));
+        assert!(avg("WikiLinks") < avg("RCV1") + 5.0);
+    }
+}

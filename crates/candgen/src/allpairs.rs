@@ -1,0 +1,524 @@
+//! AllPairs (Bayardo, Ma & Srikant, "Scaling Up All Pairs Similarity
+//! Search", WWW 2007).
+//!
+//! The exact state-of-the-art baseline of the BayesLSH paper for weighted
+//! cosine similarity, and one of its two candidate generators. The key idea
+//! is *partial indexing*: when indexing vector `y` (features processed in a
+//! fixed dimension order), keep a prefix of features out of the inverted
+//! index as long as the bound
+//! `b = Σ_{d ∈ prefix} y[d] · min(maxweight_d(V), maxweight(y))` stays
+//! below `t`: any vector that overlaps `y` *only* inside that prefix cannot
+//! reach similarity `t`. Matching later vectors accumulate partial dot
+//! products over the inverted lists and add back the exact prefix
+//! contribution during verification.
+//!
+//! Soundness of the pruning used here (all proved in terms of unit vectors,
+//! and exercised against brute force in the tests):
+//!
+//! * *Prefix bound*: vectors are processed in decreasing `maxweight` order,
+//!   so every later probe `x` has `maxweight(x) ≤ maxweight(y)`, making
+//!   `b` a valid upper bound on `dot(x, prefix(y))`.
+//! * *Remscore*: when a probe meets a candidate `y` with no accumulated
+//!   score, the rest of the dot product is at most
+//!   `remscore + ‖prefix(y)‖`; below `t` the candidate is skipped.
+//! * *Verification bound*: `s ≤ A[y] + ‖x‖·‖prefix(y)‖`; below `t` the
+//!   exact prefix dot product is skipped.
+//!
+//! The binary/Jaccard variant uses size-aware prefix filtering (overlap
+//! bound `o ≥ ceil(t/(1+t)·(|x|+|y|))`), the form Bayardo's binary
+//! algorithm and the later prefix-filter literature share.
+
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+use crate::fxhash::FxHashMap;
+use crate::pairs::PairSet;
+
+/// Scored output pairs `(lo_id, hi_id, similarity)`.
+pub type ScoredPairs = Vec<(u32, u32, f64)>;
+/// Unscored candidate pairs `(lo_id, hi_id)`.
+pub type CandidatePairs = Vec<(u32, u32)>;
+
+/// What the shared core should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Verified pairs with exact similarities.
+    Exact,
+    /// The raw candidate set (pairs that touched the score accumulator),
+    /// to be verified downstream by BayesLSH.
+    Candidates,
+}
+
+/// Exact all-pairs cosine join: every pair with `cosine(x, y) >= t`.
+pub fn all_pairs_cosine(data: &Dataset, t: f64) -> Vec<(u32, u32, f64)> {
+    let (exact, _) = run_cosine(data, t, Mode::Exact);
+    exact
+}
+
+/// The candidate pairs AllPairs would verify, without verification — the
+/// input the paper feeds to AP+BayesLSH.
+pub fn all_pairs_cosine_candidates(data: &Dataset, t: f64) -> Vec<(u32, u32)> {
+    let (_, cands) = run_cosine(data, t, Mode::Candidates);
+    cands
+}
+
+/// Per-vector feature list in dimension-rank space.
+struct Ranked {
+    /// (rank, weight), sorted by rank ascending.
+    feats: Vec<(u32, f32)>,
+    maxw: f32,
+}
+
+fn run_cosine(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePairs) {
+    assert!(t > 0.0 && t <= 1.0, "cosine threshold must be in (0, 1], got {t}");
+    let n = data.len();
+    let dim = data.dim() as usize;
+
+    // Unit-normalize so cosine is a plain dot product.
+    let norm: Vec<SparseVector> = data.vectors().iter().map(|v| v.l2_normalized()).collect();
+
+    // Dimension order: most frequent dimensions first (they stay in the
+    // unindexed prefix, keeping inverted lists short).
+    let df = data.document_frequencies();
+    let mut dims: Vec<u32> = (0..dim as u32).collect();
+    dims.sort_by_key(|&d| std::cmp::Reverse(df[d as usize]));
+    let mut rank = vec![0u32; dim];
+    for (r, &d) in dims.iter().enumerate() {
+        rank[d as usize] = r as u32;
+    }
+
+    let ranked: Vec<Ranked> = norm
+        .iter()
+        .map(|v| {
+            let mut feats: Vec<(u32, f32)> =
+                v.iter().map(|(d, w)| (rank[d as usize], w)).collect();
+            feats.sort_unstable_by_key(|&(r, _)| r);
+            Ranked { feats, maxw: v.max_weight() }
+        })
+        .collect();
+
+    // Per-dimension max weight over the whole collection (rank space).
+    let mut maxw_dim = vec![0.0f32; dim];
+    for r in &ranked {
+        for &(d, w) in &r.feats {
+            let w = w.abs();
+            if w > maxw_dim[d as usize] {
+                maxw_dim[d as usize] = w;
+            }
+        }
+    }
+
+    // Process vectors in decreasing maxweight order (required by the
+    // min(maxweight_d, maxweight(x)) refinement of the prefix bound).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        ranked[b as usize]
+            .maxw
+            .partial_cmp(&ranked[a as usize].maxw)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Inverted index over the *indexed suffixes*, plus stored prefixes.
+    let mut index: Vec<Vec<(u32, f32)>> = vec![Vec::new(); dim];
+    let mut prefix: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+    let mut prefix_norm = vec![0.0f64; n];
+
+    let mut exact = Vec::new();
+    let mut cands = PairSet::new();
+    let mut acc: FxHashMap<u32, f64> = FxHashMap::default();
+
+    for &xid in &order {
+        let x = &ranked[xid as usize];
+        if x.feats.is_empty() {
+            continue;
+        }
+
+        // --- Find matches against already-indexed vectors. ---
+        acc.clear();
+        let mut remscore: f64 = x
+            .feats
+            .iter()
+            .map(|&(d, w)| w as f64 * maxw_dim[d as usize] as f64)
+            .sum();
+        for &(d, w) in &x.feats {
+            for &(yid, yw) in &index[d as usize] {
+                match acc.entry(yid) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        *e.get_mut() += w as f64 * yw as f64;
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        // New candidate: the rest of the dot product is at
+                        // most remscore (indexed part, all at ranks >= d)
+                        // plus the prefix norm (unindexed part).
+                        if remscore + prefix_norm[yid as usize] >= t {
+                            e.insert(w as f64 * yw as f64);
+                        }
+                    }
+                }
+            }
+            remscore -= w as f64 * maxw_dim[d as usize] as f64;
+        }
+
+        match mode {
+            Mode::Candidates => {
+                for &yid in acc.keys() {
+                    cands.insert(xid, yid);
+                }
+            }
+            Mode::Exact => {
+                for (&yid, &a) in acc.iter() {
+                    // Cheap upper bound before the exact prefix dot.
+                    if a + prefix_norm[yid as usize] < t {
+                        continue;
+                    }
+                    let s = a + dot_ranked(&x.feats, &prefix[yid as usize]);
+                    if s >= t {
+                        let (lo, hi) = if xid < yid { (xid, yid) } else { (yid, xid) };
+                        exact.push((lo, hi, s.min(1.0)));
+                    }
+                }
+            }
+        }
+
+        // --- Partially index x. ---
+        let mut b = 0.0f64;
+        let mut pre = Vec::new();
+        for &(d, w) in &x.feats {
+            b += w as f64 * (maxw_dim[d as usize].min(x.maxw)) as f64;
+            if b >= t {
+                index[d as usize].push((xid, w));
+            } else {
+                pre.push((d, w));
+            }
+        }
+        prefix_norm[xid as usize] =
+            pre.iter().map(|&(_, w)| (w as f64) * (w as f64)).sum::<f64>().sqrt();
+        prefix[xid as usize] = pre;
+    }
+
+    exact.sort_unstable_by_key(|a| (a.0, a.1));
+    (exact, cands.into_vec())
+}
+
+/// Merge-join dot product over rank-sorted feature lists.
+fn dot_ranked(a: &[(u32, f32)], b: &[(u32, f32)]) -> f64 {
+    let mut acc = 0.0f64;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += a[i].1 as f64 * b[j].1 as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Binary / Jaccard variant via size-aware prefix filtering.
+// ---------------------------------------------------------------------------
+
+/// Exact all-pairs Jaccard join over binary vectors.
+pub fn all_pairs_jaccard(data: &Dataset, t: f64) -> Vec<(u32, u32, f64)> {
+    let (exact, _) = run_jaccard(data, t, Mode::Exact);
+    exact
+}
+
+/// The Jaccard candidate set (prefix-filter survivors), to feed
+/// AP+BayesLSH on binary data.
+pub fn all_pairs_jaccard_candidates(data: &Dataset, t: f64) -> Vec<(u32, u32)> {
+    let (_, cands) = run_jaccard(data, t, Mode::Candidates);
+    cands
+}
+
+/// Records as rank-remapped, ascending token arrays (rare tokens first).
+pub(crate) fn rank_tokens(data: &Dataset) -> Vec<Vec<u32>> {
+    let dim = data.dim() as usize;
+    let df = data.document_frequencies();
+    let mut dims: Vec<u32> = (0..dim as u32).collect();
+    // Rare tokens get the smallest ranks → they populate the prefixes.
+    dims.sort_by_key(|&d| (df[d as usize], d));
+    let mut rank = vec![0u32; dim];
+    for (r, &d) in dims.iter().enumerate() {
+        rank[d as usize] = r as u32;
+    }
+    data.vectors()
+        .iter()
+        .map(|v| {
+            let mut toks: Vec<u32> = v.indices().iter().map(|&d| rank[d as usize]).collect();
+            toks.sort_unstable();
+            toks
+        })
+        .collect()
+}
+
+/// Minimum overlap for `J(x, y) >= t` at sizes `(sx, sy)`:
+/// `ceil(t/(1+t) · (sx + sy))`.
+#[inline]
+pub(crate) fn jaccard_overlap_bound(t: f64, sx: usize, sy: usize) -> usize {
+    (t / (1.0 + t) * (sx + sy) as f64 - 1e-9).ceil() as usize
+}
+
+/// Probing/indexing prefix length for Jaccard threshold `t` at size `s`:
+/// `s − ceil(t·s) + 1`.
+#[inline]
+pub(crate) fn jaccard_prefix_len(t: f64, s: usize) -> usize {
+    let min_overlap = (t * s as f64 - 1e-9).ceil() as usize;
+    s - min_overlap.min(s) + 1
+}
+
+/// Sorted-array overlap count.
+pub(crate) fn overlap_sorted(a: &[u32], b: &[u32]) -> usize {
+    let mut count = 0;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+fn run_jaccard(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePairs) {
+    assert!(t > 0.0 && t <= 1.0, "jaccard threshold must be in (0, 1], got {t}");
+    let records = rank_tokens(data);
+    let n = records.len();
+
+    // Process in increasing size order so the size filter is one-sided.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&i| records[i as usize].len());
+
+    // token rank -> list of (record id, size) already indexed.
+    let mut index: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut exact = Vec::new();
+    let mut cands = PairSet::new();
+    let mut seen: FxHashMap<u32, ()> = FxHashMap::default();
+
+    for &xid in &order {
+        let x = &records[xid as usize];
+        if x.is_empty() {
+            continue;
+        }
+        let sx = x.len();
+        let min_size = (t * sx as f64 - 1e-9).ceil() as usize;
+        let p = jaccard_prefix_len(t, sx);
+
+        seen.clear();
+        for &tok in &x[..p.min(sx)] {
+            if let Some(list) = index.get(&tok) {
+                for &yid in list {
+                    let sy = records[yid as usize].len();
+                    if sy < min_size {
+                        continue; // size filter (sy <= sx by ordering)
+                    }
+                    if seen.insert(yid, ()).is_some() {
+                        continue;
+                    }
+                    match mode {
+                        Mode::Candidates => {
+                            cands.insert(xid, yid);
+                        }
+                        Mode::Exact => {
+                            let y = &records[yid as usize];
+                            let o = overlap_sorted(x, y);
+                            if o >= jaccard_overlap_bound(t, sx, sy) {
+                                let j = o as f64 / (sx + sy - o) as f64;
+                                if j >= t {
+                                    let (lo, hi) =
+                                        if xid < yid { (xid, yid) } else { (yid, xid) };
+                                    exact.push((lo, hi, j));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Index x's prefix.
+        for &tok in &x[..p.min(sx)] {
+            index.entry(tok).or_default().push(xid);
+        }
+    }
+
+    exact.sort_unstable_by_key(|a| (a.0, a.1));
+    (exact, cands.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_numeric::Xoshiro256;
+    use bayeslsh_sparse::{cosine, jaccard};
+
+    fn brute_force(
+        data: &Dataset,
+        t: f64,
+        f: impl Fn(&SparseVector, &SparseVector) -> f64,
+    ) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for a in 0..data.len() as u32 {
+            for b in (a + 1)..data.len() as u32 {
+                let s = f(data.vector(a), data.vector(b));
+                if s >= t {
+                    out.push((a, b, s));
+                }
+            }
+        }
+        out
+    }
+
+    fn random_weighted(n: usize, dim: u32, len: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(dim);
+        // Clustered so that similar pairs exist.
+        let n_clusters = (n / 5).max(1);
+        let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
+            .map(|_| {
+                (0..len)
+                    .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.2) as f32))
+                    .collect()
+            })
+            .collect();
+        for i in 0..n {
+            let mut pairs = centers[i % n_clusters].clone();
+            for p in pairs.iter_mut() {
+                if rng.next_bool(0.3) {
+                    *p = (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.2) as f32);
+                }
+            }
+            d.push(SparseVector::from_pairs(pairs));
+        }
+        d
+    }
+
+    fn pair_ids(v: &[(u32, u32, f64)]) -> Vec<(u32, u32)> {
+        v.iter().map(|&(a, b, _)| (a, b)).collect()
+    }
+
+    #[test]
+    fn cosine_matches_brute_force() {
+        for seed in [1u64, 2, 3] {
+            for &t in &[0.5, 0.7, 0.9] {
+                let data = random_weighted(60, 500, 20, seed);
+                let got = all_pairs_cosine(&data, t);
+                let want = brute_force(&data, t, cosine);
+                assert_eq!(
+                    pair_ids(&got),
+                    pair_ids(&want),
+                    "seed={seed} t={t}: {} vs {}",
+                    got.len(),
+                    want.len()
+                );
+                // Normalized copies store f32 weights, so AllPairs' exact
+                // similarities can differ from the f64 brute force at ~1e-8.
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g.2 - w.2).abs() < 1e-6, "similarity mismatch {g:?} {w:?}");
+                }
+                if t <= 0.5 {
+                    assert!(!want.is_empty(), "t={t} should exercise non-empty result sets");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_candidates_superset_of_results() {
+        let data = random_weighted(80, 400, 15, 7);
+        let t = 0.6;
+        let cands = all_pairs_cosine_candidates(&data, t);
+        let cand_set: std::collections::HashSet<(u32, u32)> = cands.into_iter().collect();
+        for (a, b, _) in all_pairs_cosine(&data, t) {
+            assert!(cand_set.contains(&(a, b)), "result pair ({a},{b}) missing from candidates");
+        }
+    }
+
+    #[test]
+    fn cosine_candidates_far_fewer_than_all_pairs() {
+        let data = random_weighted(100, 2000, 10, 9);
+        let cands = all_pairs_cosine_candidates(&data, 0.8);
+        let total = 100 * 99 / 2;
+        assert!(
+            cands.len() < total / 2,
+            "partial indexing should prune the quadratic space: {} of {total}",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn cosine_handles_empty_vectors() {
+        let mut data = Dataset::new(10);
+        data.push(SparseVector::empty());
+        data.push(SparseVector::from_indices(vec![1, 2]));
+        data.push(SparseVector::from_indices(vec![1, 2]));
+        let got = all_pairs_cosine(&data, 0.9);
+        assert_eq!(pair_ids(&got), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn jaccard_matches_brute_force() {
+        for seed in [11u64, 12] {
+            for &t in &[0.3, 0.5, 0.7] {
+                let data = random_weighted(60, 500, 20, seed).binarized();
+                let got = all_pairs_jaccard(&data, t);
+                let want = brute_force(&data, t, jaccard);
+                assert_eq!(
+                    pair_ids(&got),
+                    pair_ids(&want),
+                    "seed={seed} t={t}: {} vs {}",
+                    got.len(),
+                    want.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_candidates_superset_of_results() {
+        let data = random_weighted(80, 400, 15, 13).binarized();
+        let t = 0.4;
+        let cand_set: std::collections::HashSet<(u32, u32)> =
+            all_pairs_jaccard_candidates(&data, t).into_iter().collect();
+        for (a, b, _) in all_pairs_jaccard(&data, t) {
+            assert!(cand_set.contains(&(a, b)), "result pair ({a},{b}) missing from candidates");
+        }
+    }
+
+    #[test]
+    fn jaccard_helper_bounds() {
+        // t = 0.8, sizes 10, 10 → ceil(0.8/1.8 · 20) = ceil(8.888) = 9.
+        assert_eq!(jaccard_overlap_bound(0.8, 10, 10), 9);
+        // t = 0.5: prefix of a 10-token record is 10 − 5 + 1 = 6.
+        assert_eq!(jaccard_prefix_len(0.5, 10), 6);
+        // t = 1.0: prefix collapses to a single token.
+        assert_eq!(jaccard_prefix_len(1.0, 10), 1);
+    }
+
+    #[test]
+    fn overlap_sorted_basics() {
+        assert_eq!(overlap_sorted(&[1, 3, 5], &[3, 5, 7]), 2);
+        assert_eq!(overlap_sorted(&[], &[1]), 0);
+        assert_eq!(overlap_sorted(&[2, 4], &[1, 3]), 0);
+    }
+
+    #[test]
+    fn identical_vectors_found_at_high_threshold() {
+        let mut data = Dataset::new(100);
+        let v = SparseVector::from_pairs(vec![(3, 0.5), (50, 1.0), (99, 0.25)]);
+        data.push(v.clone());
+        data.push(v.clone());
+        data.push(SparseVector::from_pairs(vec![(7, 1.0)]));
+        let got = all_pairs_cosine(&data, 0.999);
+        assert_eq!(pair_ids(&got), vec![(0, 1)]);
+        assert!((got[0].2 - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,96 @@
+//! A fast, non-cryptographic hasher (the rustc "Fx" multiply-rotate hash).
+//!
+//! Bucketing millions of band keys and candidate-pair ids is hot; SipHash's
+//! HashDoS resistance buys nothing against our own data, so we use the same
+//! algorithm rustc uses internally.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher; quality is low but plenty for power-of-two table
+/// sizes over integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed through [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_hashes() {
+        let mut hashes = FxHashSet::default();
+        for i in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            hashes.insert(h.finish());
+        }
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m[&i], (i * 2) as u32);
+        }
+    }
+
+    #[test]
+    fn write_bytes_consistent_with_words() {
+        let mut a = FxHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

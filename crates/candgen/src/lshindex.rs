@@ -1,0 +1,308 @@
+//! Classical LSH banding index for candidate generation (paper Section 2).
+//!
+//! Each object gets `l` signatures, each the concatenation of `k` hashes;
+//! every pair sharing at least one signature becomes a candidate. For a
+//! threshold `t` whose per-hash collision probability is `p` (Jaccard: `p =
+//! t`; cosine: `p = c2r(t)`), the number of signatures needed for an
+//! expected false-negative rate ε is `l = ceil(log ε / log(1 − p^k))`.
+
+use bayeslsh_lsh::{BitSignatures, IntSignatures, SignaturePool};
+use bayeslsh_sparse::Dataset;
+
+use crate::fxhash::{FxHashMap, FxHasher};
+use crate::pairs::PairSet;
+use std::hash::Hasher;
+
+/// Banding configuration: `l` bands of `k` hashes each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandingParams {
+    /// Hashes per signature (band width).
+    pub k: u32,
+    /// Number of signatures (bands).
+    pub l: u32,
+}
+
+impl BandingParams {
+    /// Compute `l` from the paper's formula for false-negative rate `eps`
+    /// at per-hash collision probability `p` (the collision probability *at
+    /// the similarity threshold*), capping at `max_l`.
+    ///
+    /// `l = ceil(log eps / log(1 − p^k))`.
+    pub fn for_threshold(p: f64, k: u32, eps: f64, max_l: u32) -> Self {
+        assert!((0.0..=1.0).contains(&p), "collision probability {p}");
+        assert!(k >= 1, "band width must be at least 1");
+        assert!(eps > 0.0 && eps < 1.0, "false negative rate {eps}");
+        let pk = p.powi(k as i32);
+        let l = if pk <= 0.0 {
+            max_l
+        } else if pk >= 1.0 {
+            1
+        } else {
+            let raw = (eps.ln() / (1.0 - pk).ln()).ceil();
+            if raw.is_finite() && raw >= 1.0 {
+                (raw as u32).min(max_l)
+            } else {
+                max_l
+            }
+        };
+        Self { k, l: l.max(1) }
+    }
+
+    /// Total hashes per object the banding consumes.
+    pub fn total_hashes(&self) -> u32 {
+        self.k * self.l
+    }
+
+    /// Probability that a pair with per-hash collision probability `p`
+    /// becomes a candidate: `1 − (1 − p^k)^l`.
+    pub fn candidate_prob(&self, p: f64) -> f64 {
+        1.0 - (1.0 - p.powi(self.k as i32)).powi(self.l as i32)
+    }
+}
+
+/// Extract `len <= 64` bits starting at bit `lo` from packed 32-bit words
+/// (LSB-first) — the band-key extraction used by the index, public so that
+/// query-time probes (e.g. k-NN search) can compute identical keys.
+#[inline]
+pub fn extract_bits(words: &[u32], lo: u32, len: u32) -> u64 {
+    debug_assert!(len <= 64);
+    let mut out = 0u64;
+    let mut got = 0u32;
+    while got < len {
+        let bit = lo + got;
+        let word = words[(bit / 32) as usize] as u64;
+        let offset = bit % 32;
+        let take = (32 - offset).min(len - got); // <= 32, so the shift is safe
+        let chunk = (word >> offset) & ((1u64 << take) - 1);
+        out |= chunk << got;
+        got += take;
+    }
+    out
+}
+
+fn pairs_from_buckets(buckets: FxHashMap<u64, Vec<u32>>, out: &mut PairSet) {
+    for (_, ids) in buckets {
+        if ids.len() < 2 {
+            continue;
+        }
+        for i in 0..ids.len() {
+            for j in (i + 1)..ids.len() {
+                out.insert(ids[i], ids[j]);
+            }
+        }
+    }
+}
+
+/// Candidate pairs from bit signatures (cosine / signed random projections).
+///
+/// Hashes every non-empty vector to `k·l` bits through `pool` and returns
+/// all pairs sharing at least one of the `l` k-bit bands.
+pub fn lsh_candidates_bits(
+    pool: &mut BitSignatures,
+    data: &Dataset,
+    params: BandingParams,
+) -> Vec<(u32, u32)> {
+    assert!(params.k <= 64, "band keys are packed into u64 (k <= 64)");
+    let need = params.total_hashes();
+    for (id, v) in data.iter() {
+        if !v.is_empty() {
+            pool.ensure(id, v, need);
+        }
+    }
+    let mut out = PairSet::new();
+    for band in 0..params.l {
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let lo = band * params.k;
+        for (id, v) in data.iter() {
+            if v.is_empty() {
+                continue;
+            }
+            let key = extract_bits(pool.raw_words(id), lo, params.k);
+            buckets.entry(key).or_default().push(id);
+        }
+        pairs_from_buckets(buckets, &mut out);
+    }
+    out.into_vec()
+}
+
+/// Candidate pairs from integer minhash signatures (Jaccard).
+pub fn lsh_candidates_ints(
+    pool: &mut IntSignatures,
+    data: &Dataset,
+    params: BandingParams,
+) -> Vec<(u32, u32)> {
+    let need = params.total_hashes();
+    for (id, v) in data.iter() {
+        if !v.is_empty() {
+            pool.ensure(id, v, need);
+        }
+    }
+    let mut out = PairSet::new();
+    for band in 0..params.l {
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        let lo = (band * params.k) as usize;
+        let hi = lo + params.k as usize;
+        for (id, v) in data.iter() {
+            if v.is_empty() {
+                continue;
+            }
+            let mut h = FxHasher::default();
+            for &m in &pool.raw(id)[lo..hi] {
+                h.write_u32(m);
+            }
+            buckets.entry(h.finish()).or_default().push(id);
+        }
+        pairs_from_buckets(buckets, &mut out);
+    }
+    out.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_lsh::{MinHasher, SrpHasher};
+    use bayeslsh_numeric::Xoshiro256;
+    use bayeslsh_sparse::{jaccard, SparseVector};
+
+    #[test]
+    fn l_formula_matches_paper() {
+        // l = ceil(ln eps / ln(1 − t^k)).
+        let p = BandingParams::for_threshold(0.5, 4, 0.03, 10_000);
+        // t^k = 0.0625; ln(0.03)/ln(0.9375) = 54.3... → 55.
+        assert_eq!(p.l, 55);
+        assert_eq!(p.total_hashes(), 220);
+    }
+
+    #[test]
+    fn l_shrinks_with_higher_threshold() {
+        let lo = BandingParams::for_threshold(0.3, 4, 0.03, 100_000).l;
+        let hi = BandingParams::for_threshold(0.9, 4, 0.03, 100_000).l;
+        assert!(hi < lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn l_caps_at_max() {
+        let p = BandingParams::for_threshold(0.1, 16, 0.03, 500);
+        assert_eq!(p.l, 500);
+    }
+
+    #[test]
+    fn candidate_prob_behaviour() {
+        let p = BandingParams::for_threshold(0.7, 8, 0.03, 10_000);
+        // At the threshold collision probability the FNR target is met.
+        assert!(p.candidate_prob(0.7) >= 0.97);
+        // Far below the threshold, candidacy is much less likely.
+        assert!(p.candidate_prob(0.2) < 0.2);
+    }
+
+    #[test]
+    fn extract_bits_cases() {
+        let words = vec![0xFFFF_0000u32, 0x0000_00FF];
+        assert_eq!(extract_bits(&words, 0, 16), 0);
+        assert_eq!(extract_bits(&words, 16, 16), 0xFFFF);
+        assert_eq!(extract_bits(&words, 24, 16), 0xFFFF);
+        assert_eq!(extract_bits(&words, 8, 32), 0xFFFF_FF00);
+        assert_eq!(extract_bits(&words, 0, 64), 0x0000_00FF_FFFF_0000);
+    }
+
+    #[test]
+    fn extract_bits_matches_naive() {
+        let mut rng = Xoshiro256::seed_from_u64(50);
+        let words: Vec<u32> = (0..8).map(|_| rng.next_u32()).collect();
+        for lo in 0..128u32 {
+            for len in 1..=64u32.min(256 - lo) {
+                let got = extract_bits(&words, lo, len);
+                let mut expect = 0u64;
+                for b in 0..len {
+                    let bit = (words[((lo + b) / 32) as usize] >> ((lo + b) % 32)) & 1;
+                    expect |= (bit as u64) << b;
+                }
+                assert_eq!(got, expect, "lo={lo} len={len}");
+            }
+        }
+    }
+
+    /// Clustered binary data: near-duplicates within clusters.
+    fn clustered_sets(n_clusters: usize, per: usize, seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(10_000);
+        for c in 0..n_clusters {
+            let base: Vec<u32> =
+                (0..60).map(|_| (c * 700) as u32 + rng.next_below(650) as u32).collect();
+            for _ in 0..per {
+                let mut tokens = base.clone();
+                // Mutate ~10% of tokens.
+                for t in tokens.iter_mut() {
+                    if rng.next_bool(0.1) {
+                        *t = rng.next_below(10_000) as u32;
+                    }
+                }
+                d.push(SparseVector::from_indices(tokens));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn banding_finds_similar_jaccard_pairs() {
+        let data = clustered_sets(10, 5, 51);
+        let t = 0.5;
+        let params = BandingParams::for_threshold(t, 3, 0.03, 1000);
+        let mut pool = IntSignatures::new(MinHasher::new(52), data.len());
+        let cands = lsh_candidates_ints(&mut pool, &data, params);
+        // Ground truth.
+        let mut missed = 0;
+        let mut truth = 0;
+        for a in 0..data.len() as u32 {
+            for b in (a + 1)..data.len() as u32 {
+                if jaccard(data.vector(a), data.vector(b)) >= t {
+                    truth += 1;
+                    if !cands.contains(&(a, b)) {
+                        missed += 1;
+                    }
+                }
+            }
+        }
+        assert!(truth > 20, "test data should contain similar pairs, got {truth}");
+        let fnr = missed as f64 / truth as f64;
+        assert!(fnr <= 0.10, "false negative rate {fnr} ({missed}/{truth})");
+    }
+
+    #[test]
+    fn banding_finds_similar_cosine_pairs() {
+        use bayeslsh_lsh::cos_to_r;
+        use bayeslsh_sparse::cosine;
+        let data = clustered_sets(10, 5, 53);
+        let t = 0.7;
+        let params = BandingParams::for_threshold(cos_to_r(t), 8, 0.03, 1000);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 54), data.len());
+        let cands = lsh_candidates_bits(&mut pool, &data, params);
+        let mut missed = 0;
+        let mut truth = 0;
+        for a in 0..data.len() as u32 {
+            for b in (a + 1)..data.len() as u32 {
+                if cosine(data.vector(a), data.vector(b)) >= t {
+                    truth += 1;
+                    if !cands.contains(&(a, b)) {
+                        missed += 1;
+                    }
+                }
+            }
+        }
+        assert!(truth > 20, "test data should contain similar pairs, got {truth}");
+        let fnr = missed as f64 / truth as f64;
+        assert!(fnr <= 0.10, "false negative rate {fnr} ({missed}/{truth})");
+    }
+
+    #[test]
+    fn empty_vectors_generate_no_candidates() {
+        let mut d = Dataset::new(100);
+        d.push(SparseVector::empty());
+        d.push(SparseVector::empty());
+        d.push(SparseVector::from_indices(vec![1, 2, 3]));
+        let params = BandingParams { k: 2, l: 4 };
+        let mut pool = IntSignatures::new(MinHasher::new(60), d.len());
+        let cands = lsh_candidates_ints(&mut pool, &d, params);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+}

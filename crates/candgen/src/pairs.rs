@@ -1,0 +1,108 @@
+//! Candidate-pair plumbing shared by all generators.
+
+use crate::fxhash::FxHashSet;
+
+/// A deduplicated set of unordered id pairs, stored as `(lo, hi)` with
+/// `lo < hi`.
+#[derive(Debug, Clone, Default)]
+pub struct PairSet {
+    seen: FxHashSet<u64>,
+    pairs: Vec<(u32, u32)>,
+}
+
+/// Pack an unordered pair into a single `u64` key.
+#[inline]
+pub fn pair_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+impl PairSet {
+    /// An empty pair set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pair set with room for roughly `cap` pairs.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            seen: FxHashSet::with_capacity_and_hasher(cap, Default::default()),
+            pairs: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Insert an unordered pair; ignores self-pairs and duplicates. Returns
+    /// true if the pair is new.
+    pub fn insert(&mut self, a: u32, b: u32) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = pair_key(a, b);
+        if self.seen.insert(key) {
+            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+            self.pairs.push((lo, hi));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True if the pair is already present.
+    pub fn contains(&self, a: u32, b: u32) -> bool {
+        self.seen.contains(&pair_key(a, b))
+    }
+
+    /// Number of distinct pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no pairs were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consume into the pair list (insertion order).
+    pub fn into_vec(self) -> Vec<(u32, u32)> {
+        self.pairs
+    }
+
+    /// Borrow the pair list.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_orders() {
+        let mut s = PairSet::new();
+        assert!(s.insert(5, 2));
+        assert!(!s.insert(2, 5));
+        assert!(s.insert(2, 7));
+        assert!(!s.insert(3, 3));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[(2, 5), (2, 7)]);
+        assert!(s.contains(5, 2));
+        assert!(!s.contains(5, 7));
+    }
+
+    #[test]
+    fn pair_key_is_symmetric_and_injective() {
+        assert_eq!(pair_key(1, 2), pair_key(2, 1));
+        assert_ne!(pair_key(1, 2), pair_key(1, 3));
+        assert_ne!(pair_key(0, 1), pair_key(1, 2));
+    }
+
+    #[test]
+    fn into_vec_returns_all() {
+        let mut s = PairSet::with_capacity(10);
+        for i in 0..10u32 {
+            s.insert(i, i + 1);
+        }
+        assert_eq!(s.into_vec().len(), 10);
+    }
+}

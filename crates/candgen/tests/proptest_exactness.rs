@@ -1,0 +1,126 @@
+//! Property tests: the exact join algorithms agree with brute force on
+//! randomized corpora and thresholds — the strongest correctness statement
+//! we can make about AllPairs' pruning bounds and PPJoin+'s three filters.
+
+use bayeslsh_candgen::{all_pairs_cosine, all_pairs_jaccard, ppjoin_binary_cosine, ppjoin_jaccard};
+use bayeslsh_numeric::Xoshiro256;
+use bayeslsh_sparse::{cosine, jaccard, Dataset, SparseVector};
+use proptest::prelude::*;
+
+/// Random clustered corpus driven by a proptest-chosen seed and shape.
+fn corpus(seed: u64, n: usize, dim: u32, len: usize, mutate: f64) -> Dataset {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut d = Dataset::new(dim);
+    let n_clusters = (n / 4).max(1);
+    let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
+        .map(|_| {
+            (0..len.max(1))
+                .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                .collect()
+        })
+        .collect();
+    for i in 0..n {
+        let mut pairs = centers[i % n_clusters].clone();
+        for p in pairs.iter_mut() {
+            if rng.next_bool(mutate) {
+                *p = (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32);
+            }
+        }
+        d.push(SparseVector::from_pairs(pairs));
+    }
+    d
+}
+
+fn brute(
+    data: &Dataset,
+    t: f64,
+    f: impl Fn(&SparseVector, &SparseVector) -> f64,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for a in 0..data.len() as u32 {
+        for b in (a + 1)..data.len() as u32 {
+            if f(data.vector(a), data.vector(b)) >= t {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
+fn ids(v: Vec<(u32, u32, f64)>) -> Vec<(u32, u32)> {
+    v.into_iter().map(|(a, b, _)| (a, b)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allpairs_cosine_is_exact(
+        seed in 0u64..10_000,
+        n in 10usize..45,
+        dim in 50u32..800,
+        len in 3usize..25,
+        t in 0.35f64..0.95,
+        mutate in 0.1f64..0.6,
+    ) {
+        let data = corpus(seed, n, dim, len, mutate);
+        prop_assert_eq!(ids(all_pairs_cosine(&data, t)), brute(&data, t, cosine));
+    }
+
+    #[test]
+    fn allpairs_jaccard_is_exact(
+        seed in 0u64..10_000,
+        n in 10usize..45,
+        dim in 50u32..800,
+        len in 3usize..25,
+        t in 0.2f64..0.9,
+        mutate in 0.1f64..0.6,
+    ) {
+        let data = corpus(seed, n, dim, len, mutate).binarized();
+        prop_assert_eq!(ids(all_pairs_jaccard(&data, t)), brute(&data, t, jaccard));
+    }
+
+    #[test]
+    fn ppjoin_jaccard_is_exact(
+        seed in 0u64..10_000,
+        n in 10usize..45,
+        dim in 50u32..800,
+        len in 3usize..25,
+        t in 0.2f64..0.9,
+        mutate in 0.1f64..0.6,
+    ) {
+        let data = corpus(seed, n, dim, len, mutate).binarized();
+        prop_assert_eq!(ids(ppjoin_jaccard(&data, t)), brute(&data, t, jaccard));
+    }
+
+    #[test]
+    fn ppjoin_binary_cosine_is_exact(
+        seed in 0u64..10_000,
+        n in 10usize..45,
+        dim in 50u32..800,
+        len in 3usize..25,
+        t in 0.35f64..0.95,
+        mutate in 0.1f64..0.6,
+    ) {
+        let data = corpus(seed, n, dim, len, mutate).binarized();
+        prop_assert_eq!(ids(ppjoin_binary_cosine(&data, t)), brute(&data, t, cosine));
+    }
+
+    /// Degenerate corpora: duplicated vectors, singletons, shared tokens.
+    #[test]
+    fn exactness_with_duplicates(
+        seed in 0u64..10_000,
+        n in 4usize..20,
+        t in 0.3f64..0.99,
+    ) {
+        let base = corpus(seed, n, 100, 6, 0.3);
+        let mut data = Dataset::new(base.dim());
+        for (_, v) in base.iter() {
+            data.push(v.clone());
+            data.push(v.clone()); // exact duplicate of everything
+        }
+        let bin = data.binarized();
+        prop_assert_eq!(ids(all_pairs_cosine(&data, t)), brute(&data, t, cosine));
+        prop_assert_eq!(ids(ppjoin_jaccard(&bin, t)), brute(&bin, t, jaccard));
+    }
+}

@@ -1,0 +1,238 @@
+//! BayesLSH posterior model for **b-bit minwise hashing** — an extension
+//! beyond the paper, following its own recipe for new hash families
+//! (Section 4: pick the family, pick a prior, make the inference
+//! tractable).
+//!
+//! A b-bit minhash collides with probability `u = L + (1 − L)·J` where
+//! `L = 2⁻ᵇ` (see `bayeslsh_lsh::bbit`). As with the cosine family, the
+//! collision probability lives on a sub-interval `[L, 1]` of the unit
+//! interval, so a Beta prior is not conjugate; we use the paper's move for
+//! exactly this situation — a uniform prior on the collision similarity —
+//! and the posterior over `u` is a doubly-truncated Beta:
+//!
+//! `p(u | M(m,n)) ∝ u^m (1−u)^{n−m}` on `[L, 1]`,
+//!
+//! with every query a ratio of regularized incomplete beta values and the
+//! affine map `J = (u − L)/(1 − L)` carrying answers back to Jaccard space.
+
+use bayeslsh_lsh::{bbit_collision_prob, bbit_to_jaccard};
+use bayeslsh_numeric::reg_inc_beta;
+
+use crate::posterior::PosteriorModel;
+
+/// Posterior model over Jaccard similarity observed through `b`-bit
+/// minwise hashes, with a uniform prior on the collision similarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbitJaccardModel {
+    b: u32,
+}
+
+impl BbitJaccardModel {
+    /// Model for `b ∈ {1,2,4,8,16}` bits per hash.
+    pub fn new(b: u32) -> Self {
+        assert!(matches!(b, 1 | 2 | 4 | 8 | 16), "b must be one of 1,2,4,8,16 (got {b})");
+        Self { b }
+    }
+
+    /// Bits per hash.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// The collision-probability floor `L = 2⁻ᵇ`.
+    pub fn floor(&self) -> f64 {
+        0.5f64.powi(self.b as i32)
+    }
+
+    /// Posterior mass of `u ∈ [lo, hi] ⊆ [L, 1]`.
+    fn u_interval_prob(&self, m: u32, n: u32, lo: f64, hi: f64) -> f64 {
+        let floor = self.floor();
+        let a = m as f64 + 1.0;
+        let b = (n - m) as f64 + 1.0;
+        let lo = lo.clamp(floor, 1.0);
+        let hi = hi.clamp(floor, 1.0);
+        if hi <= lo {
+            return 0.0;
+        }
+        let denom = 1.0 - reg_inc_beta(a, b, floor);
+        if denom <= 0.0 {
+            // All mass collapsed onto the floor: J ≈ 0.
+            return if lo <= floor { 1.0 } else { 0.0 };
+        }
+        let num = reg_inc_beta(a, b, hi) - reg_inc_beta(a, b, lo);
+        (num / denom).clamp(0.0, 1.0)
+    }
+
+    /// MAP estimate of the collision similarity `u`.
+    pub fn map_u(&self, m: u32, n: u32) -> f64 {
+        assert!(n > 0, "MAP estimate needs at least one observation");
+        (m as f64 / n as f64).clamp(self.floor(), 1.0)
+    }
+}
+
+impl PosteriorModel for BbitJaccardModel {
+    fn prob_above_threshold(&self, m: u32, n: u32, t: f64) -> f64 {
+        let ut = bbit_collision_prob(t, self.b);
+        self.u_interval_prob(m, n, ut, 1.0)
+    }
+
+    fn map_estimate(&self, m: u32, n: u32) -> f64 {
+        bbit_to_jaccard(self.map_u(m, n), self.b)
+    }
+
+    fn concentration(&self, m: u32, n: u32, delta: f64) -> f64 {
+        let j_hat = self.map_estimate(m, n);
+        let lo = bbit_collision_prob((j_hat - delta).max(0.0), self.b);
+        let hi = bbit_collision_prob((j_hat + delta).min(1.0), self.b);
+        self.u_interval_prob(m, n, lo, hi)
+    }
+
+    fn name(&self) -> &'static str {
+        "bbit-jaccard-uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::test_support::check_model_invariants;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn invariant_battery_all_b() {
+        for b in [1u32, 2, 4, 8] {
+            check_model_invariants(&BbitJaccardModel::new(b), 0.5);
+            check_model_invariants(&BbitJaccardModel::new(b), 0.8);
+        }
+    }
+
+    #[test]
+    fn map_transforms_through_the_floor() {
+        // b = 1: floor 0.5; agreement rate 0.75 → J = (0.75−0.5)/0.5 = 0.5.
+        let m1 = BbitJaccardModel::new(1);
+        assert_close(m1.map_estimate(24, 32), 0.5, 1e-12);
+        // Agreement below the floor clamps to J = 0.
+        assert_close(m1.map_estimate(10, 32), 0.0, 1e-12);
+        // b = 16: the floor is negligible; J ≈ m/n.
+        let m16 = BbitJaccardModel::new(16);
+        assert_close(m16.map_estimate(24, 32), 0.75, 1e-3);
+    }
+
+    #[test]
+    fn posterior_normalizes() {
+        for b in [1u32, 4, 8] {
+            let model = BbitJaccardModel::new(b);
+            for &(m, n) in &[(24u32, 32u32), (100, 128), (4, 64)] {
+                assert_close(model.u_interval_prob(m, n, model.floor(), 1.0), 1.0, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn b1_agrees_with_numerical_integration() {
+        // Direct trapezoid integration of u^m (1−u)^{n−m} on [0.5, 1].
+        let model = BbitJaccardModel::new(1);
+        let (m, n) = (50u32, 64u32);
+        let t: f64 = 0.4;
+        let ut = bbit_collision_prob(t, 1); // 0.7
+        let pdf = |u: f64| (m as f64) * u.ln() + ((n - m) as f64) * (1.0 - u).ln();
+        let integrate = |lo: f64, hi: f64| {
+            let steps = 100_000;
+            let h = (hi - lo) / steps as f64;
+            (0..steps)
+                .map(|i| {
+                    let u0 = lo + i as f64 * h;
+                    0.5 * (pdf(u0).exp() + pdf(u0 + h).exp()) * h
+                })
+                .sum::<f64>()
+        };
+        let expected = integrate(ut, 1.0 - 1e-12) / integrate(0.5, 1.0 - 1e-12);
+        assert_close(model.prob_above_threshold(m, n, t), expected, 1e-5);
+    }
+
+    #[test]
+    fn more_bits_concentrate_faster_per_hash() {
+        // At the same hash budget, larger b wastes less signal on random
+        // collisions, so the estimate concentrates at least as fast.
+        let (m_rate, n) = (0.8f64, 256u32);
+        let c1 = {
+            let model = BbitJaccardModel::new(1);
+            // Observed agreement rate at J=0.6 under b=1: 0.5+0.5·0.6 = 0.8.
+            model.concentration((m_rate * n as f64) as u32, n, 0.05)
+        };
+        let c8 = {
+            let model = BbitJaccardModel::new(8);
+            // Same J=0.6 under b=8 collides at ≈ 0.6016.
+            model.concentration((0.6016 * n as f64) as u32, n, 0.05)
+        };
+        assert!(
+            c8 >= c1 - 0.02,
+            "b=8 concentration {c8} should not trail b=1 {c1} materially"
+        );
+    }
+
+    #[test]
+    fn engine_integration_with_bbit_pool() {
+        // Full loop: b-bit signatures + b-bit model through bayes_verify.
+        use crate::config::BayesLshConfig;
+        use crate::engine::bayes_verify;
+        use bayeslsh_lsh::{BbitSignatures, MinHasher};
+        use bayeslsh_numeric::Xoshiro256;
+        use bayeslsh_sparse::{jaccard, Dataset, SparseVector};
+
+        let mut rng = Xoshiro256::seed_from_u64(81);
+        let mut data = Dataset::new(5000);
+        for c in 0..12 {
+            let base: Vec<u32> =
+                (0..50).map(|_| (c * 400 + rng.next_below(380) as usize) as u32).collect();
+            for _ in 0..5 {
+                let toks: Vec<u32> = base
+                    .iter()
+                    .map(|&t| {
+                        if rng.next_bool(0.15) {
+                            rng.next_below(5000) as u32
+                        } else {
+                            t
+                        }
+                    })
+                    .collect();
+                data.push(SparseVector::from_indices(toks));
+            }
+        }
+        let t = 0.5;
+        let cands: Vec<(u32, u32)> = (0..data.len() as u32)
+            .flat_map(|a| ((a + 1)..data.len() as u32).map(move |b| (a, b)))
+            .collect();
+        let mut pool = BbitSignatures::new(MinHasher::new(82), data.len(), 2);
+        let cfg = BayesLshConfig { max_hashes: 1024, ..BayesLshConfig::jaccard(t) };
+        let (out, stats) = bayes_verify(&data, &mut pool, &BbitJaccardModel::new(2), &cands, &cfg);
+        assert_eq!(stats.pruned + stats.accepted, stats.input_pairs);
+
+        // Recall against brute force.
+        let mut truth = 0;
+        let mut found = 0;
+        let keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        for a in 0..data.len() as u32 {
+            for b in (a + 1)..data.len() as u32 {
+                if jaccard(data.vector(a), data.vector(b)) >= t {
+                    truth += 1;
+                    if keys.contains(&(a, b)) {
+                        found += 1;
+                    }
+                }
+            }
+        }
+        assert!(truth >= 20, "need similar pairs, got {truth}");
+        let recall = found as f64 / truth as f64;
+        assert!(recall >= 0.88, "b-bit BayesLSH recall {recall}");
+        // Estimates are reasonable.
+        for &(a, b, s_hat) in out.iter().take(200) {
+            let s = jaccard(data.vector(a), data.vector(b));
+            assert!((s - s_hat).abs() < 0.25, "({a},{b}): {s_hat} vs {s}");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Engine configuration types.
+
+/// Parameters of BayesLSH (Algorithm 1).
+///
+/// Defaults follow the paper's experimental setup (Section 5.1):
+/// ε = γ = 0.03, δ = 0.05, k = 32.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BayesLshConfig {
+    /// Similarity threshold `t` (in the target similarity space).
+    pub threshold: f64,
+    /// Recall parameter ε: prune once `Pr[S ≥ t | M(m,n)] < ε`.
+    pub epsilon: f64,
+    /// Accuracy parameter δ: half-width of the estimate interval.
+    pub delta: f64,
+    /// Accuracy parameter γ: stop once `Pr[|S−Ŝ| < δ] ≥ 1 − γ`.
+    pub gamma: f64,
+    /// Hashes compared per iteration (paper: 32, a word of SRP bits).
+    pub k: u32,
+    /// Hard cap on hashes per pair. A pair still unresolved at the cap is
+    /// emitted with its current estimate (never silently dropped, so recall
+    /// is unaffected; the estimate contract may be slightly looser for such
+    /// pairs — they are counted in [`crate::engine::EngineStats`]).
+    pub max_hashes: u32,
+}
+
+impl BayesLshConfig {
+    /// Paper defaults at threshold `t` for bit hashes (cosine).
+    pub fn cosine(threshold: f64) -> Self {
+        Self { threshold, epsilon: 0.03, delta: 0.05, gamma: 0.03, k: 32, max_hashes: 2048 }
+    }
+
+    /// Paper defaults at threshold `t` for integer hashes (Jaccard).
+    /// Minhashes are 4 bytes each, so the cap is lower (the paper's fixed
+    /// "LSH Approx" comparison uses 360 minhashes).
+    pub fn jaccard(threshold: f64) -> Self {
+        Self { threshold, epsilon: 0.03, delta: 0.05, gamma: 0.03, k: 32, max_hashes: 512 }
+    }
+
+    /// Panic early on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.threshold > 0.0 && self.threshold <= 1.0, "threshold {}", self.threshold);
+        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "epsilon {}", self.epsilon);
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta {}", self.delta);
+        assert!(self.gamma > 0.0 && self.gamma < 1.0, "gamma {}", self.gamma);
+        assert!(self.k >= 1, "k must be positive");
+        assert!(self.max_hashes >= self.k, "max_hashes below one chunk");
+    }
+}
+
+/// Parameters of BayesLSH-Lite (Algorithm 2): prune for at most `h` hashes,
+/// then verify survivors exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiteConfig {
+    /// Similarity threshold `t`.
+    pub threshold: f64,
+    /// Recall parameter ε.
+    pub epsilon: f64,
+    /// Hashes compared per iteration.
+    pub k: u32,
+    /// Maximum hashes examined before falling back to exact verification
+    /// (paper: 128 for cosine, 64 for Jaccard).
+    pub h: u32,
+}
+
+impl LiteConfig {
+    /// Paper defaults at threshold `t` for cosine.
+    pub fn cosine(threshold: f64) -> Self {
+        Self { threshold, epsilon: 0.03, k: 32, h: 128 }
+    }
+
+    /// Paper defaults at threshold `t` for Jaccard.
+    pub fn jaccard(threshold: f64) -> Self {
+        Self { threshold, epsilon: 0.03, k: 32, h: 64 }
+    }
+
+    /// Panic early on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(self.threshold > 0.0 && self.threshold <= 1.0);
+        assert!(self.epsilon > 0.0 && self.epsilon < 1.0);
+        assert!(self.k >= 1 && self.h >= self.k, "need h >= k >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = BayesLshConfig::cosine(0.7);
+        assert_eq!((c.epsilon, c.delta, c.gamma, c.k), (0.03, 0.05, 0.03, 32));
+        let l = LiteConfig::cosine(0.7);
+        assert_eq!(l.h, 128);
+        let lj = LiteConfig::jaccard(0.5);
+        assert_eq!(lj.h, 64);
+        c.validate();
+        l.validate();
+        lj.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_hashes")]
+    fn validate_rejects_cap_below_chunk() {
+        let mut c = BayesLshConfig::cosine(0.7);
+        c.max_hashes = 16;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn validate_rejects_bad_threshold() {
+        BayesLshConfig::cosine(1.5).validate();
+    }
+}

@@ -1,0 +1,178 @@
+//! BayesLSH posterior model for cosine similarity (paper Section 4.2).
+//!
+//! Signed-random-projection bits collide with probability
+//! `r(x, y) = 1 − θ(x, y)/π`, *not* the cosine itself, so inference runs on
+//! `r ∈ [0.5, 1]` (for non-negative-weight data the angle is at most π/2)
+//! and the answers are transported through the monotone bijections
+//! `r2c(r) = cos(π(1−r))` and `c2r(c) = 1 − arccos(c)/π`.
+//!
+//! A Beta prior restricted to `[0.5, 1]` is no longer conjugate (paper
+//! footnote 3), so the paper uses the uniform prior on `[0.5, 1]`; the
+//! posterior is then a doubly-truncated Beta,
+//! `p(r | M(m,n)) ∝ r^m (1−r)^{n−m}` on `[0.5, 1]`, and every query is a
+//! ratio of (regularized) incomplete beta values.
+
+use bayeslsh_lsh::{cos_to_r, r_to_cos};
+use bayeslsh_numeric::reg_inc_beta;
+
+use crate::posterior::PosteriorModel;
+
+/// Cosine posterior model with a uniform prior on the collision similarity
+/// `r ∈ [0.5, 1]`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CosineModel;
+
+impl CosineModel {
+    /// Create the model (stateless; the prior is fixed uniform on
+    /// `[0.5, 1]`, as in the paper).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Posterior mass of `r ∈ [lo, hi] ⊆ [0.5, 1]`, i.e.
+    /// `(B_hi − B_lo) / (B_1 − B_0.5)` with parameters `(m+1, n−m+1)`.
+    fn r_interval_prob(&self, m: u32, n: u32, lo: f64, hi: f64) -> f64 {
+        let a = m as f64 + 1.0;
+        let b = (n - m) as f64 + 1.0;
+        let lo = lo.clamp(0.5, 1.0);
+        let hi = hi.clamp(0.5, 1.0);
+        if hi <= lo {
+            return 0.0;
+        }
+        let denom = 1.0 - reg_inc_beta(a, b, 0.5);
+        if denom <= 0.0 {
+            // The untruncated posterior has essentially no mass above 0.5;
+            // the truncated distribution degenerates to a spike at 0.5.
+            return if lo <= 0.5 { 1.0 } else { 0.0 };
+        }
+        let num = reg_inc_beta(a, b, hi) - reg_inc_beta(a, b, lo);
+        (num / denom).clamp(0.0, 1.0)
+    }
+
+    /// MAP estimate of the collision similarity `r` (the posterior mode of
+    /// the truncated distribution): `clamp(m/n, 0.5, 1)`.
+    pub fn map_r(&self, m: u32, n: u32) -> f64 {
+        assert!(n > 0, "MAP estimate needs at least one observation");
+        (m as f64 / n as f64).clamp(0.5, 1.0)
+    }
+}
+
+impl PosteriorModel for CosineModel {
+    fn prob_above_threshold(&self, m: u32, n: u32, t: f64) -> f64 {
+        // Pr[S ≥ t] = Pr[R ≥ c2r(t)] by monotonicity of c2r.
+        let tr = cos_to_r(t);
+        self.r_interval_prob(m, n, tr, 1.0)
+    }
+
+    fn map_estimate(&self, m: u32, n: u32) -> f64 {
+        r_to_cos(self.map_r(m, n))
+    }
+
+    fn concentration(&self, m: u32, n: u32, delta: f64) -> f64 {
+        // Pr[Ŝ−δ < S < Ŝ+δ] = Pr[c2r(Ŝ−δ) < R < c2r(Ŝ+δ)].
+        let s_hat = self.map_estimate(m, n);
+        let lo = cos_to_r((s_hat - delta).max(-1.0));
+        let hi = cos_to_r((s_hat + delta).min(1.0));
+        self.r_interval_prob(m, n, lo, hi)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine-uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::test_support::check_model_invariants;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn invariant_battery() {
+        check_model_invariants(&CosineModel::new(), 0.5);
+        check_model_invariants(&CosineModel::new(), 0.7);
+        check_model_invariants(&CosineModel::new(), 0.9);
+    }
+
+    #[test]
+    fn map_matches_paper_formula() {
+        // Paper: R̂ = m/n, Ŝ = r2c(m/n).
+        let model = CosineModel::new();
+        assert_close(model.map_estimate(24, 32), r_to_cos(0.75), 1e-12);
+        assert_close(model.map_estimate(32, 32), 1.0, 1e-12);
+        // Below m/n = 0.5 the truncated posterior peaks at r = 0.5 → S = 0.
+        assert_close(model.map_estimate(10, 32), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn posterior_normalizes() {
+        let model = CosineModel::new();
+        for &(m, n) in &[(24u32, 32u32), (100, 128), (40, 64), (5, 64)] {
+            assert_close(model.r_interval_prob(m, n, 0.5, 1.0), 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_zero_is_certain() {
+        // Every pair satisfies S >= 0 under this model (r >= 0.5).
+        let model = CosineModel::new();
+        assert_close(model.prob_above_threshold(16, 32, 0.0), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn high_match_rate_confident_low_match_rate_hopeless() {
+        let model = CosineModel::new();
+        // 127/128 bits agree: angle near 0, S >= 0.7 almost surely.
+        assert!(model.prob_above_threshold(127, 128, 0.7) > 0.99);
+        // 64/128 bits agree: r ≈ 0.5, cosine ≈ 0 — the posterior tail above
+        // c2r(0.7) ≈ 0.747 sits >5σ out (~1e-8 of the truncated mass).
+        assert!(model.prob_above_threshold(64, 128, 0.7) < 1e-6);
+    }
+
+    #[test]
+    fn prob_against_numerical_integration() {
+        // Direct trapezoid integration of r^m (1−r)^{n−m} on [0.5, 1].
+        let model = CosineModel::new();
+        let (m, n) = (52u32, 64u32);
+        let t: f64 = 0.7;
+        let tr = cos_to_r(t);
+        let pdf = |r: f64| (m as f64) * r.ln() + ((n - m) as f64) * (1.0 - r).ln();
+        let integrate = |lo: f64, hi: f64| {
+            let steps = 200_000;
+            let h = (hi - lo) / steps as f64;
+            let mut acc = 0.0;
+            for i in 0..steps {
+                let r0 = lo + i as f64 * h;
+                let r1 = r0 + h;
+                acc += 0.5 * (pdf(r0).exp() + pdf(r1).exp()) * h;
+            }
+            acc
+        };
+        let expected = integrate(tr, 1.0 - 1e-12) / integrate(0.5, 1.0 - 1e-12);
+        assert_close(model.prob_above_threshold(m, n, t), expected, 1e-5);
+    }
+
+    #[test]
+    fn concentration_grows_with_evidence() {
+        let model = CosineModel::new();
+        let c64 = model.concentration(48, 64, 0.05);
+        let c1024 = model.concentration(768, 1024, 0.05);
+        assert!(c1024 > c64, "{c1024} vs {c64}");
+        assert!(c1024 > 0.9, "2048 bits at 75% agreement should be concentrated: {c1024}");
+    }
+
+    #[test]
+    fn degenerate_low_agreement_is_handled() {
+        // m = 0 with huge n: the posterior mass above 0.5 underflows; the
+        // model must neither panic nor return NaN.
+        let model = CosineModel::new();
+        let p = model.prob_above_threshold(0, 2048, 0.5);
+        assert!(p.is_finite());
+        assert!(p <= 1e-6);
+        let c = model.concentration(0, 2048, 0.05);
+        assert!((0.0..=1.0).contains(&c));
+    }
+}

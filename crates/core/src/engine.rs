@@ -1,0 +1,400 @@
+//! The BayesLSH (Algorithm 1) and BayesLSH-Lite (Algorithm 2) inner loops.
+//!
+//! Both engines walk a candidate list, comparing hashes `k` at a time
+//! through a lazily-extended [`SignaturePool`], pruning a pair as soon as
+//! its posterior probability of reaching the threshold drops below ε. Full
+//! BayesLSH keeps comparing until the MAP estimate is `(δ, γ)`-concentrated
+//! and emits the estimate; Lite stops after at most `h` hashes and verifies
+//! survivors with an exact similarity computation.
+//!
+//! Both Section 4.3 optimizations are applied: the pruning test is a
+//! [`MinMatchTable`] lookup and concentration checks go through the
+//! [`ConcentrationCache`].
+
+use bayeslsh_lsh::SignaturePool;
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+use crate::cache::ConcentrationCache;
+use crate::config::{BayesLshConfig, LiteConfig};
+use crate::minmatch::MinMatchTable;
+use crate::posterior::PosteriorModel;
+
+/// Counters describing one verification run; the source of the paper's
+/// Figure 4 pruning curves and the cache/hashing cost discussion.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Candidate pairs fed in.
+    pub input_pairs: u64,
+    /// Pairs pruned by the posterior-tail test.
+    pub pruned: u64,
+    /// Pairs emitted (with estimates, or exact-verified for Lite).
+    pub accepted: u64,
+    /// Full-BayesLSH pairs that hit `max_hashes` without reaching
+    /// concentration (emitted anyway with their current estimate).
+    pub forced_accepts: u64,
+    /// Exact similarity computations (Lite only).
+    pub exact_verifications: u64,
+    /// Total per-pair hash comparisons performed.
+    pub hash_comparisons: u64,
+    /// Chunk size used.
+    pub k: u32,
+    /// `pruned_at_chunk[c]` = pairs pruned after examining `(c+1)·k` hashes.
+    pub pruned_at_chunk: Vec<u64>,
+    /// Concentration cache (hits, misses).
+    pub cache_hits: u64,
+    /// See [`EngineStats::cache_hits`].
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// The Figure 4 curve: `(hashes examined, candidates not yet pruned)`,
+    /// starting from the full input set. Accepted pairs count as remaining
+    /// (they survive into the output).
+    pub fn survivors_curve(&self) -> Vec<(u32, u64)> {
+        let mut remaining = self.input_pairs;
+        let mut curve = Vec::with_capacity(self.pruned_at_chunk.len() + 1);
+        curve.push((0, remaining));
+        for (c, &p) in self.pruned_at_chunk.iter().enumerate() {
+            remaining -= p;
+            curve.push(((c as u32 + 1) * self.k, remaining));
+        }
+        curve
+    }
+}
+
+/// BayesLSH (paper Algorithm 1): prune or estimate every candidate pair.
+///
+/// Returns `(pair, Ŝ)` for every unpruned pair, plus run statistics. Note
+/// the output is the paper's: a pair is kept whenever its probability of
+/// being a true positive stays ≥ ε, even if the final estimate lands
+/// slightly below `t`.
+pub fn bayes_verify<P: SignaturePool, M: PosteriorModel>(
+    data: &Dataset,
+    pool: &mut P,
+    model: &M,
+    candidates: &[(u32, u32)],
+    cfg: &BayesLshConfig,
+) -> (Vec<(u32, u32, f64)>, EngineStats) {
+    cfg.validate();
+    let k = cfg.k;
+    let max_chunks = (cfg.max_hashes / k).max(1);
+    let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
+    let mut cache = ConcentrationCache::new(cfg.delta, cfg.gamma);
+
+    let mut stats = EngineStats {
+        input_pairs: candidates.len() as u64,
+        k,
+        pruned_at_chunk: vec![0; max_chunks as usize],
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+
+    for &(a, b) in candidates {
+        let va = data.vector(a);
+        let vb = data.vector(b);
+        let (mut m, mut n) = (0u32, 0u32);
+        let mut resolved = false;
+        for c in 0..max_chunks {
+            pool.ensure(a, va, n + k);
+            pool.ensure(b, vb, n + k);
+            m += pool.agreements(a, b, n, n + k);
+            n += k;
+            stats.hash_comparisons += k as u64;
+            if table.should_prune(m, n) {
+                stats.pruned += 1;
+                stats.pruned_at_chunk[c as usize] += 1;
+                resolved = true;
+                break;
+            }
+            if cache.is_concentrated(model, m, n) {
+                out.push((a, b, model.map_estimate(m, n)));
+                stats.accepted += 1;
+                resolved = true;
+                break;
+            }
+        }
+        if !resolved {
+            // Unconcentrated at the cap: emit with the current estimate
+            // rather than dropping (preserves the recall guarantee).
+            out.push((a, b, model.map_estimate(m, n)));
+            stats.accepted += 1;
+            stats.forced_accepts += 1;
+        }
+    }
+    let (h, mi) = cache.stats();
+    stats.cache_hits = h;
+    stats.cache_misses = mi;
+    (out, stats)
+}
+
+/// BayesLSH-Lite (paper Algorithm 2): prune with at most `h` hashes, verify
+/// survivors exactly with `exact` and keep pairs with `s ≥ t`.
+pub fn bayes_verify_lite<P, M, F>(
+    data: &Dataset,
+    pool: &mut P,
+    model: &M,
+    candidates: &[(u32, u32)],
+    cfg: &LiteConfig,
+    exact: F,
+) -> (Vec<(u32, u32, f64)>, EngineStats)
+where
+    P: SignaturePool,
+    M: PosteriorModel,
+    F: Fn(&SparseVector, &SparseVector) -> f64,
+{
+    cfg.validate();
+    let k = cfg.k;
+    let max_chunks = (cfg.h / k).max(1);
+    let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
+
+    let mut stats = EngineStats {
+        input_pairs: candidates.len() as u64,
+        k,
+        pruned_at_chunk: vec![0; max_chunks as usize],
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+
+    for &(a, b) in candidates {
+        let va = data.vector(a);
+        let vb = data.vector(b);
+        let (mut m, mut n) = (0u32, 0u32);
+        let mut pruned = false;
+        for c in 0..max_chunks {
+            pool.ensure(a, va, n + k);
+            pool.ensure(b, vb, n + k);
+            m += pool.agreements(a, b, n, n + k);
+            n += k;
+            stats.hash_comparisons += k as u64;
+            if table.should_prune(m, n) {
+                stats.pruned += 1;
+                stats.pruned_at_chunk[c as usize] += 1;
+                pruned = true;
+                break;
+            }
+        }
+        if !pruned {
+            stats.exact_verifications += 1;
+            let s = exact(va, vb);
+            if s >= cfg.threshold {
+                out.push((a, b, s));
+                stats.accepted += 1;
+            }
+        }
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine_model::CosineModel;
+    use crate::jaccard_model::JaccardModel;
+    use bayeslsh_lsh::{BitSignatures, IntSignatures, MinHasher, SrpHasher};
+    use bayeslsh_numeric::Xoshiro256;
+    use bayeslsh_sparse::{cosine, jaccard};
+
+    /// Clustered corpus with plenty of similar and dissimilar pairs.
+    fn corpus(seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(4000);
+        for c in 0..12 {
+            let center: Vec<(u32, f32)> = (0..40)
+                .map(|_| {
+                    ((c * 300 + rng.next_below(280) as usize) as u32, (rng.next_f64() + 0.2) as f32)
+                })
+                .collect();
+            for _ in 0..6 {
+                let mut pairs = center.clone();
+                for p in pairs.iter_mut() {
+                    if rng.next_bool(0.15) {
+                        *p = (rng.next_below(4000) as u32, (rng.next_f64() + 0.2) as f32);
+                    }
+                }
+                d.push(bayeslsh_sparse::SparseVector::from_pairs(pairs));
+            }
+        }
+        d
+    }
+
+    fn all_pairs(n: u32) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+
+    fn truth(
+        data: &Dataset,
+        t: f64,
+        f: impl Fn(&bayeslsh_sparse::SparseVector, &bayeslsh_sparse::SparseVector) -> f64,
+    ) -> Vec<(u32, u32, f64)> {
+        let mut out = Vec::new();
+        for a in 0..data.len() as u32 {
+            for b in (a + 1)..data.len() as u32 {
+                let s = f(data.vector(a), data.vector(b));
+                if s >= t {
+                    out.push((a, b, s));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn cosine_bayes_meets_recall_and_accuracy_contract() {
+        let data = corpus(61);
+        let t = 0.7;
+        let cfg = BayesLshConfig::cosine(t);
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 62), data.len());
+        let (out, stats) = bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &cfg);
+
+        // Bookkeeping adds up.
+        assert_eq!(stats.input_pairs, cands.len() as u64);
+        assert_eq!(stats.pruned + stats.accepted, stats.input_pairs);
+
+        let gt = truth(&data, t, cosine);
+        assert!(gt.len() >= 30, "ground truth too small: {}", gt.len());
+
+        // Recall: the paper reports ≥ ~96–99% at ε = 0.03.
+        let out_keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        let recall = found as f64 / gt.len() as f64;
+        assert!(recall >= 0.9, "recall {recall} ({found}/{})", gt.len());
+
+        // Estimate accuracy: most emitted estimates within δ of the truth.
+        let mut big_errors = 0usize;
+        for &(a, b, s_hat) in &out {
+            let s = cosine(data.vector(a), data.vector(b));
+            if (s - s_hat).abs() >= cfg.delta {
+                big_errors += 1;
+            }
+        }
+        let frac = big_errors as f64 / out.len().max(1) as f64;
+        assert!(frac <= 0.12, "fraction of >delta errors: {frac}");
+
+        // The engine must actually prune: most of the quadratic candidate
+        // space is junk.
+        assert!(stats.pruned as f64 / stats.input_pairs as f64 > 0.8);
+    }
+
+    #[test]
+    fn jaccard_bayes_meets_recall_contract() {
+        let data = corpus(63).binarized();
+        let t = 0.5;
+        let cfg = BayesLshConfig::jaccard(t);
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = IntSignatures::new(MinHasher::new(64), data.len());
+        let (out, stats) = bayes_verify(&data, &mut pool, &JaccardModel::uniform(), &cands, &cfg);
+        assert_eq!(stats.pruned + stats.accepted, stats.input_pairs);
+
+        let gt = truth(&data, t, jaccard);
+        assert!(gt.len() >= 30);
+        let out_keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        let recall = found as f64 / gt.len() as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn lite_output_is_subset_of_truth() {
+        let data = corpus(65);
+        let t = 0.7;
+        let cfg = LiteConfig::cosine(t);
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 66), data.len());
+        let (out, stats) =
+            bayes_verify_lite(&data, &mut pool, &CosineModel::new(), &cands, &cfg, cosine);
+
+        // Exact verification ⇒ no false positives at all.
+        for &(a, b, s) in &out {
+            assert!(s >= t, "({a},{b}) emitted below threshold: {s}");
+            assert!((s - cosine(data.vector(a), data.vector(b))).abs() < 1e-12);
+        }
+        // And high recall.
+        let gt = truth(&data, t, cosine);
+        let out_keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        assert!(found as f64 / gt.len() as f64 >= 0.9);
+        // Lite must examine at most h hashes per pair.
+        assert!(stats.hash_comparisons <= cands.len() as u64 * cfg.h as u64);
+        // Exact verifications only for unpruned pairs.
+        assert_eq!(stats.exact_verifications, stats.input_pairs - stats.pruned);
+    }
+
+    #[test]
+    fn survivors_curve_is_monotone_and_complete() {
+        let data = corpus(67);
+        let cfg = BayesLshConfig::cosine(0.7);
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 68), data.len());
+        let (_, stats) = bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &cfg);
+        let curve = stats.survivors_curve();
+        assert_eq!(curve[0], (0, cands.len() as u64));
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1, "survivors must not increase: {curve:?}");
+            assert_eq!(w[1].0, w[0].0 + cfg.k);
+        }
+        let last = curve.last().unwrap().1;
+        assert_eq!(last, stats.input_pairs - stats.pruned);
+    }
+
+    #[test]
+    fn deeper_pruning_budget_never_hurts_lite_recall_much() {
+        // h = 32 prunes more aggressively than h = 128 on uncertain pairs?
+        // No: a larger h can only prune MORE pairs (more chances to dip
+        // below eps), but every pruned pair had Pr < eps at some depth, so
+        // recall stays within the contract for both.
+        let data = corpus(69);
+        let t = 0.7;
+        let cands = all_pairs(data.len() as u32);
+        let gt = truth(&data, t, cosine);
+        for h in [32u32, 128] {
+            let cfg = LiteConfig { threshold: t, epsilon: 0.03, k: 32, h };
+            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 70), data.len());
+            let (out, _) =
+                bayes_verify_lite(&data, &mut pool, &CosineModel::new(), &cands, &cfg, cosine);
+            let out_keys: std::collections::HashSet<(u32, u32)> =
+                out.iter().map(|&(a, b, _)| (a, b)).collect();
+            let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+            assert!(
+                found as f64 / gt.len() as f64 >= 0.9,
+                "h={h}: recall {}",
+                found as f64 / gt.len() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn stricter_epsilon_keeps_more_pairs() {
+        let data = corpus(71);
+        let cands = all_pairs(data.len() as u32);
+        let mut kept = Vec::new();
+        for eps in [0.2, 0.01] {
+            let cfg = BayesLshConfig { epsilon: eps, ..BayesLshConfig::cosine(0.7) };
+            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 72), data.len());
+            let (out, _) = bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &cfg);
+            kept.push(out.len());
+        }
+        // Lower eps = harder to prune = at least as many survivors.
+        assert!(kept[1] >= kept[0], "eps=0.01 kept {} < eps=0.2 kept {}", kept[1], kept[0]);
+    }
+
+    #[test]
+    fn empty_candidate_list() {
+        let data = corpus(73);
+        let cfg = BayesLshConfig::cosine(0.7);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 74), data.len());
+        let (out, stats) = bayes_verify(&data, &mut pool, &CosineModel::new(), &[], &cfg);
+        assert!(out.is_empty());
+        assert_eq!(stats.input_pairs, 0);
+        assert_eq!(stats.hash_comparisons, 0);
+    }
+}

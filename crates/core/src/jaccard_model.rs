@@ -1,0 +1,175 @@
+//! BayesLSH posterior model for Jaccard similarity (paper Section 4.1).
+//!
+//! Minwise hashes collide with probability exactly `J(x, y)`, so the
+//! likelihood is `Binomial(n, S)` in the target similarity itself. With a
+//! conjugate `Beta(α, β)` prior the posterior after `M(m, n)` is
+//! `Beta(m + α, n − m + β)`, and all three inference queries are
+//! regularized-incomplete-beta evaluations.
+//!
+//! The prior can be the uniform `Beta(1, 1)` or learned from a random
+//! sample of candidate-pair similarities by method-of-moments
+//! ([`JaccardModel::fit_from_sample`]), exactly as the paper prescribes.
+//!
+//! Note: the paper states the posterior mode as `(m+α−1)/(n+α+β−1)`; the
+//! mode of `Beta(m+α, n−m+β)` is `(m+α−1)/(n+α+β−2)` — an off-by-one typo
+//! in the paper that we do not reproduce.
+
+use bayeslsh_numeric::BetaDist;
+
+use crate::posterior::PosteriorModel;
+
+/// Jaccard posterior model with a Beta prior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaccardModel {
+    prior: BetaDist,
+}
+
+impl Default for JaccardModel {
+    fn default() -> Self {
+        Self::uniform()
+    }
+}
+
+impl JaccardModel {
+    /// Uniform prior `Beta(1, 1)`.
+    pub fn uniform() -> Self {
+        Self { prior: BetaDist::uniform() }
+    }
+
+    /// Explicit prior.
+    pub fn with_prior(prior: BetaDist) -> Self {
+        Self { prior }
+    }
+
+    /// Learn the prior from a sample of candidate-pair similarities via
+    /// method-of-moments (paper Section 4.1). Degenerate samples fall back
+    /// to the uniform prior.
+    pub fn fit_from_sample(similarities: &[f64]) -> Self {
+        Self { prior: BetaDist::fit_moments(similarities) }
+    }
+
+    /// The prior in use.
+    pub fn prior(&self) -> BetaDist {
+        self.prior
+    }
+
+    /// Posterior distribution after observing `m` matches in `n` hashes.
+    pub fn posterior(&self, m: u32, n: u32) -> BetaDist {
+        self.prior.posterior(m as u64, n as u64)
+    }
+}
+
+impl PosteriorModel for JaccardModel {
+    fn prob_above_threshold(&self, m: u32, n: u32, t: f64) -> f64 {
+        // 1 − I_t(m+α, n−m+β).
+        self.posterior(m, n).sf(t)
+    }
+
+    fn map_estimate(&self, m: u32, n: u32) -> f64 {
+        assert!(n > 0, "MAP estimate needs at least one observation");
+        self.posterior(m, n).mode()
+    }
+
+    fn concentration(&self, m: u32, n: u32, delta: f64) -> f64 {
+        let post = self.posterior(m, n);
+        let s_hat = post.mode();
+        post.interval_prob(s_hat - delta, s_hat + delta)
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard-beta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::posterior::test_support::check_model_invariants;
+    use bayeslsh_numeric::reg_inc_beta;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn invariant_battery_uniform_prior() {
+        check_model_invariants(&JaccardModel::uniform(), 0.5);
+        check_model_invariants(&JaccardModel::uniform(), 0.8);
+    }
+
+    #[test]
+    fn invariant_battery_fitted_prior() {
+        let model = JaccardModel::with_prior(BetaDist::new(2.0, 8.0));
+        check_model_invariants(&model, 0.5);
+    }
+
+    #[test]
+    fn matches_paper_formulas_uniform_prior() {
+        // With α = β = 1: Pr[S ≥ t | M(m,n)] = 1 − I_t(m+1, n−m+1)
+        // and Ŝ = m/n.
+        let model = JaccardModel::uniform();
+        let (m, n) = (24u32, 32u32);
+        assert_close(
+            model.prob_above_threshold(m, n, 0.7),
+            1.0 - reg_inc_beta(25.0, 9.0, 0.7),
+            1e-12,
+        );
+        assert_close(model.map_estimate(m, n), 0.75, 1e-12);
+    }
+
+    #[test]
+    fn map_with_informative_prior_shrinks_toward_prior_mode() {
+        // Prior Beta(10, 10) has mode 0.5; with m/n = 0.9 the posterior
+        // mode must land strictly between 0.5 and 0.9.
+        let model = JaccardModel::with_prior(BetaDist::new(10.0, 10.0));
+        let map = model.map_estimate(18, 20);
+        assert!(map > 0.5 && map < 0.9, "map = {map}");
+    }
+
+    #[test]
+    fn high_match_rate_gives_high_probability() {
+        let model = JaccardModel::uniform();
+        // 31/32 matches: surely above t = 0.7.
+        assert!(model.prob_above_threshold(31, 32, 0.7) > 0.98);
+        // 10/100 matches: surely below t = 0.8 — this is the paper's
+        // Section 3.2 motivating example.
+        assert!(model.prob_above_threshold(10, 100, 0.8) < 1e-12);
+    }
+
+    #[test]
+    fn concentration_probability_matches_direct_integral() {
+        let model = JaccardModel::uniform();
+        let (m, n, delta) = (48u32, 64u32, 0.05);
+        let post = model.posterior(m, n);
+        let s_hat = post.mode();
+        let direct = post.cdf(s_hat + delta) - post.cdf(s_hat - delta);
+        assert_close(model.concentration(m, n, delta), direct, 1e-12);
+    }
+
+    #[test]
+    fn fit_from_sample_uses_method_of_moments() {
+        // Sample mean 0.5, pop-variance 0.01 → Beta(12, 12).
+        let model = JaccardModel::fit_from_sample(&[0.4, 0.6]);
+        assert_close(model.prior().alpha(), 12.0, 1e-9);
+        assert_close(model.prior().beta(), 12.0, 1e-9);
+        // Tiny/degenerate samples → uniform.
+        assert_eq!(JaccardModel::fit_from_sample(&[]).prior(), BetaDist::uniform());
+    }
+
+    #[test]
+    fn prior_washes_out_with_data() {
+        // Paper appendix: very different priors converge to similar
+        // posteriors after ~100 observations.
+        let skeptic = JaccardModel::with_prior(BetaDist::new(1.0, 5.0));
+        let believer = JaccardModel::with_prior(BetaDist::new(5.0, 1.0));
+        let (m, n) = (96u32, 128u32);
+        let d = (skeptic.map_estimate(m, n) - believer.map_estimate(m, n)).abs();
+        assert!(d < 0.06, "MAP gap {d} too large after 128 observations");
+        // Compare tails at a threshold away from the posterior bulk (at the
+        // bulk boundary even a small mean shift moves the tail a lot).
+        let dp = (skeptic.prob_above_threshold(m, n, 0.6)
+            - believer.prob_above_threshold(m, n, 0.6))
+        .abs();
+        assert!(dp < 0.05, "tail-probability gap {dp}");
+    }
+}

@@ -1,0 +1,61 @@
+//! BayesLSH and BayesLSH-Lite: Bayesian candidate pruning and similarity
+//! estimation for all-pairs similarity search.
+//!
+//! This crate implements the primary contribution of *Satuluri &
+//! Parthasarathy, "Bayesian Locality Sensitive Hashing for Fast Similarity
+//! Search", VLDB 2012*:
+//!
+//! * [`posterior`] — the inference interface: given that `m` of the first
+//!   `n` hashes of a candidate pair matched, compute the pruning
+//!   probability `Pr[S ≥ t | M(m,n)]` (paper Eq. 3), the MAP similarity
+//!   estimate (Eq. 4) and its concentration probability (Eq. 6).
+//! * [`jaccard_model`] / [`cosine_model`] — the paper's two instantiations:
+//!   a conjugate Beta prior for Jaccard (Section 4.1, including the
+//!   method-of-moments prior fit) and a uniform-on-`[0.5, 1]` prior over
+//!   the collision similarity `r` for cosine (Section 4.2).
+//! * [`minmatch`] / [`cache`] — the Section 4.3 optimizations: precomputed
+//!   `minMatches(n)` tables and an `(m, n)`-indexed concentration cache.
+//! * [`engine`] — Algorithms 1 (BayesLSH) and 2 (BayesLSH-Lite), generic
+//!   over the hash family and prior, with the pruning statistics behind the
+//!   paper's Figure 4.
+//! * [`estimator`] — the classical fixed-`n` maximum-likelihood estimator
+//!   ("LSH Approx", Section 3), the baseline BayesLSH is measured against.
+//! * [`pipeline`] — end-to-end algorithm configurations: AllPairs, LSH,
+//!   LSH Approx, PPJoin+, and the four BayesLSH combinations the paper
+//!   evaluates.
+//! * [`metrics`] — recall and estimation-error reports (Tables 3–5).
+//!
+//! Extensions beyond the paper (built per its own Section 4 recipe):
+//!
+//! * [`bbit_model`] — BayesLSH over **b-bit minwise hashes** (Li & König,
+//!   the paper's reference \[15\]): a truncated posterior over the collision
+//!   probability `u = 2⁻ᵇ + (1 − 2⁻ᵇ)·J`.
+//! * [`knn`] — the paper's future-work item: **k-NN retrieval** where the
+//!   current k-th best similarity acts as a rising pruning threshold and
+//!   survivors are verified exactly.
+
+pub mod bbit_model;
+pub mod cache;
+pub mod config;
+pub mod cosine_model;
+pub mod engine;
+pub mod estimator;
+pub mod jaccard_model;
+pub mod knn;
+pub mod metrics;
+pub mod minmatch;
+pub mod pipeline;
+pub mod posterior;
+
+pub use bbit_model::BbitJaccardModel;
+pub use cache::ConcentrationCache;
+pub use config::{BayesLshConfig, LiteConfig};
+pub use cosine_model::CosineModel;
+pub use engine::{bayes_verify, bayes_verify_lite, EngineStats};
+pub use estimator::mle_verify;
+pub use jaccard_model::JaccardModel;
+pub use knn::{KnnIndex, KnnParams, KnnStats};
+pub use metrics::{estimate_errors, recall_against, ErrorStats};
+pub use minmatch::MinMatchTable;
+pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
+pub use posterior::PosteriorModel;

@@ -1,0 +1,116 @@
+//! Output-quality metrics: recall (paper Table 3) and similarity-estimate
+//! error statistics (Tables 4 and 5).
+
+use bayeslsh_candgen::fxhash::FxHashSet;
+use bayeslsh_sparse::{similarity::Measure, Dataset};
+
+/// Fraction of ground-truth pairs present in `output` (1.0 for an empty
+/// truth set). Pair orientation is ignored.
+pub fn recall_against(truth: &[(u32, u32, f64)], output: &[(u32, u32, f64)]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let keys: FxHashSet<(u32, u32)> = output
+        .iter()
+        .map(|&(a, b, _)| if a < b { (a, b) } else { (b, a) })
+        .collect();
+    let found = truth
+        .iter()
+        .filter(|&&(a, b, _)| keys.contains(&if a < b { (a, b) } else { (b, a) }))
+        .count();
+    found as f64 / truth.len() as f64
+}
+
+/// Error statistics of similarity estimates against exact recomputation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Number of estimates examined.
+    pub n: usize,
+    /// Mean absolute error.
+    pub mean_abs: f64,
+    /// Maximum absolute error.
+    pub max_abs: f64,
+    /// Fraction of estimates with error above `err_threshold` (the paper
+    /// reports this at 0.05).
+    pub frac_above: f64,
+    /// The error threshold used for `frac_above`.
+    pub err_threshold: f64,
+}
+
+/// Compare each emitted estimate with the exact similarity of its pair.
+pub fn estimate_errors(
+    output: &[(u32, u32, f64)],
+    data: &Dataset,
+    measure: Measure,
+    err_threshold: f64,
+) -> ErrorStats {
+    let mut mean = 0.0f64;
+    let mut max = 0.0f64;
+    let mut above = 0usize;
+    for &(a, b, s_hat) in output {
+        let s = measure.eval(data.vector(a), data.vector(b));
+        let err = (s - s_hat).abs();
+        mean += err;
+        if err > max {
+            max = err;
+        }
+        if err > err_threshold {
+            above += 1;
+        }
+    }
+    let n = output.len();
+    ErrorStats {
+        n,
+        mean_abs: if n == 0 { 0.0 } else { mean / n as f64 },
+        max_abs: max,
+        frac_above: if n == 0 { 0.0 } else { above as f64 / n as f64 },
+        err_threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_sparse::SparseVector;
+
+    #[test]
+    fn recall_counts_matching_pairs_orientation_free() {
+        let truth = vec![(0, 1, 0.9), (2, 3, 0.8), (4, 5, 0.7), (6, 7, 0.95)];
+        let output = vec![(1, 0, 0.88), (3, 2, 0.81), (9, 10, 0.99)];
+        assert!((recall_against(&truth, &output) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_edge_cases() {
+        assert_eq!(recall_against(&[], &[(0, 1, 0.5)]), 1.0);
+        assert_eq!(recall_against(&[(0, 1, 0.5)], &[]), 0.0);
+        assert_eq!(recall_against(&[(0, 1, 0.5)], &[(0, 1, 0.4)]), 1.0);
+    }
+
+    #[test]
+    fn error_stats_hand_computed() {
+        let mut data = Dataset::new(10);
+        let v1 = SparseVector::from_indices(vec![0, 1, 2, 3]);
+        data.push(v1.clone());
+        data.push(v1); // jaccard(0,1) = 1.0
+        data.push(SparseVector::from_indices(vec![0, 1]));
+        data.push(SparseVector::from_indices(vec![0, 1, 2, 4])); // j(2,3) = 0.5? → {0,1} ∩ {0,1,2,4} = 2, union 4 → 0.5
+
+        let output = vec![(0, 1, 0.98), (2, 3, 0.40)];
+        let stats = estimate_errors(&output, &data, Measure::Jaccard, 0.05);
+        assert_eq!(stats.n, 2);
+        // errors: 0.02 and 0.10.
+        assert!((stats.mean_abs - 0.06).abs() < 1e-12);
+        assert!((stats.max_abs - 0.10).abs() < 1e-12);
+        assert!((stats.frac_above - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_output_is_all_zero() {
+        let data = Dataset::new(4);
+        let stats = estimate_errors(&[], &data, Measure::Cosine, 0.05);
+        assert_eq!(stats.n, 0);
+        assert_eq!(stats.mean_abs, 0.0);
+        assert_eq!(stats.frac_above, 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Precomputed `minMatches(n)` tables (paper Section 4.3).
+//!
+//! For every hash count `n` the engine will visit (multiples of the chunk
+//! size `k`), precompute the smallest match count `m` with
+//! `Pr[S ≥ t | M(m, n)] ≥ ε` by binary search — the posterior tail is
+//! monotone in `m`. At run time the pruning test on line 10 of Algorithm 1
+//! becomes a single array lookup: prune iff `m < minMatches(n)`.
+
+use crate::posterior::PosteriorModel;
+
+/// A pruning threshold table for a fixed `(model, t, ε, k)`.
+#[derive(Debug, Clone)]
+pub struct MinMatchTable {
+    k: u32,
+    /// `table[c]` = minMatches((c+1)·k); the sentinel `n+1` means "no match
+    /// count keeps the pair alive — always prune".
+    table: Vec<u32>,
+}
+
+impl MinMatchTable {
+    /// Build the table for chunk size `k` up to `max_hashes` (rounded up to
+    /// a multiple of `k`).
+    pub fn build<M: PosteriorModel>(
+        model: &M,
+        threshold: f64,
+        epsilon: f64,
+        k: u32,
+        max_hashes: u32,
+    ) -> Self {
+        assert!(k >= 1);
+        assert!(epsilon > 0.0 && epsilon < 1.0);
+        let chunks = max_hashes.div_ceil(k);
+        let mut table = Vec::with_capacity(chunks as usize);
+        for c in 1..=chunks {
+            let n = c * k;
+            table.push(Self::search(model, threshold, epsilon, n));
+        }
+        Self { k, table }
+    }
+
+    /// Smallest `m` such that `Pr[S ≥ t | M(m, n)] ≥ ε`, or `n + 1` if no
+    /// such `m` exists.
+    fn search<M: PosteriorModel>(model: &M, t: f64, eps: f64, n: u32) -> u32 {
+        if model.prob_above_threshold(n, n, t) < eps {
+            return n + 1;
+        }
+        // Invariant: prob(lo) < eps <= prob(hi)  (conceptually lo = -1).
+        let (mut lo, mut hi) = (0u32, n);
+        if model.prob_above_threshold(0, n, t) >= eps {
+            return 0;
+        }
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if model.prob_above_threshold(mid, n, t) >= eps {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    /// The pruning threshold at `n` hashes (`n` must be a positive multiple
+    /// of `k` within the precomputed range).
+    #[inline]
+    pub fn min_matches(&self, n: u32) -> u32 {
+        debug_assert!(n >= self.k && n % self.k == 0, "n={n} not a chunk multiple of {}", self.k);
+        self.table[(n / self.k - 1) as usize]
+    }
+
+    /// Should a pair with `m` matches at `n` hashes be pruned?
+    #[inline]
+    pub fn should_prune(&self, m: u32, n: u32) -> bool {
+        m < self.min_matches(n)
+    }
+
+    /// Chunk size the table was built for.
+    pub fn chunk(&self) -> u32 {
+        self.k
+    }
+
+    /// Largest hash count covered.
+    pub fn max_hashes(&self) -> u32 {
+        self.table.len() as u32 * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine_model::CosineModel;
+    use crate::jaccard_model::JaccardModel;
+
+    #[test]
+    fn table_matches_direct_search_jaccard() {
+        let model = JaccardModel::uniform();
+        let (t, eps, k) = (0.7, 0.03, 32);
+        let table = MinMatchTable::build(&model, t, eps, k, 256);
+        for c in 1..=8u32 {
+            let n = c * k;
+            let mm = table.min_matches(n);
+            // Verify the defining property by brute force.
+            if mm > 0 {
+                assert!(
+                    model.prob_above_threshold(mm - 1, n, t) < eps,
+                    "n={n}: m={} should be pruned",
+                    mm - 1
+                );
+            }
+            if mm <= n {
+                assert!(
+                    model.prob_above_threshold(mm, n, t) >= eps,
+                    "n={n}: m={mm} should survive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_direct_search_cosine() {
+        let model = CosineModel::new();
+        let (t, eps, k) = (0.7, 0.03, 32);
+        let table = MinMatchTable::build(&model, t, eps, k, 512);
+        for c in [1u32, 2, 4, 8, 16] {
+            let n = c * k;
+            let mm = table.min_matches(n);
+            if mm > 0 && mm <= n {
+                assert!(model.prob_above_threshold(mm - 1, n, t) < eps);
+                assert!(model.prob_above_threshold(mm, n, t) >= eps);
+            }
+        }
+    }
+
+    #[test]
+    fn thresholds_grow_roughly_linearly_with_n() {
+        let model = JaccardModel::uniform();
+        let table = MinMatchTable::build(&model, 0.6, 0.03, 32, 320);
+        let m32 = table.min_matches(32);
+        let m320 = table.min_matches(320);
+        // The required agreement *rate* approaches t as evidence grows.
+        assert!(m320 as f64 / 320.0 > m32 as f64 / 32.0);
+        assert!(m320 as f64 / 320.0 < 0.6);
+    }
+
+    #[test]
+    fn stricter_epsilon_prunes_more_aggressively() {
+        let model = JaccardModel::uniform();
+        let strict = MinMatchTable::build(&model, 0.7, 0.20, 32, 128);
+        let lax = MinMatchTable::build(&model, 0.7, 0.001, 32, 128);
+        for n in [32u32, 64, 96, 128] {
+            assert!(
+                strict.min_matches(n) >= lax.min_matches(n),
+                "n={n}: strict {} < lax {}",
+                strict.min_matches(n),
+                lax.min_matches(n)
+            );
+        }
+    }
+
+    #[test]
+    fn should_prune_agrees_with_threshold() {
+        let model = CosineModel::new();
+        let table = MinMatchTable::build(&model, 0.8, 0.03, 32, 64);
+        let mm = table.min_matches(32);
+        assert!(table.should_prune(mm.saturating_sub(1), 32) || mm == 0);
+        assert!(!table.should_prune(mm, 32) || mm > 32);
+        assert_eq!(table.chunk(), 32);
+        assert_eq!(table.max_hashes(), 64);
+    }
+
+    #[test]
+    fn impossible_threshold_always_prunes() {
+        // With a tiny n and a very high threshold + strict epsilon, even
+        // all-matches may not clear the bar; the sentinel must exceed n.
+        let model = JaccardModel::uniform();
+        let table = MinMatchTable::build(&model, 0.999, 0.9999, 4, 8);
+        assert!(table.min_matches(4) > 4);
+        assert!(table.should_prune(4, 4));
+    }
+}

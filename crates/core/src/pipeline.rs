@@ -1,0 +1,632 @@
+//! End-to-end all-pairs similarity search pipelines.
+//!
+//! The paper's experiments (Section 5.1) compare eight algorithms; each is
+//! a composition of a candidate generator and a verification strategy:
+//!
+//! | Algorithm            | Candidates | Verification                      |
+//! |----------------------|------------|-----------------------------------|
+//! | `AllPairs`           | —          | exact (inline)                    |
+//! | `ApBayesLsh`         | AllPairs   | BayesLSH (estimates)              |
+//! | `ApBayesLshLite`     | AllPairs   | BayesLSH pruning + exact          |
+//! | `Lsh`                | banding    | exact                             |
+//! | `LshApprox`          | banding    | fixed-n MLE                       |
+//! | `LshBayesLsh`        | banding    | BayesLSH (estimates)              |
+//! | `LshBayesLshLite`    | banding    | BayesLSH pruning + exact          |
+//! | `PpjoinPlus`         | —          | exact (inline; binary only)       |
+//!
+//! LSH-based pipelines share one signature pool between candidate
+//! generation and verification, reproducing the paper's amortization
+//! argument ("it exploits the hashes of the objects for candidate pruning,
+//! further amortizing the costs of hashing").
+
+use std::time::Instant;
+
+use bayeslsh_candgen::{
+    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard,
+    all_pairs_jaccard_candidates, lsh_candidates_bits, lsh_candidates_ints, ppjoin_binary_cosine,
+    ppjoin_jaccard, BandingParams,
+};
+use bayeslsh_lsh::{cos_to_r, r_to_cos, BitSignatures, IntSignatures, MinHasher, SrpHasher};
+use bayeslsh_numeric::{derive_seed, Xoshiro256};
+use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset};
+
+use crate::config::{BayesLshConfig, LiteConfig};
+use crate::cosine_model::CosineModel;
+use crate::engine::{bayes_verify, bayes_verify_lite, EngineStats};
+use crate::estimator::mle_verify;
+use crate::jaccard_model::JaccardModel;
+
+/// The eight algorithms of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// AllPairs, exact (Bayardo et al.).
+    AllPairs,
+    /// AllPairs candidates + BayesLSH verification.
+    ApBayesLsh,
+    /// AllPairs candidates + BayesLSH-Lite verification.
+    ApBayesLshLite,
+    /// LSH banding candidates + exact verification.
+    Lsh,
+    /// LSH banding candidates + fixed-n MLE estimation.
+    LshApprox,
+    /// LSH banding candidates + BayesLSH verification.
+    LshBayesLsh,
+    /// LSH banding candidates + BayesLSH-Lite verification.
+    LshBayesLshLite,
+    /// PPJoin+, exact (binary vectors only).
+    PpjoinPlus,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::AllPairs,
+        Algorithm::ApBayesLsh,
+        Algorithm::ApBayesLshLite,
+        Algorithm::Lsh,
+        Algorithm::LshApprox,
+        Algorithm::LshBayesLsh,
+        Algorithm::LshBayesLshLite,
+        Algorithm::PpjoinPlus,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::AllPairs => "AllPairs",
+            Algorithm::ApBayesLsh => "AP+BayesLSH",
+            Algorithm::ApBayesLshLite => "AP+BayesLSH-Lite",
+            Algorithm::Lsh => "LSH",
+            Algorithm::LshApprox => "LSH Approx",
+            Algorithm::LshBayesLsh => "LSH+BayesLSH",
+            Algorithm::LshBayesLshLite => "LSH+BayesLSH-Lite",
+            Algorithm::PpjoinPlus => "PPJoin+",
+        }
+    }
+
+    /// True for the exact (non-randomized) algorithms. Note plain `Lsh` is
+    /// *not* exact: its verification is, but the banding index misses an
+    /// expected ε-fraction of true pairs.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Algorithm::AllPairs | Algorithm::PpjoinPlus)
+    }
+
+    /// True for algorithms usable on general weighted vectors.
+    pub fn supports_weighted(&self) -> bool {
+        !matches!(self, Algorithm::PpjoinPlus)
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Prior selection for the Jaccard posterior model (paper Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorChoice {
+    /// Uniform Beta(1, 1).
+    Uniform,
+    /// Method-of-moments Beta fit to a random sample of candidate-pair
+    /// similarities.
+    Fitted,
+}
+
+/// Full pipeline configuration; defaults follow the paper's Section 5.1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Target similarity measure.
+    pub measure: Measure,
+    /// Similarity threshold `t`.
+    pub threshold: f64,
+    /// Master seed; hash families derive their streams from it.
+    pub seed: u64,
+    /// Recall parameter ε (paper: 0.03).
+    pub epsilon: f64,
+    /// Accuracy parameter δ (paper: 0.05).
+    pub delta: f64,
+    /// Accuracy parameter γ (paper: 0.03).
+    pub gamma: f64,
+    /// Hashes compared per iteration (paper: 32).
+    pub k: u32,
+    /// Hash cap per pair for full BayesLSH.
+    pub max_hashes: u32,
+    /// BayesLSH-Lite budget `h` (paper: 128 cosine / 64 Jaccard).
+    pub lite_h: u32,
+    /// Fixed hash count for LSH Approx (paper: 2048 cosine / 360 Jaccard).
+    pub approx_hashes: u32,
+    /// Band width `k` of the LSH index.
+    pub band_width: u32,
+    /// Expected false-negative rate of the LSH index (paper: 0.03).
+    pub lsh_fnr: f64,
+    /// Prior for the Jaccard model.
+    pub prior: PriorChoice,
+    /// Candidate-pair sample size for the fitted prior.
+    pub prior_sample: usize,
+}
+
+/// Safety cap on the number of LSH bands.
+const MAX_BANDS: u32 = 10_000;
+
+impl PipelineConfig {
+    /// Paper defaults for cosine similarity at threshold `t`.
+    pub fn cosine(threshold: f64) -> Self {
+        Self {
+            measure: Measure::Cosine,
+            threshold,
+            seed: 42,
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            k: 32,
+            max_hashes: 2048,
+            lite_h: 128,
+            approx_hashes: 2048,
+            band_width: 8,
+            lsh_fnr: 0.03,
+            prior: PriorChoice::Uniform,
+            prior_sample: 1000,
+        }
+    }
+
+    /// Paper defaults for Jaccard similarity at threshold `t`.
+    pub fn jaccard(threshold: f64) -> Self {
+        Self {
+            measure: Measure::Jaccard,
+            threshold,
+            seed: 42,
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            k: 32,
+            max_hashes: 512,
+            lite_h: 64,
+            approx_hashes: 360,
+            band_width: 3,
+            lsh_fnr: 0.03,
+            prior: PriorChoice::Fitted,
+            prior_sample: 1000,
+        }
+    }
+
+    fn bayes(&self) -> BayesLshConfig {
+        BayesLshConfig {
+            threshold: self.threshold,
+            epsilon: self.epsilon,
+            delta: self.delta,
+            gamma: self.gamma,
+            k: self.k,
+            max_hashes: self.max_hashes,
+        }
+    }
+
+    fn lite(&self) -> LiteConfig {
+        LiteConfig { threshold: self.threshold, epsilon: self.epsilon, k: self.k, h: self.lite_h }
+    }
+
+    fn banding(&self) -> BandingParams {
+        let p = match self.measure {
+            Measure::Cosine => cos_to_r(self.threshold),
+            Measure::Jaccard => self.threshold,
+        };
+        BandingParams::for_threshold(p, self.band_width, self.lsh_fnr, MAX_BANDS)
+    }
+}
+
+/// The result of one pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Output pairs with similarities (exact or estimated).
+    pub pairs: Vec<(u32, u32, f64)>,
+    /// Candidate pairs generated (0 for single-phase exact algorithms,
+    /// whose generation and verification are fused).
+    pub candidates: u64,
+    /// Seconds spent generating candidates.
+    pub candgen_secs: f64,
+    /// Seconds spent verifying.
+    pub verify_secs: f64,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+    /// Verification statistics (BayesLSH variants only).
+    pub engine: Option<EngineStats>,
+}
+
+/// Exact ground truth for `(measure, threshold)` via the fastest exact
+/// algorithm (AllPairs).
+pub fn ground_truth(data: &Dataset, measure: Measure, threshold: f64) -> Vec<(u32, u32, f64)> {
+    match measure {
+        Measure::Cosine => all_pairs_cosine(data, threshold),
+        Measure::Jaccard => all_pairs_jaccard(data, threshold),
+    }
+}
+
+/// Fit the Jaccard prior from a random sample of candidate pairs, per the
+/// paper's method-of-moments recipe.
+fn fit_jaccard_prior(
+    data: &Dataset,
+    candidates: &[(u32, u32)],
+    cfg: &PipelineConfig,
+) -> JaccardModel {
+    match cfg.prior {
+        PriorChoice::Uniform => JaccardModel::uniform(),
+        PriorChoice::Fitted => {
+            if candidates.len() < 2 {
+                return JaccardModel::uniform();
+            }
+            let take = cfg.prior_sample.min(candidates.len());
+            let mut rng = Xoshiro256::seed_from_u64(derive_seed(cfg.seed, 0xBEEF));
+            let idx = rng.sample_indices(candidates.len(), take);
+            let sims: Vec<f64> = idx
+                .into_iter()
+                .map(|i| {
+                    let (a, b) = candidates[i];
+                    jaccard(data.vector(a), data.vector(b))
+                })
+                .collect();
+            JaccardModel::fit_from_sample(&sims)
+        }
+    }
+}
+
+fn assert_binary(data: &Dataset, algo: Algorithm) {
+    assert!(
+        data.vectors().iter().all(|v| v.is_binary()),
+        "{} requires binary vectors; call Dataset::binarized() first",
+        algo.name()
+    );
+}
+
+/// Run one algorithm end to end.
+pub fn run_algorithm(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
+    match cfg.measure {
+        Measure::Cosine => run_cosine(algo, data, cfg),
+        Measure::Jaccard => run_jaccard(algo, data, cfg),
+    }
+}
+
+fn run_cosine(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
+    let srp_seed = derive_seed(cfg.seed, 1);
+    let start = Instant::now();
+    match algo {
+        Algorithm::AllPairs => {
+            let pairs = all_pairs_cosine(data, cfg.threshold);
+            finish_exact(algo, pairs, start)
+        }
+        Algorithm::PpjoinPlus => {
+            assert_binary(data, algo);
+            let pairs = ppjoin_binary_cosine(data, cfg.threshold);
+            finish_exact(algo, pairs, start)
+        }
+        Algorithm::ApBayesLsh | Algorithm::ApBayesLshLite => {
+            let cands = all_pairs_cosine_candidates(data, cfg.threshold);
+            let candgen_secs = start.elapsed().as_secs_f64();
+            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), srp_seed), data.len());
+            let v0 = Instant::now();
+            let (pairs, stats) = if algo == Algorithm::ApBayesLsh {
+                bayes_verify(data, &mut pool, &CosineModel::new(), &cands, &cfg.bayes())
+            } else {
+                bayes_verify_lite(data, &mut pool, &CosineModel::new(), &cands, &cfg.lite(), cosine)
+            };
+            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, Some(stats))
+        }
+        Algorithm::Lsh | Algorithm::LshApprox | Algorithm::LshBayesLsh | Algorithm::LshBayesLshLite => {
+            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), srp_seed), data.len());
+            let cands = lsh_candidates_bits(&mut pool, data, cfg.banding());
+            let candgen_secs = start.elapsed().as_secs_f64();
+            let v0 = Instant::now();
+            let (pairs, stats) = match algo {
+                Algorithm::Lsh => {
+                    let pairs = cands
+                        .iter()
+                        .filter_map(|&(a, b)| {
+                            let s = cosine(data.vector(a), data.vector(b));
+                            (s >= cfg.threshold).then_some((a, b, s))
+                        })
+                        .collect();
+                    (pairs, None)
+                }
+                Algorithm::LshApprox => {
+                    let (pairs, _) = mle_verify(
+                        data,
+                        &mut pool,
+                        &cands,
+                        cfg.approx_hashes,
+                        cfg.threshold,
+                        r_to_cos,
+                    );
+                    (pairs, None)
+                }
+                Algorithm::LshBayesLsh => {
+                    let (p, s) =
+                        bayes_verify(data, &mut pool, &CosineModel::new(), &cands, &cfg.bayes());
+                    (p, Some(s))
+                }
+                Algorithm::LshBayesLshLite => {
+                    let (p, s) = bayes_verify_lite(
+                        data,
+                        &mut pool,
+                        &CosineModel::new(),
+                        &cands,
+                        &cfg.lite(),
+                        cosine,
+                    );
+                    (p, Some(s))
+                }
+                _ => unreachable!(),
+            };
+            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, stats)
+        }
+    }
+}
+
+fn run_jaccard(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
+    assert_binary(data, algo);
+    let mh_seed = derive_seed(cfg.seed, 2);
+    let start = Instant::now();
+    match algo {
+        Algorithm::AllPairs => {
+            let pairs = all_pairs_jaccard(data, cfg.threshold);
+            finish_exact(algo, pairs, start)
+        }
+        Algorithm::PpjoinPlus => {
+            let pairs = ppjoin_jaccard(data, cfg.threshold);
+            finish_exact(algo, pairs, start)
+        }
+        Algorithm::ApBayesLsh | Algorithm::ApBayesLshLite => {
+            let cands = all_pairs_jaccard_candidates(data, cfg.threshold);
+            let candgen_secs = start.elapsed().as_secs_f64();
+            let mut pool = IntSignatures::new(MinHasher::new(mh_seed), data.len());
+            let v0 = Instant::now();
+            let model = fit_jaccard_prior(data, &cands, cfg);
+            let (pairs, stats) = if algo == Algorithm::ApBayesLsh {
+                bayes_verify(data, &mut pool, &model, &cands, &cfg.bayes())
+            } else {
+                bayes_verify_lite(data, &mut pool, &model, &cands, &cfg.lite(), jaccard)
+            };
+            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, Some(stats))
+        }
+        Algorithm::Lsh | Algorithm::LshApprox | Algorithm::LshBayesLsh | Algorithm::LshBayesLshLite => {
+            let mut pool = IntSignatures::new(MinHasher::new(mh_seed), data.len());
+            let cands = lsh_candidates_ints(&mut pool, data, cfg.banding());
+            let candgen_secs = start.elapsed().as_secs_f64();
+            let v0 = Instant::now();
+            let (pairs, stats) = match algo {
+                Algorithm::Lsh => {
+                    let pairs = cands
+                        .iter()
+                        .filter_map(|&(a, b)| {
+                            let s = jaccard(data.vector(a), data.vector(b));
+                            (s >= cfg.threshold).then_some((a, b, s))
+                        })
+                        .collect();
+                    (pairs, None)
+                }
+                Algorithm::LshApprox => {
+                    let (pairs, _) = mle_verify(
+                        data,
+                        &mut pool,
+                        &cands,
+                        cfg.approx_hashes,
+                        cfg.threshold,
+                        |f| f,
+                    );
+                    (pairs, None)
+                }
+                Algorithm::LshBayesLsh => {
+                    let model = fit_jaccard_prior(data, &cands, cfg);
+                    let (p, s) = bayes_verify(data, &mut pool, &model, &cands, &cfg.bayes());
+                    (p, Some(s))
+                }
+                Algorithm::LshBayesLshLite => {
+                    let model = fit_jaccard_prior(data, &cands, cfg);
+                    let (p, s) = bayes_verify_lite(
+                        data,
+                        &mut pool,
+                        &model,
+                        &cands,
+                        &cfg.lite(),
+                        jaccard,
+                    );
+                    (p, Some(s))
+                }
+                _ => unreachable!(),
+            };
+            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, stats)
+        }
+    }
+}
+
+fn finish_exact(algo: Algorithm, pairs: Vec<(u32, u32, f64)>, start: Instant) -> RunOutput {
+    let total = start.elapsed().as_secs_f64();
+    RunOutput {
+        algorithm: algo,
+        pairs,
+        candidates: 0,
+        candgen_secs: total,
+        verify_secs: 0.0,
+        total_secs: total,
+        engine: None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_two_phase(
+    algo: Algorithm,
+    pairs: Vec<(u32, u32, f64)>,
+    candidates: usize,
+    candgen_secs: f64,
+    verify_start: Instant,
+    start: Instant,
+    engine: Option<EngineStats>,
+) -> RunOutput {
+    RunOutput {
+        algorithm: algo,
+        pairs,
+        candidates: candidates as u64,
+        candgen_secs,
+        verify_secs: verify_start.elapsed().as_secs_f64(),
+        total_secs: start.elapsed().as_secs_f64(),
+        engine,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{estimate_errors, recall_against};
+    use bayeslsh_sparse::SparseVector;
+
+    fn corpus(seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(3000);
+        for c in 0..10 {
+            let center: Vec<(u32, f32)> = (0..35)
+                .map(|_| {
+                    ((c * 250 + rng.next_below(230) as usize) as u32, (rng.next_f64() + 0.3) as f32)
+                })
+                .collect();
+            for _ in 0..6 {
+                let mut pairs = center.clone();
+                for p in pairs.iter_mut() {
+                    if rng.next_bool(0.2) {
+                        *p = (rng.next_below(3000) as u32, (rng.next_f64() + 0.3) as f32);
+                    }
+                }
+                d.push(SparseVector::from_pairs(pairs));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn cosine_pipelines_agree_with_ground_truth() {
+        let data = corpus(91);
+        let cfg = PipelineConfig::cosine(0.7);
+        let gt = ground_truth(&data, Measure::Cosine, 0.7);
+        assert!(gt.len() >= 20, "ground truth too small: {}", gt.len());
+
+        for algo in [
+            Algorithm::AllPairs,
+            Algorithm::ApBayesLsh,
+            Algorithm::ApBayesLshLite,
+            Algorithm::Lsh,
+            Algorithm::LshApprox,
+            Algorithm::LshBayesLsh,
+            Algorithm::LshBayesLshLite,
+        ] {
+            let out = run_algorithm(algo, &data, &cfg);
+            let recall = recall_against(&gt, &out.pairs);
+            let min_recall = if algo.is_exact() { 1.0 } else { 0.88 };
+            assert!(
+                recall >= min_recall,
+                "{algo}: recall {recall} (expected >= {min_recall}), output {} truth {}",
+                out.pairs.len(),
+                gt.len()
+            );
+            assert!(out.total_secs >= 0.0);
+            if !algo.is_exact() {
+                assert!(out.candidates > 0, "{algo} should report candidates");
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_pipelines_agree_with_ground_truth() {
+        let data = corpus(92).binarized();
+        let cfg = PipelineConfig::jaccard(0.5);
+        let gt = ground_truth(&data, Measure::Jaccard, 0.5);
+        assert!(gt.len() >= 20, "ground truth too small: {}", gt.len());
+
+        for algo in Algorithm::ALL {
+            let out = run_algorithm(algo, &data, &cfg);
+            let recall = recall_against(&gt, &out.pairs);
+            let min_recall = if algo.is_exact() { 1.0 } else { 0.88 };
+            assert!(recall >= min_recall, "{algo}: recall {recall}");
+        }
+    }
+
+    #[test]
+    fn binary_cosine_ppjoin_matches_allpairs() {
+        let data = corpus(93).binarized();
+        let cfg = PipelineConfig::cosine(0.7);
+        let ap = run_algorithm(Algorithm::AllPairs, &data, &cfg);
+        let pp = run_algorithm(Algorithm::PpjoinPlus, &data, &cfg);
+        let ids = |v: &[(u32, u32, f64)]| {
+            let mut v: Vec<(u32, u32)> = v.iter().map(|&(a, b, _)| (a, b)).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(&ap.pairs), ids(&pp.pairs));
+    }
+
+    #[test]
+    fn bayeslsh_estimates_respect_accuracy_contract() {
+        let data = corpus(94);
+        let cfg = PipelineConfig::cosine(0.6);
+        let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+        assert!(!out.pairs.is_empty());
+        let stats = estimate_errors(&out.pairs, &data, Measure::Cosine, cfg.delta);
+        // Pr[error >= delta] < gamma holds in expectation; allow slack for
+        // the finite sample.
+        assert!(
+            stats.frac_above <= cfg.gamma + 0.07,
+            "fraction of >delta errors: {} (n={})",
+            stats.frac_above,
+            stats.n
+        );
+    }
+
+    #[test]
+    fn bayeslsh_prunes_most_false_positives_early() {
+        // The Figure 4 story: the candidate set shrinks by orders of
+        // magnitude within a few chunks.
+        let data = corpus(95);
+        let cfg = PipelineConfig::cosine(0.7);
+        let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+        let stats = out.engine.expect("BayesLSH reports stats");
+        let curve = stats.survivors_curve();
+        let total = curve[0].1 as f64;
+        let after_128 = curve.iter().find(|&&(h, _)| h == 128).map(|&(_, c)| c).unwrap() as f64;
+        assert!(
+            after_128 / total < 0.5,
+            "after 128 hashes {} of {} candidates remain",
+            after_128,
+            total
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "requires binary")]
+    fn ppjoin_rejects_weighted_vectors() {
+        let data = corpus(96);
+        let cfg = PipelineConfig::cosine(0.7);
+        run_algorithm(Algorithm::PpjoinPlus, &data, &cfg);
+    }
+
+    #[test]
+    fn fitted_prior_runs_and_keeps_recall() {
+        let data = corpus(97).binarized();
+        let mut cfg = PipelineConfig::jaccard(0.5);
+        cfg.prior = PriorChoice::Fitted;
+        let fitted = run_algorithm(Algorithm::ApBayesLsh, &data, &cfg);
+        cfg.prior = PriorChoice::Uniform;
+        let uniform = run_algorithm(Algorithm::ApBayesLsh, &data, &cfg);
+        let gt = ground_truth(&data, Measure::Jaccard, 0.5);
+        assert!(recall_against(&gt, &fitted.pairs) >= 0.88);
+        assert!(recall_against(&gt, &uniform.pairs) >= 0.88);
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::ApBayesLsh.name(), "AP+BayesLSH");
+        assert_eq!(Algorithm::ALL.len(), 8);
+        assert!(Algorithm::AllPairs.is_exact());
+        assert!(!Algorithm::Lsh.is_exact());
+        assert!(!Algorithm::LshBayesLsh.is_exact());
+        assert!(!Algorithm::PpjoinPlus.supports_weighted());
+        assert_eq!(format!("{}", Algorithm::LshApprox), "LSH Approx");
+    }
+}

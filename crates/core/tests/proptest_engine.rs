@@ -1,0 +1,149 @@
+//! Property tests for the BayesLSH engines: structural invariants that
+//! must hold for every corpus, threshold and parameterization.
+
+use bayeslsh_core::{
+    bayes_verify, bayes_verify_lite, BayesLshConfig, CosineModel, JaccardModel, LiteConfig,
+};
+use bayeslsh_lsh::{BitSignatures, IntSignatures, MinHasher, SrpHasher};
+use bayeslsh_numeric::Xoshiro256;
+use bayeslsh_sparse::{cosine, Dataset, SparseVector};
+use proptest::prelude::*;
+
+fn corpus(seed: u64, n: usize) -> Dataset {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut d = Dataset::new(500);
+    let n_clusters = (n / 5).max(1);
+    let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
+        .map(|_| (0..12).map(|_| (rng.next_below(500) as u32, (rng.next_f64() + 0.2) as f32)).collect())
+        .collect();
+    for i in 0..n {
+        let mut pairs = centers[i % n_clusters].clone();
+        for p in pairs.iter_mut() {
+            if rng.next_bool(0.3) {
+                *p = (rng.next_below(500) as u32, (rng.next_f64() + 0.2) as f32);
+            }
+        }
+        d.push(SparseVector::from_pairs(pairs));
+    }
+    d
+}
+
+fn all_pairs_of(n: u32) -> Vec<(u32, u32)> {
+    (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Lite emits only true positives (exact verification) and its
+    /// bookkeeping always balances.
+    #[test]
+    fn lite_soundness_cosine(
+        seed in 0u64..10_000,
+        n in 8usize..30,
+        t in 0.4f64..0.95,
+        h_chunks in 1u32..6,
+    ) {
+        let data = corpus(seed, n);
+        let cands = all_pairs_of(data.len() as u32);
+        let cfg = LiteConfig { threshold: t, epsilon: 0.03, k: 32, h: 32 * h_chunks };
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 1), data.len());
+        let (out, stats) =
+            bayes_verify_lite(&data, &mut pool, &CosineModel::new(), &cands, &cfg, cosine);
+        for &(a, b, s) in &out {
+            prop_assert!(s >= t);
+            prop_assert!((s - cosine(data.vector(a), data.vector(b))).abs() < 1e-12);
+        }
+        prop_assert_eq!(stats.input_pairs, cands.len() as u64);
+        prop_assert_eq!(stats.exact_verifications, stats.input_pairs - stats.pruned);
+        prop_assert!(stats.hash_comparisons <= stats.input_pairs * cfg.h as u64);
+    }
+
+    /// Full BayesLSH: bookkeeping balances, estimates stay in range, and
+    /// the pruning curve is consistent with the counters.
+    #[test]
+    fn bayes_structural_invariants_jaccard(
+        seed in 0u64..10_000,
+        n in 8usize..30,
+        t in 0.25f64..0.9,
+    ) {
+        let data = corpus(seed, n).binarized();
+        let cands = all_pairs_of(data.len() as u32);
+        let cfg = BayesLshConfig::jaccard(t);
+        let mut pool = IntSignatures::new(MinHasher::new(seed ^ 2), data.len());
+        let (out, stats) =
+            bayes_verify(&data, &mut pool, &JaccardModel::uniform(), &cands, &cfg);
+        prop_assert_eq!(stats.pruned + stats.accepted, stats.input_pairs);
+        prop_assert_eq!(out.len() as u64, stats.accepted);
+        for &(_, _, s) in &out {
+            prop_assert!((0.0..=1.0).contains(&s), "estimate {s}");
+        }
+        let curve = stats.survivors_curve();
+        prop_assert_eq!(curve.first().unwrap().1, stats.input_pairs);
+        prop_assert_eq!(curve.last().unwrap().1, stats.input_pairs - stats.pruned);
+        let pruned_from_curve: u64 = stats.pruned_at_chunk.iter().sum();
+        prop_assert_eq!(pruned_from_curve, stats.pruned);
+    }
+
+    /// Identical vectors are never pruned at any threshold (their
+    /// posterior tail only grows), and their estimates sit near 1.
+    #[test]
+    fn identical_pairs_survive(
+        seed in 0u64..10_000,
+        t in 0.3f64..0.95,
+    ) {
+        let mut data = Dataset::new(200);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let v = SparseVector::from_pairs(
+            (0..15).map(|_| (rng.next_below(200) as u32, (rng.next_f64() + 0.2) as f32)),
+        );
+        data.push(v.clone());
+        data.push(v);
+        let cfg = BayesLshConfig::cosine(t);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 3), data.len());
+        let (out, stats) =
+            bayes_verify(&data, &mut pool, &CosineModel::new(), &[(0, 1)], &cfg);
+        prop_assert_eq!(stats.pruned, 0);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert!(out[0].2 > 0.95, "estimate {}", out[0].2);
+    }
+
+    /// The recall contract, in its checkable form: pairs whose true
+    /// similarity sits comfortably above the threshold have posterior tails
+    /// that essentially never dip below epsilon, so they are essentially
+    /// never pruned. (Pairs *at* the threshold may legitimately be pruned
+    /// with probability that grows with epsilon — the paper's own Table 5
+    /// shows recall falling as epsilon rises.)
+    #[test]
+    fn clearly_similar_pairs_survive_pruning(
+        seed in 0u64..10_000,
+        eps in 0.01f64..0.15,
+    ) {
+        let data = corpus(seed, 30);
+        let t = 0.7;
+        let margin = 0.12;
+        let cands = all_pairs_of(data.len() as u32);
+        let cfg = BayesLshConfig { epsilon: eps, ..BayesLshConfig::cosine(t) };
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 4), data.len());
+        let (out, _) = bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &cfg);
+        let keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let mut clear = 0usize;
+        let mut found = 0usize;
+        for &(a, b) in &cands {
+            if cosine(data.vector(a), data.vector(b)) >= t + margin {
+                clear += 1;
+                if keys.contains(&(a, b)) {
+                    found += 1;
+                }
+            }
+        }
+        if clear >= 5 {
+            let recall = found as f64 / clear as f64;
+            prop_assert!(
+                recall >= 0.95,
+                "eps={eps}: clear-margin recall {recall} ({found}/{clear})"
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The clustered Zipf corpus generator.
+
+use bayeslsh_numeric::{derive_seed, Gaussian, Xoshiro256};
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+/// Configuration of a synthetic corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of vectors.
+    pub n_vectors: usize,
+    /// Feature-space dimensionality.
+    pub dim: u32,
+    /// Target mean number of non-zeros per vector.
+    pub avg_len: usize,
+    /// Log-normal σ of the length distribution (0 = near-constant lengths).
+    /// Graph datasets have much higher dispersion than text corpora.
+    pub len_sigma: f64,
+    /// Zipf exponent of feature popularity (≈1 for natural text).
+    pub zipf_exponent: f64,
+    /// Number of planted near-duplicate clusters.
+    pub n_clusters: usize,
+    /// Fraction of vectors that belong to a planted cluster.
+    pub cluster_fraction: f64,
+    /// Per-feature mutation probability for cluster members (lower =
+    /// tighter clusters = more very-high-similarity pairs).
+    pub mutation_rate: f64,
+    /// Draw term counts > 1 (text); false gives binary features (graphs).
+    pub weighted: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_vectors: 1000,
+            dim: 10_000,
+            avg_len: 60,
+            len_sigma: 0.5,
+            zipf_exponent: 1.0,
+            n_clusters: 25,
+            cluster_fraction: 0.4,
+            mutation_rate: 0.15,
+            weighted: true,
+            seed: 1,
+        }
+    }
+}
+
+/// A Zipf(β) sampler over `{0, …, n−1}` via an inverse-CDF table.
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build the cumulative table for `n` items with exponent `beta`.
+    pub fn new(n: u32, beta: f64) -> Self {
+        assert!(n > 0);
+        let mut cum = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for r in 1..=n as u64 {
+            acc += 1.0 / (r as f64).powf(beta);
+            cum.push(acc);
+        }
+        Self { cum }
+    }
+
+    /// Draw one item (items are popularity-ranked: 0 is the most popular).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u32 {
+        let u = rng.next_f64() * self.cum.last().unwrap();
+        self.cum.partition_point(|&c| c < u) as u32
+    }
+}
+
+/// Generate a corpus of raw term-count vectors (apply
+/// [`bayeslsh_sparse::tfidf::tfidf_transform`] downstream for the paper's
+/// weighting, or [`Dataset::binarized`] for set semantics).
+pub fn generate(cfg: &CorpusConfig) -> Dataset {
+    assert!(cfg.n_vectors > 0 && cfg.dim > 0 && cfg.avg_len > 0);
+    assert!((0.0..=1.0).contains(&cfg.cluster_fraction));
+    assert!((0.0..=1.0).contains(&cfg.mutation_rate));
+
+    let mut rng = Xoshiro256::seed_from_u64(derive_seed(cfg.seed, 0x00DA_7A5E));
+    let mut gauss = Gaussian::new();
+    let zipf = ZipfSampler::new(cfg.dim, cfg.zipf_exponent);
+
+    // Feature ranks are scrambled so that popular features are spread over
+    // the index space (as in real vocabularies) rather than clustered at 0.
+    let mut feature_of_rank: Vec<u32> = (0..cfg.dim).collect();
+    rng.shuffle(&mut feature_of_rank);
+
+    let draw_len = |rng: &mut Xoshiro256, gauss: &mut Gaussian| -> usize {
+        if cfg.len_sigma == 0.0 {
+            return cfg.avg_len;
+        }
+        // Log-normal with mean avg_len: exp(μ + σz), μ = ln(avg) − σ²/2.
+        let mu = (cfg.avg_len as f64).ln() - cfg.len_sigma * cfg.len_sigma / 2.0;
+        let len = (mu + cfg.len_sigma * gauss.sample(rng)).exp().round() as usize;
+        len.clamp(1, (cfg.dim as usize / 2).max(2))
+    };
+
+    let draw_vector = |rng: &mut Xoshiro256, gauss: &mut Gaussian| -> Vec<(u32, f32)> {
+        let len = draw_len(rng, gauss);
+        let mut pairs = Vec::with_capacity(len);
+        let mut seen = std::collections::HashSet::with_capacity(len * 2);
+        let mut attempts = 0;
+        while pairs.len() < len && attempts < len * 20 {
+            attempts += 1;
+            let feat = feature_of_rank[zipf.sample(rng) as usize];
+            if !seen.insert(feat) {
+                continue;
+            }
+            let weight = if cfg.weighted {
+                // Term counts: 1 + geometric-ish tail.
+                let mut c = 1.0f32;
+                while rng.next_bool(0.3) && c < 20.0 {
+                    c += 1.0;
+                }
+                c
+            } else {
+                1.0
+            };
+            pairs.push((feat, weight));
+        }
+        pairs
+    };
+
+    let n_clustered = (cfg.n_vectors as f64 * cfg.cluster_fraction) as usize;
+    let n_clusters = cfg.n_clusters.max(1).min(n_clustered.max(1));
+
+    // Mutation can collide with an existing feature; `from_pairs` would sum
+    // the duplicate weights, which must not happen for binary corpora.
+    let build = |pairs: Vec<(u32, f32)>| {
+        if cfg.weighted {
+            SparseVector::from_pairs(pairs)
+        } else {
+            SparseVector::from_indices(pairs.into_iter().map(|(i, _)| i).collect())
+        }
+    };
+
+    let mut data = Dataset::new(cfg.dim);
+    // Cluster members: a center vector with mutated copies.
+    if n_clustered > 0 {
+        let centers: Vec<Vec<(u32, f32)>> =
+            (0..n_clusters).map(|_| draw_vector(&mut rng, &mut gauss)).collect();
+        for i in 0..n_clustered {
+            let center = &centers[i % n_clusters];
+            let mut pairs = center.clone();
+            for p in pairs.iter_mut() {
+                if rng.next_bool(cfg.mutation_rate) {
+                    let feat = feature_of_rank[zipf.sample(&mut rng) as usize];
+                    p.0 = feat;
+                }
+            }
+            data.push(build(pairs));
+        }
+    }
+    // Background vectors.
+    for _ in n_clustered..cfg.n_vectors {
+        let pairs = draw_vector(&mut rng, &mut gauss);
+        data.push(build(pairs));
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_sparse::cosine;
+
+    #[test]
+    fn zipf_is_heavy_headed() {
+        let zipf = ZipfSampler::new(1000, 1.0);
+        let mut rng = Xoshiro256::seed_from_u64(100);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 should be ~2x rank 1, ~10x rank 9.
+        assert!(counts[0] > counts[1], "rank0 {} rank1 {}", counts[0], counts[1]);
+        assert!(counts[0] > 5 * counts[9], "rank0 {} rank9 {}", counts[0], counts[9]);
+        // Tail items still get sampled.
+        let tail: usize = counts[500..].iter().sum();
+        assert!(tail > 1000, "tail mass {tail}");
+    }
+
+    #[test]
+    fn zipf_flat_exponent_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(100, 0.0);
+        let mut rng = Xoshiro256::seed_from_u64(101);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn respects_target_shape() {
+        let cfg = CorpusConfig {
+            n_vectors: 800,
+            dim: 20_000,
+            avg_len: 50,
+            len_sigma: 0.4,
+            ..Default::default()
+        };
+        let data = generate(&cfg);
+        let stats = data.stats();
+        assert_eq!(stats.n_vectors, 800);
+        assert_eq!(stats.dim, 20_000);
+        assert!(
+            (stats.avg_len - 50.0).abs() < 10.0,
+            "avg_len {} should be near 50",
+            stats.avg_len
+        );
+        assert!(data.vectors().iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn length_dispersion_knob_works() {
+        let flat = generate(&CorpusConfig {
+            len_sigma: 0.1,
+            n_vectors: 600,
+            seed: 7,
+            ..Default::default()
+        });
+        let disp = generate(&CorpusConfig {
+            len_sigma: 1.3,
+            n_vectors: 600,
+            seed: 7,
+            ..Default::default()
+        });
+        let cv = |d: &Dataset| {
+            let s = d.stats();
+            s.len_std / s.avg_len
+        };
+        assert!(
+            cv(&disp) > 2.0 * cv(&flat),
+            "dispersed CV {} should far exceed flat CV {}",
+            cv(&disp),
+            cv(&flat)
+        );
+    }
+
+    #[test]
+    fn clusters_contain_similar_pairs() {
+        let cfg = CorpusConfig { n_vectors: 400, seed: 9, ..Default::default() };
+        let data = generate(&cfg);
+        // Members of the same cluster are laid out n_clusters apart.
+        let mut high = 0;
+        let n_clustered = (400.0 * cfg.cluster_fraction) as usize;
+        for i in 0..cfg.n_clusters.min(n_clustered) {
+            for j in 1..3 {
+                let other = i + j * cfg.n_clusters;
+                if other < n_clustered
+                    && cosine(data.vector(i as u32), data.vector(other as u32)) > 0.6 {
+                        high += 1;
+                    }
+            }
+        }
+        assert!(high >= 10, "expected many similar intra-cluster pairs, got {high}");
+    }
+
+    #[test]
+    fn binary_mode_emits_binary_vectors() {
+        let cfg = CorpusConfig { weighted: false, n_vectors: 100, ..Default::default() };
+        let data = generate(&cfg);
+        assert!(data.vectors().iter().all(|v| v.is_binary()));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = CorpusConfig { n_vectors: 150, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.vectors().iter().zip(b.vectors()) {
+            assert_eq!(x, y);
+        }
+        let c = generate(&CorpusConfig { seed: 2, ..cfg });
+        assert_ne!(a.vector(0), c.vector(0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text dataset I/O.
+//!
+//! One vector per line, `index:weight` entries separated by spaces (the
+//! SVM-light convention, 0-based indices, without labels). `#` starts a
+//! comment, blank lines are empty vectors. This lets users run the full
+//! pipeline on real corpora without recompiling.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+/// Errors raised by the text reader.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed `index:weight` entry, with line and token context.
+    Parse { line: usize, token: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, token } => {
+                write!(f, "line {line}: malformed entry {token:?} (expected index:weight)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parse a dataset from a reader.
+pub fn read_dataset(reader: impl BufRead) -> Result<Dataset, IoError> {
+    let mut data = Dataset::new(0);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let body = line.split('#').next().unwrap_or("").trim();
+        let mut pairs = Vec::new();
+        if !body.is_empty() {
+            for token in body.split_whitespace() {
+                let (idx, val) = token.split_once(':').ok_or_else(|| IoError::Parse {
+                    line: lineno + 1,
+                    token: token.to_string(),
+                })?;
+                let idx: u32 = idx.parse().map_err(|_| IoError::Parse {
+                    line: lineno + 1,
+                    token: token.to_string(),
+                })?;
+                let val: f32 = val.parse().map_err(|_| IoError::Parse {
+                    line: lineno + 1,
+                    token: token.to_string(),
+                })?;
+                pairs.push((idx, val));
+            }
+        }
+        data.push(SparseVector::from_pairs(pairs));
+    }
+    Ok(data)
+}
+
+/// Load a dataset from a file path.
+pub fn load_path(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_dataset(std::io::BufReader::new(file))
+}
+
+/// Write a dataset to a writer in the same format.
+pub fn write_dataset(data: &Dataset, writer: impl Write) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (_, v) in data.iter() {
+        let mut first = true;
+        for (idx, val) in v.iter() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{idx}:{val}")?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Save a dataset to a file path.
+pub fn save_path(data: &Dataset, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_dataset(data, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut data = Dataset::new(0);
+        data.push(SparseVector::from_pairs(vec![(0, 1.5), (7, -2.0)]));
+        data.push(SparseVector::empty());
+        data.push(SparseVector::from_pairs(vec![(3, 0.25)]));
+        let mut buf = Vec::new();
+        write_dataset(&data, &mut buf).unwrap();
+        let back = read_dataset(&buf[..]).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in data.vectors().iter().zip(back.vectors()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let text = "1:2.0 5:1.0 # trailing comment\n\n# whole-line comment\n2:3\n";
+        let data = read_dataset(text.as_bytes()).unwrap();
+        assert_eq!(data.len(), 4);
+        assert_eq!(data.vector(0).indices(), &[1, 5]);
+        assert!(data.vector(1).is_empty());
+        assert!(data.vector(2).is_empty());
+        assert_eq!(data.vector(3).get(2), 3.0);
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        for bad in ["nocolon", "1:abc", "x:1.0", "1:"] {
+            let err = read_dataset(bad.as_bytes()).unwrap_err();
+            assert!(matches!(err, IoError::Parse { line: 1, .. }), "{bad} -> {err}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = read_dataset("5:bogus".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1") && msg.contains("5:bogus"), "{msg}");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bayeslsh_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        let mut data = Dataset::new(0);
+        data.push(SparseVector::from_pairs(vec![(2, 1.0), (9, 4.5)]));
+        save_path(&data, &path).unwrap();
+        let back = load_path(&path).unwrap();
+        assert_eq!(back.vector(0), data.vector(0));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,28 @@
+//! Synthetic datasets mimicking the BayesLSH evaluation corpora.
+//!
+//! The paper evaluates on six real datasets (Table 1): RCV1, two Wikipedia
+//! text corpora, the Wikipedia link graph, Orkut and Twitter. Those dumps
+//! are multi-hundred-MB artifacts we cannot ship, so this crate generates
+//! *shape-matched* synthetic stand-ins (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * Zipfian feature popularity (text corpora and social graphs both have
+//!   heavy-tailed feature frequencies);
+//! * log-normal vector lengths with per-dataset dispersion — the paper's
+//!   observation 4 (AllPairs wins on high length-variance graphs, LSH on
+//!   flatter text) hinges on this knob;
+//! * planted near-duplicate clusters so every threshold the paper sweeps
+//!   has a non-trivial result set;
+//! * tf-idf weighting + L2 normalization applied as in the paper's
+//!   preprocessing.
+//!
+//! [`presets`] exposes one scalable generator per paper dataset; [`io`]
+//! reads and writes a plain-text vector format so users can substitute real
+//! corpora.
+
+pub mod generator;
+pub mod io;
+pub mod presets;
+
+pub use generator::{generate, CorpusConfig};
+pub use presets::Preset;

@@ -1,0 +1,214 @@
+//! b-bit minwise hashing (Li & König, WWW 2010 — the paper's reference
+//! \[15\]).
+//!
+//! Storing only the lowest `b` bits of each minwise hash shrinks Jaccard
+//! signatures by a factor of `32/b` at the cost of *random* collisions:
+//! two unrelated minima still agree on `b` bits with probability `2⁻ᵇ`, so
+//!
+//! ```text
+//! Pr[h_b(x) = h_b(y)] = J + (1 − J)·2⁻ᵇ
+//! ```
+//!
+//! (exactly, under the random-function model our [`crate::MinHasher`]
+//! realizes). BayesLSH composes cleanly with this family — the posterior
+//! model just works over the affinely transformed collision probability;
+//! see `bayeslsh_core`'s `BbitJaccardModel`.
+
+use bayeslsh_sparse::SparseVector;
+
+use crate::minhash::MinHasher;
+use crate::signature::SignaturePool;
+
+/// Collision probability of a b-bit minwise hash at Jaccard similarity
+/// `j`: `j + (1 − j)/2^b`.
+#[inline]
+pub fn bbit_collision_prob(j: f64, b: u32) -> f64 {
+    let floor = 0.5f64.powi(b as i32);
+    floor + (1.0 - floor) * j
+}
+
+/// Invert [`bbit_collision_prob`]: recover Jaccard similarity from a
+/// collision rate (clamped to `[0, 1]`).
+#[inline]
+pub fn bbit_to_jaccard(p: f64, b: u32) -> f64 {
+    let floor = 0.5f64.powi(b as i32);
+    ((p - floor) / (1.0 - floor)).clamp(0.0, 1.0)
+}
+
+/// A signature pool storing `b` bits per minwise hash, packed into `u32`
+/// words.
+#[derive(Debug, Clone)]
+pub struct BbitSignatures {
+    hasher: MinHasher,
+    b: u32,
+    sigs: Vec<Vec<u32>>,
+    hashes: Vec<u32>,
+    total: u64,
+}
+
+impl BbitSignatures {
+    /// A pool for `n_objects` objects keeping `b ∈ {1,2,4,8,16}` bits per
+    /// hash (powers of two divide the word cleanly).
+    pub fn new(hasher: MinHasher, n_objects: usize, b: u32) -> Self {
+        assert!(
+            matches!(b, 1 | 2 | 4 | 8 | 16),
+            "b must be one of 1,2,4,8,16 (got {b})"
+        );
+        Self { hasher, b, sigs: vec![Vec::new(); n_objects], hashes: vec![0; n_objects], total: 0 }
+    }
+
+    /// Bits kept per hash.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// The `i`-th stored hash fragment of object `id`.
+    #[inline]
+    fn fragment(&self, id: u32, i: u32) -> u32 {
+        let per_word = 32 / self.b;
+        let word = self.sigs[id as usize][(i / per_word) as usize];
+        let shift = (i % per_word) * self.b;
+        (word >> shift) & ((1u32 << self.b) - 1)
+    }
+
+    /// Signature bytes currently held for `id` (storage accounting).
+    pub fn bytes(&self, id: u32) -> usize {
+        self.sigs[id as usize].len() * 4
+    }
+}
+
+impl SignaturePool for BbitSignatures {
+    fn ensure(&mut self, id: u32, v: &SparseVector, n: u32) {
+        let per_word = 32 / self.b;
+        // Round up to whole words so fragments never straddle words.
+        let target = n.div_ceil(per_word) * per_word;
+        let cur = self.hashes[id as usize];
+        if target <= cur {
+            return;
+        }
+        let mask = (1u32 << self.b) - 1;
+        for i in cur..target {
+            let h = self.hasher.hash(i as usize, v) & mask;
+            let word_idx = (i / per_word) as usize;
+            if word_idx >= self.sigs[id as usize].len() {
+                self.sigs[id as usize].push(0);
+            }
+            self.sigs[id as usize][word_idx] |= h << ((i % per_word) * self.b);
+        }
+        self.hashes[id as usize] = target;
+        self.total += (target - cur) as u64;
+    }
+
+    fn len(&self, id: u32) -> u32 {
+        self.hashes[id as usize]
+    }
+
+    fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
+        debug_assert!(hi <= self.hashes[a as usize] && hi <= self.hashes[b as usize]);
+        (lo..hi).filter(|&i| self.fragment(a, i) == self.fragment(b, i)).count() as u32
+    }
+
+    fn total_hashes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_sparse::jaccard;
+
+    fn pair_with_jaccard() -> (SparseVector, SparseVector, f64) {
+        let x = SparseVector::from_indices((0..100).map(|i| i * 31 + 7).collect());
+        let y = SparseVector::from_indices(
+            (0..100).map(|i| if i < 60 { i * 31 + 7 } else { i * 97 + 13_000 }).collect(),
+        );
+        let j = jaccard(&x, &y);
+        (x, y, j)
+    }
+
+    #[test]
+    fn collision_prob_formula() {
+        assert_eq!(bbit_collision_prob(0.0, 1), 0.5);
+        assert_eq!(bbit_collision_prob(1.0, 1), 1.0);
+        assert_eq!(bbit_collision_prob(0.0, 4), 1.0 / 16.0);
+        // Round trip.
+        for b in [1u32, 2, 4, 8, 16] {
+            for j in [0.0, 0.25, 0.7, 1.0] {
+                let p = bbit_collision_prob(j, b);
+                assert!((bbit_to_jaccard(p, b) - j).abs() < 1e-12, "b={b} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_formula() {
+        let (x, y, j) = pair_with_jaccard();
+        for b in [1u32, 2, 8] {
+            let mut pool = BbitSignatures::new(MinHasher::new(71), 2, b);
+            let n = 4096;
+            pool.ensure(0, &x, n);
+            pool.ensure(1, &y, n);
+            let rate = pool.agreements(0, 1, 0, n) as f64 / n as f64;
+            let expected = bbit_collision_prob(j, b);
+            assert!(
+                (rate - expected).abs() < 0.03,
+                "b={b}: rate {rate} expected {expected} (J={j})"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let x = SparseVector::from_indices(vec![4, 9, 16, 25]);
+        let mut pool = BbitSignatures::new(MinHasher::new(72), 2, 4);
+        pool.ensure(0, &x, 128);
+        pool.ensure(1, &x, 128);
+        assert_eq!(pool.agreements(0, 1, 0, 128), 128);
+    }
+
+    #[test]
+    fn fragments_match_low_bits_of_minhash() {
+        let x = SparseVector::from_indices(vec![3, 14, 15, 92, 65]);
+        let b = 8u32;
+        let mut pool = BbitSignatures::new(MinHasher::new(73), 1, b);
+        pool.ensure(0, &x, 64);
+        let mut reference = MinHasher::new(73);
+        for i in 0..64u32 {
+            assert_eq!(
+                pool.fragment(0, i),
+                reference.hash(i as usize, &x) & 0xFF,
+                "hash {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_extension_preserves_prefix_and_rounds_to_words() {
+        let x = SparseVector::from_indices(vec![1, 2, 3]);
+        let mut pool = BbitSignatures::new(MinHasher::new(74), 1, 4);
+        pool.ensure(0, &x, 5); // 8 fragments per word → rounds to 8
+        assert_eq!(pool.len(0), 8);
+        let before: Vec<u32> = (0..8).map(|i| pool.fragment(0, i)).collect();
+        pool.ensure(0, &x, 64);
+        assert_eq!(pool.len(0), 64);
+        let after: Vec<u32> = (0..8).map(|i| pool.fragment(0, i)).collect();
+        assert_eq!(before, after);
+        assert_eq!(pool.total_hashes(), 64);
+    }
+
+    #[test]
+    fn storage_is_b_over_32_of_full_ints() {
+        let x = SparseVector::from_indices((0..50).collect());
+        let mut pool = BbitSignatures::new(MinHasher::new(75), 1, 2);
+        pool.ensure(0, &x, 512);
+        // 512 hashes × 2 bits = 1024 bits = 128 bytes (vs 2048 for u32s).
+        assert_eq!(pool.bytes(0), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "b must be one of")]
+    fn rejects_unsupported_b() {
+        BbitSignatures::new(MinHasher::new(76), 1, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Locality-sensitive hash families and signature storage.
+//!
+//! Following Charikar's definition (paper Eq. 1), an LSH family for a
+//! similarity `sim` satisfies `Pr[h(x) = h(y)] = sim(x, y)` over a random
+//! draw of `h`. Two families are implemented:
+//!
+//! * [`minhash`] — minwise-independent permutations for **Jaccard**
+//!   similarity (integer-valued hashes);
+//! * [`srp`] — signed random projections for the **angular** similarity
+//!   `r(x, y) = 1 − θ(x, y)/π` underlying cosine BayesLSH (bit-valued
+//!   hashes, stored bit-packed).
+//!
+//! Both are exposed through lazily extendable *signature pools*
+//! ([`signature::BitSignatures`], [`signature::IntSignatures`]): BayesLSH
+//! hashes each object only as deep as its surviving candidate pairs require,
+//! which is one of the paper's selling points ("each point in the dataset is
+//! only hashed as many times as is necessary").
+//!
+//! The [`quantized`] module implements the paper's §4.3 trick of storing
+//! each Gaussian plane component in 2 bytes.
+
+pub mod bbit;
+pub mod minhash;
+pub mod quantized;
+pub mod signature;
+pub mod srp;
+
+pub use bbit::{bbit_collision_prob, bbit_to_jaccard, BbitSignatures};
+pub use minhash::MinHasher;
+pub use signature::{count_bit_agreements, BitSignatures, IntSignatures, SignaturePool};
+pub use srp::{cos_to_r, r_to_cos, SrpHasher};

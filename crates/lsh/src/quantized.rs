@@ -1,0 +1,86 @@
+//! Two-byte storage of Gaussian plane components (paper §4.3).
+//!
+//! Samples from N(0, 1) essentially never leave (−8, 8), so a float `x` in
+//! that interval is stored as the 2-byte integer `round((x + 8) · 2¹⁶/16)`.
+//! The paper quotes a maximum error of 1e-4 using truncation; we round to
+//! nearest, giving a bound of `16/2¹⁶/2 ≈ 1.22e-4` *before* clamping (the
+//! clamp only triggers for |x| ≥ 8, which has probability < 1e-15 per draw).
+
+/// Quantization scale: 2^16 levels across the interval (−8, 8).
+const SCALE: f32 = 65536.0 / 16.0; // 4096 per unit
+const OFFSET: f32 = 8.0;
+
+/// Maximum absolute round-trip error for inputs inside (−8, 8): the ideal
+/// half-step `0.5/SCALE ≈ 1.22e-4` plus slack for the f32 arithmetic of the
+/// encode/decode path itself (the `x + 8` shift can cost ~2⁻²⁰ of absolute
+/// precision near the interval ends).
+pub const MAX_QUANT_ERROR: f32 = 0.5 / SCALE + 4e-6;
+
+/// Encode a float from (−8, 8) into 2 bytes.
+#[inline]
+pub fn encode(x: f32) -> u16 {
+    let v = (x + OFFSET) * SCALE;
+    // Clamp: values outside (−8, 8) are astronomically unlikely for N(0,1)
+    // samples but must not wrap.
+    v.round().clamp(0.0, 65535.0) as u16
+}
+
+/// Decode 2 bytes back to the (approximate) float.
+#[inline]
+pub fn decode(q: u16) -> f32 {
+    q as f32 / SCALE - OFFSET
+}
+
+/// Encode a whole slice.
+pub fn encode_slice(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&x| encode(x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_numeric::{Gaussian, Xoshiro256};
+
+    #[test]
+    fn round_trip_error_within_bound() {
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        let mut g = Gaussian::new();
+        for _ in 0..100_000 {
+            let x = g.sample(&mut rng) as f32;
+            let err = (decode(encode(x)) - x).abs();
+            assert!(err <= MAX_QUANT_ERROR, "x={x} err={err}");
+        }
+    }
+
+    #[test]
+    fn grid_round_trip() {
+        // Every representable quantized value decodes and re-encodes to
+        // itself.
+        for q in (0u16..=65535).step_by(97) {
+            assert_eq!(encode(decode(q)), q);
+        }
+    }
+
+    #[test]
+    fn extremes_clamp() {
+        assert_eq!(encode(-100.0), 0);
+        assert_eq!(encode(100.0), 65535);
+        assert_eq!(encode(-8.0), 0);
+    }
+
+    #[test]
+    fn sign_preserved_away_from_zero() {
+        // SRP only uses the dot-product sign; quantization must not flip
+        // component signs outside the tiny dead zone around 0.
+        for &x in &[-3.0f32, -0.5, -0.001, 0.001, 0.5, 3.0] {
+            assert_eq!(decode(encode(x)).signum(), x.signum(), "x={x}");
+        }
+    }
+
+    #[test]
+    fn encode_slice_matches_pointwise() {
+        let xs = vec![-1.5f32, 0.0, 2.25];
+        let enc = encode_slice(&xs);
+        assert_eq!(enc, vec![encode(-1.5), encode(0.0), encode(2.25)]);
+    }
+}

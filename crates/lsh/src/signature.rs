@@ -1,0 +1,288 @@
+//! Lazily extendable signature pools.
+//!
+//! BayesLSH compares hashes incrementally, `k` at a time, and most candidate
+//! pairs are pruned after a handful of chunks — so most objects never need
+//! deep signatures. A pool stores, per object, only as many hashes as some
+//! surviving pair has demanded, and extends on request. This mirrors the
+//! paper's observation that "outlying points ... need only be hashed a few
+//! times".
+
+use bayeslsh_sparse::SparseVector;
+
+use crate::minhash::MinHasher;
+use crate::srp::SrpHasher;
+
+/// Count agreeing bits in positions `lo..hi` between two bit-packed
+/// signatures (32 bits per word, LSB-first). Shared by [`BitSignatures`]
+/// and callers comparing out-of-pool signatures (e.g. k-NN queries).
+pub fn count_bit_agreements(wa: &[u32], wb: &[u32], lo: u32, hi: u32) -> u32 {
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return 0;
+    }
+    let start_w = (lo / 32) as usize;
+    let end_w = hi.div_ceil(32) as usize;
+    debug_assert!(end_w <= wa.len() && end_w <= wb.len());
+    let mut agree = 0u32;
+    for w in start_w..end_w {
+        let mut mask = u32::MAX;
+        if w == start_w {
+            mask &= u32::MAX << (lo % 32);
+        }
+        if w == end_w - 1 {
+            let rem = hi - (w as u32) * 32;
+            if rem < 32 {
+                mask &= (1u32 << rem) - 1;
+            }
+        }
+        let diff = (wa[w] ^ wb[w]) & mask;
+        agree += mask.count_ones() - diff.count_ones();
+    }
+    agree
+}
+
+/// Common interface over bit-valued (cosine) and integer-valued (Jaccard)
+/// signature storage, as used by the BayesLSH engines.
+pub trait SignaturePool {
+    /// Extend object `id`'s signature to at least `n` hashes (a pool may
+    /// round up to its storage granularity).
+    fn ensure(&mut self, id: u32, v: &SparseVector, n: u32);
+
+    /// Number of valid hashes currently stored for `id`.
+    fn len(&self, id: u32) -> u32;
+
+    /// Count agreeing hashes in positions `lo..hi` for objects `a` and `b`.
+    /// Both signatures must already cover `hi`.
+    fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32;
+
+    /// Total hashes computed so far across all objects (cost accounting —
+    /// the "hashing overhead" discussed in the paper's observation 3).
+    fn total_hashes(&self) -> u64;
+}
+
+/// Bit signatures from signed random projections, packed 32 per word.
+#[derive(Debug, Clone)]
+pub struct BitSignatures {
+    hasher: SrpHasher,
+    words: Vec<Vec<u32>>,
+    bits: Vec<u32>,
+    total: u64,
+}
+
+impl BitSignatures {
+    /// A pool for `n_objects` objects hashing through `hasher`.
+    pub fn new(hasher: SrpHasher, n_objects: usize) -> Self {
+        Self { hasher, words: vec![Vec::new(); n_objects], bits: vec![0; n_objects], total: 0 }
+    }
+
+    /// The raw packed words of `id`'s signature.
+    pub fn raw_words(&self, id: u32) -> &[u32] {
+        &self.words[id as usize]
+    }
+
+    /// Bit `i` of object `id`'s signature.
+    pub fn bit(&self, id: u32, i: u32) -> bool {
+        debug_assert!(i < self.bits[id as usize]);
+        (self.words[id as usize][(i / 32) as usize] >> (i % 32)) & 1 == 1
+    }
+
+    /// Borrow the underlying hasher (e.g. for plane-memory accounting).
+    pub fn hasher(&self) -> &SrpHasher {
+        &self.hasher
+    }
+
+    /// Hash an out-of-pool vector (e.g. an ad-hoc query) through the same
+    /// plane bank, extending `words` with bits `lo..hi` (rounded up to
+    /// whole words). The caller owns the returned signature; comparisons
+    /// against pool members go through [`count_bit_agreements`].
+    pub fn hash_external(&mut self, v: &SparseVector, lo: u32, hi: u32, words: &mut Vec<u32>) {
+        let target = hi.div_ceil(32) * 32;
+        self.hasher.hash_bits_into(v, lo, target, words);
+    }
+}
+
+impl SignaturePool for BitSignatures {
+    fn ensure(&mut self, id: u32, v: &SparseVector, n: u32) {
+        let cur = self.bits[id as usize];
+        let target = n.div_ceil(32) * 32;
+        if target <= cur {
+            return;
+        }
+        self.hasher.hash_bits_into(v, cur, target, &mut self.words[id as usize]);
+        self.bits[id as usize] = target;
+        self.total += (target - cur) as u64;
+    }
+
+    fn len(&self, id: u32) -> u32 {
+        self.bits[id as usize]
+    }
+
+    fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
+        debug_assert!(hi <= self.bits[a as usize], "a not hashed deep enough");
+        debug_assert!(hi <= self.bits[b as usize], "b not hashed deep enough");
+        count_bit_agreements(&self.words[a as usize], &self.words[b as usize], lo, hi)
+    }
+
+    fn total_hashes(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Integer signatures from minwise hashing.
+#[derive(Debug, Clone)]
+pub struct IntSignatures {
+    hasher: MinHasher,
+    sigs: Vec<Vec<u32>>,
+    total: u64,
+}
+
+impl IntSignatures {
+    /// A pool for `n_objects` objects hashing through `hasher`.
+    pub fn new(hasher: MinHasher, n_objects: usize) -> Self {
+        Self { hasher, sigs: vec![Vec::new(); n_objects], total: 0 }
+    }
+
+    /// The raw minhash values of `id`'s signature.
+    pub fn raw(&self, id: u32) -> &[u32] {
+        &self.sigs[id as usize]
+    }
+}
+
+impl SignaturePool for IntSignatures {
+    fn ensure(&mut self, id: u32, v: &SparseVector, n: u32) {
+        let cur = self.sigs[id as usize].len() as u32;
+        if n <= cur {
+            return;
+        }
+        self.hasher.hash_range_into(v, cur, n, &mut self.sigs[id as usize]);
+        self.total += (n - cur) as u64;
+    }
+
+    fn len(&self, id: u32) -> u32 {
+        self.sigs[id as usize].len() as u32
+    }
+
+    fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
+        debug_assert!(lo <= hi);
+        let sa = &self.sigs[a as usize];
+        let sb = &self.sigs[b as usize];
+        debug_assert!(hi as usize <= sa.len() && hi as usize <= sb.len());
+        sa[lo as usize..hi as usize]
+            .iter()
+            .zip(&sb[lo as usize..hi as usize])
+            .filter(|(x, y)| x == y)
+            .count() as u32
+    }
+
+    fn total_hashes(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_numeric::Xoshiro256;
+    use proptest::prelude::*;
+
+    fn vecs(n: usize, dim: u32, len: usize, seed: u64) -> Vec<SparseVector> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let pairs: Vec<(u32, f32)> = (0..len)
+                    .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                    .collect();
+                SparseVector::from_pairs(pairs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_pool_rounds_to_words_and_is_lazy() {
+        let vs = vecs(3, 100, 10, 1);
+        let mut pool = BitSignatures::new(SrpHasher::new(100, 2), 3);
+        assert_eq!(pool.len(0), 0);
+        pool.ensure(0, &vs[0], 33);
+        assert_eq!(pool.len(0), 64);
+        assert_eq!(pool.len(1), 0);
+        assert_eq!(pool.total_hashes(), 64);
+        // Re-ensuring below current depth is a no-op.
+        pool.ensure(0, &vs[0], 10);
+        assert_eq!(pool.total_hashes(), 64);
+    }
+
+    #[test]
+    fn bit_agreements_match_naive_count() {
+        let vs = vecs(2, 200, 30, 3);
+        let mut pool = BitSignatures::new(SrpHasher::new(200, 4), 2);
+        pool.ensure(0, &vs[0], 256);
+        pool.ensure(1, &vs[1], 256);
+        for &(lo, hi) in &[(0u32, 256u32), (0, 32), (32, 64), (5, 37), (100, 101), (17, 255), (9, 9)] {
+            let naive = (lo..hi).filter(|&i| pool.bit(0, i) == pool.bit(1, i)).count() as u32;
+            assert_eq!(pool.agreements(0, 1, lo, hi), naive, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn bit_agreements_self_is_full_range() {
+        let vs = vecs(1, 64, 10, 5);
+        let mut pool = BitSignatures::new(SrpHasher::new(64, 5), 1);
+        pool.ensure(0, &vs[0], 128);
+        assert_eq!(pool.agreements(0, 0, 0, 128), 128);
+        assert_eq!(pool.agreements(0, 0, 3, 90), 87);
+    }
+
+    #[test]
+    fn bit_extension_preserves_prefix() {
+        let vs = vecs(1, 128, 12, 6);
+        let mut pool = BitSignatures::new(SrpHasher::new(128, 6), 1);
+        pool.ensure(0, &vs[0], 64);
+        let prefix: Vec<bool> = (0..64).map(|i| pool.bit(0, i)).collect();
+        pool.ensure(0, &vs[0], 512);
+        let after: Vec<bool> = (0..64).map(|i| pool.bit(0, i)).collect();
+        assert_eq!(prefix, after);
+        assert_eq!(pool.len(0), 512);
+    }
+
+    #[test]
+    fn int_pool_basics() {
+        let a = SparseVector::from_indices(vec![1, 2, 3]);
+        let b = SparseVector::from_indices(vec![2, 3, 4]);
+        let mut pool = IntSignatures::new(MinHasher::new(10), 2);
+        pool.ensure(0, &a, 100);
+        pool.ensure(1, &b, 100);
+        assert_eq!(pool.len(0), 100);
+        assert_eq!(pool.agreements(0, 0, 0, 100), 100);
+        let agree = pool.agreements(0, 1, 0, 100);
+        // J(a, b) = 0.5 → expect ~50 agreements.
+        assert!((30..=70).contains(&agree), "agreements {agree}");
+        assert_eq!(pool.total_hashes(), 200);
+    }
+
+    #[test]
+    fn int_extension_preserves_prefix() {
+        let a = SparseVector::from_indices(vec![7, 8, 9, 10]);
+        let mut pool = IntSignatures::new(MinHasher::new(11), 1);
+        pool.ensure(0, &a, 16);
+        let prefix = pool.raw(0).to_vec();
+        pool.ensure(0, &a, 64);
+        assert_eq!(&pool.raw(0)[..16], &prefix[..]);
+    }
+
+    proptest! {
+        #[test]
+        fn bit_agreements_equals_naive_on_random_ranges(
+            seed in 0u64..1000,
+            lo in 0u32..256,
+            span in 0u32..256,
+        ) {
+            let hi = (lo + span).min(256);
+            let vs = vecs(2, 64, 8, seed);
+            let mut pool = BitSignatures::new(SrpHasher::new(64, seed ^ 0xABCD), 2);
+            pool.ensure(0, &vs[0], 256);
+            pool.ensure(1, &vs[1], 256);
+            let naive = (lo..hi).filter(|&i| pool.bit(0, i) == pool.bit(1, i)).count() as u32;
+            prop_assert_eq!(pool.agreements(0, 1, lo, hi), naive);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Signed random projections: the LSH family for angular/cosine similarity
+//! (Charikar, STOC'02; paper Section 4.2).
+//!
+//! Hash `i` is a random hyperplane `r_i` with i.i.d. N(0,1) components;
+//! `h_i(x) = [dot(r_i, x) ≥ 0]`. For any pair,
+//! `Pr[h_i(x) = h_i(y)] = 1 − θ(x, y)/π`, which we call `r(x, y)`.
+//! BayesLSH does its inference on `r` and converts back to cosine with
+//! [`r_to_cos`]/[`cos_to_r`].
+
+use bayeslsh_numeric::{derive_seed, Gaussian, Xoshiro256};
+use bayeslsh_sparse::SparseVector;
+
+use crate::quantized;
+
+/// Map the collision similarity `r ∈ [0.5, 1]` (for non-negative-cosine
+/// pairs) to cosine: `r2c(r) = cos(π(1 − r))`.
+#[inline]
+pub fn r_to_cos(r: f64) -> f64 {
+    (std::f64::consts::PI * (1.0 - r)).cos()
+}
+
+/// Map cosine similarity to the hash-collision similarity:
+/// `c2r(c) = 1 − arccos(c)/π`.
+#[inline]
+pub fn cos_to_r(c: f64) -> f64 {
+    1.0 - c.clamp(-1.0, 1.0).acos() / std::f64::consts::PI
+}
+
+/// How hyperplane components are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneStorage {
+    /// 2 bytes per component (paper §4.3) — the default.
+    Quantized,
+    /// 4-byte floats; used by the ablation bench to measure what the
+    /// quantization trades away.
+    Float,
+}
+
+/// A lazily-grown bank of random hyperplanes producing sign bits.
+///
+/// Plane `i` is generated deterministically from `(seed, i)`, so two
+/// `SrpHasher`s with the same seed produce identical hash streams regardless
+/// of the order in which planes were first demanded.
+#[derive(Debug, Clone)]
+pub struct SrpHasher {
+    dim: u32,
+    seed: u64,
+    storage: PlaneStorage,
+    planes_q: Vec<Vec<u16>>,
+    planes_f: Vec<Vec<f32>>,
+    /// Total component draws, for memory/throughput accounting.
+    components_generated: u64,
+}
+
+impl SrpHasher {
+    /// A hasher over a `dim`-dimensional space with quantized plane storage.
+    pub fn new(dim: u32, seed: u64) -> Self {
+        Self::with_storage(dim, seed, PlaneStorage::Quantized)
+    }
+
+    /// A hasher with explicit storage choice.
+    pub fn with_storage(dim: u32, seed: u64, storage: PlaneStorage) -> Self {
+        Self {
+            dim,
+            seed,
+            storage,
+            planes_q: Vec::new(),
+            planes_f: Vec::new(),
+            components_generated: 0,
+        }
+    }
+
+    /// Dimensionality of the input space.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of planes materialized so far.
+    pub fn planes_ready(&self) -> usize {
+        match self.storage {
+            PlaneStorage::Quantized => self.planes_q.len(),
+            PlaneStorage::Float => self.planes_f.len(),
+        }
+    }
+
+    /// Bytes of plane storage currently held.
+    pub fn plane_bytes(&self) -> usize {
+        match self.storage {
+            PlaneStorage::Quantized => self.planes_q.len() * self.dim as usize * 2,
+            PlaneStorage::Float => self.planes_f.len() * self.dim as usize * 4,
+        }
+    }
+
+    fn gen_plane(&mut self, index: usize) -> Vec<f32> {
+        let mut rng = Xoshiro256::seed_from_u64(derive_seed(self.seed, index as u64));
+        let mut gauss = Gaussian::new();
+        self.components_generated += self.dim as u64;
+        (0..self.dim).map(|_| gauss.sample(&mut rng) as f32).collect()
+    }
+
+    /// Materialize planes `0..n`.
+    pub fn ensure_planes(&mut self, n: usize) {
+        while self.planes_ready() < n {
+            let idx = self.planes_ready();
+            let plane = self.gen_plane(idx);
+            match self.storage {
+                PlaneStorage::Quantized => self.planes_q.push(quantized::encode_slice(&plane)),
+                PlaneStorage::Float => self.planes_f.push(plane),
+            }
+        }
+    }
+
+    /// Sign bit of plane `i` against `v` (materializing the plane if
+    /// needed).
+    pub fn hash_bit(&mut self, i: usize, v: &SparseVector) -> bool {
+        self.ensure_planes(i + 1);
+        let acc = match self.storage {
+            PlaneStorage::Quantized => {
+                let plane = &self.planes_q[i];
+                let mut acc = 0.0f64;
+                for (idx, val) in v.iter() {
+                    acc += quantized::decode(plane[idx as usize]) as f64 * val as f64;
+                }
+                acc
+            }
+            PlaneStorage::Float => {
+                let plane = &self.planes_f[i];
+                let mut acc = 0.0f64;
+                for (idx, val) in v.iter() {
+                    acc += plane[idx as usize] as f64 * val as f64;
+                }
+                acc
+            }
+        };
+        acc >= 0.0
+    }
+
+    /// Compute bits `lo..hi` for `v`, packed LSB-first into `u32` words that
+    /// the caller appends to an existing signature (whose valid length must
+    /// be exactly `lo` bits, with `lo` a multiple of 32 or the bits already
+    /// partially filling the last word).
+    pub fn hash_bits_into(&mut self, v: &SparseVector, lo: u32, hi: u32, words: &mut Vec<u32>) {
+        self.ensure_planes(hi as usize);
+        for i in lo..hi {
+            let word_idx = (i / 32) as usize;
+            if word_idx >= words.len() {
+                words.push(0);
+            }
+            if self.hash_bit(i as usize, v) {
+                words[word_idx] |= 1u32 << (i % 32);
+            }
+        }
+    }
+
+    /// Total Gaussian components generated (throughput accounting).
+    pub fn components_generated(&self) -> u64 {
+        self.components_generated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_sparse::cosine;
+
+    fn random_dense_vector(dim: u32, rng: &mut Xoshiro256) -> SparseVector {
+        let pairs: Vec<(u32, f32)> =
+            (0..dim).map(|i| (i, (rng.next_f64() * 2.0 - 1.0) as f32)).collect();
+        SparseVector::from_pairs(pairs)
+    }
+
+    #[test]
+    fn r_cos_round_trip() {
+        for c in [0.0, 0.1, 0.5, 0.7, 0.9, 0.99, 1.0] {
+            assert!((r_to_cos(cos_to_r(c)) - c).abs() < 1e-12, "c={c}");
+        }
+        for r in [0.5, 0.6, 0.75, 0.9, 1.0] {
+            assert!((cos_to_r(r_to_cos(r)) - r).abs() < 1e-12, "r={r}");
+        }
+    }
+
+    #[test]
+    fn r_of_known_angles() {
+        // cos 0 → r = 0.5; cos 1 → r = 1; cos(60°) = 0.5 → r = 1 − 1/3.
+        assert!((cos_to_r(0.0) - 0.5).abs() < 1e-12);
+        assert!((cos_to_r(1.0) - 1.0).abs() < 1e-12);
+        assert!((cos_to_r(0.5) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_rate_matches_angular_similarity() {
+        // Empirical check of Pr[h(x) = h(y)] = 1 − θ/π with 4000 planes.
+        let mut rng = Xoshiro256::seed_from_u64(41);
+        let mut hasher = SrpHasher::new(64, 7);
+        for trial in 0..4 {
+            let x = random_dense_vector(64, &mut rng);
+            let y = random_dense_vector(64, &mut rng);
+            let expected = cos_to_r(cosine(&x, &y));
+            let n = 4000usize;
+            let agree = (0..n)
+                .filter(|&i| hasher.hash_bit(i, &x) == hasher.hash_bit(i, &y))
+                .count();
+            let observed = agree as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.03,
+                "trial {trial}: observed {observed} expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_vectors_always_collide() {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let mut hasher = SrpHasher::new(32, 9);
+        let x = random_dense_vector(32, &mut rng);
+        for i in 0..512 {
+            assert_eq!(hasher.hash_bit(i, &x), hasher.hash_bit(i, &x));
+        }
+    }
+
+    #[test]
+    fn opposite_vectors_never_collide() {
+        let mut rng = Xoshiro256::seed_from_u64(43);
+        let mut hasher = SrpHasher::new(32, 9);
+        let x = random_dense_vector(32, &mut rng);
+        let neg = x.scaled(-1.0);
+        let agree = (0..512).filter(|&i| hasher.hash_bit(i, &x) == hasher.hash_bit(i, &neg)).count();
+        // dot = 0 exactly on a measure-zero set; sign flip everywhere else.
+        assert_eq!(agree, 0);
+    }
+
+    #[test]
+    fn deterministic_across_instances_and_demand_order() {
+        let x = SparseVector::from_pairs(vec![(3, 1.0), (17, -0.5), (29, 2.0)]);
+        let mut h1 = SrpHasher::new(32, 1234);
+        let mut h2 = SrpHasher::new(32, 1234);
+        // h1 materializes planes front-to-back, h2 back-to-front.
+        let bits1: Vec<bool> = (0..128).map(|i| h1.hash_bit(i, &x)).collect();
+        h2.ensure_planes(128);
+        let bits2: Vec<bool> = (0..128).map(|i| h2.hash_bit(i, &x)).collect();
+        assert_eq!(bits1, bits2);
+    }
+
+    #[test]
+    fn quantized_and_float_rarely_disagree() {
+        // Quantization can only flip bits for pairs whose projection is
+        // within ~1e-4·‖x‖₁ of the hyperplane.
+        let mut rng = Xoshiro256::seed_from_u64(44);
+        let mut hq = SrpHasher::with_storage(64, 5, PlaneStorage::Quantized);
+        let mut hf = SrpHasher::with_storage(64, 5, PlaneStorage::Float);
+        let mut disagreements = 0;
+        let trials = 20;
+        let planes = 256;
+        for _ in 0..trials {
+            let x = random_dense_vector(64, &mut rng);
+            for i in 0..planes {
+                if hq.hash_bit(i, &x) != hf.hash_bit(i, &x) {
+                    disagreements += 1;
+                }
+            }
+        }
+        let rate = disagreements as f64 / (trials * planes) as f64;
+        assert!(rate < 0.005, "disagreement rate {rate}");
+    }
+
+    #[test]
+    fn hash_bits_into_packs_correctly() {
+        let x = SparseVector::from_pairs(vec![(0, 1.0), (5, -2.0), (11, 0.25)]);
+        let mut h = SrpHasher::new(16, 77);
+        let mut words = Vec::new();
+        h.hash_bits_into(&x, 0, 70, &mut words);
+        assert_eq!(words.len(), 3);
+        for i in 0..70u32 {
+            let bit = (words[(i / 32) as usize] >> (i % 32)) & 1 == 1;
+            assert_eq!(bit, h.hash_bit(i as usize, &x), "bit {i}");
+        }
+        // Extend from a non-word boundary.
+        let mut h2 = SrpHasher::new(16, 77);
+        let mut w2 = Vec::new();
+        h2.hash_bits_into(&x, 0, 40, &mut w2);
+        h2.hash_bits_into(&x, 40, 70, &mut w2);
+        assert_eq!(words, w2);
+    }
+
+    #[test]
+    fn plane_accounting() {
+        let mut h = SrpHasher::new(100, 1);
+        assert_eq!(h.planes_ready(), 0);
+        assert_eq!(h.plane_bytes(), 0);
+        h.ensure_planes(8);
+        assert_eq!(h.planes_ready(), 8);
+        assert_eq!(h.plane_bytes(), 8 * 100 * 2);
+        assert_eq!(h.components_generated(), 800);
+        // Idempotent.
+        h.ensure_planes(4);
+        assert_eq!(h.planes_ready(), 8);
+    }
+}

@@ -1,0 +1,233 @@
+//! The (regularized, incomplete) beta function.
+//!
+//! `I_x(a, b)` is the CDF of the Beta distribution and the single most
+//! important special function in BayesLSH: both the pruning probability
+//! `Pr[S ≥ t | M(m,n)]` (paper Eq. 3) and the concentration probability of
+//! the MAP estimate (paper Eq. 6) are differences of regularized incomplete
+//! beta values. The paper notes it is "typically approximated using continued
+//! fractions" — we implement exactly that (Lentz's algorithm, as in
+//! Numerical Recipes §6.4).
+
+use crate::gamma::ln_gamma;
+
+/// Natural log of the complete beta function `B(a, b)`.
+pub fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+const MAX_ITER: usize = 300;
+const EPS: f64 = 1e-15;
+const FPMIN: f64 = 1e-300;
+
+/// Continued-fraction kernel for the incomplete beta function
+/// (modified Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> f64 {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0`,
+/// `x ∈ [0, 1]`.
+///
+/// `I_x(a, b) = B_x(a, b) / B(a, b)` where
+/// `B_x(a, b) = ∫_0^x y^(a−1) (1−y)^(b−1) dy`.
+///
+/// The continued fraction converges fastest for `x < (a+1)/(a+b+2)`; above
+/// that we use the symmetry `I_x(a, b) = 1 − I_{1−x}(b, a)`.
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "reg_inc_beta needs a,b > 0; got ({a},{b})");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "reg_inc_beta needs x in [0,1]; got {x}"
+    );
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = a * x.ln() + b * (1.0 - x).ln() - ln_beta(a, b);
+    let front = ln_front.exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        (front * betacf(a, b, x) / a).clamp(0.0, 1.0)
+    } else {
+        (1.0 - front * betacf(b, a, 1.0 - x) / b).clamp(0.0, 1.0)
+    }
+}
+
+/// Probability mass of the Beta(a, b) distribution on the interval
+/// `[lo, hi] ∩ [0, 1]`; clamps the endpoints for the caller.
+pub fn beta_interval_prob(a: f64, b: f64, lo: f64, hi: f64) -> f64 {
+    let lo = lo.clamp(0.0, 1.0);
+    let hi = hi.clamp(0.0, 1.0);
+    if hi <= lo {
+        return 0.0;
+    }
+    (reg_inc_beta(a, b, hi) - reg_inc_beta(a, b, lo)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gamma::ln_choose;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    /// Exact survival function of Binomial(n, x) at a, computed with
+    /// log-space terms: `Pr[X >= a] = I_x(a, n-a+1)`.
+    fn binom_sf(n: u64, x: f64, a: u64) -> f64 {
+        (a..=n)
+            .map(|j| (ln_choose(n, j) + (j as f64) * x.ln() + ((n - j) as f64) * (1.0 - x).ln()).exp())
+            .sum()
+    }
+
+    #[test]
+    fn ln_beta_known_values() {
+        // B(1,1) = 1; B(2,3) = 1/12; B(0.5,0.5) = π.
+        assert_close(ln_beta(1.0, 1.0), 0.0, 1e-12);
+        assert_close(ln_beta(2.0, 3.0), (1.0f64 / 12.0).ln(), 1e-12);
+        assert_close(ln_beta(0.5, 0.5), std::f64::consts::PI.ln(), 1e-12);
+    }
+
+    #[test]
+    fn endpoints() {
+        assert_eq!(reg_inc_beta(2.0, 5.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 5.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn uniform_case_is_identity() {
+        // I_x(1, 1) = x.
+        for x in [0.0, 0.1, 0.25, 0.5, 0.77, 0.999, 1.0] {
+            assert_close(reg_inc_beta(1.0, 1.0, x), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_law_cases() {
+        // I_x(a, 1) = x^a;  I_x(1, b) = 1 − (1−x)^b.
+        for x in [0.1, 0.4, 0.9] {
+            for p in [0.5, 2.0, 7.0] {
+                assert_close(reg_inc_beta(p, 1.0, x), x.powf(p), 1e-12);
+                assert_close(reg_inc_beta(1.0, p, x), 1.0 - (1.0 - x).powf(p), 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_at_half() {
+        // I_{1/2}(a, a) = 1/2.
+        for a in [0.5, 1.0, 3.0, 10.0, 120.0] {
+            assert_close(reg_inc_beta(a, a, 0.5), 0.5, 1e-12);
+        }
+    }
+
+    #[test]
+    fn reflection_identity() {
+        // I_x(a, b) = 1 − I_{1−x}(b, a).
+        for &(a, b) in &[(2.0, 3.0), (0.5, 4.0), (30.0, 7.0), (100.0, 150.0)] {
+            for x in [0.05, 0.3, 0.5, 0.8, 0.95] {
+                let lhs = reg_inc_beta(a, b, x);
+                let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+                assert_close(lhs, rhs, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_tail_identity_small_n() {
+        // I_x(a, n−a+1) = Pr[Binomial(n, x) ≥ a], exact for integer a.
+        for n in [4u64, 10, 25] {
+            for a in 1..=n {
+                for x in [0.1, 0.3, 0.5, 0.7, 0.95] {
+                    let lhs = reg_inc_beta(a as f64, (n - a + 1) as f64, x);
+                    let rhs = binom_sf(n, x, a);
+                    assert_close(lhs, rhs, 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_value() {
+        // I_0.3(2, 3) = Pr[Bin(4, 0.3) ≥ 2]
+        //             = 1 − 0.7^4 − 4·0.3·0.7^3 = 0.3483.
+        assert_close(reg_inc_beta(2.0, 3.0, 0.3), 0.3483, 1e-12);
+        // I_0.5(2, 3) = 11/16.
+        assert_close(reg_inc_beta(2.0, 3.0, 0.5), 11.0 / 16.0, 1e-12);
+    }
+
+    #[test]
+    fn monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            let v = reg_inc_beta(13.0, 29.0, x);
+            assert!(v >= prev - 1e-14, "not monotone at x={x}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn large_parameters_stable() {
+        // Posteriors after thousands of hash comparisons must stay finite
+        // and ordered.
+        let v_lo = reg_inc_beta(1800.0, 250.0, 0.85);
+        let v_hi = reg_inc_beta(1800.0, 250.0, 0.9);
+        assert!(v_lo.is_finite() && v_hi.is_finite());
+        assert!((0.0..=1.0).contains(&v_lo));
+        assert!(v_lo < v_hi);
+    }
+
+    #[test]
+    fn interval_prob_basics() {
+        assert_close(beta_interval_prob(1.0, 1.0, 0.2, 0.7), 0.5, 1e-12);
+        assert_eq!(beta_interval_prob(2.0, 2.0, 0.7, 0.2), 0.0);
+        // Clamping outside [0,1].
+        assert_close(beta_interval_prob(1.0, 1.0, -0.5, 0.5), 0.5, 1e-12);
+        assert_close(beta_interval_prob(1.0, 1.0, 0.5, 1.5), 0.5, 1e-12);
+    }
+}

@@ -1,0 +1,374 @@
+//! The Beta distribution as a value type.
+//!
+//! BayesLSH for Jaccard similarity uses a Beta prior (conjugate to the
+//! binomial hash-agreement likelihood), so the posterior after observing
+//! `m` matches in `n` hashes is again Beta (paper Section 4.1). The
+//! method-of-moments fit implements the paper's recipe for learning the
+//! prior from a random sample of candidate-pair similarities.
+
+use crate::beta::{beta_interval_prob, ln_beta, reg_inc_beta};
+use crate::gaussian::Gaussian;
+use crate::rng::Xoshiro256;
+
+/// A Beta(α, β) distribution with α, β > 0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetaDist {
+    alpha: f64,
+    beta: f64,
+}
+
+impl BetaDist {
+    /// Create a Beta(α, β); both parameters must be strictly positive.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && beta > 0.0,
+            "Beta parameters must be positive, got ({alpha}, {beta})"
+        );
+        Self { alpha, beta }
+    }
+
+    /// The uniform distribution on (0, 1) — Beta(1, 1), the paper's default
+    /// prior when no sample of candidate similarities is available.
+    pub fn uniform() -> Self {
+        Self::new(1.0, 1.0)
+    }
+
+    /// Shape parameter α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape parameter β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Log probability density at `x ∈ (0, 1)`.
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        if !(0.0..=1.0).contains(&x) {
+            return f64::NEG_INFINITY;
+        }
+        (self.alpha - 1.0) * x.ln() + (self.beta - 1.0) * (1.0 - x).ln()
+            - ln_beta(self.alpha, self.beta)
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        self.ln_pdf(x).exp()
+    }
+
+    /// CDF: `Pr[X <= x] = I_x(α, β)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        reg_inc_beta(self.alpha, self.beta, x.clamp(0.0, 1.0))
+    }
+
+    /// Survival: `Pr[X >= x]`.
+    pub fn sf(&self, x: f64) -> f64 {
+        1.0 - self.cdf(x)
+    }
+
+    /// `Pr[lo <= X <= hi]` with endpoint clamping.
+    pub fn interval_prob(&self, lo: f64, hi: f64) -> f64 {
+        beta_interval_prob(self.alpha, self.beta, lo, hi)
+    }
+
+    /// Mean `α / (α + β)`.
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// Variance `αβ / ((α+β)² (α+β+1))`.
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// Mode `(α−1)/(α+β−2)` for α, β > 1; for other shapes returns the
+    /// argmax of the (possibly boundary-peaked) density.
+    pub fn mode(&self) -> f64 {
+        let (a, b) = (self.alpha, self.beta);
+        if a > 1.0 && b > 1.0 {
+            (a - 1.0) / (a + b - 2.0)
+        } else if a <= 1.0 && b > 1.0 {
+            0.0
+        } else if a > 1.0 && b <= 1.0 {
+            1.0
+        } else if a == 1.0 && b == 1.0 {
+            0.5 // flat: any point is modal; pick the centre
+        } else {
+            // Bimodal at the boundary (a < 1 and b < 1): take the heavier end.
+            if a < b {
+                0.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    /// Draw one sample: X = G_a / (G_a + G_b) with G_* ~ Gamma(shape, 1).
+    pub fn sample(&self, rng: &mut Xoshiro256, gauss: &mut Gaussian) -> f64 {
+        let ga = sample_gamma(self.alpha, rng, gauss);
+        let gb = sample_gamma(self.beta, rng, gauss);
+        if ga + gb == 0.0 {
+            return 0.5;
+        }
+        ga / (ga + gb)
+    }
+
+    /// Method-of-moments fit from a sample of similarities in `[0, 1]`,
+    /// exactly as in the paper (population variance):
+    ///
+    /// `α̂ = m̄ (m̄(1−m̄)/v̄ − 1)`,  `β̂ = (1−m̄)(m̄(1−m̄)/v̄ − 1)`.
+    ///
+    /// Falls back to the uniform prior when the sample is too small or too
+    /// degenerate for the fit to be defined (v̄ = 0, v̄ ≥ m̄(1−m̄), or a mean
+    /// at the boundary).
+    pub fn fit_moments(samples: &[f64]) -> Self {
+        if samples.len() < 2 {
+            return Self::uniform();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+        if !(0.0..=1.0).contains(&mean) || mean == 0.0 || mean == 1.0 {
+            return Self::uniform();
+        }
+        let bound = mean * (1.0 - mean);
+        if var <= f64::EPSILON || var >= bound {
+            return Self::uniform();
+        }
+        let common = bound / var - 1.0;
+        let alpha = mean * common;
+        let beta = (1.0 - mean) * common;
+        if alpha <= 0.0 || beta <= 0.0 || !alpha.is_finite() || !beta.is_finite() {
+            return Self::uniform();
+        }
+        Self::new(alpha, beta)
+    }
+
+    /// Conjugate update: the posterior after observing `m` hash matches out
+    /// of `n` comparisons is `Beta(α + m, β + n − m)`.
+    pub fn posterior(&self, m: u64, n: u64) -> Self {
+        assert!(m <= n, "matches m={m} cannot exceed comparisons n={n}");
+        Self::new(self.alpha + m as f64, self.beta + (n - m) as f64)
+    }
+
+    /// Quantile function (inverse CDF) by bisection on the monotone CDF;
+    /// accurate to ~1e-12 in `x`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile needs p in [0,1], got {p}");
+        if p == 0.0 {
+            return 0.0;
+        }
+        if p == 1.0 {
+            return 1.0;
+        }
+        let (mut lo, mut hi) = (0.0f64, 1.0f64);
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Central credible interval containing `mass` of the distribution
+    /// (e.g. `mass = 0.95` gives the equal-tailed 95% interval). Useful for
+    /// reporting uncertainty alongside BayesLSH similarity estimates.
+    pub fn credible_interval(&self, mass: f64) -> (f64, f64) {
+        assert!(mass > 0.0 && mass < 1.0, "credible mass must be in (0,1), got {mass}");
+        let tail = 0.5 * (1.0 - mass);
+        (self.quantile(tail), self.quantile(1.0 - tail))
+    }
+}
+
+/// Marsaglia–Tsang Gamma(shape, 1) sampler (with the Johnk-style boost for
+/// shape < 1).
+fn sample_gamma(shape: f64, rng: &mut Xoshiro256, gauss: &mut Gaussian) -> f64 {
+    assert!(shape > 0.0);
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) * U^(1/a).
+        let g = sample_gamma(shape + 1.0, rng, gauss);
+        let u = rng.next_f64_open();
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = gauss.sample(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = rng.next_f64_open();
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn uniform_prior_properties() {
+        let u = BetaDist::uniform();
+        assert_close(u.pdf(0.3), 1.0, 1e-12);
+        assert_close(u.cdf(0.3), 0.3, 1e-12);
+        assert_close(u.mean(), 0.5, 1e-12);
+        assert_close(u.variance(), 1.0 / 12.0, 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        // Trapezoid integration of the density.
+        let d = BetaDist::new(3.5, 2.2);
+        let n = 20_000;
+        let h = 1.0 / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let x0 = i as f64 * h;
+            let x1 = x0 + h;
+            acc += 0.5 * (d.pdf(x0.max(1e-12)) + d.pdf(x1.min(1.0 - 1e-12))) * h;
+        }
+        assert_close(acc, 1.0, 1e-3);
+    }
+
+    #[test]
+    fn mode_formulas() {
+        assert_close(BetaDist::new(3.0, 2.0).mode(), 2.0 / 3.0, 1e-12);
+        assert_close(BetaDist::new(2.0, 2.0).mode(), 0.5, 1e-12);
+        assert_eq!(BetaDist::new(0.5, 2.0).mode(), 0.0);
+        assert_eq!(BetaDist::new(2.0, 0.5).mode(), 1.0);
+        assert_close(BetaDist::uniform().mode(), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn posterior_update_matches_paper() {
+        // Posterior of Beta(α, β) after m of n matches is
+        // Beta(m + α, n − m + β) — paper Section 4.1.
+        let prior = BetaDist::new(2.0, 5.0);
+        let post = prior.posterior(24, 32);
+        assert_close(post.alpha(), 26.0, 1e-12);
+        assert_close(post.beta(), 13.0, 1e-12);
+    }
+
+    #[test]
+    fn posterior_mode_matches_paper_formula() {
+        // Paper: Ŝ = (m + α − 1) / (n + α + β − 2).
+        let prior = BetaDist::uniform();
+        let (m, n) = (24u64, 32u64);
+        let post = prior.posterior(m, n);
+        let expected = (m as f64 + 1.0 - 1.0) / (n as f64 + 2.0 - 2.0);
+        assert_close(post.mode(), expected, 1e-12);
+        assert_close(post.mode(), 0.75, 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let d = BetaDist::new(7.3, 1.4);
+        let mut prev = 0.0;
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            let c = d.cdf(x);
+            assert!((0.0..=1.0).contains(&c));
+            assert!(c >= prev - 1e-13);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn sampling_matches_moments() {
+        let d = BetaDist::new(2.5, 6.0);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let mut gauss = Gaussian::new();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng, &mut gauss)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert_close(mean, d.mean(), 0.01);
+        assert_close(var, d.variance(), 0.005);
+        assert!(samples.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn fit_moments_recovers_parameters() {
+        let d = BetaDist::new(4.0, 9.0);
+        let mut rng = Xoshiro256::seed_from_u64(12);
+        let mut gauss = Gaussian::new();
+        let samples: Vec<f64> = (0..60_000).map(|_| d.sample(&mut rng, &mut gauss)).collect();
+        let fit = BetaDist::fit_moments(&samples);
+        assert_close(fit.alpha(), 4.0, 0.35);
+        assert_close(fit.beta(), 9.0, 0.8);
+    }
+
+    #[test]
+    fn fit_moments_degenerate_falls_back_to_uniform() {
+        assert_eq!(BetaDist::fit_moments(&[]), BetaDist::uniform());
+        assert_eq!(BetaDist::fit_moments(&[0.4]), BetaDist::uniform());
+        assert_eq!(BetaDist::fit_moments(&[0.4, 0.4, 0.4]), BetaDist::uniform());
+        // All mass at the boundary.
+        assert_eq!(BetaDist::fit_moments(&[0.0, 0.0]), BetaDist::uniform());
+        assert_eq!(BetaDist::fit_moments(&[1.0, 1.0]), BetaDist::uniform());
+        // Variance at the Bernoulli maximum (v = m(1−m)) is not a Beta.
+        assert_eq!(BetaDist::fit_moments(&[0.0, 1.0]), BetaDist::uniform());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = BetaDist::new(3.2, 1.7);
+        for p in [0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999] {
+            let x = d.quantile(p);
+            assert_close(d.cdf(x), p, 1e-10);
+        }
+        // Round trip the other way.
+        for x in [0.1, 0.33, 0.8] {
+            assert_close(d.quantile(d.cdf(x)), x, 1e-10);
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints_and_median_symmetry() {
+        let d = BetaDist::new(4.0, 4.0);
+        assert_eq!(d.quantile(0.0), 0.0);
+        assert_eq!(d.quantile(1.0), 1.0);
+        assert_close(d.quantile(0.5), 0.5, 1e-10);
+        // Symmetric distribution → symmetric quantiles.
+        assert_close(d.quantile(0.2) + d.quantile(0.8), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn credible_interval_contains_the_mass() {
+        let d = BetaDist::new(26.0, 9.0); // posterior after 25/33 matches
+        let (lo, hi) = d.credible_interval(0.95);
+        assert!(lo < d.mean() && d.mean() < hi);
+        assert_close(d.cdf(hi) - d.cdf(lo), 0.95, 1e-9);
+        // More mass → wider interval.
+        let (lo99, hi99) = d.credible_interval(0.99);
+        assert!(lo99 < lo && hi99 > hi);
+    }
+
+    #[test]
+    fn credible_interval_narrows_with_evidence() {
+        let small = BetaDist::uniform().posterior(24, 32).credible_interval(0.95);
+        let large = BetaDist::uniform().posterior(768, 1024).credible_interval(0.95);
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn fit_moments_simple_two_point() {
+        // mean 0.5, pop-var 0.01 → common = 24, α = β = 12.
+        let fit = BetaDist::fit_moments(&[0.4, 0.6]);
+        assert_close(fit.alpha(), 12.0, 1e-9);
+        assert_close(fit.beta(), 12.0, 1e-9);
+    }
+}

@@ -1,0 +1,236 @@
+//! Exact binomial probabilities.
+//!
+//! Used for the frequentist analysis of classical LSH similarity estimation
+//! (paper Section 3 / Figure 1): the maximum-likelihood estimator `ŝ = m/n`
+//! concentrates at a rate that depends on the unknown similarity, so the
+//! number of hashes needed for a `(δ, γ)` accuracy guarantee varies wildly
+//! with `s`. [`min_hashes_for_concentration`] reproduces that curve exactly.
+
+use crate::beta::reg_inc_beta;
+use crate::gamma::ln_choose;
+
+/// A Binomial(n, p) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Create a Binomial(n, p); `p` must lie in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Log probability mass at `k`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        if k > self.n {
+            return f64::NEG_INFINITY;
+        }
+        // Handle the degenerate endpoints exactly.
+        if self.p == 0.0 {
+            return if k == 0 { 0.0 } else { f64::NEG_INFINITY };
+        }
+        if self.p == 1.0 {
+            return if k == self.n { 0.0 } else { f64::NEG_INFINITY };
+        }
+        ln_choose(self.n, k)
+            + (k as f64) * self.p.ln()
+            + ((self.n - k) as f64) * (1.0 - self.p).ln()
+    }
+
+    /// Probability mass at `k`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `Pr[X <= k]` via the incomplete-beta identity
+    /// `Pr[X <= k] = I_{1−p}(n−k, k+1)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        if k >= self.n {
+            return 1.0;
+        }
+        if self.p == 0.0 {
+            return 1.0;
+        }
+        if self.p == 1.0 {
+            return 0.0; // k < n and all mass is at n
+        }
+        reg_inc_beta((self.n - k) as f64, k as f64 + 1.0, 1.0 - self.p)
+    }
+
+    /// `Pr[X >= k]` via `I_p(k, n−k+1)`.
+    pub fn sf(&self, k: u64) -> f64 {
+        if k == 0 {
+            return 1.0;
+        }
+        if k > self.n {
+            return 0.0;
+        }
+        if self.p == 0.0 {
+            return 0.0;
+        }
+        if self.p == 1.0 {
+            return 1.0; // all mass at n >= k
+        }
+        reg_inc_beta(k as f64, (self.n - k) as f64 + 1.0, self.p)
+    }
+
+    /// `Pr[lo <= X <= hi]`, summed from exact pmf terms (stable for the
+    /// n ≤ ~10⁴ ranges the harness sweeps).
+    pub fn interval_prob(&self, lo: u64, hi: u64) -> f64 {
+        if lo > hi || lo > self.n {
+            return 0.0;
+        }
+        let hi = hi.min(self.n);
+        (lo..=hi).map(|k| self.pmf(k)).sum()
+    }
+
+    /// Distribution mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Distribution variance `n·p·(1−p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+}
+
+/// Minimum number of hashes `n` such that the MLE `ŝ = m/n` of a similarity
+/// `s` satisfies `Pr[|ŝ − s| < δ] ≥ 1 − γ` — i.e. the per-similarity hash
+/// requirement of classical LSH estimation (paper Figure 1).
+///
+/// Follows the paper's expression
+/// `Pr[|ŝ_n − s| < δ] = Σ_{m=(s−δ)n}^{(s+δ)n} C(n,m) s^m (1−s)^{n−m}`
+/// with the integer range `[ceil((s−δ)n), floor((s+δ)n)]`.
+///
+/// Returns `None` if no `n ≤ max_n` reaches the target confidence.
+pub fn min_hashes_for_concentration(s: f64, delta: f64, gamma: f64, max_n: u64) -> Option<u64> {
+    assert!((0.0..=1.0).contains(&s), "similarity must be in [0,1]");
+    assert!(delta > 0.0 && gamma > 0.0);
+    for n in 1..=max_n {
+        let lo = ((s - delta) * n as f64).ceil().max(0.0) as u64;
+        let hi = ((s + delta) * n as f64).floor().min(n as f64) as u64;
+        if lo > hi {
+            continue;
+        }
+        let prob = Binomial::new(n, s).interval_prob(lo, hi);
+        if prob >= 1.0 - gamma {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn pmf_matches_hand_computation() {
+        let b = Binomial::new(4, 0.3);
+        assert_close(b.pmf(0), 0.7f64.powi(4), 1e-12);
+        assert_close(b.pmf(1), 4.0 * 0.3 * 0.7f64.powi(3), 1e-12);
+        assert_close(b.pmf(2), 6.0 * 0.09 * 0.49, 1e-12);
+        assert_close(b.pmf(4), 0.3f64.powi(4), 1e-12);
+        assert_eq!(b.pmf(5), 0.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for &(n, p) in &[(1u64, 0.5), (10, 0.2), (100, 0.73), (500, 0.99)] {
+            let b = Binomial::new(n, p);
+            let total: f64 = (0..=n).map(|k| b.pmf(k)).sum();
+            assert_close(total, 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_sf_complementarity() {
+        let b = Binomial::new(50, 0.4);
+        for k in 0..=50 {
+            // Pr[X <= k] + Pr[X >= k+1] = 1.
+            assert_close(b.cdf(k) + b.sf(k + 1), 1.0, 1e-10);
+        }
+    }
+
+    #[test]
+    fn cdf_matches_summation() {
+        let b = Binomial::new(30, 0.65);
+        let mut acc = 0.0;
+        for k in 0..=30 {
+            acc += b.pmf(k);
+            assert_close(b.cdf(k), acc, 1e-10);
+        }
+    }
+
+    #[test]
+    fn degenerate_p_zero_and_one() {
+        let b0 = Binomial::new(10, 0.0);
+        assert_eq!(b0.pmf(0), 1.0);
+        assert_eq!(b0.cdf(0), 1.0);
+        assert_eq!(b0.sf(1), 0.0);
+        let b1 = Binomial::new(10, 1.0);
+        assert_eq!(b1.pmf(10), 1.0);
+        assert_eq!(b1.sf(10), 1.0);
+        assert_eq!(b1.cdf(9), 0.0);
+    }
+
+    #[test]
+    fn interval_prob_full_range_is_one() {
+        let b = Binomial::new(64, 0.8);
+        assert_close(b.interval_prob(0, 64), 1.0, 1e-10);
+        assert_close(b.interval_prob(0, 1000), 1.0, 1e-10);
+        assert_eq!(b.interval_prob(5, 3), 0.0);
+    }
+
+    #[test]
+    fn moments() {
+        let b = Binomial::new(200, 0.25);
+        assert_close(b.mean(), 50.0, 1e-12);
+        assert_close(b.variance(), 37.5, 1e-12);
+    }
+
+    #[test]
+    fn concentration_needs_most_hashes_near_half() {
+        // The headline observation behind Figure 1: estimating s = 0.5
+        // takes far more hashes than s = 0.95 or s = 0.05.
+        let at = |s| min_hashes_for_concentration(s, 0.05, 0.05, 5_000).unwrap();
+        let mid = at(0.5);
+        let hi = at(0.95);
+        let lo = at(0.05);
+        assert!(mid > 3 * hi, "mid={mid} hi={hi}");
+        assert!(mid > 3 * lo, "mid={mid} lo={lo}");
+        // And the s = 0.5 requirement lands in the few-hundred range the
+        // paper reports (≈350).
+        assert!((200..=450).contains(&mid), "mid={mid}");
+    }
+
+    #[test]
+    fn concentration_tightens_with_delta() {
+        let loose = min_hashes_for_concentration(0.7, 0.10, 0.05, 20_000).unwrap();
+        let tight = min_hashes_for_concentration(0.7, 0.02, 0.05, 20_000).unwrap();
+        assert!(tight > 5 * loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn concentration_none_when_cap_too_small() {
+        assert_eq!(min_hashes_for_concentration(0.5, 0.01, 0.01, 10), None);
+    }
+}

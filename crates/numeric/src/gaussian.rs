@@ -1,0 +1,112 @@
+//! Standard normal sampling via the Marsaglia polar method.
+//!
+//! The signed-random-projection LSH family for cosine similarity (paper
+//! Section 4.2) draws each component of each projection vector from
+//! N(0, 1); a corpus-scale index needs millions of such draws, so the
+//! sampler caches the spare variate the polar method produces for free.
+
+use crate::rng::Xoshiro256;
+
+/// A standard normal sampler with spare-value caching.
+#[derive(Debug, Clone, Default)]
+pub struct Gaussian {
+    spare: Option<f64>,
+}
+
+impl Gaussian {
+    /// Create a sampler with an empty spare slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw one N(0, 1) sample.
+    pub fn sample(&mut self, rng: &mut Xoshiro256) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Fill a slice with independent N(0, 1) samples.
+    pub fn fill(&mut self, rng: &mut Xoshiro256, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Collect `n` independent N(0, 1) samples.
+    pub fn sample_vec(&mut self, rng: &mut Xoshiro256, n: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        self.fill(rng, &mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let mut g = Gaussian::new();
+        let n = 200_000;
+        let samples = g.sample_vec(&mut rng, n);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn tail_fractions() {
+        let mut rng = Xoshiro256::seed_from_u64(22);
+        let mut g = Gaussian::new();
+        let n = 200_000;
+        let samples = g.sample_vec(&mut rng, n);
+        let beyond_196 = samples.iter().filter(|x| x.abs() > 1.96).count() as f64 / n as f64;
+        let beyond_3 = samples.iter().filter(|x| x.abs() > 3.0).count() as f64 / n as f64;
+        assert!((beyond_196 - 0.05).abs() < 0.005, "P(|X|>1.96) = {beyond_196}");
+        assert!((beyond_3 - 0.0027).abs() < 0.002, "P(|X|>3) = {beyond_3}");
+    }
+
+    #[test]
+    fn symmetric_sign_split() {
+        // Sign balance is what the SRP family actually relies on.
+        let mut rng = Xoshiro256::seed_from_u64(23);
+        let mut g = Gaussian::new();
+        let n = 100_000;
+        let pos = (0..n).filter(|_| g.sample(&mut rng) > 0.0).count() as f64 / n as f64;
+        assert!((pos - 0.5).abs() < 0.01, "positive fraction {pos}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Xoshiro256::seed_from_u64(99);
+        let mut r2 = Xoshiro256::seed_from_u64(99);
+        let mut g1 = Gaussian::new();
+        let mut g2 = Gaussian::new();
+        for _ in 0..1000 {
+            assert_eq!(g1.sample(&mut r1), g2.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn fill_covers_slice() {
+        let mut rng = Xoshiro256::seed_from_u64(24);
+        let mut g = Gaussian::new();
+        let mut buf = vec![0.0; 257];
+        g.fill(&mut rng, &mut buf);
+        // With probability ~0 any component stays exactly 0.0.
+        assert!(buf.iter().all(|&x| x != 0.0));
+    }
+}

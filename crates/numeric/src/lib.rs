@@ -1,0 +1,34 @@
+//! Numeric substrate for the BayesLSH reproduction.
+//!
+//! Everything BayesLSH's Bayesian inference needs is implemented here from
+//! scratch:
+//!
+//! * [`gamma::ln_gamma`] — log-gamma via the Lanczos approximation.
+//! * [`beta`] — log-beta and the regularized incomplete beta function
+//!   `I_x(a, b)` (the Beta distribution CDF), evaluated with Lentz's continued
+//!   fraction. This is the workhorse behind every pruning and concentration
+//!   probability in the paper (Equations 3 and 6).
+//! * [`binomial`] — exact binomial pmf/cdf/tail probabilities, used for the
+//!   frequentist analysis of Section 3 (Figure 1).
+//! * [`betadist`] — the Beta distribution as an object: pdf, cdf, mode,
+//!   moments, sampling, and the method-of-moments fit the paper uses to learn
+//!   a prior from sampled candidate similarities (Section 4.1).
+//! * [`gaussian`] — standard normal sampling (polar method) for the signed
+//!   random projection hash family (Section 4.2).
+//! * [`rng`] — a deterministic, seedable xoshiro256++ generator so that hash
+//!   functions and synthetic datasets are bit-reproducible across runs and
+//!   dependency upgrades.
+
+pub mod beta;
+pub mod betadist;
+pub mod binomial;
+pub mod gamma;
+pub mod gaussian;
+pub mod rng;
+
+pub use beta::{ln_beta, reg_inc_beta};
+pub use betadist::BetaDist;
+pub use binomial::Binomial;
+pub use gamma::{ln_choose, ln_gamma};
+pub use gaussian::Gaussian;
+pub use rng::{derive_seed, SplitMix64, Xoshiro256};

@@ -1,0 +1,106 @@
+//! Property tests for the special functions — the numerical bedrock of
+//! every BayesLSH probability.
+
+use bayeslsh_numeric::{ln_choose, reg_inc_beta, BetaDist, Binomial};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// I_x(a,b) + I_{1-x}(b,a) = 1 (reflection).
+    #[test]
+    fn incomplete_beta_reflection(
+        a in 0.2f64..500.0,
+        b in 0.2f64..500.0,
+        x in 0.001f64..0.999,
+    ) {
+        let lhs = reg_inc_beta(a, b, x);
+        let rhs = 1.0 - reg_inc_beta(b, a, 1.0 - x);
+        prop_assert!((lhs - rhs).abs() < 1e-9, "{lhs} vs {rhs}");
+    }
+
+    /// CDF values stay in [0,1] and are monotone in x.
+    #[test]
+    fn incomplete_beta_monotone(
+        a in 0.2f64..200.0,
+        b in 0.2f64..200.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let flo = reg_inc_beta(a, b, lo);
+        let fhi = reg_inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0).contains(&flo));
+        prop_assert!((0.0..=1.0).contains(&fhi));
+        prop_assert!(fhi >= flo - 1e-12);
+    }
+
+    /// The binomial-tail identity ties the continued fraction to exact
+    /// log-space summation: I_p(k, n-k+1) = Pr[Bin(n,p) >= k].
+    #[test]
+    fn binomial_tail_identity(
+        n in 1u64..400,
+        k_frac in 0.0f64..1.0,
+        p in 0.01f64..0.99,
+    ) {
+        let k = ((n as f64 * k_frac) as u64).clamp(1, n);
+        let direct: f64 = (k..=n)
+            .map(|j| {
+                (ln_choose(n, j)
+                    + j as f64 * p.ln()
+                    + (n - j) as f64 * (1.0 - p).ln())
+                .exp()
+            })
+            .sum();
+        let via_beta = reg_inc_beta(k as f64, (n - k + 1) as f64, p);
+        prop_assert!((direct - via_beta).abs() < 1e-8, "{direct} vs {via_beta}");
+    }
+
+    /// Binomial cdf + sf partition the space.
+    #[test]
+    fn binomial_cdf_sf_partition(n in 1u64..300, p in 0.0f64..1.0, k in 0u64..300) {
+        let k = k.min(n);
+        let b = Binomial::new(n, p);
+        prop_assert!((b.cdf(k) + b.sf(k + 1) - 1.0).abs() < 1e-9);
+    }
+
+    /// Quantile inverts the CDF everywhere.
+    #[test]
+    fn beta_quantile_round_trip(
+        alpha in 0.3f64..300.0,
+        beta in 0.3f64..300.0,
+        p in 0.001f64..0.999,
+    ) {
+        let d = BetaDist::new(alpha, beta);
+        let x = d.quantile(p);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-8, "cdf(q({p})) = {}", d.cdf(x));
+    }
+
+    /// Credible intervals carry the advertised mass and nest.
+    #[test]
+    fn credible_intervals_nest(
+        alpha in 0.5f64..200.0,
+        beta in 0.5f64..200.0,
+    ) {
+        let d = BetaDist::new(alpha, beta);
+        let (l90, h90) = d.credible_interval(0.90);
+        let (l99, h99) = d.credible_interval(0.99);
+        prop_assert!(l99 <= l90 && h99 >= h90);
+        prop_assert!((d.cdf(h90) - d.cdf(l90) - 0.90).abs() < 1e-7);
+    }
+
+    /// Posterior updates accumulate: updating with (m1,n1) then (m2,n2)
+    /// equals one update with the pooled counts.
+    #[test]
+    fn beta_posterior_additivity(
+        m1 in 0u64..50, extra1 in 0u64..50,
+        m2 in 0u64..50, extra2 in 0u64..50,
+    ) {
+        let (n1, n2) = (m1 + extra1, m2 + extra2);
+        let prior = BetaDist::new(2.0, 3.0);
+        let sequential = prior.posterior(m1, n1).posterior(m2, n2);
+        let pooled = prior.posterior(m1 + m2, n1 + n2);
+        prop_assert!((sequential.alpha() - pooled.alpha()).abs() < 1e-12);
+        prop_assert!((sequential.beta() - pooled.beta()).abs() < 1e-12);
+    }
+}

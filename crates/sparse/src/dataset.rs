@@ -1,0 +1,204 @@
+//! A corpus of sparse vectors plus the summary statistics of paper Table 1.
+
+use crate::vector::SparseVector;
+
+/// A dataset: a list of sparse vectors over a fixed-dimensional feature
+/// space. Vector ids are their positions (`u32`).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    vectors: Vec<SparseVector>,
+    dim: u32,
+}
+
+/// Summary statistics, matching the columns of paper Table 1
+/// (vectors, dimensions, average length, total non-zeros).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of vectors in the corpus.
+    pub n_vectors: usize,
+    /// Dimensionality of the feature space.
+    pub dim: u32,
+    /// Mean number of non-zeros per vector.
+    pub avg_len: f64,
+    /// Total number of non-zeros.
+    pub nnz: u64,
+    /// Largest vector length.
+    pub max_len: usize,
+    /// Population standard deviation of the vector lengths. The paper's
+    /// discussion of AllPairs-vs-LSH (observation 4, Section 5.2) hinges on
+    /// length variance, so we surface it alongside Table 1's columns.
+    pub len_std: f64,
+}
+
+impl Dataset {
+    /// Create an empty dataset over a `dim`-dimensional space.
+    pub fn new(dim: u32) -> Self {
+        Self { vectors: Vec::new(), dim }
+    }
+
+    /// Build from vectors; `dim` grows to fit if any vector exceeds it.
+    pub fn from_vectors(vectors: Vec<SparseVector>, dim: u32) -> Self {
+        let need = vectors.iter().map(|v| v.min_dim()).max().unwrap_or(0);
+        Self { vectors, dim: dim.max(need) }
+    }
+
+    /// Append a vector, growing `dim` if needed. Returns the new vector's id.
+    pub fn push(&mut self, v: SparseVector) -> u32 {
+        self.dim = self.dim.max(v.min_dim());
+        self.vectors.push(v);
+        (self.vectors.len() - 1) as u32
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// True if the dataset holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Feature-space dimensionality.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Borrow vector `id`.
+    pub fn vector(&self, id: u32) -> &SparseVector {
+        &self.vectors[id as usize]
+    }
+
+    /// All vectors, in id order.
+    pub fn vectors(&self) -> &[SparseVector] {
+        &self.vectors
+    }
+
+    /// Iterate `(id, vector)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &SparseVector)> {
+        self.vectors.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+
+    /// Per-feature document frequency (number of vectors containing each
+    /// feature).
+    pub fn document_frequencies(&self) -> Vec<u32> {
+        let mut df = vec![0u32; self.dim as usize];
+        for v in &self.vectors {
+            for &i in v.indices() {
+                df[i as usize] += 1;
+            }
+        }
+        df
+    }
+
+    /// A copy with every vector binarized (weights → 1.0), as used by the
+    /// paper's "Binary, Jaccard" and "Binary, Cosine" experiments.
+    pub fn binarized(&self) -> Self {
+        Self { vectors: self.vectors.iter().map(|v| v.binarize()).collect(), dim: self.dim }
+    }
+
+    /// A copy with every vector scaled to unit L2 norm (cosine similarity is
+    /// then a plain dot product — the precondition for AllPairs).
+    pub fn l2_normalized(&self) -> Self {
+        Self { vectors: self.vectors.iter().map(|v| v.l2_normalized()).collect(), dim: self.dim }
+    }
+
+    /// Summary statistics (paper Table 1).
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.vectors.len();
+        let nnz: u64 = self.vectors.iter().map(|v| v.nnz() as u64).sum();
+        let avg = if n == 0 { 0.0 } else { nnz as f64 / n as f64 };
+        let max_len = self.vectors.iter().map(|v| v.nnz()).max().unwrap_or(0);
+        let var = if n == 0 {
+            0.0
+        } else {
+            self.vectors
+                .iter()
+                .map(|v| {
+                    let d = v.nnz() as f64 - avg;
+                    d * d
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        DatasetStats {
+            n_vectors: n,
+            dim: self.dim,
+            avg_len: avg,
+            nnz,
+            max_len,
+            len_std: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(0);
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (3, 2.0)]));
+        d.push(SparseVector::from_pairs(vec![(3, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(1, 1.0), (2, 1.0), (3, 1.0)]));
+        d
+    }
+
+    #[test]
+    fn push_grows_dim() {
+        let d = sample();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 4);
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let s = sample().stats();
+        assert_eq!(s.n_vectors, 3);
+        assert_eq!(s.dim, 4);
+        assert_eq!(s.nnz, 6);
+        assert!((s.avg_len - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_len, 3);
+        // lengths 2,1,3 → pop variance 2/3.
+        assert!((s.len_std - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_dataset_stats() {
+        let s = Dataset::new(7).stats();
+        assert_eq!(s.n_vectors, 0);
+        assert_eq!(s.dim, 7);
+        assert_eq!(s.avg_len, 0.0);
+        assert_eq!(s.nnz, 0);
+    }
+
+    #[test]
+    fn document_frequencies() {
+        let df = sample().document_frequencies();
+        assert_eq!(df, vec![1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn binarized_and_normalized_copies() {
+        let d = sample();
+        let b = d.binarized();
+        assert!(b.vectors().iter().all(|v| v.is_binary()));
+        assert_eq!(b.dim(), d.dim());
+        let n = d.l2_normalized();
+        for v in n.vectors() {
+            assert!((v.norm() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_vectors_fits_dim() {
+        let d = Dataset::from_vectors(vec![SparseVector::from_indices(vec![100])], 5);
+        assert_eq!(d.dim(), 101);
+    }
+
+    #[test]
+    fn iter_yields_ids_in_order() {
+        let ids: Vec<u32> = sample().iter().map(|(i, _)| i).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Exact similarity measures between sparse vectors.
+//!
+//! These are the ground-truth computations: BayesLSH-Lite calls them for
+//! unpruned candidates, and the evaluation harness uses them to measure the
+//! recall and estimation error of every approximate method.
+
+use crate::vector::SparseVector;
+
+/// Dot product, accumulated in `f64` via a sorted merge join.
+pub fn dot(x: &SparseVector, y: &SparseVector) -> f64 {
+    let (xi, xv) = (x.indices(), x.values());
+    let (yi, yv) = (y.indices(), y.values());
+    let mut acc = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xi.len() && j < yi.len() {
+        match xi[i].cmp(&yi[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                acc += xv[i] as f64 * yv[j] as f64;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Number of shared feature indices (set overlap).
+pub fn overlap(x: &SparseVector, y: &SparseVector) -> usize {
+    let (xi, yi) = (x.indices(), y.indices());
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xi.len() && j < yi.len() {
+        match xi[i].cmp(&yi[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Cosine similarity `dot(x, y) / (‖x‖·‖y‖)`; 0.0 when either vector is
+/// empty. For binary vectors this reduces to `|x ∩ y| / sqrt(|x|·|y|)`.
+pub fn cosine(x: &SparseVector, y: &SparseVector) -> f64 {
+    let nx = x.norm();
+    let ny = y.norm();
+    if nx == 0.0 || ny == 0.0 {
+        return 0.0;
+    }
+    // Floating error can push identical unit vectors epsilon above 1.
+    (dot(x, y) / (nx * ny)).clamp(-1.0, 1.0)
+}
+
+/// Jaccard similarity of the *supports*: `|x ∩ y| / |x ∪ y|`; 1.0 when both
+/// are empty. Weights are ignored — the paper evaluates Jaccard only on
+/// binary vectors.
+pub fn jaccard(x: &SparseVector, y: &SparseVector) -> f64 {
+    if x.is_empty() && y.is_empty() {
+        return 1.0;
+    }
+    let inter = overlap(x, y);
+    let union = x.nnz() + y.nnz() - inter;
+    inter as f64 / union as f64
+}
+
+/// The similarity measure a pipeline targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// Cosine similarity (weighted or binary vectors).
+    Cosine,
+    /// Jaccard set similarity (binary vectors).
+    Jaccard,
+}
+
+impl Measure {
+    /// Evaluate the exact similarity under this measure.
+    pub fn eval(&self, x: &SparseVector, y: &SparseVector) -> f64 {
+        match self {
+            Measure::Cosine => cosine(x, y),
+            Measure::Jaccard => jaccard(x, y),
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measure::Cosine => write!(f, "cosine"),
+            Measure::Jaccard => write!(f, "jaccard"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(pairs: &[(u32, f32)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.iter().copied())
+    }
+
+    #[test]
+    fn dot_hand_computed() {
+        let x = v(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let y = v(&[(2, 4.0), (5, 0.5), (9, 7.0)]);
+        assert!((dot(&x, &y) - (2.0 * 4.0 + 3.0 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dot_disjoint_is_zero() {
+        let x = v(&[(0, 1.0), (2, 2.0)]);
+        let y = v(&[(1, 4.0), (3, 0.5)]);
+        assert_eq!(dot(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn dot_with_empty_is_zero() {
+        let x = v(&[(0, 1.0)]);
+        assert_eq!(dot(&x, &SparseVector::empty()), 0.0);
+        assert_eq!(dot(&SparseVector::empty(), &x), 0.0);
+    }
+
+    #[test]
+    fn cosine_identical_vectors_is_one() {
+        let x = v(&[(1, 0.3), (4, 0.8), (9, 0.1)]);
+        assert!((cosine(&x, &x) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let x = v(&[(1, 0.3), (4, 0.8)]);
+        let y = v(&[(1, 0.5), (4, 0.1), (7, 0.9)]);
+        let y2 = y.scaled(3.7);
+        assert!((cosine(&x, &y) - cosine(&x, &y2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_orthogonal_is_zero() {
+        assert_eq!(cosine(&v(&[(0, 1.0)]), &v(&[(1, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn cosine_binary_formula() {
+        // |x ∩ y| / sqrt(|x||y|) for binary vectors.
+        let x = SparseVector::from_indices(vec![1, 2, 3, 4]);
+        let y = SparseVector::from_indices(vec![3, 4, 5]);
+        let expected = 2.0 / (4.0f64 * 3.0).sqrt();
+        assert!((cosine(&x, &y) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jaccard_hand_computed() {
+        let x = SparseVector::from_indices(vec![1, 2, 3, 4]);
+        let y = SparseVector::from_indices(vec![3, 4, 5, 6]);
+        assert!((jaccard(&x, &y) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_edge_cases() {
+        let x = SparseVector::from_indices(vec![1, 2]);
+        assert_eq!(jaccard(&x, &x), 1.0);
+        assert_eq!(jaccard(&x, &SparseVector::empty()), 0.0);
+        assert_eq!(jaccard(&SparseVector::empty(), &SparseVector::empty()), 1.0);
+    }
+
+    #[test]
+    fn overlap_counts_shared_support() {
+        let x = v(&[(1, 0.1), (2, 0.2), (3, 0.3)]);
+        let y = v(&[(2, 9.0), (3, 9.0), (4, 9.0)]);
+        assert_eq!(overlap(&x, &y), 2);
+    }
+
+    #[test]
+    fn measure_dispatch() {
+        let x = SparseVector::from_indices(vec![1, 2, 3, 4]);
+        let y = SparseVector::from_indices(vec![3, 4, 5, 6]);
+        assert_eq!(Measure::Jaccard.eval(&x, &y), jaccard(&x, &y));
+        assert_eq!(Measure::Cosine.eval(&x, &y), cosine(&x, &y));
+        assert_eq!(Measure::Cosine.to_string(), "cosine");
+        assert_eq!(Measure::Jaccard.to_string(), "jaccard");
+    }
+
+    fn arb_vec() -> impl Strategy<Value = SparseVector> {
+        proptest::collection::vec((0u32..200, 0.01f32..10.0), 0..40)
+            .prop_map(SparseVector::from_pairs)
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_symmetric(x in arb_vec(), y in arb_vec()) {
+            prop_assert!((dot(&x, &y) - dot(&y, &x)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cosine_bounds_nonneg_weights(x in arb_vec(), y in arb_vec()) {
+            let c = cosine(&x, &y);
+            prop_assert!((0.0..=1.0).contains(&c), "cosine {c}");
+        }
+
+        #[test]
+        fn jaccard_bounds(x in arb_vec(), y in arb_vec()) {
+            let j = jaccard(&x, &y);
+            prop_assert!((0.0..=1.0).contains(&j), "jaccard {j}");
+        }
+
+        #[test]
+        fn jaccard_le_cosine_on_binary(x in arb_vec(), y in arb_vec()) {
+            // For non-empty binary vectors J(x,y) <= cos(x,y):
+            // |∩|/|∪| <= |∩|/sqrt(|x||y|) because |∪| >= max(|x|,|y|)
+            // >= sqrt(|x||y|). (Both-empty is the convention-dependent
+            // exception: J = 1 but cos = 0.)
+            let (bx, by) = (x.binarize(), y.binarize());
+            prop_assume!(!bx.is_empty() && !by.is_empty());
+            prop_assert!(jaccard(&bx, &by) <= cosine(&bx, &by) + 1e-9);
+        }
+
+        #[test]
+        fn cauchy_schwarz(x in arb_vec(), y in arb_vec()) {
+            prop_assert!(dot(&x, &y).abs() <= x.norm() * y.norm() + 1e-6);
+        }
+    }
+}

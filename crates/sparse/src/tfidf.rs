@@ -1,0 +1,86 @@
+//! Tf-idf weighting.
+//!
+//! The paper applies tf-idf weighting to every dataset — text corpora *and*
+//! graph adjacency vectors ("Each user is represented as a weighted vector
+//! of their friends, with Tf-Idf weighting"). We use the standard
+//! `tf · ln(N / df)` scheme followed by L2 normalization.
+
+use crate::dataset::Dataset;
+use crate::vector::SparseVector;
+
+/// Apply tf-idf weighting to a corpus: each stored weight is treated as the
+/// term frequency and multiplied by `ln(N / df(term))`, then the vector is
+/// L2-normalized. Features present in every document get idf 0 and drop out.
+pub fn tfidf_transform(data: &Dataset) -> Dataset {
+    let n = data.len() as f64;
+    let df = data.document_frequencies();
+    let mut out = Dataset::new(data.dim());
+    for (_, v) in data.iter() {
+        let pairs: Vec<(u32, f32)> = v
+            .iter()
+            .filter_map(|(idx, tf)| {
+                let dfi = df[idx as usize] as f64;
+                if dfi == 0.0 {
+                    return None;
+                }
+                let idf = (n / dfi).ln();
+                let w = (tf as f64 * idf) as f32;
+                (w != 0.0).then_some((idx, w))
+            })
+            .collect();
+        out.push(SparseVector::from_pairs(pairs).l2_normalized());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ubiquitous_feature_is_dropped() {
+        let mut d = Dataset::new(0);
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (1, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (2, 1.0)]));
+        let t = tfidf_transform(&d);
+        // Feature 0 appears in both documents → idf = ln(1) = 0 → dropped.
+        assert_eq!(t.vector(0).indices(), &[1]);
+        assert_eq!(t.vector(1).indices(), &[2]);
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let mut d = Dataset::new(0);
+        d.push(SparseVector::from_pairs(vec![(0, 3.0), (1, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(1, 2.0), (2, 5.0)]));
+        d.push(SparseVector::from_pairs(vec![(2, 1.0)]));
+        let t = tfidf_transform(&d);
+        for v in t.vectors() {
+            if !v.is_empty() {
+                assert!((v.norm() - 1.0).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn rare_features_weigh_more() {
+        let mut d = Dataset::new(0);
+        // Feature 0 in 3 docs, feature 5 in 1 doc.
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (5, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (6, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(0, 1.0), (7, 1.0)]));
+        let t = tfidf_transform(&d);
+        let v = t.vector(0);
+        assert!(v.get(5) > v.get(0), "rare feature should dominate");
+    }
+
+    #[test]
+    fn preserves_vector_count_and_dim() {
+        let mut d = Dataset::new(10);
+        d.push(SparseVector::from_pairs(vec![(0, 1.0)]));
+        d.push(SparseVector::from_pairs(vec![(1, 1.0)]));
+        let t = tfidf_transform(&d);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dim(), 10);
+    }
+}

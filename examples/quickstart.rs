@@ -1,0 +1,64 @@
+//! Quickstart: find all similar pairs in a corpus with LSH+BayesLSH.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use bayeslsh::prelude::*;
+
+fn main() {
+    // A scaled-down RCV1-like corpus: tf-idf weighted sparse vectors with
+    // planted near-duplicate clusters.
+    let data = Preset::Rcv1.load(/* scale */ 0.002, /* seed */ 7);
+    let stats = data.stats();
+    println!(
+        "corpus: {} vectors, {} dims, avg {:.0} non-zeros",
+        stats.n_vectors, stats.dim, stats.avg_len
+    );
+
+    // All pairs with cosine >= 0.7. BayesLSH verifies LSH candidates by
+    // comparing hashes incrementally, pruning hopeless pairs after a few
+    // chunks and emitting concentration-controlled estimates.
+    let threshold = 0.7;
+    let cfg = PipelineConfig::cosine(threshold);
+    let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+
+    println!(
+        "\nLSH+BayesLSH: {} candidates -> {} pairs in {:.2}s ({:.2}s candgen, {:.2}s verify)",
+        out.candidates,
+        out.pairs.len(),
+        out.total_secs,
+        out.candgen_secs,
+        out.verify_secs
+    );
+    if let Some(engine) = &out.engine {
+        println!(
+            "pruned {} of {} candidates; {} hash comparisons; cache {} hits / {} misses",
+            engine.pruned,
+            engine.input_pairs,
+            engine.hash_comparisons,
+            engine.cache_hits,
+            engine.cache_misses
+        );
+    }
+
+    // Show the five most similar pairs.
+    let mut ranked = out.pairs.clone();
+    ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    println!("\ntop pairs (estimated similarity):");
+    for (a, b, s) in ranked.iter().take(5) {
+        let exact = cosine(data.vector(*a), data.vector(*b));
+        println!("  ({a:>4}, {b:>4})  estimate {s:.3}  exact {exact:.3}");
+    }
+
+    // Sanity: compare against the exact result set.
+    let truth = ground_truth(&data, Measure::Cosine, threshold);
+    let recall = recall_against(&truth, &out.pairs);
+    let err = estimate_errors(&out.pairs, &data, Measure::Cosine, 0.05);
+    println!(
+        "\nvs exact: recall {:.1}% of {} true pairs; {:.1}% of estimates off by > 0.05",
+        100.0 * recall,
+        truth.len(),
+        100.0 * err.frac_above
+    );
+}

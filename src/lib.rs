@@ -1,0 +1,70 @@
+//! # BayesLSH — Bayesian Locality Sensitive Hashing for Fast Similarity Search
+//!
+//! A complete Rust implementation of *Satuluri & Parthasarathy, VLDB 2012*:
+//! Bayesian candidate pruning and similarity estimation for all-pairs
+//! similarity search, together with every substrate the paper's evaluation
+//! depends on (minwise hashing, signed random projections, AllPairs, an LSH
+//! banding index, PPJoin+, and shape-matched synthetic datasets).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//!
+//! // A small corpus with planted near-duplicate clusters.
+//! let data = Preset::Rcv1.load(0.001, /* seed */ 7);
+//!
+//! // All pairs with cosine similarity >= 0.7, via LSH candidate
+//! // generation + BayesLSH verification (estimates, not exact):
+//! let cfg = PipelineConfig::cosine(0.7);
+//! let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+//!
+//! // Compare against the exact result:
+//! let truth = ground_truth(&data, Measure::Cosine, 0.7);
+//! let recall = recall_against(&truth, &out.pairs);
+//! assert!(recall >= 0.9, "recall {recall}");
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`numeric`] | special functions, Beta/Binomial distributions, RNG |
+//! | [`sparse`] | sparse vectors, exact similarities, datasets, tf-idf |
+//! | [`lsh`] | minwise hashing, signed random projections, signature pools |
+//! | [`candgen`] | AllPairs, LSH banding, PPJoin+ |
+//! | [`core`] | BayesLSH / BayesLSH-Lite engines, posteriors, pipelines |
+//! | [`datasets`] | synthetic corpora mimicking the paper's six datasets |
+//!
+//! The API most users need is re-exported from [`prelude`].
+
+pub use bayeslsh_candgen as candgen;
+pub use bayeslsh_core as core;
+pub use bayeslsh_datasets as datasets;
+pub use bayeslsh_lsh as lsh;
+pub use bayeslsh_numeric as numeric;
+pub use bayeslsh_sparse as sparse;
+
+/// The one-import API surface.
+pub mod prelude {
+    pub use bayeslsh_candgen::{
+        all_pairs_cosine, all_pairs_jaccard, lsh_candidates_bits, lsh_candidates_ints,
+        ppjoin_binary_cosine, ppjoin_jaccard, BandingParams,
+    };
+    pub use bayeslsh_core::pipeline::ground_truth;
+    pub use bayeslsh_core::{
+        bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against, Algorithm,
+        BayesLshConfig, BbitJaccardModel, CosineModel, EngineStats, ErrorStats, JaccardModel,
+        KnnIndex, KnnParams, KnnStats, LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel,
+        PriorChoice, RunOutput, run_algorithm,
+    };
+    pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
+    pub use bayeslsh_lsh::{
+        bbit_collision_prob, bbit_to_jaccard, cos_to_r, r_to_cos, BbitSignatures, BitSignatures,
+        IntSignatures, MinHasher, SignaturePool, SrpHasher,
+    };
+    pub use bayeslsh_numeric::{BetaDist, Binomial, Xoshiro256};
+    pub use bayeslsh_sparse::{
+        cosine, dot, jaccard, overlap, similarity::Measure, Dataset, SparseVector,
+    };
+}
