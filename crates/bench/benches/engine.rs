@@ -5,7 +5,9 @@
 use std::hint::black_box;
 
 use bayeslsh_candgen::all_pairs_cosine_candidates;
-use bayeslsh_core::{bayes_verify, bayes_verify_lite, mle_verify, BayesLshConfig, CosineModel, LiteConfig};
+use bayeslsh_core::{
+    bayes_verify, bayes_verify_lite, mle_verify, BayesLshConfig, CosineModel, LiteConfig,
+};
 use bayeslsh_datasets::Preset;
 use bayeslsh_lsh::{r_to_cos, BitSignatures, SrpHasher};
 use bayeslsh_sparse::cosine;
@@ -48,8 +50,7 @@ fn bench_verification(c: &mut Criterion) {
     g.bench_function("mle_fixed_2048", |b| {
         b.iter(|| {
             let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 1), data.len());
-            let (out, _) =
-                mle_verify(&data, &mut pool, black_box(&cands), 2048, t, r_to_cos);
+            let (out, _) = mle_verify(&data, &mut pool, black_box(&cands), 2048, t, r_to_cos);
             black_box(out.len())
         });
     });
@@ -73,11 +74,19 @@ fn bench_chunk_size(c: &mut Criterion) {
     g.sample_size(10);
     for k in [32u32, 64, 128, 256] {
         g.bench_function(format!("k{k}"), |b| {
-            let cfg = BayesLshConfig { k, ..BayesLshConfig::cosine(t) };
+            let cfg = BayesLshConfig {
+                k,
+                ..BayesLshConfig::cosine(t)
+            };
             b.iter(|| {
                 let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 2), data.len());
-                let (out, _) =
-                    bayes_verify(&data, &mut pool, &CosineModel::new(), black_box(&cands), &cfg);
+                let (out, _) = bayes_verify(
+                    &data,
+                    &mut pool,
+                    &CosineModel::new(),
+                    black_box(&cands),
+                    &cfg,
+                );
                 black_box(out.len())
             });
         });

@@ -25,9 +25,10 @@ fn bench_srp(c: &mut Criterion) {
     let data = corpus();
     let mut g = c.benchmark_group("srp_hashing");
     g.sample_size(20);
-    for (label, storage) in
-        [("quantized", PlaneStorage::Quantized), ("float", PlaneStorage::Float)]
-    {
+    for (label, storage) in [
+        ("quantized", PlaneStorage::Quantized),
+        ("float", PlaneStorage::Float),
+    ] {
         g.bench_function(format!("256bits_per_vector_{label}"), |b| {
             // Pre-materialize planes so the measurement is pure hashing.
             let mut hasher = SrpHasher::with_storage(data.dim(), 5, storage);

@@ -13,7 +13,12 @@ fn random_vectors(n: usize, dim: u32, len: usize, seed: u64) -> Vec<SparseVector
     (0..n)
         .map(|_| {
             let pairs: Vec<(u32, f32)> = (0..len)
-                .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                .map(|_| {
+                    (
+                        rng.next_below(dim as u64) as u32,
+                        (rng.next_f64() + 0.1) as f32,
+                    )
+                })
                 .collect();
             SparseVector::from_pairs(pairs)
         })

@@ -32,7 +32,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: String::new(), scale: 0.004, seed: 42 };
+    let mut args = Args {
+        command: String::new(),
+        scale: 0.004,
+        seed: 42,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -169,7 +173,15 @@ fn run_table1(args: &Args) {
     print!(
         "{}",
         render_table(
-            &["dataset", "vectors", "dims", "avg len", "nnz", "len std", "paper shape"],
+            &[
+                "dataset",
+                "vectors",
+                "dims",
+                "avg len",
+                "nnz",
+                "len std",
+                "paper shape"
+            ],
             &table
         )
     );
@@ -180,7 +192,13 @@ fn run_fig2(args: &Args) {
     let (rows, refs) = params::run(args.scale, args.seed);
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| vec![r.varied.name().into(), format!("{:.2}", r.value), fmt_secs(r.secs)])
+        .map(|r| {
+            vec![
+                r.varied.name().into(),
+                format!("{:.2}", r.value),
+                fmt_secs(r.secs),
+            ]
+        })
         .collect();
     print!("{}", render_table(&["varied", "value", "time"], &table));
     for r in &refs {
@@ -205,7 +223,10 @@ fn run_table5(args: &Args) {
         .collect();
     print!(
         "{}",
-        render_table(&["varied", "value", "errors > 0.05", "mean error", "recall"], &table)
+        render_table(
+            &["varied", "value", "errors > 0.05", "mean error", "recall"],
+            &table
+        )
     );
 }
 
@@ -242,7 +263,10 @@ fn run_table3(args: &Args) {
         .collect();
     print!(
         "{}",
-        render_table(&["dataset", "algorithm", "t", "recall %", "truth size"], &table)
+        render_table(
+            &["dataset", "algorithm", "t", "recall %", "truth size"],
+            &table
+        )
     );
 }
 
@@ -266,7 +290,14 @@ fn run_table4(args: &Args) {
     print!(
         "{}",
         render_table(
-            &["dataset", "algorithm", "t", "% err > 0.05", "mean err", "estimates"],
+            &[
+                "dataset",
+                "algorithm",
+                "t",
+                "% err > 0.05",
+                "mean err",
+                "estimates"
+            ],
             &table
         )
     );
@@ -274,7 +305,11 @@ fn run_table4(args: &Args) {
 
 fn run_fig3(args: &Args) -> Vec<timing::TimingRow> {
     let mut all = Vec::new();
-    for family in [Family::WeightedCosine, Family::BinaryJaccard, Family::BinaryCosine] {
+    for family in [
+        Family::WeightedCosine,
+        Family::BinaryJaccard,
+        Family::BinaryCosine,
+    ] {
         banner(&format!(
             "Figure 3 ({}): total seconds, scale {}",
             family.name(),
@@ -328,7 +363,16 @@ fn run_table2(rows: &[timing::TimingRow]) {
     print!(
         "{}",
         render_table(
-            &["family", "dataset", "fastest variant", "time", "vs AP", "vs LSH", "vs LSH-Approx", "vs PPJoin+"],
+            &[
+                "family",
+                "dataset",
+                "fastest variant",
+                "time",
+                "vs AP",
+                "vs LSH",
+                "vs LSH-Approx",
+                "vs PPJoin+"
+            ],
             &table
         )
     );

@@ -101,8 +101,10 @@ pub fn run() -> Vec<Fig5Row> {
     [(0u32, 0u32), (32, 24), (64, 48), (128, 96)]
         .iter()
         .map(|&(n, m)| {
-            let grids: Vec<Vec<(f64, f64)>> =
-                PriorKind::ALL.iter().map(|&p| posterior_grid(p, m, n)).collect();
+            let grids: Vec<Vec<(f64, f64)>> = PriorKind::ALL
+                .iter()
+                .map(|&p| posterior_grid(p, m, n))
+                .collect();
             let mut max_tv = 0.0f64;
             for i in 0..grids.len() {
                 for j in (i + 1)..grids.len() {
@@ -124,8 +126,7 @@ mod tests {
             for &(m, n) in &[(0u32, 0u32), (24, 32), (96, 128)] {
                 let g = posterior_grid(prior, m, n);
                 let h = 0.5 / (g.len() - 1) as f64;
-                let z: f64 =
-                    g.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * h).sum();
+                let z: f64 = g.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * h).sum();
                 assert!((z - 1.0).abs() < 1e-9, "{prior:?} ({m},{n}): Z = {z}");
             }
         }
@@ -141,7 +142,10 @@ mod tests {
         // Fig 5d shows visually-overlapping curves; in TV terms the r^±3
         // priors still retain ~0.1 after 128 draws).
         assert!(rows[3].max_tv < 0.15, "posterior TV {}", rows[3].max_tv);
-        assert!(rows[3].max_tv < rows[0].max_tv / 2.5, "convergence too weak");
+        assert!(
+            rows[3].max_tv < rows[0].max_tv / 2.5,
+            "convergence too weak"
+        );
         // Convergence is monotone along the schedule.
         for w in rows.windows(2) {
             assert!(w[1].max_tv <= w[0].max_tv + 1e-9);
@@ -151,7 +155,10 @@ mod tests {
     #[test]
     fn posterior_peaks_near_mle() {
         let g = posterior_grid(PriorKind::PowNeg3, 96, 128);
-        let peak = g.iter().cloned().fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
+        let peak = g
+            .iter()
+            .cloned()
+            .fold((0.0, 0.0), |acc, p| if p.1 > acc.1 { p } else { acc });
         assert!((peak.0 - 0.75).abs() < 0.02, "peak at {}", peak.0);
     }
 

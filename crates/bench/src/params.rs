@@ -69,7 +69,13 @@ fn base_config(t: f64, seed: u64) -> PipelineConfig {
     cfg
 }
 
-fn measure_row(data: &Dataset, truth: &[(u32, u32, f64)], varied: Varied, value: f64, cfg: &PipelineConfig) -> ParamRow {
+fn measure_row(
+    data: &Dataset,
+    truth: &[(u32, u32, f64)],
+    varied: Varied,
+    value: f64,
+    cfg: &PipelineConfig,
+) -> ParamRow {
     let out = run_algorithm(Algorithm::LshBayesLsh, data, cfg);
     let err = estimate_errors(&out.pairs, data, Measure::Cosine, 0.05);
     ParamRow {
@@ -113,7 +119,10 @@ pub fn run_on(data: &Dataset, seed: u64) -> (Vec<ParamRow>, Vec<ReferenceRow>) {
         .iter()
         .map(|&algorithm| {
             let out = run_algorithm(algorithm, data, &base_config(t, seed));
-            ReferenceRow { algorithm, secs: out.total_secs }
+            ReferenceRow {
+                algorithm,
+                secs: out.total_secs,
+            }
         })
         .collect();
     (rows, references)
@@ -138,8 +147,10 @@ mod tests {
             delta_rows.iter().map(|r| r.mean_err).collect::<Vec<_>>()
         );
         // … and recall does not improve as epsilon grows.
-        let eps_rows: Vec<&ParamRow> =
-            rows.iter().filter(|r| r.varied == Varied::Epsilon).collect();
+        let eps_rows: Vec<&ParamRow> = rows
+            .iter()
+            .filter(|r| r.varied == Varied::Epsilon)
+            .collect();
         assert!(
             eps_rows.last().unwrap().recall <= eps_rows[0].recall + 0.02,
             "recall should not grow with epsilon"

@@ -22,7 +22,12 @@ pub struct PruningCurve {
     pub output: u64,
 }
 
-fn curve(panel: &str, algo: Algorithm, data: &bayeslsh_sparse::Dataset, cfg: &PipelineConfig) -> PruningCurve {
+fn curve(
+    panel: &str,
+    algo: Algorithm,
+    data: &bayeslsh_sparse::Dataset,
+    cfg: &PipelineConfig,
+) -> PruningCurve {
     let out = run_algorithm(algo, data, cfg);
     let stats = out.engine.expect("BayesLSH pipelines report engine stats");
     PruningCurve {
@@ -43,16 +48,36 @@ pub fn run(scale: f64, seed: u64) -> Vec<PruningCurve> {
         let data = Preset::WikiWords100K.load(scale, seed);
         let mut cfg = PipelineConfig::cosine(t);
         cfg.seed = seed;
-        curves.push(curve("WikiWords100K t=0.7 Cosine", Algorithm::ApBayesLsh, &data, &cfg));
-        curves.push(curve("WikiWords100K t=0.7 Cosine", Algorithm::LshBayesLsh, &data, &cfg));
+        curves.push(curve(
+            "WikiWords100K t=0.7 Cosine",
+            Algorithm::ApBayesLsh,
+            &data,
+            &cfg,
+        ));
+        curves.push(curve(
+            "WikiWords100K t=0.7 Cosine",
+            Algorithm::LshBayesLsh,
+            &data,
+            &cfg,
+        ));
     }
     // Panel (b): WikiLinks, weighted cosine.
     {
         let data = Preset::WikiLinks.load(scale, seed);
         let mut cfg = PipelineConfig::cosine(t);
         cfg.seed = seed;
-        curves.push(curve("WikiLinks t=0.7 Cosine", Algorithm::ApBayesLsh, &data, &cfg));
-        curves.push(curve("WikiLinks t=0.7 Cosine", Algorithm::LshBayesLsh, &data, &cfg));
+        curves.push(curve(
+            "WikiLinks t=0.7 Cosine",
+            Algorithm::ApBayesLsh,
+            &data,
+            &cfg,
+        ));
+        curves.push(curve(
+            "WikiLinks t=0.7 Cosine",
+            Algorithm::LshBayesLsh,
+            &data,
+            &cfg,
+        ));
     }
     // Panel (c): WikiWords100K, binary cosine.
     {

@@ -114,7 +114,10 @@ mod tests {
     fn table4_bayeslsh_estimates_are_accurate() {
         let rows = table4(&[Preset::Rcv1], &[0.6], 0.0015, 6);
         assert_eq!(rows.len(), 2);
-        let bayes = rows.iter().find(|r| r.algorithm == Algorithm::LshBayesLsh).unwrap();
+        let bayes = rows
+            .iter()
+            .find(|r| r.algorithm == Algorithm::LshBayesLsh)
+            .unwrap();
         assert!(bayes.n_estimates > 0);
         // The (δ=0.05, γ=0.03) contract bounds the error-above-0.05
         // fraction near γ; allow finite-sample slack.

@@ -37,13 +37,24 @@ mod tests {
         let rows = run(0.002, 17);
         assert_eq!(rows.len(), 6);
         for r in &rows {
-            assert!(r.ours.n_vectors >= 300, "{}: {}", r.dataset, r.ours.n_vectors);
+            assert!(
+                r.ours.n_vectors >= 300,
+                "{}: {}",
+                r.dataset,
+                r.ours.n_vectors
+            );
             assert!(r.ours.avg_len > 1.0);
             assert!(r.ours.nnz > 0);
         }
         // Relative ordering of average lengths mirrors the paper: Twitter
         // longest, WikiLinks shortest.
-        let avg = |name: &str| rows.iter().find(|r| r.dataset == name).unwrap().ours.avg_len;
+        let avg = |name: &str| {
+            rows.iter()
+                .find(|r| r.dataset == name)
+                .unwrap()
+                .ours
+                .avg_len
+        };
         assert!(avg("Twitter") > avg("RCV1"));
         assert!(avg("WikiLinks") < avg("RCV1") + 5.0);
     }

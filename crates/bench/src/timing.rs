@@ -167,7 +167,11 @@ pub fn table2_from(rows: &[TimingRow]) -> Vec<Table2Row> {
     let mut meta: BTreeMap<(&str, &str), (Family, &'static str)> = BTreeMap::new();
     for r in rows {
         let key = (r.family.name(), r.dataset);
-        *totals.entry(key).or_default().entry(r.algorithm.name()).or_default() += r.secs;
+        *totals
+            .entry(key)
+            .or_default()
+            .entry(r.algorithm.name())
+            .or_default() += r.secs;
         meta.insert(key, (r.family, r.dataset));
     }
     let mut out = Vec::new();
@@ -203,8 +207,14 @@ mod tests {
         assert_eq!(Family::BinaryJaccard.presets().len(), 3);
         assert_eq!(Family::WeightedCosine.algorithms().len(), 7);
         assert_eq!(Family::BinaryJaccard.algorithms().len(), 8);
-        assert_eq!(Family::BinaryJaccard.thresholds(), &[0.3, 0.4, 0.5, 0.6, 0.7]);
-        assert_eq!(Family::BinaryCosine.thresholds(), &[0.5, 0.6, 0.7, 0.8, 0.9]);
+        assert_eq!(
+            Family::BinaryJaccard.thresholds(),
+            &[0.3, 0.4, 0.5, 0.6, 0.7]
+        );
+        assert_eq!(
+            Family::BinaryCosine.thresholds(),
+            &[0.5, 0.6, 0.7, 0.8, 0.9]
+        );
         assert_eq!(Family::WeightedCosine.measure(), Measure::Cosine);
         assert_eq!(Family::BinaryJaccard.measure(), Measure::Jaccard);
     }

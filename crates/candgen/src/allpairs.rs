@@ -69,7 +69,10 @@ struct Ranked {
 }
 
 fn run_cosine(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePairs) {
-    assert!(t > 0.0 && t <= 1.0, "cosine threshold must be in (0, 1], got {t}");
+    assert!(
+        t > 0.0 && t <= 1.0,
+        "cosine threshold must be in (0, 1], got {t}"
+    );
     let n = data.len();
     let dim = data.dim() as usize;
 
@@ -89,10 +92,12 @@ fn run_cosine(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePair
     let ranked: Vec<Ranked> = norm
         .iter()
         .map(|v| {
-            let mut feats: Vec<(u32, f32)> =
-                v.iter().map(|(d, w)| (rank[d as usize], w)).collect();
+            let mut feats: Vec<(u32, f32)> = v.iter().map(|(d, w)| (rank[d as usize], w)).collect();
             feats.sort_unstable_by_key(|&(r, _)| r);
-            Ranked { feats, maxw: v.max_weight() }
+            Ranked {
+                feats,
+                maxw: v.max_weight(),
+            }
         })
         .collect();
 
@@ -190,8 +195,11 @@ fn run_cosine(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePair
                 pre.push((d, w));
             }
         }
-        prefix_norm[xid as usize] =
-            pre.iter().map(|&(_, w)| (w as f64) * (w as f64)).sum::<f64>().sqrt();
+        prefix_norm[xid as usize] = pre
+            .iter()
+            .map(|&(_, w)| (w as f64) * (w as f64))
+            .sum::<f64>()
+            .sqrt();
         prefix[xid as usize] = pre;
     }
 
@@ -289,7 +297,10 @@ pub(crate) fn overlap_sorted(a: &[u32], b: &[u32]) -> usize {
 }
 
 fn run_jaccard(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePairs) {
-    assert!(t > 0.0 && t <= 1.0, "jaccard threshold must be in (0, 1], got {t}");
+    assert!(
+        t > 0.0 && t <= 1.0,
+        "jaccard threshold must be in (0, 1], got {t}"
+    );
     let records = rank_tokens(data);
     let n = records.len();
 
@@ -333,8 +344,7 @@ fn run_jaccard(data: &Dataset, t: f64, mode: Mode) -> (ScoredPairs, CandidatePai
                             if o >= jaccard_overlap_bound(t, sx, sy) {
                                 let j = o as f64 / (sx + sy - o) as f64;
                                 if j >= t {
-                                    let (lo, hi) =
-                                        if xid < yid { (xid, yid) } else { (yid, xid) };
+                                    let (lo, hi) = if xid < yid { (xid, yid) } else { (yid, xid) };
                                     exact.push((lo, hi, j));
                                 }
                             }
@@ -385,7 +395,12 @@ mod tests {
         let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
             .map(|_| {
                 (0..len)
-                    .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.2) as f32))
+                    .map(|_| {
+                        (
+                            rng.next_below(dim as u64) as u32,
+                            (rng.next_f64() + 0.2) as f32,
+                        )
+                    })
                     .collect()
             })
             .collect();
@@ -393,7 +408,10 @@ mod tests {
             let mut pairs = centers[i % n_clusters].clone();
             for p in pairs.iter_mut() {
                 if rng.next_bool(0.3) {
-                    *p = (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.2) as f32);
+                    *p = (
+                        rng.next_below(dim as u64) as u32,
+                        (rng.next_f64() + 0.2) as f32,
+                    );
                 }
             }
             d.push(SparseVector::from_pairs(pairs));
@@ -425,7 +443,10 @@ mod tests {
                     assert!((g.2 - w.2).abs() < 1e-6, "similarity mismatch {g:?} {w:?}");
                 }
                 if t <= 0.5 {
-                    assert!(!want.is_empty(), "t={t} should exercise non-empty result sets");
+                    assert!(
+                        !want.is_empty(),
+                        "t={t} should exercise non-empty result sets"
+                    );
                 }
             }
         }
@@ -438,7 +459,10 @@ mod tests {
         let cands = all_pairs_cosine_candidates(&data, t);
         let cand_set: std::collections::HashSet<(u32, u32)> = cands.into_iter().collect();
         for (a, b, _) in all_pairs_cosine(&data, t) {
-            assert!(cand_set.contains(&(a, b)), "result pair ({a},{b}) missing from candidates");
+            assert!(
+                cand_set.contains(&(a, b)),
+                "result pair ({a},{b}) missing from candidates"
+            );
         }
     }
 
@@ -489,7 +513,10 @@ mod tests {
         let cand_set: std::collections::HashSet<(u32, u32)> =
             all_pairs_jaccard_candidates(&data, t).into_iter().collect();
         for (a, b, _) in all_pairs_jaccard(&data, t) {
-            assert!(cand_set.contains(&(a, b)), "result pair ({a},{b}) missing from candidates");
+            assert!(
+                cand_set.contains(&(a, b)),
+                "result pair ({a},{b}) missing from candidates"
+            );
         }
     }
 

@@ -25,7 +25,9 @@ pub mod lshindex;
 pub mod pairs;
 pub mod ppjoin;
 
-pub use allpairs::{all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates};
+pub use allpairs::{
+    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
+};
 pub use lshindex::{lsh_candidates_bits, lsh_candidates_ints, BandingParams};
 pub use pairs::PairSet;
 pub use ppjoin::{ppjoin_binary_cosine, ppjoin_jaccard};

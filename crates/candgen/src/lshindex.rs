@@ -227,8 +227,9 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(seed);
         let mut d = Dataset::new(10_000);
         for c in 0..n_clusters {
-            let base: Vec<u32> =
-                (0..60).map(|_| (c * 700) as u32 + rng.next_below(650) as u32).collect();
+            let base: Vec<u32> = (0..60)
+                .map(|_| (c * 700) as u32 + rng.next_below(650) as u32)
+                .collect();
             for _ in 0..per {
                 let mut tokens = base.clone();
                 // Mutate ~10% of tokens.
@@ -263,7 +264,10 @@ mod tests {
                 }
             }
         }
-        assert!(truth > 20, "test data should contain similar pairs, got {truth}");
+        assert!(
+            truth > 20,
+            "test data should contain similar pairs, got {truth}"
+        );
         let fnr = missed as f64 / truth as f64;
         assert!(fnr <= 0.10, "false negative rate {fnr} ({missed}/{truth})");
     }
@@ -289,7 +293,10 @@ mod tests {
                 }
             }
         }
-        assert!(truth > 20, "test data should contain similar pairs, got {truth}");
+        assert!(
+            truth > 20,
+            "test data should contain similar pairs, got {truth}"
+        );
         let fnr = missed as f64 / truth as f64;
         assert!(fnr <= 0.10, "false negative rate {fnr} ({missed}/{truth})");
     }

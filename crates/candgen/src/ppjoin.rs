@@ -162,8 +162,7 @@ fn run(
                         continue; // already positionally pruned
                     }
                     // Positional filter: best achievable total overlap.
-                    let ubound =
-                        entry.count as usize + 1 + (sx - i - 1).min(sy - j as usize - 1);
+                    let ubound = entry.count as usize + 1 + (sx - i - 1).min(sy - j as usize - 1);
                     if ubound < alpha {
                         entry.count = u32::MAX;
                         stats.pruned_positional += 1;
@@ -250,7 +249,11 @@ mod tests {
         let mut d = Dataset::new(dim);
         let n_clusters = (n / 5).max(1);
         let centers: Vec<Vec<u32>> = (0..n_clusters)
-            .map(|_| (0..len).map(|_| rng.next_below(dim as u64) as u32).collect())
+            .map(|_| {
+                (0..len)
+                    .map(|_| rng.next_below(dim as u64) as u32)
+                    .collect()
+            })
             .collect();
         for i in 0..n {
             let mut toks = centers[i % n_clusters].clone();
@@ -285,8 +288,10 @@ mod tests {
         for seed in [21u64, 22, 23] {
             for &t in &[0.3, 0.5, 0.7, 0.9] {
                 let data = clustered_binary(70, 800, 25, seed);
-                let got: Vec<(u32, u32)> =
-                    ppjoin_jaccard(&data, t).into_iter().map(|(a, b, _)| (a, b)).collect();
+                let got: Vec<(u32, u32)> = ppjoin_jaccard(&data, t)
+                    .into_iter()
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
                 let want = brute_pairs(&data, t, jaccard);
                 assert_eq!(got, want, "seed={seed} t={t}");
             }
@@ -298,8 +303,10 @@ mod tests {
         for seed in [31u64, 32] {
             for &t in &[0.5, 0.7, 0.9] {
                 let data = clustered_binary(70, 800, 25, seed);
-                let got: Vec<(u32, u32)> =
-                    ppjoin_binary_cosine(&data, t).into_iter().map(|(a, b, _)| (a, b)).collect();
+                let got: Vec<(u32, u32)> = ppjoin_binary_cosine(&data, t)
+                    .into_iter()
+                    .map(|(a, b, _)| (a, b))
+                    .collect();
                 let want = brute_pairs(&data, t, cosine);
                 assert_eq!(got, want, "seed={seed} t={t}");
             }
@@ -333,15 +340,13 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(43);
         for _ in 0..300 {
             let x: Vec<u32> = {
-                let mut v: Vec<u32> =
-                    (0..20).map(|_| rng.next_below(60) as u32).collect();
+                let mut v: Vec<u32> = (0..20).map(|_| rng.next_below(60) as u32).collect();
                 v.sort_unstable();
                 v.dedup();
                 v
             };
             let y: Vec<u32> = {
-                let mut v: Vec<u32> =
-                    (0..20).map(|_| rng.next_below(60) as u32).collect();
+                let mut v: Vec<u32> = (0..20).map(|_| rng.next_below(60) as u32).collect();
                 v.sort_unstable();
                 v.dedup();
                 v

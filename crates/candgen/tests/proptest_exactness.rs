@@ -15,7 +15,12 @@ fn corpus(seed: u64, n: usize, dim: u32, len: usize, mutate: f64) -> Dataset {
     let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
         .map(|_| {
             (0..len.max(1))
-                .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                .map(|_| {
+                    (
+                        rng.next_below(dim as u64) as u32,
+                        (rng.next_f64() + 0.1) as f32,
+                    )
+                })
                 .collect()
         })
         .collect();
@@ -23,7 +28,10 @@ fn corpus(seed: u64, n: usize, dim: u32, len: usize, mutate: f64) -> Dataset {
         let mut pairs = centers[i % n_clusters].clone();
         for p in pairs.iter_mut() {
             if rng.next_bool(mutate) {
-                *p = (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32);
+                *p = (
+                    rng.next_below(dim as u64) as u32,
+                    (rng.next_f64() + 0.1) as f32,
+                );
             }
         }
         d.push(SparseVector::from_pairs(pairs));

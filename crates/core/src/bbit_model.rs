@@ -30,7 +30,10 @@ pub struct BbitJaccardModel {
 impl BbitJaccardModel {
     /// Model for `b ∈ {1,2,4,8,16}` bits per hash.
     pub fn new(b: u32) -> Self {
-        assert!(matches!(b, 1 | 2 | 4 | 8 | 16), "b must be one of 1,2,4,8,16 (got {b})");
+        assert!(
+            matches!(b, 1 | 2 | 4 | 8 | 16),
+            "b must be one of 1,2,4,8,16 (got {b})"
+        );
         Self { b }
     }
 
@@ -186,8 +189,9 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(81);
         let mut data = Dataset::new(5000);
         for c in 0..12 {
-            let base: Vec<u32> =
-                (0..50).map(|_| (c * 400 + rng.next_below(380) as usize) as u32).collect();
+            let base: Vec<u32> = (0..50)
+                .map(|_| (c * 400 + rng.next_below(380) as usize) as u32)
+                .collect();
             for _ in 0..5 {
                 let toks: Vec<u32> = base
                     .iter()
@@ -207,7 +211,10 @@ mod tests {
             .flat_map(|a| ((a + 1)..data.len() as u32).map(move |b| (a, b)))
             .collect();
         let mut pool = BbitSignatures::new(MinHasher::new(82), data.len(), 2);
-        let cfg = BayesLshConfig { max_hashes: 1024, ..BayesLshConfig::jaccard(t) };
+        let cfg = BayesLshConfig {
+            max_hashes: 1024,
+            ..BayesLshConfig::jaccard(t)
+        };
         let (out, stats) = bayes_verify(&data, &mut pool, &BbitJaccardModel::new(2), &cands, &cfg);
         assert_eq!(stats.pruned + stats.accepted, stats.input_pairs);
 

@@ -25,7 +25,13 @@ impl ConcentrationCache {
     pub fn new(delta: f64, gamma: f64) -> Self {
         assert!(delta > 0.0 && delta < 1.0);
         assert!(gamma > 0.0 && gamma < 1.0);
-        Self { delta, gamma, map: FxHashMap::default(), hits: 0, misses: 0 }
+        Self {
+            delta,
+            gamma,
+            map: FxHashMap::default(),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Is the MAP estimate after `M(m, n)` concentrated, i.e.

@@ -26,20 +26,42 @@ pub struct BayesLshConfig {
 impl BayesLshConfig {
     /// Paper defaults at threshold `t` for bit hashes (cosine).
     pub fn cosine(threshold: f64) -> Self {
-        Self { threshold, epsilon: 0.03, delta: 0.05, gamma: 0.03, k: 32, max_hashes: 2048 }
+        Self {
+            threshold,
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            k: 32,
+            max_hashes: 2048,
+        }
     }
 
     /// Paper defaults at threshold `t` for integer hashes (Jaccard).
     /// Minhashes are 4 bytes each, so the cap is lower (the paper's fixed
     /// "LSH Approx" comparison uses 360 minhashes).
     pub fn jaccard(threshold: f64) -> Self {
-        Self { threshold, epsilon: 0.03, delta: 0.05, gamma: 0.03, k: 32, max_hashes: 512 }
+        Self {
+            threshold,
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            k: 32,
+            max_hashes: 512,
+        }
     }
 
     /// Panic early on nonsensical settings.
     pub fn validate(&self) {
-        assert!(self.threshold > 0.0 && self.threshold <= 1.0, "threshold {}", self.threshold);
-        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "epsilon {}", self.epsilon);
+        assert!(
+            self.threshold > 0.0 && self.threshold <= 1.0,
+            "threshold {}",
+            self.threshold
+        );
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "epsilon {}",
+            self.epsilon
+        );
         assert!(self.delta > 0.0 && self.delta < 1.0, "delta {}", self.delta);
         assert!(self.gamma > 0.0 && self.gamma < 1.0, "gamma {}", self.gamma);
         assert!(self.k >= 1, "k must be positive");
@@ -65,12 +87,22 @@ pub struct LiteConfig {
 impl LiteConfig {
     /// Paper defaults at threshold `t` for cosine.
     pub fn cosine(threshold: f64) -> Self {
-        Self { threshold, epsilon: 0.03, k: 32, h: 128 }
+        Self {
+            threshold,
+            epsilon: 0.03,
+            k: 32,
+            h: 128,
+        }
     }
 
     /// Paper defaults at threshold `t` for Jaccard.
     pub fn jaccard(threshold: f64) -> Self {
-        Self { threshold, epsilon: 0.03, k: 32, h: 64 }
+        Self {
+            threshold,
+            epsilon: 0.03,
+            k: 32,
+            h: 64,
+        }
     }
 
     /// Panic early on nonsensical settings.

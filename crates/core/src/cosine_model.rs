@@ -161,7 +161,10 @@ mod tests {
         let c64 = model.concentration(48, 64, 0.05);
         let c1024 = model.concentration(768, 1024, 0.05);
         assert!(c1024 > c64, "{c1024} vs {c64}");
-        assert!(c1024 > 0.9, "2048 bits at 75% agreement should be concentrated: {c1024}");
+        assert!(
+            c1024 > 0.9,
+            "2048 bits at 75% agreement should be concentrated: {c1024}"
+        );
     }
 
     #[test]

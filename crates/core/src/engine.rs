@@ -201,7 +201,10 @@ mod tests {
         for c in 0..12 {
             let center: Vec<(u32, f32)> = (0..40)
                 .map(|_| {
-                    ((c * 300 + rng.next_below(280) as usize) as u32, (rng.next_f64() + 0.2) as f32)
+                    (
+                        (c * 300 + rng.next_below(280) as usize) as u32,
+                        (rng.next_f64() + 0.2) as f32,
+                    )
                 })
                 .collect();
             for _ in 0..6 {
@@ -263,7 +266,10 @@ mod tests {
         // Recall: the paper reports ≥ ~96–99% at ε = 0.03.
         let out_keys: std::collections::HashSet<(u32, u32)> =
             out.iter().map(|&(a, b, _)| (a, b)).collect();
-        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        let found = gt
+            .iter()
+            .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+            .count();
         let recall = found as f64 / gt.len() as f64;
         assert!(recall >= 0.9, "recall {recall} ({found}/{})", gt.len());
 
@@ -297,7 +303,10 @@ mod tests {
         assert!(gt.len() >= 30);
         let out_keys: std::collections::HashSet<(u32, u32)> =
             out.iter().map(|&(a, b, _)| (a, b)).collect();
-        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        let found = gt
+            .iter()
+            .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+            .count();
         let recall = found as f64 / gt.len() as f64;
         assert!(recall >= 0.9, "recall {recall}");
     }
@@ -321,7 +330,10 @@ mod tests {
         let gt = truth(&data, t, cosine);
         let out_keys: std::collections::HashSet<(u32, u32)> =
             out.iter().map(|&(a, b, _)| (a, b)).collect();
-        let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+        let found = gt
+            .iter()
+            .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+            .count();
         assert!(found as f64 / gt.len() as f64 >= 0.9);
         // Lite must examine at most h hashes per pair.
         assert!(stats.hash_comparisons <= cands.len() as u64 * cfg.h as u64);
@@ -357,13 +369,21 @@ mod tests {
         let cands = all_pairs(data.len() as u32);
         let gt = truth(&data, t, cosine);
         for h in [32u32, 128] {
-            let cfg = LiteConfig { threshold: t, epsilon: 0.03, k: 32, h };
+            let cfg = LiteConfig {
+                threshold: t,
+                epsilon: 0.03,
+                k: 32,
+                h,
+            };
             let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 70), data.len());
             let (out, _) =
                 bayes_verify_lite(&data, &mut pool, &CosineModel::new(), &cands, &cfg, cosine);
             let out_keys: std::collections::HashSet<(u32, u32)> =
                 out.iter().map(|&(a, b, _)| (a, b)).collect();
-            let found = gt.iter().filter(|&&(a, b, _)| out_keys.contains(&(a, b))).count();
+            let found = gt
+                .iter()
+                .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+                .count();
             assert!(
                 found as f64 / gt.len() as f64 >= 0.9,
                 "h={h}: recall {}",
@@ -378,13 +398,21 @@ mod tests {
         let cands = all_pairs(data.len() as u32);
         let mut kept = Vec::new();
         for eps in [0.2, 0.01] {
-            let cfg = BayesLshConfig { epsilon: eps, ..BayesLshConfig::cosine(0.7) };
+            let cfg = BayesLshConfig {
+                epsilon: eps,
+                ..BayesLshConfig::cosine(0.7)
+            };
             let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 72), data.len());
             let (out, _) = bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &cfg);
             kept.push(out.len());
         }
         // Lower eps = harder to prune = at least as many survivors.
-        assert!(kept[1] >= kept[0], "eps=0.01 kept {} < eps=0.2 kept {}", kept[1], kept[0]);
+        assert!(
+            kept[1] >= kept[0],
+            "eps=0.01 kept {} < eps=0.2 kept {}",
+            kept[1],
+            kept[0]
+        );
     }
 
     #[test]

@@ -54,11 +54,14 @@ mod tests {
         data.push(SparseVector::from_indices((0..100).collect()));
         data.push(SparseVector::from_indices((20..120).collect()));
         let mut pool = IntSignatures::new(MinHasher::new(80), data.len());
-        let (out, comps) =
-            mle_verify(&data, &mut pool, &[(0, 1)], 2048, 0.3, |f| f);
+        let (out, comps) = mle_verify(&data, &mut pool, &[(0, 1)], 2048, 0.3, |f| f);
         assert_eq!(out.len(), 1);
         let truth = jaccard(data.vector(0), data.vector(1));
-        assert!((out[0].2 - truth).abs() < 0.05, "estimate {} truth {truth}", out[0].2);
+        assert!(
+            (out[0].2 - truth).abs() < 0.05,
+            "estimate {} truth {truth}",
+            out[0].2
+        );
         assert_eq!(comps, 2048);
     }
 
@@ -94,8 +97,9 @@ mod tests {
                 (i * 500..i * 500 + 50).collect(),
             ));
         }
-        let cands: Vec<(u32, u32)> =
-            (0..6).flat_map(|a| ((a + 1)..6).map(move |b| (a, b))).collect();
+        let cands: Vec<(u32, u32)> = (0..6)
+            .flat_map(|a| ((a + 1)..6).map(move |b| (a, b)))
+            .collect();
         let mut pool = IntSignatures::new(MinHasher::new(83), data.len());
         let (out, comps) = mle_verify(&data, &mut pool, &cands, 360, 0.3, |f| f);
         assert!(out.is_empty());

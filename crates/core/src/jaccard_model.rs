@@ -33,7 +33,9 @@ impl Default for JaccardModel {
 impl JaccardModel {
     /// Uniform prior `Beta(1, 1)`.
     pub fn uniform() -> Self {
-        Self { prior: BetaDist::uniform() }
+        Self {
+            prior: BetaDist::uniform(),
+        }
     }
 
     /// Explicit prior.
@@ -45,7 +47,9 @@ impl JaccardModel {
     /// method-of-moments (paper Section 4.1). Degenerate samples fall back
     /// to the uniform prior.
     pub fn fit_from_sample(similarities: &[f64]) -> Self {
-        Self { prior: BetaDist::fit_moments(similarities) }
+        Self {
+            prior: BetaDist::fit_moments(similarities),
+        }
     }
 
     /// The prior in use.
@@ -153,7 +157,10 @@ mod tests {
         assert_close(model.prior().alpha(), 12.0, 1e-9);
         assert_close(model.prior().beta(), 12.0, 1e-9);
         // Tiny/degenerate samples → uniform.
-        assert_eq!(JaccardModel::fit_from_sample(&[]).prior(), BetaDist::uniform());
+        assert_eq!(
+            JaccardModel::fit_from_sample(&[]).prior(),
+            BetaDist::uniform()
+        );
     }
 
     #[test]

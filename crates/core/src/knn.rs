@@ -39,7 +39,12 @@ pub struct KnnParams {
 
 impl Default for KnnParams {
     fn default() -> Self {
-        Self { epsilon: 0.03, chunk: 32, h: 128, floor: 0.1 }
+        Self {
+            epsilon: 0.03,
+            chunk: 32,
+            h: 128,
+            floor: 0.1,
+        }
     }
 }
 
@@ -83,7 +88,11 @@ impl KnnIndex {
                 buckets[band as usize].entry(key).or_default().push(id);
             }
         }
-        Self { pool, bands, buckets }
+        Self {
+            pool,
+            bands,
+            buckets,
+        }
     }
 
     /// The banding configuration in use.
@@ -143,12 +152,7 @@ impl KnnIndex {
             let (mut m, mut n) = (0u32, 0u32);
             let mut pruned = false;
             for _ in 0..max_chunks {
-                m += count_bit_agreements(
-                    &q_words,
-                    self.pool.raw_words(id),
-                    n,
-                    n + params.chunk,
-                );
+                m += count_bit_agreements(&q_words, self.pool.raw_words(id), n, n + params.chunk);
                 n += params.chunk;
                 stats.hash_comparisons += params.chunk as u64;
                 if model.prob_above_threshold(m, n, kth_best) < params.epsilon {
@@ -173,8 +177,10 @@ impl KnnIndex {
             }
         }
 
-        let mut out: Vec<(u32, f64)> =
-            heap.into_iter().map(|std::cmp::Reverse(HeapItem(s, id))| (id, s)).collect();
+        let mut out: Vec<(u32, f64)> = heap
+            .into_iter()
+            .map(|std::cmp::Reverse(HeapItem(s, id))| (id, s))
+            .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1));
         (out, stats)
     }
@@ -209,7 +215,10 @@ mod tests {
         for c in 0..15 {
             let center: Vec<(u32, f32)> = (0..40)
                 .map(|_| {
-                    ((c * 200 + rng.next_below(190) as usize) as u32, (rng.next_f64() + 0.3) as f32)
+                    (
+                        (c * 200 + rng.next_below(190) as usize) as u32,
+                        (rng.next_f64() + 0.3) as f32,
+                    )
                 })
                 .collect();
             for _ in 0..8 {
@@ -313,8 +322,28 @@ mod tests {
         let data = corpus(205);
         let mut index = KnnIndex::build(&data, BandingParams { k: 6, l: 60 }, 11);
         let q = data.vector(5).clone();
-        let lax = index.query(&data, &q, 3, &KnnParams { floor: 0.05, ..Default::default() }).1;
-        let strict = index.query(&data, &q, 3, &KnnParams { floor: 0.6, ..Default::default() }).1;
+        let lax = index
+            .query(
+                &data,
+                &q,
+                3,
+                &KnnParams {
+                    floor: 0.05,
+                    ..Default::default()
+                },
+            )
+            .1;
+        let strict = index
+            .query(
+                &data,
+                &q,
+                3,
+                &KnnParams {
+                    floor: 0.6,
+                    ..Default::default()
+                },
+            )
+            .1;
         assert!(
             strict.exact <= lax.exact,
             "strict floor should not need more exact computations ({} vs {})",

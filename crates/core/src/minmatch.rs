@@ -64,7 +64,11 @@ impl MinMatchTable {
     /// of `k` within the precomputed range).
     #[inline]
     pub fn min_matches(&self, n: u32) -> u32 {
-        debug_assert!(n >= self.k && n % self.k == 0, "n={n} not a chunk multiple of {}", self.k);
+        debug_assert!(
+            n >= self.k && n % self.k == 0,
+            "n={n} not a chunk multiple of {}",
+            self.k
+        );
         self.table[(n / self.k - 1) as usize]
     }
 

@@ -22,9 +22,8 @@
 use std::time::Instant;
 
 use bayeslsh_candgen::{
-    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard,
-    all_pairs_jaccard_candidates, lsh_candidates_bits, lsh_candidates_ints, ppjoin_binary_cosine,
-    ppjoin_jaccard, BandingParams,
+    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
+    lsh_candidates_bits, lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingParams,
 };
 use bayeslsh_lsh::{cos_to_r, r_to_cos, BitSignatures, IntSignatures, MinHasher, SrpHasher};
 use bayeslsh_numeric::{derive_seed, Xoshiro256};
@@ -202,7 +201,12 @@ impl PipelineConfig {
     }
 
     fn lite(&self) -> LiteConfig {
-        LiteConfig { threshold: self.threshold, epsilon: self.epsilon, k: self.k, h: self.lite_h }
+        LiteConfig {
+            threshold: self.threshold,
+            epsilon: self.epsilon,
+            k: self.k,
+            h: self.lite_h,
+        }
     }
 
     fn banding(&self) -> BandingParams {
@@ -308,11 +312,29 @@ fn run_cosine(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutpu
             let (pairs, stats) = if algo == Algorithm::ApBayesLsh {
                 bayes_verify(data, &mut pool, &CosineModel::new(), &cands, &cfg.bayes())
             } else {
-                bayes_verify_lite(data, &mut pool, &CosineModel::new(), &cands, &cfg.lite(), cosine)
+                bayes_verify_lite(
+                    data,
+                    &mut pool,
+                    &CosineModel::new(),
+                    &cands,
+                    &cfg.lite(),
+                    cosine,
+                )
             };
-            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, Some(stats))
+            finish_two_phase(
+                algo,
+                pairs,
+                cands.len(),
+                candgen_secs,
+                v0,
+                start,
+                Some(stats),
+            )
         }
-        Algorithm::Lsh | Algorithm::LshApprox | Algorithm::LshBayesLsh | Algorithm::LshBayesLshLite => {
+        Algorithm::Lsh
+        | Algorithm::LshApprox
+        | Algorithm::LshBayesLsh
+        | Algorithm::LshBayesLshLite => {
             let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), srp_seed), data.len());
             let cands = lsh_candidates_bits(&mut pool, data, cfg.banding());
             let candgen_secs = start.elapsed().as_secs_f64();
@@ -386,9 +408,20 @@ fn run_jaccard(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutp
             } else {
                 bayes_verify_lite(data, &mut pool, &model, &cands, &cfg.lite(), jaccard)
             };
-            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, Some(stats))
+            finish_two_phase(
+                algo,
+                pairs,
+                cands.len(),
+                candgen_secs,
+                v0,
+                start,
+                Some(stats),
+            )
         }
-        Algorithm::Lsh | Algorithm::LshApprox | Algorithm::LshBayesLsh | Algorithm::LshBayesLshLite => {
+        Algorithm::Lsh
+        | Algorithm::LshApprox
+        | Algorithm::LshBayesLsh
+        | Algorithm::LshBayesLshLite => {
             let mut pool = IntSignatures::new(MinHasher::new(mh_seed), data.len());
             let cands = lsh_candidates_ints(&mut pool, data, cfg.banding());
             let candgen_secs = start.elapsed().as_secs_f64();
@@ -422,14 +455,8 @@ fn run_jaccard(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutp
                 }
                 Algorithm::LshBayesLshLite => {
                     let model = fit_jaccard_prior(data, &cands, cfg);
-                    let (p, s) = bayes_verify_lite(
-                        data,
-                        &mut pool,
-                        &model,
-                        &cands,
-                        &cfg.lite(),
-                        jaccard,
-                    );
+                    let (p, s) =
+                        bayes_verify_lite(data, &mut pool, &model, &cands, &cfg.lite(), jaccard);
                     (p, Some(s))
                 }
                 _ => unreachable!(),
@@ -485,7 +512,10 @@ mod tests {
         for c in 0..10 {
             let center: Vec<(u32, f32)> = (0..35)
                 .map(|_| {
-                    ((c * 250 + rng.next_below(230) as usize) as u32, (rng.next_f64() + 0.3) as f32)
+                    (
+                        (c * 250 + rng.next_below(230) as usize) as u32,
+                        (rng.next_f64() + 0.3) as f32,
+                    )
                 })
                 .collect();
             for _ in 0..6 {
@@ -589,7 +619,11 @@ mod tests {
         let stats = out.engine.expect("BayesLSH reports stats");
         let curve = stats.survivors_curve();
         let total = curve[0].1 as f64;
-        let after_128 = curve.iter().find(|&&(h, _)| h == 128).map(|&(_, c)| c).unwrap() as f64;
+        let after_128 = curve
+            .iter()
+            .find(|&&(h, _)| h == 128)
+            .map(|&(_, c)| c)
+            .unwrap() as f64;
         assert!(
             after_128 / total < 0.5,
             "after 128 hashes {} of {} candidates remain",

@@ -54,8 +54,16 @@ pub(crate) mod test_support {
             let mut prev = -1.0;
             for m in 0..=n {
                 let s = model.map_estimate(m, n);
-                assert!((0.0..=1.0).contains(&s), "{}: MAP {s} at m={m} n={n}", model.name());
-                assert!(s >= prev - 1e-9, "{}: MAP not monotone at m={m}", model.name());
+                assert!(
+                    (0.0..=1.0).contains(&s),
+                    "{}: MAP {s} at m={m} n={n}",
+                    model.name()
+                );
+                assert!(
+                    s >= prev - 1e-9,
+                    "{}: MAP not monotone at m={m}",
+                    model.name()
+                );
                 prev = s;
             }
         }

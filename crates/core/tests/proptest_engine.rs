@@ -14,7 +14,11 @@ fn corpus(seed: u64, n: usize) -> Dataset {
     let mut d = Dataset::new(500);
     let n_clusters = (n / 5).max(1);
     let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
-        .map(|_| (0..12).map(|_| (rng.next_below(500) as u32, (rng.next_f64() + 0.2) as f32)).collect())
+        .map(|_| {
+            (0..12)
+                .map(|_| (rng.next_below(500) as u32, (rng.next_f64() + 0.2) as f32))
+                .collect()
+        })
         .collect();
     for i in 0..n {
         let mut pairs = centers[i % n_clusters].clone();
@@ -29,7 +33,9 @@ fn corpus(seed: u64, n: usize) -> Dataset {
 }
 
 fn all_pairs_of(n: u32) -> Vec<(u32, u32)> {
-    (0..n).flat_map(|a| ((a + 1)..n).map(move |b| (a, b))).collect()
+    (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect()
 }
 
 proptest! {

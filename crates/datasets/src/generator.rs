@@ -141,8 +141,9 @@ pub fn generate(cfg: &CorpusConfig) -> Dataset {
     let mut data = Dataset::new(cfg.dim);
     // Cluster members: a center vector with mutated copies.
     if n_clustered > 0 {
-        let centers: Vec<Vec<(u32, f32)>> =
-            (0..n_clusters).map(|_| draw_vector(&mut rng, &mut gauss)).collect();
+        let centers: Vec<Vec<(u32, f32)>> = (0..n_clusters)
+            .map(|_| draw_vector(&mut rng, &mut gauss))
+            .collect();
         for i in 0..n_clustered {
             let center = &centers[i % n_clusters];
             let mut pairs = center.clone();
@@ -177,8 +178,18 @@ mod tests {
             counts[zipf.sample(&mut rng) as usize] += 1;
         }
         // Rank 0 should be ~2x rank 1, ~10x rank 9.
-        assert!(counts[0] > counts[1], "rank0 {} rank1 {}", counts[0], counts[1]);
-        assert!(counts[0] > 5 * counts[9], "rank0 {} rank9 {}", counts[0], counts[9]);
+        assert!(
+            counts[0] > counts[1],
+            "rank0 {} rank1 {}",
+            counts[0],
+            counts[1]
+        );
+        assert!(
+            counts[0] > 5 * counts[9],
+            "rank0 {} rank9 {}",
+            counts[0],
+            counts[9]
+        );
         // Tail items still get sampled.
         let tail: usize = counts[500..].iter().sum();
         assert!(tail > 1000, "tail mass {tail}");
@@ -246,7 +257,11 @@ mod tests {
 
     #[test]
     fn clusters_contain_similar_pairs() {
-        let cfg = CorpusConfig { n_vectors: 400, seed: 9, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_vectors: 400,
+            seed: 9,
+            ..Default::default()
+        };
         let data = generate(&cfg);
         // Members of the same cluster are laid out n_clusters apart.
         let mut high = 0;
@@ -255,24 +270,35 @@ mod tests {
             for j in 1..3 {
                 let other = i + j * cfg.n_clusters;
                 if other < n_clustered
-                    && cosine(data.vector(i as u32), data.vector(other as u32)) > 0.6 {
-                        high += 1;
-                    }
+                    && cosine(data.vector(i as u32), data.vector(other as u32)) > 0.6
+                {
+                    high += 1;
+                }
             }
         }
-        assert!(high >= 10, "expected many similar intra-cluster pairs, got {high}");
+        assert!(
+            high >= 10,
+            "expected many similar intra-cluster pairs, got {high}"
+        );
     }
 
     #[test]
     fn binary_mode_emits_binary_vectors() {
-        let cfg = CorpusConfig { weighted: false, n_vectors: 100, ..Default::default() };
+        let cfg = CorpusConfig {
+            weighted: false,
+            n_vectors: 100,
+            ..Default::default()
+        };
         let data = generate(&cfg);
         assert!(data.vectors().iter().all(|v| v.is_binary()));
     }
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = CorpusConfig { n_vectors: 150, ..Default::default() };
+        let cfg = CorpusConfig {
+            n_vectors: 150,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.len(), b.len());

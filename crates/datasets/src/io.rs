@@ -24,7 +24,10 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "i/o error: {e}"),
             IoError::Parse { line, token } => {
-                write!(f, "line {line}: malformed entry {token:?} (expected index:weight)")
+                write!(
+                    f,
+                    "line {line}: malformed entry {token:?} (expected index:weight)"
+                )
             }
         }
     }
@@ -130,7 +133,10 @@ mod tests {
     fn rejects_malformed_entries() {
         for bad in ["nocolon", "1:abc", "x:1.0", "1:"] {
             let err = read_dataset(bad.as_bytes()).unwrap_err();
-            assert!(matches!(err, IoError::Parse { line: 1, .. }), "{bad} -> {err}");
+            assert!(
+                matches!(err, IoError::Parse { line: 1, .. }),
+                "{bad} -> {err}"
+            );
         }
     }
 

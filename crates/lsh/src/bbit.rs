@@ -54,7 +54,13 @@ impl BbitSignatures {
             matches!(b, 1 | 2 | 4 | 8 | 16),
             "b must be one of 1,2,4,8,16 (got {b})"
         );
-        Self { hasher, b, sigs: vec![Vec::new(); n_objects], hashes: vec![0; n_objects], total: 0 }
+        Self {
+            hasher,
+            b,
+            sigs: vec![Vec::new(); n_objects],
+            hashes: vec![0; n_objects],
+            total: 0,
+        }
     }
 
     /// Bits kept per hash.
@@ -105,7 +111,9 @@ impl SignaturePool for BbitSignatures {
 
     fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
         debug_assert!(hi <= self.hashes[a as usize] && hi <= self.hashes[b as usize]);
-        (lo..hi).filter(|&i| self.fragment(a, i) == self.fragment(b, i)).count() as u32
+        (lo..hi)
+            .filter(|&i| self.fragment(a, i) == self.fragment(b, i))
+            .count() as u32
     }
 
     fn total_hashes(&self) -> u64 {
@@ -121,7 +129,9 @@ mod tests {
     fn pair_with_jaccard() -> (SparseVector, SparseVector, f64) {
         let x = SparseVector::from_indices((0..100).map(|i| i * 31 + 7).collect());
         let y = SparseVector::from_indices(
-            (0..100).map(|i| if i < 60 { i * 31 + 7 } else { i * 97 + 13_000 }).collect(),
+            (0..100)
+                .map(|i| if i < 60 { i * 31 + 7 } else { i * 97 + 13_000 })
+                .collect(),
         );
         let j = jaccard(&x, &y);
         (x, y, j)

@@ -35,7 +35,10 @@ pub struct MinHasher {
 impl MinHasher {
     /// Create a hasher; functions are derived deterministically from `seed`.
     pub fn new(seed: u64) -> Self {
-        Self { seed, params: Vec::new() }
+        Self {
+            seed,
+            params: Vec::new(),
+        }
     }
 
     /// Number of hash functions materialized so far.
@@ -123,10 +126,12 @@ mod tests {
         let cases = [(40usize, 10usize, 10usize), (25, 25, 50), (5, 5, 90)];
         let mut h = MinHasher::new(5);
         for (case_id, &(x_only, y_only, shared)) in cases.iter().enumerate() {
-            let x: Vec<u32> =
-                (0..x_only as u32).chain(10_000..10_000 + shared as u32).collect();
-            let y: Vec<u32> =
-                (5_000..5_000 + y_only as u32).chain(10_000..10_000 + shared as u32).collect();
+            let x: Vec<u32> = (0..x_only as u32)
+                .chain(10_000..10_000 + shared as u32)
+                .collect();
+            let y: Vec<u32> = (5_000..5_000 + y_only as u32)
+                .chain(10_000..10_000 + shared as u32)
+                .collect();
             let x = SparseVector::from_indices(x);
             let y = SparseVector::from_indices(y);
             let expected = jaccard(&x, &y);
@@ -173,8 +178,13 @@ mod tests {
         let x = SparseVector::from_indices(vec![1, 2, 3, 500]);
         let mut h1 = MinHasher::new(1);
         let mut h2 = MinHasher::new(2);
-        let same = (0..64).filter(|&i| h1.hash(i, &x) == h2.hash(i, &x)).count();
-        assert!(same < 8, "seeds should give different hash streams ({same} collisions)");
+        let same = (0..64)
+            .filter(|&i| h1.hash(i, &x) == h2.hash(i, &x))
+            .count();
+        assert!(
+            same < 8,
+            "seeds should give different hash streams ({same} collisions)"
+        );
     }
 
     #[test]

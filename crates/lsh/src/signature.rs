@@ -72,7 +72,12 @@ pub struct BitSignatures {
 impl BitSignatures {
     /// A pool for `n_objects` objects hashing through `hasher`.
     pub fn new(hasher: SrpHasher, n_objects: usize) -> Self {
-        Self { hasher, words: vec![Vec::new(); n_objects], bits: vec![0; n_objects], total: 0 }
+        Self {
+            hasher,
+            words: vec![Vec::new(); n_objects],
+            bits: vec![0; n_objects],
+            total: 0,
+        }
     }
 
     /// The raw packed words of `id`'s signature.
@@ -108,7 +113,8 @@ impl SignaturePool for BitSignatures {
         if target <= cur {
             return;
         }
-        self.hasher.hash_bits_into(v, cur, target, &mut self.words[id as usize]);
+        self.hasher
+            .hash_bits_into(v, cur, target, &mut self.words[id as usize]);
         self.bits[id as usize] = target;
         self.total += (target - cur) as u64;
     }
@@ -139,7 +145,11 @@ pub struct IntSignatures {
 impl IntSignatures {
     /// A pool for `n_objects` objects hashing through `hasher`.
     pub fn new(hasher: MinHasher, n_objects: usize) -> Self {
-        Self { hasher, sigs: vec![Vec::new(); n_objects], total: 0 }
+        Self {
+            hasher,
+            sigs: vec![Vec::new(); n_objects],
+            total: 0,
+        }
     }
 
     /// The raw minhash values of `id`'s signature.
@@ -154,7 +164,8 @@ impl SignaturePool for IntSignatures {
         if n <= cur {
             return;
         }
-        self.hasher.hash_range_into(v, cur, n, &mut self.sigs[id as usize]);
+        self.hasher
+            .hash_range_into(v, cur, n, &mut self.sigs[id as usize]);
         self.total += (n - cur) as u64;
     }
 
@@ -190,7 +201,12 @@ mod tests {
         (0..n)
             .map(|_| {
                 let pairs: Vec<(u32, f32)> = (0..len)
-                    .map(|_| (rng.next_below(dim as u64) as u32, (rng.next_f64() + 0.1) as f32))
+                    .map(|_| {
+                        (
+                            rng.next_below(dim as u64) as u32,
+                            (rng.next_f64() + 0.1) as f32,
+                        )
+                    })
                     .collect();
                 SparseVector::from_pairs(pairs)
             })
@@ -217,8 +233,18 @@ mod tests {
         let mut pool = BitSignatures::new(SrpHasher::new(200, 4), 2);
         pool.ensure(0, &vs[0], 256);
         pool.ensure(1, &vs[1], 256);
-        for &(lo, hi) in &[(0u32, 256u32), (0, 32), (32, 64), (5, 37), (100, 101), (17, 255), (9, 9)] {
-            let naive = (lo..hi).filter(|&i| pool.bit(0, i) == pool.bit(1, i)).count() as u32;
+        for &(lo, hi) in &[
+            (0u32, 256u32),
+            (0, 32),
+            (32, 64),
+            (5, 37),
+            (100, 101),
+            (17, 255),
+            (9, 9),
+        ] {
+            let naive = (lo..hi)
+                .filter(|&i| pool.bit(0, i) == pool.bit(1, i))
+                .count() as u32;
             assert_eq!(pool.agreements(0, 1, lo, hi), naive, "range {lo}..{hi}");
         }
     }

@@ -95,7 +95,9 @@ impl SrpHasher {
         let mut rng = Xoshiro256::seed_from_u64(derive_seed(self.seed, index as u64));
         let mut gauss = Gaussian::new();
         self.components_generated += self.dim as u64;
-        (0..self.dim).map(|_| gauss.sample(&mut rng) as f32).collect()
+        (0..self.dim)
+            .map(|_| gauss.sample(&mut rng) as f32)
+            .collect()
     }
 
     /// Materialize planes `0..n`.
@@ -164,8 +166,9 @@ mod tests {
     use bayeslsh_sparse::cosine;
 
     fn random_dense_vector(dim: u32, rng: &mut Xoshiro256) -> SparseVector {
-        let pairs: Vec<(u32, f32)> =
-            (0..dim).map(|i| (i, (rng.next_f64() * 2.0 - 1.0) as f32)).collect();
+        let pairs: Vec<(u32, f32)> = (0..dim)
+            .map(|i| (i, (rng.next_f64() * 2.0 - 1.0) as f32))
+            .collect();
         SparseVector::from_pairs(pairs)
     }
 
@@ -224,7 +227,9 @@ mod tests {
         let mut hasher = SrpHasher::new(32, 9);
         let x = random_dense_vector(32, &mut rng);
         let neg = x.scaled(-1.0);
-        let agree = (0..512).filter(|&i| hasher.hash_bit(i, &x) == hasher.hash_bit(i, &neg)).count();
+        let agree = (0..512)
+            .filter(|&i| hasher.hash_bit(i, &x) == hasher.hash_bit(i, &neg))
+            .count();
         // dot = 0 exactly on a measure-zero set; sign flip everywhere else.
         assert_eq!(agree, 0);
     }

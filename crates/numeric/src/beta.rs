@@ -76,7 +76,10 @@ fn betacf(a: f64, b: f64, x: f64) -> f64 {
 /// The continued fraction converges fastest for `x < (a+1)/(a+b+2)`; above
 /// that we use the symmetry `I_x(a, b) = 1 − I_{1−x}(b, a)`.
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "reg_inc_beta needs a,b > 0; got ({a},{b})");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "reg_inc_beta needs a,b > 0; got ({a},{b})"
+    );
     assert!(
         (0.0..=1.0).contains(&x),
         "reg_inc_beta needs x in [0,1]; got {x}"
@@ -120,7 +123,9 @@ mod tests {
     /// log-space terms: `Pr[X >= a] = I_x(a, n-a+1)`.
     fn binom_sf(n: u64, x: f64, a: u64) -> f64 {
         (a..=n)
-            .map(|j| (ln_choose(n, j) + (j as f64) * x.ln() + ((n - j) as f64) * (1.0 - x).ln()).exp())
+            .map(|j| {
+                (ln_choose(n, j) + (j as f64) * x.ln() + ((n - j) as f64) * (1.0 - x).ln()).exp()
+            })
             .sum()
     }
 

@@ -156,7 +156,10 @@ impl BetaDist {
     /// Quantile function (inverse CDF) by bisection on the monotone CDF;
     /// accurate to ~1e-12 in `x`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile needs p in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile needs p in [0,1], got {p}"
+        );
         if p == 0.0 {
             return 0.0;
         }
@@ -179,7 +182,10 @@ impl BetaDist {
     /// (e.g. `mass = 0.95` gives the equal-tailed 95% interval). Useful for
     /// reporting uncertainty alongside BayesLSH similarity estimates.
     pub fn credible_interval(&self, mass: f64) -> (f64, f64) {
-        assert!(mass > 0.0 && mass < 1.0, "credible mass must be in (0,1), got {mass}");
+        assert!(
+            mass > 0.0 && mass < 1.0,
+            "credible mass must be in (0,1), got {mass}"
+        );
         let tail = 0.5 * (1.0 - mass);
         (self.quantile(tail), self.quantile(1.0 - tail))
     }
@@ -305,7 +311,9 @@ mod tests {
         let d = BetaDist::new(4.0, 9.0);
         let mut rng = Xoshiro256::seed_from_u64(12);
         let mut gauss = Gaussian::new();
-        let samples: Vec<f64> = (0..60_000).map(|_| d.sample(&mut rng, &mut gauss)).collect();
+        let samples: Vec<f64> = (0..60_000)
+            .map(|_| d.sample(&mut rng, &mut gauss))
+            .collect();
         let fit = BetaDist::fit_moments(&samples);
         assert_close(fit.alpha(), 4.0, 0.35);
         assert_close(fit.beta(), 9.0, 0.8);
@@ -359,8 +367,12 @@ mod tests {
 
     #[test]
     fn credible_interval_narrows_with_evidence() {
-        let small = BetaDist::uniform().posterior(24, 32).credible_interval(0.95);
-        let large = BetaDist::uniform().posterior(768, 1024).credible_interval(0.95);
+        let small = BetaDist::uniform()
+            .posterior(24, 32)
+            .credible_interval(0.95);
+        let large = BetaDist::uniform()
+            .posterior(768, 1024)
+            .credible_interval(0.95);
         assert!(large.1 - large.0 < small.1 - small.0);
     }
 

@@ -75,7 +75,10 @@ mod tests {
         let samples = g.sample_vec(&mut rng, n);
         let beyond_196 = samples.iter().filter(|x| x.abs() > 1.96).count() as f64 / n as f64;
         let beyond_3 = samples.iter().filter(|x| x.abs() > 3.0).count() as f64 / n as f64;
-        assert!((beyond_196 - 0.05).abs() < 0.005, "P(|X|>1.96) = {beyond_196}");
+        assert!(
+            (beyond_196 - 0.05).abs() < 0.005,
+            "P(|X|>1.96) = {beyond_196}"
+        );
         assert!((beyond_3 - 0.0027).abs() < 0.002, "P(|X|>3) = {beyond_3}");
     }
 

@@ -33,13 +33,19 @@ pub struct DatasetStats {
 impl Dataset {
     /// Create an empty dataset over a `dim`-dimensional space.
     pub fn new(dim: u32) -> Self {
-        Self { vectors: Vec::new(), dim }
+        Self {
+            vectors: Vec::new(),
+            dim,
+        }
     }
 
     /// Build from vectors; `dim` grows to fit if any vector exceeds it.
     pub fn from_vectors(vectors: Vec<SparseVector>, dim: u32) -> Self {
         let need = vectors.iter().map(|v| v.min_dim()).max().unwrap_or(0);
-        Self { vectors, dim: dim.max(need) }
+        Self {
+            vectors,
+            dim: dim.max(need),
+        }
     }
 
     /// Append a vector, growing `dim` if needed. Returns the new vector's id.
@@ -94,13 +100,19 @@ impl Dataset {
     /// A copy with every vector binarized (weights → 1.0), as used by the
     /// paper's "Binary, Jaccard" and "Binary, Cosine" experiments.
     pub fn binarized(&self) -> Self {
-        Self { vectors: self.vectors.iter().map(|v| v.binarize()).collect(), dim: self.dim }
+        Self {
+            vectors: self.vectors.iter().map(|v| v.binarize()).collect(),
+            dim: self.dim,
+        }
     }
 
     /// A copy with every vector scaled to unit L2 norm (cosine similarity is
     /// then a plain dot product — the precondition for AllPairs).
     pub fn l2_normalized(&self) -> Self {
-        Self { vectors: self.vectors.iter().map(|v| v.l2_normalized()).collect(), dim: self.dim }
+        Self {
+            vectors: self.vectors.iter().map(|v| v.l2_normalized()).collect(),
+            dim: self.dim,
+        }
     }
 
     /// Summary statistics (paper Table 1).

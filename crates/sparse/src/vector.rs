@@ -34,7 +34,10 @@ impl fmt::Debug for SparseVector {
 impl SparseVector {
     /// The empty vector.
     pub fn empty() -> Self {
-        Self { indices: Vec::new(), values: Vec::new() }
+        Self {
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Build from arbitrary `(index, weight)` pairs: sorts by index, sums
@@ -63,7 +66,10 @@ impl SparseVector {
                 out_v.push(v);
             }
         }
-        Self { indices: out_i, values: out_v }
+        Self {
+            indices: out_i,
+            values: out_v,
+        }
     }
 
     /// Build from pre-sorted parallel slices. Returns `None` if the input
@@ -112,7 +118,10 @@ impl SparseVector {
 
     /// Iterate over `(index, weight)` entries in index order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Weight of feature `idx`, or 0.0 if absent.
@@ -159,12 +168,18 @@ impl SparseVector {
             return self.clone();
         }
         let values = self.values.iter().map(|&v| (v as f64 / n) as f32).collect();
-        Self { indices: self.indices.clone(), values }
+        Self {
+            indices: self.indices.clone(),
+            values,
+        }
     }
 
     /// A binary copy: same support, all weights 1.0.
     pub fn binarize(&self) -> Self {
-        Self { indices: self.indices.clone(), values: vec![1.0; self.indices.len()] }
+        Self {
+            indices: self.indices.clone(),
+            values: vec![1.0; self.indices.len()],
+        }
     }
 
     /// True if every weight equals 1.0.

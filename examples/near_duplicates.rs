@@ -69,8 +69,11 @@ fn main() {
         let r = find(&mut parent, i);
         clusters.entry(r).or_default().push(i);
     }
-    let mut sizes: Vec<usize> =
-        clusters.values().map(|c| c.len()).filter(|&n| n > 1).collect();
+    let mut sizes: Vec<usize> = clusters
+        .values()
+        .map(|c| c.len())
+        .filter(|&n| n > 1)
+        .collect();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     println!(
         "\nduplicate clusters: {} (sizes of the largest: {:?})",

@@ -35,8 +35,10 @@ fn main() {
     for qid in [0u32, 17, 101, 333] {
         let q = data.vector(qid).clone();
         let (neighbours, stats) = index.query(&data, &q, k + 1, &params);
-        println!("\nquery {qid}: {} candidates, {} pruned, {} exact computations",
-            stats.candidates, stats.pruned, stats.exact);
+        println!(
+            "\nquery {qid}: {} candidates, {} pruned, {} exact computations",
+            stats.candidates, stats.pruned, stats.exact
+        );
         for &(id, s) in neighbours.iter().take(4) {
             let marker = if id == qid { " (self)" } else { "" };
             println!("  neighbour {id:>5}  cosine {s:.3}{marker}");
@@ -52,8 +54,11 @@ fn main() {
             .map(|(id, v)| (id, cosine(&q, v)))
             .collect();
         brute.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let got: std::collections::HashSet<u32> =
-            neighbours.iter().filter(|&&(id, _)| id != qid).map(|&(id, _)| id).collect();
+        let got: std::collections::HashSet<u32> = neighbours
+            .iter()
+            .filter(|&&(id, _)| id != qid)
+            .map(|&(id, _)| id)
+            .collect();
         for &(id, _) in brute.iter().take(k) {
             recall_total += 1;
             if got.contains(&id) {

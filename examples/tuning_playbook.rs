@@ -22,7 +22,10 @@ fn main() {
     );
 
     println!("-- recall knob: epsilon (prune when Pr[S >= t] < eps) --");
-    println!("{:>8} {:>10} {:>10} {:>9}", "epsilon", "recall", "output", "time");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9}",
+        "epsilon", "recall", "output", "time"
+    );
     for eps in [0.01, 0.05, 0.10, 0.20] {
         let mut cfg = PipelineConfig::cosine(t);
         cfg.epsilon = eps;
@@ -37,7 +40,10 @@ fn main() {
     }
 
     println!("\n-- accuracy knob: delta (estimate within delta of truth) --");
-    println!("{:>8} {:>11} {:>12} {:>9}", "delta", "mean err", "hash cmps", "time");
+    println!(
+        "{:>8} {:>11} {:>12} {:>9}",
+        "delta", "mean err", "hash cmps", "time"
+    );
     for delta in [0.01, 0.03, 0.05, 0.09] {
         let mut cfg = PipelineConfig::cosine(t);
         cfg.delta = delta;

@@ -53,10 +53,10 @@ pub mod prelude {
     };
     pub use bayeslsh_core::pipeline::ground_truth;
     pub use bayeslsh_core::{
-        bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against, Algorithm,
-        BayesLshConfig, BbitJaccardModel, CosineModel, EngineStats, ErrorStats, JaccardModel,
-        KnnIndex, KnnParams, KnnStats, LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel,
-        PriorChoice, RunOutput, run_algorithm,
+        bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against,
+        run_algorithm, Algorithm, BayesLshConfig, BbitJaccardModel, CosineModel, EngineStats,
+        ErrorStats, JaccardModel, KnnIndex, KnnParams, KnnStats, LiteConfig, MinMatchTable,
+        PipelineConfig, PosteriorModel, PriorChoice, RunOutput,
     };
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{

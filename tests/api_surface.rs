@@ -64,7 +64,12 @@ fn config_constructors() {
 
 #[test]
 fn corpus_generation_via_facade() {
-    let data = generate(&CorpusConfig { n_vectors: 50, dim: 500, avg_len: 10, ..Default::default() });
+    let data = generate(&CorpusConfig {
+        n_vectors: 50,
+        dim: 500,
+        avg_len: 10,
+        ..Default::default()
+    });
     assert_eq!(data.len(), 50);
     let stats = data.stats();
     assert!(stats.nnz > 0);

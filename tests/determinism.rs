@@ -11,7 +11,11 @@ fn sorted_pairs(mut v: Vec<(u32, u32, f64)>) -> Vec<(u32, u32, u64)> {
 #[test]
 fn pipelines_are_bit_reproducible_per_seed() {
     let data = Preset::Rcv1.load(0.001, 11);
-    for algo in [Algorithm::LshBayesLsh, Algorithm::LshApprox, Algorithm::ApBayesLsh] {
+    for algo in [
+        Algorithm::LshBayesLsh,
+        Algorithm::LshApprox,
+        Algorithm::ApBayesLsh,
+    ] {
         let cfg = PipelineConfig::cosine(0.6);
         let a = run_algorithm(algo, &data, &cfg);
         let b = run_algorithm(algo, &data, &cfg);

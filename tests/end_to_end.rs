@@ -63,8 +63,14 @@ fn lite_never_reports_false_positives() {
         let out = run_algorithm(algo, &data, &cfg);
         for &(a, b, s) in &out.pairs {
             let exact = cosine(data.vector(a), data.vector(b));
-            assert!(exact >= t, "{algo}: ({a},{b}) reported at {s} but exact is {exact}");
-            assert!((exact - s).abs() < 1e-9, "{algo}: Lite must report exact similarities");
+            assert!(
+                exact >= t,
+                "{algo}: ({a},{b}) reported at {s} but exact is {exact}"
+            );
+            assert!(
+                (exact - s).abs() < 1e-9,
+                "{algo}: Lite must report exact similarities"
+            );
         }
     }
 }

@@ -1,0 +1,136 @@
+//! Dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset this workspace's benches use (see
+//! `vendor/README.md`). Each benchmark runs a short warm-up followed by a
+//! fixed number of timed samples and prints the median per-iteration
+//! wall-clock time. There is no statistical analysis or report output —
+//! swap in the real crate for serious measurement.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under the name criterion provides.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_bench(&id.into(), sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, f);
+        self
+    }
+
+    /// Finish the group. No-op in the stand-in; kept for API parity.
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: 1,
+    };
+    // Warm-up sample (discarded) so lazy initialization doesn't skew timing.
+    f(&mut b);
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    println!("bench: {id:<50} median {median:?} ({sample_size} samples)");
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Time the closure, recording one sample of its median iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_per_sample;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed() / iters;
+        // Auto-scale very fast routines to amortize timer overhead.
+        if elapsed < Duration::from_micros(5) && iters < 1 << 16 {
+            self.iters_per_sample = iters * 4;
+        }
+        self.samples.push(elapsed);
+    }
+}
+
+/// Build a function that runs each listed benchmark with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Build a `main` that runs the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,120 @@
+//! Dependency-free stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the API subset this workspace's tests use (see
+//! `vendor/README.md`): the [`proptest!`] macro, [`Strategy`] for numeric
+//! ranges / tuples / mapped strategies, [`collection::vec`], the
+//! `prop_assert*` macros and [`ProptestConfig`]. Inputs are generated from a
+//! deterministic per-test RNG; a failing case reports its inputs but is not
+//! shrunk.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestRng};
+
+/// The one-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                $(let $arg = $strat;)+
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&$arg, &mut rng);
+                    )+
+                    let case_desc = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}, ", &$arg));
+                        )+
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body })
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest {}: failing case {case}/{}: {case_desc}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {
+        assert_eq!($lhs, $rhs);
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_eq!($lhs, $rhs, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {
+        assert_ne!($lhs, $rhs);
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {
+        assert_ne!($lhs, $rhs, $($fmt)+);
+    };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+/// The stand-in discards the case without generating a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}

@@ -1,0 +1,59 @@
+//! Behavioral checks for the vendored proptest stand-in itself: generated
+//! values respect their strategies, generation is deterministic per test,
+//! and `prop_assume` skips cases without failing them.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use proptest::Strategy;
+
+#[test]
+fn generation_is_deterministic_per_test_name() {
+    let strat = (0u32..1000, 0.0f64..1.0);
+    let mut a = TestRng::for_test("determinism_probe");
+    let mut b = TestRng::for_test("determinism_probe");
+    for _ in 0..100 {
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+    let mut c = TestRng::for_test("a_different_test");
+    assert_ne!(strat.generate(&mut a), strat.generate(&mut c));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn int_ranges_stay_in_bounds(x in 7u32..19, y in -5i32..5) {
+        prop_assert!((7..19).contains(&x));
+        prop_assert!((-5..5).contains(&y));
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds(x in 0.25f64..0.75, y in -1.0f32..1.0) {
+        prop_assert!((0.25..0.75).contains(&x));
+        prop_assert!((-1.0..1.0).contains(&y));
+    }
+
+    #[test]
+    fn vec_lengths_respect_size_range(
+        v in proptest::collection::vec(0u8..10, 3..9)
+    ) {
+        prop_assert!((3..9).contains(&v.len()));
+        prop_assert!(v.iter().all(|&b| b < 10));
+    }
+
+    #[test]
+    fn prop_map_applies_function(n in 1u64..100) {
+        // The strategy below is evaluated fresh per case; generate directly.
+        let doubled = (1u64..100).prop_map(|m| m * 2);
+        let mut rng = TestRng::for_test("prop_map_probe");
+        let d = doubled.generate(&mut rng);
+        prop_assert!(d % 2 == 0 && (2..200).contains(&d));
+        prop_assert!(n < 100);
+    }
+
+    #[test]
+    fn prop_assume_skips_without_failing(n in 0u32..10) {
+        prop_assume!(n % 2 == 0);
+        prop_assert_eq!(n % 2, 0);
+    }
+}
