@@ -28,6 +28,9 @@ pub mod ppjoin;
 pub use allpairs::{
     all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
 };
-pub use lshindex::{lsh_candidates_bits, lsh_candidates_ints, BandingParams};
+pub use lshindex::{
+    band_key_bits, band_key_ints, band_keys_bits, band_keys_ints, lsh_candidates_bits,
+    lsh_candidates_ints, BandingIndex, BandingParams, BandingPlan,
+};
 pub use pairs::PairSet;
 pub use ppjoin::{ppjoin_binary_cosine, ppjoin_jaccard};

@@ -22,30 +22,69 @@ pub struct BandingParams {
     pub l: u32,
 }
 
+/// The resolved banding configuration for a similarity threshold, with the
+/// guarantee actually achieved. The `l` formula can demand more bands than
+/// the caller's cap allows (low thresholds, wide bands); instead of
+/// clamping invisibly, the plan reports the requested versus achieved
+/// false-negative rates so callers can surface the gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandingPlan {
+    /// The banding configuration to index with.
+    pub params: BandingParams,
+    /// Per-hash collision probability at the similarity threshold.
+    pub collision_prob: f64,
+    /// The false-negative rate the caller asked for.
+    pub requested_fnr: f64,
+    /// The expected false-negative rate at the threshold under `params`:
+    /// `(1 − p^k)^l`. Equals (or beats) `requested_fnr` unless `clamped`.
+    pub achieved_fnr: f64,
+    /// True when the band cap truncated `l` below the formula's demand, so
+    /// `achieved_fnr > requested_fnr`.
+    pub clamped: bool,
+}
+
 impl BandingParams {
     /// Compute `l` from the paper's formula for false-negative rate `eps`
     /// at per-hash collision probability `p` (the collision probability *at
     /// the similarity threshold*), capping at `max_l`.
     ///
     /// `l = ceil(log eps / log(1 − p^k))`.
+    ///
+    /// Prefer [`BandingParams::plan`] when the caller should know whether
+    /// the cap weakened the recall guarantee.
     pub fn for_threshold(p: f64, k: u32, eps: f64, max_l: u32) -> Self {
+        Self::plan(p, k, eps, max_l).params
+    }
+
+    /// Like [`BandingParams::for_threshold`], but reports the achieved
+    /// false-negative rate alongside the parameters instead of clamping
+    /// silently.
+    pub fn plan(p: f64, k: u32, eps: f64, max_l: u32) -> BandingPlan {
         assert!((0.0..=1.0).contains(&p), "collision probability {p}");
         assert!(k >= 1, "band width must be at least 1");
         assert!(eps > 0.0 && eps < 1.0, "false negative rate {eps}");
         let pk = p.powi(k as i32);
-        let l = if pk <= 0.0 {
-            max_l
+        let (l, clamped) = if pk <= 0.0 {
+            // No number of bands catches a zero-probability collision.
+            (max_l, true)
         } else if pk >= 1.0 {
-            1
+            (1, false)
         } else {
             let raw = (eps.ln() / (1.0 - pk).ln()).ceil();
             if raw.is_finite() && raw >= 1.0 {
-                (raw as u32).min(max_l)
+                ((raw as u32).min(max_l), raw > max_l as f64)
             } else {
-                max_l
+                (max_l, true)
             }
         };
-        Self { k, l: l.max(1) }
+        let params = BandingParams { k, l: l.max(1) };
+        BandingPlan {
+            params,
+            collision_prob: p,
+            requested_fnr: eps,
+            achieved_fnr: 1.0 - params.candidate_prob(p),
+            clamped,
+        }
     }
 
     /// Total hashes per object the banding consumes.
@@ -80,8 +119,132 @@ pub fn extract_bits(words: &[u32], lo: u32, len: u32) -> u64 {
     out
 }
 
-fn pairs_from_buckets(buckets: FxHashMap<u64, Vec<u32>>, out: &mut PairSet) {
-    for (_, ids) in buckets {
+/// The band key of bit signature `words` for band `band` of width `k`
+/// (`k <= 64`): the raw bit run, identical for pool members and external
+/// query signatures.
+#[inline]
+pub fn band_key_bits(words: &[u32], band: u32, k: u32) -> u64 {
+    extract_bits(words, band * k, k)
+}
+
+/// The band key of integer minhash signature `sigs` for band `band` of
+/// width `k`: an FxHash of the band's minhash run.
+#[inline]
+pub fn band_key_ints(sigs: &[u32], band: u32, k: u32) -> u64 {
+    let lo = (band * k) as usize;
+    let mut h = FxHasher::default();
+    for &m in &sigs[lo..lo + k as usize] {
+        h.write_u32(m);
+    }
+    h.finish()
+}
+
+/// All `l` band keys of a bit signature.
+pub fn band_keys_bits(words: &[u32], params: BandingParams) -> Vec<u64> {
+    (0..params.l)
+        .map(|band| band_key_bits(words, band, params.k))
+        .collect()
+}
+
+/// All `l` band keys of an integer minhash signature.
+pub fn band_keys_ints(sigs: &[u32], params: BandingParams) -> Vec<u64> {
+    (0..params.l)
+        .map(|band| band_key_ints(sigs, band, params.k))
+        .collect()
+}
+
+/// A standing, growable LSH banding index: one bucket map per band, keyed
+/// by band keys, holding object ids.
+///
+/// Unlike the one-shot candidate dumps ([`lsh_candidates_bits`] /
+/// [`lsh_candidates_ints`], now thin wrappers over this type), the index
+/// persists across operations: build it once, then serve any mix of
+/// [`BandingIndex::all_pairs`] joins, [`BandingIndex::probe`] point
+/// lookups, and incremental [`BandingIndex::insert`]s. Key computation is
+/// the caller's (hash-family-specific) job via [`band_keys_bits`] /
+/// [`band_keys_ints`], so the index itself is storage-agnostic.
+#[derive(Debug, Clone)]
+pub struct BandingIndex {
+    params: BandingParams,
+    /// One key → ids map per band.
+    buckets: Vec<FxHashMap<u64, Vec<u32>>>,
+    indexed: usize,
+}
+
+impl BandingIndex {
+    /// An empty index with `params.l` bands.
+    pub fn new(params: BandingParams) -> Self {
+        assert!(params.k >= 1 && params.l >= 1, "degenerate banding");
+        Self {
+            params,
+            buckets: vec![FxHashMap::default(); params.l as usize],
+            indexed: 0,
+        }
+    }
+
+    /// The banding configuration in use.
+    pub fn params(&self) -> BandingParams {
+        self.params
+    }
+
+    /// Number of objects inserted.
+    pub fn len(&self) -> usize {
+        self.indexed
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.indexed == 0
+    }
+
+    /// Insert object `id` under its `l` band keys.
+    pub fn insert(&mut self, id: u32, keys: &[u64]) {
+        assert_eq!(
+            keys.len(),
+            self.params.l as usize,
+            "expected one key per band"
+        );
+        for (band, &key) in keys.iter().enumerate() {
+            self.buckets[band].entry(key).or_default().push(id);
+        }
+        self.indexed += 1;
+    }
+
+    /// All distinct ids sharing at least one band bucket with the given
+    /// query keys, in first-encounter order.
+    pub fn probe(&self, keys: &[u64]) -> Vec<u32> {
+        assert_eq!(
+            keys.len(),
+            self.params.l as usize,
+            "expected one key per band"
+        );
+        let mut out = Vec::new();
+        let mut seen = crate::fxhash::FxHashSet::<u32>::default();
+        for (band, &key) in keys.iter().enumerate() {
+            if let Some(ids) = self.buckets[band].get(&key) {
+                for &id in ids {
+                    if seen.insert(id) {
+                        out.push(id);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct candidate pairs: every pair of ids sharing at least one
+    /// band bucket.
+    pub fn all_pairs(&self) -> Vec<(u32, u32)> {
+        let mut out = PairSet::new();
+        for buckets in &self.buckets {
+            pairs_from_buckets(buckets, &mut out);
+        }
+        out.into_vec()
+    }
+}
+
+fn pairs_from_buckets(buckets: &FxHashMap<u64, Vec<u32>>, out: &mut PairSet) {
+    for ids in buckets.values() {
         if ids.len() < 2 {
             continue;
         }
@@ -97,6 +260,12 @@ fn pairs_from_buckets(buckets: FxHashMap<u64, Vec<u32>>, out: &mut PairSet) {
 ///
 /// Hashes every non-empty vector to `k·l` bits through `pool` and returns
 /// all pairs sharing at least one of the `l` k-bit bands.
+///
+/// This one-shot path streams one band's buckets at a time (peak memory
+/// O(corpus), not O(bands × corpus) like a full [`BandingIndex`]); since
+/// each per-band bucket map sees the same insertions in the same order
+/// either way, the candidate order is identical to
+/// [`BandingIndex::all_pairs`] over an index built in id order.
 pub fn lsh_candidates_bits(
     pool: &mut BitSignatures,
     data: &Dataset,
@@ -112,20 +281,20 @@ pub fn lsh_candidates_bits(
     let mut out = PairSet::new();
     for band in 0..params.l {
         let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        let lo = band * params.k;
         for (id, v) in data.iter() {
             if v.is_empty() {
                 continue;
             }
-            let key = extract_bits(pool.raw_words(id), lo, params.k);
+            let key = band_key_bits(pool.raw_words(id), band, params.k);
             buckets.entry(key).or_default().push(id);
         }
-        pairs_from_buckets(buckets, &mut out);
+        pairs_from_buckets(&buckets, &mut out);
     }
     out.into_vec()
 }
 
-/// Candidate pairs from integer minhash signatures (Jaccard).
+/// Candidate pairs from integer minhash signatures (Jaccard). Streams one
+/// band at a time; see [`lsh_candidates_bits`] on memory and ordering.
 pub fn lsh_candidates_ints(
     pool: &mut IntSignatures,
     data: &Dataset,
@@ -140,19 +309,14 @@ pub fn lsh_candidates_ints(
     let mut out = PairSet::new();
     for band in 0..params.l {
         let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
-        let lo = (band * params.k) as usize;
-        let hi = lo + params.k as usize;
         for (id, v) in data.iter() {
             if v.is_empty() {
                 continue;
             }
-            let mut h = FxHasher::default();
-            for &m in &pool.raw(id)[lo..hi] {
-                h.write_u32(m);
-            }
-            buckets.entry(h.finish()).or_default().push(id);
+            let key = band_key_ints(pool.raw(id), band, params.k);
+            buckets.entry(key).or_default().push(id);
         }
-        pairs_from_buckets(buckets, &mut out);
+        pairs_from_buckets(&buckets, &mut out);
     }
     out.into_vec()
 }
@@ -184,6 +348,40 @@ mod tests {
     fn l_caps_at_max() {
         let p = BandingParams::for_threshold(0.1, 16, 0.03, 500);
         assert_eq!(p.l, 500);
+    }
+
+    #[test]
+    fn plan_reports_achieved_fnr() {
+        // Uncapped: the formula's l meets the requested rate.
+        let plan = BandingParams::plan(0.5, 4, 0.03, 10_000);
+        assert!(!plan.clamped);
+        assert_eq!(plan.params.l, 55);
+        assert!((plan.collision_prob - 0.5).abs() < 1e-12);
+        assert!(plan.achieved_fnr <= plan.requested_fnr);
+        assert!((plan.achieved_fnr - 0.9375f64.powi(55)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_surfaces_clamping() {
+        // 0.1^16 needs astronomically many bands; a cap of 500 cannot reach
+        // the requested 3% miss rate — the plan must say so.
+        let plan = BandingParams::plan(0.1, 16, 0.03, 500);
+        assert!(plan.clamped);
+        assert_eq!(plan.params.l, 500);
+        assert!(
+            plan.achieved_fnr > plan.requested_fnr,
+            "achieved {} should exceed requested {}",
+            plan.achieved_fnr,
+            plan.requested_fnr
+        );
+        assert!(plan.achieved_fnr > 0.99);
+    }
+
+    #[test]
+    fn plan_zero_collision_probability_is_clamped() {
+        let plan = BandingParams::plan(0.0, 8, 0.03, 100);
+        assert!(plan.clamped);
+        assert_eq!(plan.achieved_fnr, 1.0);
     }
 
     #[test]
@@ -299,6 +497,49 @@ mod tests {
         );
         let fnr = missed as f64 / truth as f64;
         assert!(fnr <= 0.10, "false negative rate {fnr} ({missed}/{truth})");
+    }
+
+    #[test]
+    fn banding_index_probe_matches_membership() {
+        let data = clustered_sets(6, 5, 55);
+        let params = BandingParams::for_threshold(0.5, 3, 0.03, 1000);
+        let mut pool = IntSignatures::new(MinHasher::new(56), data.len());
+        let mut index = BandingIndex::new(params);
+        for (id, v) in data.iter() {
+            pool.ensure(id, v, params.total_hashes());
+            index.insert(id, &band_keys_ints(pool.raw(id), params));
+        }
+        assert_eq!(index.len(), data.len());
+        // Probing with a member's own keys returns at least itself, and
+        // every returned id shares at least one band key.
+        for (id, _) in data.iter().step_by(7) {
+            let keys = band_keys_ints(pool.raw(id), params);
+            let hits = index.probe(&keys);
+            assert!(hits.contains(&id), "self-probe must hit id {id}");
+            for &other in &hits {
+                let other_keys = band_keys_ints(pool.raw(other), params);
+                assert!(
+                    keys.iter().zip(&other_keys).any(|(a, b)| a == b),
+                    "probe hit {other} shares no band with {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn banding_index_insert_extends_all_pairs() {
+        let params = BandingParams { k: 1, l: 2 };
+        let mut index = BandingIndex::new(params);
+        index.insert(0, &[7, 9]);
+        index.insert(1, &[7, 11]);
+        assert_eq!(index.all_pairs(), vec![(0, 1)]);
+        // A later insert joins existing buckets.
+        index.insert(2, &[8, 11]);
+        let mut pairs = index.all_pairs();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (1, 2)]);
+        assert_eq!(index.probe(&[8, 9]), vec![2, 0]);
+        assert!(index.probe(&[100, 100]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,680 @@
+//! Composable candidate generation × verification.
+//!
+//! The paper's eight algorithms are not eight monoliths but eight points in
+//! a small grid: a [`CandidateGenerator`] (AllPairs, LSH banding, PPJoin+)
+//! crossed with a [`Verifier`] (exact, fixed-`n` MLE, BayesLSH,
+//! BayesLSH-Lite). This module makes that grid explicit: each
+//! [`crate::pipeline::Algorithm`] names a [`Composition`], and
+//! [`run_composition`] executes any composition — including off-grid ones
+//! the paper never evaluated, such as PPJoin+ candidates with Bayesian
+//! verification.
+//!
+//! All compositions share one [`SigPool`] between candidate generation and
+//! verification, reproducing the paper's amortization argument ("it
+//! exploits the hashes of the objects for candidate pruning, further
+//! amortizing the costs of hashing"). A standing [`BandingIndex`] can be
+//! supplied through [`SearchContext::index`] so repeated runs (or point
+//! queries, via [`crate::searcher::Searcher`]) reuse the build-time index
+//! instead of re-bucketing the corpus.
+
+use std::time::Instant;
+
+use bayeslsh_candgen::{
+    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
+    band_key_bits, band_key_ints, band_keys_bits, band_keys_ints, lsh_candidates_bits,
+    lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex, BandingParams,
+};
+use bayeslsh_lsh::{
+    count_bit_agreements, count_int_agreements, r_to_cos, BitSignatures, IntSignatures, MinHasher,
+    SignaturePool, SrpHasher,
+};
+use bayeslsh_numeric::{derive_seed, Xoshiro256};
+use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset, SparseVector};
+
+use crate::cosine_model::CosineModel;
+use crate::engine::{bayes_verify, bayes_verify_lite, EngineStats};
+use crate::error::SearchError;
+use crate::estimator::mle_verify;
+use crate::jaccard_model::JaccardModel;
+use crate::pipeline::{PipelineConfig, PriorChoice};
+
+/// A signature pool for either hash family, created to match a
+/// [`PipelineConfig`]'s measure: signed-random-projection bits for cosine,
+/// integer minhashes for Jaccard. Seeds are derived from the config's
+/// master seed exactly as the classic pipelines did, so results are
+/// reproducible across the legacy and composable APIs.
+#[derive(Debug, Clone)]
+pub enum SigPool {
+    /// Bit signatures (cosine / signed random projections).
+    Bits(BitSignatures),
+    /// Integer minhash signatures (Jaccard).
+    Ints(IntSignatures),
+}
+
+impl SigPool {
+    /// A pool matching `cfg.measure`, sized for `data`.
+    pub fn for_config(cfg: &PipelineConfig, data: &Dataset) -> Self {
+        match cfg.measure {
+            Measure::Cosine => SigPool::Bits(BitSignatures::new(
+                SrpHasher::new(data.dim(), derive_seed(cfg.seed, 1)),
+                data.len(),
+            )),
+            Measure::Jaccard => SigPool::Ints(IntSignatures::new(
+                MinHasher::new(derive_seed(cfg.seed, 2)),
+                data.len(),
+            )),
+        }
+    }
+
+    /// Make room for objects `0..n_objects`, keeping existing signatures.
+    pub fn grow_to(&mut self, n_objects: usize) {
+        match self {
+            SigPool::Bits(p) => p.grow_to(n_objects),
+            SigPool::Ints(p) => p.grow_to(n_objects),
+        }
+    }
+
+    /// The `l` band keys of pool member `id` (which must be hashed to at
+    /// least `params.total_hashes()` already).
+    pub fn band_keys(&self, id: u32, params: BandingParams) -> Vec<u64> {
+        match self {
+            SigPool::Bits(p) => band_keys_bits(p.raw_words(id), params),
+            SigPool::Ints(p) => band_keys_ints(p.raw(id), params),
+        }
+    }
+
+    /// Hash an out-of-pool query vector to at least `n` hashes through the
+    /// same hash family. The returned words are packed bits for
+    /// [`SigPool::Bits`] and raw minhashes for [`SigPool::Ints`]; feed them
+    /// back through [`SigPool::query_band_keys`] and
+    /// [`SigPool::query_agreements`].
+    pub fn hash_query(&mut self, v: &SparseVector, n: u32) -> Vec<u32> {
+        let mut sig = Vec::new();
+        match self {
+            SigPool::Bits(p) => p.hash_external(v, 0, n, &mut sig),
+            SigPool::Ints(p) => p.hash_external(v, 0, n, &mut sig),
+        }
+        sig
+    }
+
+    /// The `l` band keys of an external query signature.
+    pub fn query_band_keys(&self, sig: &[u32], params: BandingParams) -> Vec<u64> {
+        match self {
+            SigPool::Bits(_) => (0..params.l)
+                .map(|band| band_key_bits(sig, band, params.k))
+                .collect(),
+            SigPool::Ints(_) => (0..params.l)
+                .map(|band| band_key_ints(sig, band, params.k))
+                .collect(),
+        }
+    }
+
+    /// Count agreeing hashes in positions `lo..hi` between an external
+    /// query signature and pool member `id` (hashed to at least `hi`).
+    pub fn query_agreements(&self, sig: &[u32], id: u32, lo: u32, hi: u32) -> u32 {
+        match self {
+            SigPool::Bits(p) => count_bit_agreements(sig, p.raw_words(id), lo, hi),
+            SigPool::Ints(p) => count_int_agreements(sig, p.raw(id), lo, hi),
+        }
+    }
+}
+
+impl SignaturePool for SigPool {
+    fn ensure(&mut self, id: u32, v: &SparseVector, n: u32) {
+        match self {
+            SigPool::Bits(p) => p.ensure(id, v, n),
+            SigPool::Ints(p) => p.ensure(id, v, n),
+        }
+    }
+
+    fn len(&self, id: u32) -> u32 {
+        match self {
+            SigPool::Bits(p) => p.len(id),
+            SigPool::Ints(p) => p.len(id),
+        }
+    }
+
+    fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
+        match self {
+            SigPool::Bits(p) => p.agreements(a, b, lo, hi),
+            SigPool::Ints(p) => p.agreements(a, b, lo, hi),
+        }
+    }
+
+    fn total_hashes(&self) -> u64 {
+        match self {
+            SigPool::Bits(p) => p.total_hashes(),
+            SigPool::Ints(p) => p.total_hashes(),
+        }
+    }
+}
+
+/// Everything a generator or verifier needs to run: the corpus, the
+/// configuration, the shared signature pool, and (optionally) a standing
+/// banding index maintained by the caller.
+pub struct SearchContext<'a> {
+    /// The corpus.
+    pub data: &'a Dataset,
+    /// Pipeline parameters.
+    pub cfg: &'a PipelineConfig,
+    /// Shared signature pool (candidate generation and verification draw
+    /// from the same hashes).
+    pub pool: &'a mut SigPool,
+    /// A standing banding index, when the caller maintains one. With
+    /// `None`, the LSH generator buckets the corpus transiently — the
+    /// legacy one-shot behaviour.
+    pub index: Option<&'a BandingIndex>,
+}
+
+/// A candidate generation strategy, as a composable trait object.
+pub trait CandidateGenerator {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// The generator's fused exact join, if it has one (AllPairs and
+    /// PPJoin+ verify inline while generating). `None` for pure candidate
+    /// generators (LSH banding).
+    fn exact_join(&self, ctx: &mut SearchContext<'_>) -> Option<Vec<(u32, u32, f64)>> {
+        let _ = ctx;
+        None
+    }
+
+    /// Generate candidate pairs for downstream verification.
+    fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)>;
+}
+
+/// A verification strategy, as a composable trait object.
+pub trait Verifier {
+    /// Display name.
+    fn name(&self) -> &'static str;
+
+    /// Verify candidates, returning surviving pairs with exact or estimated
+    /// similarities, plus engine statistics where the strategy produces
+    /// them.
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>);
+}
+
+/// The candidate generators of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GeneratorKind {
+    /// AllPairs (Bayardo et al.) — exact candidate enumeration with
+    /// max-weight pruning; has a fused exact join.
+    AllPairs,
+    /// Classical LSH banding over the shared signature pool.
+    LshBanding,
+    /// PPJoin+ (binary vectors only); has a fused exact join.
+    PpjoinPlus,
+}
+
+impl GeneratorKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GeneratorKind::AllPairs => "AllPairs",
+            GeneratorKind::LshBanding => "LSH",
+            GeneratorKind::PpjoinPlus => "PPJoin+",
+        }
+    }
+
+    /// Instantiate the generator as a trait object.
+    pub fn instantiate(&self) -> Box<dyn CandidateGenerator> {
+        match self {
+            GeneratorKind::AllPairs => Box::new(AllPairsGenerator),
+            GeneratorKind::LshBanding => Box::new(LshBandingGenerator),
+            GeneratorKind::PpjoinPlus => Box::new(PpjoinGenerator),
+        }
+    }
+}
+
+/// The verification strategies of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VerifierKind {
+    /// Exact similarity computation for every candidate.
+    Exact,
+    /// Classical fixed-`n` maximum-likelihood estimation ("LSH Approx").
+    Mle,
+    /// BayesLSH (Algorithm 1): prune or estimate.
+    Bayes,
+    /// BayesLSH-Lite (Algorithm 2): prune, then verify survivors exactly.
+    BayesLite,
+}
+
+impl VerifierKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VerifierKind::Exact => "exact",
+            VerifierKind::Mle => "MLE",
+            VerifierKind::Bayes => "BayesLSH",
+            VerifierKind::BayesLite => "BayesLSH-Lite",
+        }
+    }
+
+    /// Instantiate the verifier as a trait object.
+    pub fn instantiate(&self) -> Box<dyn Verifier> {
+        match self {
+            VerifierKind::Exact => Box::new(ExactVerifier),
+            VerifierKind::Mle => Box::new(MleVerifier),
+            VerifierKind::Bayes => Box::new(BayesVerifier),
+            VerifierKind::BayesLite => Box::new(BayesLiteVerifier),
+        }
+    }
+
+    /// The deepest signature this verifier can demand of any object under
+    /// `cfg` (0 for exact verification, which never consults hashes).
+    pub fn signature_depth(&self, cfg: &PipelineConfig) -> u32 {
+        let chunk = cfg.k.max(1);
+        match self {
+            VerifierKind::Exact => 0,
+            VerifierKind::Mle => cfg.approx_hashes,
+            VerifierKind::Bayes => (cfg.max_hashes / chunk).max(1) * chunk,
+            VerifierKind::BayesLite => (cfg.lite_h / chunk).max(1) * chunk,
+        }
+    }
+}
+
+/// A (generator, verifier) pair — the composable unit the paper's eight
+/// named algorithms are points of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Composition {
+    /// Candidate generation strategy.
+    pub generator: GeneratorKind,
+    /// Verification strategy.
+    pub verifier: VerifierKind,
+}
+
+impl Composition {
+    /// Compose a generator with a verifier.
+    pub const fn new(generator: GeneratorKind, verifier: VerifierKind) -> Self {
+        Self {
+            generator,
+            verifier,
+        }
+    }
+
+    /// True when this composition only works on binary vectors: Jaccard
+    /// hashing, or the PPJoin+ generator under any measure.
+    pub fn requires_binary(&self, measure: Measure) -> bool {
+        measure == Measure::Jaccard || self.generator == GeneratorKind::PpjoinPlus
+    }
+
+    /// What binary input is needed for, for error reporting.
+    pub(crate) fn binary_requirement(&self, measure: Measure) -> &'static str {
+        if self.generator == GeneratorKind::PpjoinPlus {
+            "PPJoin+"
+        } else if measure == Measure::Jaccard {
+            "Jaccard hashing"
+        } else {
+            "this composition"
+        }
+    }
+}
+
+impl std::fmt::Display for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} × {}", self.generator.name(), self.verifier.name())
+    }
+}
+
+/// The result of running one composition over a corpus.
+#[derive(Debug, Clone)]
+pub struct CompositionOutput {
+    /// The composition that ran.
+    pub composition: Composition,
+    /// Output pairs with similarities (exact or estimated).
+    pub pairs: Vec<(u32, u32, f64)>,
+    /// Candidate pairs generated (0 when the generator's fused exact join
+    /// ran, fusing generation and verification).
+    pub candidates: u64,
+    /// Seconds spent generating candidates.
+    pub candgen_secs: f64,
+    /// Seconds spent verifying.
+    pub verify_secs: f64,
+    /// Total wall-clock seconds.
+    pub total_secs: f64,
+    /// Verification statistics (Bayesian verifiers only).
+    pub engine: Option<EngineStats>,
+}
+
+/// Run one composition end to end over `ctx`.
+///
+/// Verifies the binary-input precondition up front and returns
+/// [`SearchError::NonBinaryData`] instead of panicking. When the verifier
+/// is exact and the generator has a fused exact join (AllPairs, PPJoin+),
+/// the join runs directly — reproducing the single-phase behaviour (and
+/// cost profile) of the paper's exact baselines.
+pub fn run_composition(
+    comp: Composition,
+    ctx: &mut SearchContext<'_>,
+) -> Result<CompositionOutput, SearchError> {
+    if comp.requires_binary(ctx.cfg.measure) && !ctx.data.vectors().iter().all(|v| v.is_binary()) {
+        return Err(SearchError::NonBinaryData {
+            requires: comp.binary_requirement(ctx.cfg.measure),
+        });
+    }
+    run_composition_prechecked(comp, ctx)
+}
+
+/// [`run_composition`] without the O(nnz) binary-precondition scan, for
+/// callers that enforce the invariant structurally (the `Searcher` checks
+/// the corpus at build and every insert).
+pub(crate) fn run_composition_prechecked(
+    comp: Composition,
+    ctx: &mut SearchContext<'_>,
+) -> Result<CompositionOutput, SearchError> {
+    let generator = comp.generator.instantiate();
+    let verifier = comp.verifier.instantiate();
+    let start = Instant::now();
+
+    if comp.verifier == VerifierKind::Exact {
+        if let Some(pairs) = generator.exact_join(ctx) {
+            let total = start.elapsed().as_secs_f64();
+            return Ok(CompositionOutput {
+                composition: comp,
+                pairs,
+                candidates: 0,
+                candgen_secs: total,
+                verify_secs: 0.0,
+                total_secs: total,
+                engine: None,
+            });
+        }
+    }
+
+    let candidates = generator.generate(ctx);
+    let candgen_secs = start.elapsed().as_secs_f64();
+    let verify_start = Instant::now();
+    let (pairs, engine) = verifier.verify(ctx, &candidates);
+    Ok(CompositionOutput {
+        composition: comp,
+        pairs,
+        candidates: candidates.len() as u64,
+        candgen_secs,
+        verify_secs: verify_start.elapsed().as_secs_f64(),
+        total_secs: start.elapsed().as_secs_f64(),
+        engine,
+    })
+}
+
+/// AllPairs candidate generation (with a fused exact join).
+struct AllPairsGenerator;
+
+impl CandidateGenerator for AllPairsGenerator {
+    fn name(&self) -> &'static str {
+        GeneratorKind::AllPairs.name()
+    }
+
+    fn exact_join(&self, ctx: &mut SearchContext<'_>) -> Option<Vec<(u32, u32, f64)>> {
+        Some(match ctx.cfg.measure {
+            Measure::Cosine => all_pairs_cosine(ctx.data, ctx.cfg.threshold),
+            Measure::Jaccard => all_pairs_jaccard(ctx.data, ctx.cfg.threshold),
+        })
+    }
+
+    fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)> {
+        match ctx.cfg.measure {
+            Measure::Cosine => all_pairs_cosine_candidates(ctx.data, ctx.cfg.threshold),
+            Measure::Jaccard => all_pairs_jaccard_candidates(ctx.data, ctx.cfg.threshold),
+        }
+    }
+}
+
+/// LSH banding candidate generation over the shared signature pool.
+struct LshBandingGenerator;
+
+impl CandidateGenerator for LshBandingGenerator {
+    fn name(&self) -> &'static str {
+        GeneratorKind::LshBanding.name()
+    }
+
+    fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)> {
+        if let Some(index) = ctx.index {
+            return index.all_pairs();
+        }
+        let params = ctx.cfg.banding_plan().params;
+        match ctx.pool {
+            SigPool::Bits(pool) => lsh_candidates_bits(pool, ctx.data, params),
+            SigPool::Ints(pool) => lsh_candidates_ints(pool, ctx.data, params),
+        }
+    }
+}
+
+/// PPJoin+ (with a fused exact join; candidates are the exact result set).
+struct PpjoinGenerator;
+
+impl CandidateGenerator for PpjoinGenerator {
+    fn name(&self) -> &'static str {
+        GeneratorKind::PpjoinPlus.name()
+    }
+
+    fn exact_join(&self, ctx: &mut SearchContext<'_>) -> Option<Vec<(u32, u32, f64)>> {
+        Some(match ctx.cfg.measure {
+            Measure::Cosine => ppjoin_binary_cosine(ctx.data, ctx.cfg.threshold),
+            Measure::Jaccard => ppjoin_jaccard(ctx.data, ctx.cfg.threshold),
+        })
+    }
+
+    fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)> {
+        self.exact_join(ctx)
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(a, b, _)| (a, b))
+            .collect()
+    }
+}
+
+/// Exact verification: compute the true similarity of every candidate.
+struct ExactVerifier;
+
+impl Verifier for ExactVerifier {
+    fn name(&self) -> &'static str {
+        VerifierKind::Exact.name()
+    }
+
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
+        let measure = ctx.cfg.measure;
+        let t = ctx.cfg.threshold;
+        let pairs = candidates
+            .iter()
+            .filter_map(|&(a, b)| {
+                let s = measure.eval(ctx.data.vector(a), ctx.data.vector(b));
+                (s >= t).then_some((a, b, s))
+            })
+            .collect();
+        (pairs, None)
+    }
+}
+
+/// Classical fixed-`n` MLE verification ("LSH Approx").
+struct MleVerifier;
+
+impl Verifier for MleVerifier {
+    fn name(&self) -> &'static str {
+        VerifierKind::Mle.name()
+    }
+
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
+        let n = ctx.cfg.approx_hashes;
+        let t = ctx.cfg.threshold;
+        let (pairs, _) = match ctx.cfg.measure {
+            Measure::Cosine => mle_verify(ctx.data, ctx.pool, candidates, n, t, r_to_cos),
+            Measure::Jaccard => mle_verify(ctx.data, ctx.pool, candidates, n, t, |f| f),
+        };
+        (pairs, None)
+    }
+}
+
+/// BayesLSH verification (Algorithm 1).
+struct BayesVerifier;
+
+impl Verifier for BayesVerifier {
+    fn name(&self) -> &'static str {
+        VerifierKind::Bayes.name()
+    }
+
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
+        let cfg = ctx.cfg.bayes();
+        let (pairs, stats) = match ctx.cfg.measure {
+            Measure::Cosine => {
+                bayes_verify(ctx.data, ctx.pool, &CosineModel::new(), candidates, &cfg)
+            }
+            Measure::Jaccard => {
+                let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
+                bayes_verify(ctx.data, ctx.pool, &model, candidates, &cfg)
+            }
+        };
+        (pairs, Some(stats))
+    }
+}
+
+/// BayesLSH-Lite verification (Algorithm 2).
+struct BayesLiteVerifier;
+
+impl Verifier for BayesLiteVerifier {
+    fn name(&self) -> &'static str {
+        VerifierKind::BayesLite.name()
+    }
+
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
+        let cfg = ctx.cfg.lite();
+        let (pairs, stats) = match ctx.cfg.measure {
+            Measure::Cosine => bayes_verify_lite(
+                ctx.data,
+                ctx.pool,
+                &CosineModel::new(),
+                candidates,
+                &cfg,
+                cosine,
+            ),
+            Measure::Jaccard => {
+                let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
+                bayes_verify_lite(ctx.data, ctx.pool, &model, candidates, &cfg, jaccard)
+            }
+        };
+        (pairs, Some(stats))
+    }
+}
+
+/// Fit the Jaccard prior from a random sample of candidate pairs, per the
+/// paper's method-of-moments recipe.
+pub(crate) fn fit_jaccard_prior(
+    data: &Dataset,
+    candidates: &[(u32, u32)],
+    cfg: &PipelineConfig,
+) -> JaccardModel {
+    match cfg.prior {
+        PriorChoice::Uniform => JaccardModel::uniform(),
+        PriorChoice::Fitted => {
+            if candidates.len() < 2 {
+                return JaccardModel::uniform();
+            }
+            let take = cfg.prior_sample.min(candidates.len());
+            let mut rng = Xoshiro256::seed_from_u64(derive_seed(cfg.seed, 0xBEEF));
+            let idx = rng.sample_indices(candidates.len(), take);
+            let sims: Vec<f64> = idx
+                .into_iter()
+                .map(|i| {
+                    let (a, b) = candidates[i];
+                    jaccard(data.vector(a), data.vector(b))
+                })
+                .collect();
+            JaccardModel::fit_from_sample(&sims)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Algorithm;
+
+    #[test]
+    fn eight_algorithms_are_eight_named_compositions() {
+        use GeneratorKind::*;
+        use VerifierKind::*;
+        let expect = [
+            (Algorithm::AllPairs, Composition::new(AllPairs, Exact)),
+            (Algorithm::ApBayesLsh, Composition::new(AllPairs, Bayes)),
+            (
+                Algorithm::ApBayesLshLite,
+                Composition::new(AllPairs, BayesLite),
+            ),
+            (Algorithm::Lsh, Composition::new(LshBanding, Exact)),
+            (Algorithm::LshApprox, Composition::new(LshBanding, Mle)),
+            (Algorithm::LshBayesLsh, Composition::new(LshBanding, Bayes)),
+            (
+                Algorithm::LshBayesLshLite,
+                Composition::new(LshBanding, BayesLite),
+            ),
+            (Algorithm::PpjoinPlus, Composition::new(PpjoinPlus, Exact)),
+        ];
+        for (algo, comp) in expect {
+            assert_eq!(algo.composition(), comp, "{algo}");
+        }
+        // The grid is larger than the paper's eight points.
+        let off_grid = Composition::new(GeneratorKind::PpjoinPlus, VerifierKind::Bayes);
+        assert!(Algorithm::ALL.iter().all(|a| a.composition() != off_grid));
+    }
+
+    #[test]
+    fn composition_metadata() {
+        let c = Composition::new(GeneratorKind::LshBanding, VerifierKind::BayesLite);
+        assert_eq!(format!("{c}"), "LSH × BayesLSH-Lite");
+        assert!(!c.requires_binary(Measure::Cosine));
+        assert!(c.requires_binary(Measure::Jaccard));
+        let pp = Composition::new(GeneratorKind::PpjoinPlus, VerifierKind::Exact);
+        assert!(pp.requires_binary(Measure::Cosine));
+        assert_eq!(pp.binary_requirement(Measure::Cosine), "PPJoin+");
+    }
+
+    #[test]
+    fn verifier_depths_follow_config() {
+        let cfg = PipelineConfig::cosine(0.7);
+        assert_eq!(VerifierKind::Exact.signature_depth(&cfg), 0);
+        assert_eq!(VerifierKind::Mle.signature_depth(&cfg), cfg.approx_hashes);
+        assert_eq!(VerifierKind::Bayes.signature_depth(&cfg), 2048);
+        assert_eq!(VerifierKind::BayesLite.signature_depth(&cfg), 128);
+    }
+
+    #[test]
+    fn non_binary_jaccard_is_a_typed_error() {
+        let mut data = Dataset::new(10);
+        data.push(SparseVector::from_pairs(vec![(0, 0.5), (3, 2.0)]));
+        data.push(SparseVector::from_pairs(vec![(0, 1.5), (2, 1.0)]));
+        let cfg = PipelineConfig::jaccard(0.5);
+        let mut pool = SigPool::for_config(&cfg, &data);
+        let mut ctx = SearchContext {
+            data: &data,
+            cfg: &cfg,
+            pool: &mut pool,
+            index: None,
+        };
+        let err = run_composition(Algorithm::LshBayesLsh.composition(), &mut ctx).unwrap_err();
+        assert_eq!(
+            err,
+            SearchError::NonBinaryData {
+                requires: "Jaccard hashing"
+            }
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Typed errors for the fallible search API.
+//!
+//! The legacy [`crate::pipeline::run_algorithm`] shim keeps its historical
+//! panics for compatibility; every entry point of the builder-based API
+//! ([`crate::searcher::SearcherBuilder`], [`crate::searcher::Searcher`],
+//! [`crate::compose::run_composition`]) reports failures through
+//! [`SearchError`] instead.
+
+/// Why a search operation could not be performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// A configuration parameter is out of range. `param` names the
+    /// offending field; `message` says what was expected.
+    InvalidConfig {
+        /// The offending configuration field.
+        param: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The requested composition needs binary vectors (Jaccard measure, or
+    /// the PPJoin+ generator) but the corpus contains weighted ones.
+    NonBinaryData {
+        /// Name of the component that requires binary vectors.
+        requires: &'static str,
+    },
+    /// A vector's feature indices exceed the dimensionality the searcher's
+    /// hash family was built for (signed random projections hold one plane
+    /// component per dimension, so the space cannot grow after build).
+    DimensionExceeded {
+        /// Dimensionality the searcher was built with.
+        dim: u32,
+        /// Dimensionality the offending vector requires.
+        needed: u32,
+    },
+}
+
+impl SearchError {
+    /// Shorthand constructor for configuration errors.
+    pub fn invalid(param: &'static str, message: impl Into<String>) -> Self {
+        SearchError::InvalidConfig {
+            param,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::InvalidConfig { param, message } => {
+                write!(f, "invalid config: {param}: {message}")
+            }
+            SearchError::NonBinaryData { requires } => {
+                write!(
+                    f,
+                    "{requires} requires binary vectors; call Dataset::binarized() first"
+                )
+            }
+            SearchError::DimensionExceeded { dim, needed } => {
+                write!(
+                    f,
+                    "vector needs dimensionality {needed} but the searcher was built for {dim}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = SearchError::invalid("epsilon", "must lie in (0, 1), got 2");
+        assert_eq!(
+            e.to_string(),
+            "invalid config: epsilon: must lie in (0, 1), got 2"
+        );
+        let e = SearchError::NonBinaryData {
+            requires: "PPJoin+",
+        };
+        assert!(e.to_string().contains("requires binary vectors"));
+        let e = SearchError::DimensionExceeded {
+            dim: 10,
+            needed: 42,
+        };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&SearchError::invalid("k", "must be positive"));
+    }
+}

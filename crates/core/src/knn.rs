@@ -12,9 +12,7 @@
 //! incomplete-beta calls per surviving candidate — cheap at query scale).
 //! Survivors get exact cosine computations, as the paper anticipates.
 
-use bayeslsh_candgen::fxhash::FxHashMap;
-use bayeslsh_candgen::lshindex::extract_bits;
-use bayeslsh_candgen::BandingParams;
+use bayeslsh_candgen::{band_keys_bits, BandingIndex, BandingParams};
 use bayeslsh_lsh::{count_bit_agreements, BitSignatures, SignaturePool, SrpHasher};
 use bayeslsh_sparse::{cosine, Dataset, SparseVector};
 
@@ -63,12 +61,16 @@ pub struct KnnStats {
 
 /// An LSH index over a dataset supporting Bayesian-pruned k-NN queries
 /// (cosine similarity).
+///
+/// This is the historical standalone k-NN entry point, now built on the
+/// same growable [`BandingIndex`] that powers
+/// [`crate::searcher::Searcher`] — which additionally serves threshold
+/// point queries, batch joins, Jaccard top-k, and incremental inserts, and
+/// is what new code should use.
 #[derive(Debug, Clone)]
 pub struct KnnIndex {
     pool: BitSignatures,
-    bands: BandingParams,
-    /// One key→ids map per band.
-    buckets: Vec<FxHashMap<u64, Vec<u32>>>,
+    index: BandingIndex,
 }
 
 impl KnnIndex {
@@ -77,27 +79,20 @@ impl KnnIndex {
         assert!(bands.k <= 64);
         let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed), data.len());
         let total = bands.total_hashes();
-        let mut buckets = vec![FxHashMap::<u64, Vec<u32>>::default(); bands.l as usize];
+        let mut index = BandingIndex::new(bands);
         for (id, v) in data.iter() {
             if v.is_empty() {
                 continue;
             }
             pool.ensure(id, v, total);
-            for band in 0..bands.l {
-                let key = extract_bits(pool.raw_words(id), band * bands.k, bands.k);
-                buckets[band as usize].entry(key).or_default().push(id);
-            }
+            index.insert(id, &band_keys_bits(pool.raw_words(id), bands));
         }
-        Self {
-            pool,
-            bands,
-            buckets,
-        }
+        Self { pool, index }
     }
 
     /// The banding configuration in use.
     pub fn bands(&self) -> BandingParams {
-        self.bands
+        self.index.params()
     }
 
     /// Top-`k` most cosine-similar dataset vectors to `q`, sorted by
@@ -119,23 +114,13 @@ impl KnnIndex {
         }
 
         // Hash the query through the shared plane bank.
-        let need = self.bands.total_hashes().max(params.h);
+        let bands = self.index.params();
+        let need = bands.total_hashes().max(params.h);
         let mut q_words = Vec::new();
         self.pool.hash_external(q, 0, need, &mut q_words);
 
         // Probe each band for candidates.
-        let mut cand_ids: Vec<u32> = Vec::new();
-        let mut seen = bayeslsh_candgen::fxhash::FxHashSet::<u32>::default();
-        for band in 0..self.bands.l {
-            let key = extract_bits(&q_words, band * self.bands.k, self.bands.k);
-            if let Some(ids) = self.buckets[band as usize].get(&key) {
-                for &id in ids {
-                    if seen.insert(id) {
-                        cand_ids.push(id);
-                    }
-                }
-            }
-        }
+        let cand_ids = self.index.probe(&band_keys_bits(&q_words, bands));
         stats.candidates = cand_ids.len() as u64;
 
         // Bayesian-pruned scan with a rising threshold.
@@ -186,9 +171,10 @@ impl KnnIndex {
     }
 }
 
-/// Total-ordered (similarity, id) pair for the top-k heap.
+/// Total-ordered (similarity, id) pair for the top-k heaps (shared with
+/// [`crate::searcher::Searcher::top_k`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct HeapItem(f64, u32);
+pub(crate) struct HeapItem(pub(crate) f64, pub(crate) u32);
 
 impl Eq for HeapItem {}
 

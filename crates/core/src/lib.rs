@@ -20,9 +20,14 @@
 //!   paper's Figure 4.
 //! * [`estimator`] — the classical fixed-`n` maximum-likelihood estimator
 //!   ("LSH Approx", Section 3), the baseline BayesLSH is measured against.
-//! * [`pipeline`] — end-to-end algorithm configurations: AllPairs, LSH,
-//!   LSH Approx, PPJoin+, and the four BayesLSH combinations the paper
-//!   evaluates.
+//! * [`compose`] — the composable layer: [`compose::CandidateGenerator`] ×
+//!   [`compose::Verifier`] trait objects whose grid the paper's eight
+//!   algorithms are named points of.
+//! * [`searcher`] — the build-once/query-many API: a [`Searcher`] hashes
+//!   and indexes a corpus once, then serves batch joins, threshold point
+//!   queries, Bayesian-pruned top-k, and incremental inserts.
+//! * [`pipeline`] — the eight named [`Algorithm`]s and the legacy one-shot
+//!   [`run_algorithm`] shim over the composable layer.
 //! * [`metrics`] — recall and estimation-error reports (Tables 3–5).
 //!
 //! Extensions beyond the paper (built per its own Section 4 recipe):
@@ -36,9 +41,11 @@
 
 pub mod bbit_model;
 pub mod cache;
+pub mod compose;
 pub mod config;
 pub mod cosine_model;
 pub mod engine;
+pub mod error;
 pub mod estimator;
 pub mod jaccard_model;
 pub mod knn;
@@ -46,12 +53,18 @@ pub mod metrics;
 pub mod minmatch;
 pub mod pipeline;
 pub mod posterior;
+pub mod searcher;
 
 pub use bbit_model::BbitJaccardModel;
 pub use cache::ConcentrationCache;
+pub use compose::{
+    run_composition, CandidateGenerator, Composition, CompositionOutput, GeneratorKind,
+    SearchContext, SigPool, Verifier, VerifierKind,
+};
 pub use config::{BayesLshConfig, LiteConfig};
 pub use cosine_model::CosineModel;
 pub use engine::{bayes_verify, bayes_verify_lite, EngineStats};
+pub use error::SearchError;
 pub use estimator::mle_verify;
 pub use jaccard_model::JaccardModel;
 pub use knn::{KnnIndex, KnnParams, KnnStats};
@@ -59,3 +72,4 @@ pub use metrics::{estimate_errors, recall_against, ErrorStats};
 pub use minmatch::MinMatchTable;
 pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
 pub use posterior::PosteriorModel;
+pub use searcher::{HashMode, QueryOutput, QueryStats, Searcher, SearcherBuilder, TopKOutput};

@@ -1,4 +1,4 @@
-//! End-to-end all-pairs similarity search pipelines.
+//! The paper's eight named algorithms and the legacy one-shot entry point.
 //!
 //! The paper's experiments (Section 5.1) compare eight algorithms; each is
 //! a composition of a candidate generator and a verification strategy:
@@ -14,26 +14,30 @@
 //! | `LshBayesLshLite`    | banding    | BayesLSH pruning + exact          |
 //! | `PpjoinPlus`         | —          | exact (inline; binary only)       |
 //!
+//! Since the `Searcher` redesign these are literally compositions: each
+//! [`Algorithm`] maps to a [`Composition`] via [`Algorithm::composition`],
+//! and [`run_algorithm`] is a thin compatibility shim that builds a
+//! transient [`SearchContext`] and delegates to
+//! [`crate::compose::run_composition`]. New code should prefer
+//! [`crate::searcher::Searcher`], which hashes and indexes the corpus once
+//! and serves repeated queries; `run_algorithm` rebuilds both on every
+//! call.
+//!
 //! LSH-based pipelines share one signature pool between candidate
 //! generation and verification, reproducing the paper's amortization
 //! argument ("it exploits the hashes of the objects for candidate pruning,
 //! further amortizing the costs of hashing").
 
-use std::time::Instant;
+use bayeslsh_candgen::{all_pairs_cosine, all_pairs_jaccard, BandingParams, BandingPlan};
+use bayeslsh_lsh::cos_to_r;
+use bayeslsh_sparse::{similarity::Measure, Dataset};
 
-use bayeslsh_candgen::{
-    all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
-    lsh_candidates_bits, lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingParams,
+use crate::compose::{
+    run_composition, Composition, GeneratorKind, SearchContext, SigPool, VerifierKind,
 };
-use bayeslsh_lsh::{cos_to_r, r_to_cos, BitSignatures, IntSignatures, MinHasher, SrpHasher};
-use bayeslsh_numeric::{derive_seed, Xoshiro256};
-use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset};
-
 use crate::config::{BayesLshConfig, LiteConfig};
-use crate::cosine_model::CosineModel;
-use crate::engine::{bayes_verify, bayes_verify_lite, EngineStats};
-use crate::estimator::mle_verify;
-use crate::jaccard_model::JaccardModel;
+use crate::engine::EngineStats;
+use crate::error::SearchError;
 
 /// The eight algorithms of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -80,6 +84,28 @@ impl Algorithm {
             Algorithm::LshBayesLsh => "LSH+BayesLSH",
             Algorithm::LshBayesLshLite => "LSH+BayesLSH-Lite",
             Algorithm::PpjoinPlus => "PPJoin+",
+        }
+    }
+
+    /// The (generator, verifier) composition this algorithm names.
+    pub fn composition(&self) -> Composition {
+        match self {
+            Algorithm::AllPairs => Composition::new(GeneratorKind::AllPairs, VerifierKind::Exact),
+            Algorithm::ApBayesLsh => Composition::new(GeneratorKind::AllPairs, VerifierKind::Bayes),
+            Algorithm::ApBayesLshLite => {
+                Composition::new(GeneratorKind::AllPairs, VerifierKind::BayesLite)
+            }
+            Algorithm::Lsh => Composition::new(GeneratorKind::LshBanding, VerifierKind::Exact),
+            Algorithm::LshApprox => Composition::new(GeneratorKind::LshBanding, VerifierKind::Mle),
+            Algorithm::LshBayesLsh => {
+                Composition::new(GeneratorKind::LshBanding, VerifierKind::Bayes)
+            }
+            Algorithm::LshBayesLshLite => {
+                Composition::new(GeneratorKind::LshBanding, VerifierKind::BayesLite)
+            }
+            Algorithm::PpjoinPlus => {
+                Composition::new(GeneratorKind::PpjoinPlus, VerifierKind::Exact)
+            }
         }
     }
 
@@ -145,7 +171,9 @@ pub struct PipelineConfig {
     pub prior_sample: usize,
 }
 
-/// Safety cap on the number of LSH bands.
+/// Safety cap on the number of LSH bands. When the `l` formula demands
+/// more, [`PipelineConfig::banding_plan`] reports the clamp (and the
+/// weakened false-negative rate) instead of hiding it.
 const MAX_BANDS: u32 = 10_000;
 
 impl PipelineConfig {
@@ -189,7 +217,85 @@ impl PipelineConfig {
         }
     }
 
-    fn bayes(&self) -> BayesLshConfig {
+    /// Check every parameter against its admissible range, with a
+    /// descriptive [`SearchError::InvalidConfig`] on the first violation.
+    /// [`crate::searcher::SearcherBuilder::build`] calls this; the legacy
+    /// [`run_algorithm`] shim does not (it keeps the panicking behaviour of
+    /// the engine-level configs for compatibility).
+    pub fn validate(&self) -> Result<(), SearchError> {
+        fn unit_open(param: &'static str, v: f64) -> Result<(), SearchError> {
+            if v > 0.0 && v < 1.0 {
+                Ok(())
+            } else {
+                Err(SearchError::invalid(
+                    param,
+                    format!("must lie in (0, 1), got {v}"),
+                ))
+            }
+        }
+        if !(self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(SearchError::invalid(
+                "threshold",
+                format!("must lie in (0, 1], got {}", self.threshold),
+            ));
+        }
+        unit_open("epsilon", self.epsilon)?;
+        unit_open("delta", self.delta)?;
+        unit_open("gamma", self.gamma)?;
+        unit_open("lsh_fnr", self.lsh_fnr)?;
+        if self.k == 0 {
+            return Err(SearchError::invalid("k", "chunk size must be positive"));
+        }
+        if self.band_width == 0 {
+            return Err(SearchError::invalid(
+                "band_width",
+                "band width must be positive",
+            ));
+        }
+        if self.band_width > 64 && self.measure == Measure::Cosine {
+            return Err(SearchError::invalid(
+                "band_width",
+                format!(
+                    "bit band keys are packed into u64 (band_width <= 64), got {}",
+                    self.band_width
+                ),
+            ));
+        }
+        if self.max_hashes < self.k {
+            return Err(SearchError::invalid(
+                "max_hashes",
+                format!(
+                    "hash cap {} is below one chunk of k = {}",
+                    self.max_hashes, self.k
+                ),
+            ));
+        }
+        if self.lite_h < self.k {
+            return Err(SearchError::invalid(
+                "lite_h",
+                format!(
+                    "Lite budget {} is below one chunk of k = {}",
+                    self.lite_h, self.k
+                ),
+            ));
+        }
+        if self.approx_hashes == 0 {
+            return Err(SearchError::invalid(
+                "approx_hashes",
+                "fixed MLE hash count must be positive",
+            ));
+        }
+        if self.prior == PriorChoice::Fitted && self.prior_sample == 0 {
+            return Err(SearchError::invalid(
+                "prior_sample",
+                "fitted prior needs a positive sample size",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The engine configuration for full BayesLSH verification.
+    pub fn bayes(&self) -> BayesLshConfig {
         BayesLshConfig {
             threshold: self.threshold,
             epsilon: self.epsilon,
@@ -200,7 +306,8 @@ impl PipelineConfig {
         }
     }
 
-    fn lite(&self) -> LiteConfig {
+    /// The engine configuration for BayesLSH-Lite verification.
+    pub fn lite(&self) -> LiteConfig {
         LiteConfig {
             threshold: self.threshold,
             epsilon: self.epsilon,
@@ -209,12 +316,15 @@ impl PipelineConfig {
         }
     }
 
-    fn banding(&self) -> BandingParams {
+    /// The banding configuration this pipeline indexes with, including the
+    /// achieved (vs. requested) false-negative rate — which differ when
+    /// the internal band cap truncates the `l` formula.
+    pub fn banding_plan(&self) -> BandingPlan {
         let p = match self.measure {
             Measure::Cosine => cos_to_r(self.threshold),
             Measure::Jaccard => self.threshold,
         };
-        BandingParams::for_threshold(p, self.band_width, self.lsh_fnr, MAX_BANDS)
+        BandingParams::plan(p, self.band_width, self.lsh_fnr, MAX_BANDS)
     }
 }
 
@@ -236,6 +346,9 @@ pub struct RunOutput {
     pub total_secs: f64,
     /// Verification statistics (BayesLSH variants only).
     pub engine: Option<EngineStats>,
+    /// The banding plan used (LSH-banding algorithms only), surfacing the
+    /// achieved false-negative rate when the band cap clamps `l`.
+    pub banding: Option<BandingPlan>,
 }
 
 /// Exact ground truth for `(measure, threshold)` via the fastest exact
@@ -244,34 +357,6 @@ pub fn ground_truth(data: &Dataset, measure: Measure, threshold: f64) -> Vec<(u3
     match measure {
         Measure::Cosine => all_pairs_cosine(data, threshold),
         Measure::Jaccard => all_pairs_jaccard(data, threshold),
-    }
-}
-
-/// Fit the Jaccard prior from a random sample of candidate pairs, per the
-/// paper's method-of-moments recipe.
-fn fit_jaccard_prior(
-    data: &Dataset,
-    candidates: &[(u32, u32)],
-    cfg: &PipelineConfig,
-) -> JaccardModel {
-    match cfg.prior {
-        PriorChoice::Uniform => JaccardModel::uniform(),
-        PriorChoice::Fitted => {
-            if candidates.len() < 2 {
-                return JaccardModel::uniform();
-            }
-            let take = cfg.prior_sample.min(candidates.len());
-            let mut rng = Xoshiro256::seed_from_u64(derive_seed(cfg.seed, 0xBEEF));
-            let idx = rng.sample_indices(candidates.len(), take);
-            let sims: Vec<f64> = idx
-                .into_iter()
-                .map(|i| {
-                    let (a, b) = candidates[i];
-                    jaccard(data.vector(a), data.vector(b))
-                })
-                .collect();
-            JaccardModel::fit_from_sample(&sims)
-        }
     }
 }
 
@@ -284,219 +369,42 @@ fn assert_binary(data: &Dataset, algo: Algorithm) {
 }
 
 /// Run one algorithm end to end.
+///
+/// This is the legacy one-shot entry point, kept as a compatibility shim:
+/// each call builds a fresh signature pool, runs the algorithm's
+/// [`Composition`], and throws the pool away. Code that issues more than
+/// one operation against the same corpus should build a
+/// [`crate::searcher::Searcher`] instead, which hashes and indexes once.
+///
+/// # Panics
+///
+/// Panics (as it always has) when the data is not binary but the
+/// algorithm/measure requires it, or on nonsensical engine parameters. The
+/// builder API reports both as typed [`SearchError`]s.
 pub fn run_algorithm(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
-    match cfg.measure {
-        Measure::Cosine => run_cosine(algo, data, cfg),
-        Measure::Jaccard => run_jaccard(algo, data, cfg),
+    let comp = algo.composition();
+    if comp.requires_binary(cfg.measure) {
+        assert_binary(data, algo);
     }
-}
-
-fn run_cosine(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
-    let srp_seed = derive_seed(cfg.seed, 1);
-    let start = Instant::now();
-    match algo {
-        Algorithm::AllPairs => {
-            let pairs = all_pairs_cosine(data, cfg.threshold);
-            finish_exact(algo, pairs, start)
-        }
-        Algorithm::PpjoinPlus => {
-            assert_binary(data, algo);
-            let pairs = ppjoin_binary_cosine(data, cfg.threshold);
-            finish_exact(algo, pairs, start)
-        }
-        Algorithm::ApBayesLsh | Algorithm::ApBayesLshLite => {
-            let cands = all_pairs_cosine_candidates(data, cfg.threshold);
-            let candgen_secs = start.elapsed().as_secs_f64();
-            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), srp_seed), data.len());
-            let v0 = Instant::now();
-            let (pairs, stats) = if algo == Algorithm::ApBayesLsh {
-                bayes_verify(data, &mut pool, &CosineModel::new(), &cands, &cfg.bayes())
-            } else {
-                bayes_verify_lite(
-                    data,
-                    &mut pool,
-                    &CosineModel::new(),
-                    &cands,
-                    &cfg.lite(),
-                    cosine,
-                )
-            };
-            finish_two_phase(
-                algo,
-                pairs,
-                cands.len(),
-                candgen_secs,
-                v0,
-                start,
-                Some(stats),
-            )
-        }
-        Algorithm::Lsh
-        | Algorithm::LshApprox
-        | Algorithm::LshBayesLsh
-        | Algorithm::LshBayesLshLite => {
-            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), srp_seed), data.len());
-            let cands = lsh_candidates_bits(&mut pool, data, cfg.banding());
-            let candgen_secs = start.elapsed().as_secs_f64();
-            let v0 = Instant::now();
-            let (pairs, stats) = match algo {
-                Algorithm::Lsh => {
-                    let pairs = cands
-                        .iter()
-                        .filter_map(|&(a, b)| {
-                            let s = cosine(data.vector(a), data.vector(b));
-                            (s >= cfg.threshold).then_some((a, b, s))
-                        })
-                        .collect();
-                    (pairs, None)
-                }
-                Algorithm::LshApprox => {
-                    let (pairs, _) = mle_verify(
-                        data,
-                        &mut pool,
-                        &cands,
-                        cfg.approx_hashes,
-                        cfg.threshold,
-                        r_to_cos,
-                    );
-                    (pairs, None)
-                }
-                Algorithm::LshBayesLsh => {
-                    let (p, s) =
-                        bayes_verify(data, &mut pool, &CosineModel::new(), &cands, &cfg.bayes());
-                    (p, Some(s))
-                }
-                Algorithm::LshBayesLshLite => {
-                    let (p, s) = bayes_verify_lite(
-                        data,
-                        &mut pool,
-                        &CosineModel::new(),
-                        &cands,
-                        &cfg.lite(),
-                        cosine,
-                    );
-                    (p, Some(s))
-                }
-                _ => unreachable!(),
-            };
-            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, stats)
-        }
-    }
-}
-
-fn run_jaccard(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
-    assert_binary(data, algo);
-    let mh_seed = derive_seed(cfg.seed, 2);
-    let start = Instant::now();
-    match algo {
-        Algorithm::AllPairs => {
-            let pairs = all_pairs_jaccard(data, cfg.threshold);
-            finish_exact(algo, pairs, start)
-        }
-        Algorithm::PpjoinPlus => {
-            let pairs = ppjoin_jaccard(data, cfg.threshold);
-            finish_exact(algo, pairs, start)
-        }
-        Algorithm::ApBayesLsh | Algorithm::ApBayesLshLite => {
-            let cands = all_pairs_jaccard_candidates(data, cfg.threshold);
-            let candgen_secs = start.elapsed().as_secs_f64();
-            let mut pool = IntSignatures::new(MinHasher::new(mh_seed), data.len());
-            let v0 = Instant::now();
-            let model = fit_jaccard_prior(data, &cands, cfg);
-            let (pairs, stats) = if algo == Algorithm::ApBayesLsh {
-                bayes_verify(data, &mut pool, &model, &cands, &cfg.bayes())
-            } else {
-                bayes_verify_lite(data, &mut pool, &model, &cands, &cfg.lite(), jaccard)
-            };
-            finish_two_phase(
-                algo,
-                pairs,
-                cands.len(),
-                candgen_secs,
-                v0,
-                start,
-                Some(stats),
-            )
-        }
-        Algorithm::Lsh
-        | Algorithm::LshApprox
-        | Algorithm::LshBayesLsh
-        | Algorithm::LshBayesLshLite => {
-            let mut pool = IntSignatures::new(MinHasher::new(mh_seed), data.len());
-            let cands = lsh_candidates_ints(&mut pool, data, cfg.banding());
-            let candgen_secs = start.elapsed().as_secs_f64();
-            let v0 = Instant::now();
-            let (pairs, stats) = match algo {
-                Algorithm::Lsh => {
-                    let pairs = cands
-                        .iter()
-                        .filter_map(|&(a, b)| {
-                            let s = jaccard(data.vector(a), data.vector(b));
-                            (s >= cfg.threshold).then_some((a, b, s))
-                        })
-                        .collect();
-                    (pairs, None)
-                }
-                Algorithm::LshApprox => {
-                    let (pairs, _) = mle_verify(
-                        data,
-                        &mut pool,
-                        &cands,
-                        cfg.approx_hashes,
-                        cfg.threshold,
-                        |f| f,
-                    );
-                    (pairs, None)
-                }
-                Algorithm::LshBayesLsh => {
-                    let model = fit_jaccard_prior(data, &cands, cfg);
-                    let (p, s) = bayes_verify(data, &mut pool, &model, &cands, &cfg.bayes());
-                    (p, Some(s))
-                }
-                Algorithm::LshBayesLshLite => {
-                    let model = fit_jaccard_prior(data, &cands, cfg);
-                    let (p, s) =
-                        bayes_verify_lite(data, &mut pool, &model, &cands, &cfg.lite(), jaccard);
-                    (p, Some(s))
-                }
-                _ => unreachable!(),
-            };
-            finish_two_phase(algo, pairs, cands.len(), candgen_secs, v0, start, stats)
-        }
-    }
-}
-
-fn finish_exact(algo: Algorithm, pairs: Vec<(u32, u32, f64)>, start: Instant) -> RunOutput {
-    let total = start.elapsed().as_secs_f64();
+    let mut pool = SigPool::for_config(cfg, data);
+    let mut ctx = SearchContext {
+        data,
+        cfg,
+        pool: &mut pool,
+        index: None,
+    };
+    let out =
+        run_composition(comp, &mut ctx).unwrap_or_else(|e| panic!("{} failed: {e}", algo.name()));
+    let banding = (comp.generator == GeneratorKind::LshBanding).then(|| cfg.banding_plan());
     RunOutput {
         algorithm: algo,
-        pairs,
-        candidates: 0,
-        candgen_secs: total,
-        verify_secs: 0.0,
-        total_secs: total,
-        engine: None,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish_two_phase(
-    algo: Algorithm,
-    pairs: Vec<(u32, u32, f64)>,
-    candidates: usize,
-    candgen_secs: f64,
-    verify_start: Instant,
-    start: Instant,
-    engine: Option<EngineStats>,
-) -> RunOutput {
-    RunOutput {
-        algorithm: algo,
-        pairs,
-        candidates: candidates as u64,
-        candgen_secs,
-        verify_secs: verify_start.elapsed().as_secs_f64(),
-        total_secs: start.elapsed().as_secs_f64(),
-        engine,
+        pairs: out.pairs,
+        candidates: out.candidates,
+        candgen_secs: out.candgen_secs,
+        verify_secs: out.verify_secs,
+        total_secs: out.total_secs,
+        engine: out.engine,
+        banding,
     }
 }
 
@@ -504,6 +412,7 @@ fn finish_two_phase(
 mod tests {
     use super::*;
     use crate::metrics::{estimate_errors, recall_against};
+    use bayeslsh_numeric::Xoshiro256;
     use bayeslsh_sparse::SparseVector;
 
     fn corpus(seed: u64) -> Dataset {
@@ -662,5 +571,74 @@ mod tests {
         assert!(!Algorithm::LshBayesLsh.is_exact());
         assert!(!Algorithm::PpjoinPlus.supports_weighted());
         assert_eq!(format!("{}", Algorithm::LshApprox), "LSH Approx");
+    }
+
+    #[test]
+    fn validate_accepts_paper_defaults() {
+        PipelineConfig::cosine(0.7).validate().unwrap();
+        PipelineConfig::jaccard(0.5).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_parameters() {
+        let bad = |mutate: fn(&mut PipelineConfig), param: &str| {
+            let mut cfg = PipelineConfig::cosine(0.7);
+            mutate(&mut cfg);
+            match cfg.validate() {
+                Err(SearchError::InvalidConfig { param: p, .. }) => {
+                    assert_eq!(p, param, "wrong field reported")
+                }
+                other => panic!("expected InvalidConfig for {param}, got {other:?}"),
+            }
+        };
+        bad(|c| c.threshold = 0.0, "threshold");
+        bad(|c| c.threshold = 1.5, "threshold");
+        bad(|c| c.epsilon = 0.0, "epsilon");
+        bad(|c| c.epsilon = 1.0, "epsilon");
+        bad(|c| c.delta = -0.05, "delta");
+        bad(|c| c.gamma = 2.0, "gamma");
+        bad(|c| c.lsh_fnr = 0.0, "lsh_fnr");
+        bad(|c| c.k = 0, "k");
+        bad(|c| c.band_width = 0, "band_width");
+        bad(|c| c.band_width = 65, "band_width");
+        bad(|c| c.max_hashes = 16, "max_hashes");
+        bad(|c| c.lite_h = 8, "lite_h");
+        bad(|c| c.approx_hashes = 0, "approx_hashes");
+        let mut cfg = PipelineConfig::jaccard(0.5);
+        cfg.prior_sample = 0;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SearchError::InvalidConfig {
+                param: "prior_sample",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn banding_plan_reports_the_clamp() {
+        // A jaccard threshold this low with wide bands wants more than
+        // MAX_BANDS bands; the plan must say the guarantee was weakened.
+        let mut cfg = PipelineConfig::jaccard(0.05);
+        cfg.band_width = 8;
+        let plan = cfg.banding_plan();
+        assert!(plan.clamped);
+        assert_eq!(plan.params.l, 10_000);
+        assert!(plan.achieved_fnr > plan.requested_fnr);
+        // Defaults are unclamped and meet the requested rate.
+        let plan = PipelineConfig::cosine(0.7).banding_plan();
+        assert!(!plan.clamped);
+        assert!(plan.achieved_fnr <= plan.requested_fnr);
+    }
+
+    #[test]
+    fn run_output_surfaces_banding_plan_for_lsh_algorithms() {
+        let data = corpus(98);
+        let cfg = PipelineConfig::cosine(0.7);
+        let lsh = run_algorithm(Algorithm::Lsh, &data, &cfg);
+        let plan = lsh.banding.expect("LSH runs report their banding plan");
+        assert_eq!(plan.params, cfg.banding_plan().params);
+        let ap = run_algorithm(Algorithm::AllPairs, &data, &cfg);
+        assert!(ap.banding.is_none());
     }
 }

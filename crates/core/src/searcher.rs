@@ -1,0 +1,897 @@
+//! The build-once/query-many search API.
+//!
+//! [`Searcher`] owns a corpus together with everything the paper's economy
+//! argument says should be paid for once: the signature pool and the LSH
+//! banding index. Construction (via [`SearcherBuilder`]) hashes and
+//! indexes a single time; afterwards the searcher serves any mix of
+//!
+//! * [`Searcher::all_pairs`] — the paper's batch join, through the
+//!   configured [`Composition`];
+//! * [`Searcher::query`] — threshold point queries for one vector;
+//! * [`Searcher::top_k`] — k-nearest-neighbour retrieval with Bayesian
+//!   candidate pruning (the paper's future-work item, previously siloed in
+//!   [`crate::knn::KnnIndex`]);
+//! * [`Searcher::insert`] — incremental corpus growth, extending the
+//!   signature pool and banding index in place.
+//!
+//! Under the default [`HashMode::Eager`], every corpus signature is hashed
+//! to the verifier's maximum depth at build (and insert) time, so queries
+//! never touch the pool — repeated queries cost zero corpus hashing.
+//! [`HashMode::Lazy`] keeps the paper's lazy-extension economy instead:
+//! build hashes only to banding depth, and verification deepens exactly
+//! the signatures that surviving candidates demand (amortized across
+//! queries — a signature is never re-hashed).
+
+use std::collections::BinaryHeap;
+
+use bayeslsh_candgen::{BandingIndex, BandingPlan};
+use bayeslsh_lsh::SignaturePool;
+use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
+
+use crate::cache::ConcentrationCache;
+use crate::compose::{
+    run_composition_prechecked, Composition, CompositionOutput, SearchContext, SigPool,
+    VerifierKind,
+};
+use crate::cosine_model::CosineModel;
+use crate::error::SearchError;
+use crate::jaccard_model::JaccardModel;
+use crate::knn::{HeapItem, KnnParams, KnnStats};
+use crate::minmatch::MinMatchTable;
+use crate::pipeline::{Algorithm, PipelineConfig};
+use crate::posterior::PosteriorModel;
+
+/// When corpus signatures are hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HashMode {
+    /// Hash every vector to the configured verifier's maximum depth at
+    /// build/insert time. Queries never extend the pool, so per-query cost
+    /// is pure probing + comparison — the right default for a standing
+    /// service.
+    #[default]
+    Eager,
+    /// Hash only to banding depth at build/insert time and let
+    /// verification extend signatures on demand — the paper's "outlying
+    /// points need only be hashed a few times" economy. Extensions are
+    /// cached in the pool, so repeated queries still never re-hash.
+    Lazy,
+}
+
+/// Builder for [`Searcher`]: configuration is validated and the corpus
+/// hashed/indexed exactly once, in [`SearcherBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct SearcherBuilder {
+    cfg: PipelineConfig,
+    composition: Composition,
+    mode: HashMode,
+}
+
+impl SearcherBuilder {
+    /// A builder with the given pipeline configuration, defaulting to the
+    /// paper's flagship composition (LSH banding × BayesLSH).
+    pub fn new(cfg: PipelineConfig) -> Self {
+        Self {
+            cfg,
+            composition: Algorithm::LshBayesLsh.composition(),
+            mode: HashMode::Eager,
+        }
+    }
+
+    /// Use the composition named by one of the paper's eight algorithms.
+    pub fn algorithm(mut self, algo: Algorithm) -> Self {
+        self.composition = algo.composition();
+        self
+    }
+
+    /// Use an arbitrary generator × verifier composition (including
+    /// off-grid ones the paper never evaluated).
+    pub fn composition(mut self, composition: Composition) -> Self {
+        self.composition = composition;
+        self
+    }
+
+    /// Choose when corpus signatures are hashed (default:
+    /// [`HashMode::Eager`]).
+    pub fn hash_mode(mut self, mode: HashMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Validate the configuration, hash the corpus, and build the banding
+    /// index.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::InvalidConfig`] for out-of-range parameters (see
+    /// [`PipelineConfig::validate`]), [`SearchError::NonBinaryData`] when
+    /// the measure or generator needs binary vectors and `data` has
+    /// weighted ones.
+    pub fn build(self, data: Dataset) -> Result<Searcher, SearchError> {
+        self.cfg.validate()?;
+        if self.composition.requires_binary(self.cfg.measure)
+            && !data.vectors().iter().all(|v| v.is_binary())
+        {
+            return Err(SearchError::NonBinaryData {
+                requires: self.composition.binary_requirement(self.cfg.measure),
+            });
+        }
+        let plan = self.cfg.banding_plan();
+        let sig_depth = match self.mode {
+            HashMode::Eager => plan
+                .params
+                .total_hashes()
+                .max(self.composition.verifier.signature_depth(&self.cfg)),
+            HashMode::Lazy => plan.params.total_hashes(),
+        };
+        let mut pool = SigPool::for_config(&self.cfg, &data);
+        let mut index = BandingIndex::new(plan.params);
+        for (id, v) in data.iter() {
+            if v.is_empty() {
+                continue;
+            }
+            pool.ensure(id, v, sig_depth);
+            index.insert(id, &pool.band_keys(id, plan.params));
+        }
+        Ok(Searcher {
+            data,
+            cfg: self.cfg,
+            composition: self.composition,
+            mode: self.mode,
+            sig_depth,
+            pool,
+            index,
+            plan,
+            minmatch_cache: None,
+        })
+    }
+}
+
+/// Per-query statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Candidates produced by probing the banding index.
+    pub candidates: u64,
+    /// Candidates pruned by the posterior test (Bayesian verifiers only).
+    pub pruned: u64,
+    /// Exact similarity computations.
+    pub exact: u64,
+    /// Hash comparisons performed.
+    pub hash_comparisons: u64,
+}
+
+/// The result of one threshold point query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Matching corpus ids with similarities (exact or estimated,
+    /// depending on the composition's verifier), sorted by decreasing
+    /// similarity. Under the full-BayesLSH verifier this follows the
+    /// paper's output contract: every candidate whose posterior
+    /// probability of clearing the threshold stayed ≥ ε is emitted with
+    /// its estimate, even if the estimate lands slightly below `t`.
+    pub neighbors: Vec<(u32, f64)>,
+    /// Query statistics.
+    pub stats: QueryStats,
+}
+
+/// The result of one top-k query.
+#[derive(Debug, Clone)]
+pub struct TopKOutput {
+    /// Up to `k` most similar corpus ids, sorted by decreasing similarity;
+    /// similarities are exact.
+    pub neighbors: Vec<(u32, f64)>,
+    /// Query statistics.
+    pub stats: KnnStats,
+}
+
+/// A persistent similarity searcher: one corpus, one signature pool, one
+/// banding index — many operations. See the [module docs](crate::searcher)
+/// for the full story and [`SearcherBuilder`] for construction.
+#[derive(Debug, Clone)]
+pub struct Searcher {
+    data: Dataset,
+    cfg: PipelineConfig,
+    composition: Composition,
+    mode: HashMode,
+    /// Depth every indexed vector is hashed to at build/insert time.
+    sig_depth: u32,
+    pool: SigPool,
+    index: BandingIndex,
+    plan: BandingPlan,
+    /// Point-query pruning table, memoized by `(threshold, max_hashes)` —
+    /// the model, ε and chunk size are fixed per searcher.
+    minmatch_cache: Option<(f64, u32, MinMatchTable)>,
+}
+
+impl Searcher {
+    /// Start building a searcher for `cfg`.
+    pub fn builder(cfg: PipelineConfig) -> SearcherBuilder {
+        SearcherBuilder::new(cfg)
+    }
+
+    /// The indexed corpus.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// The composition batch runs and point queries verify with.
+    pub fn composition(&self) -> Composition {
+        self.composition
+    }
+
+    /// The hashing mode.
+    pub fn hash_mode(&self) -> HashMode {
+        self.mode
+    }
+
+    /// The banding plan the index was built with, including the achieved
+    /// (vs. requested) false-negative rate.
+    pub fn banding_plan(&self) -> BandingPlan {
+        self.plan
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Total corpus hashes computed so far — the cost the build-once
+    /// design amortizes. Under [`HashMode::Eager`] this is constant across
+    /// [`Searcher::query`] and [`Searcher::all_pairs`] calls, changing
+    /// only on [`Searcher::insert`] — with one exception:
+    /// [`Searcher::top_k`] may deepen candidate signatures up to its
+    /// per-call `params.h` budget (cached, so repeated top-k queries add
+    /// nothing either).
+    pub fn hash_count(&self) -> u64 {
+        self.pool.total_hashes()
+    }
+
+    /// Run the configured composition over the whole corpus, reusing the
+    /// standing signature pool and banding index. Preconditions were
+    /// enforced at build/insert time, so no per-call corpus scan happens.
+    ///
+    /// # Errors
+    ///
+    /// None currently — fallible for forward compatibility.
+    pub fn all_pairs(&mut self) -> Result<CompositionOutput, SearchError> {
+        let mut ctx = SearchContext {
+            data: &self.data,
+            cfg: &self.cfg,
+            pool: &mut self.pool,
+            index: Some(&self.index),
+        };
+        run_composition_prechecked(self.composition, &mut ctx)
+    }
+
+    /// All corpus vectors whose similarity to `q` clears `threshold`,
+    /// verified with the composition's verifier over the standing index.
+    ///
+    /// Point-query candidates always come from the standing LSH banding
+    /// index, whatever the composition's generator — the generator governs
+    /// [`Searcher::all_pairs`] batches only; queries share just the
+    /// verifier. So even exact compositions (AllPairs, PPJoin+) carry the
+    /// banding plan's expected false-negative rate on this path (see
+    /// [`Searcher::banding_plan`]). The index was provisioned for
+    /// `config().threshold`; that rate holds for
+    /// `threshold >= config().threshold` and degrades below it.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::InvalidConfig`] for a threshold outside `(0, 1]`,
+    /// [`SearchError::NonBinaryData`] for a weighted `q` when the
+    /// composition needs binary vectors, and
+    /// [`SearchError::DimensionExceeded`] when `q` has feature indices
+    /// beyond the indexed space (cosine only — the projection planes are
+    /// fixed at build time).
+    pub fn query(&mut self, q: &SparseVector, threshold: f64) -> Result<QueryOutput, SearchError> {
+        if !(threshold > 0.0 && threshold <= 1.0) {
+            return Err(SearchError::invalid(
+                "threshold",
+                format!("must lie in (0, 1], got {threshold}"),
+            ));
+        }
+        self.check_query(q)?;
+        let mut stats = QueryStats::default();
+        if q.is_empty() || self.data.is_empty() {
+            return Ok(QueryOutput {
+                neighbors: Vec::new(),
+                stats,
+            });
+        }
+
+        let params = self.plan.params;
+        let depth = params
+            .total_hashes()
+            .max(self.composition.verifier.signature_depth(&self.cfg));
+        let sig = self.pool.hash_query(q, depth);
+        let keys = self.pool.query_band_keys(&sig, params);
+        let cand_ids = self.index.probe(&keys);
+        stats.candidates = cand_ids.len() as u64;
+
+        let mut neighbors = match self.composition.verifier {
+            VerifierKind::Exact => self.query_exact(q, threshold, &cand_ids, &mut stats),
+            VerifierKind::Mle => self.query_mle(threshold, &sig, &cand_ids, &mut stats),
+            VerifierKind::Bayes => match self.cfg.measure {
+                Measure::Cosine => {
+                    self.query_bayes(&CosineModel::new(), threshold, &sig, &cand_ids, &mut stats)
+                }
+                // The fitted prior is a batch concept (it samples candidate
+                // *pairs*); point queries fall back to the uniform prior.
+                Measure::Jaccard => self.query_bayes(
+                    &JaccardModel::uniform(),
+                    threshold,
+                    &sig,
+                    &cand_ids,
+                    &mut stats,
+                ),
+            },
+            VerifierKind::BayesLite => match self.cfg.measure {
+                Measure::Cosine => self.query_bayes_lite(
+                    &CosineModel::new(),
+                    q,
+                    threshold,
+                    &sig,
+                    &cand_ids,
+                    &mut stats,
+                ),
+                Measure::Jaccard => self.query_bayes_lite(
+                    &JaccardModel::uniform(),
+                    q,
+                    threshold,
+                    &sig,
+                    &cand_ids,
+                    &mut stats,
+                ),
+            },
+        };
+        neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(QueryOutput { neighbors, stats })
+    }
+
+    fn query_exact(
+        &self,
+        q: &SparseVector,
+        t: f64,
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let measure = self.cfg.measure;
+        cand_ids
+            .iter()
+            .filter_map(|&id| {
+                stats.exact += 1;
+                let s = measure.eval(q, self.data.vector(id));
+                (s >= t).then_some((id, s))
+            })
+            .collect()
+    }
+
+    fn query_mle(
+        &mut self,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let n = self.cfg.approx_hashes;
+        let mut out = Vec::new();
+        for &id in cand_ids {
+            self.pool.ensure(id, self.data.vector(id), n);
+            let m = self.pool.query_agreements(sig, id, 0, n);
+            stats.hash_comparisons += n as u64;
+            let s_hat = self.to_similarity(m as f64 / n as f64);
+            if s_hat >= t {
+                out.push((id, s_hat));
+            }
+        }
+        out
+    }
+
+    fn query_bayes<M: PosteriorModel>(
+        &mut self,
+        model: &M,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let max_chunks = (self.cfg.max_hashes / k).max(1);
+        let table = self.query_minmatch(model, t, max_chunks * k);
+        let mut cache = ConcentrationCache::new(self.cfg.delta, self.cfg.gamma);
+        let mut out = Vec::new();
+        for &id in cand_ids {
+            let (outcome, m, n) = self.scan_candidate(sig, id, k, max_chunks, |m, n| {
+                if table.should_prune(m, n) {
+                    StepVerdict::Prune
+                } else if cache.is_concentrated(model, m, n) {
+                    StepVerdict::Accept
+                } else {
+                    StepVerdict::Continue
+                }
+            });
+            stats.hash_comparisons += n as u64;
+            match outcome {
+                ScanOutcome::Pruned => stats.pruned += 1,
+                // Exhausted = unconcentrated at the cap: emit with the
+                // current estimate, mirroring the batch engine's recall
+                // guarantee.
+                ScanOutcome::Accepted | ScanOutcome::Exhausted => {
+                    out.push((id, model.map_estimate(m, n)));
+                }
+            }
+        }
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn query_bayes_lite<M: PosteriorModel>(
+        &mut self,
+        model: &M,
+        q: &SparseVector,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let max_chunks = (self.cfg.lite_h / k).max(1);
+        let table = self.query_minmatch(model, t, max_chunks * k);
+        let measure = self.cfg.measure;
+        let mut out = Vec::new();
+        for &id in cand_ids {
+            let (outcome, _, n) = self.scan_candidate(sig, id, k, max_chunks, |m, n| {
+                if table.should_prune(m, n) {
+                    StepVerdict::Prune
+                } else {
+                    StepVerdict::Continue
+                }
+            });
+            stats.hash_comparisons += n as u64;
+            if outcome == ScanOutcome::Pruned {
+                stats.pruned += 1;
+            } else {
+                stats.exact += 1;
+                let s = measure.eval(q, self.data.vector(id));
+                if s >= t {
+                    out.push((id, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Incrementally compare an external query signature against pool
+    /// member `id`, `chunk` hashes at a time, letting `step` adjudicate
+    /// after each chunk. Returns the outcome with the final `(m, n)`
+    /// counts; `n` is the number of hash comparisons spent.
+    fn scan_candidate(
+        &mut self,
+        sig: &[u32],
+        id: u32,
+        chunk: u32,
+        max_chunks: u32,
+        mut step: impl FnMut(u32, u32) -> StepVerdict,
+    ) -> (ScanOutcome, u32, u32) {
+        let v = self.data.vector(id);
+        let (mut m, mut n) = (0u32, 0u32);
+        for _ in 0..max_chunks {
+            self.pool.ensure(id, v, n + chunk);
+            m += self.pool.query_agreements(sig, id, n, n + chunk);
+            n += chunk;
+            match step(m, n) {
+                StepVerdict::Continue => {}
+                StepVerdict::Prune => return (ScanOutcome::Pruned, m, n),
+                StepVerdict::Accept => return (ScanOutcome::Accepted, m, n),
+            }
+        }
+        (ScanOutcome::Exhausted, m, n)
+    }
+
+    /// The pruning table for point queries at threshold `t`, memoized
+    /// across queries: its inputs (model, ε, k) are fixed per searcher, so
+    /// repeated queries at one threshold reuse the table instead of
+    /// re-running the posterior binary searches.
+    fn query_minmatch<M: PosteriorModel>(
+        &mut self,
+        model: &M,
+        t: f64,
+        max_hashes: u32,
+    ) -> MinMatchTable {
+        if let Some((ct, cn, table)) = &self.minmatch_cache {
+            if *ct == t && *cn == max_hashes {
+                return table.clone();
+            }
+        }
+        let table = MinMatchTable::build(model, t, self.cfg.epsilon, self.cfg.k, max_hashes);
+        self.minmatch_cache = Some((t, max_hashes, table.clone()));
+        table
+    }
+
+    /// Top-`k` most similar corpus vectors to `q`, sorted by decreasing
+    /// similarity, with Bayesian candidate pruning against the rising
+    /// k-th-best similarity (the paper's future-work recipe). Exact
+    /// similarities are returned for every reported neighbour.
+    ///
+    /// Pruning depth is governed by `params.h` (not the composition's
+    /// verifier), so candidates may be lazily deepened up to `params.h`
+    /// hashes even under [`HashMode::Eager`]; extensions are cached, so
+    /// repeated queries never re-hash.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::InvalidConfig`] for `k == 0` or out-of-range
+    /// [`KnnParams`], [`SearchError::NonBinaryData`] and
+    /// [`SearchError::DimensionExceeded`] as for [`Searcher::query`].
+    pub fn top_k(
+        &mut self,
+        q: &SparseVector,
+        k: usize,
+        params: &KnnParams,
+    ) -> Result<TopKOutput, SearchError> {
+        if k == 0 {
+            return Err(SearchError::invalid("k", "need at least one neighbour"));
+        }
+        if !(params.epsilon > 0.0 && params.epsilon < 1.0) {
+            return Err(SearchError::invalid(
+                "epsilon",
+                format!("must lie in (0, 1), got {}", params.epsilon),
+            ));
+        }
+        if params.chunk < 1 || params.h < params.chunk {
+            return Err(SearchError::invalid(
+                "chunk",
+                format!(
+                    "need h >= chunk >= 1, got chunk {} h {}",
+                    params.chunk, params.h
+                ),
+            ));
+        }
+        self.check_query(q)?;
+        let mut stats = KnnStats::default();
+        if q.is_empty() || self.data.is_empty() {
+            return Ok(TopKOutput {
+                neighbors: Vec::new(),
+                stats,
+            });
+        }
+
+        let banding = self.plan.params;
+        let max_chunks = params.h / params.chunk;
+        let depth = banding.total_hashes().max(max_chunks * params.chunk);
+        let sig = self.pool.hash_query(q, depth);
+        let keys = self.pool.query_band_keys(&sig, banding);
+        let cand_ids = self.index.probe(&keys);
+        stats.candidates = cand_ids.len() as u64;
+
+        let measure = self.cfg.measure;
+        let cosine_model;
+        let jaccard_model;
+        let model: &dyn PosteriorModel = match measure {
+            Measure::Cosine => {
+                cosine_model = CosineModel::new();
+                &cosine_model
+            }
+            Measure::Jaccard => {
+                jaccard_model = JaccardModel::uniform();
+                &jaccard_model
+            }
+        };
+
+        // Min-heap of the current top-k (similarity, id); the k-th best
+        // similarity is a rising pruning threshold.
+        let mut heap: BinaryHeap<std::cmp::Reverse<HeapItem>> = BinaryHeap::with_capacity(k + 1);
+        let mut kth_best = params.floor;
+        for id in cand_ids {
+            let prune_below = kth_best;
+            let (outcome, _, n) =
+                self.scan_candidate(&sig, id, params.chunk, max_chunks, |m, n| {
+                    if model.prob_above_threshold(m, n, prune_below) < params.epsilon {
+                        StepVerdict::Prune
+                    } else {
+                        StepVerdict::Continue
+                    }
+                });
+            stats.hash_comparisons += n as u64;
+            if outcome == ScanOutcome::Pruned {
+                stats.pruned += 1;
+                continue;
+            }
+            stats.exact += 1;
+            let s = measure.eval(q, self.data.vector(id));
+            if heap.len() < k {
+                heap.push(std::cmp::Reverse(HeapItem(s, id)));
+            } else if s > heap.peek().unwrap().0 .0 {
+                heap.pop();
+                heap.push(std::cmp::Reverse(HeapItem(s, id)));
+            }
+            if heap.len() == k {
+                kth_best = heap.peek().unwrap().0 .0.max(params.floor);
+            }
+        }
+        let mut neighbors: Vec<(u32, f64)> = heap
+            .into_iter()
+            .map(|std::cmp::Reverse(HeapItem(s, id))| (id, s))
+            .collect();
+        neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        Ok(TopKOutput { neighbors, stats })
+    }
+
+    /// Append a vector to the corpus, extending the signature pool and
+    /// banding index in place. Returns the new vector's id.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::NonBinaryData`] when the composition needs binary
+    /// vectors, [`SearchError::DimensionExceeded`] when `v` has feature
+    /// indices beyond the indexed space (cosine only).
+    pub fn insert(&mut self, v: SparseVector) -> Result<u32, SearchError> {
+        self.check_query(&v)?;
+        let id = self.data.push(v);
+        self.pool.grow_to(self.data.len());
+        let v = self.data.vector(id);
+        if !v.is_empty() {
+            self.pool.ensure(id, v, self.sig_depth);
+            self.index
+                .insert(id, &self.pool.band_keys(id, self.plan.params));
+        }
+        Ok(id)
+    }
+
+    /// Map a raw hash-agreement fraction to the target similarity.
+    fn to_similarity(&self, frac: f64) -> f64 {
+        match self.cfg.measure {
+            Measure::Cosine => bayeslsh_lsh::r_to_cos(frac),
+            Measure::Jaccard => frac,
+        }
+    }
+
+    /// Enforce the preconditions every incoming vector (query or insert)
+    /// must meet: binary support when the composition demands it, and —
+    /// for cosine, whose projection planes fix the feature space at build
+    /// time — no feature indices beyond the indexed dimensionality.
+    fn check_query(&self, v: &SparseVector) -> Result<(), SearchError> {
+        if self.composition.requires_binary(self.cfg.measure) && !v.is_binary() {
+            return Err(SearchError::NonBinaryData {
+                requires: self.composition.binary_requirement(self.cfg.measure),
+            });
+        }
+        if let SigPool::Bits(pool) = &self.pool {
+            let dim = pool.hasher().dim();
+            if v.min_dim() > dim {
+                return Err(SearchError::DimensionExceeded {
+                    dim,
+                    needed: v.min_dim(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The per-chunk decision of a [`Searcher::scan_candidate`] step closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepVerdict {
+    /// Keep comparing hashes.
+    Continue,
+    /// Posterior says the candidate cannot clear the threshold.
+    Prune,
+    /// Resolved early (e.g. the estimate is concentrated).
+    Accept,
+}
+
+/// How a candidate scan ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScanOutcome {
+    /// The step closure pruned the candidate.
+    Pruned,
+    /// The step closure accepted the candidate early.
+    Accepted,
+    /// The hash budget ran out without a verdict.
+    Exhausted,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_numeric::Xoshiro256;
+    use bayeslsh_sparse::cosine;
+
+    fn corpus(seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(3000);
+        for c in 0..10 {
+            let center: Vec<(u32, f32)> = (0..35)
+                .map(|_| {
+                    (
+                        (c * 250 + rng.next_below(230) as usize) as u32,
+                        (rng.next_f64() + 0.3) as f32,
+                    )
+                })
+                .collect();
+            for _ in 0..6 {
+                let mut pairs = center.clone();
+                for p in pairs.iter_mut() {
+                    if rng.next_bool(0.2) {
+                        *p = (rng.next_below(3000) as u32, (rng.next_f64() + 0.3) as f32);
+                    }
+                }
+                d.push(SparseVector::from_pairs(pairs));
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn build_validates_config() {
+        let mut cfg = PipelineConfig::cosine(0.7);
+        cfg.epsilon = 0.0;
+        let err = Searcher::builder(cfg).build(corpus(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::InvalidConfig {
+                param: "epsilon",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn build_rejects_non_binary_jaccard() {
+        let err = Searcher::builder(PipelineConfig::jaccard(0.5))
+            .build(corpus(2))
+            .unwrap_err();
+        assert!(matches!(err, SearchError::NonBinaryData { .. }));
+        // Binarized data builds fine.
+        Searcher::builder(PipelineConfig::jaccard(0.5))
+            .build(corpus(2).binarized())
+            .unwrap();
+    }
+
+    #[test]
+    fn query_finds_self_and_respects_threshold() {
+        let data = corpus(3);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .algorithm(Algorithm::LshBayesLshLite)
+            .build(data)
+            .unwrap();
+        for qid in [0u32, 13, 47] {
+            let q = s.data().vector(qid).clone();
+            let out = s.query(&q, 0.7).unwrap();
+            assert!(
+                out.neighbors.iter().any(|&(id, _)| id == qid),
+                "query {qid} must find itself"
+            );
+            // Lite verification is exact for survivors.
+            for &(id, sim) in &out.neighbors {
+                assert!(sim >= 0.7);
+                assert!((sim - cosine(&q, s.data().vector(id))).abs() < 1e-12);
+            }
+            assert!(out.stats.candidates >= out.neighbors.len() as u64);
+        }
+    }
+
+    #[test]
+    fn eager_queries_never_touch_the_corpus_pool() {
+        let data = corpus(4);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .build(data)
+            .unwrap();
+        let built = s.hash_count();
+        assert!(built > 0);
+        for qid in (0..s.len() as u32).step_by(5) {
+            let q = s.data().vector(qid).clone();
+            s.query(&q, 0.7).unwrap();
+        }
+        assert_eq!(
+            s.hash_count(),
+            built,
+            "eager mode: queries must not extend corpus signatures"
+        );
+    }
+
+    #[test]
+    fn lazy_queries_extend_once_and_amortize() {
+        let data = corpus(5);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .hash_mode(HashMode::Lazy)
+            .build(data)
+            .unwrap();
+        let built = s.hash_count();
+        let q = s.data().vector(7).clone();
+        s.query(&q, 0.7).unwrap();
+        let after_first = s.hash_count();
+        assert!(after_first >= built);
+        // The same query again hashes nothing new.
+        s.query(&q, 0.7).unwrap();
+        assert_eq!(s.hash_count(), after_first);
+    }
+
+    #[test]
+    fn insert_then_query_finds_the_new_vector() {
+        let data = corpus(6);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .algorithm(Algorithm::Lsh)
+            .build(data)
+            .unwrap();
+        let planted = s.data().vector(11).clone();
+        let before = s.len() as u32;
+        let id = s.insert(planted.clone()).unwrap();
+        assert_eq!(id, before);
+        let out = s.query(&planted, 0.7).unwrap();
+        assert!(
+            out.neighbors
+                .iter()
+                .any(|&(got, sim)| got == id && sim > 0.999),
+            "query must surface the inserted duplicate: {:?}",
+            out.neighbors
+        );
+    }
+
+    #[test]
+    fn insert_rejects_outgrown_dimension_for_cosine() {
+        let data = corpus(7);
+        let dim = data.dim();
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .build(data)
+            .unwrap();
+        let err = s
+            .insert(SparseVector::from_indices(vec![dim + 10]))
+            .unwrap_err();
+        assert!(matches!(err, SearchError::DimensionExceeded { .. }));
+    }
+
+    #[test]
+    fn top_k_returns_sorted_exact_neighbours() {
+        let data = corpus(8);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.5))
+            .build(data)
+            .unwrap();
+        let q = s.data().vector(3).clone();
+        let out = s.top_k(&q, 5, &KnnParams::default()).unwrap();
+        assert!(!out.neighbors.is_empty());
+        assert_eq!(out.neighbors[0].0, 3, "self must rank first");
+        for w in out.neighbors.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        for &(id, sim) in &out.neighbors {
+            assert!((sim - cosine(&q, s.data().vector(id))).abs() < 1e-12);
+        }
+        assert!(s.top_k(&q, 0, &KnnParams::default()).is_err());
+    }
+
+    #[test]
+    fn all_pairs_can_run_repeatedly_without_rehashing() {
+        let data = corpus(9);
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .algorithm(Algorithm::LshBayesLsh)
+            .build(data)
+            .unwrap();
+        let first = s.all_pairs().unwrap();
+        let hashes = s.hash_count();
+        let second = s.all_pairs().unwrap();
+        assert_eq!(s.hash_count(), hashes, "second run must reuse signatures");
+        assert_eq!(first.pairs, second.pairs);
+        assert!(first.candidates > 0);
+    }
+
+    #[test]
+    fn query_threshold_is_validated() {
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .build(corpus(10))
+            .unwrap();
+        let q = s.data().vector(0).clone();
+        assert!(s.query(&q, 0.0).is_err());
+        assert!(s.query(&q, 1.2).is_err());
+        assert!(s.query(&q, 1.0).is_ok());
+    }
+}

@@ -27,5 +27,7 @@ pub mod srp;
 
 pub use bbit::{bbit_collision_prob, bbit_to_jaccard, BbitSignatures};
 pub use minhash::MinHasher;
-pub use signature::{count_bit_agreements, BitSignatures, IntSignatures, SignaturePool};
+pub use signature::{
+    count_bit_agreements, count_int_agreements, BitSignatures, IntSignatures, SignaturePool,
+};
 pub use srp::{cos_to_r, r_to_cos, SrpHasher};

@@ -41,6 +41,19 @@ pub fn count_bit_agreements(wa: &[u32], wb: &[u32], lo: u32, hi: u32) -> u32 {
     agree
 }
 
+/// Count agreeing integer hashes in positions `lo..hi` between two minhash
+/// signatures. Shared by [`IntSignatures`] and callers comparing
+/// out-of-pool signatures (e.g. point queries against a standing corpus).
+pub fn count_int_agreements(sa: &[u32], sb: &[u32], lo: u32, hi: u32) -> u32 {
+    debug_assert!(lo <= hi);
+    debug_assert!(hi as usize <= sa.len() && hi as usize <= sb.len());
+    sa[lo as usize..hi as usize]
+        .iter()
+        .zip(&sb[lo as usize..hi as usize])
+        .filter(|(x, y)| x == y)
+        .count() as u32
+}
+
 /// Common interface over bit-valued (cosine) and integer-valued (Jaccard)
 /// signature storage, as used by the BayesLSH engines.
 pub trait SignaturePool {
@@ -99,10 +112,22 @@ impl BitSignatures {
     /// Hash an out-of-pool vector (e.g. an ad-hoc query) through the same
     /// plane bank, extending `words` with bits `lo..hi` (rounded up to
     /// whole words). The caller owns the returned signature; comparisons
-    /// against pool members go through [`count_bit_agreements`].
+    /// against pool members go through [`count_bit_agreements`]. External
+    /// hashes are not counted in [`SignaturePool::total_hashes`], which
+    /// tracks corpus signatures only.
     pub fn hash_external(&mut self, v: &SparseVector, lo: u32, hi: u32, words: &mut Vec<u32>) {
         let target = hi.div_ceil(32) * 32;
         self.hasher.hash_bits_into(v, lo, target, words);
+    }
+
+    /// Make room for objects `0..n_objects`, keeping existing signatures.
+    /// Supports corpora that grow after pool construction (incremental
+    /// insertion into a standing index).
+    pub fn grow_to(&mut self, n_objects: usize) {
+        if self.words.len() < n_objects {
+            self.words.resize(n_objects, Vec::new());
+            self.bits.resize(n_objects, 0);
+        }
     }
 }
 
@@ -156,6 +181,30 @@ impl IntSignatures {
     pub fn raw(&self, id: u32) -> &[u32] {
         &self.sigs[id as usize]
     }
+
+    /// Borrow the underlying hasher.
+    pub fn hasher(&self) -> &MinHasher {
+        &self.hasher
+    }
+
+    /// Hash an out-of-pool vector (e.g. an ad-hoc query) through the same
+    /// hash-function bank, extending `sigs` with hashes `lo..hi`.
+    /// Comparisons against pool members go through
+    /// [`count_int_agreements`]. External hashes are not counted in
+    /// [`SignaturePool::total_hashes`], which tracks corpus signatures
+    /// only.
+    pub fn hash_external(&mut self, v: &SparseVector, lo: u32, hi: u32, sigs: &mut Vec<u32>) {
+        self.hasher.hash_range_into(v, lo, hi, sigs);
+    }
+
+    /// Make room for objects `0..n_objects`, keeping existing signatures.
+    /// Supports corpora that grow after pool construction (incremental
+    /// insertion into a standing index).
+    pub fn grow_to(&mut self, n_objects: usize) {
+        if self.sigs.len() < n_objects {
+            self.sigs.resize(n_objects, Vec::new());
+        }
+    }
 }
 
 impl SignaturePool for IntSignatures {
@@ -174,15 +223,7 @@ impl SignaturePool for IntSignatures {
     }
 
     fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
-        debug_assert!(lo <= hi);
-        let sa = &self.sigs[a as usize];
-        let sb = &self.sigs[b as usize];
-        debug_assert!(hi as usize <= sa.len() && hi as usize <= sb.len());
-        sa[lo as usize..hi as usize]
-            .iter()
-            .zip(&sb[lo as usize..hi as usize])
-            .filter(|(x, y)| x == y)
-            .count() as u32
+        count_int_agreements(&self.sigs[a as usize], &self.sigs[b as usize], lo, hi)
     }
 
     fn total_hashes(&self) -> u64 {

@@ -3,6 +3,9 @@
 //! acts as a rising threshold, and candidates whose posterior chance of
 //! beating it drops below ε are discarded after a few hash chunks.
 //!
+//! Served through the unified `Searcher` API: the same standing index that
+//! answers threshold queries and batch joins also answers top-k.
+//!
 //! ```text
 //! cargo run --release --example nearest_neighbors
 //! ```
@@ -15,10 +18,15 @@ fn main() {
     let data = Preset::WikiWords100K.load(0.004, 77);
     println!("corpus: {} docs, {} dims", data.len(), data.stats().dim);
 
-    // Index once, query many times.
-    let bands = BandingParams { k: 8, l: 40 };
+    // Index once, query many times. The banding comes from the config's
+    // threshold: here "similarities below 0.5 are uninteresting".
+    let cfg = PipelineConfig::cosine(0.5);
     let build_start = std::time::Instant::now();
-    let mut index = KnnIndex::build(&data, bands, 7);
+    let mut searcher = Searcher::builder(cfg)
+        .algorithm(Algorithm::Lsh)
+        .build(data)
+        .expect("valid config");
+    let bands = searcher.banding_plan().params;
     println!(
         "index: {} bands x {} bits built in {:.2}s",
         bands.l,
@@ -33,8 +41,9 @@ fn main() {
     let mut recall_total = 0usize;
 
     for qid in [0u32, 17, 101, 333] {
-        let q = data.vector(qid).clone();
-        let (neighbours, stats) = index.query(&data, &q, k + 1, &params);
+        let q = searcher.data().vector(qid).clone();
+        let out = searcher.top_k(&q, k + 1, &params).expect("valid params");
+        let (neighbours, stats) = (out.neighbors, out.stats);
         println!(
             "\nquery {qid}: {} candidates, {} pruned, {} exact computations",
             stats.candidates, stats.pruned, stats.exact
@@ -48,7 +57,8 @@ fn main() {
         total_stats.exact += stats.exact;
 
         // Compare against the exact top-k (excluding self).
-        let mut brute: Vec<(u32, f64)> = data
+        let mut brute: Vec<(u32, f64)> = searcher
+            .data()
             .iter()
             .filter(|&(id, _)| id != qid)
             .map(|(id, v)| (id, cosine(&q, v)))

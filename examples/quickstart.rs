@@ -1,4 +1,5 @@
-//! Quickstart: find all similar pairs in a corpus with LSH+BayesLSH.
+//! Quickstart: build a `Searcher` once, then serve a batch join and point
+//! queries against the same standing signatures and index.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -16,15 +17,29 @@ fn main() {
         stats.n_vectors, stats.dim, stats.avg_len
     );
 
-    // All pairs with cosine >= 0.7. BayesLSH verifies LSH candidates by
-    // comparing hashes incrementally, pruning hopeless pairs after a few
-    // chunks and emitting concentration-controlled estimates.
+    // Build once: hash signatures and bucket the LSH banding index. The
+    // algorithm picks the composition — LSH banding candidates verified by
+    // BayesLSH (incremental pruning + concentration-controlled estimates).
     let threshold = 0.7;
-    let cfg = PipelineConfig::cosine(threshold);
-    let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
-
+    let mut searcher = Searcher::builder(PipelineConfig::cosine(threshold))
+        .algorithm(Algorithm::LshBayesLsh)
+        .build(data)
+        .expect("valid config");
+    let plan = searcher.banding_plan();
     println!(
-        "\nLSH+BayesLSH: {} candidates -> {} pairs in {:.2}s ({:.2}s candgen, {:.2}s verify)",
+        "index: {} bands x {} bits, target miss rate {:.3} (achieved {:.3}{})",
+        plan.params.l,
+        plan.params.k,
+        plan.requested_fnr,
+        plan.achieved_fnr,
+        if plan.clamped { ", clamped!" } else { "" }
+    );
+
+    // Batch: all pairs with cosine >= 0.7.
+    let out = searcher.all_pairs().expect("composition runs");
+    println!(
+        "\n{}: {} candidates -> {} pairs in {:.2}s ({:.2}s candgen, {:.2}s verify)",
+        out.composition,
         out.candidates,
         out.pairs.len(),
         out.total_secs,
@@ -47,14 +62,26 @@ fn main() {
     ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
     println!("\ntop pairs (estimated similarity):");
     for (a, b, s) in ranked.iter().take(5) {
-        let exact = cosine(data.vector(*a), data.vector(*b));
+        let exact = cosine(searcher.data().vector(*a), searcher.data().vector(*b));
         println!("  ({a:>4}, {b:>4})  estimate {s:.3}  exact {exact:.3}");
     }
 
-    // Sanity: compare against the exact result set.
-    let truth = ground_truth(&data, Measure::Cosine, threshold);
+    // Point queries reuse the standing signatures — zero corpus re-hashing.
+    let hashed_once = searcher.hash_count();
+    let q = searcher.data().vector(0).clone();
+    let hits = searcher.query(&q, threshold).expect("in-range threshold");
+    println!(
+        "\npoint query for vector 0: {} candidates -> {} neighbors \
+         (corpus hashes before/after: {hashed_once}/{})",
+        hits.stats.candidates,
+        hits.neighbors.len(),
+        searcher.hash_count()
+    );
+
+    // Sanity: compare the batch output against the exact result set.
+    let truth = ground_truth(searcher.data(), Measure::Cosine, threshold);
     let recall = recall_against(&truth, &out.pairs);
-    let err = estimate_errors(&out.pairs, &data, Measure::Cosine, 0.05);
+    let err = estimate_errors(&out.pairs, searcher.data(), Measure::Cosine, 0.05);
     println!(
         "\nvs exact: recall {:.1}% of {} true pairs; {:.1}% of estimates off by > 0.05",
         100.0 * recall,

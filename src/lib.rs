@@ -6,7 +6,15 @@
 //! depends on (minwise hashing, signed random projections, AllPairs, an LSH
 //! banding index, PPJoin+, and shape-matched synthetic datasets).
 //!
-//! ## Quickstart
+//! ## Quickstart: build once, query many
+//!
+//! The central economy of the paper — hash each object once, then amortize
+//! those signatures across candidate generation *and* Bayesian
+//! verification — is embodied by the [`Searcher`](prelude::Searcher):
+//! construct it once from a corpus and a config (hashing signatures and
+//! building the LSH banding index a single time), then serve any mix of
+//! batch joins, threshold point queries, top-k retrieval, and incremental
+//! inserts.
 //!
 //! ```
 //! use bayeslsh::prelude::*;
@@ -14,16 +22,51 @@
 //! // A small corpus with planted near-duplicate clusters.
 //! let data = Preset::Rcv1.load(0.001, /* seed */ 7);
 //!
-//! // All pairs with cosine similarity >= 0.7, via LSH candidate
-//! // generation + BayesLSH verification (estimates, not exact):
-//! let cfg = PipelineConfig::cosine(0.7);
-//! let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+//! // Build once: signatures + banding index. The composition (candidate
+//! // generator × verifier) is picked by algorithm name; here LSH banding
+//! // candidates verified by BayesLSH-Lite (prune, then exact-check).
+//! let mut searcher = Searcher::builder(PipelineConfig::cosine(0.7))
+//!     .algorithm(Algorithm::LshBayesLshLite)
+//!     .build(data)
+//!     .expect("valid config and corpus");
 //!
-//! // Compare against the exact result:
-//! let truth = ground_truth(&data, Measure::Cosine, 0.7);
+//! // Batch: all pairs with cosine similarity >= 0.7.
+//! let out = searcher.all_pairs().expect("composition runs");
+//! let truth = ground_truth(searcher.data(), Measure::Cosine, 0.7);
 //! let recall = recall_against(&truth, &out.pairs);
 //! assert!(recall >= 0.9, "recall {recall}");
+//!
+//! // Point queries against the standing index: no corpus re-hashing.
+//! let hashed_once = searcher.hash_count();
+//! let q = searcher.data().vector(0).clone();
+//! let hits = searcher.query(&q, 0.7).expect("in-range threshold");
+//! assert!(hits.neighbors.iter().any(|&(id, _)| id == 0));
+//! assert_eq!(searcher.hash_count(), hashed_once);
+//!
+//! // Incremental insert; the new vector is immediately findable.
+//! let planted = q.clone();
+//! let new_id = searcher.insert(planted).expect("fits the indexed space");
+//! let hits = searcher.query(&q, 0.7).unwrap();
+//! assert!(hits.neighbors.iter().any(|&(id, _)| id == new_id));
 //! ```
+//!
+//! ### Migrating from `run_algorithm`
+//!
+//! The original entry point ran one algorithm end to end, rebuilding
+//! signatures and the index on every call. It still works, unchanged, as a
+//! thin shim over the composable layer:
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let out = run_algorithm(Algorithm::LshBayesLsh, &data, &PipelineConfig::cosine(0.7));
+//! assert!(out.total_secs >= 0.0);
+//! ```
+//!
+//! For one batch run the two are equivalent (identical output, same
+//! seeds). Switch to [`Searcher`](prelude::Searcher) when you issue more
+//! than one operation against the same corpus; note the builder returns
+//! typed [`SearchError`](prelude::SearchError)s where the shim panics.
 //!
 //! ## Crate map
 //!
@@ -32,8 +75,8 @@
 //! | [`numeric`] | special functions, Beta/Binomial distributions, RNG |
 //! | [`sparse`] | sparse vectors, exact similarities, datasets, tf-idf |
 //! | [`lsh`] | minwise hashing, signed random projections, signature pools |
-//! | [`candgen`] | AllPairs, LSH banding, PPJoin+ |
-//! | [`core`] | BayesLSH / BayesLSH-Lite engines, posteriors, pipelines |
+//! | [`candgen`] | AllPairs, LSH banding index, PPJoin+ |
+//! | [`core`] | BayesLSH engines, compositions, `Searcher`, pipelines |
 //! | [`datasets`] | synthetic corpora mimicking the paper's six datasets |
 //!
 //! The API most users need is re-exported from [`prelude`].
@@ -49,14 +92,17 @@ pub use bayeslsh_sparse as sparse;
 pub mod prelude {
     pub use bayeslsh_candgen::{
         all_pairs_cosine, all_pairs_jaccard, lsh_candidates_bits, lsh_candidates_ints,
-        ppjoin_binary_cosine, ppjoin_jaccard, BandingParams,
+        ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex, BandingParams, BandingPlan,
     };
     pub use bayeslsh_core::pipeline::ground_truth;
     pub use bayeslsh_core::{
         bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against,
-        run_algorithm, Algorithm, BayesLshConfig, BbitJaccardModel, CosineModel, EngineStats,
-        ErrorStats, JaccardModel, KnnIndex, KnnParams, KnnStats, LiteConfig, MinMatchTable,
-        PipelineConfig, PosteriorModel, PriorChoice, RunOutput,
+        run_algorithm, run_composition, Algorithm, BayesLshConfig, BbitJaccardModel,
+        CandidateGenerator, Composition, CompositionOutput, CosineModel, EngineStats, ErrorStats,
+        GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats, LiteConfig,
+        MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput, QueryStats,
+        RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder, SigPool, TopKOutput,
+        Verifier, VerifierKind,
     };
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{

@@ -76,6 +76,59 @@ fn corpus_generation_via_facade() {
 }
 
 #[test]
+fn searcher_surface() {
+    let data = Preset::Rcv1.load(0.0006, 5);
+    let dim = data.dim();
+    let mut s: Searcher = Searcher::builder(PipelineConfig::cosine(0.7))
+        .algorithm(Algorithm::LshBayesLshLite)
+        .hash_mode(HashMode::Eager)
+        .build(data)
+        .expect("builds");
+    assert!(!s.is_empty());
+    assert_eq!(s.config().threshold, 0.7);
+    assert_eq!(s.composition(), Algorithm::LshBayesLshLite.composition());
+    assert_eq!(s.hash_mode(), HashMode::Eager);
+    assert_eq!(s.data().dim(), dim);
+    let plan: BandingPlan = s.banding_plan();
+    assert!(plan.params.l >= 1 && !plan.clamped);
+    let batch: CompositionOutput = s.all_pairs().expect("runs");
+    assert!(batch.total_secs >= 0.0);
+    let q = s.data().vector(0).clone();
+    let out: QueryOutput = s.query(&q, 0.7).expect("queries");
+    let _stats: QueryStats = out.stats;
+    let top: TopKOutput = s.top_k(&q, 3, &KnnParams::default()).expect("top-k");
+    assert!(top.neighbors.len() <= 3);
+    let id = s.insert(q).expect("inserts");
+    assert_eq!(id as usize, s.len() - 1);
+}
+
+#[test]
+fn composition_surface() {
+    // Custom compositions instantiate as trait objects and run.
+    let comp = Composition::new(GeneratorKind::LshBanding, VerifierKind::Exact);
+    let g: Box<dyn CandidateGenerator> = comp.generator.instantiate();
+    let v: Box<dyn Verifier> = comp.verifier.instantiate();
+    assert_eq!(g.name(), "LSH");
+    assert_eq!(v.name(), "exact");
+    let data = Preset::Rcv1.load(0.0006, 6);
+    let cfg = PipelineConfig::cosine(0.7);
+    let mut pool = SigPool::for_config(&cfg, &data);
+    let mut ctx = SearchContext {
+        data: &data,
+        cfg: &cfg,
+        pool: &mut pool,
+        index: None,
+    };
+    let out = run_composition(comp, &mut ctx).expect("runs");
+    assert_eq!(out.composition, comp);
+    // And the typed error type is part of the facade.
+    let mut bad = cfg;
+    bad.k = 0;
+    let err: SearchError = bad.validate().unwrap_err();
+    assert!(err.to_string().contains("invalid config"));
+}
+
+#[test]
 fn run_output_shape() {
     let data = Preset::Rcv1.load(0.0006, 3);
     let out: RunOutput = run_algorithm(Algorithm::AllPairs, &data, &PipelineConfig::cosine(0.8));
