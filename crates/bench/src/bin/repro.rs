@@ -15,6 +15,7 @@
 //!   table3   recall of AP+BayesLSH / AP+BayesLSH-Lite
 //!   table4   estimate errors: LSH Approx vs LSH+BayesLSH
 //!   table5   output quality vs gamma/delta/epsilon
+//!   parallel all-pairs speedup vs worker threads (1/2/4/8)
 //!   all      everything above
 //! ```
 //!
@@ -22,7 +23,7 @@
 
 use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
 use bayeslsh_bench::timing::Family;
-use bayeslsh_bench::{fig1, fig5, params, pruning, quality, table1, timing};
+use bayeslsh_bench::{fig1, fig5, parallel, params, pruning, quality, table1, timing};
 use bayeslsh_datasets::Preset;
 
 struct Args {
@@ -76,7 +77,7 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|all> \
          [--scale S] [--seed N]"
     );
 }
@@ -99,7 +100,9 @@ fn main() {
         "table3" => run_table3(&args),
         "table4" => run_table4(&args),
         "table5" => run_table5(&args),
+        "parallel" => run_parallel(&args),
         "all" => {
+            run_parallel(&args);
             run_fig1();
             run_fig5();
             run_table1(&args);
@@ -301,6 +304,43 @@ fn run_table4(args: &Args) {
             &table
         )
     );
+}
+
+fn run_parallel(args: &Args) {
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    banner(&format!(
+        "Parallel all-pairs speedup (RCV1-shaped, t=0.7, scale {}, host cores {host})",
+        args.scale
+    ));
+    let rows = parallel::run(args.scale, args.seed);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algorithm.name().into(),
+                r.threads.to_string(),
+                fmt_secs(r.build_secs),
+                fmt_secs(r.join_secs),
+                format!("{:.2}x", r.join_speedup),
+                r.output.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "algorithm",
+                "threads",
+                "build",
+                "all-pairs",
+                "speedup",
+                "output"
+            ],
+            &table
+        )
+    );
+    println!("output is asserted bit-identical across thread counts");
 }
 
 fn run_fig3(args: &Args) -> Vec<timing::TimingRow> {

@@ -8,6 +8,7 @@
 
 pub mod fig1;
 pub mod fig5;
+pub mod parallel;
 pub mod params;
 pub mod pruning;
 pub mod quality;

@@ -7,6 +7,7 @@
 //! expected false-negative rate ε is `l = ceil(log ε / log(1 − p^k))`.
 
 use bayeslsh_lsh::{BitSignatures, IntSignatures, SignaturePool};
+use bayeslsh_numeric::fan_out;
 use bayeslsh_sparse::Dataset;
 
 use crate::fxhash::{FxHashMap, FxHasher};
@@ -208,6 +209,98 @@ impl BandingIndex {
             self.buckets[band].entry(key).or_default().push(id);
         }
         self.indexed += 1;
+    }
+
+    /// Build an index concurrently: the `l` bands are sharded across up to
+    /// `threads` workers, each worker populating its bands' bucket maps by
+    /// scanning `ids` in order and asking `key_of(id, band)` for the band
+    /// key (typically a read into a pre-hashed signature pool — keys are
+    /// computed shard-locally, so no id-major key buffer is materialized).
+    ///
+    /// Because a single band's bucket map sees exactly the same
+    /// `(key, id)` insertion sequence as `ids.len()` serial
+    /// [`BandingIndex::insert`] calls, the resulting index — including
+    /// bucket-map iteration order, and therefore
+    /// [`BandingIndex::all_pairs`] / [`BandingIndex::probe`] output — is
+    /// identical to the serially built one whatever the thread count.
+    pub fn par_build<F>(params: BandingParams, ids: &[u32], threads: usize, key_of: F) -> Self
+    where
+        F: Fn(u32, u32) -> u64 + Sync,
+    {
+        let shards = fan_out(params.l as usize, threads, |_, bands| {
+            bands
+                .map(|band| {
+                    let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                    for &id in ids {
+                        buckets.entry(key_of(id, band as u32)).or_default().push(id);
+                    }
+                    buckets
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut index = Self::new(params);
+        index.buckets = shards.into_iter().flatten().collect();
+        index.indexed = ids.len();
+        index
+    }
+
+    /// [`BandingIndex::probe`] with the bands fanned out across up to
+    /// `threads` workers and the per-band hit lists merged (deduplicated)
+    /// in band order — the same first-encounter order as the serial probe.
+    pub fn par_probe(&self, keys: &[u64], threads: usize) -> Vec<u32> {
+        if threads <= 1 {
+            return self.probe(keys);
+        }
+        assert_eq!(
+            keys.len(),
+            self.params.l as usize,
+            "expected one key per band"
+        );
+        let shards = fan_out(keys.len(), threads, |_, bands| {
+            bands
+                .map(|band| {
+                    self.buckets[band]
+                        .get(&keys[band])
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[])
+                })
+                .collect::<Vec<&[u32]>>()
+        });
+        let mut out = Vec::new();
+        let mut seen = crate::fxhash::FxHashSet::<u32>::default();
+        for ids in shards.into_iter().flatten() {
+            for &id in ids {
+                if seen.insert(id) {
+                    out.push(id);
+                }
+            }
+        }
+        out
+    }
+
+    /// [`BandingIndex::all_pairs`] with the bands fanned out across up to
+    /// `threads` workers. Each worker collects its bands' pairs into a
+    /// locally deduplicated [`PairSet`]; the shards are merged in band
+    /// order through a global `PairSet`, reproducing the serial
+    /// first-encounter pair order exactly.
+    pub fn par_all_pairs(&self, threads: usize) -> Vec<(u32, u32)> {
+        if threads <= 1 {
+            return self.all_pairs();
+        }
+        let shards = fan_out(self.buckets.len(), threads, |_, bands| {
+            let mut local = PairSet::new();
+            for band in bands {
+                pairs_from_buckets(&self.buckets[band], &mut local);
+            }
+            local
+        });
+        let mut out = PairSet::new();
+        for shard in shards {
+            for &(a, b) in shard.as_slice() {
+                out.insert(a, b);
+            }
+        }
+        out.into_vec()
     }
 
     /// All distinct ids sharing at least one band bucket with the given
@@ -540,6 +633,49 @@ mod tests {
         assert_eq!(pairs, vec![(0, 1), (1, 2)]);
         assert_eq!(index.probe(&[8, 9]), vec![2, 0]);
         assert!(index.probe(&[100, 100]).is_empty());
+    }
+
+    #[test]
+    fn par_build_probe_and_all_pairs_match_serial() {
+        let data = clustered_sets(8, 5, 57);
+        let params = BandingParams::for_threshold(0.5, 3, 0.03, 1000);
+        let l = params.l as usize;
+        let mut pool = IntSignatures::new(MinHasher::new(58), data.len());
+        let mut serial = BandingIndex::new(params);
+        let mut ids = Vec::new();
+        let mut keys = Vec::new();
+        for (id, v) in data.iter() {
+            pool.ensure(id, v, params.total_hashes());
+            let k = band_keys_ints(pool.raw(id), params);
+            serial.insert(id, &k);
+            ids.push(id);
+            keys.extend(k);
+        }
+        let serial_pairs = serial.all_pairs();
+        for threads in [1usize, 2, 4, 8] {
+            let par = BandingIndex::par_build(params, &ids, threads, |id, band| {
+                band_key_ints(pool.raw(id), band, params.k)
+            });
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(
+                par.all_pairs(),
+                serial_pairs,
+                "serially-read pairs of a par-built index, threads {threads}"
+            );
+            assert_eq!(
+                par.par_all_pairs(threads),
+                serial_pairs,
+                "par-read pairs, threads {threads}"
+            );
+            for (slot, &id) in ids.iter().enumerate().step_by(5) {
+                let qk = &keys[slot * l..(slot + 1) * l];
+                assert_eq!(
+                    par.par_probe(qk, threads),
+                    serial.probe(qk),
+                    "probe id {id} threads {threads}"
+                );
+            }
+        }
     }
 
     #[test]

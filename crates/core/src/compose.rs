@@ -36,6 +36,9 @@ use crate::engine::{bayes_verify, bayes_verify_lite, EngineStats};
 use crate::error::SearchError;
 use crate::estimator::mle_verify;
 use crate::jaccard_model::JaccardModel;
+use crate::parallel::{
+    candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
+};
 use crate::pipeline::{PipelineConfig, PriorChoice};
 
 /// A signature pool for either hash family, created to match a
@@ -115,6 +118,37 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => count_bit_agreements(sig, p.raw_words(id), lo, hi),
             SigPool::Ints(p) => count_int_agreements(sig, p.raw(id), lo, hi),
+        }
+    }
+
+    /// Extend the signatures of `ids` to at least `n` hashes with up to
+    /// `threads` workers (corpus chunks hashed per-thread, buffers spliced
+    /// back in index order). Pool state is bit-identical to serial
+    /// [`SignaturePool::ensure`] calls for the same ids.
+    pub fn par_ensure_ids(&mut self, data: &Dataset, ids: &[u32], n: u32, threads: usize) {
+        match self {
+            SigPool::Bits(p) => p.par_ensure_ids(data, ids, n, threads),
+            SigPool::Ints(p) => p.par_ensure_ids(data, ids, n, threads),
+        }
+    }
+
+    /// [`SigPool::hash_query`] with the hash range split across up to
+    /// `threads` workers; the returned signature is bit-identical.
+    pub fn hash_query_par(&mut self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        match self {
+            SigPool::Bits(p) => p.hash_external_par(v, n, threads),
+            SigPool::Ints(p) => p.hash_external_par(v, n, threads),
+        }
+    }
+
+    /// The single band-`band` key of pool member `id` (hashed to at least
+    /// `params.total_hashes()` already) — the shard-local key lookup
+    /// [`bayeslsh_candgen::BandingIndex::par_build`] consumes, avoiding
+    /// any id-major key buffer.
+    pub fn band_key(&self, id: u32, band: u32, params: BandingParams) -> u64 {
+        match self {
+            SigPool::Bits(p) => band_key_bits(p.raw_words(id), band, params.k),
+            SigPool::Ints(p) => band_key_ints(p.raw(id), band, params.k),
         }
     }
 }
@@ -325,7 +359,10 @@ impl std::fmt::Display for Composition {
 pub struct CompositionOutput {
     /// The composition that ran.
     pub composition: Composition,
-    /// Output pairs with similarities (exact or estimated).
+    /// Output pairs with similarities (exact or estimated), in canonical
+    /// ascending `(i, j)` order — the merge order of the parallel
+    /// execution layer, applied to the serial path too so output is
+    /// bit-identical whatever the thread count.
     pub pairs: Vec<(u32, u32, f64)>,
     /// Candidate pairs generated (0 when the generator's fused exact join
     /// ran, fusing generation and verification).
@@ -371,7 +408,8 @@ pub(crate) fn run_composition_prechecked(
     let start = Instant::now();
 
     if comp.verifier == VerifierKind::Exact {
-        if let Some(pairs) = generator.exact_join(ctx) {
+        if let Some(mut pairs) = generator.exact_join(ctx) {
+            canonical_order(&mut pairs);
             let total = start.elapsed().as_secs_f64();
             return Ok(CompositionOutput {
                 composition: comp,
@@ -388,7 +426,8 @@ pub(crate) fn run_composition_prechecked(
     let candidates = generator.generate(ctx);
     let candgen_secs = start.elapsed().as_secs_f64();
     let verify_start = Instant::now();
-    let (pairs, engine) = verifier.verify(ctx, &candidates);
+    let (mut pairs, engine) = verifier.verify(ctx, &candidates);
+    canonical_order(&mut pairs);
     Ok(CompositionOutput {
         composition: comp,
         pairs,
@@ -398,6 +437,15 @@ pub(crate) fn run_composition_prechecked(
         total_secs: start.elapsed().as_secs_f64(),
         engine,
     })
+}
+
+/// Canonicalize batch output to ascending `(i, j)` order. Verifiers emit in
+/// (deterministic) candidate order; the parallel layer merges its chunks in
+/// the same order, and this final sort makes the contract independent of
+/// both — serial and parallel runs agree bit for bit, and so do standing-
+/// index and transient candidate generation.
+fn canonical_order(pairs: &mut [(u32, u32, f64)]) {
+    pairs.sort_unstable_by_key(|&(a, b, _)| (a, b));
 }
 
 /// AllPairs candidate generation (with a fused exact join).
@@ -432,10 +480,30 @@ impl CandidateGenerator for LshBandingGenerator {
     }
 
     fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)> {
+        let threads = ctx.cfg.parallelism.resolve();
         if let Some(index) = ctx.index {
-            return index.all_pairs();
+            return index.par_all_pairs(threads);
         }
         let params = ctx.cfg.banding_plan().params;
+        if threads > 1 {
+            // Transient sharded build: hash the corpus in parallel, build
+            // the band-sharded index, fan out the join. Candidate order is
+            // identical to the serial streaming path (each band's buckets
+            // see the same id-order insertions either way).
+            let ids: Vec<u32> = ctx
+                .data
+                .iter()
+                .filter(|(_, v)| !v.is_empty())
+                .map(|(id, _)| id)
+                .collect();
+            ctx.pool
+                .par_ensure_ids(ctx.data, &ids, params.total_hashes(), threads);
+            let pool = &*ctx.pool;
+            let index = BandingIndex::par_build(params, &ids, threads, |id, band| {
+                pool.band_key(id, band, params)
+            });
+            return index.par_all_pairs(threads);
+        }
         match ctx.pool {
             SigPool::Bits(pool) => lsh_candidates_bits(pool, ctx.data, params),
             SigPool::Ints(pool) => lsh_candidates_ints(pool, ctx.data, params),
@@ -482,13 +550,8 @@ impl Verifier for ExactVerifier {
     ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
         let measure = ctx.cfg.measure;
         let t = ctx.cfg.threshold;
-        let pairs = candidates
-            .iter()
-            .filter_map(|&(a, b)| {
-                let s = measure.eval(ctx.data.vector(a), ctx.data.vector(b));
-                (s >= t).then_some((a, b, s))
-            })
-            .collect();
+        let threads = ctx.cfg.parallelism.resolve();
+        let pairs = par_exact_verify(ctx.data, measure, t, candidates, threads);
         (pairs, None)
     }
 }
@@ -508,6 +571,16 @@ impl Verifier for MleVerifier {
     ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
         let n = ctx.cfg.approx_hashes;
         let t = ctx.cfg.threshold;
+        let threads = ctx.cfg.parallelism.resolve();
+        if threads > 1 {
+            let ids = candidate_ids(candidates, ctx.data.len());
+            ctx.pool.par_ensure_ids(ctx.data, &ids, n, threads);
+            let (pairs, _) = match ctx.cfg.measure {
+                Measure::Cosine => par_mle_verify(&*ctx.pool, candidates, n, t, r_to_cos, threads),
+                Measure::Jaccard => par_mle_verify(&*ctx.pool, candidates, n, t, |f| f, threads),
+            };
+            return (pairs, None);
+        }
         let (pairs, _) = match ctx.cfg.measure {
             Measure::Cosine => mle_verify(ctx.data, ctx.pool, candidates, n, t, r_to_cos),
             Measure::Jaccard => mle_verify(ctx.data, ctx.pool, candidates, n, t, |f| f),
@@ -530,6 +603,22 @@ impl Verifier for BayesVerifier {
         candidates: &[(u32, u32)],
     ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
         let cfg = ctx.cfg.bayes();
+        let threads = ctx.cfg.parallelism.resolve();
+        if threads > 1 {
+            let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
+            let ids = candidate_ids(candidates, ctx.data.len());
+            ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
+            let (pairs, stats) = match ctx.cfg.measure {
+                Measure::Cosine => {
+                    par_bayes_verify(&*ctx.pool, &CosineModel::new(), candidates, &cfg, threads)
+                }
+                Measure::Jaccard => {
+                    let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
+                    par_bayes_verify(&*ctx.pool, &model, candidates, &cfg, threads)
+                }
+            };
+            return (pairs, Some(stats));
+        }
         let (pairs, stats) = match ctx.cfg.measure {
             Measure::Cosine => {
                 bayes_verify(ctx.data, ctx.pool, &CosineModel::new(), candidates, &cfg)
@@ -557,6 +646,30 @@ impl Verifier for BayesLiteVerifier {
         candidates: &[(u32, u32)],
     ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
         let cfg = ctx.cfg.lite();
+        let threads = ctx.cfg.parallelism.resolve();
+        if threads > 1 {
+            let depth = (cfg.h / cfg.k).max(1) * cfg.k;
+            let ids = candidate_ids(candidates, ctx.data.len());
+            ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
+            let (pairs, stats) = match ctx.cfg.measure {
+                Measure::Cosine => par_bayes_verify_lite(
+                    ctx.data,
+                    &*ctx.pool,
+                    &CosineModel::new(),
+                    candidates,
+                    &cfg,
+                    cosine,
+                    threads,
+                ),
+                Measure::Jaccard => {
+                    let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
+                    par_bayes_verify_lite(
+                        ctx.data, &*ctx.pool, &model, candidates, &cfg, jaccard, threads,
+                    )
+                }
+            };
+            return (pairs, Some(stats));
+        }
         let (pairs, stats) = match ctx.cfg.measure {
             Measure::Cosine => bayes_verify_lite(
                 ctx.data,

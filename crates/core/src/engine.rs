@@ -47,6 +47,23 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
+    /// Fold another run's counters into this one (used by the parallel
+    /// drivers to merge per-worker statistics; `input_pairs` and `k` are
+    /// set by the caller, `pruned_at_chunk` adds elementwise up to the
+    /// shorter length).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.pruned += other.pruned;
+        self.accepted += other.accepted;
+        self.forced_accepts += other.forced_accepts;
+        self.exact_verifications += other.exact_verifications;
+        self.hash_comparisons += other.hash_comparisons;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        for (dst, src) in self.pruned_at_chunk.iter_mut().zip(&other.pruned_at_chunk) {
+            *dst += src;
+        }
+    }
+
     /// The Figure 4 curve: `(hashes examined, candidates not yet pruned)`,
     /// starting from the full input set. Accepted pairs count as remaining
     /// (they survive into the output).

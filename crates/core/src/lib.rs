@@ -39,6 +39,24 @@
 //!   current k-th best similarity acts as a rising pruning threshold and
 //!   survivors are verified exactly.
 
+//! ## Parallelism & determinism
+//!
+//! Every pipeline stage — signature hashing, banding-index construction,
+//! candidate generation, and verification — can fan out across worker
+//! threads ([`parallel`], built on `std::thread::scope`). The knob is
+//! [`pipeline::PipelineConfig::parallelism`] /
+//! [`searcher::SearcherBuilder::parallelism`]; `Parallelism::Auto` (the
+//! default) resolves to the `BAYESLSH_THREADS` environment variable or the
+//! available cores, and `Parallelism::serial()` is the exact serial path.
+//! Whatever the thread count, batch and query output is **bit-identical to
+//! serial**: work is split into deterministic contiguous chunks, every
+//! worker computes a pure function of its chunk, and results merge in
+//! canonical order (`tests/parallel_equivalence.rs` pins this down for all
+//! eight algorithms). The only observable deltas are wall-clock time,
+//! per-worker concentration-cache hit/miss splits, and — under
+//! [`searcher::HashMode::Lazy`] — candidate signatures being pre-extended
+//! to the verifier's scan depth before a parallel verification.
+
 pub mod bbit_model;
 pub mod cache;
 pub mod compose;
@@ -51,10 +69,12 @@ pub mod jaccard_model;
 pub mod knn;
 pub mod metrics;
 pub mod minmatch;
+pub mod parallel;
 pub mod pipeline;
 pub mod posterior;
 pub mod searcher;
 
+pub use bayeslsh_numeric::Parallelism;
 pub use bbit_model::BbitJaccardModel;
 pub use cache::ConcentrationCache;
 pub use compose::{
@@ -69,7 +89,10 @@ pub use estimator::mle_verify;
 pub use jaccard_model::JaccardModel;
 pub use knn::{KnnIndex, KnnParams, KnnStats};
 pub use metrics::{estimate_errors, recall_against, ErrorStats};
-pub use minmatch::MinMatchTable;
+pub use minmatch::{MinMatchCache, MinMatchTable};
+pub use parallel::{
+    candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
+};
 pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
 pub use posterior::PosteriorModel;
 pub use searcher::{HashMode, QueryOutput, QueryStats, Searcher, SearcherBuilder, TopKOutput};

@@ -6,6 +6,10 @@
 //! monotone in `m`. At run time the pruning test on line 10 of Algorithm 1
 //! becomes a single array lookup: prune iff `m < minMatches(n)`.
 
+use std::sync::{Arc, Mutex};
+
+use bayeslsh_candgen::fxhash::FxHashMap;
+
 use crate::posterior::PosteriorModel;
 
 /// A pruning threshold table for a fixed `(model, t, ε, k)`.
@@ -86,6 +90,85 @@ impl MinMatchTable {
     /// Largest hash count covered.
     pub fn max_hashes(&self) -> u32 {
         self.table.len() as u32 * self.k
+    }
+}
+
+/// A thread-safe memo of [`MinMatchTable`]s keyed by
+/// `(threshold, ε, k, max_hashes)`.
+///
+/// The searcher's point-query paths previously shared one single-slot memo,
+/// so query shapes that alternate (different thresholds, or the Bayes and
+/// Lite hash budgets interleaved) evicted each other's tables on every
+/// call — and a `&self` sharing of the slot across verification workers
+/// would have raced. This map keeps every shape it has seen (up to
+/// [`MinMatchCache::CAPACITY`]; callers streaming never-repeating
+/// thresholds get correct, unmemoized tables beyond that instead of
+/// unbounded growth), hands out cheap [`Arc`] clones, and is safe to
+/// consult from any thread. The posterior *model* is intentionally not
+/// part of the key: a cache belongs to one searcher, whose model is fixed
+/// by its measure — callers mixing models must use separate caches.
+#[derive(Debug, Default)]
+pub struct MinMatchCache {
+    map: Mutex<ShapeMap>,
+}
+
+/// Memo storage: `(threshold bits, ε bits, k, max_hashes)` → shared table.
+type ShapeMap = FxHashMap<(u64, u64, u32, u32), Arc<MinMatchTable>>;
+
+impl MinMatchCache {
+    /// Most query shapes memoized at once. A standing service uses a
+    /// handful; a caller streaming never-repeating computed thresholds
+    /// would otherwise grow the map for the searcher's lifetime.
+    pub const CAPACITY: usize = 64;
+
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The table for `(threshold, epsilon, k, max_hashes)`, building (and
+    /// memoizing, while under [`MinMatchCache::CAPACITY`] shapes) it on
+    /// first use. Concurrent first calls may build twice; the build is
+    /// deterministic, so either result is the same table and the first
+    /// insertion wins.
+    pub fn get_or_build<M: PosteriorModel>(
+        &self,
+        model: &M,
+        threshold: f64,
+        epsilon: f64,
+        k: u32,
+        max_hashes: u32,
+    ) -> Arc<MinMatchTable> {
+        let key = (threshold.to_bits(), epsilon.to_bits(), k, max_hashes);
+        if let Some(table) = self.map.lock().expect("minmatch cache poisoned").get(&key) {
+            return Arc::clone(table);
+        }
+        let table = Arc::new(MinMatchTable::build(
+            model, threshold, epsilon, k, max_hashes,
+        ));
+        let mut map = self.map.lock().expect("minmatch cache poisoned");
+        if map.len() >= Self::CAPACITY && !map.contains_key(&key) {
+            return table; // full: serve unmemoized rather than grow forever
+        }
+        Arc::clone(map.entry(key).or_insert(table))
+    }
+
+    /// Number of distinct query shapes memoized.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("minmatch cache poisoned").len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Clone for MinMatchCache {
+    fn clone(&self) -> Self {
+        Self {
+            map: Mutex::new(self.map.lock().expect("minmatch cache poisoned").clone()),
+        }
     }
 }
 
@@ -170,6 +253,47 @@ mod tests {
         assert!(!table.should_prune(mm, 32) || mm > 32);
         assert_eq!(table.chunk(), 32);
         assert_eq!(table.max_hashes(), 64);
+    }
+
+    #[test]
+    fn cache_keeps_alternating_shapes_and_answers_consistently() {
+        let model = CosineModel::new();
+        let cache = MinMatchCache::new();
+        // Alternate two shapes repeatedly — the single-slot design this
+        // replaces would rebuild on every call and (shared mutably) could
+        // hand one shape the other's table.
+        for _ in 0..3 {
+            for &(t, h) in &[(0.7f64, 2048u32), (0.5, 128)] {
+                let got = cache.get_or_build(&model, t, 0.03, 32, h);
+                let fresh = MinMatchTable::build(&model, t, 0.03, 32, h);
+                assert_eq!(got.max_hashes(), fresh.max_hashes());
+                for n in (32..=h).step_by(32) {
+                    assert_eq!(got.min_matches(n), fresh.min_matches(n), "t={t} n={n}");
+                }
+            }
+        }
+        assert_eq!(cache.len(), 2, "both shapes must stay memoized");
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let model = JaccardModel::uniform();
+        let cache = MinMatchCache::new();
+        let tables = bayeslsh_numeric::fan_out(8, 4, |_, range| {
+            range
+                .map(|i| {
+                    let t = 0.5 + 0.05 * (i % 2) as f64;
+                    cache.get_or_build(&model, t, 0.03, 32, 128).min_matches(64)
+                })
+                .collect::<Vec<_>>()
+        });
+        let flat: Vec<u32> = tables.into_iter().flatten().collect();
+        for (i, &got) in flat.iter().enumerate() {
+            let t = 0.5 + 0.05 * (i % 2) as f64;
+            let fresh = MinMatchTable::build(&model, t, 0.03, 32, 128);
+            assert_eq!(got, fresh.min_matches(64), "slot {i}");
+        }
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

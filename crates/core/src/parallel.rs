@@ -1,0 +1,357 @@
+//! Parallel verification drivers: the candidate-pair fan-out the paper's
+//! embarrassing parallelism invites.
+//!
+//! Every driver mirrors its serial engine exactly — same pruning table,
+//! same per-pair chunked scan, same accept/prune decisions — but partitions
+//! the candidate list into contiguous chunks ([`bayeslsh_numeric::fan_out`])
+//! and merges the per-chunk outputs in chunk order. Because candidate lists
+//! are deterministic and every pair's verdict is a pure function of the
+//! (read-only) signature pool, the merged output is **bit-identical to the
+//! serial engines** whatever the thread count. The one observable
+//! difference is bookkeeping the paper treats as advisory: each worker
+//! keeps its own [`ConcentrationCache`], so cache hit/miss counts depend on
+//! the partition (decisions do not — the cache memoizes a pure function).
+//!
+//! Unlike the lazily-extending serial engines, these drivers take the pool
+//! by shared reference and **require every candidate signature to be
+//! extended to the scan depth already** (use
+//! [`crate::compose::SigPool::par_ensure_ids`] or the pool-specific
+//! `par_ensure_ids`). Under the `Searcher`'s default eager hashing that
+//! pre-extension is a no-op; under lazy hashing it trades some up-front
+//! hashing for wall-clock parallelism.
+
+use bayeslsh_lsh::SignaturePool;
+use bayeslsh_numeric::fan_out;
+use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
+
+use crate::cache::ConcentrationCache;
+use crate::config::{BayesLshConfig, LiteConfig};
+use crate::engine::EngineStats;
+use crate::minmatch::MinMatchTable;
+use crate::posterior::PosteriorModel;
+
+/// The distinct object ids appearing in `candidates`, in first-encounter
+/// order — the id set a parallel verification must pre-hash. `n_objects`
+/// bounds the id space (ids must be `< n_objects`).
+pub fn candidate_ids(candidates: &[(u32, u32)], n_objects: usize) -> Vec<u32> {
+    let mut seen = vec![false; n_objects];
+    let mut ids = Vec::new();
+    for &(a, b) in candidates {
+        if !seen[a as usize] {
+            seen[a as usize] = true;
+            ids.push(a);
+        }
+        if !seen[b as usize] {
+            seen[b as usize] = true;
+            ids.push(b);
+        }
+    }
+    ids
+}
+
+/// Parallel exact verification: candidate chunks fan out, each pair gets a
+/// true similarity computation, survivors merge in candidate order —
+/// identical to the serial exact verifier.
+pub fn par_exact_verify(
+    data: &Dataset,
+    measure: Measure,
+    threshold: f64,
+    candidates: &[(u32, u32)],
+    threads: usize,
+) -> Vec<(u32, u32, f64)> {
+    fan_out(candidates.len(), threads, |_, range| {
+        candidates[range]
+            .iter()
+            .filter_map(|&(a, b)| {
+                let s = measure.eval(data.vector(a), data.vector(b));
+                (s >= threshold).then_some((a, b, s))
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Parallel fixed-`n` MLE verification (the "LSH Approx" baseline).
+/// Signatures must already cover `n_hashes`; output and comparison count
+/// are identical to [`crate::estimator::mle_verify`].
+pub fn par_mle_verify<P>(
+    pool: &P,
+    candidates: &[(u32, u32)],
+    n_hashes: u32,
+    threshold: f64,
+    transform: impl Fn(f64) -> f64 + Sync,
+    threads: usize,
+) -> (Vec<(u32, u32, f64)>, u64)
+where
+    P: SignaturePool + Sync,
+{
+    assert!(n_hashes > 0);
+    let transform = &transform;
+    let pairs: Vec<(u32, u32, f64)> = fan_out(candidates.len(), threads, |_, range| {
+        candidates[range]
+            .iter()
+            .filter_map(|&(a, b)| {
+                let m = pool.agreements(a, b, 0, n_hashes);
+                let s_hat = transform(m as f64 / n_hashes as f64);
+                (s_hat >= threshold).then_some((a, b, s_hat))
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    (pairs, candidates.len() as u64 * n_hashes as u64)
+}
+
+/// Parallel BayesLSH (Algorithm 1). Signatures must already cover the scan
+/// depth `(cfg.max_hashes / cfg.k).max(1) * cfg.k`; pairs, estimates and
+/// every counter except the per-worker cache hit/miss split are identical
+/// to [`crate::engine::bayes_verify`].
+pub fn par_bayes_verify<P, M>(
+    pool: &P,
+    model: &M,
+    candidates: &[(u32, u32)],
+    cfg: &BayesLshConfig,
+    threads: usize,
+) -> (Vec<(u32, u32, f64)>, EngineStats)
+where
+    P: SignaturePool + Sync,
+    M: PosteriorModel + Sync,
+{
+    cfg.validate();
+    let k = cfg.k;
+    let max_chunks = (cfg.max_hashes / k).max(1);
+    let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
+    let table = &table;
+
+    let results = fan_out(candidates.len(), threads, |_, range| {
+        let mut cache = ConcentrationCache::new(cfg.delta, cfg.gamma);
+        let mut stats = EngineStats {
+            k,
+            pruned_at_chunk: vec![0; max_chunks as usize],
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        for &(a, b) in &candidates[range] {
+            let (mut m, mut n) = (0u32, 0u32);
+            let mut resolved = false;
+            for c in 0..max_chunks {
+                m += pool.agreements(a, b, n, n + k);
+                n += k;
+                stats.hash_comparisons += k as u64;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    stats.pruned_at_chunk[c as usize] += 1;
+                    resolved = true;
+                    break;
+                }
+                if cache.is_concentrated(model, m, n) {
+                    out.push((a, b, model.map_estimate(m, n)));
+                    stats.accepted += 1;
+                    resolved = true;
+                    break;
+                }
+            }
+            if !resolved {
+                out.push((a, b, model.map_estimate(m, n)));
+                stats.accepted += 1;
+                stats.forced_accepts += 1;
+            }
+        }
+        let (hits, misses) = cache.stats();
+        stats.cache_hits = hits;
+        stats.cache_misses = misses;
+        (out, stats)
+    });
+
+    merge(candidates.len() as u64, k, max_chunks, results)
+}
+
+/// Parallel BayesLSH-Lite (Algorithm 2). Signatures must already cover the
+/// scan depth `(cfg.h / cfg.k).max(1) * cfg.k`; output and counters are
+/// identical to [`crate::engine::bayes_verify_lite`].
+pub fn par_bayes_verify_lite<P, M, F>(
+    data: &Dataset,
+    pool: &P,
+    model: &M,
+    candidates: &[(u32, u32)],
+    cfg: &LiteConfig,
+    exact: F,
+    threads: usize,
+) -> (Vec<(u32, u32, f64)>, EngineStats)
+where
+    P: SignaturePool + Sync,
+    M: PosteriorModel + Sync,
+    F: Fn(&SparseVector, &SparseVector) -> f64 + Sync,
+{
+    cfg.validate();
+    let k = cfg.k;
+    let max_chunks = (cfg.h / k).max(1);
+    let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
+    let (table, exact) = (&table, &exact);
+
+    let results = fan_out(candidates.len(), threads, |_, range| {
+        let mut stats = EngineStats {
+            k,
+            pruned_at_chunk: vec![0; max_chunks as usize],
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        for &(a, b) in &candidates[range] {
+            let (mut m, mut n) = (0u32, 0u32);
+            let mut pruned = false;
+            for c in 0..max_chunks {
+                m += pool.agreements(a, b, n, n + k);
+                n += k;
+                stats.hash_comparisons += k as u64;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    stats.pruned_at_chunk[c as usize] += 1;
+                    pruned = true;
+                    break;
+                }
+            }
+            if !pruned {
+                stats.exact_verifications += 1;
+                let s = exact(data.vector(a), data.vector(b));
+                if s >= cfg.threshold {
+                    out.push((a, b, s));
+                    stats.accepted += 1;
+                }
+            }
+        }
+        (out, stats)
+    });
+
+    merge(candidates.len() as u64, k, max_chunks, results)
+}
+
+/// One worker's verification output: surviving pairs plus its counters.
+type ChunkResult = (Vec<(u32, u32, f64)>, EngineStats);
+
+/// Merge per-chunk verification results in chunk order: outputs
+/// concatenate (preserving candidate order), counters add.
+fn merge(
+    input_pairs: u64,
+    k: u32,
+    max_chunks: u32,
+    results: Vec<ChunkResult>,
+) -> (Vec<(u32, u32, f64)>, EngineStats) {
+    let mut pairs = Vec::new();
+    let mut stats = EngineStats {
+        input_pairs,
+        k,
+        pruned_at_chunk: vec![0; max_chunks as usize],
+        ..Default::default()
+    };
+    for (chunk_pairs, chunk_stats) in results {
+        pairs.extend(chunk_pairs);
+        stats.absorb(&chunk_stats);
+    }
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cosine_model::CosineModel;
+    use crate::engine::{bayes_verify, bayes_verify_lite};
+    use crate::estimator::mle_verify;
+    use bayeslsh_lsh::{r_to_cos, BitSignatures, SrpHasher};
+    use bayeslsh_numeric::Xoshiro256;
+    use bayeslsh_sparse::cosine;
+
+    fn corpus(seed: u64) -> Dataset {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut d = Dataset::new(2000);
+        for c in 0..8 {
+            let center: Vec<(u32, f32)> = (0..30)
+                .map(|_| {
+                    (
+                        (c * 200 + rng.next_below(180) as usize) as u32,
+                        (rng.next_f64() + 0.3) as f32,
+                    )
+                })
+                .collect();
+            for _ in 0..5 {
+                let mut pairs = center.clone();
+                for p in pairs.iter_mut() {
+                    if rng.next_bool(0.2) {
+                        *p = (rng.next_below(2000) as u32, (rng.next_f64() + 0.3) as f32);
+                    }
+                }
+                d.push(SparseVector::from_pairs(pairs));
+            }
+        }
+        d
+    }
+
+    fn all_pairs(n: u32) -> Vec<(u32, u32)> {
+        let mut v = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn candidate_ids_first_encounter_order() {
+        let ids = candidate_ids(&[(3, 1), (1, 2), (0, 3)], 5);
+        assert_eq!(ids, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn parallel_drivers_match_serial_engines() {
+        let data = corpus(401);
+        let cands = all_pairs(data.len() as u32);
+        let cfg = BayesLshConfig::cosine(0.7);
+        let lite = LiteConfig::cosine(0.7);
+        let model = CosineModel::new();
+
+        // Serial references (lazily extending pools).
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+        let (serial_bayes, serial_bayes_stats) =
+            bayes_verify(&data, &mut pool, &model, &cands, &cfg);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+        let (serial_lite, serial_lite_stats) =
+            bayes_verify_lite(&data, &mut pool, &model, &cands, &lite, cosine);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+        let (serial_mle, serial_comps) = mle_verify(&data, &mut pool, &cands, 256, 0.7, r_to_cos);
+
+        let ids = candidate_ids(&cands, data.len());
+        for threads in [1usize, 2, 4, 8] {
+            let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+            pool.par_ensure_ids(&data, &ids, cfg.max_hashes, threads);
+            let (pairs, stats) = par_bayes_verify(&pool, &model, &cands, &cfg, threads);
+            assert_eq!(pairs, serial_bayes, "bayes pairs, threads {threads}");
+            assert_eq!(stats.pruned, serial_bayes_stats.pruned);
+            assert_eq!(stats.accepted, serial_bayes_stats.accepted);
+            assert_eq!(stats.forced_accepts, serial_bayes_stats.forced_accepts);
+            assert_eq!(stats.hash_comparisons, serial_bayes_stats.hash_comparisons);
+            assert_eq!(stats.pruned_at_chunk, serial_bayes_stats.pruned_at_chunk);
+
+            let (pairs, stats) =
+                par_bayes_verify_lite(&data, &pool, &model, &cands, &lite, cosine, threads);
+            assert_eq!(pairs, serial_lite, "lite pairs, threads {threads}");
+            assert_eq!(stats.pruned, serial_lite_stats.pruned);
+            assert_eq!(
+                stats.exact_verifications,
+                serial_lite_stats.exact_verifications
+            );
+
+            let mut mle_pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+            mle_pool.par_ensure_ids(&data, &ids, 256, threads);
+            let (pairs, comps) = par_mle_verify(&mle_pool, &cands, 256, 0.7, r_to_cos, threads);
+            assert_eq!(pairs, serial_mle, "mle pairs, threads {threads}");
+            assert_eq!(comps, serial_comps);
+
+            let exact = par_exact_verify(&data, Measure::Cosine, 0.7, &cands, threads);
+            let serial_exact = par_exact_verify(&data, Measure::Cosine, 0.7, &cands, 1);
+            assert_eq!(exact, serial_exact);
+        }
+    }
+}

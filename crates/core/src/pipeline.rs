@@ -30,6 +30,7 @@
 
 use bayeslsh_candgen::{all_pairs_cosine, all_pairs_jaccard, BandingParams, BandingPlan};
 use bayeslsh_lsh::cos_to_r;
+use bayeslsh_numeric::Parallelism;
 use bayeslsh_sparse::{similarity::Measure, Dataset};
 
 use crate::compose::{
@@ -169,6 +170,12 @@ pub struct PipelineConfig {
     pub prior: PriorChoice,
     /// Candidate-pair sample size for the fitted prior.
     pub prior_sample: usize,
+    /// Worker-thread budget for hashing, banding-index construction, and
+    /// candidate verification. Output is bit-identical to the serial path
+    /// whatever the setting (see the crate's "Parallelism & determinism"
+    /// docs); the default [`Parallelism::Auto`] resolves to
+    /// `BAYESLSH_THREADS` or the available cores.
+    pub parallelism: Parallelism,
 }
 
 /// Safety cap on the number of LSH bands. When the `l` formula demands
@@ -194,6 +201,7 @@ impl PipelineConfig {
             lsh_fnr: 0.03,
             prior: PriorChoice::Uniform,
             prior_sample: 1000,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -214,6 +222,7 @@ impl PipelineConfig {
             lsh_fnr: 0.03,
             prior: PriorChoice::Fitted,
             prior_sample: 1000,
+            parallelism: Parallelism::Auto,
         }
     }
 

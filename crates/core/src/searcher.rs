@@ -21,11 +21,22 @@
 //! build hashes only to banding depth, and verification deepens exactly
 //! the signatures that surviving candidates demand (amortized across
 //! queries — a signature is never re-hashed).
+//!
+//! Builds, batch joins, point queries, and inserts all fan out across the
+//! worker budget set by [`SearcherBuilder::parallelism`] (resolved once at
+//! build; see [`Searcher::threads`]). Output is bit-identical to the
+//! serial path at any thread count. Two cost caveats: under
+//! [`HashMode::Lazy`] a parallel verification pre-extends candidate
+//! signatures to the verifier's scan depth (eager builds already pay it),
+//! and [`Searcher::top_k`]'s rising-threshold prune runs sequentially by
+//! design while its hashing/probing phases parallelize.
 
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use bayeslsh_candgen::{BandingIndex, BandingPlan};
 use bayeslsh_lsh::SignaturePool;
+use bayeslsh_numeric::{fan_out, Parallelism};
 use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
@@ -37,7 +48,7 @@ use crate::cosine_model::CosineModel;
 use crate::error::SearchError;
 use crate::jaccard_model::JaccardModel;
 use crate::knn::{HeapItem, KnnParams, KnnStats};
-use crate::minmatch::MinMatchTable;
+use crate::minmatch::{MinMatchCache, MinMatchTable};
 use crate::pipeline::{Algorithm, PipelineConfig};
 use crate::posterior::PosteriorModel;
 
@@ -97,6 +108,15 @@ impl SearcherBuilder {
         self
     }
 
+    /// Set the worker-thread budget for build-time hashing/indexing and
+    /// for batch and query execution (default: [`Parallelism::Auto`]).
+    /// Resolved once, at [`SearcherBuilder::build`]; output is
+    /// bit-identical to `Parallelism::serial()` whatever the setting.
+    pub fn parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.cfg.parallelism = parallelism;
+        self
+    }
+
     /// Validate the configuration, hash the corpus, and build the banding
     /// index.
     ///
@@ -115,33 +135,44 @@ impl SearcherBuilder {
                 requires: self.composition.binary_requirement(self.cfg.measure),
             });
         }
-        let plan = self.cfg.banding_plan();
+        // Resolve the thread budget once: `Auto` reads the environment /
+        // core count here, and every later operation (including the
+        // compositions run through `all_pairs`) sees the fixed count.
+        let threads = self.cfg.parallelism.resolve();
+        let mut cfg = self.cfg;
+        cfg.parallelism = Parallelism::threads(threads.min(u32::MAX as usize) as u32);
+        let plan = cfg.banding_plan();
         let sig_depth = match self.mode {
             HashMode::Eager => plan
                 .params
                 .total_hashes()
-                .max(self.composition.verifier.signature_depth(&self.cfg)),
+                .max(self.composition.verifier.signature_depth(&cfg)),
             HashMode::Lazy => plan.params.total_hashes(),
         };
-        let mut pool = SigPool::for_config(&self.cfg, &data);
-        let mut index = BandingIndex::new(plan.params);
-        for (id, v) in data.iter() {
-            if v.is_empty() {
-                continue;
-            }
-            pool.ensure(id, v, sig_depth);
-            index.insert(id, &pool.band_keys(id, plan.params));
-        }
+        let mut pool = SigPool::for_config(&cfg, &data);
+        // Parallel build: hash the corpus chunk-per-thread (spliced back in
+        // id order), then construct the band-sharded index. Bit-identical
+        // to the serial per-object ensure/insert loop at any thread count.
+        let ids: Vec<u32> = data
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        pool.par_ensure_ids(&data, &ids, sig_depth, threads);
+        let index = BandingIndex::par_build(plan.params, &ids, threads, |id, band| {
+            pool.band_key(id, band, plan.params)
+        });
         Ok(Searcher {
             data,
-            cfg: self.cfg,
+            cfg,
             composition: self.composition,
             mode: self.mode,
+            threads,
             sig_depth,
             pool,
             index,
             plan,
-            minmatch_cache: None,
+            minmatch_cache: MinMatchCache::new(),
         })
     }
 }
@@ -192,14 +223,18 @@ pub struct Searcher {
     cfg: PipelineConfig,
     composition: Composition,
     mode: HashMode,
+    /// Worker-thread budget, resolved once at build.
+    threads: usize,
     /// Depth every indexed vector is hashed to at build/insert time.
     sig_depth: u32,
     pool: SigPool,
     index: BandingIndex,
     plan: BandingPlan,
-    /// Point-query pruning table, memoized by `(threshold, max_hashes)` —
-    /// the model, ε and chunk size are fixed per searcher.
-    minmatch_cache: Option<(f64, u32, MinMatchTable)>,
+    /// Point-query pruning tables, memoized per query shape
+    /// `(threshold, ε, k, max_hashes)`; thread-safe, so verification
+    /// workers and alternating query shapes share it without eviction or
+    /// corruption.
+    minmatch_cache: MinMatchCache,
 }
 
 impl Searcher {
@@ -226,6 +261,12 @@ impl Searcher {
     /// The hashing mode.
     pub fn hash_mode(&self) -> HashMode {
         self.mode
+    }
+
+    /// The worker-thread budget, resolved at build time from the
+    /// configured [`Parallelism`]. `1` means the exact serial path.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The banding plan the index was built with, including the achieved
@@ -312,52 +353,113 @@ impl Searcher {
         let depth = params
             .total_hashes()
             .max(self.composition.verifier.signature_depth(&self.cfg));
-        let sig = self.pool.hash_query(q, depth);
+        let sig = if self.threads > 1 {
+            self.pool.hash_query_par(q, depth, self.threads)
+        } else {
+            self.pool.hash_query(q, depth)
+        };
         let keys = self.pool.query_band_keys(&sig, params);
-        let cand_ids = self.index.probe(&keys);
+        let cand_ids = self.index.par_probe(&keys, self.threads);
         stats.candidates = cand_ids.len() as u64;
 
-        let mut neighbors = match self.composition.verifier {
-            VerifierKind::Exact => self.query_exact(q, threshold, &cand_ids, &mut stats),
-            VerifierKind::Mle => self.query_mle(threshold, &sig, &cand_ids, &mut stats),
-            VerifierKind::Bayes => match self.cfg.measure {
-                Measure::Cosine => {
-                    self.query_bayes(&CosineModel::new(), threshold, &sig, &cand_ids, &mut stats)
-                }
-                // The fitted prior is a batch concept (it samples candidate
-                // *pairs*); point queries fall back to the uniform prior.
-                Measure::Jaccard => self.query_bayes(
-                    &JaccardModel::uniform(),
-                    threshold,
-                    &sig,
-                    &cand_ids,
-                    &mut stats,
-                ),
-            },
-            VerifierKind::BayesLite => match self.cfg.measure {
-                Measure::Cosine => self.query_bayes_lite(
-                    &CosineModel::new(),
-                    q,
-                    threshold,
-                    &sig,
-                    &cand_ids,
-                    &mut stats,
-                ),
-                Measure::Jaccard => self.query_bayes_lite(
-                    &JaccardModel::uniform(),
-                    q,
-                    threshold,
-                    &sig,
-                    &cand_ids,
-                    &mut stats,
-                ),
-            },
+        let mut neighbors = if self.threads > 1 {
+            self.par_verify_query(q, threshold, &sig, &cand_ids, &mut stats)
+        } else {
+            self.serial_verify_query(q, threshold, &sig, &cand_ids, &mut stats)
         };
         neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(QueryOutput { neighbors, stats })
     }
 
-    fn query_exact(
+    /// Serial candidate verification for [`Searcher::query`] (lazily
+    /// extending the pool as the paper's economy argument prefers). The
+    /// exact and MLE arms share the parallel implementations — at one
+    /// thread those run inline and compare every candidate to the same
+    /// fixed depth a dedicated serial loop would, so only the Bayesian
+    /// arms (whose laziness matters) keep serial twins.
+    fn serial_verify_query(
+        &mut self,
+        q: &SparseVector,
+        threshold: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        match self.composition.verifier {
+            VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
+            VerifierKind::Mle => self.par_query_mle(threshold, sig, cand_ids, stats),
+            VerifierKind::Bayes => match self.cfg.measure {
+                Measure::Cosine => {
+                    self.query_bayes(&CosineModel::new(), threshold, sig, cand_ids, stats)
+                }
+                // The fitted prior is a batch concept (it samples candidate
+                // *pairs*); point queries fall back to the uniform prior.
+                Measure::Jaccard => {
+                    self.query_bayes(&JaccardModel::uniform(), threshold, sig, cand_ids, stats)
+                }
+            },
+            VerifierKind::BayesLite => match self.cfg.measure {
+                Measure::Cosine => {
+                    self.query_bayes_lite(&CosineModel::new(), q, threshold, sig, cand_ids, stats)
+                }
+                Measure::Jaccard => self.query_bayes_lite(
+                    &JaccardModel::uniform(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
+            },
+        }
+    }
+
+    /// Parallel candidate verification for [`Searcher::query`]: candidate
+    /// signatures are pre-extended to the verifier's scan depth (a no-op
+    /// under eager hashing), then candidate chunks fan out across the
+    /// resolved thread budget and merge in candidate order — results and
+    /// counters are bit-identical to [`Searcher::serial_verify_query`].
+    fn par_verify_query(
+        &mut self,
+        q: &SparseVector,
+        threshold: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        match self.composition.verifier {
+            VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
+            VerifierKind::Mle => self.par_query_mle(threshold, sig, cand_ids, stats),
+            VerifierKind::Bayes => match self.cfg.measure {
+                Measure::Cosine => {
+                    self.par_query_bayes(&CosineModel::new(), threshold, sig, cand_ids, stats)
+                }
+                Measure::Jaccard => {
+                    self.par_query_bayes(&JaccardModel::uniform(), threshold, sig, cand_ids, stats)
+                }
+            },
+            VerifierKind::BayesLite => match self.cfg.measure {
+                Measure::Cosine => self.par_query_bayes_lite(
+                    &CosineModel::new(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
+                Measure::Jaccard => self.par_query_bayes_lite(
+                    &JaccardModel::uniform(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
+            },
+        }
+    }
+
+    fn par_query_exact(
         &self,
         q: &SparseVector,
         t: f64,
@@ -365,17 +467,21 @@ impl Searcher {
         stats: &mut QueryStats,
     ) -> Vec<(u32, f64)> {
         let measure = self.cfg.measure;
-        cand_ids
-            .iter()
-            .filter_map(|&id| {
-                stats.exact += 1;
-                let s = measure.eval(q, self.data.vector(id));
-                (s >= t).then_some((id, s))
-            })
-            .collect()
+        let data = &self.data;
+        let chunks = fan_out(cand_ids.len(), self.threads, |_, range| {
+            cand_ids[range]
+                .iter()
+                .filter_map(|&id| {
+                    let s = measure.eval(q, data.vector(id));
+                    (s >= t).then_some((id, s))
+                })
+                .collect::<Vec<_>>()
+        });
+        stats.exact += cand_ids.len() as u64;
+        chunks.into_iter().flatten().collect()
     }
 
-    fn query_mle(
+    fn par_query_mle(
         &mut self,
         t: f64,
         sig: &[u32],
@@ -383,17 +489,109 @@ impl Searcher {
         stats: &mut QueryStats,
     ) -> Vec<(u32, f64)> {
         let n = self.cfg.approx_hashes;
-        let mut out = Vec::new();
-        for &id in cand_ids {
-            self.pool.ensure(id, self.data.vector(id), n);
-            let m = self.pool.query_agreements(sig, id, 0, n);
-            stats.hash_comparisons += n as u64;
-            let s_hat = self.to_similarity(m as f64 / n as f64);
-            if s_hat >= t {
-                out.push((id, s_hat));
+        self.pool
+            .par_ensure_ids(&self.data, cand_ids, n, self.threads);
+        let this = &*self;
+        let chunks = fan_out(cand_ids.len(), self.threads, |_, range| {
+            cand_ids[range]
+                .iter()
+                .filter_map(|&id| {
+                    let m = this.pool.query_agreements(sig, id, 0, n);
+                    let s_hat = this.to_similarity(m as f64 / n as f64);
+                    (s_hat >= t).then_some((id, s_hat))
+                })
+                .collect::<Vec<_>>()
+        });
+        stats.hash_comparisons += cand_ids.len() as u64 * n as u64;
+        chunks.into_iter().flatten().collect()
+    }
+
+    fn par_query_bayes<M: PosteriorModel + Sync>(
+        &mut self,
+        model: &M,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let max_chunks = (self.cfg.max_hashes / k).max(1);
+        self.pool
+            .par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        let table = self.query_minmatch(model, t, max_chunks * k);
+        let this = &*self;
+        let table = &*table;
+        let results = fan_out(cand_ids.len(), self.threads, |_, range| {
+            let mut cache = ConcentrationCache::new(this.cfg.delta, this.cfg.gamma);
+            let mut local = QueryStats::default();
+            let mut out = Vec::new();
+            for &id in &cand_ids[range] {
+                let (outcome, m, n) =
+                    scan_candidate_ro(&this.pool, sig, id, k, max_chunks, |m, n| {
+                        if table.should_prune(m, n) {
+                            StepVerdict::Prune
+                        } else if cache.is_concentrated(model, m, n) {
+                            StepVerdict::Accept
+                        } else {
+                            StepVerdict::Continue
+                        }
+                    });
+                local.hash_comparisons += n as u64;
+                match outcome {
+                    ScanOutcome::Pruned => local.pruned += 1,
+                    ScanOutcome::Accepted | ScanOutcome::Exhausted => {
+                        out.push((id, model.map_estimate(m, n)));
+                    }
+                }
             }
-        }
-        out
+            (out, local)
+        });
+        merge_query_chunks(results, stats)
+    }
+
+    fn par_query_bayes_lite<M: PosteriorModel + Sync>(
+        &mut self,
+        model: &M,
+        q: &SparseVector,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let max_chunks = (self.cfg.lite_h / k).max(1);
+        self.pool
+            .par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        let table = self.query_minmatch(model, t, max_chunks * k);
+        let this = &*self;
+        let table = &*table;
+        let measure = self.cfg.measure;
+        let results = fan_out(cand_ids.len(), self.threads, |_, range| {
+            let mut local = QueryStats::default();
+            let mut out = Vec::new();
+            for &id in &cand_ids[range] {
+                let (outcome, _, n) =
+                    scan_candidate_ro(&this.pool, sig, id, k, max_chunks, |m, n| {
+                        if table.should_prune(m, n) {
+                            StepVerdict::Prune
+                        } else {
+                            StepVerdict::Continue
+                        }
+                    });
+                local.hash_comparisons += n as u64;
+                if outcome == ScanOutcome::Pruned {
+                    local.pruned += 1;
+                } else {
+                    local.exact += 1;
+                    let s = measure.eval(q, this.data.vector(id));
+                    if s >= t {
+                        out.push((id, s));
+                    }
+                }
+            }
+            (out, local)
+        });
+        merge_query_chunks(results, stats)
     }
 
     fn query_bayes<M: PosteriorModel>(
@@ -498,23 +696,18 @@ impl Searcher {
     }
 
     /// The pruning table for point queries at threshold `t`, memoized
-    /// across queries: its inputs (model, ε, k) are fixed per searcher, so
-    /// repeated queries at one threshold reuse the table instead of
-    /// re-running the posterior binary searches.
+    /// across queries (the model is fixed per searcher by its measure).
+    /// Every `(t, max_hashes)` shape seen stays cached — alternating
+    /// query shapes no longer evict each other — and the memo is
+    /// thread-safe, so parallel verification workers can share it.
     fn query_minmatch<M: PosteriorModel>(
-        &mut self,
+        &self,
         model: &M,
         t: f64,
         max_hashes: u32,
-    ) -> MinMatchTable {
-        if let Some((ct, cn, table)) = &self.minmatch_cache {
-            if *ct == t && *cn == max_hashes {
-                return table.clone();
-            }
-        }
-        let table = MinMatchTable::build(model, t, self.cfg.epsilon, self.cfg.k, max_hashes);
-        self.minmatch_cache = Some((t, max_hashes, table.clone()));
-        table
+    ) -> Arc<MinMatchTable> {
+        self.minmatch_cache
+            .get_or_build(model, t, self.cfg.epsilon, self.cfg.k, max_hashes)
     }
 
     /// Top-`k` most similar corpus vectors to `q`, sorted by decreasing
@@ -568,10 +761,28 @@ impl Searcher {
         let banding = self.plan.params;
         let max_chunks = params.h / params.chunk;
         let depth = banding.total_hashes().max(max_chunks * params.chunk);
-        let sig = self.pool.hash_query(q, depth);
+        // Parallelism accelerates the data-parallel phases — query hashing,
+        // index probing, candidate signature extension. The pruning scan
+        // below stays sequential by design: its rising k-th-best threshold
+        // makes each candidate's verdict depend on all previous ones, and
+        // keeping that order is what makes top-k output deterministic.
+        let sig = if self.threads > 1 {
+            self.pool.hash_query_par(q, depth, self.threads)
+        } else {
+            self.pool.hash_query(q, depth)
+        };
         let keys = self.pool.query_band_keys(&sig, banding);
-        let cand_ids = self.index.probe(&keys);
+        let cand_ids = self.index.par_probe(&keys, self.threads);
         stats.candidates = cand_ids.len() as u64;
+        if self.threads > 1 {
+            // Pre-extend candidates to the FIRST chunk only: every
+            // candidate pays at least one chunk, so this parallelizes the
+            // bulk of the hashing without hashing to the full `params.h`
+            // budget signatures the sequential scan below would prune at
+            // chunk 1 — the lazy economy survives the fan-out.
+            self.pool
+                .par_ensure_ids(&self.data, &cand_ids, params.chunk, self.threads);
+        }
 
         let measure = self.cfg.measure;
         let cosine_model;
@@ -640,7 +851,14 @@ impl Searcher {
         self.pool.grow_to(self.data.len());
         let v = self.data.vector(id);
         if !v.is_empty() {
-            self.pool.ensure(id, v, self.sig_depth);
+            if self.threads > 1 {
+                // One object, many hashes: split the new signature's hash
+                // range across the thread budget (bit-identical splice).
+                self.pool
+                    .par_ensure_ids(&self.data, &[id], self.sig_depth, self.threads);
+            } else {
+                self.pool.ensure(id, v, self.sig_depth);
+            }
             self.index
                 .insert(id, &self.pool.band_keys(id, self.plan.params));
         }
@@ -676,6 +894,46 @@ impl Searcher {
         }
         Ok(())
     }
+}
+
+/// Read-only variant of [`Searcher::scan_candidate`] for parallel workers:
+/// the candidate's signature must already cover `chunk * max_chunks`
+/// hashes, so no pool extension (and no `&mut`) is needed.
+fn scan_candidate_ro(
+    pool: &SigPool,
+    sig: &[u32],
+    id: u32,
+    chunk: u32,
+    max_chunks: u32,
+    mut step: impl FnMut(u32, u32) -> StepVerdict,
+) -> (ScanOutcome, u32, u32) {
+    let (mut m, mut n) = (0u32, 0u32);
+    for _ in 0..max_chunks {
+        m += pool.query_agreements(sig, id, n, n + chunk);
+        n += chunk;
+        match step(m, n) {
+            StepVerdict::Continue => {}
+            StepVerdict::Prune => return (ScanOutcome::Pruned, m, n),
+            StepVerdict::Accept => return (ScanOutcome::Accepted, m, n),
+        }
+    }
+    (ScanOutcome::Exhausted, m, n)
+}
+
+/// Merge per-chunk query verification results in chunk (= candidate)
+/// order, folding the per-chunk counters into `stats`.
+fn merge_query_chunks(
+    results: Vec<(Vec<(u32, f64)>, QueryStats)>,
+    stats: &mut QueryStats,
+) -> Vec<(u32, f64)> {
+    let mut out = Vec::new();
+    for (chunk, local) in results {
+        out.extend(chunk);
+        stats.pruned += local.pruned;
+        stats.exact += local.exact;
+        stats.hash_comparisons += local.hash_comparisons;
+    }
+    out
 }
 
 /// The per-chunk decision of a [`Searcher::scan_candidate`] step closure.
@@ -882,6 +1140,44 @@ mod tests {
         assert_eq!(s.hash_count(), hashes, "second run must reuse signatures");
         assert_eq!(first.pairs, second.pairs);
         assert!(first.candidates > 0);
+    }
+
+    #[test]
+    fn alternating_query_shapes_do_not_corrupt_prune_decisions() {
+        // Regression: the old single-slot minmatch memo was keyed by the
+        // last (threshold, depth) shape only, so interleaving shapes
+        // rebuilt it constantly and a stale slot would have handed one
+        // shape the other's pruning table. Interleaved queries must match
+        // what a fresh searcher (one shape only) produces, bit for bit.
+        let data = corpus(20);
+        let build = || {
+            Searcher::builder(PipelineConfig::cosine(0.7))
+                .algorithm(Algorithm::LshBayesLsh)
+                .build(corpus(20))
+                .unwrap()
+        };
+        let _ = data;
+        let mut interleaved = build();
+        let shapes = [0.7f64, 0.5, 0.7, 0.5, 0.9, 0.7];
+        let queries: Vec<SparseVector> = (0..6)
+            .map(|i| interleaved.data().vector(i * 7).clone())
+            .collect();
+        for (q, &t) in queries.iter().zip(&shapes) {
+            let got = interleaved.query(q, t).unwrap();
+            // Top-k in between changes the access pattern (different
+            // pruning machinery, same searcher state).
+            interleaved.top_k(q, 3, &KnnParams::default()).unwrap();
+            let mut fresh = build();
+            let expect = fresh.query(q, t).unwrap();
+            assert_eq!(got.neighbors.len(), expect.neighbors.len());
+            for (a, b) in got.neighbors.iter().zip(&expect.neighbors) {
+                assert_eq!(a.0, b.0);
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "threshold {t}");
+            }
+            assert_eq!(got.stats, expect.stats, "threshold {t}");
+        }
+        // Every distinct shape stays memoized instead of thrashing.
+        assert_eq!(interleaved.minmatch_cache.len(), 3);
     }
 
     #[test]

@@ -59,6 +59,17 @@ impl MinHasher {
     /// `v`, truncated to 32 bits. Empty sets hash to `u32::MAX`.
     pub fn hash(&mut self, i: usize, v: &SparseVector) -> u32 {
         self.ensure_functions(i + 1);
+        self.hash_ready(i, v)
+    }
+
+    /// Hash value `h_i(v)` without materialization — the read-only path
+    /// parallel workers share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if function `i` has not been materialized (call
+    /// [`MinHasher::ensure_functions`] first).
+    pub fn hash_ready(&self, i: usize, v: &SparseVector) -> u32 {
         let (a, b) = self.params[i];
         let mut min = u64::MAX;
         for &e in v.indices() {
@@ -82,8 +93,16 @@ impl MinHasher {
         debug_assert_eq!(out.len(), lo as usize);
         self.ensure_functions(hi as usize);
         for i in lo..hi {
-            out.push(self.hash(i as usize, v));
+            out.push(self.hash_ready(i as usize, v));
         }
+    }
+
+    /// Compute hashes `lo..hi` for `v` into a fresh buffer — the read-only
+    /// building block parallel hashing splices from. Functions must already
+    /// be materialized to `hi`; values are identical to what
+    /// [`MinHasher::hash_range_into`] appends for the same range.
+    pub fn hash_range_packed(&self, v: &SparseVector, lo: u32, hi: u32) -> Vec<u32> {
+        (lo..hi).map(|i| self.hash_ready(i as usize, v)).collect()
     }
 }
 

@@ -7,7 +7,8 @@
 //! paper's observation that "outlying points ... need only be hashed a few
 //! times".
 
-use bayeslsh_sparse::SparseVector;
+use bayeslsh_numeric::fan_out;
+use bayeslsh_sparse::{Dataset, SparseVector};
 
 use crate::minhash::MinHasher;
 use crate::srp::SrpHasher;
@@ -73,6 +74,14 @@ pub trait SignaturePool {
     fn total_hashes(&self) -> u64;
 }
 
+/// First occurrence of each id in `ids`, in order — parallel extension
+/// must process an id exactly once (two workers splicing the same slot
+/// would append the range twice).
+fn dedup_ids(ids: &[u32]) -> impl Iterator<Item = u32> + '_ {
+    let mut seen = std::collections::HashSet::with_capacity(ids.len());
+    ids.iter().copied().filter(move |&id| seen.insert(id))
+}
+
 /// Bit signatures from signed random projections, packed 32 per word.
 #[derive(Debug, Clone)]
 pub struct BitSignatures {
@@ -128,6 +137,69 @@ impl BitSignatures {
             self.words.resize(n_objects, Vec::new());
             self.bits.resize(n_objects, 0);
         }
+    }
+
+    /// Extend the signatures of `ids` to at least `n` bits with up to
+    /// `threads` workers: the id list is chunked, each chunk hashed
+    /// per-thread through the shared (read-only, pre-materialized) plane
+    /// bank, and the buffers spliced back into the pool in index order.
+    /// Pool state afterwards is bit-identical to calling
+    /// [`SignaturePool::ensure`] for each id serially (duplicate ids in
+    /// the list are extended once, like repeated `ensure` calls). A single
+    /// id with a deep target (e.g. an insert) is instead split across its
+    /// word range, so even one-object extensions fan out.
+    pub fn par_ensure_ids(&mut self, data: &Dataset, ids: &[u32], n: u32, threads: usize) {
+        let target = n.div_ceil(32) * 32;
+        self.grow_to(data.len());
+        let work: Vec<(u32, u32)> = dedup_ids(ids)
+            .filter(|&id| self.bits[id as usize] < target)
+            .map(|id| (id, self.bits[id as usize]))
+            .collect();
+        if work.is_empty() {
+            return;
+        }
+        self.hasher.ensure_planes_par(target as usize, threads);
+        if work.len() == 1 {
+            let (id, cur) = work[0];
+            let v = data.vector(id);
+            let hasher = &self.hasher;
+            let chunks = fan_out(((target - cur) / 32) as usize, threads, |_, r| {
+                hasher.hash_bits_packed(v, cur + 32 * r.start as u32, cur + 32 * r.end as u32)
+            });
+            let slot = &mut self.words[id as usize];
+            for c in chunks {
+                slot.extend(c);
+            }
+            self.bits[id as usize] = target;
+            self.total += (target - cur) as u64;
+            return;
+        }
+        let hasher = &self.hasher;
+        let work_ref = &work;
+        let chunks = fan_out(work.len(), threads, |_, r| {
+            work_ref[r]
+                .iter()
+                .map(|&(id, cur)| hasher.hash_bits_packed(data.vector(id), cur, target))
+                .collect::<Vec<_>>()
+        });
+        for (&(id, cur), buf) in work.iter().zip(chunks.into_iter().flatten()) {
+            self.words[id as usize].extend(buf);
+            self.bits[id as usize] = target;
+            self.total += (target - cur) as u64;
+        }
+    }
+
+    /// Hash an out-of-pool vector to `n` bits (rounded up to whole words)
+    /// with up to `threads` workers, splitting the hash range word-aligned.
+    /// Bit-identical to [`BitSignatures::hash_external`] over `0..n`.
+    pub fn hash_external_par(&mut self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        let target = n.div_ceil(32) * 32;
+        self.hasher.ensure_planes_par(target as usize, threads);
+        let hasher = &self.hasher;
+        let chunks = fan_out((target / 32) as usize, threads, |_, r| {
+            hasher.hash_bits_packed(v, 32 * r.start as u32, 32 * r.end as u32)
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -204,6 +276,60 @@ impl IntSignatures {
         if self.sigs.len() < n_objects {
             self.sigs.resize(n_objects, Vec::new());
         }
+    }
+
+    /// Extend the signatures of `ids` to at least `n` hashes with up to
+    /// `threads` workers; see [`BitSignatures::par_ensure_ids`] for the
+    /// chunk/splice contract (pool state is identical to serial `ensure`
+    /// calls, duplicates included).
+    pub fn par_ensure_ids(&mut self, data: &Dataset, ids: &[u32], n: u32, threads: usize) {
+        self.grow_to(data.len());
+        let work: Vec<(u32, u32)> = dedup_ids(ids)
+            .filter(|&id| (self.sigs[id as usize].len() as u32) < n)
+            .map(|id| (id, self.sigs[id as usize].len() as u32))
+            .collect();
+        if work.is_empty() {
+            return;
+        }
+        self.hasher.ensure_functions(n as usize);
+        if work.len() == 1 {
+            let (id, cur) = work[0];
+            let v = data.vector(id);
+            let hasher = &self.hasher;
+            let chunks = fan_out((n - cur) as usize, threads, |_, r| {
+                hasher.hash_range_packed(v, cur + r.start as u32, cur + r.end as u32)
+            });
+            let slot = &mut self.sigs[id as usize];
+            for c in chunks {
+                slot.extend(c);
+            }
+            self.total += (n - cur) as u64;
+            return;
+        }
+        let hasher = &self.hasher;
+        let work_ref = &work;
+        let chunks = fan_out(work.len(), threads, |_, r| {
+            work_ref[r]
+                .iter()
+                .map(|&(id, cur)| hasher.hash_range_packed(data.vector(id), cur, n))
+                .collect::<Vec<_>>()
+        });
+        for (&(id, cur), buf) in work.iter().zip(chunks.into_iter().flatten()) {
+            self.sigs[id as usize].extend(buf);
+            self.total += (n - cur) as u64;
+        }
+    }
+
+    /// Hash an out-of-pool vector to `n` minhashes with up to `threads`
+    /// workers, splitting the hash range. Identical to
+    /// [`IntSignatures::hash_external`] over `0..n`.
+    pub fn hash_external_par(&mut self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        self.hasher.ensure_functions(n as usize);
+        let hasher = &self.hasher;
+        let chunks = fan_out(n as usize, threads, |_, r| {
+            hasher.hash_range_packed(v, r.start as u32, r.end as u32)
+        });
+        chunks.into_iter().flatten().collect()
     }
 }
 
@@ -334,6 +460,105 @@ mod tests {
         let prefix = pool.raw(0).to_vec();
         pool.ensure(0, &a, 64);
         assert_eq!(&pool.raw(0)[..16], &prefix[..]);
+    }
+
+    #[test]
+    fn par_ensure_matches_serial_bit_pool() {
+        let vs = vecs(9, 120, 12, 21);
+        let mut data = Dataset::new(120);
+        for v in &vs {
+            data.push(v.clone());
+        }
+        let mut serial = BitSignatures::new(SrpHasher::new(120, 22), data.len());
+        for (id, v) in data.iter() {
+            serial.ensure(id, v, 96);
+        }
+        // Deepen a few, as lazy verification would.
+        serial.ensure(3, data.vector(3), 256);
+        serial.ensure(7, data.vector(7), 256);
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = BitSignatures::new(SrpHasher::new(120, 22), data.len());
+            let ids: Vec<u32> = (0..data.len() as u32).collect();
+            par.par_ensure_ids(&data, &ids, 96, threads);
+            par.par_ensure_ids(&data, &[3, 7], 256, threads);
+            assert_eq!(
+                par.total_hashes(),
+                serial.total_hashes(),
+                "threads {threads}"
+            );
+            for id in 0..data.len() as u32 {
+                assert_eq!(par.len(id), serial.len(id));
+                assert_eq!(par.raw_words(id), serial.raw_words(id), "id {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_ensure_matches_serial_int_pool_and_single_id_split() {
+        let mut data = Dataset::new(500);
+        for i in 0..6u32 {
+            data.push(SparseVector::from_indices((i * 40..i * 40 + 25).collect()));
+        }
+        let mut serial = IntSignatures::new(MinHasher::new(23), data.len());
+        for (id, v) in data.iter() {
+            serial.ensure(id, v, 100);
+        }
+        serial.ensure(2, data.vector(2), 300);
+        for threads in [1usize, 3, 8] {
+            let mut par = IntSignatures::new(MinHasher::new(23), data.len());
+            let ids: Vec<u32> = (0..data.len() as u32).collect();
+            par.par_ensure_ids(&data, &ids, 100, threads);
+            // Single-id extension exercises the range-split path.
+            par.par_ensure_ids(&data, &[2], 300, threads);
+            assert_eq!(par.total_hashes(), serial.total_hashes());
+            for id in 0..data.len() as u32 {
+                assert_eq!(par.raw(id), serial.raw(id), "id {id} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_ensure_tolerates_duplicate_ids() {
+        let vs = vecs(2, 64, 8, 77);
+        let mut data = Dataset::new(64);
+        for v in &vs {
+            data.push(v.clone());
+        }
+        let mut expect = BitSignatures::new(SrpHasher::new(64, 78), data.len());
+        expect.ensure(0, &vs[0], 64);
+        expect.ensure(1, &vs[1], 64);
+        for threads in [1usize, 4] {
+            // Repeats collapsing to two ids (splice path) and to one id
+            // (range-split path) must both behave like serial ensures.
+            let mut pool = BitSignatures::new(SrpHasher::new(64, 78), data.len());
+            pool.par_ensure_ids(&data, &[0, 1, 0, 0, 1], 64, threads);
+            assert_eq!(pool.raw_words(0), expect.raw_words(0));
+            assert_eq!(pool.raw_words(1), expect.raw_words(1));
+            assert_eq!(pool.total_hashes(), expect.total_hashes());
+
+            let mut pool = BitSignatures::new(SrpHasher::new(64, 78), data.len());
+            pool.par_ensure_ids(&data, &[0, 0, 0], 64, threads);
+            assert_eq!(pool.raw_words(0), expect.raw_words(0));
+            assert_eq!(pool.len(1), 0);
+        }
+    }
+
+    #[test]
+    fn par_external_hash_matches_serial() {
+        let vs = vecs(1, 80, 15, 33);
+        let mut bits = BitSignatures::new(SrpHasher::new(80, 34), 1);
+        let mut expect = Vec::new();
+        bits.hash_external(&vs[0], 0, 200, &mut expect);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(bits.hash_external_par(&vs[0], 200, threads), expect);
+        }
+        let set = SparseVector::from_indices(vec![4, 9, 44, 70]);
+        let mut ints = IntSignatures::new(MinHasher::new(35), 1);
+        let mut expect = Vec::new();
+        ints.hash_external(&set, 0, 150, &mut expect);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(ints.hash_external_par(&set, 150, threads), expect);
+        }
     }
 
     proptest! {

@@ -7,7 +7,7 @@
 //! BayesLSH does its inference on `r` and converts back to cosine with
 //! [`r_to_cos`]/[`cos_to_r`].
 
-use bayeslsh_numeric::{derive_seed, Gaussian, Xoshiro256};
+use bayeslsh_numeric::{derive_seed, fan_out, Gaussian, Xoshiro256};
 use bayeslsh_sparse::SparseVector;
 
 use crate::quantized;
@@ -92,12 +92,8 @@ impl SrpHasher {
     }
 
     fn gen_plane(&mut self, index: usize) -> Vec<f32> {
-        let mut rng = Xoshiro256::seed_from_u64(derive_seed(self.seed, index as u64));
-        let mut gauss = Gaussian::new();
         self.components_generated += self.dim as u64;
-        (0..self.dim)
-            .map(|_| gauss.sample(&mut rng) as f32)
-            .collect()
+        generate_plane(self.dim, self.seed, index)
     }
 
     /// Materialize planes `0..n`.
@@ -112,10 +108,55 @@ impl SrpHasher {
         }
     }
 
+    /// Materialize planes `0..n` with up to `threads` workers. Plane `i` is
+    /// a pure function of `(seed, i)`, so the result is identical to
+    /// [`SrpHasher::ensure_planes`] whatever the thread count.
+    pub fn ensure_planes_par(&mut self, n: usize, threads: usize) {
+        let ready = self.planes_ready();
+        if ready >= n {
+            return;
+        }
+        let missing = n - ready;
+        let (dim, seed, storage) = (self.dim, self.seed, self.storage);
+        let chunks = fan_out(missing, threads, |_, range| {
+            range
+                .map(|off| {
+                    let plane = generate_plane(dim, seed, ready + off);
+                    match storage {
+                        PlaneStorage::Quantized => {
+                            PlaneBuf::Quantized(quantized::encode_slice(&plane))
+                        }
+                        PlaneStorage::Float => PlaneBuf::Float(plane),
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        for plane in chunks.into_iter().flatten() {
+            match plane {
+                PlaneBuf::Quantized(p) => self.planes_q.push(p),
+                PlaneBuf::Float(p) => self.planes_f.push(p),
+            }
+        }
+        self.components_generated += missing as u64 * dim as u64;
+        debug_assert_eq!(self.planes_ready(), n);
+    }
+
     /// Sign bit of plane `i` against `v` (materializing the plane if
     /// needed).
     pub fn hash_bit(&mut self, i: usize, v: &SparseVector) -> bool {
         self.ensure_planes(i + 1);
+        self.hash_bit_ready(i, v)
+    }
+
+    /// Sign bit of plane `i` against `v` without materialization — the
+    /// read-only path parallel workers share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if plane `i` has not been materialized (call
+    /// [`SrpHasher::ensure_planes`] / [`SrpHasher::ensure_planes_par`]
+    /// first).
+    pub fn hash_bit_ready(&self, i: usize, v: &SparseVector) -> bool {
         let acc = match self.storage {
             PlaneStorage::Quantized => {
                 let plane = &self.planes_q[i];
@@ -148,16 +189,50 @@ impl SrpHasher {
             if word_idx >= words.len() {
                 words.push(0);
             }
-            if self.hash_bit(i as usize, v) {
+            if self.hash_bit_ready(i as usize, v) {
                 words[word_idx] |= 1u32 << (i % 32);
             }
         }
+    }
+
+    /// Compute bits `lo..hi` for `v` into a fresh packed buffer whose bit 0
+    /// is hash `lo` — the read-only building block parallel hashing splices
+    /// from. `lo` and `hi` must be multiples of 32 and the planes already
+    /// materialized to `hi`; the returned words are bit-identical to what
+    /// [`SrpHasher::hash_bits_into`] appends for the same range.
+    pub fn hash_bits_packed(&self, v: &SparseVector, lo: u32, hi: u32) -> Vec<u32> {
+        debug_assert!(
+            lo % 32 == 0 && hi % 32 == 0,
+            "packed ranges are word-aligned"
+        );
+        let mut words = vec![0u32; ((hi - lo) / 32) as usize];
+        for i in lo..hi {
+            if self.hash_bit_ready(i as usize, v) {
+                let rel = i - lo;
+                words[(rel / 32) as usize] |= 1u32 << (rel % 32);
+            }
+        }
+        words
     }
 
     /// Total Gaussian components generated (throughput accounting).
     pub fn components_generated(&self) -> u64 {
         self.components_generated
     }
+}
+
+/// Plane `index` of the `(dim, seed)` bank — a pure function, so planes can
+/// be generated in any order and on any thread.
+fn generate_plane(dim: u32, seed: u64, index: usize) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from_u64(derive_seed(seed, index as u64));
+    let mut gauss = Gaussian::new();
+    (0..dim).map(|_| gauss.sample(&mut rng) as f32).collect()
+}
+
+/// A plane buffer produced off-thread, in either storage encoding.
+enum PlaneBuf {
+    Quantized(Vec<u16>),
+    Float(Vec<f32>),
 }
 
 #[cfg(test)]
@@ -285,6 +360,41 @@ mod tests {
         h2.hash_bits_into(&x, 0, 40, &mut w2);
         h2.hash_bits_into(&x, 40, 70, &mut w2);
         assert_eq!(words, w2);
+    }
+
+    #[test]
+    fn parallel_plane_materialization_matches_serial() {
+        let x = SparseVector::from_pairs(vec![(2, 1.0), (9, -0.75), (31, 0.5)]);
+        let mut serial = SrpHasher::new(48, 909);
+        serial.ensure_planes(200);
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = SrpHasher::new(48, 909);
+            par.ensure_planes_par(64, threads);
+            par.ensure_planes_par(200, threads); // extend an existing bank
+            assert_eq!(par.planes_ready(), 200);
+            assert_eq!(par.components_generated(), serial.components_generated());
+            for i in 0..200 {
+                assert_eq!(
+                    par.hash_bit_ready(i, &x),
+                    serial.hash_bit_ready(i, &x),
+                    "plane {i}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_bits_match_appended_bits() {
+        let x = SparseVector::from_pairs(vec![(0, 1.0), (7, -2.0), (13, 0.25)]);
+        let mut h = SrpHasher::new(16, 4242);
+        let mut appended = Vec::new();
+        h.hash_bits_into(&x, 0, 256, &mut appended);
+        // Reassemble the same signature from word-aligned packed chunks.
+        let mut spliced = Vec::new();
+        for lo in (0..256).step_by(64) {
+            spliced.extend(h.hash_bits_packed(&x, lo, lo + 64));
+        }
+        assert_eq!(appended, spliced);
     }
 
     #[test]

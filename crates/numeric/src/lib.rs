@@ -18,12 +18,17 @@
 //! * [`rng`] — a deterministic, seedable xoshiro256++ generator so that hash
 //!   functions and synthetic datasets are bit-reproducible across runs and
 //!   dependency upgrades.
+//! * [`parallel`] — the workspace-wide parallel execution substrate: the
+//!   [`Parallelism`] knob plus deterministic chunking ([`chunk_ranges`])
+//!   and ordered fan-out/fan-in ([`fan_out`]), the building blocks behind
+//!   the parallel-equals-serial guarantee of every multithreaded stage.
 
 pub mod beta;
 pub mod betadist;
 pub mod binomial;
 pub mod gamma;
 pub mod gaussian;
+pub mod parallel;
 pub mod rng;
 
 pub use beta::{ln_beta, reg_inc_beta};
@@ -31,4 +36,5 @@ pub use betadist::BetaDist;
 pub use binomial::Binomial;
 pub use gamma::{ln_choose, ln_gamma};
 pub use gaussian::Gaussian;
+pub use parallel::{chunk_ranges, fan_out, Parallelism};
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};

@@ -1,0 +1,202 @@
+//! The workspace-wide parallel execution substrate.
+//!
+//! Every parallel stage in the pipeline — signature hashing, banding-index
+//! construction, candidate probing, and Bayesian verification — is built
+//! from the same two primitives: a deterministic [`chunk_ranges`] split of
+//! the work items into contiguous ranges, and a [`fan_out`] that runs one
+//! scoped thread per range and returns the per-range results **in range
+//! order**. Because the split depends only on `(n_items, parts)` and every
+//! worker computes a pure function of its range, merged results are
+//! bit-identical to a serial run regardless of the thread count — the
+//! determinism guarantee the equivalence test suite pins down.
+//!
+//! [`Parallelism`] is the user-facing knob: `Auto` resolves to the
+//! `BAYESLSH_THREADS` environment variable when set, else to the machine's
+//! available cores; `Fixed(1)` is the exact serial path.
+
+use std::num::NonZeroU32;
+use std::ops::Range;
+
+/// Worker-thread budget for the parallel pipeline stages.
+///
+/// The knob travels on `PipelineConfig`/`SearcherBuilder` (in
+/// `bayeslsh-core`) and is resolved to a concrete thread count once per
+/// build via [`Parallelism::resolve`]. Whatever the count, output is
+/// bit-identical to the serial path — parallelism only changes wall-clock
+/// time (and, under lazy hashing, may hash some signatures deeper up
+/// front; see the `Searcher` docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Use the `BAYESLSH_THREADS` environment variable when set (and ≥ 1),
+    /// otherwise every available core.
+    #[default]
+    Auto,
+    /// Exactly this many worker threads; `Fixed(1)` is the serial path.
+    Fixed(NonZeroU32),
+}
+
+impl Parallelism {
+    /// The exact serial path (one worker, no thread spawns).
+    pub const fn serial() -> Self {
+        Parallelism::Fixed(NonZeroU32::MIN)
+    }
+
+    /// Exactly `n` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`; use [`Parallelism::Auto`] for "pick for me".
+    pub fn threads(n: u32) -> Self {
+        Parallelism::Fixed(NonZeroU32::new(n).expect("thread count must be at least 1"))
+    }
+
+    /// Resolve to a concrete worker count: `Fixed(n)` is `n`; `Auto` reads
+    /// `BAYESLSH_THREADS` (ignored unless it parses to ≥ 1), falling back
+    /// to [`std::thread::available_parallelism`], then to 1.
+    pub fn resolve(&self) -> usize {
+        match self {
+            Parallelism::Fixed(n) => n.get() as usize,
+            Parallelism::Auto => {
+                if let Ok(v) = std::env::var("BAYESLSH_THREADS") {
+                    if let Ok(n) = v.trim().parse::<usize>() {
+                        if n >= 1 {
+                            return n;
+                        }
+                    }
+                }
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            }
+        }
+    }
+}
+
+/// Split `0..n_items` into at most `parts` contiguous, non-empty ranges of
+/// near-equal size, in order. Deterministic in `(n_items, parts)` — the
+/// foundation of the workspace's parallel-equals-serial guarantee: however
+/// many workers run, each sees the same range it would in any other
+/// execution, and results are merged in range order.
+pub fn chunk_ranges(n_items: usize, parts: usize) -> Vec<Range<usize>> {
+    if n_items == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n_items);
+    let base = n_items / parts;
+    let extra = n_items % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n_items);
+    out
+}
+
+/// Run `f` over the [`chunk_ranges`] split of `0..n_items` with up to
+/// `threads` scoped worker threads, returning the per-chunk results **in
+/// chunk order**. With one chunk (or `threads <= 1`) no thread is spawned
+/// and `f` runs inline, so the serial path stays allocation- and
+/// synchronization-free.
+///
+/// `f` receives `(chunk_index, range)` and must be a pure function of them
+/// (plus shared read-only state) for the parallel-equals-serial guarantee
+/// to hold.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker.
+pub fn fan_out<T, F>(n_items: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    let ranges = chunk_ranges(n_items, threads.max(1));
+    if threads <= 1 || ranges.len() <= 1 {
+        return ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| f(i, r))
+            .collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| scope.spawn(move || f(i, r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_in_order() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1000] {
+                let ranges = chunk_ranges(n, parts);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "ranges must be contiguous");
+                    assert!(!r.is_empty(), "no empty chunks");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "ranges must cover 0..{n}");
+                assert!(ranges.len() <= parts.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_are_balanced() {
+        let ranges = chunk_ranges(10, 4);
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn fan_out_preserves_chunk_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let chunks = fan_out(100, threads, |_, r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..100).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fan_out_results_are_split_invariant() {
+        // The determinism contract the pipeline relies on: a pure
+        // per-item function yields the same flattened output whatever the
+        // thread count.
+        let work = |_, r: Range<usize>| -> Vec<u64> {
+            r.map(|i| crate::derive_seed(42, i as u64)).collect()
+        };
+        let serial: Vec<u64> = fan_out(257, 1, work).into_iter().flatten().collect();
+        for threads in [2usize, 3, 8, 16] {
+            let par: Vec<u64> = fan_out(257, threads, work).into_iter().flatten().collect();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threads_is_rejected() {
+        let _ = Parallelism::threads(0);
+    }
+
+    #[test]
+    fn parallelism_resolution() {
+        assert_eq!(Parallelism::serial().resolve(), 1);
+        assert_eq!(Parallelism::threads(6).resolve(), 6);
+        assert!(Parallelism::Auto.resolve() >= 1);
+    }
+}

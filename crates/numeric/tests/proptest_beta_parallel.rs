@@ -1,0 +1,109 @@
+//! Property tests for the Bayesian substrate the engines trust blindly:
+//! Beta posterior closed-form identities (the conjugacy the paper's
+//! Section 4.1 inference rests on) and the chunk-split determinism of the
+//! parallel execution layer (the per-thread streams the parallel hashing
+//! stages rely on).
+
+use bayeslsh_numeric::{chunk_ranges, derive_seed, fan_out, BetaDist, Xoshiro256};
+use proptest::prelude::*;
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol
+}
+
+proptest! {
+    // Beta(1, 1) is the uniform distribution: cdf(x) = x, pdf(x) = 1.
+    #[test]
+    fn uniform_prior_cdf_is_identity(x in 0.0f64..=1.0) {
+        let u = BetaDist::uniform();
+        prop_assert!(close(u.cdf(x), x, 1e-12));
+        if x > 1e-9 && x < 1.0 - 1e-9 {
+            prop_assert!(close(u.pdf(x), 1.0, 1e-9));
+        }
+    }
+
+    // Binomial conjugacy: after m successes in n trials the uniform prior
+    // becomes Beta(1 + m, 1 + n − m), with mean (m + 1)/(n + 2) (Laplace's
+    // rule of succession) and mode m/n.
+    #[test]
+    fn binomial_conjugacy_closed_forms(n in 1u64..2048, frac in 0.0f64..=1.0) {
+        let m = ((n as f64) * frac).round() as u64;
+        let post = BetaDist::uniform().posterior(m, n);
+        prop_assert!(close(post.alpha(), 1.0 + m as f64, 1e-12));
+        prop_assert!(close(post.beta(), 1.0 + (n - m) as f64, 1e-12));
+        prop_assert!(close(post.mean(), (m as f64 + 1.0) / (n as f64 + 2.0), 1e-12));
+        if m >= 1 && m < n {
+            prop_assert!(close(post.mode(), m as f64 / n as f64, 1e-12));
+        }
+    }
+
+    // Sequential updates compose: observing (m1, n1) then (m2, n2) is the
+    // same as observing (m1 + m2, n1 + n2) — the incremental k-at-a-time
+    // hash comparison the engines perform is statistically coherent.
+    #[test]
+    fn posterior_updates_compose(
+        a in 0.5f64..8.0,
+        b in 0.5f64..8.0,
+        m1 in 0u64..100,
+        x1 in 0u64..100,
+        m2 in 0u64..100,
+        x2 in 0u64..100,
+    ) {
+        let prior = BetaDist::new(a, b);
+        let stepwise = prior.posterior(m1, m1 + x1).posterior(m2, m2 + x2);
+        let joint = prior.posterior(m1 + m2, m1 + x1 + m2 + x2);
+        prop_assert!(close(stepwise.alpha(), joint.alpha(), 1e-9));
+        prop_assert!(close(stepwise.beta(), joint.beta(), 1e-9));
+    }
+
+    // CDF reflection: I_x(a, b) = 1 − I_{1−x}(b, a).
+    #[test]
+    fn cdf_reflection_identity(a in 0.5f64..20.0, b in 0.5f64..20.0, x in 0.0f64..=1.0) {
+        let d = BetaDist::new(a, b);
+        let r = BetaDist::new(b, a);
+        prop_assert!(close(d.cdf(x), 1.0 - r.cdf(1.0 - x), 1e-9));
+    }
+
+    // chunk_ranges is a deterministic partition of 0..n, in order.
+    #[test]
+    fn chunk_ranges_partition_in_order(n in 0usize..10_000, parts in 1usize..64) {
+        let ranges = chunk_ranges(n, parts);
+        prop_assert_eq!(ranges.clone(), chunk_ranges(n, parts));
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(!r.is_empty());
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+        if n > 0 {
+            // Balanced to within one item.
+            let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+            let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+            prop_assert!(max - min <= 1);
+        }
+    }
+
+    // The determinism property the parallel hashing stages rely on: a
+    // per-item derived RNG stream yields the same flattened output under
+    // any chunk split. (Each pipeline worker seeds per-index generators
+    // exactly like this — plane banks, minhash functions, dataset shards.)
+    #[test]
+    fn per_item_rng_streams_are_split_invariant(
+        seed in 0u64..=u64::MAX,
+        n in 1usize..300,
+        t1 in 1usize..16,
+        t2 in 1usize..16,
+    ) {
+        let draw = |_, r: std::ops::Range<usize>| -> Vec<u64> {
+            r.map(|i| {
+                let mut rng = Xoshiro256::seed_from_u64(derive_seed(seed, i as u64));
+                rng.next_u64()
+            })
+            .collect()
+        };
+        let a: Vec<u64> = fan_out(n, t1, draw).into_iter().flatten().collect();
+        let b: Vec<u64> = fan_out(n, t2, draw).into_iter().flatten().collect();
+        prop_assert_eq!(a, b);
+    }
+}

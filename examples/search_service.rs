@@ -14,17 +14,22 @@ fn main() {
     let n = corpus.len();
 
     // ---- Build phase: pay for hashing and indexing exactly once. ----
+    // `Parallelism::Auto` (also the default) fans hashing, indexing, and
+    // verification across the available cores — honoring BAYESLSH_THREADS
+    // when set — with output bit-identical to `Parallelism::serial()`.
     let t0 = std::time::Instant::now();
     let mut searcher = Searcher::builder(PipelineConfig::cosine(threshold))
         .algorithm(Algorithm::LshBayesLshLite)
+        .parallelism(Parallelism::Auto)
         .build(corpus)
         .expect("valid config");
     let build_secs = t0.elapsed().as_secs_f64();
     let built_hashes = searcher.hash_count();
     println!(
         "built searcher over {n} vectors in {build_secs:.2}s: \
-         {built_hashes} signature hashes, {} bands",
-        searcher.banding_plan().params.l
+         {built_hashes} signature hashes, {} bands, {} worker thread(s)",
+        searcher.banding_plan().params.l,
+        searcher.threads()
     );
 
     // ---- Serve phase: a stream of threshold queries. ----

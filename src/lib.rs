@@ -68,6 +68,39 @@
 //! than one operation against the same corpus; note the builder returns
 //! typed [`SearchError`](prelude::SearchError)s where the shim panics.
 //!
+//! ## Parallelism & determinism
+//!
+//! Hashing, indexing, candidate generation, and verification all fan out
+//! across worker threads; the knob is
+//! [`Parallelism`](prelude::Parallelism) on
+//! [`PipelineConfig`](prelude::PipelineConfig) /
+//! [`SearcherBuilder`](prelude::SearcherBuilder) (`Auto` = the
+//! `BAYESLSH_THREADS` environment variable or all cores, resolved once at
+//! build). Output is **bit-identical to the serial path** at any thread
+//! count — pairs, similarities, and candidate/prune counters — because
+//! work splits into deterministic chunks whose results merge in canonical
+//! order; see the README's "Parallelism & determinism" section and
+//! `tests/parallel_equivalence.rs`.
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let build = |p: Parallelism| {
+//!     let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+//!         .algorithm(Algorithm::LshBayesLshLite)
+//!         .parallelism(p)
+//!         .build(data.clone())
+//!         .unwrap();
+//!     s.all_pairs().unwrap().pairs
+//! };
+//! let serial = build(Parallelism::serial());
+//! let parallel = build(Parallelism::threads(4));
+//! assert_eq!(serial.len(), parallel.len());
+//! for (a, b) in serial.iter().zip(&parallel) {
+//!     assert_eq!((a.0, a.1, a.2.to_bits()), (b.0, b.1, b.2.to_bits()));
+//! }
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -109,7 +142,7 @@ pub mod prelude {
         bbit_collision_prob, bbit_to_jaccard, cos_to_r, r_to_cos, BbitSignatures, BitSignatures,
         IntSignatures, MinHasher, SignaturePool, SrpHasher,
     };
-    pub use bayeslsh_numeric::{BetaDist, Binomial, Xoshiro256};
+    pub use bayeslsh_numeric::{BetaDist, Binomial, Parallelism, Xoshiro256};
     pub use bayeslsh_sparse::{
         cosine, dot, jaccard, overlap, similarity::Measure, Dataset, SparseVector,
     };

@@ -1,0 +1,135 @@
+//! Statistical verification of the paper's two layered guarantees, pooled
+//! over many seeds so the assertions test the *bound*, not one lucky run:
+//!
+//! 1. **Candidate recall** (Section 2): the banding index misses a true
+//!    pair with probability at most the [`BandingPlan`]'s achieved
+//!    false-negative rate — so the measured candidate-miss rate must be
+//!    bounded by `achieved_fnr` (plus sampling slack).
+//! 2. **End-to-end recall** (Section 4): BayesLSH prunes a true positive
+//!    with probability below ε, so the recall of LSH + BayesLSH[-Lite]
+//!    must stay above `(1 − δ) − ε`, where δ is the index's achieved
+//!    false-negative rate and ε the Bayesian recall parameter.
+//!
+//! Corpora are the scaled synthetic preset stand-ins (RCV1 shape), one per
+//! seed, with the hash-family seed varied alongside — deterministic, so
+//! the suite is CI-stable while still averaging over 20 independent draws.
+
+use std::collections::HashSet;
+
+use bayeslsh::prelude::*;
+
+const N_SEEDS: u64 = 20;
+
+#[derive(Default)]
+struct Pooled {
+    truth: usize,
+    candidate_misses: usize,
+    bayes_hits: usize,
+    lite_hits: usize,
+}
+
+fn pair_keys(pairs: &[(u32, u32, f64)]) -> HashSet<(u32, u32)> {
+    pairs.iter().map(|&(a, b, _)| (a, b)).collect()
+}
+
+fn pool_over_seeds(
+    measure: Measure,
+    threshold: f64,
+    base_cfg: PipelineConfig,
+    load: impl Fn(u64) -> Dataset,
+) -> Pooled {
+    let mut pooled = Pooled::default();
+    for s in 0..N_SEEDS {
+        let data = load(s);
+        let mut cfg = base_cfg;
+        cfg.seed = 42 + s; // a fresh hash family per trial
+        let gt = ground_truth(&data, measure, threshold);
+        // LSH × exact keeps every candidate that is a true pair, so its
+        // output *is* the candidate set restricted to the truth — the
+        // measured candidate-miss events are exactly the banding misses.
+        let lsh = pair_keys(&run_algorithm(Algorithm::Lsh, &data, &cfg).pairs);
+        let bayes = pair_keys(&run_algorithm(Algorithm::LshBayesLsh, &data, &cfg).pairs);
+        let lite = pair_keys(&run_algorithm(Algorithm::LshBayesLshLite, &data, &cfg).pairs);
+        for &(a, b, _) in &gt {
+            pooled.truth += 1;
+            if !lsh.contains(&(a, b)) {
+                pooled.candidate_misses += 1;
+            }
+            if bayes.contains(&(a, b)) {
+                pooled.bayes_hits += 1;
+            }
+            if lite.contains(&(a, b)) {
+                pooled.lite_hits += 1;
+            }
+        }
+    }
+    pooled
+}
+
+/// Sampling slack on a pooled rate estimate: three binomial standard
+/// deviations at the bound's rate, floored for tiny pools.
+fn slack(rate: f64, n: usize) -> f64 {
+    (3.0 * (rate * (1.0 - rate) / n as f64).sqrt()).max(0.005)
+}
+
+fn check_family(
+    measure: Measure,
+    threshold: f64,
+    cfg: PipelineConfig,
+    load: impl Fn(u64) -> Dataset,
+) {
+    let plan = cfg.banding_plan();
+    assert!(
+        !plan.clamped,
+        "paper-default plans must meet the requested rate"
+    );
+    assert!(plan.achieved_fnr <= plan.requested_fnr);
+
+    let pooled = pool_over_seeds(measure, threshold, cfg, load);
+    assert!(
+        pooled.truth >= 200,
+        "need statistical power: {} true pairs pooled over {N_SEEDS} seeds",
+        pooled.truth
+    );
+
+    // (1) The reported achieved-FNR bounds the measured candidate misses.
+    let miss_rate = pooled.candidate_misses as f64 / pooled.truth as f64;
+    let fnr_bound = plan.achieved_fnr + slack(plan.achieved_fnr, pooled.truth);
+    assert!(
+        miss_rate <= fnr_bound,
+        "{measure:?}: candidate-miss rate {miss_rate:.4} exceeds achieved-FNR bound \
+         {:.4} (+{:.4} slack) over {} pairs",
+        plan.achieved_fnr,
+        fnr_bound - plan.achieved_fnr,
+        pooled.truth
+    );
+
+    // (2) End-to-end recall ≥ (1 − δ) − ε for both Bayesian verifiers.
+    let delta_fnr = plan.achieved_fnr;
+    let bound = (1.0 - delta_fnr) - cfg.epsilon;
+    let bayes_recall = pooled.bayes_hits as f64 / pooled.truth as f64;
+    let lite_recall = pooled.lite_hits as f64 / pooled.truth as f64;
+    assert!(
+        bayes_recall >= bound,
+        "{measure:?}: BayesLSH recall {bayes_recall:.4} below (1 − {delta_fnr:.4}) − {:.2} = {bound:.4}",
+        cfg.epsilon
+    );
+    assert!(
+        lite_recall >= bound,
+        "{measure:?}: BayesLSH-Lite recall {lite_recall:.4} below {bound:.4}"
+    );
+}
+
+#[test]
+fn cosine_recall_meets_the_paper_bound_over_20_seeds() {
+    check_family(Measure::Cosine, 0.7, PipelineConfig::cosine(0.7), |s| {
+        Preset::Rcv1.load(0.0004, 9000 + s)
+    });
+}
+
+#[test]
+fn jaccard_recall_meets_the_paper_bound_over_20_seeds() {
+    check_family(Measure::Jaccard, 0.5, PipelineConfig::jaccard(0.5), |s| {
+        Preset::Rcv1.load_binary(0.0004, 9100 + s)
+    });
+}
