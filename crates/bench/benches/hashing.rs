@@ -44,6 +44,21 @@ fn bench_srp(c: &mut Criterion) {
             });
         });
     }
+    g.bench_function("512bits_packed_shared_scratch", |b| {
+        // The read-only splice kernel parallel workers run: word-aligned
+        // packed ranges, one scratch reused across calls.
+        let mut hasher = SrpHasher::new(data.dim(), 5);
+        hasher.ensure_planes(512);
+        let mut scratch = bayeslsh_lsh::SrpScratch::new();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (_, v) in data.iter().take(50) {
+                let words = hasher.hash_bits_packed_with(v, 0, 512, &mut scratch);
+                acc ^= words[0];
+            }
+            black_box(acc)
+        });
+    });
     g.bench_function("plane_generation_64", |b| {
         b.iter(|| {
             let mut hasher = SrpHasher::new(black_box(data.dim()), 9);
@@ -66,6 +81,19 @@ fn bench_minhash(c: &mut Criterion) {
             for (_, v) in data.iter().take(50) {
                 let mut out = Vec::with_capacity(64);
                 hasher.hash_range_into(v, 0, 64, &mut out);
+                acc ^= out[0];
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("64_hashes_packed_shared_scratch", |b| {
+        let mut hasher = MinHasher::new(11);
+        hasher.ensure_functions(64);
+        let mut scratch = bayeslsh_lsh::MinScratch::new();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for (_, v) in data.iter().take(50) {
+                let out = hasher.hash_range_packed_with(v, 0, 64, &mut scratch);
                 acc ^= out[0];
             }
             black_box(acc)

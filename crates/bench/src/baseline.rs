@@ -1,0 +1,512 @@
+//! The machine-readable performance baseline (`repro bench-baseline`).
+//!
+//! The paper's Observation 3 names hashing as the dominant BayesLSH cost;
+//! this module measures it directly and writes `BENCH_<n>.json` so later
+//! PRs have a trajectory to regress against. Three measurements:
+//!
+//! 1. **SRP hashing microbench** — the historical plane-major scalar path
+//!    (reconstructed here, byte-for-byte, from the pure
+//!    [`bayeslsh_lsh::generate_plane`] streams) versus the feature-major
+//!    bank kernel, in components/s, with the outputs asserted
+//!    bit-identical.
+//! 2. **MinHash microbench** — the hash-major scalar path (one
+//!    [`bayeslsh_lsh::MinHasher::hash_ready`] walk per slot) versus the
+//!    element-major range kernel.
+//! 3. **Verification throughput** (pairs/s through `bayes_verify`) and
+//!    **end-to-end all-pairs wall time** per preset.
+//!
+//! Everything is returned as structured rows; JSON serialization and the
+//! schema check the CI smoke job runs are hand-rolled (the workspace has no
+//! serde).
+
+use std::time::Instant;
+
+use bayeslsh_core::{bayes_verify, run_algorithm, Algorithm, BayesLshConfig, CosineModel};
+use bayeslsh_datasets::{generate, CorpusConfig, Preset};
+use bayeslsh_lsh::{generate_plane, quantized, BitSignatures, MinHasher, SrpHasher};
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+/// One side of a kernel comparison.
+#[derive(Debug, Clone)]
+pub struct Throughput {
+    /// Hash components processed per pass (Σ nnz(v) · hashes).
+    pub components: u64,
+    /// Best-of-reps wall time for one pass.
+    pub secs: f64,
+    /// `components / secs`.
+    pub per_s: f64,
+}
+
+/// Scalar-versus-kernel microbench result.
+#[derive(Debug, Clone)]
+pub struct KernelBench {
+    /// The pre-PR scalar (hash-major) path.
+    pub scalar: Throughput,
+    /// The feature-/element-major kernel.
+    pub kernel: Throughput,
+    /// `kernel.per_s / scalar.per_s`.
+    pub speedup: f64,
+}
+
+/// Verification throughput through the BayesLSH engine.
+#[derive(Debug, Clone)]
+pub struct VerifyBench {
+    /// Candidate pairs fed in.
+    pub pairs: u64,
+    /// Wall time of the verify call (hashing included, pool cold).
+    pub secs: f64,
+    /// `pairs / secs`.
+    pub pairs_per_s: f64,
+    /// Hash comparisons performed (pruning effectiveness context).
+    pub hash_comparisons: u64,
+}
+
+/// End-to-end all-pairs wall time for one preset.
+#[derive(Debug, Clone)]
+pub struct EndToEndRow {
+    /// Preset name.
+    pub preset: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Total wall-clock seconds.
+    pub secs: f64,
+    /// Output pairs found.
+    pub pairs: u64,
+}
+
+/// The full baseline report.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Dataset scale factor the verify/end-to-end sections used.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Host CPU cores visible to the process.
+    pub cores: usize,
+    /// SRP microbench (quantized storage, the default).
+    pub srp: KernelBench,
+    /// MinHash microbench.
+    pub minhash: KernelBench,
+    /// BayesLSH verification throughput.
+    pub verify: VerifyBench,
+    /// End-to-end preset timings.
+    pub end_to_end: Vec<EndToEndRow>,
+}
+
+/// The historical plane-major SRP layout, kept verbatim as the measured
+/// "before": one `Vec<u16>` per plane, and a per-bit loop gathering one
+/// component per nonzero — `h × nnz` random gathers per signature.
+struct ScalarSrp {
+    planes: Vec<Vec<u16>>,
+}
+
+impl ScalarSrp {
+    fn new(dim: u32, seed: u64, n: usize) -> Self {
+        let planes = (0..n)
+            .map(|i| quantized::encode_slice(&generate_plane(dim, seed, i)))
+            .collect();
+        Self { planes }
+    }
+
+    /// The pre-PR `hash_bits_into` body, including its per-word
+    /// `push(0)`-inside-the-bit-loop growth.
+    fn hash_bits_into(&self, v: &SparseVector, lo: u32, hi: u32, words: &mut Vec<u32>) {
+        for i in lo..hi {
+            let word_idx = (i / 32) as usize;
+            if word_idx >= words.len() {
+                words.push(0);
+            }
+            let plane = &self.planes[i as usize];
+            let mut acc = 0.0f64;
+            for (idx, val) in v.iter() {
+                acc += quantized::decode(plane[idx as usize]) as f64 * val as f64;
+            }
+            if acc >= 0.0 {
+                words[word_idx] |= 1u32 << (i % 32);
+            }
+        }
+    }
+}
+
+/// Best-of-`reps` wall time of one full pass.
+fn best_of(reps: usize, mut pass: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+const SRP_DIM: u32 = 8_192;
+const SRP_VECTORS: usize = 256;
+const SRP_BITS: u32 = 512;
+const MH_HASHES: u32 = 256;
+const REPS: usize = 5;
+
+fn micro_corpus(seed: u64) -> Dataset {
+    generate(&CorpusConfig {
+        n_vectors: SRP_VECTORS,
+        dim: SRP_DIM,
+        avg_len: 100,
+        seed,
+        ..CorpusConfig::default()
+    })
+}
+
+/// SRP microbench: scalar plane-major vs feature-major kernel, quantized
+/// storage. Panics if the two paths ever disagree on a bit — the baseline
+/// doubles as an end-to-end bit-identity check.
+pub fn srp_bench(seed: u64) -> KernelBench {
+    let data = micro_corpus(seed);
+    let hash_seed = seed ^ 0x5157;
+    let scalar = ScalarSrp::new(SRP_DIM, hash_seed, SRP_BITS as usize);
+    let mut hasher = SrpHasher::new(SRP_DIM, hash_seed);
+    hasher.ensure_planes(SRP_BITS as usize);
+
+    let components: u64 = data
+        .vectors()
+        .iter()
+        .map(|v| v.nnz() as u64 * SRP_BITS as u64)
+        .sum();
+
+    // Bit-identity first: the kernel must reproduce the scalar layout.
+    for (_, v) in data.iter() {
+        let mut old = Vec::new();
+        scalar.hash_bits_into(v, 0, SRP_BITS, &mut old);
+        let mut new = Vec::new();
+        hasher.hash_bits_into(v, 0, SRP_BITS, &mut new);
+        assert_eq!(old, new, "kernel diverged from the scalar plane-major path");
+    }
+
+    let mut sink = 0u32;
+    let scalar_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut words = Vec::new();
+            scalar.hash_bits_into(v, 0, SRP_BITS, &mut words);
+            sink ^= words[0];
+        }
+    });
+    let kernel_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut words = Vec::new();
+            hasher.hash_bits_into(v, 0, SRP_BITS, &mut words);
+            sink ^= words[0];
+        }
+    });
+    std::hint::black_box(sink);
+    bench_result(components, scalar_secs, kernel_secs)
+}
+
+/// MinHash microbench: hash-major scalar vs element-major kernel.
+pub fn minhash_bench(seed: u64) -> KernelBench {
+    let data = micro_corpus(seed).binarized();
+    let mut hasher = MinHasher::new(seed ^ 0x31A5);
+    hasher.ensure_functions(MH_HASHES as usize);
+
+    let components: u64 = data
+        .vectors()
+        .iter()
+        .map(|v| v.nnz() as u64 * MH_HASHES as u64)
+        .sum();
+
+    for (_, v) in data.iter() {
+        let old: Vec<u32> = (0..MH_HASHES)
+            .map(|i| hasher.hash_ready(i as usize, v))
+            .collect();
+        let new = hasher.hash_range_packed(v, 0, MH_HASHES);
+        assert_eq!(old, new, "kernel diverged from the scalar hash-major path");
+    }
+
+    let mut sink = 0u32;
+    let scalar_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut out = Vec::new();
+            for i in 0..MH_HASHES {
+                out.push(hasher.hash_ready(i as usize, v));
+            }
+            sink ^= out[0];
+        }
+    });
+    let kernel_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut out = Vec::new();
+            hasher.hash_range_into(v, 0, MH_HASHES, &mut out);
+            sink ^= out[0];
+        }
+    });
+    std::hint::black_box(sink);
+    bench_result(components, scalar_secs, kernel_secs)
+}
+
+fn bench_result(components: u64, scalar_secs: f64, kernel_secs: f64) -> KernelBench {
+    let scalar = Throughput {
+        components,
+        secs: scalar_secs,
+        per_s: components as f64 / scalar_secs.max(1e-12),
+    };
+    let kernel = Throughput {
+        components,
+        secs: kernel_secs,
+        per_s: components as f64 / kernel_secs.max(1e-12),
+    };
+    let speedup = kernel.per_s / scalar.per_s.max(1e-12);
+    KernelBench {
+        scalar,
+        kernel,
+        speedup,
+    }
+}
+
+/// Verification throughput: `bayes_verify` over the all-pairs candidate
+/// set of a scaled WikiWords100K-like corpus at t = 0.7, cold pool
+/// (hashing cost included, as in the paper's accounting).
+pub fn verify_bench(scale: f64, seed: u64) -> VerifyBench {
+    let data = Preset::WikiWords100K.load(scale, seed);
+    let n = data.len().min(600) as u32;
+    let candidates: Vec<(u32, u32)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect();
+    let cfg = BayesLshConfig::cosine(0.7);
+    let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 0xBE7), data.len());
+    let start = Instant::now();
+    let (_, stats) = bayes_verify(&data, &mut pool, &CosineModel::new(), &candidates, &cfg);
+    let secs = start.elapsed().as_secs_f64();
+    VerifyBench {
+        pairs: candidates.len() as u64,
+        secs,
+        pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
+        hash_comparisons: stats.hash_comparisons,
+    }
+}
+
+/// End-to-end all-pairs wall time per preset (LSH + BayesLSH, cosine).
+pub fn end_to_end(scale: f64, seed: u64) -> Vec<EndToEndRow> {
+    [Preset::Rcv1, Preset::WikiWords100K]
+        .iter()
+        .map(|preset| {
+            let data = preset.load(scale, seed);
+            let cfg = bayeslsh_core::PipelineConfig::cosine(0.7);
+            let out = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
+            EndToEndRow {
+                preset: preset.name().to_string(),
+                algorithm: Algorithm::LshBayesLsh.name().to_string(),
+                secs: out.total_secs,
+                pairs: out.pairs.len() as u64,
+            }
+        })
+        .collect()
+}
+
+/// Run the full baseline.
+pub fn run(scale: f64, seed: u64) -> BaselineReport {
+    BaselineReport {
+        scale,
+        seed,
+        cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
+        srp: srp_bench(seed),
+        minhash: minhash_bench(seed),
+        verify: verify_bench(scale, seed),
+        end_to_end: end_to_end(scale, seed),
+    }
+}
+
+fn json_kernel(b: &KernelBench) -> String {
+    format!(
+        concat!(
+            "{{\"components\": {}, ",
+            "\"scalar_components_per_s\": {:.1}, ",
+            "\"kernel_components_per_s\": {:.1}, ",
+            "\"scalar_secs\": {:.6}, \"kernel_secs\": {:.6}, ",
+            "\"speedup\": {:.3}}}"
+        ),
+        b.scalar.components,
+        b.scalar.per_s,
+        b.kernel.per_s,
+        b.scalar.secs,
+        b.kernel.secs,
+        b.speedup
+    )
+}
+
+impl BaselineReport {
+    /// Serialize to the `BENCH_<n>.json` schema (see [`validate_json`]).
+    pub fn to_json(&self) -> String {
+        let e2e: Vec<String> = self
+            .end_to_end
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{\"preset\": \"{}\", \"algorithm\": \"{}\", \"secs\": {:.4}, \"pairs\": {}}}",
+                    r.preset, r.algorithm, r.secs, r.pairs
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"bayeslsh-bench-baseline-v1\",\n",
+                "  \"scale\": {},\n",
+                "  \"seed\": {},\n",
+                "  \"cores\": {},\n",
+                "  \"srp\": {},\n",
+                "  \"minhash\": {},\n",
+                "  \"verify\": {{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, \"hash_comparisons\": {}}},\n",
+                "  \"end_to_end\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            self.scale,
+            self.seed,
+            self.cores,
+            json_kernel(&self.srp),
+            json_kernel(&self.minhash),
+            self.verify.pairs,
+            self.verify.secs,
+            self.verify.pairs_per_s,
+            self.verify.hash_comparisons,
+            e2e.join(",\n")
+        )
+    }
+}
+
+/// Extract the number following `"key":` anywhere in `s`.
+fn json_number(s: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = s.find(&needle)? + needle.len();
+    let rest = s[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Schema check for an emitted baseline: required keys present, throughputs
+/// strictly positive. This is what the CI smoke job (and the subcommand
+/// itself, before declaring success) runs, so the perf-reporting pipeline
+/// cannot silently rot.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v1\"") {
+        return Err("missing or wrong schema marker".into());
+    }
+    for section in ["\"srp\":", "\"minhash\":", "\"verify\":", "\"end_to_end\":"] {
+        if !s.contains(section) {
+            return Err(format!("missing section {section}"));
+        }
+    }
+    // Positional check: both kernel sections carry their own keys; verify
+    // each occurrence by scanning per-section substrings.
+    for (section, keys) in [
+        (
+            "\"srp\":",
+            &[
+                "scalar_components_per_s",
+                "kernel_components_per_s",
+                "speedup",
+            ][..],
+        ),
+        (
+            "\"minhash\":",
+            &[
+                "scalar_components_per_s",
+                "kernel_components_per_s",
+                "speedup",
+            ][..],
+        ),
+        ("\"verify\":", &["pairs_per_s"][..]),
+    ] {
+        let at = s.find(section).unwrap();
+        // Bound the scan at the section's closing brace (kernel/verify
+        // sections are flat objects), so a key missing here cannot be
+        // satisfied by an identically-named key in a later section.
+        let end = s[at..].find('}').map_or(s.len(), |e| at + e + 1);
+        let sub = &s[at..end];
+        for key in keys {
+            match json_number(sub, key) {
+                Some(v) if v > 0.0 => {}
+                Some(v) => return Err(format!("{section} {key} = {v}, expected > 0")),
+                None => return Err(format!("{section} missing numeric {key}")),
+            }
+        }
+    }
+    if !s.contains("\"preset\":") {
+        return Err("end_to_end has no rows".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BaselineReport {
+        let t = |per_s: f64| Throughput {
+            components: 1000,
+            secs: 0.5,
+            per_s,
+        };
+        BaselineReport {
+            scale: 0.001,
+            seed: 42,
+            cores: 1,
+            srp: KernelBench {
+                scalar: t(100.0),
+                kernel: t(250.0),
+                speedup: 2.5,
+            },
+            minhash: KernelBench {
+                scalar: t(10.0),
+                kernel: t(30.0),
+                speedup: 3.0,
+            },
+            verify: VerifyBench {
+                pairs: 10,
+                secs: 0.1,
+                pairs_per_s: 100.0,
+                hash_comparisons: 320,
+            },
+            end_to_end: vec![EndToEndRow {
+                preset: "RCV1".into(),
+                algorithm: "LSH+BayesLSH".into(),
+                secs: 0.2,
+                pairs: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn emitted_json_round_trips_the_validator() {
+        let json = sample_report().to_json();
+        validate_json(&json).expect("schema check");
+        assert!((json_number(&json, "speedup").unwrap() - 2.5).abs() < 1e-9);
+        assert!((json_number(&json, "pairs_per_s").unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validator_rejects_broken_payloads() {
+        assert!(validate_json("{}").is_err());
+        let mut r = sample_report();
+        r.srp.scalar.per_s = 0.0;
+        assert!(validate_json(&r.to_json()).is_err());
+        let json = sample_report().to_json().replace("\"verify\":", "\"v\":");
+        assert!(validate_json(&json).is_err());
+        // A key missing from the srp section must not be satisfied by the
+        // identically-named key in the later minhash section.
+        let json = sample_report()
+            .to_json()
+            .replacen("\"speedup\"", "\"sp\"", 1);
+        assert!(validate_json(&json).is_err());
+    }
+
+    #[test]
+    fn microbenches_are_bit_identical_and_positive() {
+        // Tiny shapes would distort throughput but the assertions inside
+        // the bench (scalar ≡ kernel) are the point here; run the real
+        // shapes once — they are sub-second in release, a few seconds in
+        // debug.
+        let b = srp_bench(7);
+        assert!(b.scalar.per_s > 0.0 && b.kernel.per_s > 0.0);
+        let b = minhash_bench(7);
+        assert!(b.scalar.per_s > 0.0 && b.kernel.per_s > 0.0);
+    }
+}

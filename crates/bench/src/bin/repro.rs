@@ -23,13 +23,14 @@
 
 use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
 use bayeslsh_bench::timing::Family;
-use bayeslsh_bench::{fig1, fig5, parallel, params, pruning, quality, table1, timing};
+use bayeslsh_bench::{baseline, fig1, fig5, parallel, params, pruning, quality, table1, timing};
 use bayeslsh_datasets::Preset;
 
 struct Args {
     command: String,
     scale: f64,
     seed: u64,
+    out: String,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +38,7 @@ fn parse_args() -> Args {
         command: String::new(),
         scale: 0.004,
         seed: 42,
+        out: "BENCH_4.json".to_string(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,6 +54,9 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
             }
             "--help" | "-h" => {
                 print_usage();
@@ -77,9 +82,64 @@ fn die(msg: &str) -> ! {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|all> \
-         [--scale S] [--seed N]"
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|\
+         bench-baseline|all> [--scale S] [--seed N] [--out PATH]"
     );
+}
+
+fn run_bench_baseline(args: &Args) {
+    banner(&format!(
+        "Perf baseline: hashing kernels + verification (scale {}, -> {})",
+        args.scale, args.out
+    ));
+    let report = baseline::run(args.scale, args.seed);
+    let table = vec![
+        vec![
+            "SRP (quantized)".to_string(),
+            fmt_count(report.srp.scalar.per_s as u64),
+            fmt_count(report.srp.kernel.per_s as u64),
+            format!("{:.2}x", report.srp.speedup),
+        ],
+        vec![
+            "MinHash".to_string(),
+            fmt_count(report.minhash.scalar.per_s as u64),
+            fmt_count(report.minhash.kernel.per_s as u64),
+            format!("{:.2}x", report.minhash.speedup),
+        ],
+    ];
+    print!(
+        "{}",
+        render_table(
+            &["kernel", "scalar comp/s", "kernel comp/s", "speedup"],
+            &table
+        )
+    );
+    println!(
+        "verify: {} pairs in {} ({} pairs/s, {} hash comparisons)",
+        fmt_count(report.verify.pairs),
+        fmt_secs(report.verify.secs),
+        fmt_count(report.verify.pairs_per_s as u64),
+        fmt_count(report.verify.hash_comparisons),
+    );
+    for row in &report.end_to_end {
+        println!(
+            "end-to-end {} / {}: {} ({} pairs)",
+            row.preset,
+            row.algorithm,
+            fmt_secs(row.secs),
+            fmt_count(row.pairs)
+        );
+    }
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        die(&format!("cannot write {}: {e}", args.out));
+    }
+    // The subcommand validates what it wrote: CI smoke-tests this path, so
+    // a schema regression fails loudly instead of rotting silently.
+    match baseline::validate_json(&std::fs::read_to_string(&args.out).unwrap_or_default()) {
+        Ok(()) => println!("wrote {} (schema OK)", args.out),
+        Err(e) => die(&format!("emitted baseline failed schema check: {e}")),
+    }
 }
 
 fn main() {
@@ -101,6 +161,7 @@ fn main() {
         "table4" => run_table4(&args),
         "table5" => run_table5(&args),
         "parallel" => run_parallel(&args),
+        "bench-baseline" => run_bench_baseline(&args),
         "all" => {
             run_parallel(&args);
             run_fig1();

@@ -6,6 +6,7 @@
 //! terminal. Run with `cargo run --release -p bayeslsh-bench --bin repro --
 //! <experiment>`.
 
+pub mod baseline;
 pub mod fig1;
 pub mod fig5;
 pub mod parallel;

@@ -366,6 +366,9 @@ pub fn lsh_candidates_bits(
 ) -> Vec<(u32, u32)> {
     assert!(params.k <= 64, "band keys are packed into u64 (k <= 64)");
     let need = params.total_hashes();
+    // The feature-major SRP kernel hashes each vector's whole band range in
+    // one pass; the hint makes every signature a single allocation.
+    pool.depth_hint(need);
     for (id, v) in data.iter() {
         if !v.is_empty() {
             pool.ensure(id, v, need);
@@ -394,6 +397,9 @@ pub fn lsh_candidates_ints(
     params: BandingParams,
 ) -> Vec<(u32, u32)> {
     let need = params.total_hashes();
+    // Element-major minhash kernel: one pass per vector; see
+    // [`lsh_candidates_bits`] on the allocation hint.
+    pool.depth_hint(need);
     for (id, v) in data.iter() {
         if !v.is_empty() {
             pool.ensure(id, v, need);

@@ -181,6 +181,13 @@ impl SignaturePool for SigPool {
             SigPool::Ints(p) => p.total_hashes(),
         }
     }
+
+    fn depth_hint(&mut self, n: u32) {
+        match self {
+            SigPool::Bits(p) => p.depth_hint(n),
+            SigPool::Ints(p) => p.depth_hint(n),
+        }
+    }
 }
 
 /// Everything a generator or verifier needs to run: the corpus, the

@@ -95,6 +95,12 @@ pub fn bayes_verify<P: SignaturePool, M: PosteriorModel>(
     cfg.validate();
     let k = cfg.k;
     let max_chunks = (cfg.max_hashes / k).max(1);
+    // No `depth_hint` here, deliberately: the whole point of the chunked
+    // scan is that most signatures stay shallow (pruned after a chunk or
+    // two), so front-loading the cap would reserve ~max_chunks× the memory
+    // actually used. The hot loop stays allocation-light through the hash
+    // kernels' reused scratch; the few deep signatures pay O(log chunks)
+    // amortized reallocations.
     let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
     let mut cache = ConcentrationCache::new(cfg.delta, cfg.gamma);
 
@@ -162,6 +168,8 @@ where
     cfg.validate();
     let k = cfg.k;
     let max_chunks = (cfg.h / k).max(1);
+    // No `depth_hint`: see `bayes_verify` — pruning keeps most signatures
+    // far below the cap.
     let table = MinMatchTable::build(model, cfg.threshold, cfg.epsilon, k, max_chunks * k);
 
     let mut stats = EngineStats {

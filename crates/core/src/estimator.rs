@@ -26,6 +26,9 @@ pub fn mle_verify<P: SignaturePool>(
     transform: impl Fn(f64) -> f64,
 ) -> (Vec<(u32, u32, f64)>, u64) {
     assert!(n_hashes > 0);
+    // Every candidate signature reaches exactly `n_hashes`: advise the pool
+    // so first extensions allocate their whole signature once.
+    pool.depth_hint(n_hashes);
     let mut out = Vec::new();
     let mut comparisons = 0u64;
     for &(a, b) in candidates {

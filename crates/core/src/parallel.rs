@@ -18,7 +18,10 @@
 //! [`crate::compose::SigPool::par_ensure_ids`] or the pool-specific
 //! `par_ensure_ids`). Under the `Searcher`'s default eager hashing that
 //! pre-extension is a no-op; under lazy hashing it trades some up-front
-//! hashing for wall-clock parallelism.
+//! hashing for wall-clock parallelism. The pre-extension itself runs
+//! through the feature-major / element-major hash kernels with one scratch
+//! buffer per worker, so the whole parallel verification path — hashing
+//! included — performs no per-pair heap allocation in steady state.
 
 use bayeslsh_lsh::SignaturePool;
 use bayeslsh_numeric::fan_out;

@@ -142,14 +142,17 @@ impl SearcherBuilder {
         let mut cfg = self.cfg;
         cfg.parallelism = Parallelism::threads(threads.min(u32::MAX as usize) as u32);
         let plan = cfg.banding_plan();
+        let verifier_depth = self.composition.verifier.signature_depth(&cfg);
         let sig_depth = match self.mode {
-            HashMode::Eager => plan
-                .params
-                .total_hashes()
-                .max(self.composition.verifier.signature_depth(&cfg)),
+            HashMode::Eager => plan.params.total_hashes().max(verifier_depth),
             HashMode::Lazy => plan.params.total_hashes(),
         };
         let mut pool = SigPool::for_config(&cfg, &data);
+        // Every object is hashed to `sig_depth` right below, so the first
+        // extension allocates each signature once. (No hint to the
+        // verifier's *cap* under lazy hashing: later deepening is
+        // pruning-dominant, so front-loading it would over-reserve.)
+        pool.depth_hint(sig_depth);
         // Parallel build: hash the corpus chunk-per-thread (spliced back in
         // id order), then construct the band-sharded index. Bit-identical
         // to the serial per-object ensure/insert loop at any thread count.

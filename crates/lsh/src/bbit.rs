@@ -16,7 +16,7 @@
 
 use bayeslsh_sparse::SparseVector;
 
-use crate::minhash::MinHasher;
+use crate::minhash::{MinHasher, MinScratch};
 use crate::signature::SignaturePool;
 
 /// Collision probability of a b-bit minwise hash at Jaccard similarity
@@ -36,7 +36,9 @@ pub fn bbit_to_jaccard(p: f64, b: u32) -> f64 {
 }
 
 /// A signature pool storing `b` bits per minwise hash, packed into `u32`
-/// words.
+/// words. Extension goes through the element-major range kernel — one pass
+/// over the set per chunk, reusing the pool's scratch buffers — then packs
+/// the low `b` bits of each hash in one sweep.
 #[derive(Debug, Clone)]
 pub struct BbitSignatures {
     hasher: MinHasher,
@@ -44,6 +46,10 @@ pub struct BbitSignatures {
     sigs: Vec<Vec<u32>>,
     hashes: Vec<u32>,
     total: u64,
+    /// Reusable kernel scratch (running minima).
+    min_scratch: MinScratch,
+    /// Reusable full-width hash buffer the fragments are packed from.
+    hash_scratch: Vec<u32>,
 }
 
 impl BbitSignatures {
@@ -60,6 +66,8 @@ impl BbitSignatures {
             sigs: vec![Vec::new(); n_objects],
             hashes: vec![0; n_objects],
             total: 0,
+            min_scratch: MinScratch::new(),
+            hash_scratch: Vec::new(),
         }
     }
 
@@ -93,13 +101,21 @@ impl SignaturePool for BbitSignatures {
             return;
         }
         let mask = (1u32 << self.b) - 1;
-        for i in cur..target {
-            let h = self.hasher.hash(i as usize, v) & mask;
-            let word_idx = (i / per_word) as usize;
-            if word_idx >= self.sigs[id as usize].len() {
-                self.sigs[id as usize].push(0);
-            }
-            self.sigs[id as usize][word_idx] |= h << ((i % per_word) * self.b);
+        self.hasher.ensure_functions(target as usize);
+        // One element-major pass over the set for the whole chunk...
+        self.hasher.range_hashes_replace(
+            v,
+            cur,
+            target,
+            &mut self.min_scratch,
+            &mut self.hash_scratch,
+        );
+        // ...then size the word buffer once and pack fragments in one sweep.
+        let sig = &mut self.sigs[id as usize];
+        sig.resize((target / per_word) as usize, 0);
+        for (off, &h) in self.hash_scratch.iter().enumerate() {
+            let i = cur + off as u32;
+            sig[(i / per_word) as usize] |= (h & mask) << ((i % per_word) * self.b);
         }
         self.hashes[id as usize] = target;
         self.total += (target - cur) as u64;

@@ -26,8 +26,8 @@ pub mod signature;
 pub mod srp;
 
 pub use bbit::{bbit_collision_prob, bbit_to_jaccard, BbitSignatures};
-pub use minhash::MinHasher;
+pub use minhash::{MinHasher, MinScratch};
 pub use signature::{
     count_bit_agreements, count_int_agreements, BitSignatures, IntSignatures, SignaturePool,
 };
-pub use srp::{cos_to_r, r_to_cos, SrpHasher};
+pub use srp::{cos_to_r, generate_plane, r_to_cos, SrpHasher, SrpScratch};

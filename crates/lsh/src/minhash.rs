@@ -12,6 +12,14 @@
 //! `(a·e + b) mod p` are measurably biased on structured sets (arithmetic
 //! progressions map to arithmetic progressions), which shows up directly as
 //! biased similarity estimates.
+//!
+//! # Kernel layout
+//!
+//! Range hashing is **element-major**: one pass over the set's elements
+//! updates a contiguous `mins[lo..hi]` buffer (streaming the contiguous
+//! `(a, b)` key pairs), instead of `h` passes over the elements — one per
+//! hash slot. The minimum is commutative, so the values are identical to
+//! the hash-major order; only the memory access pattern changes.
 
 use bayeslsh_numeric::{derive_seed, Xoshiro256};
 use bayeslsh_sparse::SparseVector;
@@ -24,12 +32,33 @@ fn mix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Reusable minima scratch for the element-major minhash kernel.
+///
+/// Holds the running 64-bit minima one range pass maintains (`mins[j]` =
+/// min over elements of `π_{lo+j}(e)`). Hashers own one for their
+/// `&mut self` paths; read-only parallel workers create one per worker and
+/// pass it to [`MinHasher::hash_range_packed_with`] so steady-state hashing
+/// performs no heap allocation per call.
+#[derive(Debug, Clone, Default)]
+pub struct MinScratch {
+    mins: Vec<u64>,
+}
+
+impl MinScratch {
+    /// A fresh scratch; buffers are grown on first use and reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A lazily-grown bank of minwise hash functions with `u32` outputs.
 #[derive(Debug, Clone)]
 pub struct MinHasher {
     seed: u64,
     /// Per-function keys (a, b) of the bijection `e ↦ mix64(e ⊕ a) ⊕ b`.
     params: Vec<(u64, u64)>,
+    /// Reusable minima buffer for the `&mut self` range paths.
+    scratch: MinScratch,
 }
 
 impl MinHasher {
@@ -38,6 +67,7 @@ impl MinHasher {
         Self {
             seed,
             params: Vec::new(),
+            scratch: MinScratch::new(),
         }
     }
 
@@ -87,14 +117,36 @@ impl MinHasher {
         }
     }
 
+    /// The element-major range kernel: one pass over `v`'s elements keeps
+    /// all `hi − lo` running minima in the contiguous `mins` buffer (per
+    /// element, the inner loop streams the contiguous key pairs — no branch,
+    /// the min lowers to a select). Values are identical to evaluating
+    /// [`MinHasher::hash_ready`] per slot: a minimum is order-independent.
+    fn range_minima(&self, v: &SparseVector, lo: u32, hi: u32, mins: &mut Vec<u64>) {
+        let w = (hi - lo) as usize;
+        mins.clear();
+        mins.resize(w, u64::MAX);
+        let keys = &self.params[lo as usize..hi as usize];
+        for &e in v.indices() {
+            let e = e as u64;
+            for (m, &(a, b)) in mins.iter_mut().zip(keys) {
+                let h = mix64(e ^ a) ^ b;
+                *m = (*m).min(h);
+            }
+        }
+    }
+
     /// Compute hashes `lo..hi` for `v`, appending to `out` (whose length
-    /// must be `lo`).
+    /// must be `lo`). The pass reuses the hasher's internal scratch, so
+    /// steady-state calls perform no heap allocation beyond the
+    /// signature's own growth.
     pub fn hash_range_into(&mut self, v: &SparseVector, lo: u32, hi: u32, out: &mut Vec<u32>) {
         debug_assert_eq!(out.len(), lo as usize);
         self.ensure_functions(hi as usize);
-        for i in lo..hi {
-            out.push(self.hash_ready(i as usize, v));
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.range_minima(v, lo, hi, &mut scratch.mins);
+        out.extend(scratch.mins.iter().map(|&m| truncate_min(m)));
+        self.scratch = scratch;
     }
 
     /// Compute hashes `lo..hi` for `v` into a fresh buffer — the read-only
@@ -102,7 +154,51 @@ impl MinHasher {
     /// be materialized to `hi`; values are identical to what
     /// [`MinHasher::hash_range_into`] appends for the same range.
     pub fn hash_range_packed(&self, v: &SparseVector, lo: u32, hi: u32) -> Vec<u32> {
-        (lo..hi).map(|i| self.hash_ready(i as usize, v)).collect()
+        let mut scratch = MinScratch::new();
+        self.hash_range_packed_with(v, lo, hi, &mut scratch)
+    }
+
+    /// [`MinHasher::hash_range_packed`] with a caller-owned scratch, so
+    /// parallel workers hashing many signatures reuse one minima buffer
+    /// instead of allocating per call.
+    pub fn hash_range_packed_with(
+        &self,
+        v: &SparseVector,
+        lo: u32,
+        hi: u32,
+        scratch: &mut MinScratch,
+    ) -> Vec<u32> {
+        self.range_minima(v, lo, hi, &mut scratch.mins);
+        scratch.mins.iter().map(|&m| truncate_min(m)).collect()
+    }
+
+    /// Replace the contents of `out` with hashes `lo..hi` of `v`, reusing
+    /// caller-owned buffers throughout — the allocation-free building block
+    /// [`crate::bbit::BbitSignatures`] packs fragments from. Functions
+    /// must already be materialized to `hi`.
+    pub(crate) fn range_hashes_replace(
+        &self,
+        v: &SparseVector,
+        lo: u32,
+        hi: u32,
+        scratch: &mut MinScratch,
+        out: &mut Vec<u32>,
+    ) {
+        self.range_minima(v, lo, hi, &mut scratch.mins);
+        out.clear();
+        out.extend(scratch.mins.iter().map(|&m| truncate_min(m)));
+    }
+}
+
+/// Collapse a 64-bit running minimum to the 32-bit hash value: empty sets
+/// keep the `u32::MAX` sentinel, everything else truncates (spurious
+/// equality between different argmin elements has probability ~2⁻³²).
+#[inline]
+fn truncate_min(min: u64) -> u32 {
+    if min == u64::MAX {
+        u32::MAX
+    } else {
+        (min & 0xFFFF_FFFF) as u32
     }
 }
 
@@ -224,6 +320,27 @@ mod tests {
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, h2.hash(i, &x));
         }
+    }
+
+    #[test]
+    fn packed_range_matches_scalar_path_with_shared_scratch() {
+        let x = SparseVector::from_indices(vec![3, 1, 4, 15, 92, 6535]);
+        let mut h = MinHasher::new(88);
+        h.ensure_functions(96);
+        let mut scratch = MinScratch::new();
+        let mut spliced = Vec::new();
+        for (lo, hi) in [(0u32, 40u32), (40, 64), (64, 96)] {
+            spliced.extend(h.hash_range_packed_with(&x, lo, hi, &mut scratch));
+        }
+        for (i, &v) in spliced.iter().enumerate() {
+            assert_eq!(v, h.hash_ready(i, &x), "hash {i}");
+        }
+        assert_eq!(h.hash_range_packed(&x, 0, 96), spliced);
+        // Empty sets keep the sentinel through the kernel path.
+        assert_eq!(
+            h.hash_range_packed(&SparseVector::empty(), 0, 8),
+            vec![u32::MAX; 8]
+        );
     }
 
     #[test]

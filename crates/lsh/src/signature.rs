@@ -10,8 +10,8 @@
 use bayeslsh_numeric::fan_out;
 use bayeslsh_sparse::{Dataset, SparseVector};
 
-use crate::minhash::MinHasher;
-use crate::srp::SrpHasher;
+use crate::minhash::{MinHasher, MinScratch};
+use crate::srp::{SrpHasher, SrpScratch};
 
 /// Count agreeing bits in positions `lo..hi` between two bit-packed
 /// signatures (32 bits per word, LSB-first). Shared by [`BitSignatures`]
@@ -72,6 +72,18 @@ pub trait SignaturePool {
     /// Total hashes computed so far across all objects (cost accounting —
     /// the "hashing overhead" discussed in the paper's observation 3).
     fn total_hashes(&self) -> u64;
+
+    /// Advise the pool of a signature depth that objects are *expected to
+    /// reach*, so each object's first extension reserves its whole
+    /// signature once instead of growing chunk by chunk. Only hint depths
+    /// that are uniformly reached (fixed-`n` MLE verification, banding
+    /// candidate generation, eager index builds): hinting a chunked
+    /// Bayesian scan's *cap* would reserve many times the memory pruning
+    /// actually lets most signatures use. Purely an allocation hint: pool
+    /// contents and accounting are unaffected. Default: ignored.
+    fn depth_hint(&mut self, n: u32) {
+        let _ = n;
+    }
 }
 
 /// First occurrence of each id in `ids`, in order — parallel extension
@@ -89,6 +101,8 @@ pub struct BitSignatures {
     words: Vec<Vec<u32>>,
     bits: Vec<u32>,
     total: u64,
+    /// Depth hint (bits) for up-front signature reservation.
+    hint: u32,
 }
 
 impl BitSignatures {
@@ -99,6 +113,7 @@ impl BitSignatures {
             words: vec![Vec::new(); n_objects],
             bits: vec![0; n_objects],
             total: 0,
+            hint: 0,
         }
     }
 
@@ -164,7 +179,13 @@ impl BitSignatures {
             let v = data.vector(id);
             let hasher = &self.hasher;
             let chunks = fan_out(((target - cur) / 32) as usize, threads, |_, r| {
-                hasher.hash_bits_packed(v, cur + 32 * r.start as u32, cur + 32 * r.end as u32)
+                let mut scratch = SrpScratch::new();
+                hasher.hash_bits_packed_with(
+                    v,
+                    cur + 32 * r.start as u32,
+                    cur + 32 * r.end as u32,
+                    &mut scratch,
+                )
             });
             let slot = &mut self.words[id as usize];
             for c in chunks {
@@ -177,9 +198,13 @@ impl BitSignatures {
         let hasher = &self.hasher;
         let work_ref = &work;
         let chunks = fan_out(work.len(), threads, |_, r| {
+            // One projection scratch per worker, reused across its ids.
+            let mut scratch = SrpScratch::new();
             work_ref[r]
                 .iter()
-                .map(|&(id, cur)| hasher.hash_bits_packed(data.vector(id), cur, target))
+                .map(|&(id, cur)| {
+                    hasher.hash_bits_packed_with(data.vector(id), cur, target, &mut scratch)
+                })
                 .collect::<Vec<_>>()
         });
         for (&(id, cur), buf) in work.iter().zip(chunks.into_iter().flatten()) {
@@ -197,7 +222,8 @@ impl BitSignatures {
         self.hasher.ensure_planes_par(target as usize, threads);
         let hasher = &self.hasher;
         let chunks = fan_out((target / 32) as usize, threads, |_, r| {
-            hasher.hash_bits_packed(v, 32 * r.start as u32, 32 * r.end as u32)
+            let mut scratch = SrpScratch::new();
+            hasher.hash_bits_packed_with(v, 32 * r.start as u32, 32 * r.end as u32, &mut scratch)
         });
         chunks.into_iter().flatten().collect()
     }
@@ -210,8 +236,12 @@ impl SignaturePool for BitSignatures {
         if target <= cur {
             return;
         }
-        self.hasher
-            .hash_bits_into(v, cur, target, &mut self.words[id as usize]);
+        let slot = &mut self.words[id as usize];
+        if cur == 0 && slot.capacity() == 0 && self.hint > target {
+            // First extension: allocate the advised full depth once.
+            slot.reserve_exact(self.hint.div_ceil(32) as usize);
+        }
+        self.hasher.hash_bits_into(v, cur, target, slot);
         self.bits[id as usize] = target;
         self.total += (target - cur) as u64;
     }
@@ -229,6 +259,10 @@ impl SignaturePool for BitSignatures {
     fn total_hashes(&self) -> u64 {
         self.total
     }
+
+    fn depth_hint(&mut self, n: u32) {
+        self.hint = self.hint.max(n.div_ceil(32) * 32);
+    }
 }
 
 /// Integer signatures from minwise hashing.
@@ -237,6 +271,8 @@ pub struct IntSignatures {
     hasher: MinHasher,
     sigs: Vec<Vec<u32>>,
     total: u64,
+    /// Depth hint (hashes) for up-front signature reservation.
+    hint: u32,
 }
 
 impl IntSignatures {
@@ -246,6 +282,7 @@ impl IntSignatures {
             hasher,
             sigs: vec![Vec::new(); n_objects],
             total: 0,
+            hint: 0,
         }
     }
 
@@ -297,7 +334,13 @@ impl IntSignatures {
             let v = data.vector(id);
             let hasher = &self.hasher;
             let chunks = fan_out((n - cur) as usize, threads, |_, r| {
-                hasher.hash_range_packed(v, cur + r.start as u32, cur + r.end as u32)
+                let mut scratch = MinScratch::new();
+                hasher.hash_range_packed_with(
+                    v,
+                    cur + r.start as u32,
+                    cur + r.end as u32,
+                    &mut scratch,
+                )
             });
             let slot = &mut self.sigs[id as usize];
             for c in chunks {
@@ -309,9 +352,13 @@ impl IntSignatures {
         let hasher = &self.hasher;
         let work_ref = &work;
         let chunks = fan_out(work.len(), threads, |_, r| {
+            // One minima scratch per worker, reused across its ids.
+            let mut scratch = MinScratch::new();
             work_ref[r]
                 .iter()
-                .map(|&(id, cur)| hasher.hash_range_packed(data.vector(id), cur, n))
+                .map(|&(id, cur)| {
+                    hasher.hash_range_packed_with(data.vector(id), cur, n, &mut scratch)
+                })
                 .collect::<Vec<_>>()
         });
         for (&(id, cur), buf) in work.iter().zip(chunks.into_iter().flatten()) {
@@ -327,7 +374,8 @@ impl IntSignatures {
         self.hasher.ensure_functions(n as usize);
         let hasher = &self.hasher;
         let chunks = fan_out(n as usize, threads, |_, r| {
-            hasher.hash_range_packed(v, r.start as u32, r.end as u32)
+            let mut scratch = MinScratch::new();
+            hasher.hash_range_packed_with(v, r.start as u32, r.end as u32, &mut scratch)
         });
         chunks.into_iter().flatten().collect()
     }
@@ -338,6 +386,10 @@ impl SignaturePool for IntSignatures {
         let cur = self.sigs[id as usize].len() as u32;
         if n <= cur {
             return;
+        }
+        if cur == 0 && self.sigs[id as usize].capacity() == 0 && self.hint > n {
+            // First extension: allocate the advised full depth once.
+            self.sigs[id as usize].reserve_exact(self.hint as usize);
         }
         self.hasher
             .hash_range_into(v, cur, n, &mut self.sigs[id as usize]);
@@ -354,6 +406,10 @@ impl SignaturePool for IntSignatures {
 
     fn total_hashes(&self) -> u64 {
         self.total
+    }
+
+    fn depth_hint(&mut self, n: u32) {
+        self.hint = self.hint.max(n);
     }
 }
 

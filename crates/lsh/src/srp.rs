@@ -6,6 +6,22 @@
 //! `Pr[h_i(x) = h_i(y)] = 1 − θ(x, y)/π`, which we call `r(x, y)`.
 //! BayesLSH does its inference on `r` and converts back to cosine with
 //! [`r_to_cos`]/[`cos_to_r`].
+//!
+//! # Kernel layout
+//!
+//! Components are stored **feature-major**: the bank keeps, per feature
+//! `f`, a contiguous row of that feature's component across every plane
+//! (`bank[f · stride + i]` = component `f` of plane `i`). Hashing a sparse
+//! vector to bits `lo..hi` is then a *single* pass over its nonzeros — for
+//! each `(f, val)` the kernel streams the contiguous row slice
+//! `bank[f·stride + lo .. f·stride + hi]` into a dense accumulator
+//! (`acc[j] += row[j] · val`), which the compiler autovectorizes — instead
+//! of the transposed plane-major layout's `h × nnz` random gathers (one
+//! cache line touched per 2–4 bytes used). Sign bits are packed in one
+//! final sweep. The bank is filled by scattering the pure
+//! [`generate_plane`] streams, so every bit is **bit-identical** to the
+//! historical plane-major layout: per bit, the same `f64` terms are added
+//! in the same (index) order.
 
 use bayeslsh_numeric::{derive_seed, fan_out, Gaussian, Xoshiro256};
 use bayeslsh_sparse::SparseVector;
@@ -36,20 +52,58 @@ pub enum PlaneStorage {
     Float,
 }
 
+/// The transposed component bank: `data[f * stride + i]` holds component
+/// `f` of plane `i`, in the storage encoding. Rows are contiguous per
+/// feature so projections stream rather than gather.
+#[derive(Debug, Clone)]
+enum Bank {
+    /// 2-byte quantized components, decoded row-wise during accumulation.
+    Quantized(Vec<u16>),
+    /// Raw `f32` components.
+    Float(Vec<f32>),
+}
+
+/// Reusable projection scratch for the signed-random-projection kernels.
+///
+/// Holds the dense `f64` accumulator one projection pass writes
+/// (`acc[j] = dot(plane_{lo+j}, v)` for `j < hi − lo`). Hashers own one for
+/// their `&mut self` paths; read-only parallel workers create one per
+/// worker and pass it to [`SrpHasher::hash_bits_packed_with`] so
+/// steady-state hashing performs no heap allocation per call.
+#[derive(Debug, Clone, Default)]
+pub struct SrpScratch {
+    acc: Vec<f64>,
+}
+
+impl SrpScratch {
+    /// A fresh scratch; buffers are grown on first use and reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A lazily-grown bank of random hyperplanes producing sign bits.
 ///
 /// Plane `i` is generated deterministically from `(seed, i)`, so two
 /// `SrpHasher`s with the same seed produce identical hash streams regardless
-/// of the order in which planes were first demanded.
+/// of the order in which planes were first demanded. Components live in a
+/// feature-major transposed bank (see the module docs); the per-bit output
+/// is bit-identical to a plane-major scalar evaluation of the same
+/// [`generate_plane`] streams.
 #[derive(Debug, Clone)]
 pub struct SrpHasher {
     dim: u32,
     seed: u64,
     storage: PlaneStorage,
-    planes_q: Vec<Vec<u16>>,
-    planes_f: Vec<Vec<f32>>,
+    bank: Bank,
+    /// Planes filled so far (`0..planes` are valid in every row).
+    planes: usize,
+    /// Row width of the bank (plane capacity); grows geometrically.
+    stride: usize,
     /// Total component draws, for memory/throughput accounting.
     components_generated: u64,
+    /// Reusable accumulator for the `&mut self` hashing paths.
+    scratch: SrpScratch,
 }
 
 impl SrpHasher {
@@ -60,13 +114,19 @@ impl SrpHasher {
 
     /// A hasher with explicit storage choice.
     pub fn with_storage(dim: u32, seed: u64, storage: PlaneStorage) -> Self {
+        let bank = match storage {
+            PlaneStorage::Quantized => Bank::Quantized(Vec::new()),
+            PlaneStorage::Float => Bank::Float(Vec::new()),
+        };
         Self {
             dim,
             seed,
             storage,
-            planes_q: Vec::new(),
-            planes_f: Vec::new(),
+            bank,
+            planes: 0,
+            stride: 0,
             components_generated: 0,
+            scratch: SrpScratch::new(),
         }
     }
 
@@ -77,66 +137,92 @@ impl SrpHasher {
 
     /// Number of planes materialized so far.
     pub fn planes_ready(&self) -> usize {
-        match self.storage {
-            PlaneStorage::Quantized => self.planes_q.len(),
-            PlaneStorage::Float => self.planes_f.len(),
-        }
+        self.planes
     }
 
-    /// Bytes of plane storage currently held.
+    /// Bytes of plane storage logically held (materialized components; the
+    /// bank may hold additional reserved capacity from geometric growth).
     pub fn plane_bytes(&self) -> usize {
         match self.storage {
-            PlaneStorage::Quantized => self.planes_q.len() * self.dim as usize * 2,
-            PlaneStorage::Float => self.planes_f.len() * self.dim as usize * 4,
+            PlaneStorage::Quantized => self.planes * self.dim as usize * 2,
+            PlaneStorage::Float => self.planes * self.dim as usize * 4,
         }
     }
 
-    fn gen_plane(&mut self, index: usize) -> Vec<f32> {
-        self.components_generated += self.dim as u64;
-        generate_plane(self.dim, self.seed, index)
+    /// Grow every feature row to at least `need` plane slots, relocating
+    /// the filled prefixes. Geometric growth keeps total relayout work
+    /// linear in the final bank size.
+    fn grow_stride(&mut self, need: usize) {
+        if need <= self.stride {
+            return;
+        }
+        let mut stride = self.stride.max(64);
+        while stride < need {
+            stride *= 2;
+        }
+        let dim = self.dim as usize;
+        let (old_stride, planes) = (self.stride, self.planes);
+        match &mut self.bank {
+            Bank::Quantized(data) => relayout(data, dim, old_stride, stride, planes),
+            Bank::Float(data) => relayout(data, dim, old_stride, stride, planes),
+        }
+        self.stride = stride;
+    }
+
+    /// Scatter one generated plane (a `dim`-length column) into slot
+    /// `index` of every feature row.
+    fn scatter_plane(&mut self, index: usize, plane: &[f32]) {
+        let stride = self.stride;
+        match &mut self.bank {
+            Bank::Quantized(data) => {
+                for (f, &c) in plane.iter().enumerate() {
+                    data[f * stride + index] = quantized::encode(c);
+                }
+            }
+            Bank::Float(data) => {
+                for (f, &c) in plane.iter().enumerate() {
+                    data[f * stride + index] = c;
+                }
+            }
+        }
     }
 
     /// Materialize planes `0..n`.
     pub fn ensure_planes(&mut self, n: usize) {
-        while self.planes_ready() < n {
-            let idx = self.planes_ready();
-            let plane = self.gen_plane(idx);
-            match self.storage {
-                PlaneStorage::Quantized => self.planes_q.push(quantized::encode_slice(&plane)),
-                PlaneStorage::Float => self.planes_f.push(plane),
-            }
+        if n <= self.planes {
+            return;
         }
+        self.grow_stride(n);
+        for index in self.planes..n {
+            let plane = generate_plane(self.dim, self.seed, index);
+            self.scatter_plane(index, &plane);
+            self.components_generated += self.dim as u64;
+        }
+        self.planes = n;
     }
 
     /// Materialize planes `0..n` with up to `threads` workers. Plane `i` is
     /// a pure function of `(seed, i)`, so the result is identical to
-    /// [`SrpHasher::ensure_planes`] whatever the thread count.
+    /// [`SrpHasher::ensure_planes`] whatever the thread count (the Gaussian
+    /// streams are generated in parallel; the scatter into the bank is a
+    /// cheap serial pass).
     pub fn ensure_planes_par(&mut self, n: usize, threads: usize) {
-        let ready = self.planes_ready();
+        let ready = self.planes;
         if ready >= n {
             return;
         }
+        self.grow_stride(n);
         let missing = n - ready;
-        let (dim, seed, storage) = (self.dim, self.seed, self.storage);
-        let chunks = fan_out(missing, threads, |_, range| {
+        let (dim, seed) = (self.dim, self.seed);
+        let columns = fan_out(missing, threads, |_, range| {
             range
-                .map(|off| {
-                    let plane = generate_plane(dim, seed, ready + off);
-                    match storage {
-                        PlaneStorage::Quantized => {
-                            PlaneBuf::Quantized(quantized::encode_slice(&plane))
-                        }
-                        PlaneStorage::Float => PlaneBuf::Float(plane),
-                    }
-                })
+                .map(|off| generate_plane(dim, seed, ready + off))
                 .collect::<Vec<_>>()
         });
-        for plane in chunks.into_iter().flatten() {
-            match plane {
-                PlaneBuf::Quantized(p) => self.planes_q.push(p),
-                PlaneBuf::Float(p) => self.planes_f.push(p),
-            }
+        for (off, plane) in columns.into_iter().flatten().enumerate() {
+            self.scatter_plane(ready + off, &plane);
         }
+        self.planes = n;
         self.components_generated += missing as u64 * dim as u64;
         debug_assert_eq!(self.planes_ready(), n);
     }
@@ -148,8 +234,11 @@ impl SrpHasher {
         self.hash_bit_ready(i, v)
     }
 
-    /// Sign bit of plane `i` against `v` without materialization — the
-    /// read-only path parallel workers share.
+    /// Sign bit of plane `i` against `v` without materialization — a
+    /// per-bit read of the bank. Prefer the range kernels
+    /// ([`SrpHasher::hash_bits_into`] / [`SrpHasher::hash_bits_packed`])
+    /// anywhere more than one bit is needed; this path gathers one
+    /// component per nonzero.
     ///
     /// # Panics
     ///
@@ -157,20 +246,20 @@ impl SrpHasher {
     /// [`SrpHasher::ensure_planes`] / [`SrpHasher::ensure_planes_par`]
     /// first).
     pub fn hash_bit_ready(&self, i: usize, v: &SparseVector) -> bool {
-        let acc = match self.storage {
-            PlaneStorage::Quantized => {
-                let plane = &self.planes_q[i];
+        assert!(i < self.planes, "plane {i} not materialized");
+        let stride = self.stride;
+        let acc = match &self.bank {
+            Bank::Quantized(data) => {
                 let mut acc = 0.0f64;
                 for (idx, val) in v.iter() {
-                    acc += quantized::decode(plane[idx as usize]) as f64 * val as f64;
+                    acc += quantized::decode(data[idx as usize * stride + i]) as f64 * val as f64;
                 }
                 acc
             }
-            PlaneStorage::Float => {
-                let plane = &self.planes_f[i];
+            Bank::Float(data) => {
                 let mut acc = 0.0f64;
                 for (idx, val) in v.iter() {
-                    acc += plane[idx as usize] as f64 * val as f64;
+                    acc += data[idx as usize * stride + i] as f64 * val as f64;
                 }
                 acc
             }
@@ -178,21 +267,67 @@ impl SrpHasher {
         acc >= 0.0
     }
 
+    /// The feature-major projection kernel: one pass over `v`'s nonzeros
+    /// accumulating `acc[j] = dot(plane_{lo+j}, v)` for every `j < hi − lo`
+    /// at once. Per nonzero the inner loop streams a contiguous row slice,
+    /// so it unrolls and autovectorizes; per bit, the `f64` terms are added
+    /// in exactly the per-bit scalar path's (index) order, making every
+    /// sign bit-identical to that path.
+    fn project_ready(&self, v: &SparseVector, lo: u32, hi: u32, acc: &mut [f64]) {
+        let (lo, hi) = (lo as usize, hi as usize);
+        // A real assert, not a debug one: the geometrically-grown bank has
+        // zero-filled slots past `planes`, so an unmaterialized range would
+        // otherwise read garbage silently instead of failing loudly the way
+        // the plane-major layout's out-of-bounds index did.
+        assert!(hi <= self.planes, "planes not materialized to {hi}");
+        debug_assert_eq!(acc.len(), hi - lo);
+        acc.fill(0.0);
+        let stride = self.stride;
+        match &self.bank {
+            Bank::Quantized(data) => {
+                for (idx, val) in v.iter() {
+                    let base = idx as usize * stride;
+                    let row = &data[base + lo..base + hi];
+                    let val = val as f64;
+                    for (a, &q) in acc.iter_mut().zip(row) {
+                        *a += quantized::decode(q) as f64 * val;
+                    }
+                }
+            }
+            Bank::Float(data) => {
+                for (idx, val) in v.iter() {
+                    let base = idx as usize * stride;
+                    let row = &data[base + lo..base + hi];
+                    let val = val as f64;
+                    for (a, &c) in acc.iter_mut().zip(row) {
+                        *a += c as f64 * val;
+                    }
+                }
+            }
+        }
+    }
+
     /// Compute bits `lo..hi` for `v`, packed LSB-first into `u32` words that
     /// the caller appends to an existing signature (whose valid length must
     /// be exactly `lo` bits, with `lo` a multiple of 32 or the bits already
-    /// partially filling the last word).
+    /// partially filling the last word). The word buffer is sized once up
+    /// front from `hi`; the projection reuses the hasher's internal
+    /// scratch, so steady-state calls perform no heap allocation beyond the
+    /// signature's own growth.
     pub fn hash_bits_into(&mut self, v: &SparseVector, lo: u32, hi: u32, words: &mut Vec<u32>) {
-        self.ensure_planes(hi as usize);
-        for i in lo..hi {
-            let word_idx = (i / 32) as usize;
-            if word_idx >= words.len() {
-                words.push(0);
-            }
-            if self.hash_bit_ready(i as usize, v) {
-                words[word_idx] |= 1u32 << (i % 32);
-            }
+        if lo >= hi {
+            return;
         }
+        self.ensure_planes(hi as usize);
+        let needed = hi.div_ceil(32) as usize;
+        if words.len() < needed {
+            words.resize(needed, 0);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.acc.resize((hi - lo) as usize, 0.0);
+        self.project_ready(v, lo, hi, &mut scratch.acc);
+        pack_signs(&scratch.acc, lo, words);
+        self.scratch = scratch;
     }
 
     /// Compute bits `lo..hi` for `v` into a fresh packed buffer whose bit 0
@@ -201,17 +336,31 @@ impl SrpHasher {
     /// materialized to `hi`; the returned words are bit-identical to what
     /// [`SrpHasher::hash_bits_into`] appends for the same range.
     pub fn hash_bits_packed(&self, v: &SparseVector, lo: u32, hi: u32) -> Vec<u32> {
+        let mut scratch = SrpScratch::new();
+        self.hash_bits_packed_with(v, lo, hi, &mut scratch)
+    }
+
+    /// [`SrpHasher::hash_bits_packed`] with a caller-owned scratch, so
+    /// parallel workers hashing many signatures reuse one accumulator
+    /// instead of allocating per call.
+    pub fn hash_bits_packed_with(
+        &self,
+        v: &SparseVector,
+        lo: u32,
+        hi: u32,
+        scratch: &mut SrpScratch,
+    ) -> Vec<u32> {
         debug_assert!(
             lo % 32 == 0 && hi % 32 == 0,
             "packed ranges are word-aligned"
         );
         let mut words = vec![0u32; ((hi - lo) / 32) as usize];
-        for i in lo..hi {
-            if self.hash_bit_ready(i as usize, v) {
-                let rel = i - lo;
-                words[(rel / 32) as usize] |= 1u32 << (rel % 32);
-            }
+        if lo >= hi {
+            return words;
         }
+        scratch.acc.resize((hi - lo) as usize, 0.0);
+        self.project_ready(v, lo, hi, &mut scratch.acc);
+        pack_signs(&scratch.acc, 0, &mut words);
         words
     }
 
@@ -221,24 +370,76 @@ impl SrpHasher {
     }
 }
 
+/// Pack the sign bits of `acc` into `words`, ORing bit `base + j` for every
+/// non-negative `acc[j]`. `words` must already cover the target bit range.
+#[inline]
+fn pack_signs(acc: &[f64], base: u32, words: &mut [u32]) {
+    for (j, &a) in acc.iter().enumerate() {
+        if a >= 0.0 {
+            let bit = base + j as u32;
+            words[(bit / 32) as usize] |= 1u32 << (bit % 32);
+        }
+    }
+}
+
+/// Move feature rows from `old_stride` to `stride` slots each, preserving
+/// the filled `planes`-long prefixes.
+fn relayout<T: Copy + Default>(
+    data: &mut Vec<T>,
+    dim: usize,
+    old_stride: usize,
+    stride: usize,
+    planes: usize,
+) {
+    let mut grown = vec![T::default(); dim * stride];
+    if planes > 0 {
+        for f in 0..dim {
+            grown[f * stride..f * stride + planes]
+                .copy_from_slice(&data[f * old_stride..f * old_stride + planes]);
+        }
+    }
+    *data = grown;
+}
+
 /// Plane `index` of the `(dim, seed)` bank — a pure function, so planes can
-/// be generated in any order and on any thread.
-fn generate_plane(dim: u32, seed: u64, index: usize) -> Vec<f32> {
+/// be generated in any order and on any thread. Public so out-of-crate
+/// reference oracles (property tests, benchmark baselines) can rebuild the
+/// exact component streams the bank scatters.
+pub fn generate_plane(dim: u32, seed: u64, index: usize) -> Vec<f32> {
     let mut rng = Xoshiro256::seed_from_u64(derive_seed(seed, index as u64));
     let mut gauss = Gaussian::new();
     (0..dim).map(|_| gauss.sample(&mut rng) as f32).collect()
-}
-
-/// A plane buffer produced off-thread, in either storage encoding.
-enum PlaneBuf {
-    Quantized(Vec<u16>),
-    Float(Vec<f32>),
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use bayeslsh_sparse::cosine;
+
+    /// The historical plane-major scalar path, kept as the reference
+    /// oracle: regenerate plane `i` as a column, apply the storage
+    /// encoding, and accumulate one `f64` dot product over the nonzeros.
+    fn oracle_bit(dim: u32, seed: u64, storage: PlaneStorage, i: usize, v: &SparseVector) -> bool {
+        let plane = generate_plane(dim, seed, i);
+        let acc = match storage {
+            PlaneStorage::Quantized => {
+                let enc = quantized::encode_slice(&plane);
+                let mut acc = 0.0f64;
+                for (idx, val) in v.iter() {
+                    acc += quantized::decode(enc[idx as usize]) as f64 * val as f64;
+                }
+                acc
+            }
+            PlaneStorage::Float => {
+                let mut acc = 0.0f64;
+                for (idx, val) in v.iter() {
+                    acc += plane[idx as usize] as f64 * val as f64;
+                }
+                acc
+            }
+        };
+        acc >= 0.0
+    }
 
     fn random_dense_vector(dim: u32, rng: &mut Xoshiro256) -> SparseVector {
         let pairs: Vec<(u32, f32)> = (0..dim)
@@ -363,6 +564,39 @@ mod tests {
     }
 
     #[test]
+    fn kernels_match_scalar_oracle() {
+        // The feature-major kernel must agree bit for bit with the
+        // plane-major scalar oracle, for both storages, across extension
+        // patterns that exercise bank growth and non-aligned ranges.
+        let mut rng = Xoshiro256::seed_from_u64(404);
+        for storage in [PlaneStorage::Quantized, PlaneStorage::Float] {
+            let mut h = SrpHasher::with_storage(48, 91, storage);
+            let x = random_dense_vector(48, &mut rng);
+            let mut words = Vec::new();
+            // Grow through several stride doublings and odd boundaries.
+            for &(lo, hi) in &[(0u32, 30u32), (30, 64), (64, 200), (200, 513)] {
+                h.hash_bits_into(&x, lo, hi, &mut words);
+            }
+            for i in 0..513u32 {
+                let got = (words[(i / 32) as usize] >> (i % 32)) & 1 == 1;
+                let want = oracle_bit(48, 91, storage, i as usize, &x);
+                assert_eq!(got, want, "bit {i} storage {storage:?}");
+                assert_eq!(h.hash_bit_ready(i as usize, &x), want, "ready bit {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_vector_hashes_to_all_ones() {
+        // dot(plane, 0) = 0 and the sign convention maps 0 to `true` — the
+        // scalar path always did; the kernel must preserve it.
+        let mut h = SrpHasher::new(8, 3);
+        let mut words = Vec::new();
+        h.hash_bits_into(&SparseVector::empty(), 0, 64, &mut words);
+        assert_eq!(words, vec![u32::MAX, u32::MAX]);
+    }
+
+    #[test]
     fn parallel_plane_materialization_matches_serial() {
         let x = SparseVector::from_pairs(vec![(2, 1.0), (9, -0.75), (31, 0.5)]);
         let mut serial = SrpHasher::new(48, 909);
@@ -389,12 +623,17 @@ mod tests {
         let mut h = SrpHasher::new(16, 4242);
         let mut appended = Vec::new();
         h.hash_bits_into(&x, 0, 256, &mut appended);
-        // Reassemble the same signature from word-aligned packed chunks.
+        // Reassemble the same signature from word-aligned packed chunks,
+        // sharing one scratch across the chunk calls like a parallel
+        // worker would.
+        let mut scratch = SrpScratch::new();
         let mut spliced = Vec::new();
         for lo in (0..256).step_by(64) {
-            spliced.extend(h.hash_bits_packed(&x, lo, lo + 64));
+            spliced.extend(h.hash_bits_packed_with(&x, lo, lo + 64, &mut scratch));
         }
         assert_eq!(appended, spliced);
+        // And the allocating wrapper agrees.
+        assert_eq!(h.hash_bits_packed(&x, 0, 64), &appended[..2]);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Property tests: the feature-major SRP kernel and element-major MinHash
+//! kernel are bit-identical to the scalar reference oracle.
+//!
+//! The oracle is the historical plane-major path, rebuilt here from first
+//! principles: regenerate plane `i` as a column through the pure
+//! [`generate_plane`] stream, apply the storage encoding, and accumulate a
+//! single `f64` dot product over the nonzeros in index order. Every bit
+//! the kernels produce — through appending, packed, per-bit and pool
+//! `ensure` extension paths, word-aligned and not, quantized and float —
+//! must equal the oracle's.
+
+use bayeslsh_lsh::srp::PlaneStorage;
+use bayeslsh_lsh::{
+    generate_plane, quantized, BitSignatures, IntSignatures, MinHasher, SignaturePool, SrpHasher,
+    SrpScratch,
+};
+use bayeslsh_numeric::Xoshiro256;
+use bayeslsh_sparse::{Dataset, SparseVector};
+use proptest::prelude::*;
+
+/// The scalar reference: sign of `dot(plane_i, v)` via a column regenerated
+/// from the pure plane stream (plane-major, one gather per nonzero).
+fn oracle_srp_bit(dim: u32, seed: u64, storage: PlaneStorage, i: usize, v: &SparseVector) -> bool {
+    let plane = generate_plane(dim, seed, i);
+    let acc = match storage {
+        PlaneStorage::Quantized => {
+            let enc = quantized::encode_slice(&plane);
+            let mut acc = 0.0f64;
+            for (idx, val) in v.iter() {
+                acc += quantized::decode(enc[idx as usize]) as f64 * val as f64;
+            }
+            acc
+        }
+        PlaneStorage::Float => {
+            let mut acc = 0.0f64;
+            for (idx, val) in v.iter() {
+                acc += plane[idx as usize] as f64 * val as f64;
+            }
+            acc
+        }
+    };
+    acc >= 0.0
+}
+
+/// A random sparse vector with signed weights (possibly empty).
+fn random_vector(dim: u32, max_nnz: usize, rng: &mut Xoshiro256) -> SparseVector {
+    let nnz = rng.next_below(max_nnz as u64 + 1) as usize;
+    let pairs: Vec<(u32, f32)> = (0..nnz)
+        .map(|_| {
+            (
+                rng.next_below(dim as u64) as u32,
+                (rng.next_f64() * 2.0 - 1.0) as f32,
+            )
+        })
+        .collect();
+    SparseVector::from_pairs(pairs)
+}
+
+/// Split `0..total` into random increments, mimicking the incremental
+/// `ensure` extension pattern of chunked verification.
+fn random_cuts(total: u32, rng: &mut Xoshiro256) -> Vec<(u32, u32)> {
+    let mut cuts = vec![0u32];
+    let mut at = 0;
+    while at < total {
+        at = (at + 1 + rng.next_below(96) as u32).min(total);
+        cuts.push(at);
+    }
+    cuts.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+fn storage_of(quantized: bool) -> PlaneStorage {
+    if quantized {
+        PlaneStorage::Quantized
+    } else {
+        PlaneStorage::Float
+    }
+}
+
+fn bit_of(words: &[u32], i: u32) -> bool {
+    (words[(i / 32) as usize] >> (i % 32)) & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `hash_bits_into` over arbitrary (non-word-aligned) increments is
+    /// bit-identical to the scalar oracle, for both storages.
+    #[test]
+    fn srp_incremental_extension_matches_oracle(
+        seed in 0u64..500,
+        dim_sel in 8u32..200,
+        is_quant in 0u32..2,
+        total in 1u32..300,
+    ) {
+        let storage = storage_of(is_quant == 1);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xA1);
+        let v = random_vector(dim_sel, 24, &mut rng);
+        let mut h = SrpHasher::with_storage(dim_sel, seed, storage);
+        let mut words = Vec::new();
+        for (lo, hi) in random_cuts(total, &mut rng) {
+            h.hash_bits_into(&v, lo, hi, &mut words);
+        }
+        for i in 0..total {
+            let want = oracle_srp_bit(dim_sel, seed, storage, i as usize, &v);
+            prop_assert_eq!(bit_of(&words, i), want, "bit {} of {}", i, total);
+            prop_assert_eq!(h.hash_bit_ready(i as usize, &v), want);
+        }
+    }
+
+    /// The word-aligned packed kernel (the parallel splice building block),
+    /// with a shared scratch, matches the oracle.
+    #[test]
+    fn srp_packed_matches_oracle(
+        seed in 0u64..500,
+        is_quant in 0u32..2,
+        words_n in 1u32..8,
+    ) {
+        let storage = storage_of(is_quant == 1);
+        let dim = 64;
+        let total = words_n * 32;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xB2);
+        let v = random_vector(dim, 16, &mut rng);
+        let mut h = SrpHasher::with_storage(dim, seed, storage);
+        h.ensure_planes(total as usize);
+        let mut scratch = SrpScratch::new();
+        let mut packed = Vec::new();
+        let mut lo = 0;
+        while lo < total {
+            let hi = (lo + 32 * (1 + rng.next_below(3) as u32)).min(total);
+            packed.extend(h.hash_bits_packed_with(&v, lo, hi, &mut scratch));
+            lo = hi;
+        }
+        for i in 0..total {
+            prop_assert_eq!(
+                bit_of(&packed, i),
+                oracle_srp_bit(dim, seed, storage, i as usize, &v),
+                "bit {}", i
+            );
+        }
+    }
+
+    /// Pool-level `ensure` in increments equals a one-shot deep `ensure`
+    /// and the oracle, across word-aligned and unaligned demands.
+    #[test]
+    fn bit_pool_extension_patterns_match_one_shot(
+        seed in 0u64..300,
+        total in 1u32..260,
+    ) {
+        let dim = 96;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xC3);
+        let v = random_vector(dim, 20, &mut rng);
+        let mut data = Dataset::new(dim);
+        data.push(v.clone());
+
+        let mut incremental = BitSignatures::new(SrpHasher::new(dim, seed), 1);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            incremental.ensure(0, &v, hi);
+        }
+        let mut one_shot = BitSignatures::new(SrpHasher::new(dim, seed), 1);
+        one_shot.depth_hint(total); // hint must not change contents
+        one_shot.ensure(0, &v, total);
+        prop_assert_eq!(incremental.len(0), one_shot.len(0));
+        prop_assert_eq!(incremental.raw_words(0), one_shot.raw_words(0));
+        for i in 0..one_shot.len(0) {
+            prop_assert_eq!(
+                bit_of(one_shot.raw_words(0), i),
+                oracle_srp_bit(dim, seed, PlaneStorage::Quantized, i as usize, &v)
+            );
+        }
+    }
+
+    /// Element-major minhash ranges equal the scalar per-slot path over
+    /// arbitrary increments.
+    #[test]
+    fn minhash_incremental_extension_matches_scalar(
+        seed in 0u64..500,
+        total in 1u32..300,
+        set_size in 0u64..40,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD4);
+        let idxs: Vec<u32> = (0..set_size).map(|_| rng.next_below(10_000) as u32).collect();
+        let v = SparseVector::from_indices(idxs);
+        let mut h = MinHasher::new(seed);
+        let mut out = Vec::new();
+        for (lo, hi) in random_cuts(total, &mut rng) {
+            h.hash_range_into(&v, lo, hi, &mut out);
+        }
+        prop_assert_eq!(out.len(), total as usize);
+        for (i, &got) in out.iter().enumerate() {
+            prop_assert_eq!(got, h.hash_ready(i, &v), "slot {}", i);
+        }
+        // And the packed read-only path over a random sub-range.
+        let lo = rng.next_below(total as u64) as u32;
+        let hi = lo + rng.next_below((total - lo) as u64 + 1) as u32;
+        prop_assert_eq!(h.hash_range_packed(&v, lo, hi), &out[lo as usize..hi as usize]);
+    }
+
+    /// Int pool incremental `ensure` equals one-shot, and everything equals
+    /// the scalar path.
+    #[test]
+    fn int_pool_extension_patterns_match_one_shot(
+        seed in 0u64..300,
+        total in 1u32..260,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xE5);
+        let idxs: Vec<u32> = (0..1 + rng.next_below(30)).map(|_| rng.next_below(5_000) as u32).collect();
+        let v = SparseVector::from_indices(idxs);
+        let mut incremental = IntSignatures::new(MinHasher::new(seed), 1);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            incremental.ensure(0, &v, hi);
+        }
+        let mut one_shot = IntSignatures::new(MinHasher::new(seed), 1);
+        one_shot.depth_hint(total);
+        one_shot.ensure(0, &v, total);
+        prop_assert_eq!(incremental.raw(0), one_shot.raw(0));
+        let mut scalar = MinHasher::new(seed);
+        for (i, &got) in one_shot.raw(0).iter().enumerate() {
+            prop_assert_eq!(got, scalar.hash(i, &v), "slot {}", i);
+        }
+    }
+}
