@@ -435,6 +435,49 @@ pub fn validate_json(s: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Every distinct `"key":` name occurring in a baseline JSON document —
+/// the schema fingerprint the drift check compares.
+pub fn schema_keys(s: &str) -> std::collections::BTreeSet<String> {
+    let mut keys = std::collections::BTreeSet::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while let Some(open) = s[i..].find('"') {
+        let start = i + open + 1;
+        let Some(close) = s[start..].find('"') else {
+            break;
+        };
+        let end = start + close;
+        // A quoted string is a key iff the next non-space byte is ':'.
+        let mut j = end + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j] == b':' {
+            keys.insert(s[start..end].to_string());
+        }
+        i = end + 1;
+    }
+    keys
+}
+
+/// Compare the schema (key set) of a committed baseline against a freshly
+/// emitted one, so the committed `BENCH_<n>.json` and the emitter cannot
+/// drift apart silently. Values are expected to differ (different hosts,
+/// different runs); the *keys* are the contract.
+pub fn diff_schema(committed: &str, fresh: &str) -> Result<(), String> {
+    let (a, b) = (schema_keys(committed), schema_keys(fresh));
+    let missing: Vec<&String> = a.difference(&b).collect();
+    let added: Vec<&String> = b.difference(&a).collect();
+    if missing.is_empty() && added.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "baseline schema drift: keys only in committed file: {missing:?}; \
+             keys only in fresh emit: {added:?}"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,6 +539,22 @@ mod tests {
             .to_json()
             .replacen("\"speedup\"", "\"sp\"", 1);
         assert!(validate_json(&json).is_err());
+    }
+
+    #[test]
+    fn schema_diff_accepts_value_changes_and_rejects_key_changes() {
+        let a = sample_report().to_json();
+        let mut r = sample_report();
+        r.scale = 0.5;
+        r.verify.pairs_per_s = 1.0;
+        let b = r.to_json();
+        diff_schema(&a, &b).expect("value-only changes are not drift");
+        let c = a.replace("\"hash_comparisons\"", "\"hash_cmps\"");
+        let err = diff_schema(&a, &c).unwrap_err();
+        assert!(err.contains("hash_comparisons") && err.contains("hash_cmps"));
+        // String *values* (e.g. preset names) are not keys.
+        assert!(!schema_keys(&a).contains("RCV1"));
+        assert!(schema_keys(&a).contains("end_to_end"));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   table4   estimate errors: LSH Approx vs LSH+BayesLSH
 //!   table5   output quality vs gamma/delta/epsilon
 //!   parallel all-pairs speedup vs worker threads (1/2/4/8)
+//!   save-index  build a Searcher on the RCV1-shaped preset and persist a
+//!               versioned snapshot (--out, default index.snap)
+//!   serve       cold-load a snapshot (--from-snapshot) and time it against
+//!               a from-scratch rebuild, asserting bit-identical output
 //!   all      everything above
 //! ```
 //!
@@ -23,14 +27,25 @@
 
 use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
 use bayeslsh_bench::timing::Family;
-use bayeslsh_bench::{baseline, fig1, fig5, parallel, params, pruning, quality, table1, timing};
+use bayeslsh_bench::{
+    baseline, fig1, fig5, parallel, params, persist, pruning, quality, table1, timing,
+};
 use bayeslsh_datasets::Preset;
 
 struct Args {
     command: String,
     scale: f64,
     seed: u64,
-    out: String,
+    out: Option<String>,
+    from_snapshot: Option<String>,
+    diff_schema: Option<String>,
+}
+
+impl Args {
+    /// The output path, with a per-command default.
+    fn out_or(&self, default: &str) -> String {
+        self.out.clone().unwrap_or_else(|| default.to_string())
+    }
 }
 
 fn parse_args() -> Args {
@@ -38,7 +53,9 @@ fn parse_args() -> Args {
         command: String::new(),
         scale: 0.004,
         seed: 42,
-        out: "BENCH_4.json".to_string(),
+        out: None,
+        from_snapshot: None,
+        diff_schema: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -56,7 +73,19 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--out" => {
-                args.out = it.next().unwrap_or_else(|| die("--out needs a path"));
+                args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--from-snapshot" => {
+                args.from_snapshot = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--from-snapshot needs a path")),
+                );
+            }
+            "--diff-schema" => {
+                args.diff_schema = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--diff-schema needs a path")),
+                );
             }
             "--help" | "-h" => {
                 print_usage();
@@ -83,14 +112,70 @@ fn die(msg: &str) -> ! {
 fn print_usage() {
     eprintln!(
         "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|\
-         bench-baseline|all> [--scale S] [--seed N] [--out PATH]"
+         bench-baseline|save-index|serve|all> [--scale S] [--seed N] [--out PATH] \
+         [--from-snapshot PATH] [--diff-schema PATH]"
     );
 }
 
-fn run_bench_baseline(args: &Args) {
+fn run_save_index(args: &Args) {
+    let out = args.out_or("index.snap");
     banner(&format!(
-        "Perf baseline: hashing kernels + verification (scale {}, -> {})",
-        args.scale, args.out
+        "Save index: build once, persist the snapshot (scale {}, -> {out})",
+        args.scale
+    ));
+    match persist::save_index(args.scale, args.seed, &out) {
+        Ok(r) => {
+            println!(
+                "built {} vectors ({} hashes) in {}; saved {} in {}",
+                fmt_count(r.n_vectors as u64),
+                fmt_count(r.hashes),
+                fmt_secs(r.build_secs),
+                fmt_count(r.bytes),
+                fmt_secs(r.save_secs),
+            );
+            println!(
+                "serve it with: repro serve --from-snapshot {out} --scale {}",
+                args.scale
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn run_serve(args: &Args) {
+    let Some(path) = args.from_snapshot.as_deref() else {
+        die("serve needs --from-snapshot PATH (from a prior save-index)");
+    };
+    banner(&format!(
+        "Serve: cold-load {path} vs rebuild (scale {})",
+        args.scale
+    ));
+    match persist::serve(args.scale, args.seed, path) {
+        Ok(r) => {
+            let table = vec![
+                vec!["probe header".to_string(), fmt_secs(r.probe_secs)],
+                vec!["cold load".to_string(), fmt_secs(r.load_secs)],
+                vec!["rebuild from scratch".to_string(), fmt_secs(r.rebuild_secs)],
+                vec!["load speedup".to_string(), format!("{:.2}x", r.speedup)],
+            ];
+            print!("{}", render_table(&["phase", "time"], &table));
+            println!(
+                "{} queries on the loaded index in {} — output asserted bit-identical \
+                 to the rebuild ({} vectors)",
+                r.queries,
+                fmt_secs(r.query_secs),
+                fmt_count(r.n_vectors as u64),
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn run_bench_baseline(args: &Args) {
+    let out = args.out_or("BENCH_4.json");
+    banner(&format!(
+        "Perf baseline: hashing kernels + verification (scale {}, -> {out})",
+        args.scale
     ));
     let report = baseline::run(args.scale, args.seed);
     let table = vec![
@@ -131,14 +216,25 @@ fn run_bench_baseline(args: &Args) {
         );
     }
     let json = report.to_json();
-    if let Err(e) = std::fs::write(&args.out, &json) {
-        die(&format!("cannot write {}: {e}", args.out));
+    if let Err(e) = std::fs::write(&out, &json) {
+        die(&format!("cannot write {out}: {e}"));
     }
     // The subcommand validates what it wrote: CI smoke-tests this path, so
     // a schema regression fails loudly instead of rotting silently.
-    match baseline::validate_json(&std::fs::read_to_string(&args.out).unwrap_or_default()) {
-        Ok(()) => println!("wrote {} (schema OK)", args.out),
+    match baseline::validate_json(&std::fs::read_to_string(&out).unwrap_or_default()) {
+        Ok(()) => println!("wrote {out} (schema OK)"),
         Err(e) => die(&format!("emitted baseline failed schema check: {e}")),
+    }
+    // With --diff-schema, also hold the emitted keys against a committed
+    // baseline so the two cannot drift apart (values may differ; keys are
+    // the contract).
+    if let Some(committed) = &args.diff_schema {
+        let committed_json = std::fs::read_to_string(committed)
+            .unwrap_or_else(|e| die(&format!("cannot read {committed}: {e}")));
+        match baseline::diff_schema(&committed_json, &json) {
+            Ok(()) => println!("schema matches {committed}"),
+            Err(e) => die(&e),
+        }
     }
 }
 
@@ -162,6 +258,8 @@ fn main() {
         "table5" => run_table5(&args),
         "parallel" => run_parallel(&args),
         "bench-baseline" => run_bench_baseline(&args),
+        "save-index" => run_save_index(&args),
+        "serve" => run_serve(&args),
         "all" => {
             run_parallel(&args);
             run_fig1();

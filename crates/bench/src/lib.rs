@@ -11,6 +11,7 @@ pub mod fig1;
 pub mod fig5;
 pub mod parallel;
 pub mod params;
+pub mod persist;
 pub mod pruning;
 pub mod quality;
 pub mod report;

@@ -1,0 +1,178 @@
+//! The snapshot cold-load experiment (`repro save-index` / `repro serve`).
+//!
+//! The point of persistence is economic: an offline build pays the corpus
+//! hashing and index construction once, and every serving worker cold-loads
+//! the artifact instead of re-paying it. This module measures exactly that
+//! trade on a preset corpus — build+save on one side, load on the other,
+//! with the loaded searcher's output asserted **bit-identical** to a
+//! from-scratch rebuild while the clock runs.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::time::Instant;
+
+use bayeslsh_core::{Algorithm, Parallelism, PipelineConfig, Searcher, SnapshotHeader};
+use bayeslsh_datasets::Preset;
+
+/// The build the experiment persists: the paper's flagship composition
+/// over an RCV1-shaped corpus at t = 0.7.
+fn build_searcher(scale: f64, seed: u64) -> Searcher {
+    let data = Preset::Rcv1.load(scale, seed);
+    Searcher::builder(PipelineConfig::cosine(0.7))
+        .algorithm(Algorithm::LshBayesLsh)
+        .parallelism(Parallelism::Auto)
+        .build(data)
+        .expect("preset corpus and paper config are valid")
+}
+
+/// What `repro save-index` measured.
+#[derive(Debug, Clone)]
+pub struct SaveReport {
+    /// Corpus vectors indexed.
+    pub n_vectors: usize,
+    /// Corpus hashes the build computed (what a cold load avoids).
+    pub hashes: u64,
+    /// Wall time of the from-scratch build.
+    pub build_secs: f64,
+    /// Wall time of serializing the snapshot.
+    pub save_secs: f64,
+    /// Snapshot size on disk.
+    pub bytes: u64,
+}
+
+/// Build the standard searcher and persist it to `path`.
+pub fn save_index(scale: f64, seed: u64, path: &str) -> Result<SaveReport, String> {
+    let start = Instant::now();
+    let searcher = build_searcher(scale, seed);
+    let build_secs = start.elapsed().as_secs_f64();
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let start = Instant::now();
+    searcher
+        .save(BufWriter::new(file))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    let save_secs = start.elapsed().as_secs_f64();
+    let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    Ok(SaveReport {
+        n_vectors: searcher.len(),
+        hashes: searcher.hash_count(),
+        build_secs,
+        save_secs,
+        bytes,
+    })
+}
+
+/// What `repro serve --from-snapshot` measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Corpus vectors served.
+    pub n_vectors: usize,
+    /// Wall time to probe the header (metadata only).
+    pub probe_secs: f64,
+    /// Wall time to cold-load the snapshot into a ready searcher.
+    pub load_secs: f64,
+    /// Wall time to rebuild the same searcher from scratch.
+    pub rebuild_secs: f64,
+    /// `rebuild_secs / load_secs`.
+    pub speedup: f64,
+    /// Point queries answered while checking equivalence.
+    pub queries: usize,
+    /// Total wall time of those queries on the loaded searcher.
+    pub query_secs: f64,
+}
+
+/// Cold-load `path`, rebuild the equivalent searcher from scratch, assert
+/// the two are bit-identical (batch join + a query sweep), and report the
+/// timings. `scale`/`seed` must match the `save-index` invocation that
+/// wrote the snapshot — a mismatch is reported, not ignored.
+pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
+    let open = || File::open(path).map_err(|e| format!("cannot open {path}: {e}"));
+    let start = Instant::now();
+    let header =
+        SnapshotHeader::read(BufReader::new(open()?)).map_err(|e| format!("probe: {e}"))?;
+    let probe_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut loaded = Searcher::load(BufReader::new(open()?)).map_err(|e| format!("load: {e}"))?;
+    let load_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut rebuilt = build_searcher(scale, seed);
+    let rebuild_secs = start.elapsed().as_secs_f64();
+
+    if loaded.len() != rebuilt.len() || loaded.hash_count() != rebuilt.hash_count() {
+        return Err(format!(
+            "snapshot ({} vectors, {} hashes) does not match a --scale {scale} --seed {seed} \
+             rebuild ({} vectors, {} hashes); pass the same arguments as save-index",
+            loaded.len(),
+            loaded.hash_count(),
+            rebuilt.len(),
+            rebuilt.hash_count()
+        ));
+    }
+    debug_assert_eq!(header.n_vectors as usize, loaded.len());
+
+    // Bit-identity while the clock runs: the loaded index must not merely
+    // work, it must reproduce the rebuild exactly.
+    let (a, b) = (
+        rebuilt.all_pairs().map_err(|e| e.to_string())?,
+        loaded.all_pairs().map_err(|e| e.to_string())?,
+    );
+    if a.pairs.len() != b.pairs.len()
+        || a.pairs
+            .iter()
+            .zip(&b.pairs)
+            .any(|(x, y)| (x.0, x.1, x.2.to_bits()) != (y.0, y.1, y.2.to_bits()))
+    {
+        return Err("loaded all_pairs diverged from the rebuild".into());
+    }
+
+    let qids: Vec<u32> = (0..loaded.len() as u32).step_by(7).collect();
+    let mut query_secs = 0.0;
+    for &qid in &qids {
+        let q = rebuilt.data().vector(qid).clone();
+        let want = rebuilt.query(&q, 0.7).map_err(|e| e.to_string())?;
+        let start = Instant::now();
+        let got = loaded.query(&q, 0.7).map_err(|e| e.to_string())?;
+        query_secs += start.elapsed().as_secs_f64();
+        if want.neighbors.len() != got.neighbors.len()
+            || want
+                .neighbors
+                .iter()
+                .zip(&got.neighbors)
+                .any(|(x, y)| (x.0, x.1.to_bits()) != (y.0, y.1.to_bits()))
+            || want.stats != got.stats
+        {
+            return Err(format!("query {qid} diverged from the rebuild"));
+        }
+    }
+
+    Ok(ServeReport {
+        n_vectors: loaded.len(),
+        probe_secs,
+        load_secs,
+        rebuild_secs,
+        speedup: rebuild_secs / load_secs.max(1e-12),
+        queries: qids.len(),
+        query_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_then_serve_round_trips_on_a_tiny_preset() {
+        let path = std::env::temp_dir().join("bayeslsh_persist_test.snap");
+        let path = path.to_str().unwrap().to_string();
+        let saved = save_index(0.0005, 42, &path).unwrap();
+        assert!(saved.n_vectors > 0 && saved.bytes > 0 && saved.hashes > 0);
+        let served = serve(0.0005, 42, &path).unwrap();
+        assert_eq!(served.n_vectors, saved.n_vectors);
+        assert!(served.load_secs > 0.0 && served.rebuild_secs > 0.0);
+        assert!(served.queries > 0);
+        // A different seed is a detected mismatch, not silent divergence.
+        assert!(serve(0.0005, 43, &path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -8,6 +8,7 @@
 
 use bayeslsh_lsh::{BitSignatures, IntSignatures, SignaturePool};
 use bayeslsh_numeric::fan_out;
+use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_sparse::Dataset;
 
 use crate::fxhash::{FxHashMap, FxHasher};
@@ -301,6 +302,132 @@ impl BandingIndex {
             }
         }
         out.into_vec()
+    }
+
+    /// Serialize the index for a snapshot: banding parameters, then the
+    /// ascending id list, then per band the id-ordered band-key stream.
+    ///
+    /// The id-ordered streams are the load-bearing choice. Bucket-map
+    /// *iteration* order — which [`BandingIndex::all_pairs`] and
+    /// [`BandingIndex::probe`] output order, and hence the candidate order
+    /// downstream estimators see, depend on — is a deterministic function
+    /// of the map's insertion sequence. Both construction paths insert ids
+    /// in ascending order per band ([`BandingIndex::par_build`] scans `ids`
+    /// in order; incremental [`BandingIndex::insert`]s always append a
+    /// fresh, larger id), so [`BandingIndex::read_wire`] can replay exactly
+    /// that sequence from the streams and reconstruct maps whose iteration
+    /// order — and therefore every downstream result — is bit-identical to
+    /// the saved index's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index was built outside that contract (some id
+    /// inserted more than once): such an insertion sequence is not
+    /// reconstructible from sorted streams.
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        w.put_u32(self.params.k)?;
+        w.put_u32(self.params.l)?;
+        w.put_u64(self.indexed as u64)?;
+        // Reassemble each band's id-ordered (id, key) pairs from its
+        // buckets. Within a bucket ids are already ascending (insertion
+        // order), so a global sort per band restores the full sequence.
+        let mut bands: Vec<Vec<(u32, u64)>> = self
+            .buckets
+            .iter()
+            .map(|buckets| {
+                let mut pairs: Vec<(u32, u64)> = buckets
+                    .iter()
+                    .flat_map(|(&key, ids)| ids.iter().map(move |&id| (id, key)))
+                    .collect();
+                pairs.sort_unstable_by_key(|&(id, _)| id);
+                pairs
+            })
+            .collect();
+        let ids: Vec<u32> = bands
+            .first()
+            .map(|pairs| pairs.iter().map(|&(id, _)| id).collect())
+            .unwrap_or_default();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]) && ids.len() == self.indexed,
+            "snapshot requires unique ascending-id insertions"
+        );
+        w.put_u64(ids.len() as u64)?;
+        for &id in &ids {
+            w.put_u32(id)?;
+        }
+        for pairs in bands.iter_mut() {
+            assert_eq!(pairs.len(), ids.len(), "bands must index the same ids");
+            for &(_, key) in pairs.iter() {
+                w.put_u64(key)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize an index written by [`BandingIndex::write_wire`],
+    /// replaying the per-band ascending-id insertion sequence (sharded
+    /// across up to `threads` workers, which reproduces the serial maps
+    /// exactly — see [`BandingIndex::par_build`]). Ids must be strictly
+    /// ascending and below `id_bound`; violations are typed
+    /// [`WireError::Corrupt`]s, never panics.
+    pub fn read_wire<R: std::io::Read>(
+        r: &mut WireReader<R>,
+        id_bound: u32,
+        threads: usize,
+    ) -> Result<Self, WireError> {
+        // Far above any plan the `l` formula's callers produce (their cap
+        // is 10k bands), yet small enough that a crafted band count cannot
+        // spin or allocate per-band state unboundedly before the stream
+        // runs out.
+        const MAX_WIRE_BANDS: u32 = 1 << 20;
+        let k = r.get_u32()?;
+        let l = r.get_u32()?;
+        if k < 1 || l < 1 {
+            return Err(WireError::corrupt(format!("degenerate banding {k}x{l}")));
+        }
+        if l > MAX_WIRE_BANDS {
+            return Err(WireError::corrupt(format!(
+                "band count {l} above the format bound {MAX_WIRE_BANDS}"
+            )));
+        }
+        let indexed = r.get_u64()?;
+        let n_ids = r.get_u64()?;
+        if n_ids != indexed || indexed > id_bound as u64 {
+            return Err(WireError::corrupt(format!(
+                "indexed count {indexed} disagrees with id list {n_ids} (bound {id_bound})"
+            )));
+        }
+        let mut ids = Vec::with_capacity(n_ids.min(65_536) as usize);
+        for _ in 0..n_ids {
+            ids.push(r.get_u32()?);
+        }
+        if !ids.windows(2).all(|w| w[0] < w[1]) || ids.last().is_some_and(|&id| id >= id_bound) {
+            return Err(WireError::corrupt(
+                "id list not strictly ascending within bound".to_string(),
+            ));
+        }
+        let mut keys = Vec::with_capacity((l as usize).min(65_536));
+        for _ in 0..l {
+            let mut band = Vec::with_capacity(ids.len());
+            for _ in 0..ids.len() {
+                band.push(r.get_u64()?);
+            }
+            keys.push(band);
+        }
+        let params = BandingParams { k, l };
+        // O(1) id → stream-slot lookups for the replay below (the lookup
+        // runs once per (id, band), so a per-key binary search would cost
+        // n·l·log n on the cold-load path).
+        let mut slot = vec![0u32; ids.last().map_or(0, |&id| id as usize + 1)];
+        for (i, &id) in ids.iter().enumerate() {
+            slot[id as usize] = i as u32;
+        }
+        // Replay through the standard sharded build: each band's map sees
+        // the same ascending-id insertion sequence as the saved one did.
+        let index = Self::par_build(params, &ids, threads, |id, band| {
+            keys[band as usize][slot[id as usize] as usize]
+        });
+        Ok(index)
     }
 
     /// All distinct ids sharing at least one band bucket with the given
@@ -682,6 +809,65 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_candidate_and_probe_order() {
+        let data = clustered_sets(6, 5, 61);
+        let params = BandingParams::for_threshold(0.5, 3, 0.03, 1000);
+        let mut pool = IntSignatures::new(MinHasher::new(62), data.len());
+        let mut index = BandingIndex::new(params);
+        let mut keys = Vec::new();
+        for (id, v) in data.iter() {
+            pool.ensure(id, v, params.total_hashes());
+            let k = band_keys_ints(pool.raw(id), params);
+            index.insert(id, &k);
+            keys.push(k);
+        }
+        let mut w = WireWriter::new(Vec::new());
+        index.write_wire(&mut w).unwrap();
+        let payload = w.into_inner();
+        for threads in [1usize, 4] {
+            let mut r = WireReader::new(&payload[..]);
+            let mut back = BandingIndex::read_wire(&mut r, data.len() as u32, threads).unwrap();
+            assert_eq!(r.bytes_read(), payload.len() as u64);
+            assert_eq!(back.len(), index.len());
+            assert_eq!(back.params(), index.params());
+            // Identical *order*, not just identical sets: downstream
+            // candidate order (and thus Bayesian estimates) depends on it.
+            assert_eq!(back.all_pairs(), index.all_pairs(), "threads {threads}");
+            for (id, k) in keys.iter().enumerate().step_by(4) {
+                assert_eq!(back.probe(k), index.probe(k), "probe {id}");
+            }
+            // Inserting into the reloaded index behaves like inserting into
+            // the original.
+            let mut orig = index.clone();
+            let fresh = vec![123u64; params.l as usize];
+            orig.insert(data.len() as u32, &fresh);
+            back.insert(data.len() as u32, &fresh);
+            assert_eq!(back.all_pairs(), orig.all_pairs());
+        }
+    }
+
+    #[test]
+    fn wire_read_rejects_malformed_indexes() {
+        let params = BandingParams { k: 1, l: 2 };
+        let mut index = BandingIndex::new(params);
+        index.insert(0, &[7, 9]);
+        index.insert(1, &[7, 11]);
+        let mut w = WireWriter::new(Vec::new());
+        index.write_wire(&mut w).unwrap();
+        let payload = w.into_inner();
+        // Ids beyond the caller's bound are rejected.
+        assert!(BandingIndex::read_wire(&mut WireReader::new(&payload[..]), 1, 1).is_err());
+        // Degenerate banding parameters are a typed error, not a panic.
+        let mut w = WireWriter::new(Vec::new());
+        w.put_u32(0).unwrap();
+        w.put_u32(2).unwrap();
+        w.put_u64(0).unwrap();
+        w.put_u64(0).unwrap();
+        let bad = w.into_inner();
+        assert!(BandingIndex::read_wire(&mut WireReader::new(&bad[..]), 10, 1).is_err());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`searcher`] — the build-once/query-many API: a [`Searcher`] hashes
 //!   and indexes a corpus once, then serves batch joins, threshold point
 //!   queries, Bayesian-pruned top-k, and incremental inserts.
+//! * [`persist`] — versioned binary index snapshots:
+//!   [`Searcher::save`]/[`Searcher::load`] make the built searcher a
+//!   durable artifact (the loaded searcher is bit-identical in behaviour),
+//!   with [`SnapshotHeader`] probing and typed [`SnapshotError`]s.
 //! * [`pipeline`] — the eight named [`Algorithm`]s and the legacy one-shot
 //!   [`run_algorithm`] shim over the composable layer.
 //! * [`metrics`] — recall and estimation-error reports (Tables 3–5).
@@ -70,6 +74,7 @@ pub mod knn;
 pub mod metrics;
 pub mod minmatch;
 pub mod parallel;
+pub mod persist;
 pub mod pipeline;
 pub mod posterior;
 pub mod searcher;
@@ -93,6 +98,7 @@ pub use minmatch::{MinMatchCache, MinMatchTable};
 pub use parallel::{
     candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
 };
+pub use persist::{SnapshotError, SnapshotHeader, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
 pub use posterior::PosteriorModel;
 pub use searcher::{HashMode, QueryOutput, QueryStats, Searcher, SearcherBuilder, TopKOutput};

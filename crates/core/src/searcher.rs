@@ -240,10 +240,72 @@ pub struct Searcher {
     minmatch_cache: MinMatchCache,
 }
 
+/// The state a snapshot must capture to reconstruct a [`Searcher`]; the
+/// derived fields (banding plan, pruning-table memo, pool allocation hint)
+/// are recomputed on [`Searcher::from_parts`].
+pub(crate) struct SearcherParts {
+    pub data: Dataset,
+    pub cfg: PipelineConfig,
+    pub composition: Composition,
+    pub mode: HashMode,
+    pub threads: usize,
+    pub sig_depth: u32,
+    pub pool: SigPool,
+    pub index: BandingIndex,
+}
+
 impl Searcher {
     /// Start building a searcher for `cfg`.
     pub fn builder(cfg: PipelineConfig) -> SearcherBuilder {
         SearcherBuilder::new(cfg)
+    }
+
+    /// The standing signature pool (snapshot serialization).
+    pub(crate) fn pool(&self) -> &SigPool {
+        &self.pool
+    }
+
+    /// The standing banding index (snapshot serialization).
+    pub(crate) fn index(&self) -> &BandingIndex {
+        &self.index
+    }
+
+    /// The depth every indexed vector is hashed to at build/insert time.
+    pub(crate) fn sig_depth(&self) -> u32 {
+        self.sig_depth
+    }
+
+    /// Reassemble a searcher from snapshot parts, recomputing everything a
+    /// snapshot does not carry exactly as [`SearcherBuilder::build`] would:
+    /// the banding plan is a pure function of the config, the pruning-table
+    /// memo starts empty (it is rebuilt deterministically on demand), and
+    /// the pool gets the same allocation hint future inserts would have
+    /// seen.
+    pub(crate) fn from_parts(parts: SearcherParts) -> Self {
+        let SearcherParts {
+            data,
+            cfg,
+            composition,
+            mode,
+            threads,
+            sig_depth,
+            mut pool,
+            index,
+        } = parts;
+        let plan = cfg.banding_plan();
+        pool.depth_hint(sig_depth);
+        Searcher {
+            data,
+            cfg,
+            composition,
+            mode,
+            threads,
+            sig_depth,
+            pool,
+            index,
+            plan,
+            minmatch_cache: MinMatchCache::new(),
+        }
     }
 
     /// The indexed corpus.

@@ -21,6 +21,7 @@
 //! hash slot. The minimum is commutative, so the values are identical to
 //! the hash-major order; only the memory access pattern changes.
 
+use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_numeric::{derive_seed, Xoshiro256};
 use bayeslsh_sparse::SparseVector;
 
@@ -170,6 +171,32 @@ impl MinHasher {
     ) -> Vec<u32> {
         self.range_minima(v, lo, hi, &mut scratch.mins);
         scratch.mins.iter().map(|&m| truncate_min(m)).collect()
+    }
+
+    /// Serialize the hasher for an index snapshot. The permutation keys are
+    /// **not** written: function `i` is derived deterministically from
+    /// `(seed, i)`, so the snapshot stores only `(seed, functions)` and
+    /// [`MinHasher::read_wire`] rematerializes an identical bank.
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        w.put_u64(self.seed)?;
+        w.put_u64(self.params.len() as u64)?;
+        Ok(())
+    }
+
+    /// Deserialize a hasher written by [`MinHasher::write_wire`],
+    /// regenerating at most `min(recorded, max_functions)` hash functions.
+    /// The clamp bounds regeneration by what the caller can justify instead
+    /// of the payload's bare count (see [`crate::SrpHasher::read_wire`]);
+    /// functions beyond it rematerialize lazily, identically.
+    pub fn read_wire<R: std::io::Read>(
+        r: &mut WireReader<R>,
+        max_functions: usize,
+    ) -> Result<Self, WireError> {
+        let seed = r.get_u64()?;
+        let functions = r.get_u64()?;
+        let mut h = Self::new(seed);
+        h.ensure_functions(functions.min(max_functions as u64) as usize);
+        Ok(h)
     }
 
     /// Replace the contents of `out` with hashes `lo..hi` of `v`, reusing
@@ -341,6 +368,26 @@ mod tests {
             h.hash_range_packed(&SparseVector::empty(), 0, 8),
             vec![u32::MAX; 8]
         );
+    }
+
+    #[test]
+    fn wire_round_trip_rebuilds_identical_functions() {
+        let x = SparseVector::from_indices(vec![2, 30, 77, 4000]);
+        let mut orig = MinHasher::new(9009);
+        orig.ensure_functions(96);
+        let mut w = WireWriter::new(Vec::new());
+        orig.write_wire(&mut w).unwrap();
+        let bytes = w.into_inner();
+        let mut r = WireReader::new(&bytes[..]);
+        let back = MinHasher::read_wire(&mut r, 96).unwrap();
+        assert_eq!(r.bytes_read(), bytes.len() as u64);
+        assert_eq!(back.functions_ready(), 96);
+        // Regeneration is clamped by the caller, not the payload's count.
+        let clamped = MinHasher::read_wire(&mut WireReader::new(&bytes[..]), 8).unwrap();
+        assert_eq!(clamped.functions_ready(), 8);
+        for i in 0..96 {
+            assert_eq!(back.hash_ready(i, &x), orig.hash_ready(i, &x));
+        }
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! times".
 
 use bayeslsh_numeric::fan_out;
+use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_sparse::{Dataset, SparseVector};
 
 use crate::minhash::{MinHasher, MinScratch};
@@ -122,6 +123,11 @@ impl BitSignatures {
         &self.words[id as usize]
     }
 
+    /// Number of object slots the pool holds (hashed or not).
+    pub fn n_objects(&self) -> usize {
+        self.words.len()
+    }
+
     /// Bit `i` of object `id`'s signature.
     pub fn bit(&self, id: u32, i: u32) -> bool {
         debug_assert!(i < self.bits[id as usize]);
@@ -214,6 +220,82 @@ impl BitSignatures {
         }
     }
 
+    /// Serialize the pool (hasher metadata + every signature) for an index
+    /// snapshot. Signature words are written verbatim, so the loaded pool's
+    /// comparisons are bit-identical; the hasher's plane bank is re-derived
+    /// from its seed on load (see [`SrpHasher::write_wire`]).
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        self.hasher.write_wire(w)?;
+        w.put_u64(self.words.len() as u64)?;
+        for (words, &bits) in self.words.iter().zip(&self.bits) {
+            debug_assert_eq!(words.len(), bits.div_ceil(32) as usize);
+            w.put_u32(bits)?;
+            for &word in words {
+                w.put_u32(word)?;
+            }
+        }
+        w.put_u64(self.total)?;
+        Ok(())
+    }
+
+    /// Deserialize a pool written by [`BitSignatures::write_wire`],
+    /// rematerializing the hasher's planes with up to `threads` workers.
+    /// The hashing-cost accounting is validated against the per-object
+    /// depths, so an internally inconsistent payload is rejected.
+    ///
+    /// Plane regeneration is bounded by `max(deepest stored signature,
+    /// depth_hint)`, never by the payload's recorded plane count alone: the
+    /// stored signatures physically occupy wire bytes, and the hint is
+    /// something the caller has validated (the snapshot loader passes the
+    /// build-depth it recomputed from the config) — so a crafted count
+    /// cannot make loading allocate or compute unboundedly. Any
+    /// legitimately deeper planes regenerate lazily, bit-identically.
+    pub fn read_wire<R: std::io::Read>(
+        r: &mut WireReader<R>,
+        threads: usize,
+        depth_hint: u32,
+    ) -> Result<Self, WireError> {
+        let mut hasher = SrpHasher::read_wire(r, threads, depth_hint as usize)?;
+        let n = r.get_u64()?;
+        let mut words = Vec::with_capacity(n.min(65_536) as usize);
+        let mut bits = Vec::with_capacity(n.min(65_536) as usize);
+        let mut sum = 0u64;
+        let mut deepest = 0u32;
+        for slot in 0..n {
+            let b = r.get_u32()?;
+            if b % 32 != 0 {
+                return Err(WireError::corrupt(format!(
+                    "signature {slot} has non-word-aligned depth {b}"
+                )));
+            }
+            let mut buf = Vec::with_capacity(((b / 32) as usize).min(65_536));
+            for _ in 0..b / 32 {
+                buf.push(r.get_u32()?);
+            }
+            sum += b as u64;
+            deepest = deepest.max(b);
+            words.push(buf);
+            bits.push(b);
+        }
+        let total = r.get_u64()?;
+        if total != sum {
+            return Err(WireError::corrupt(format!(
+                "hash accounting {total} disagrees with stored depths {sum}"
+            )));
+        }
+        // Lazily-deepened signatures can outrun the build depth; their
+        // words are physically present above, so this warm-up is bounded
+        // by the payload size.
+        hasher.ensure_planes_par(deepest as usize, threads);
+        Ok(Self {
+            hasher,
+            words,
+            bits,
+            total,
+            hint: 0,
+        })
+    }
+
     /// Hash an out-of-pool vector to `n` bits (rounded up to whole words)
     /// with up to `threads` workers, splitting the hash range word-aligned.
     /// Bit-identical to [`BitSignatures::hash_external`] over `0..n`.
@@ -291,6 +373,11 @@ impl IntSignatures {
         &self.sigs[id as usize]
     }
 
+    /// Number of object slots the pool holds (hashed or not).
+    pub fn n_objects(&self) -> usize {
+        self.sigs.len()
+    }
+
     /// Borrow the underlying hasher.
     pub fn hasher(&self) -> &MinHasher {
         &self.hasher
@@ -365,6 +452,60 @@ impl IntSignatures {
             self.sigs[id as usize].extend(buf);
             self.total += (n - cur) as u64;
         }
+    }
+
+    /// Serialize the pool (hasher metadata + every signature) for an index
+    /// snapshot; see [`BitSignatures::write_wire`] for the contract.
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        self.hasher.write_wire(w)?;
+        w.put_u64(self.sigs.len() as u64)?;
+        for sig in &self.sigs {
+            w.put_u32(sig.len() as u32)?;
+            for &m in sig {
+                w.put_u32(m)?;
+            }
+        }
+        w.put_u64(self.total)?;
+        Ok(())
+    }
+
+    /// Deserialize a pool written by [`IntSignatures::write_wire`],
+    /// validating the hashing-cost accounting against the stored depths.
+    /// Hash-function regeneration is bounded by `max(deepest stored
+    /// signature, depth_hint)` — see [`BitSignatures::read_wire`] for the
+    /// untrusted-input rationale.
+    pub fn read_wire<R: std::io::Read>(
+        r: &mut WireReader<R>,
+        depth_hint: u32,
+    ) -> Result<Self, WireError> {
+        let mut hasher = MinHasher::read_wire(r, depth_hint as usize)?;
+        let n = r.get_u64()?;
+        let mut sigs = Vec::with_capacity(n.min(65_536) as usize);
+        let mut sum = 0u64;
+        let mut deepest = 0u32;
+        for _ in 0..n {
+            let len = r.get_u32()?;
+            let mut sig = Vec::with_capacity(len.min(65_536) as usize);
+            for _ in 0..len {
+                sig.push(r.get_u32()?);
+            }
+            sum += len as u64;
+            deepest = deepest.max(len);
+            sigs.push(sig);
+        }
+        let total = r.get_u64()?;
+        if total != sum {
+            return Err(WireError::corrupt(format!(
+                "hash accounting {total} disagrees with stored depths {sum}"
+            )));
+        }
+        hasher.ensure_functions(deepest as usize);
+        Ok(Self {
+            hasher,
+            sigs,
+            total,
+            hint: 0,
+        })
     }
 
     /// Hash an out-of-pool vector to `n` minhashes with up to `threads`
@@ -615,6 +756,72 @@ mod tests {
         for threads in [1usize, 2, 8] {
             assert_eq!(ints.hash_external_par(&set, 150, threads), expect);
         }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_pools_and_supports_extension() {
+        // Non-uniform depths (the lazy-hashing shape) must survive, and a
+        // reloaded pool must extend signatures bit-identically to the
+        // original — the invariant insert-after-load rests on.
+        let vs = vecs(4, 96, 10, 91);
+        let mut data = Dataset::new(96);
+        for v in &vs {
+            data.push(v.clone());
+        }
+        let mut bits = BitSignatures::new(SrpHasher::new(96, 92), data.len());
+        for (id, v) in data.iter() {
+            bits.ensure(id, v, 64);
+        }
+        bits.ensure(2, data.vector(2), 192);
+        let mut w = WireWriter::new(Vec::new());
+        bits.write_wire(&mut w).unwrap();
+        let payload = w.into_inner();
+        let mut r = WireReader::new(&payload[..]);
+        let mut back = BitSignatures::read_wire(&mut r, 2, 64).unwrap();
+        assert_eq!(r.bytes_read(), payload.len() as u64);
+        assert_eq!(back.total_hashes(), bits.total_hashes());
+        for id in 0..data.len() as u32 {
+            assert_eq!(back.len(id), bits.len(id));
+            assert_eq!(back.raw_words(id), bits.raw_words(id), "id {id}");
+        }
+        back.ensure(1, data.vector(1), 256);
+        bits.ensure(1, data.vector(1), 256);
+        assert_eq!(back.raw_words(1), bits.raw_words(1));
+
+        let mut ints = IntSignatures::new(MinHasher::new(93), 3);
+        let sets = [
+            SparseVector::from_indices(vec![1, 5, 9]),
+            SparseVector::from_indices(vec![2, 5, 40]),
+            SparseVector::from_indices(vec![7]),
+        ];
+        for (id, s) in sets.iter().enumerate() {
+            ints.ensure(id as u32, s, 40 + 10 * id as u32);
+        }
+        let mut w = WireWriter::new(Vec::new());
+        ints.write_wire(&mut w).unwrap();
+        let payload = w.into_inner();
+        let mut back = IntSignatures::read_wire(&mut WireReader::new(&payload[..]), 40).unwrap();
+        assert_eq!(back.total_hashes(), ints.total_hashes());
+        for id in 0..3u32 {
+            assert_eq!(back.raw(id), ints.raw(id), "id {id}");
+        }
+        back.ensure(0, &sets[0], 100);
+        ints.ensure(0, &sets[0], 100);
+        assert_eq!(back.raw(0), ints.raw(0));
+    }
+
+    #[test]
+    fn wire_read_rejects_inconsistent_accounting() {
+        let vs = vecs(1, 64, 6, 94);
+        let mut pool = BitSignatures::new(SrpHasher::new(64, 95), 1);
+        pool.ensure(0, &vs[0], 64);
+        let mut w = WireWriter::new(Vec::new());
+        pool.write_wire(&mut w).unwrap();
+        let mut payload = w.into_inner();
+        // The trailing u64 is the total-hashes counter; nudge it.
+        let at = payload.len() - 8;
+        payload[at] ^= 1;
+        assert!(BitSignatures::read_wire(&mut WireReader::new(&payload[..]), 1, 64).is_err());
     }
 
     proptest! {

@@ -23,6 +23,7 @@
 //! historical plane-major layout: per bit, the same `f64` terms are added
 //! in the same (index) order.
 
+use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_numeric::{derive_seed, fan_out, Gaussian, Xoshiro256};
 use bayeslsh_sparse::SparseVector;
 
@@ -368,6 +369,56 @@ impl SrpHasher {
     pub fn components_generated(&self) -> u64 {
         self.components_generated
     }
+
+    /// Serialize the hasher for an index snapshot. The plane bank itself is
+    /// **not** written: every plane is a pure function of `(seed, index)`
+    /// (see [`generate_plane`]), so the snapshot stores only `(dim, seed,
+    /// storage, planes)` and [`SrpHasher::read_wire`] rematerializes a
+    /// bit-identical bank — keeping snapshots corpus-sized instead of
+    /// bank-sized.
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        w.put_u32(self.dim)?;
+        w.put_u64(self.seed)?;
+        w.put_u8(match self.storage {
+            PlaneStorage::Quantized => 0,
+            PlaneStorage::Float => 1,
+        })?;
+        w.put_u64(self.planes as u64)?;
+        Ok(())
+    }
+
+    /// Deserialize a hasher written by [`SrpHasher::write_wire`],
+    /// regenerating at most `min(recorded, max_planes)` planes
+    /// (deterministically, with up to `threads` workers).
+    ///
+    /// The clamp is the untrusted-input guard: the recorded count is a bare
+    /// integer a crafted snapshot could set arbitrarily high, so callers
+    /// pass the depth they can actually justify (e.g. the deepest signature
+    /// they carry) and regeneration — hence memory and CPU — is bounded by
+    /// that, never by the payload's claim. Planes beyond the warm-up
+    /// rematerialize lazily on first demand, bit-identically, through the
+    /// ordinary `ensure_planes*` paths.
+    pub fn read_wire<R: std::io::Read>(
+        r: &mut WireReader<R>,
+        threads: usize,
+        max_planes: usize,
+    ) -> Result<Self, WireError> {
+        let dim = r.get_u32()?;
+        let seed = r.get_u64()?;
+        let storage = match r.get_u8()? {
+            0 => PlaneStorage::Quantized,
+            1 => PlaneStorage::Float,
+            other => {
+                return Err(WireError::corrupt(format!(
+                    "unknown plane storage tag {other}"
+                )))
+            }
+        };
+        let planes = r.get_u64()?;
+        let mut h = Self::with_storage(dim, seed, storage);
+        h.ensure_planes_par(planes.min(max_planes as u64) as usize, threads);
+        Ok(h)
+    }
 }
 
 /// Pack the sign bits of `acc` into `words`, ORing bit `base + j` for every
@@ -634,6 +685,43 @@ mod tests {
         assert_eq!(appended, spliced);
         // And the allocating wrapper agrees.
         assert_eq!(h.hash_bits_packed(&x, 0, 64), &appended[..2]);
+    }
+
+    #[test]
+    fn wire_round_trip_rebuilds_an_identical_bank() {
+        let x = SparseVector::from_pairs(vec![(1, 0.7), (19, -1.1), (40, 0.4)]);
+        for storage in [PlaneStorage::Quantized, PlaneStorage::Float] {
+            let mut orig = SrpHasher::with_storage(48, 4711, storage);
+            orig.ensure_planes(130);
+            let mut w = WireWriter::new(Vec::new());
+            orig.write_wire(&mut w).unwrap();
+            let bytes = w.into_inner();
+            for threads in [1usize, 4] {
+                let mut r = WireReader::new(&bytes[..]);
+                let back = SrpHasher::read_wire(&mut r, threads, 130).unwrap();
+                assert_eq!(r.bytes_read(), bytes.len() as u64);
+                assert_eq!(back.dim(), orig.dim());
+                assert_eq!(back.planes_ready(), orig.planes_ready());
+                assert_eq!(back.components_generated(), orig.components_generated());
+                for i in 0..130 {
+                    assert_eq!(back.hash_bit_ready(i, &x), orig.hash_bit_ready(i, &x));
+                }
+            }
+            // The caller's clamp bounds regeneration: a payload claiming a
+            // huge bank warms only to the justified depth (the rest stays
+            // lazy), so crafted counts cannot drive allocation.
+            let mut r = WireReader::new(&bytes[..]);
+            let clamped = SrpHasher::read_wire(&mut r, 1, 32).unwrap();
+            assert_eq!(clamped.planes_ready(), 32);
+        }
+        // A bad storage tag is a typed error.
+        let mut w = WireWriter::new(Vec::new());
+        w.put_u32(8).unwrap();
+        w.put_u64(1).unwrap();
+        w.put_u8(9).unwrap();
+        w.put_u64(0).unwrap();
+        let bytes = w.into_inner();
+        assert!(SrpHasher::read_wire(&mut WireReader::new(&bytes[..]), 1, 64).is_err());
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   [`Parallelism`] knob plus deterministic chunking ([`chunk_ranges`])
 //!   and ordered fan-out/fan-in ([`fan_out`]), the building blocks behind
 //!   the parallel-equals-serial guarantee of every multithreaded stage.
+//! * [`wire`] — endianness-explicit, checksummed binary I/O primitives
+//!   ([`WireWriter`]/[`WireReader`]) that the snapshot persistence layer's
+//!   per-crate section (de)serializers are built on.
 
 pub mod beta;
 pub mod betadist;
@@ -30,6 +33,7 @@ pub mod gamma;
 pub mod gaussian;
 pub mod parallel;
 pub mod rng;
+pub mod wire;
 
 pub use beta::{ln_beta, reg_inc_beta};
 pub use betadist::BetaDist;
@@ -38,3 +42,4 @@ pub use gamma::{ln_choose, ln_gamma};
 pub use gaussian::Gaussian;
 pub use parallel::{chunk_ranges, fan_out, Parallelism};
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
+pub use wire::{WireError, WireReader, WireWriter};

@@ -1,5 +1,7 @@
 //! A corpus of sparse vectors plus the summary statistics of paper Table 1.
 
+use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
+
 use crate::vector::SparseVector;
 
 /// A dataset: a list of sparse vectors over a fixed-dimensional feature
@@ -115,6 +117,57 @@ impl Dataset {
         }
     }
 
+    /// Serialize the corpus for an index snapshot: `dim`, vector count,
+    /// then per vector its nonzero count followed by the index and weight
+    /// arrays. All little-endian; weights are written as bit patterns so
+    /// the round trip is bit-exact.
+    pub fn write_wire<W: std::io::Write>(&self, w: &mut WireWriter<W>) -> Result<(), WireError> {
+        w.put_u32(self.dim)?;
+        w.put_u64(self.vectors.len() as u64)?;
+        for v in &self.vectors {
+            w.put_u32(v.nnz() as u32)?;
+            for &i in v.indices() {
+                w.put_u32(i)?;
+            }
+            for &x in v.values() {
+                w.put_f32(x)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserialize a corpus written by [`Dataset::write_wire`]. Every
+    /// vector is re-validated against the [`SparseVector`] invariants
+    /// (sorted unique indices, finite non-zero weights), so a corrupt
+    /// payload surfaces as [`WireError::Corrupt`] rather than a malformed
+    /// corpus.
+    pub fn read_wire<R: std::io::Read>(r: &mut WireReader<R>) -> Result<Self, WireError> {
+        let dim = r.get_u32()?;
+        let n = r.get_u64()?;
+        let mut out = Dataset::new(dim);
+        for slot in 0..n {
+            let nnz = r.get_u32()? as usize;
+            let mut indices = Vec::with_capacity(nnz.min(65_536));
+            for _ in 0..nnz {
+                indices.push(r.get_u32()?);
+            }
+            let mut values = Vec::with_capacity(nnz.min(65_536));
+            for _ in 0..nnz {
+                values.push(r.get_f32()?);
+            }
+            let v = SparseVector::from_sorted(indices, values)
+                .ok_or_else(|| WireError::corrupt(format!("vector {slot} violates invariants")))?;
+            out.push(v);
+        }
+        if out.dim != dim {
+            return Err(WireError::corrupt(format!(
+                "declared dim {dim} below the vectors' span {}",
+                out.dim
+            )));
+        }
+        Ok(out)
+    }
+
     /// Summary statistics (paper Table 1).
     pub fn stats(&self) -> DatasetStats {
         let n = self.vectors.len();
@@ -212,5 +265,50 @@ mod tests {
     fn iter_yields_ids_in_order() {
         let ids: Vec<u32> = sample().iter().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_everything() {
+        let mut d = sample();
+        d.push(SparseVector::empty()); // empty vectors survive too
+        let mut w = WireWriter::new(Vec::new());
+        d.write_wire(&mut w).unwrap();
+        let bytes = w.into_inner();
+        let mut r = WireReader::new(&bytes[..]);
+        let back = Dataset::read_wire(&mut r).unwrap();
+        assert_eq!(r.bytes_read(), bytes.len() as u64);
+        assert_eq!(back.dim(), d.dim());
+        assert_eq!(back.len(), d.len());
+        for (id, v) in d.iter() {
+            assert_eq!(back.vector(id).indices(), v.indices());
+            // Bit-exact weights.
+            let got: Vec<u32> = back
+                .vector(id)
+                .values()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let want: Vec<u32> = v.values().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn wire_read_rejects_invalid_vectors() {
+        // Hand-craft a payload whose single vector has unsorted indices.
+        let mut w = WireWriter::new(Vec::new());
+        w.put_u32(10).unwrap(); // dim
+        w.put_u64(1).unwrap(); // one vector
+        w.put_u32(2).unwrap(); // nnz
+        w.put_u32(5).unwrap();
+        w.put_u32(3).unwrap(); // descending: invalid
+        w.put_f32(1.0).unwrap();
+        w.put_f32(1.0).unwrap();
+        let bytes = w.into_inner();
+        let mut r = WireReader::new(&bytes[..]);
+        assert!(matches!(
+            Dataset::read_wire(&mut r),
+            Err(WireError::Corrupt { .. })
+        ));
     }
 }

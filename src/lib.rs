@@ -101,6 +101,43 @@
 //! }
 //! ```
 //!
+//! ## Persistence
+//!
+//! A built searcher is a durable artifact:
+//! [`Searcher::save`](prelude::Searcher::save) writes a versioned,
+//! checksummed binary snapshot of the config, signature pool, banding
+//! index, and corpus, and [`Searcher::load`](prelude::Searcher::load)
+//! reconstructs a searcher whose batch joins, queries, top-k, and
+//! insert-then-query behaviour are **bit-identical** to the saved one —
+//! so a fleet of serving workers can cold-load one offline build instead
+//! of each re-hashing the corpus. Probe files cheaply with
+//! [`SnapshotHeader::read`](prelude::SnapshotHeader::read); corrupt or
+//! truncated input yields a typed
+//! [`SnapshotError`](prelude::SnapshotError), never a panic.
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let mut built = Searcher::builder(PipelineConfig::cosine(0.7))
+//!     .algorithm(Algorithm::LshBayesLshLite)
+//!     .build(data)
+//!     .unwrap();
+//!
+//! let mut snapshot = Vec::new();
+//! built.save(&mut snapshot).unwrap();
+//!
+//! let header = SnapshotHeader::read(&snapshot[..]).unwrap();
+//! assert_eq!(header.n_vectors as usize, built.len());
+//!
+//! let mut loaded = Searcher::load(&snapshot[..]).unwrap();
+//! let q = built.data().vector(0).clone();
+//! let (a, b) = (built.query(&q, 0.7).unwrap(), loaded.query(&q, 0.7).unwrap());
+//! assert_eq!(a.neighbors.len(), b.neighbors.len());
+//! for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+//!     assert_eq!((x.0, x.1.to_bits()), (y.0, y.1.to_bits()));
+//! }
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -134,8 +171,8 @@ pub mod prelude {
         CandidateGenerator, Composition, CompositionOutput, CosineModel, EngineStats, ErrorStats,
         GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats, LiteConfig,
         MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput, QueryStats,
-        RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder, SigPool, TopKOutput,
-        Verifier, VerifierKind,
+        RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder, SigPool, SnapshotError,
+        SnapshotHeader, TopKOutput, Verifier, VerifierKind, SNAPSHOT_FORMAT_VERSION,
     };
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{

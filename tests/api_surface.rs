@@ -103,6 +103,30 @@ fn searcher_surface() {
 }
 
 #[test]
+fn snapshot_surface() {
+    let data = Preset::Rcv1.load(0.0006, 5);
+    let s = Searcher::builder(PipelineConfig::cosine(0.7))
+        .build(data)
+        .expect("builds");
+    let mut bytes = Vec::new();
+    s.save(&mut bytes).expect("serializes");
+    let header: SnapshotHeader = SnapshotHeader::read(&bytes[..]).expect("probes");
+    assert_eq!(header.format_version, SNAPSHOT_FORMAT_VERSION);
+    assert_eq!(header.n_vectors as usize, s.len());
+    let loaded = Searcher::load(&bytes[..]).expect("loads");
+    assert_eq!(loaded.len(), s.len());
+    let wide = Searcher::load_with_parallelism(&bytes[..], Parallelism::threads(2));
+    assert_eq!(wide.expect("loads with override").threads(), 2);
+    // The typed error surface.
+    let err: SnapshotError = Searcher::load(&bytes[..10]).unwrap_err();
+    assert!(matches!(err, SnapshotError::Corrupt { .. }));
+    assert!(matches!(
+        Searcher::load(&b"12345678"[..]),
+        Err(SnapshotError::BadMagic)
+    ));
+}
+
+#[test]
 fn composition_surface() {
     // Custom compositions instantiate as trait objects and run.
     let comp = Composition::new(GeneratorKind::LshBanding, VerifierKind::Exact);

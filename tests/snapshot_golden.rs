@@ -1,0 +1,130 @@
+//! Golden-fixture compatibility test: a snapshot committed at format
+//! version 1 (`tests/fixtures/snapshot_v1.bin`) must keep loading, and
+//! must keep producing results bit-identical to a freshly built searcher
+//! over the same corpus and config. Any byte-layout change that forgets to
+//! bump `SNAPSHOT_FORMAT_VERSION` — or any drift in the hash families,
+//! banding plan, or candidate ordering that would silently invalidate
+//! existing snapshots — fails here (and in CI's `snapshot-compat` job).
+//!
+//! To regenerate after an *intentional* format-version bump:
+//!
+//! ```text
+//! cargo test --test snapshot_golden regenerate_golden_fixture -- --ignored
+//! ```
+
+use std::path::PathBuf;
+
+use bayeslsh::prelude::*;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("snapshot_v1.bin")
+}
+
+/// The fixture's corpus: fixed here, independent of the dataset presets
+/// (which are allowed to evolve).
+fn fixture_corpus() -> Dataset {
+    let mut rng = Xoshiro256::seed_from_u64(20_260_730);
+    let mut d = Dataset::new(400);
+    for c in 0..4 {
+        let center: Vec<(u32, f32)> = (0..12)
+            .map(|_| {
+                (
+                    (c * 100 + rng.next_below(90) as usize) as u32,
+                    (rng.next_f64() + 0.3) as f32,
+                )
+            })
+            .collect();
+        for _ in 0..4 {
+            let mut pairs = center.clone();
+            for p in pairs.iter_mut() {
+                if rng.next_bool(0.15) {
+                    *p = (rng.next_below(400) as u32, (rng.next_f64() + 0.3) as f32);
+                }
+            }
+            d.push(SparseVector::from_pairs(pairs));
+        }
+    }
+    d
+}
+
+fn fixture_searcher() -> Searcher {
+    Searcher::builder(PipelineConfig::cosine(0.7))
+        .algorithm(Algorithm::LshBayesLshLite)
+        .parallelism(Parallelism::serial())
+        .build(fixture_corpus())
+        .unwrap()
+}
+
+#[test]
+fn golden_v1_fixture_loads_and_matches_a_fresh_build() {
+    let bytes = std::fs::read(fixture_path()).expect(
+        "tests/fixtures/snapshot_v1.bin missing — regenerate with \
+         `cargo test --test snapshot_golden regenerate_golden_fixture -- --ignored`",
+    );
+
+    // Header probe: stable metadata.
+    let header = SnapshotHeader::read(&bytes[..]).unwrap();
+    assert_eq!(header.format_version, SNAPSHOT_FORMAT_VERSION);
+    assert_eq!(header.measure, Measure::Cosine);
+    assert_eq!(header.composition, Algorithm::LshBayesLshLite.composition());
+    assert_eq!(header.n_vectors, 16);
+    assert_eq!(header.threads, 1);
+
+    // Full load, then bit-identical behaviour versus a fresh build.
+    let mut loaded = Searcher::load(&bytes[..]).expect(
+        "golden snapshot no longer loads — if the format changed on purpose, bump \
+         SNAPSHOT_FORMAT_VERSION and regenerate the fixture",
+    );
+    let mut fresh = fixture_searcher();
+    assert_eq!(loaded.hash_count(), fresh.hash_count());
+
+    let (a, b) = (fresh.all_pairs().unwrap(), loaded.all_pairs().unwrap());
+    assert_eq!(a.pairs.len(), b.pairs.len());
+    for (x, y) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!((x.0, x.1, x.2.to_bits()), (y.0, y.1, y.2.to_bits()));
+    }
+
+    for qid in 0..fresh.len() as u32 {
+        let q = fresh.data().vector(qid).clone();
+        let (x, y) = (
+            fresh.query(&q, 0.7).unwrap(),
+            loaded.query(&q, 0.7).unwrap(),
+        );
+        assert_eq!(x.stats, y.stats, "query {qid}");
+        assert_eq!(x.neighbors.len(), y.neighbors.len(), "query {qid}");
+        for (p, q) in x.neighbors.iter().zip(&y.neighbors) {
+            assert_eq!((p.0, p.1.to_bits()), (q.0, q.1.to_bits()), "query {qid}");
+        }
+    }
+}
+
+#[test]
+fn fixture_bytes_are_reproducible() {
+    // The committed fixture must be exactly what today's writer emits for
+    // the fixture build: if this drifts while the loader still accepts the
+    // old bytes, the *writer* changed — which also requires a version bump
+    // and a regenerated fixture.
+    let bytes = std::fs::read(fixture_path()).expect("fixture missing");
+    let mut now = Vec::new();
+    fixture_searcher().save(&mut now).unwrap();
+    assert_eq!(
+        bytes, now,
+        "serializer output drifted from the committed v1 fixture"
+    );
+}
+
+/// Regenerates the committed fixture. Run explicitly (see module docs);
+/// never runs in CI.
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let mut bytes = Vec::new();
+    fixture_searcher().save(&mut bytes).unwrap();
+    std::fs::write(&path, &bytes).unwrap();
+    println!("wrote {} ({} bytes)", path.display(), bytes.len());
+}
