@@ -12,16 +12,23 @@
 //! 2. **MinHash microbench** — the hash-major scalar path (one
 //!    [`bayeslsh_lsh::MinHasher::hash_ready`] walk per slot) versus the
 //!    element-major range kernel.
-//! 3. **Verification throughput** (pairs/s through `bayes_verify`) and
-//!    **end-to-end all-pairs wall time** per preset.
+//! 3. **Verification throughput** — cold-pool pairs/s through
+//!    `bayes_verify` (lazy hashing included), plus a **batched-verify** row
+//!    timing the steady-state path alone: signatures pre-extended, then the
+//!    run-major batched engine counts agreements through the word-parallel
+//!    XOR + popcount kernels — the popcount-bound ceiling of the system.
+//! 4. **End-to-end all-pairs wall time** per preset.
 //!
-//! Everything is returned as structured rows; JSON serialization and the
-//! schema check the CI smoke job runs are hand-rolled (the workspace has no
-//! serde).
+//! Everything is returned as structured rows; JSON serialization, the
+//! schema check the CI smoke job runs, and the [`assert_floor`] regression
+//! gate are hand-rolled (the workspace has no serde).
 
 use std::time::Instant;
 
-use bayeslsh_core::{bayes_verify, run_algorithm, Algorithm, BayesLshConfig, CosineModel};
+use bayeslsh_core::{
+    bayes_verify, candidate_ids, par_bayes_verify, run_algorithm, Algorithm, BayesLshConfig,
+    CosineModel,
+};
 use bayeslsh_datasets::{generate, CorpusConfig, Preset};
 use bayeslsh_lsh::{generate_plane, quantized, BitSignatures, MinHasher, SrpHasher};
 use bayeslsh_sparse::{Dataset, SparseVector};
@@ -87,8 +94,11 @@ pub struct BaselineReport {
     pub srp: KernelBench,
     /// MinHash microbench.
     pub minhash: KernelBench,
-    /// BayesLSH verification throughput.
+    /// BayesLSH verification throughput (cold pool, hashing included).
     pub verify: VerifyBench,
+    /// Steady-state batched verification throughput (pool pre-extended, so
+    /// the engine is pure agreement counting + posterior arithmetic).
+    pub verify_batched: VerifyBench,
     /// End-to-end preset timings.
     pub end_to_end: Vec<EndToEndRow>,
 }
@@ -259,17 +269,28 @@ fn bench_result(components: u64, scalar_secs: f64, kernel_secs: f64) -> KernelBe
     }
 }
 
-/// Verification throughput: `bayes_verify` over the all-pairs candidate
-/// set of a scaled WikiWords100K-like corpus at t = 0.7, cold pool
-/// (hashing cost included, as in the paper's accounting).
-pub fn verify_bench(scale: f64, seed: u64) -> VerifyBench {
+/// The all-pairs candidate set both verify rows run over: a scaled
+/// WikiWords100K-like corpus, first 600 vectors, t = 0.7.
+fn verify_workload(scale: f64, seed: u64) -> (Dataset, Vec<(u32, u32)>, BayesLshConfig) {
     let data = Preset::WikiWords100K.load(scale, seed);
     let n = data.len().min(600) as u32;
     let candidates: Vec<(u32, u32)> = (0..n)
         .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
         .collect();
-    let cfg = BayesLshConfig::cosine(0.7);
-    let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 0xBE7), data.len());
+    (data, candidates, BayesLshConfig::cosine(0.7))
+}
+
+/// Verification throughput: `bayes_verify` over the all-pairs candidate
+/// set, cold pool (lazy hashing cost included, as in the paper's
+/// accounting). Gaussian plane *generation* is excluded — planes are a
+/// one-time index-build cost every production path pays at
+/// `SearcherBuilder::build`, not per verification.
+pub fn verify_bench(scale: f64, seed: u64) -> VerifyBench {
+    let (data, candidates, cfg) = verify_workload(scale, seed);
+    let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
+    let mut hasher = SrpHasher::new(data.dim(), seed ^ 0xBE7);
+    hasher.ensure_planes(depth as usize);
+    let mut pool = BitSignatures::new(hasher, data.len());
     let start = Instant::now();
     let (_, stats) = bayes_verify(&data, &mut pool, &CosineModel::new(), &candidates, &cfg);
     let secs = start.elapsed().as_secs_f64();
@@ -278,6 +299,32 @@ pub fn verify_bench(scale: f64, seed: u64) -> VerifyBench {
         secs,
         pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
         hash_comparisons: stats.hash_comparisons,
+    }
+}
+
+/// Steady-state verification throughput: every candidate signature is
+/// pre-extended to the scan depth, then the run-major batched engine
+/// (`par_bayes_verify` at one thread — the exact serial decision sequence,
+/// read-only pool) is timed alone. This is the popcount-bound ceiling the
+/// word-parallel kernels buy; best-of-reps since the pass is repeatable.
+pub fn verify_batched_bench(scale: f64, seed: u64) -> VerifyBench {
+    let (data, candidates, cfg) = verify_workload(scale, seed);
+    let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
+    let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), seed ^ 0xBE7), data.len());
+    let ids = candidate_ids(&candidates, data.len());
+    pool.par_ensure_ids(&data, &ids, depth, 1);
+    let model = CosineModel::new();
+    let mut hash_comparisons = 0u64;
+    let secs = best_of(REPS, || {
+        let (pairs, stats) = par_bayes_verify(&pool, &model, &candidates, &cfg, 1);
+        std::hint::black_box(pairs.len());
+        hash_comparisons = stats.hash_comparisons;
+    });
+    VerifyBench {
+        pairs: candidates.len() as u64,
+        secs,
+        pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
+        hash_comparisons,
     }
 }
 
@@ -308,6 +355,7 @@ pub fn run(scale: f64, seed: u64) -> BaselineReport {
         srp: srp_bench(seed),
         minhash: minhash_bench(seed),
         verify: verify_bench(scale, seed),
+        verify_batched: verify_batched_bench(scale, seed),
         end_to_end: end_to_end(scale, seed),
     }
 }
@@ -346,13 +394,14 @@ impl BaselineReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"bayeslsh-bench-baseline-v1\",\n",
+                "  \"schema\": \"bayeslsh-bench-baseline-v2\",\n",
                 "  \"scale\": {},\n",
                 "  \"seed\": {},\n",
                 "  \"cores\": {},\n",
                 "  \"srp\": {},\n",
                 "  \"minhash\": {},\n",
                 "  \"verify\": {{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, \"hash_comparisons\": {}}},\n",
+                "  \"verify_batched\": {{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, \"hash_comparisons\": {}}},\n",
                 "  \"end_to_end\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -365,6 +414,10 @@ impl BaselineReport {
             self.verify.secs,
             self.verify.pairs_per_s,
             self.verify.hash_comparisons,
+            self.verify_batched.pairs,
+            self.verify_batched.secs,
+            self.verify_batched.pairs_per_s,
+            self.verify_batched.hash_comparisons,
             e2e.join(",\n")
         )
     }
@@ -381,15 +434,75 @@ fn json_number(s: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// The flat object following `section` (e.g. `"\"verify\":"`), bounded at
+/// its closing brace — the kernel and verify sections never nest, so a key
+/// looked up here cannot be satisfied by an identically-named key in a
+/// later section.
+fn section_slice<'a>(s: &'a str, section: &str) -> Option<&'a str> {
+    let at = s.find(section)?;
+    let end = s[at..].find('}').map_or(s.len(), |e| at + e + 1);
+    Some(&s[at..end])
+}
+
+/// The throughput keys the CI `bench-regression` job holds the line on, as
+/// `(section, key)` pairs scoped exactly like [`validate_json`].
+const FLOOR_KEYS: [(&str, &str); 4] = [
+    ("\"srp\":", "kernel_components_per_s"),
+    ("\"minhash\":", "kernel_components_per_s"),
+    ("\"verify\":", "pairs_per_s"),
+    ("\"verify_batched\":", "pairs_per_s"),
+];
+
+/// Fraction of a committed throughput a fresh run must retain. CI runners
+/// are noisy; 0.6 (i.e. a > 40% regression fails) separates real kernel
+/// regressions from scheduling jitter on these rows, all of which are
+/// best-of-reps or multi-second passes.
+pub const FLOOR_TOLERANCE: f64 = 0.6;
+
+/// Perf-regression gate (`repro bench-baseline --assert-floor PATH`): every
+/// throughput in `FLOOR_KEYS` of the fresh emit must reach
+/// [`FLOOR_TOLERANCE`] × the committed value. Returns one human-readable
+/// margin line per key on success, so the CI log shows each kernel's
+/// headroom; a violated floor fails with measured-vs-required numbers.
+pub fn assert_floor(committed: &str, fresh: &str) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    for (section, key) in FLOOR_KEYS {
+        let base = section_slice(committed, section)
+            .and_then(|sub| json_number(sub, key))
+            .ok_or_else(|| format!("committed baseline: missing {section} {key}"))?;
+        let got = section_slice(fresh, section)
+            .and_then(|sub| json_number(sub, key))
+            .ok_or_else(|| format!("fresh baseline: missing {section} {key}"))?;
+        let floor = base * FLOOR_TOLERANCE;
+        if got < floor {
+            return Err(format!(
+                "perf regression: {section} {key} = {got:.3e} is below the floor {floor:.3e} \
+                 ({FLOOR_TOLERANCE} x committed {base:.3e})"
+            ));
+        }
+        lines.push(format!(
+            "{section} {key}: {got:.3e} vs committed {base:.3e} ({:+.1}%)",
+            (got / base - 1.0) * 100.0
+        ));
+    }
+    Ok(lines)
+}
+
 /// Schema check for an emitted baseline: required keys present, throughputs
 /// strictly positive. This is what the CI smoke job (and the subcommand
 /// itself, before declaring success) runs, so the perf-reporting pipeline
 /// cannot silently rot.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v1\"") {
+    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v2\"") {
         return Err("missing or wrong schema marker".into());
     }
-    for section in ["\"srp\":", "\"minhash\":", "\"verify\":", "\"end_to_end\":"] {
+    for section in [
+        "\"srp\":",
+        "\"minhash\":",
+        "\"verify\":",
+        "\"verify_batched\":",
+        "\"end_to_end\":",
+    ] {
         if !s.contains(section) {
             return Err(format!("missing section {section}"));
         }
@@ -414,13 +527,9 @@ pub fn validate_json(s: &str) -> Result<(), String> {
             ][..],
         ),
         ("\"verify\":", &["pairs_per_s"][..]),
+        ("\"verify_batched\":", &["pairs_per_s"][..]),
     ] {
-        let at = s.find(section).unwrap();
-        // Bound the scan at the section's closing brace (kernel/verify
-        // sections are flat objects), so a key missing here cannot be
-        // satisfied by an identically-named key in a later section.
-        let end = s[at..].find('}').map_or(s.len(), |e| at + e + 1);
-        let sub = &s[at..end];
+        let sub = section_slice(s, section).ok_or_else(|| format!("missing section {section}"))?;
         for key in keys {
             match json_number(sub, key) {
                 Some(v) if v > 0.0 => {}
@@ -508,6 +617,12 @@ mod tests {
                 pairs_per_s: 100.0,
                 hash_comparisons: 320,
             },
+            verify_batched: VerifyBench {
+                pairs: 10,
+                secs: 0.01,
+                pairs_per_s: 1000.0,
+                hash_comparisons: 320,
+            },
             end_to_end: vec![EndToEndRow {
                 preset: "RCV1".into(),
                 algorithm: "LSH+BayesLSH".into(),
@@ -555,6 +670,31 @@ mod tests {
         // String *values* (e.g. preset names) are not keys.
         assert!(!schema_keys(&a).contains("RCV1"));
         assert!(schema_keys(&a).contains("end_to_end"));
+    }
+
+    #[test]
+    fn floor_gate_passes_healthy_runs_and_fails_regressions() {
+        let committed = sample_report().to_json();
+        // A healthy fresh run (identical numbers) passes with one margin
+        // line per gated key.
+        let lines = assert_floor(&committed, &committed).expect("identical run passes");
+        assert_eq!(lines.len(), FLOOR_KEYS.len());
+        // Mild slowdown (within tolerance) still passes.
+        let mut r = sample_report();
+        r.verify.pairs_per_s = 100.0 * (FLOOR_TOLERANCE + 0.05);
+        assert_floor(&committed, &r.to_json()).expect("within-tolerance run passes");
+        // A 50% regression on any gated key fails, naming the key.
+        let mut r = sample_report();
+        r.minhash.kernel.per_s = 15.0;
+        let err = assert_floor(&committed, &r.to_json()).unwrap_err();
+        assert!(err.contains("minhash") && err.contains("kernel_components_per_s"));
+        let mut r = sample_report();
+        r.verify_batched.pairs_per_s = 500.0;
+        let err = assert_floor(&committed, &r.to_json()).unwrap_err();
+        assert!(err.contains("verify_batched"));
+        // A fresh emit missing a gated section is an error, not a pass.
+        let truncated = committed.replace("\"verify_batched\":", "\"vb\":");
+        assert!(assert_floor(&committed, &truncated).is_err());
     }
 
     #[test]

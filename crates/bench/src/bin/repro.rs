@@ -16,6 +16,10 @@
 //!   table4   estimate errors: LSH Approx vs LSH+BayesLSH
 //!   table5   output quality vs gamma/delta/epsilon
 //!   parallel all-pairs speedup vs worker threads (1/2/4/8)
+//!   bench-baseline  hashing-kernel + verification throughput baseline,
+//!               written as BENCH_<n>.json (--out); --diff-schema holds the
+//!               key set against a committed baseline, --assert-floor fails
+//!               on throughput regressions past the tolerance
 //!   save-index  build a Searcher on the RCV1-shaped preset and persist a
 //!               versioned snapshot (--out, default index.snap)
 //!   serve       cold-load a snapshot (--from-snapshot) and time it against
@@ -39,6 +43,7 @@ struct Args {
     out: Option<String>,
     from_snapshot: Option<String>,
     diff_schema: Option<String>,
+    assert_floor: Option<String>,
 }
 
 impl Args {
@@ -56,6 +61,7 @@ fn parse_args() -> Args {
         out: None,
         from_snapshot: None,
         diff_schema: None,
+        assert_floor: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -87,6 +93,12 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--diff-schema needs a path")),
                 );
             }
+            "--assert-floor" => {
+                args.assert_floor = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--assert-floor needs a path")),
+                );
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -113,7 +125,7 @@ fn print_usage() {
     eprintln!(
         "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|\
          bench-baseline|save-index|serve|all> [--scale S] [--seed N] [--out PATH] \
-         [--from-snapshot PATH] [--diff-schema PATH]"
+         [--from-snapshot PATH] [--diff-schema PATH] [--assert-floor PATH]"
     );
 }
 
@@ -166,13 +178,23 @@ fn run_serve(args: &Args) {
                 fmt_secs(r.query_secs),
                 fmt_count(r.n_vectors as u64),
             );
+            println!(
+                "banding FNR: achieved {:.4} vs requested {:.4}{}",
+                r.achieved_fnr,
+                r.requested_fnr,
+                if r.fnr_clamped {
+                    " (band cap clamped l — guarantee weakened)"
+                } else {
+                    ""
+                },
+            );
         }
         Err(e) => die(&e),
     }
 }
 
 fn run_bench_baseline(args: &Args) {
-    let out = args.out_or("BENCH_4.json");
+    let out = args.out_or("BENCH_6.json");
     banner(&format!(
         "Perf baseline: hashing kernels + verification (scale {}, -> {out})",
         args.scale
@@ -200,11 +222,17 @@ fn run_bench_baseline(args: &Args) {
         )
     );
     println!(
-        "verify: {} pairs in {} ({} pairs/s, {} hash comparisons)",
+        "verify (cold pool): {} pairs in {} ({} pairs/s, {} hash comparisons)",
         fmt_count(report.verify.pairs),
         fmt_secs(report.verify.secs),
         fmt_count(report.verify.pairs_per_s as u64),
         fmt_count(report.verify.hash_comparisons),
+    );
+    println!(
+        "verify (batched, pre-hashed): {} pairs in {} ({} pairs/s)",
+        fmt_count(report.verify_batched.pairs),
+        fmt_secs(report.verify_batched.secs),
+        fmt_count(report.verify_batched.pairs_per_s as u64),
     );
     for row in &report.end_to_end {
         println!(
@@ -233,6 +261,21 @@ fn run_bench_baseline(args: &Args) {
             .unwrap_or_else(|e| die(&format!("cannot read {committed}: {e}")));
         match baseline::diff_schema(&committed_json, &json) {
             Ok(()) => println!("schema matches {committed}"),
+            Err(e) => die(&e),
+        }
+    }
+    // With --assert-floor, hold the fresh throughputs against a committed
+    // baseline: any gated key regressing past the tolerance fails the run
+    // (the CI bench-regression job's contract).
+    if let Some(committed) = &args.assert_floor {
+        let committed_json = std::fs::read_to_string(committed)
+            .unwrap_or_else(|e| die(&format!("cannot read {committed}: {e}")));
+        match baseline::assert_floor(&committed_json, &json) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("floor OK: {line}");
+                }
+            }
             Err(e) => die(&e),
         }
     }

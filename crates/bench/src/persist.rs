@@ -78,6 +78,15 @@ pub struct ServeReport {
     pub queries: usize,
     /// Total wall time of those queries on the loaded searcher.
     pub query_secs: f64,
+    /// False-negative rate the banding plan was asked for.
+    pub requested_fnr: f64,
+    /// Expected false-negative rate the plan actually achieves at the
+    /// threshold (`(1 − p^k)^l`); worse than requested when the band cap
+    /// clamped `l`.
+    pub achieved_fnr: f64,
+    /// True when the band cap truncated `l`, so `achieved_fnr` exceeds
+    /// `requested_fnr`.
+    pub fnr_clamped: bool,
 }
 
 /// Cold-load `path`, rebuild the equivalent searcher from scratch, assert
@@ -146,6 +155,7 @@ pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
         }
     }
 
+    let plan = loaded.banding_plan();
     Ok(ServeReport {
         n_vectors: loaded.len(),
         probe_secs,
@@ -154,6 +164,9 @@ pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
         speedup: rebuild_secs / load_secs.max(1e-12),
         queries: qids.len(),
         query_secs,
+        requested_fnr: plan.requested_fnr,
+        achieved_fnr: plan.achieved_fnr,
+        fnr_clamped: plan.clamped,
     })
 }
 
@@ -171,6 +184,11 @@ mod tests {
         assert_eq!(served.n_vectors, saved.n_vectors);
         assert!(served.load_secs > 0.0 && served.rebuild_secs > 0.0);
         assert!(served.queries > 0);
+        // The banding plan's FNR report rides along: both rates are real
+        // probabilities, and an unclamped plan meets what was asked.
+        assert!(served.requested_fnr > 0.0 && served.requested_fnr < 1.0);
+        assert!(served.achieved_fnr > 0.0 && served.achieved_fnr < 1.0);
+        assert!(served.fnr_clamped || served.achieved_fnr <= served.requested_fnr);
         // A different seed is a detected mismatch, not silent divergence.
         assert!(serve(0.0005, 43, &path).is_err());
         let _ = std::fs::remove_file(&path);

@@ -25,8 +25,9 @@ use bayeslsh_candgen::{
     lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex, BandingParams,
 };
 use bayeslsh_lsh::{
-    count_bit_agreements, count_int_agreements, r_to_cos, BitSignatures, IntSignatures, MinHasher,
-    SignaturePool, SrpHasher,
+    count_bit_agreements, count_bit_agreements_batched, count_int_agreements,
+    count_int_agreements_batched, r_to_cos, BitSignatures, IntSignatures, MinHasher, SignaturePool,
+    SrpHasher,
 };
 use bayeslsh_numeric::{derive_seed, Xoshiro256};
 use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset, SparseVector};
@@ -121,6 +122,34 @@ impl SigPool {
         }
     }
 
+    /// Batched [`SigPool::query_agreements`]: count an external query
+    /// signature against every pool member in `ids` over `lo..hi`, writing
+    /// one count per id into `out` (cleared first). The whole batch runs
+    /// through the word-parallel XOR + popcount kernels with the probe's
+    /// window masks hoisted out of the per-candidate loop, so a query's
+    /// verification scan is allocation-free in steady state.
+    pub fn query_agreements_batched(
+        &self,
+        sig: &[u32],
+        ids: &[u32],
+        lo: u32,
+        hi: u32,
+        out: &mut Vec<u32>,
+    ) {
+        match self {
+            SigPool::Bits(p) => count_bit_agreements_batched(
+                sig,
+                ids.iter().map(|&id| p.raw_words(id)),
+                lo,
+                hi,
+                out,
+            ),
+            SigPool::Ints(p) => {
+                count_int_agreements_batched(sig, ids.iter().map(|&id| p.raw(id)), lo, hi, out)
+            }
+        }
+    }
+
     /// Extend the signatures of `ids` to at least `n` hashes with up to
     /// `threads` workers (corpus chunks hashed per-thread, buffers spliced
     /// back in index order). Pool state is bit-identical to serial
@@ -172,6 +201,13 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.agreements(a, b, lo, hi),
             SigPool::Ints(p) => p.agreements(a, b, lo, hi),
+        }
+    }
+
+    fn agreements_batched(&self, a: u32, others: &[u32], lo: u32, hi: u32, out: &mut Vec<u32>) {
+        match self {
+            SigPool::Bits(p) => p.agreements_batched(a, others, lo, hi, out),
+            SigPool::Ints(p) => p.agreements_batched(a, others, lo, hi, out),
         }
     }
 

@@ -9,7 +9,10 @@
 //!
 //! Both Section 4.3 optimizations are applied: the pruning test is a
 //! [`MinMatchTable`] lookup and concentration checks go through the
-//! [`ConcentrationCache`].
+//! [`ConcentrationCache`]. Agreement counting is run-major and batched:
+//! candidates sharing a probe are swept together through
+//! [`SignaturePool::agreements_batched`], so the hot loop is word-parallel
+//! XOR + popcount with no per-pair allocation (see `RunScan`).
 
 use bayeslsh_lsh::SignaturePool;
 use bayeslsh_sparse::{Dataset, SparseVector};
@@ -79,12 +82,76 @@ impl EngineStats {
     }
 }
 
+/// Outcome of one run member in a run-major batched scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) enum RunVerdict {
+    /// Still scanning (or, after the scan, survived every chunk).
+    #[default]
+    Pending,
+    /// Pruned by the posterior-tail test.
+    Pruned,
+    /// Accepted with this similarity estimate.
+    Emit(f64),
+}
+
+/// Reusable scratch for the run-major batched scans: the verify engines
+/// walk candidates in maximal runs sharing a probe `a` (the shape both
+/// all-pairs and sorted LSH generation emit) and count the probe against
+/// every still-alive partner with one [`SignaturePool::agreements_batched`]
+/// sweep per chunk. One `RunScan` is reused across all runs, so
+/// steady-state verification performs no per-pair allocation.
+///
+/// The batching only reorders *when* each pair's chunks are counted; every
+/// pair's `(m, n)` trajectory and verdict are identical to the
+/// pair-at-a-time loop, which keeps serial ≡ parallel bit-identical.
+#[derive(Debug, Default)]
+pub(crate) struct RunScan {
+    /// Offsets (into the current run) of pairs not yet pruned or accepted.
+    pub alive: Vec<u32>,
+    /// Partner ids of `alive`, in step — the batched sweep's id list.
+    pub alive_ids: Vec<u32>,
+    /// Per-chunk batched agreement counts, in step with `alive`.
+    pub counts: Vec<u32>,
+    /// Cumulative agreeing hashes per run member.
+    pub m: Vec<u32>,
+    /// Verdict per run member, emitted in candidate order after the run.
+    pub verdicts: Vec<RunVerdict>,
+}
+
+impl RunScan {
+    /// Prepare for a run of `len` pairs: everyone alive, zero matches.
+    pub(crate) fn reset(&mut self, len: usize) {
+        self.alive.clear();
+        self.alive.extend(0..len as u32);
+        self.m.clear();
+        self.m.resize(len, 0);
+        self.verdicts.clear();
+        self.verdicts.resize(len, RunVerdict::Pending);
+    }
+}
+
+/// Length of the maximal run of candidates sharing `candidates[i].0`.
+#[inline]
+pub(crate) fn run_end(candidates: &[(u32, u32)], i: usize) -> usize {
+    let a = candidates[i].0;
+    let mut j = i + 1;
+    while j < candidates.len() && candidates[j].0 == a {
+        j += 1;
+    }
+    j
+}
+
 /// BayesLSH (paper Algorithm 1): prune or estimate every candidate pair.
 ///
 /// Returns `(pair, Ŝ)` for every unpruned pair, plus run statistics. Note
 /// the output is the paper's: a pair is kept whenever its probability of
 /// being a true positive stays ≥ ε, even if the final estimate lands
 /// slightly below `t`.
+///
+/// Candidates are scanned run-major (see `RunScan`): per chunk, one
+/// batched popcount sweep counts the shared probe against every surviving
+/// partner, so the steady-state cost per surviving pair is XOR + popcount
+/// per signature word, with no allocation.
 pub fn bayes_verify<P: SignaturePool, M: PosteriorModel>(
     data: &Dataset,
     pool: &mut P,
@@ -112,37 +179,62 @@ pub fn bayes_verify<P: SignaturePool, M: PosteriorModel>(
     };
     let mut out = Vec::new();
 
-    for &(a, b) in candidates {
+    let mut scan = RunScan::default();
+    let mut i = 0usize;
+    while i < candidates.len() {
+        let j = run_end(candidates, i);
+        let run = &candidates[i..j];
+        let a = run[0].0;
         let va = data.vector(a);
-        let vb = data.vector(b);
-        let (mut m, mut n) = (0u32, 0u32);
-        let mut resolved = false;
+        scan.reset(run.len());
+        let mut n = 0u32;
         for c in 0..max_chunks {
+            if scan.alive.is_empty() {
+                break;
+            }
             pool.ensure(a, va, n + k);
-            pool.ensure(b, vb, n + k);
-            m += pool.agreements(a, b, n, n + k);
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let b = run[r as usize].1;
+                pool.ensure(b, data.vector(b), n + k);
+                scan.alive_ids.push(b);
+            }
+            pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
             n += k;
-            stats.hash_comparisons += k as u64;
-            if table.should_prune(m, n) {
-                stats.pruned += 1;
-                stats.pruned_at_chunk[c as usize] += 1;
-                resolved = true;
-                break;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t in 0..scan.alive.len() {
+                let r = scan.alive[t] as usize;
+                let m = scan.m[r] + scan.counts[t];
+                scan.m[r] = m;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    stats.pruned_at_chunk[c as usize] += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
+                } else if cache.is_concentrated(model, m, n) {
+                    scan.verdicts[r] = RunVerdict::Emit(model.map_estimate(m, n));
+                    stats.accepted += 1;
+                } else {
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
+                }
             }
-            if cache.is_concentrated(model, m, n) {
-                out.push((a, b, model.map_estimate(m, n)));
-                stats.accepted += 1;
-                resolved = true;
-                break;
-            }
+            scan.alive.truncate(kept);
         }
-        if !resolved {
-            // Unconcentrated at the cap: emit with the current estimate
-            // rather than dropping (preserves the recall guarantee).
-            out.push((a, b, model.map_estimate(m, n)));
+        for &r in &scan.alive {
+            // Unconcentrated at the cap (n = max_hashes here): emit with
+            // the current estimate rather than dropping (preserves the
+            // recall guarantee).
+            scan.verdicts[r as usize] = RunVerdict::Emit(model.map_estimate(scan.m[r as usize], n));
             stats.accepted += 1;
             stats.forced_accepts += 1;
         }
+        for (r, &(_, b)) in run.iter().enumerate() {
+            if let RunVerdict::Emit(est) = scan.verdicts[r] {
+                out.push((a, b, est));
+            }
+        }
+        i = j;
     }
     let (h, mi) = cache.stats();
     stats.cache_hits = h;
@@ -180,32 +272,57 @@ where
     };
     let mut out = Vec::new();
 
-    for &(a, b) in candidates {
+    let mut scan = RunScan::default();
+    let mut i = 0usize;
+    while i < candidates.len() {
+        let j = run_end(candidates, i);
+        let run = &candidates[i..j];
+        let a = run[0].0;
         let va = data.vector(a);
-        let vb = data.vector(b);
-        let (mut m, mut n) = (0u32, 0u32);
-        let mut pruned = false;
+        scan.reset(run.len());
+        let mut n = 0u32;
         for c in 0..max_chunks {
-            pool.ensure(a, va, n + k);
-            pool.ensure(b, vb, n + k);
-            m += pool.agreements(a, b, n, n + k);
-            n += k;
-            stats.hash_comparisons += k as u64;
-            if table.should_prune(m, n) {
-                stats.pruned += 1;
-                stats.pruned_at_chunk[c as usize] += 1;
-                pruned = true;
+            if scan.alive.is_empty() {
                 break;
             }
+            pool.ensure(a, va, n + k);
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let b = run[r as usize].1;
+                pool.ensure(b, data.vector(b), n + k);
+                scan.alive_ids.push(b);
+            }
+            pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
+            n += k;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t in 0..scan.alive.len() {
+                let r = scan.alive[t] as usize;
+                let m = scan.m[r] + scan.counts[t];
+                scan.m[r] = m;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    stats.pruned_at_chunk[c as usize] += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
+                } else {
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
+                }
+            }
+            scan.alive.truncate(kept);
         }
-        if !pruned {
-            stats.exact_verifications += 1;
-            let s = exact(va, vb);
-            if s >= cfg.threshold {
-                out.push((a, b, s));
-                stats.accepted += 1;
+        // Survivors (still Pending) get the exact check, in candidate order.
+        for (r, &(_, b)) in run.iter().enumerate() {
+            if matches!(scan.verdicts[r], RunVerdict::Pending) {
+                stats.exact_verifications += 1;
+                let s = exact(va, data.vector(b));
+                if s >= cfg.threshold {
+                    out.push((a, b, s));
+                    stats.accepted += 1;
+                }
             }
         }
+        i = j;
     }
     (out, stats)
 }

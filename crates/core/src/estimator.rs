@@ -10,6 +10,8 @@
 use bayeslsh_lsh::SignaturePool;
 use bayeslsh_sparse::Dataset;
 
+use crate::engine::run_end;
+
 /// Verify candidates with the classical MLE over a fixed `n_hashes`.
 ///
 /// `transform` maps the raw agreement fraction to the target similarity
@@ -30,18 +32,31 @@ pub fn mle_verify<P: SignaturePool>(
     // so first extensions allocate their whole signature once.
     pool.depth_hint(n_hashes);
     let mut out = Vec::new();
-    let mut comparisons = 0u64;
-    for &(a, b) in candidates {
+    let mut ids = Vec::new();
+    let mut counts = Vec::new();
+    let mut i = 0usize;
+    while i < candidates.len() {
+        // Runs of candidates sharing a probe are counted in one batched
+        // word-parallel sweep over the full fixed depth.
+        let j = run_end(candidates, i);
+        let run = &candidates[i..j];
+        let a = run[0].0;
         pool.ensure(a, data.vector(a), n_hashes);
-        pool.ensure(b, data.vector(b), n_hashes);
-        let m = pool.agreements(a, b, 0, n_hashes);
-        comparisons += n_hashes as u64;
-        let s_hat = transform(m as f64 / n_hashes as f64);
-        if s_hat >= threshold {
-            out.push((a, b, s_hat));
+        ids.clear();
+        for &(_, b) in run {
+            pool.ensure(b, data.vector(b), n_hashes);
+            ids.push(b);
         }
+        pool.agreements_batched(a, &ids, 0, n_hashes, &mut counts);
+        for (&(_, b), &m) in run.iter().zip(&counts) {
+            let s_hat = transform(m as f64 / n_hashes as f64);
+            if s_hat >= threshold {
+                out.push((a, b, s_hat));
+            }
+        }
+        i = j;
     }
-    (out, comparisons)
+    (out, candidates.len() as u64 * n_hashes as u64)
 }
 
 #[cfg(test)]

@@ -2,7 +2,8 @@
 //! embarrassing parallelism invites.
 //!
 //! Every driver mirrors its serial engine exactly — same pruning table,
-//! same per-pair chunked scan, same accept/prune decisions — but partitions
+//! same run-major batched agreement counting, same accept/prune decisions —
+//! but partitions
 //! the candidate list into contiguous chunks ([`bayeslsh_numeric::fan_out`])
 //! and merges the per-chunk outputs in chunk order. Because candidate lists
 //! are deterministic and every pair's verdict is a pure function of the
@@ -29,7 +30,7 @@ use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
 use crate::config::{BayesLshConfig, LiteConfig};
-use crate::engine::EngineStats;
+use crate::engine::{run_end, EngineStats, RunScan, RunVerdict};
 use crate::minmatch::MinMatchTable;
 use crate::posterior::PosteriorModel;
 
@@ -93,14 +94,29 @@ where
     assert!(n_hashes > 0);
     let transform = &transform;
     let pairs: Vec<(u32, u32, f64)> = fan_out(candidates.len(), threads, |_, range| {
-        candidates[range]
-            .iter()
-            .filter_map(|&(a, b)| {
-                let m = pool.agreements(a, b, 0, n_hashes);
+        let slice = &candidates[range];
+        let mut out = Vec::new();
+        let mut ids = Vec::new();
+        let mut counts = Vec::new();
+        let mut i = 0usize;
+        while i < slice.len() {
+            // One batched sweep counts the run's probe against every
+            // partner over the full fixed depth.
+            let j = run_end(slice, i);
+            let run = &slice[i..j];
+            let a = run[0].0;
+            ids.clear();
+            ids.extend(run.iter().map(|&(_, b)| b));
+            pool.agreements_batched(a, &ids, 0, n_hashes, &mut counts);
+            for (&(_, b), &m) in run.iter().zip(&counts) {
                 let s_hat = transform(m as f64 / n_hashes as f64);
-                (s_hat >= threshold).then_some((a, b, s_hat))
-            })
-            .collect::<Vec<_>>()
+                if s_hat >= threshold {
+                    out.push((a, b, s_hat));
+                }
+            }
+            i = j;
+        }
+        out
     })
     .into_iter()
     .flatten()
@@ -137,31 +153,59 @@ where
             ..Default::default()
         };
         let mut out = Vec::new();
-        for &(a, b) in &candidates[range] {
-            let (mut m, mut n) = (0u32, 0u32);
-            let mut resolved = false;
+        // Run-major batched scan: identical per-pair (m, n) trajectories to
+        // the serial engine, just counted a run at a time. The pool is
+        // pre-extended, so no `ensure` calls here.
+        let slice = &candidates[range];
+        let mut scan = RunScan::default();
+        let mut i = 0usize;
+        while i < slice.len() {
+            let j = run_end(slice, i);
+            let run = &slice[i..j];
+            let a = run[0].0;
+            scan.reset(run.len());
+            let mut n = 0u32;
             for c in 0..max_chunks {
-                m += pool.agreements(a, b, n, n + k);
+                if scan.alive.is_empty() {
+                    break;
+                }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| run[r as usize].1));
+                pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
                 n += k;
-                stats.hash_comparisons += k as u64;
-                if table.should_prune(m, n) {
-                    stats.pruned += 1;
-                    stats.pruned_at_chunk[c as usize] += 1;
-                    resolved = true;
-                    break;
+                stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t in 0..scan.alive.len() {
+                    let r = scan.alive[t] as usize;
+                    let m = scan.m[r] + scan.counts[t];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        stats.pruned += 1;
+                        stats.pruned_at_chunk[c as usize] += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else if cache.is_concentrated(model, m, n) {
+                        scan.verdicts[r] = RunVerdict::Emit(model.map_estimate(m, n));
+                        stats.accepted += 1;
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
+                    }
                 }
-                if cache.is_concentrated(model, m, n) {
-                    out.push((a, b, model.map_estimate(m, n)));
-                    stats.accepted += 1;
-                    resolved = true;
-                    break;
-                }
+                scan.alive.truncate(kept);
             }
-            if !resolved {
-                out.push((a, b, model.map_estimate(m, n)));
+            for &r in &scan.alive {
+                scan.verdicts[r as usize] =
+                    RunVerdict::Emit(model.map_estimate(scan.m[r as usize], n));
                 stats.accepted += 1;
                 stats.forced_accepts += 1;
             }
+            for (r, &(_, b)) in run.iter().enumerate() {
+                if let RunVerdict::Emit(est) = scan.verdicts[r] {
+                    out.push((a, b, est));
+                }
+            }
+            i = j;
         }
         let (hits, misses) = cache.stats();
         stats.cache_hits = hits;
@@ -202,28 +246,56 @@ where
             ..Default::default()
         };
         let mut out = Vec::new();
-        for &(a, b) in &candidates[range] {
-            let (mut m, mut n) = (0u32, 0u32);
-            let mut pruned = false;
+        // Same run-major batched scan as the Bayes driver, prune-only;
+        // survivors (still `Pending`) get the exact check in candidate
+        // order.
+        let slice = &candidates[range];
+        let mut scan = RunScan::default();
+        let mut i = 0usize;
+        while i < slice.len() {
+            let j = run_end(slice, i);
+            let run = &slice[i..j];
+            let a = run[0].0;
+            let va = data.vector(a);
+            scan.reset(run.len());
+            let mut n = 0u32;
             for c in 0..max_chunks {
-                m += pool.agreements(a, b, n, n + k);
-                n += k;
-                stats.hash_comparisons += k as u64;
-                if table.should_prune(m, n) {
-                    stats.pruned += 1;
-                    stats.pruned_at_chunk[c as usize] += 1;
-                    pruned = true;
+                if scan.alive.is_empty() {
                     break;
                 }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| run[r as usize].1));
+                pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
+                n += k;
+                stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t in 0..scan.alive.len() {
+                    let r = scan.alive[t] as usize;
+                    let m = scan.m[r] + scan.counts[t];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        stats.pruned += 1;
+                        stats.pruned_at_chunk[c as usize] += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
+                    }
+                }
+                scan.alive.truncate(kept);
             }
-            if !pruned {
-                stats.exact_verifications += 1;
-                let s = exact(data.vector(a), data.vector(b));
-                if s >= cfg.threshold {
-                    out.push((a, b, s));
-                    stats.accepted += 1;
+            for (r, &(_, b)) in run.iter().enumerate() {
+                if matches!(scan.verdicts[r], RunVerdict::Pending) {
+                    stats.exact_verifications += 1;
+                    let s = exact(va, data.vector(b));
+                    if s >= cfg.threshold {
+                        out.push((a, b, s));
+                        stats.accepted += 1;
+                    }
                 }
             }
+            i = j;
         }
         (out, stats)
     });

@@ -45,6 +45,7 @@ use crate::compose::{
     VerifierKind,
 };
 use crate::cosine_model::CosineModel;
+use crate::engine::{RunScan, RunVerdict};
 use crate::error::SearchError;
 use crate::jaccard_model::JaccardModel;
 use crate::knn::{HeapItem, KnnParams, KnnStats};
@@ -558,10 +559,14 @@ impl Searcher {
             .par_ensure_ids(&self.data, cand_ids, n, self.threads);
         let this = &*self;
         let chunks = fan_out(cand_ids.len(), self.threads, |_, range| {
-            cand_ids[range]
-                .iter()
-                .filter_map(|&id| {
-                    let m = this.pool.query_agreements(sig, id, 0, n);
+            // One batched word-parallel sweep per worker chunk.
+            let ids = &cand_ids[range];
+            let mut counts = Vec::new();
+            this.pool
+                .query_agreements_batched(sig, ids, 0, n, &mut counts);
+            ids.iter()
+                .zip(&counts)
+                .filter_map(|(&id, &m)| {
                     let s_hat = this.to_similarity(m as f64 / n as f64);
                     (s_hat >= t).then_some((id, s_hat))
                 })
@@ -590,23 +595,57 @@ impl Searcher {
             let mut cache = ConcentrationCache::new(this.cfg.delta, this.cfg.gamma);
             let mut local = QueryStats::default();
             let mut out = Vec::new();
-            for &id in &cand_ids[range] {
-                let (outcome, m, n) =
-                    scan_candidate_ro(&this.pool, sig, id, k, max_chunks, |m, n| {
-                        if table.should_prune(m, n) {
-                            StepVerdict::Prune
-                        } else if cache.is_concentrated(model, m, n) {
-                            StepVerdict::Accept
-                        } else {
-                            StepVerdict::Continue
-                        }
-                    });
-                local.hash_comparisons += n as u64;
-                match outcome {
-                    ScanOutcome::Pruned => local.pruned += 1,
-                    ScanOutcome::Accepted | ScanOutcome::Exhausted => {
-                        out.push((id, model.map_estimate(m, n)));
+            // Chunk-major batched scan over the worker's candidate slice:
+            // all surviving candidates have their next `k` hashes counted
+            // against the query signature in one word-parallel sweep.
+            // Per-candidate (m, n) trajectories and verdicts are identical
+            // to the candidate-at-a-time loop this replaced.
+            let ids = &cand_ids[range];
+            let mut scan = RunScan::default();
+            scan.reset(ids.len());
+            let mut n = 0u32;
+            for _ in 0..max_chunks {
+                if scan.alive.is_empty() {
+                    break;
+                }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| ids[r as usize]));
+                this.pool.query_agreements_batched(
+                    sig,
+                    &scan.alive_ids,
+                    n,
+                    n + k,
+                    &mut scan.counts,
+                );
+                n += k;
+                local.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t_idx in 0..scan.alive.len() {
+                    let r = scan.alive[t_idx] as usize;
+                    let m = scan.m[r] + scan.counts[t_idx];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        local.pruned += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else if cache.is_concentrated(model, m, n) {
+                        scan.verdicts[r] = RunVerdict::Emit(model.map_estimate(m, n));
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
                     }
+                }
+                scan.alive.truncate(kept);
+            }
+            for &r in &scan.alive {
+                // Unconcentrated at the cap: emit with the current estimate,
+                // mirroring the batch engine's recall guarantee.
+                scan.verdicts[r as usize] =
+                    RunVerdict::Emit(model.map_estimate(scan.m[r as usize], n));
+            }
+            for (r, &id) in ids.iter().enumerate() {
+                if let RunVerdict::Emit(est) = scan.verdicts[r] {
+                    out.push((id, est));
                 }
             }
             (out, local)
@@ -634,19 +673,45 @@ impl Searcher {
         let results = fan_out(cand_ids.len(), self.threads, |_, range| {
             let mut local = QueryStats::default();
             let mut out = Vec::new();
-            for &id in &cand_ids[range] {
-                let (outcome, _, n) =
-                    scan_candidate_ro(&this.pool, sig, id, k, max_chunks, |m, n| {
-                        if table.should_prune(m, n) {
-                            StepVerdict::Prune
-                        } else {
-                            StepVerdict::Continue
-                        }
-                    });
-                local.hash_comparisons += n as u64;
-                if outcome == ScanOutcome::Pruned {
-                    local.pruned += 1;
-                } else {
+            // Prune-only chunk-major batched scan; survivors (still
+            // `Pending`) get the exact check in candidate order.
+            let ids = &cand_ids[range];
+            let mut scan = RunScan::default();
+            scan.reset(ids.len());
+            let mut n = 0u32;
+            for _ in 0..max_chunks {
+                if scan.alive.is_empty() {
+                    break;
+                }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| ids[r as usize]));
+                this.pool.query_agreements_batched(
+                    sig,
+                    &scan.alive_ids,
+                    n,
+                    n + k,
+                    &mut scan.counts,
+                );
+                n += k;
+                local.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t_idx in 0..scan.alive.len() {
+                    let r = scan.alive[t_idx] as usize;
+                    let m = scan.m[r] + scan.counts[t_idx];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        local.pruned += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
+                    }
+                }
+                scan.alive.truncate(kept);
+            }
+            for (r, &id) in ids.iter().enumerate() {
+                if matches!(scan.verdicts[r], RunVerdict::Pending) {
                     local.exact += 1;
                     let s = measure.eval(q, this.data.vector(id));
                     if s >= t {
@@ -672,25 +737,53 @@ impl Searcher {
         let table = self.query_minmatch(model, t, max_chunks * k);
         let mut cache = ConcentrationCache::new(self.cfg.delta, self.cfg.gamma);
         let mut out = Vec::new();
-        for &id in cand_ids {
-            let (outcome, m, n) = self.scan_candidate(sig, id, k, max_chunks, |m, n| {
+        // Chunk-major batched scan, lazily deepening only the candidates
+        // still alive — the paper's economy argument survives batching
+        // because a candidate pruned at chunk `c` is never hashed past
+        // `c·k` hashes, exactly as in the candidate-at-a-time loop.
+        let mut scan = RunScan::default();
+        scan.reset(cand_ids.len());
+        let mut n = 0u32;
+        for _ in 0..max_chunks {
+            if scan.alive.is_empty() {
+                break;
+            }
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let id = cand_ids[r as usize];
+                let v = self.data.vector(id);
+                self.pool.ensure(id, v, n + k);
+                scan.alive_ids.push(id);
+            }
+            self.pool
+                .query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
+            n += k;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t_idx in 0..scan.alive.len() {
+                let r = scan.alive[t_idx] as usize;
+                let m = scan.m[r] + scan.counts[t_idx];
+                scan.m[r] = m;
                 if table.should_prune(m, n) {
-                    StepVerdict::Prune
+                    stats.pruned += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
                 } else if cache.is_concentrated(model, m, n) {
-                    StepVerdict::Accept
+                    scan.verdicts[r] = RunVerdict::Emit(model.map_estimate(m, n));
                 } else {
-                    StepVerdict::Continue
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
                 }
-            });
-            stats.hash_comparisons += n as u64;
-            match outcome {
-                ScanOutcome::Pruned => stats.pruned += 1,
-                // Exhausted = unconcentrated at the cap: emit with the
-                // current estimate, mirroring the batch engine's recall
-                // guarantee.
-                ScanOutcome::Accepted | ScanOutcome::Exhausted => {
-                    out.push((id, model.map_estimate(m, n)));
-                }
+            }
+            scan.alive.truncate(kept);
+        }
+        for &r in &scan.alive {
+            // Unconcentrated at the cap: emit with the current estimate,
+            // mirroring the batch engine's recall guarantee.
+            scan.verdicts[r as usize] = RunVerdict::Emit(model.map_estimate(scan.m[r as usize], n));
+        }
+        for (r, &id) in cand_ids.iter().enumerate() {
+            if let RunVerdict::Emit(est) = scan.verdicts[r] {
+                out.push((id, est));
             }
         }
         out
@@ -711,18 +804,44 @@ impl Searcher {
         let table = self.query_minmatch(model, t, max_chunks * k);
         let measure = self.cfg.measure;
         let mut out = Vec::new();
-        for &id in cand_ids {
-            let (outcome, _, n) = self.scan_candidate(sig, id, k, max_chunks, |m, n| {
+        // Prune-only chunk-major batched scan (lazily deepening survivors);
+        // candidates still `Pending` at the cap get the exact check in
+        // candidate order.
+        let mut scan = RunScan::default();
+        scan.reset(cand_ids.len());
+        let mut n = 0u32;
+        for _ in 0..max_chunks {
+            if scan.alive.is_empty() {
+                break;
+            }
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let id = cand_ids[r as usize];
+                let v = self.data.vector(id);
+                self.pool.ensure(id, v, n + k);
+                scan.alive_ids.push(id);
+            }
+            self.pool
+                .query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
+            n += k;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t_idx in 0..scan.alive.len() {
+                let r = scan.alive[t_idx] as usize;
+                let m = scan.m[r] + scan.counts[t_idx];
+                scan.m[r] = m;
                 if table.should_prune(m, n) {
-                    StepVerdict::Prune
+                    stats.pruned += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
                 } else {
-                    StepVerdict::Continue
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
                 }
-            });
-            stats.hash_comparisons += n as u64;
-            if outcome == ScanOutcome::Pruned {
-                stats.pruned += 1;
-            } else {
+            }
+            scan.alive.truncate(kept);
+        }
+        for (r, &id) in cand_ids.iter().enumerate() {
+            if matches!(scan.verdicts[r], RunVerdict::Pending) {
                 stats.exact += 1;
                 let s = measure.eval(q, self.data.vector(id));
                 if s >= t {
@@ -735,26 +854,32 @@ impl Searcher {
 
     /// Incrementally compare an external query signature against pool
     /// member `id`, `chunk` hashes at a time, letting `step` adjudicate
-    /// after each chunk. Returns the outcome with the final `(m, n)`
+    /// after each chunk. The first chunk's agreement count `m1` is supplied
+    /// by the caller ([`Searcher::top_k`] precomputes it for every
+    /// candidate in one batched word-parallel sweep — it is independent of
+    /// the rising threshold, so only the sequential *verdicts* remain
+    /// order-dependent). Returns the outcome with the final `(m, n)`
     /// counts; `n` is the number of hash comparisons spent.
-    fn scan_candidate(
+    fn scan_candidate_resume(
         &mut self,
         sig: &[u32],
         id: u32,
+        m1: u32,
         chunk: u32,
         max_chunks: u32,
         mut step: impl FnMut(u32, u32) -> StepVerdict,
     ) -> (ScanOutcome, u32, u32) {
         let v = self.data.vector(id);
-        let (mut m, mut n) = (0u32, 0u32);
-        for _ in 0..max_chunks {
+        let (mut m, mut n) = (m1, chunk);
+        if step(m, n) == StepVerdict::Prune {
+            return (ScanOutcome::Pruned, m, n);
+        }
+        for _ in 1..max_chunks {
             self.pool.ensure(id, v, n + chunk);
             m += self.pool.query_agreements(sig, id, n, n + chunk);
             n += chunk;
-            match step(m, n) {
-                StepVerdict::Continue => {}
-                StepVerdict::Prune => return (ScanOutcome::Pruned, m, n),
-                StepVerdict::Accept => return (ScanOutcome::Accepted, m, n),
+            if step(m, n) == StepVerdict::Prune {
+                return (ScanOutcome::Pruned, m, n);
             }
         }
         (ScanOutcome::Exhausted, m, n)
@@ -863,20 +988,41 @@ impl Searcher {
             }
         };
 
+        // Every candidate pays at least one chunk, and chunk-1 agreement
+        // counts do not depend on the rising threshold — so count them all
+        // up front in one batched word-parallel sweep, leaving only the
+        // (order-dependent) verdicts and deeper chunks to the sequential
+        // scan below.
+        if self.threads == 1 {
+            for &id in &cand_ids {
+                let v = self.data.vector(id);
+                self.pool.ensure(id, v, params.chunk);
+            }
+        }
+        let mut first = Vec::new();
+        self.pool
+            .query_agreements_batched(&sig, &cand_ids, 0, params.chunk, &mut first);
+
         // Min-heap of the current top-k (similarity, id); the k-th best
         // similarity is a rising pruning threshold.
         let mut heap: BinaryHeap<std::cmp::Reverse<HeapItem>> = BinaryHeap::with_capacity(k + 1);
         let mut kth_best = params.floor;
-        for id in cand_ids {
+        for (idx, &id) in cand_ids.iter().enumerate() {
             let prune_below = kth_best;
-            let (outcome, _, n) =
-                self.scan_candidate(&sig, id, params.chunk, max_chunks, |m, n| {
+            let (outcome, _, n) = self.scan_candidate_resume(
+                &sig,
+                id,
+                first[idx],
+                params.chunk,
+                max_chunks,
+                |m, n| {
                     if model.prob_above_threshold(m, n, prune_below) < params.epsilon {
                         StepVerdict::Prune
                     } else {
                         StepVerdict::Continue
                     }
-                });
+                },
+            );
             stats.hash_comparisons += n as u64;
             if outcome == ScanOutcome::Pruned {
                 stats.pruned += 1;
@@ -961,30 +1107,6 @@ impl Searcher {
     }
 }
 
-/// Read-only variant of [`Searcher::scan_candidate`] for parallel workers:
-/// the candidate's signature must already cover `chunk * max_chunks`
-/// hashes, so no pool extension (and no `&mut`) is needed.
-fn scan_candidate_ro(
-    pool: &SigPool,
-    sig: &[u32],
-    id: u32,
-    chunk: u32,
-    max_chunks: u32,
-    mut step: impl FnMut(u32, u32) -> StepVerdict,
-) -> (ScanOutcome, u32, u32) {
-    let (mut m, mut n) = (0u32, 0u32);
-    for _ in 0..max_chunks {
-        m += pool.query_agreements(sig, id, n, n + chunk);
-        n += chunk;
-        match step(m, n) {
-            StepVerdict::Continue => {}
-            StepVerdict::Prune => return (ScanOutcome::Pruned, m, n),
-            StepVerdict::Accept => return (ScanOutcome::Accepted, m, n),
-        }
-    }
-    (ScanOutcome::Exhausted, m, n)
-}
-
 /// Merge per-chunk query verification results in chunk (= candidate)
 /// order, folding the per-chunk counters into `stats`.
 fn merge_query_chunks(
@@ -1001,15 +1123,16 @@ fn merge_query_chunks(
     out
 }
 
-/// The per-chunk decision of a [`Searcher::scan_candidate`] step closure.
+/// The per-chunk decision of a [`Searcher::scan_candidate_resume`] step
+/// closure. (Threshold queries no longer go through the step machinery —
+/// their chunk-major batched scans adjudicate whole alive sets at once —
+/// so only the top-k prune/continue decision remains.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StepVerdict {
     /// Keep comparing hashes.
     Continue,
     /// Posterior says the candidate cannot clear the threshold.
     Prune,
-    /// Resolved early (e.g. the estimate is concentrated).
-    Accept,
 }
 
 /// How a candidate scan ended.
@@ -1017,8 +1140,6 @@ enum StepVerdict {
 enum ScanOutcome {
     /// The step closure pruned the candidate.
     Pruned,
-    /// The step closure accepted the candidate early.
-    Accepted,
     /// The hash budget ran out without a verdict.
     Exhausted,
 }

@@ -35,6 +35,53 @@ pub fn bbit_to_jaccard(p: f64, b: u32) -> f64 {
     ((p - floor) / (1.0 - floor)).clamp(0.0, 1.0)
 }
 
+/// Count agreeing `b`-bit fragments in positions `lo..hi` between two
+/// packed fragment buffers (`32/b` fragments per `u32` word, LSB-first,
+/// `b ∈ {1,2,4,8,16}`) — word-parallel, one XOR + OR-fold + popcount per
+/// word instead of a shift/mask/compare per fragment.
+///
+/// Per word, `x = wa ^ wb` has an all-zero `b`-bit lane exactly where the
+/// fragments agree. The OR-fold `x |= x >> s` for `s = 1, 2, … < b`
+/// collapses each lane's disagreement onto its least-significant bit
+/// (shifts reach at most `b − 1` positions, so no neighboring lane leaks
+/// into a lane's LSB), a lane-LSB pattern masks those bits — restricted to
+/// the `lo..hi` lanes in the two edge words — and a popcount of the
+/// surviving bits counts the disagreements.
+pub fn count_bbit_agreements(wa: &[u32], wb: &[u32], b: u32, lo: u32, hi: u32) -> u32 {
+    debug_assert!(matches!(b, 1 | 2 | 4 | 8 | 16));
+    debug_assert!(lo <= hi);
+    if lo == hi {
+        return 0;
+    }
+    let per_word = 32 / b;
+    // One bit per lane, at each lane's least-significant position.
+    let lane_pattern = u32::MAX / ((1u32 << b) - 1);
+    let start_w = (lo / per_word) as usize;
+    let end_w = hi.div_ceil(per_word) as usize;
+    debug_assert!(end_w <= wa.len() && end_w <= wb.len());
+    let mut agree = 0u32;
+    for w in start_w..end_w {
+        let mut lanes = lane_pattern;
+        if w == start_w {
+            lanes &= u32::MAX << ((lo % per_word) * b);
+        }
+        if w == end_w - 1 {
+            let rem = hi - (w as u32) * per_word;
+            if rem < per_word {
+                lanes &= (1u32 << (rem * b)) - 1;
+            }
+        }
+        let mut x = wa[w] ^ wb[w];
+        let mut s = 1;
+        while s < b {
+            x |= x >> s;
+            s <<= 1;
+        }
+        agree += lanes.count_ones() - (x & lanes).count_ones();
+    }
+    agree
+}
+
 /// A signature pool storing `b` bits per minwise hash, packed into `u32`
 /// words. Extension goes through the element-major range kernel — one pass
 /// over the set per chunk, reusing the pool's scratch buffers — then packs
@@ -76,7 +123,10 @@ impl BbitSignatures {
         self.b
     }
 
-    /// The `i`-th stored hash fragment of object `id`.
+    /// The `i`-th stored hash fragment of object `id` — the scalar access
+    /// path the word-parallel [`count_bbit_agreements`] kernel replaced;
+    /// kept as the oracle the tests check the kernel against.
+    #[cfg(test)]
     #[inline]
     fn fragment(&self, id: u32, i: u32) -> u32 {
         let per_word = 32 / self.b;
@@ -88,6 +138,23 @@ impl BbitSignatures {
     /// Signature bytes currently held for `id` (storage accounting).
     pub fn bytes(&self, id: u32) -> usize {
         self.sigs[id as usize].len() * 4
+    }
+
+    /// The raw packed fragment words of `id`'s signature (`32/b` fragments
+    /// per word, LSB-first) — the buffers [`count_bbit_agreements`] counts
+    /// over.
+    pub fn raw_words(&self, id: u32) -> &[u32] {
+        &self.sigs[id as usize]
+    }
+
+    /// Make room for objects `0..n_objects`, keeping existing signatures.
+    /// Supports corpora that grow after pool construction (incremental
+    /// insertion into a standing index).
+    pub fn grow_to(&mut self, n_objects: usize) {
+        if self.sigs.len() < n_objects {
+            self.sigs.resize(n_objects, Vec::new());
+            self.hashes.resize(n_objects, 0);
+        }
     }
 }
 
@@ -127,9 +194,23 @@ impl SignaturePool for BbitSignatures {
 
     fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
         debug_assert!(hi <= self.hashes[a as usize] && hi <= self.hashes[b as usize]);
-        (lo..hi)
-            .filter(|&i| self.fragment(a, i) == self.fragment(b, i))
-            .count() as u32
+        count_bbit_agreements(
+            &self.sigs[a as usize],
+            &self.sigs[b as usize],
+            self.b,
+            lo,
+            hi,
+        )
+    }
+
+    fn agreements_batched(&self, a: u32, others: &[u32], lo: u32, hi: u32, out: &mut Vec<u32>) {
+        debug_assert!(hi <= self.hashes[a as usize]);
+        let probe = &self.sigs[a as usize];
+        out.clear();
+        out.extend(others.iter().map(|&b| {
+            debug_assert!(hi <= self.hashes[b as usize]);
+            count_bbit_agreements(probe, &self.sigs[b as usize], self.b, lo, hi)
+        }));
     }
 
     fn total_hashes(&self) -> u64 {
@@ -221,6 +302,81 @@ mod tests {
         let after: Vec<u32> = (0..8).map(|i| pool.fragment(0, i)).collect();
         assert_eq!(before, after);
         assert_eq!(pool.total_hashes(), 64);
+    }
+
+    /// The per-fragment scalar loop the word-parallel kernel replaced,
+    /// kept as the test oracle.
+    fn fragment_oracle(pool: &BbitSignatures, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
+        (lo..hi)
+            .filter(|&i| pool.fragment(a, i) == pool.fragment(b, i))
+            .count() as u32
+    }
+
+    #[test]
+    fn word_parallel_agreements_match_fragment_oracle_at_unaligned_ranges() {
+        let (x, y, _) = pair_with_jaccard();
+        for b in [1u32, 2, 4, 8, 16] {
+            let per_word = 32 / b;
+            let mut pool = BbitSignatures::new(MinHasher::new(77), 2, b);
+            pool.ensure(0, &x, 256);
+            pool.ensure(1, &y, 256);
+            // Ranges straddling word boundaries, single-lane ranges, and
+            // ranges whose width is not a multiple of fragments-per-word.
+            let ranges = [
+                (0u32, 256u32),
+                (0, per_word),
+                (1, per_word + 1),
+                (per_word - 1, per_word - 1),
+                (per_word / 2, 5 * per_word + per_word / 2 + 1),
+                (3, 250),
+                (255, 256),
+            ];
+            for &(lo, hi) in &ranges {
+                let (lo, hi) = (lo.min(256), hi.min(256).max(lo.min(256)));
+                assert_eq!(
+                    pool.agreements(0, 1, lo, hi),
+                    fragment_oracle(&pool, 0, 1, lo, hi),
+                    "b={b} range {lo}..{hi}"
+                );
+            }
+            let mut batched = Vec::new();
+            pool.agreements_batched(0, &[1, 0, 1], 3, 199, &mut batched);
+            assert_eq!(
+                batched,
+                vec![
+                    fragment_oracle(&pool, 0, 1, 3, 199),
+                    196,
+                    fragment_oracle(&pool, 0, 1, 3, 199)
+                ],
+                "b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn grow_to_then_lazy_ensure_counts_at_odd_depths() {
+        let (x, y, _) = pair_with_jaccard();
+        for b in [2u32, 4, 16] {
+            let per_word = 32 / b;
+            let mut pool = BbitSignatures::new(MinHasher::new(78), 1, b);
+            // Ensure to a depth that is not a multiple of fragments-per-word;
+            // the pool rounds up to whole words.
+            pool.ensure(0, &x, per_word + 1);
+            assert_eq!(pool.len(0), 2 * per_word);
+            pool.grow_to(3);
+            pool.ensure(2, &y, 3 * per_word - 1);
+            assert_eq!(pool.len(2), 3 * per_word);
+            let hi = 2 * per_word;
+            assert_eq!(
+                pool.agreements(0, 2, 1, hi - 1),
+                fragment_oracle(&pool, 0, 2, 1, hi - 1),
+                "b={b}"
+            );
+            // Fragments written before grow_to are untouched by it.
+            let mut fresh = BbitSignatures::new(MinHasher::new(78), 1, b);
+            fresh.ensure(0, &x, per_word + 1);
+            assert_eq!(fresh.sigs[0], pool.sigs[0], "b={b}");
+        }
     }
 
     #[test]

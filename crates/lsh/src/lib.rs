@@ -25,9 +25,10 @@ pub mod quantized;
 pub mod signature;
 pub mod srp;
 
-pub use bbit::{bbit_collision_prob, bbit_to_jaccard, BbitSignatures};
+pub use bbit::{bbit_collision_prob, bbit_to_jaccard, count_bbit_agreements, BbitSignatures};
 pub use minhash::{MinHasher, MinScratch};
 pub use signature::{
-    count_bit_agreements, count_int_agreements, BitSignatures, IntSignatures, SignaturePool,
+    count_bit_agreements, count_bit_agreements_batched, count_int_agreements,
+    count_int_agreements_batched, BitSignatures, IntSignatures, SignaturePool,
 };
 pub use srp::{cos_to_r, generate_plane, r_to_cos, SrpHasher, SrpScratch};

@@ -14,33 +14,104 @@ use bayeslsh_sparse::{Dataset, SparseVector};
 use crate::minhash::{MinHasher, MinScratch};
 use crate::srp::{SrpHasher, SrpScratch};
 
+/// Word span and edge masks of a `lo..hi` bit range over packed 32-bit
+/// words: the per-word mask computation is hoisted here once, so batched
+/// counting sweeps candidates with nothing but XOR + popcount per word.
+#[derive(Debug, Clone, Copy)]
+struct BitSpan {
+    start_w: usize,
+    end_w: usize,
+    first_mask: u32,
+    last_mask: u32,
+}
+
+impl BitSpan {
+    /// The span of `lo..hi`; `None` when the range is empty.
+    fn new(lo: u32, hi: u32) -> Option<Self> {
+        debug_assert!(lo <= hi);
+        if lo == hi {
+            return None;
+        }
+        let start_w = (lo / 32) as usize;
+        let end_w = hi.div_ceil(32) as usize;
+        let mut first_mask = u32::MAX << (lo % 32);
+        let rem = hi - (end_w as u32 - 1) * 32;
+        let mut last_mask = if rem < 32 {
+            (1u32 << rem) - 1
+        } else {
+            u32::MAX
+        };
+        if start_w + 1 == end_w {
+            // Single-word range: both edges land in the same mask.
+            first_mask &= last_mask;
+            last_mask = first_mask;
+        }
+        Some(Self {
+            start_w,
+            end_w,
+            first_mask,
+            last_mask,
+        })
+    }
+
+    /// Count agreeing bits over this span between two word buffers.
+    #[inline]
+    fn count(&self, wa: &[u32], wb: &[u32]) -> u32 {
+        debug_assert!(self.end_w <= wa.len() && self.end_w <= wb.len());
+        let first = (wa[self.start_w] ^ wb[self.start_w]) & self.first_mask;
+        let mut agree = self.first_mask.count_ones() - first.count_ones();
+        if self.start_w + 1 == self.end_w {
+            return agree;
+        }
+        // Whole middle words: pair them into u64 XOR + popcount.
+        let mid_a = &wa[self.start_w + 1..self.end_w - 1];
+        let mid_b = &wb[self.start_w + 1..self.end_w - 1];
+        let mut pairs_a = mid_a.chunks_exact(2);
+        let mut pairs_b = mid_b.chunks_exact(2);
+        for (pa, pb) in pairs_a.by_ref().zip(pairs_b.by_ref()) {
+            let x = (pa[0] ^ pb[0]) as u64 | (((pa[1] ^ pb[1]) as u64) << 32);
+            agree += 64 - x.count_ones();
+        }
+        for (a, b) in pairs_a.remainder().iter().zip(pairs_b.remainder()) {
+            agree += 32 - (a ^ b).count_ones();
+        }
+        let last = (wa[self.end_w - 1] ^ wb[self.end_w - 1]) & self.last_mask;
+        agree + self.last_mask.count_ones() - last.count_ones()
+    }
+}
+
 /// Count agreeing bits in positions `lo..hi` between two bit-packed
 /// signatures (32 bits per word, LSB-first). Shared by [`BitSignatures`]
 /// and callers comparing out-of-pool signatures (e.g. k-NN queries).
+/// Word-parallel: whole words compare with XOR + popcount; only the two
+/// edge words are masked.
 pub fn count_bit_agreements(wa: &[u32], wb: &[u32], lo: u32, hi: u32) -> u32 {
-    debug_assert!(lo <= hi);
-    if lo == hi {
-        return 0;
+    match BitSpan::new(lo, hi) {
+        Some(span) => span.count(wa, wb),
+        None => 0,
     }
-    let start_w = (lo / 32) as usize;
-    let end_w = hi.div_ceil(32) as usize;
-    debug_assert!(end_w <= wa.len() && end_w <= wb.len());
-    let mut agree = 0u32;
-    for w in start_w..end_w {
-        let mut mask = u32::MAX;
-        if w == start_w {
-            mask &= u32::MAX << (lo % 32);
-        }
-        if w == end_w - 1 {
-            let rem = hi - (w as u32) * 32;
-            if rem < 32 {
-                mask &= (1u32 << rem) - 1;
-            }
-        }
-        let diff = (wa[w] ^ wb[w]) & mask;
-        agree += mask.count_ones() - diff.count_ones();
+}
+
+/// Count agreeing bits in positions `lo..hi` between one probe signature
+/// and each candidate signature in `batch`, appending one count per
+/// candidate to `out` (cleared first). The word span and edge masks are
+/// computed once and the probe words stay hot across the whole sweep, so
+/// per candidate the cost is XOR + popcount per word — the batched
+/// building block the BayesLSH verify engines run on.
+pub fn count_bit_agreements_batched<'a, I>(
+    probe: &[u32],
+    batch: I,
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<u32>,
+) where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    out.clear();
+    match BitSpan::new(lo, hi) {
+        Some(span) => out.extend(batch.into_iter().map(|cand| span.count(probe, cand))),
+        None => out.extend(batch.into_iter().map(|_| 0)),
     }
-    agree
 }
 
 /// Count agreeing integer hashes in positions `lo..hi` between two minhash
@@ -56,6 +127,32 @@ pub fn count_int_agreements(sa: &[u32], sb: &[u32], lo: u32, hi: u32) -> u32 {
         .count() as u32
 }
 
+/// Count agreeing integer hashes in positions `lo..hi` between one probe
+/// signature and each candidate in `batch`, appending one count per
+/// candidate to `out` (cleared first). The probe window is sliced once and
+/// stays hot across the sweep; see [`count_bit_agreements_batched`] for
+/// the batched contract.
+pub fn count_int_agreements_batched<'a, I>(
+    probe: &[u32],
+    batch: I,
+    lo: u32,
+    hi: u32,
+    out: &mut Vec<u32>,
+) where
+    I: IntoIterator<Item = &'a [u32]>,
+{
+    debug_assert!(lo <= hi);
+    out.clear();
+    let window = &probe[lo as usize..hi as usize];
+    out.extend(batch.into_iter().map(|cand| {
+        window
+            .iter()
+            .zip(&cand[lo as usize..hi as usize])
+            .filter(|(x, y)| x == y)
+            .count() as u32
+    }));
+}
+
 /// Common interface over bit-valued (cosine) and integer-valued (Jaccard)
 /// signature storage, as used by the BayesLSH engines.
 pub trait SignaturePool {
@@ -69,6 +166,19 @@ pub trait SignaturePool {
     /// Count agreeing hashes in positions `lo..hi` for objects `a` and `b`.
     /// Both signatures must already cover `hi`.
     fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32;
+
+    /// Count agreeing hashes in positions `lo..hi` between probe object
+    /// `a` and each object in `others`, appending one count per entry to
+    /// `out` (cleared first). Semantically exactly
+    /// `others.iter().map(|&b| self.agreements(a, b, lo, hi))`, but pools
+    /// with packed layouts override it to hoist the probe signature and
+    /// the range's edge masks out of the per-candidate loop — the batched
+    /// sweep the verify engines run on. All signatures must already cover
+    /// `hi`.
+    fn agreements_batched(&self, a: u32, others: &[u32], lo: u32, hi: u32, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(others.iter().map(|&b| self.agreements(a, b, lo, hi)));
+    }
 
     /// Total hashes computed so far across all objects (cost accounting —
     /// the "hashing overhead" discussed in the paper's observation 3).
@@ -338,6 +448,21 @@ impl SignaturePool for BitSignatures {
         count_bit_agreements(&self.words[a as usize], &self.words[b as usize], lo, hi)
     }
 
+    fn agreements_batched(&self, a: u32, others: &[u32], lo: u32, hi: u32, out: &mut Vec<u32>) {
+        debug_assert!(hi <= self.bits[a as usize], "a not hashed deep enough");
+        let probe = &self.words[a as usize];
+        count_bit_agreements_batched(
+            probe,
+            others.iter().map(|&b| {
+                debug_assert!(hi <= self.bits[b as usize], "b not hashed deep enough");
+                self.words[b as usize].as_slice()
+            }),
+            lo,
+            hi,
+            out,
+        );
+    }
+
     fn total_hashes(&self) -> u64 {
         self.total
     }
@@ -543,6 +668,16 @@ impl SignaturePool for IntSignatures {
 
     fn agreements(&self, a: u32, b: u32, lo: u32, hi: u32) -> u32 {
         count_int_agreements(&self.sigs[a as usize], &self.sigs[b as usize], lo, hi)
+    }
+
+    fn agreements_batched(&self, a: u32, others: &[u32], lo: u32, hi: u32, out: &mut Vec<u32>) {
+        count_int_agreements_batched(
+            &self.sigs[a as usize],
+            others.iter().map(|&b| self.sigs[b as usize].as_slice()),
+            lo,
+            hi,
+            out,
+        );
     }
 
     fn total_hashes(&self) -> u64 {

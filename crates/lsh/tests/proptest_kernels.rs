@@ -11,8 +11,9 @@
 
 use bayeslsh_lsh::srp::PlaneStorage;
 use bayeslsh_lsh::{
-    generate_plane, quantized, BitSignatures, IntSignatures, MinHasher, SignaturePool, SrpHasher,
-    SrpScratch,
+    count_bbit_agreements, count_bit_agreements, count_bit_agreements_batched,
+    count_int_agreements, count_int_agreements_batched, generate_plane, quantized, BbitSignatures,
+    BitSignatures, IntSignatures, MinHasher, SignaturePool, SrpHasher, SrpScratch,
 };
 use bayeslsh_numeric::Xoshiro256;
 use bayeslsh_sparse::{Dataset, SparseVector};
@@ -217,5 +218,130 @@ proptest! {
         for (i, &got) in one_shot.raw(0).iter().enumerate() {
             prop_assert_eq!(got, scalar.hash(i, &v), "slot {}", i);
         }
+    }
+
+    /// Word-parallel bit agreement counting — single-pair, batched free
+    /// function, and the pool's batched sweep — equals a per-bit scalar
+    /// loop, across aligned and unaligned ranges on incrementally-ensured
+    /// signatures.
+    #[test]
+    fn bit_agreement_counts_match_scalar_oracle(
+        seed in 0u64..400,
+        total in 1u32..300,
+        lo_sel in 0u32..300,
+        span in 0u32..300,
+    ) {
+        let dim = 80;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xF6);
+        let va = random_vector(dim, 18, &mut rng);
+        let vb = random_vector(dim, 18, &mut rng);
+        let mut pool = BitSignatures::new(SrpHasher::new(dim, seed), 2);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            pool.ensure(0, &va, hi);
+        }
+        pool.ensure(1, &vb, total);
+        let depth = pool.len(0);
+        let lo = lo_sel.min(depth);
+        let hi = (lo + span).min(depth);
+        let naive = (lo..hi).filter(|&i| pool.bit(0, i) == pool.bit(1, i)).count() as u32;
+        prop_assert_eq!(pool.agreements(0, 1, lo, hi), naive);
+        prop_assert_eq!(
+            count_bit_agreements(pool.raw_words(0), pool.raw_words(1), lo, hi),
+            naive
+        );
+        let mut out = Vec::new();
+        count_bit_agreements_batched(
+            pool.raw_words(0),
+            [pool.raw_words(1), pool.raw_words(0)],
+            lo,
+            hi,
+            &mut out,
+        );
+        prop_assert_eq!(&out, &[naive, hi - lo]);
+        pool.agreements_batched(0, &[1, 0, 1], lo, hi, &mut out);
+        prop_assert_eq!(out, vec![naive, hi - lo, naive]);
+    }
+
+    /// Batched integer agreement counting equals the single-pair count,
+    /// which equals an element-wise scalar loop.
+    #[test]
+    fn int_agreement_counts_match_scalar_oracle(
+        seed in 0u64..400,
+        total in 1u32..300,
+        lo_sel in 0u32..300,
+        span in 0u32..300,
+    ) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xA7);
+        // Overlapping supports so a good fraction of hashes agree.
+        let sa = SparseVector::from_indices(
+            (0..1 + rng.next_below(25)).map(|_| rng.next_below(60) as u32).collect(),
+        );
+        let sb = SparseVector::from_indices(
+            (0..1 + rng.next_below(25)).map(|_| rng.next_below(60) as u32).collect(),
+        );
+        let mut pool = IntSignatures::new(MinHasher::new(seed), 2);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            pool.ensure(0, &sa, hi);
+        }
+        pool.ensure(1, &sb, total);
+        let lo = lo_sel.min(total);
+        let hi = (lo + span).min(total);
+        let naive = pool.raw(0)[lo as usize..hi as usize]
+            .iter()
+            .zip(&pool.raw(1)[lo as usize..hi as usize])
+            .filter(|(x, y)| x == y)
+            .count() as u32;
+        prop_assert_eq!(count_int_agreements(pool.raw(0), pool.raw(1), lo, hi), naive);
+        let mut out = Vec::new();
+        count_int_agreements_batched(pool.raw(0), [pool.raw(1), pool.raw(0)], lo, hi, &mut out);
+        prop_assert_eq!(&out, &[naive, hi - lo]);
+        pool.agreements_batched(0, &[1, 0], lo, hi, &mut out);
+        prop_assert_eq!(out, vec![naive, hi - lo]);
+    }
+
+    /// Word-parallel b-bit fragment counting equals the low-bits-of-minhash
+    /// scalar oracle for every supported `b`, across non-word-multiple
+    /// depths and incremental ensure patterns (tail-mask edge cases).
+    #[test]
+    fn bbit_agreement_counts_match_low_bit_oracle(
+        seed in 0u64..400,
+        b_sel in 0u32..5,
+        total in 1u32..300,
+        lo_sel in 0u32..300,
+        span in 0u32..300,
+    ) {
+        let b = [1u32, 2, 4, 8, 16][b_sel as usize];
+        let mask = (1u32 << b) - 1;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xB8);
+        let sa = SparseVector::from_indices(
+            (0..1 + rng.next_below(25)).map(|_| rng.next_below(60) as u32).collect(),
+        );
+        let sb = SparseVector::from_indices(
+            (0..1 + rng.next_below(25)).map(|_| rng.next_below(60) as u32).collect(),
+        );
+        let mut pool = BbitSignatures::new(MinHasher::new(seed), 2, b);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            pool.ensure(0, &sa, hi);
+        }
+        pool.ensure(1, &sb, total);
+        let depth = pool.len(0);
+        prop_assert_eq!(pool.len(1), depth);
+        let lo = lo_sel.min(depth);
+        let hi = (lo + span).min(depth);
+        let mut reference = MinHasher::new(seed);
+        let naive = (lo..hi)
+            .filter(|&i| {
+                reference.hash(i as usize, &sa) & mask == reference.hash(i as usize, &sb) & mask
+            })
+            .count() as u32;
+        prop_assert_eq!(pool.agreements(0, 1, lo, hi), naive);
+        let mut out = Vec::new();
+        pool.agreements_batched(0, &[1, 0], lo, hi, &mut out);
+        prop_assert_eq!(out, vec![naive, hi - lo]);
+        // The free function over raw words agrees with the pool path.
+        prop_assert_eq!(
+            count_bbit_agreements(pool.raw_words(0), pool.raw_words(1), b, lo, hi),
+            naive
+        );
     }
 }

@@ -38,11 +38,12 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
                 let mut rng = $crate::TestRng::for_test(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
                 $(let $arg = $strat;)+
-                for case in 0..config.cases {
+                for case in 0..cases {
                     $(
                         let $arg = $crate::Strategy::generate(&$arg, &mut rng);
                     )+
@@ -60,9 +61,8 @@ macro_rules! proptest {
                     );
                     if let Err(panic) = outcome {
                         eprintln!(
-                            "proptest {}: failing case {case}/{}: {case_desc}",
+                            "proptest {}: failing case {case}/{cases}: {case_desc}",
                             stringify!($name),
-                            config.cases,
                         );
                         ::std::panic::resume_unwind(panic);
                     }

@@ -12,6 +12,22 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig { cases }
     }
+
+    /// The case count a `proptest!` block actually runs: `PROPTEST_CASES`
+    /// from the environment when set to a positive integer (mirroring
+    /// upstream proptest's env override, so CI can crank coverage without
+    /// touching source), otherwise this config's `cases`. Unparsable or
+    /// zero values fall back to `cases` rather than erroring — a bad env
+    /// var must not silently skip a suite.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => match s.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -59,5 +75,31 @@ impl TestRng {
     /// Uniform draw in `[0, 1)` with 53 bits of precision.
     pub fn next_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test covers every PROPTEST_CASES shape: the process environment
+    // is shared across the test binary's threads, so splitting these into
+    // separate #[test] functions would race.
+    #[test]
+    fn effective_cases_honors_the_env_override() {
+        let cfg = ProptestConfig::with_cases(64);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::set_var("PROPTEST_CASES", "1024");
+        assert_eq!(cfg.effective_cases(), 1024);
+        std::env::set_var("PROPTEST_CASES", " 8 ");
+        assert_eq!(cfg.effective_cases(), 8);
+        // Zero and garbage fall back to the config instead of running
+        // an empty (vacuously green) suite.
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::set_var("PROPTEST_CASES", "lots");
+        assert_eq!(cfg.effective_cases(), 64);
+        std::env::remove_var("PROPTEST_CASES");
     }
 }
