@@ -24,6 +24,15 @@
 //!               versioned snapshot (--out, default index.snap)
 //!   serve       cold-load a snapshot (--from-snapshot) and time it against
 //!               a from-scratch rebuild, asserting bit-identical output
+//!   inspect-snapshot PATH  decode a snapshot's header (version, measure,
+//!               composition, counts) and verify its checksum
+//!   shard-build build the preset corpus as N disjoint shards (--shards,
+//!               default 4) and save snapshots + manifest under --out
+//!               (default shards/)
+//!   shard-serve open a shard manifest (--from-manifest) and sweep queries
+//!               through scatter-gather vs a single rebuilt index,
+//!               asserting bit-identical output and hot-swapping a reload
+//!               mid-sweep
 //!   all      everything above
 //! ```
 //!
@@ -32,16 +41,21 @@
 use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
 use bayeslsh_bench::timing::Family;
 use bayeslsh_bench::{
-    baseline, fig1, fig5, parallel, params, persist, pruning, quality, table1, timing,
+    baseline, fig1, fig5, parallel, params, persist, pruning, quality, shard, table1, timing,
 };
 use bayeslsh_datasets::Preset;
 
 struct Args {
     command: String,
+    /// Positional argument after the command (e.g. the snapshot path
+    /// for `inspect-snapshot`).
+    path: Option<String>,
     scale: f64,
     seed: u64,
+    shards: usize,
     out: Option<String>,
     from_snapshot: Option<String>,
+    from_manifest: Option<String>,
     diff_schema: Option<String>,
     assert_floor: Option<String>,
 }
@@ -56,10 +70,13 @@ impl Args {
 fn parse_args() -> Args {
     let mut args = Args {
         command: String::new(),
+        path: None,
         scale: 0.004,
         seed: 42,
+        shards: 4,
         out: None,
         from_snapshot: None,
+        from_manifest: None,
         diff_schema: None,
         assert_floor: None,
     };
@@ -78,8 +95,21 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--shards" => {
+                args.shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+            }
             "--out" => {
                 args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--from-manifest" => {
+                args.from_manifest = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("--from-manifest needs a path")),
+                );
             }
             "--from-snapshot" => {
                 args.from_snapshot = Some(
@@ -106,6 +136,9 @@ fn parse_args() -> Args {
             cmd if args.command.is_empty() && !cmd.starts_with('-') => {
                 args.command = cmd.to_string();
             }
+            p if args.path.is_none() && !p.starts_with('-') => {
+                args.path = Some(p.to_string());
+            }
             other => die(&format!("unknown argument {other:?}")),
         }
     }
@@ -121,12 +154,60 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// Every subcommand `main` dispatches on, in usage order. Kept next to
+/// `print_usage` so an arm added to `main` without a row here is caught
+/// by the usage test below.
+const SUBCOMMANDS: &[(&str, &str)] = &[
+    ("fig1", "hashes needed vs similarity (classical estimation)"),
+    ("fig2", "runtime vs gamma/delta/epsilon (LSH+BayesLSH)"),
+    (
+        "fig3",
+        "timing sweeps: all algorithms x datasets x thresholds",
+    ),
+    ("fig4", "candidates remaining vs hashes examined"),
+    ("fig5", "prior-vs-data posterior convergence"),
+    ("table1", "dataset statistics"),
+    ("table2", "fastest BayesLSH variant + speedups"),
+    ("table3", "recall of AP+BayesLSH / AP+BayesLSH-Lite"),
+    ("table4", "estimate errors: LSH Approx vs LSH+BayesLSH"),
+    ("table5", "output quality vs gamma/delta/epsilon"),
+    ("parallel", "all-pairs speedup vs worker threads"),
+    (
+        "bench-baseline",
+        "hashing + verification throughput baseline",
+    ),
+    (
+        "save-index",
+        "build and persist a versioned snapshot (--out)",
+    ),
+    (
+        "serve",
+        "cold-load a snapshot (--from-snapshot) vs a rebuild",
+    ),
+    (
+        "inspect-snapshot",
+        "decode a snapshot header + verify its checksum (PATH)",
+    ),
+    (
+        "shard-build",
+        "build the corpus as N shards (--shards, --out DIR)",
+    ),
+    (
+        "shard-serve",
+        "scatter-gather vs single index (--from-manifest)",
+    ),
+    ("all", "everything above"),
+];
+
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|table1|table2|table3|table4|table5|parallel|\
-         bench-baseline|save-index|serve|all> [--scale S] [--seed N] [--out PATH] \
-         [--from-snapshot PATH] [--diff-schema PATH] [--assert-floor PATH]"
+        "usage: repro <experiment> [PATH] [--scale S] [--seed N] [--shards N] [--out PATH] \
+         [--from-snapshot PATH] [--from-manifest PATH] [--diff-schema PATH] \
+         [--assert-floor PATH]\n\nexperiments:"
     );
+    for (name, what) in SUBCOMMANDS {
+        eprintln!("  {name:<16} {what}");
+    }
 }
 
 fn run_save_index(args: &Args) {
@@ -187,6 +268,101 @@ fn run_serve(args: &Args) {
                 } else {
                     ""
                 },
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn run_inspect_snapshot(args: &Args) {
+    let Some(path) = args.path.as_deref() else {
+        die("inspect-snapshot needs a PATH argument");
+    };
+    banner(&format!("Inspect snapshot: {path}"));
+    match persist::inspect(path) {
+        Ok(r) => {
+            let h = &r.header;
+            let table = vec![
+                vec!["format version".to_string(), h.format_version.to_string()],
+                vec!["measure".to_string(), format!("{:?}", h.measure)],
+                vec!["composition".to_string(), format!("{:?}", h.composition)],
+                vec!["hash mode".to_string(), format!("{:?}", h.hash_mode)],
+                vec!["build threads".to_string(), h.threads.to_string()],
+                vec!["signature depth".to_string(), h.sig_depth.to_string()],
+                vec!["vectors".to_string(), fmt_count(h.n_vectors)],
+                vec!["dimensions".to_string(), h.dim.to_string()],
+                vec!["total hashes".to_string(), fmt_count(h.total_hashes)],
+                vec!["file size".to_string(), fmt_count(r.bytes)],
+            ];
+            print!("{}", render_table(&["field", "value"], &table));
+            match r.damage {
+                None => println!("checksum: OK (full load verified)"),
+                Some(reason) => die(&format!("checksum: DAMAGED — {reason}")),
+            }
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn run_shard_build(args: &Args) {
+    let out = args.out_or("shards");
+    banner(&format!(
+        "Shard build: partition into {} shards (scale {}, -> {out}/)",
+        args.shards, args.scale
+    ));
+    match shard::shard_build(args.scale, args.seed, args.shards, &out) {
+        Ok(r) => {
+            println!(
+                "built {} vectors as {} shards in {}; {} on disk (sizes: {})",
+                fmt_count(r.n_vectors as u64),
+                r.n_shards,
+                fmt_secs(r.build_secs),
+                fmt_count(r.bytes),
+                r.shard_sizes
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect::<Vec<_>>()
+                    .join("/"),
+            );
+            println!(
+                "serve it with: repro shard-serve --from-manifest {} --scale {}",
+                r.manifest_path, args.scale
+            );
+        }
+        Err(e) => die(&e),
+    }
+}
+
+fn run_shard_serve(args: &Args) {
+    let Some(path) = args.from_manifest.as_deref() else {
+        die("shard-serve needs --from-manifest PATH (from a prior shard-build)");
+    };
+    banner(&format!(
+        "Shard serve: scatter-gather over {path} vs a single rebuilt index (scale {})",
+        args.scale
+    ));
+    match shard::shard_serve(args.scale, args.seed, path) {
+        Ok(r) => {
+            let table = vec![
+                vec!["open + load shards".to_string(), fmt_secs(r.open_secs)],
+                vec!["rebuild single index".to_string(), fmt_secs(r.rebuild_secs)],
+                vec![
+                    format!("{} queries, scatter-gather", r.queries),
+                    fmt_secs(r.scatter_secs),
+                ],
+                vec![
+                    format!("{} queries, single index", r.queries),
+                    fmt_secs(r.single_secs),
+                ],
+                vec!["hot-swap reload".to_string(), fmt_secs(r.reload_secs)],
+            ];
+            print!("{}", render_table(&["phase", "time"], &table));
+            println!(
+                "{} vectors across {} shards — every answer asserted bit-identical to the \
+                 single index; reload mid-sweep served without error (generation {})",
+                fmt_count(r.n_vectors as u64),
+                r.n_shards,
+                r.generation,
             );
         }
         Err(e) => die(&e),
@@ -303,6 +479,9 @@ fn main() {
         "bench-baseline" => run_bench_baseline(&args),
         "save-index" => run_save_index(&args),
         "serve" => run_serve(&args),
+        "inspect-snapshot" => run_inspect_snapshot(&args),
+        "shard-build" => run_shard_build(&args),
+        "shard-serve" => run_shard_serve(&args),
         "all" => {
             run_parallel(&args);
             run_fig1();
@@ -316,7 +495,11 @@ fn main() {
             let rows = run_fig3(&args);
             run_table2(&rows);
         }
-        other => die(&format!("unknown experiment {other:?}")),
+        other => {
+            eprintln!("error: unknown experiment {other:?}\n");
+            print_usage();
+            std::process::exit(2);
+        }
     }
 }
 

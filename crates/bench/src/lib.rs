@@ -15,5 +15,6 @@ pub mod persist;
 pub mod pruning;
 pub mod quality;
 pub mod report;
+pub mod shard;
 pub mod table1;
 pub mod timing;

@@ -61,6 +61,39 @@ pub fn save_index(scale: f64, seed: u64, path: &str) -> Result<SaveReport, Strin
     })
 }
 
+/// What `repro inspect-snapshot` probes: the cheap header read plus a
+/// full checksum pass over the file.
+#[derive(Debug, Clone)]
+pub struct InspectReport {
+    /// The decoded [`SnapshotHeader`] (magic and version already
+    /// validated by the read).
+    pub header: SnapshotHeader,
+    /// File size on disk.
+    pub bytes: u64,
+    /// `None` when a full load (including the trailing checksum)
+    /// verified clean; `Some(reason)` when the body is damaged even
+    /// though the header parsed.
+    pub damage: Option<String>,
+}
+
+/// Probe the snapshot at `path`: decode the header, then run a full
+/// checksum-verifying load and report whether the body is intact.
+pub fn inspect(path: &str) -> Result<InspectReport, String> {
+    let open = || File::open(path).map_err(|e| format!("cannot open {path}: {e}"));
+    let header =
+        SnapshotHeader::read(BufReader::new(open()?)).map_err(|e| format!("probe: {e}"))?;
+    let bytes = std::fs::metadata(path).map_err(|e| e.to_string())?.len();
+    let damage = match Searcher::load(BufReader::new(open()?)) {
+        Ok(_) => None,
+        Err(e) => Some(e.to_string()),
+    };
+    Ok(InspectReport {
+        header,
+        bytes,
+        damage,
+    })
+}
+
 /// What `repro serve --from-snapshot` measured.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -191,6 +224,30 @@ mod tests {
         assert!(served.fnr_clamped || served.achieved_fnr <= served.requested_fnr);
         // A different seed is a detected mismatch, not silent divergence.
         assert!(serve(0.0005, 43, &path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_reports_header_and_checksum_status() {
+        let path = std::env::temp_dir().join("bayeslsh_inspect_test.snap");
+        let path = path.to_str().unwrap().to_string();
+        let saved = save_index(0.0005, 42, &path).unwrap();
+
+        let clean = inspect(&path).unwrap();
+        assert_eq!(clean.header.n_vectors as usize, saved.n_vectors);
+        assert_eq!(clean.bytes, saved.bytes);
+        assert!(clean.damage.is_none());
+
+        // Flip a byte near the end: the header still parses, but the
+        // full checksum pass must flag the damage.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let damaged = inspect(&path).unwrap();
+        assert_eq!(damaged.header, clean.header);
+        assert!(damaged.damage.is_some());
+
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -101,4 +101,7 @@ pub use parallel::{
 pub use persist::{SnapshotError, SnapshotHeader, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
 pub use posterior::PosteriorModel;
-pub use searcher::{HashMode, QueryOutput, QueryStats, Searcher, SearcherBuilder, TopKOutput};
+pub use searcher::{
+    merge_query_outputs, CandidateScan, HashMode, QueryOutput, QueryStats, Searcher,
+    SearcherBuilder, TopKOutput,
+};

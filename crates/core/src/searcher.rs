@@ -208,6 +208,60 @@ pub struct QueryOutput {
     pub stats: QueryStats,
 }
 
+impl QueryOutput {
+    /// Rewrite every neighbour id through `map` (e.g. shard-local →
+    /// global), preserving order and statistics. Routers remap before
+    /// merging so the merged output speaks global ids throughout.
+    pub fn remap_ids(&mut self, map: impl Fn(u32) -> u32) {
+        for n in &mut self.neighbors {
+            n.0 = map(n.0);
+        }
+    }
+}
+
+/// Merge per-shard threshold-query outputs into the output a single
+/// index over the union corpus would produce: neighbours concatenate
+/// (candidate sets of disjoint shards partition the global candidate
+/// set, and per-candidate verdicts are order-independent on the query
+/// path), statistics add, and the merged list is re-sorted by the same
+/// total order [`Searcher::query`] uses — decreasing similarity, ties
+/// toward the lower id. Call [`QueryOutput::remap_ids`] first so ids
+/// are global.
+pub fn merge_query_outputs(parts: Vec<QueryOutput>) -> QueryOutput {
+    let mut neighbors = Vec::new();
+    let mut stats = QueryStats::default();
+    for part in parts {
+        neighbors.extend(part.neighbors);
+        stats.candidates += part.stats.candidates;
+        stats.pruned += part.stats.pruned;
+        stats.exact += part.stats.exact;
+        stats.hash_comparisons += part.stats.hash_comparisons;
+    }
+    neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    QueryOutput { neighbors, stats }
+}
+
+/// The adjudicated fate of one candidate in a [`Searcher::top_k`] scan,
+/// as returned by [`Searcher::scan_top_k_candidate`]. `comparisons` is
+/// the number of hash comparisons spent on the candidate (what `top_k`
+/// folds into [`KnnStats::hash_comparisons`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CandidateScan {
+    /// The posterior test pruned the candidate before exact verification.
+    Pruned {
+        /// Hash comparisons spent before pruning.
+        comparisons: u32,
+    },
+    /// The candidate survived every chunk; `similarity` is its exact
+    /// similarity to the query under the searcher's measure.
+    Survivor {
+        /// Hash comparisons spent (the full scan budget).
+        comparisons: u32,
+        /// Exact similarity to the query.
+        similarity: f64,
+    },
+}
+
 /// The result of one top-k query.
 #[derive(Debug, Clone)]
 pub struct TopKOutput {
@@ -1104,6 +1158,144 @@ impl Searcher {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Scatter-gather hooks.
+    //
+    // A sharded router serves the same contract as one big `Searcher`
+    // by splitting a query across per-shard searchers and merging. The
+    // order-independent paths (`query`) merge whole outputs; `top_k`'s
+    // rising-threshold scan is order-*dependent*, so the router instead
+    // reconstructs the single-index candidate order from the hooks below
+    // and replays the sequential scan itself, one candidate at a time,
+    // against whichever shard owns each candidate.
+    // ------------------------------------------------------------------
+
+    /// Validate `v` as a query/insert vector for this searcher — the
+    /// same preconditions [`Searcher::query`], [`Searcher::top_k`], and
+    /// [`Searcher::insert`] enforce (binary support where the composition
+    /// demands it; for cosine, no feature index beyond the indexed
+    /// space). Lets a router fail a scatter-gather request up front with
+    /// the identical [`SearchError`] a single index would produce.
+    pub fn validate_query_vector(&self, v: &SparseVector) -> Result<(), SearchError> {
+        self.check_query(v)
+    }
+
+    /// Hash `q` to a `depth`-hash query signature using this searcher's
+    /// hash family (bit-identical at any thread count). Because the
+    /// family is a pure function of the config seed and feature-space
+    /// dimensionality — both forced global across shards — a signature
+    /// computed on one shard is valid against every shard of the same
+    /// build.
+    pub fn hash_query_signature(&mut self, q: &SparseVector, depth: u32) -> Vec<u32> {
+        if self.threads > 1 {
+            self.pool.hash_query_par(q, depth, self.threads)
+        } else {
+            self.pool.hash_query(q, depth)
+        }
+    }
+
+    /// Probe the banding index with query signature `sig` and annotate
+    /// each candidate with the **first band** whose bucket produced it:
+    /// returns deduplicated `(local id, first matching band)` pairs.
+    ///
+    /// A single index emits candidates in `(first band, id)` order — the
+    /// probe walks bands in order and each bucket in ascending-id order,
+    /// deduplicating on first encounter. Per-shard candidate sets
+    /// partition a global index's buckets without reordering either
+    /// component, so a router can rebuild the exact single-index
+    /// emission order by merging per-shard results on
+    /// `(first band, global id)`.
+    pub fn probe_first_bands(&self, sig: &[u32]) -> Vec<(u32, u32)> {
+        let params = self.plan.params;
+        let keys = self.pool.query_band_keys(sig, params);
+        let cand_ids = self.index.par_probe(&keys, self.threads);
+        cand_ids
+            .into_iter()
+            .map(|id| {
+                let band = (0..params.l)
+                    .find(|&b| self.pool.band_key(id, b, params) == keys[b as usize])
+                    .expect("probed candidate must share a band key with the query");
+                (id, band)
+            })
+            .collect()
+    }
+
+    /// Agreement counts between `sig` and each of `ids` over hash range
+    /// `[0, chunk)`, extending pool signatures as needed (parallel across
+    /// the thread budget, bit-identical to serial). This is
+    /// [`Searcher::top_k`]'s batched first-chunk sweep, exposed so a
+    /// router can pay each shard's first chunk up front — the counts are
+    /// independent of the rising threshold, so only the verdicts remain
+    /// sequential.
+    pub fn first_chunk_agreements(&mut self, sig: &[u32], ids: &[u32], chunk: u32) -> Vec<u32> {
+        if self.threads > 1 {
+            self.pool
+                .par_ensure_ids(&self.data, ids, chunk, self.threads);
+        } else {
+            for &id in ids {
+                let v = self.data.vector(id);
+                self.pool.ensure(id, v, chunk);
+            }
+        }
+        let mut out = Vec::new();
+        self.pool
+            .query_agreements_batched(sig, ids, 0, chunk, &mut out);
+        out
+    }
+
+    /// Run one candidate of [`Searcher::top_k`]'s sequential pruning
+    /// scan: resume from first-chunk agreement count `first_m` (from
+    /// [`Searcher::first_chunk_agreements`]) and test against the
+    /// caller-supplied pruning threshold `prune_below` (the rising
+    /// k-th-best similarity, captured once per candidate exactly as
+    /// `top_k` does). The outcome is a pure function of the arguments
+    /// and the candidate's signature, so a router replaying candidates
+    /// in single-index order reproduces `top_k` bit for bit.
+    ///
+    /// `params` must satisfy the [`Searcher::top_k`] preconditions
+    /// (`chunk >= 1`, `h >= chunk`); survivors carry the exact
+    /// similarity under this searcher's measure.
+    pub fn scan_top_k_candidate(
+        &mut self,
+        q: &SparseVector,
+        sig: &[u32],
+        id: u32,
+        first_m: u32,
+        params: &KnnParams,
+        prune_below: f64,
+    ) -> CandidateScan {
+        debug_assert!(params.chunk >= 1 && params.h >= params.chunk);
+        let max_chunks = params.h / params.chunk;
+        let measure = self.cfg.measure;
+        let cosine_model;
+        let jaccard_model;
+        let model: &dyn PosteriorModel = match measure {
+            Measure::Cosine => {
+                cosine_model = CosineModel::new();
+                &cosine_model
+            }
+            Measure::Jaccard => {
+                jaccard_model = JaccardModel::uniform();
+                &jaccard_model
+            }
+        };
+        let (outcome, _, n) =
+            self.scan_candidate_resume(sig, id, first_m, params.chunk, max_chunks, |m, n| {
+                if model.prob_above_threshold(m, n, prune_below) < params.epsilon {
+                    StepVerdict::Prune
+                } else {
+                    StepVerdict::Continue
+                }
+            });
+        match outcome {
+            ScanOutcome::Pruned => CandidateScan::Pruned { comparisons: n },
+            ScanOutcome::Exhausted => CandidateScan::Survivor {
+                comparisons: n,
+                similarity: measure.eval(q, self.data.vector(id)),
+            },
+        }
     }
 }
 

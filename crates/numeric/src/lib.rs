@@ -42,4 +42,4 @@ pub use gamma::{ln_choose, ln_gamma};
 pub use gaussian::Gaussian;
 pub use parallel::{chunk_ranges, fan_out, Parallelism};
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
-pub use wire::{WireError, WireReader, WireWriter};
+pub use wire::{fnv1a_checksum, WireError, WireReader, WireWriter};

@@ -40,6 +40,21 @@ fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The FNV-1a 64 checksum of `bytes`, from the standard offset basis — the
+/// same function [`WireWriter`]/[`WireReader`] accumulate internally.
+///
+/// Exposed for whole-file integrity checks layered *above* the wire
+/// streams: the shard manifest records this over each shard snapshot's
+/// complete byte content (including the snapshot's own trailing stream
+/// checksum), so a router can reject a swapped or bit-rotted shard file
+/// without parsing it. It also lets tooling verify a snapshot's trailing
+/// checksum directly: for a stream written by [`WireWriter::finish`],
+/// `fnv1a_checksum(&bytes[..len - 8])` equals the little-endian `u64` in
+/// the final 8 bytes.
+pub fn fnv1a_checksum(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
 /// Why a wire-level read or write failed.
 #[derive(Debug)]
 pub enum WireError {
@@ -337,6 +352,22 @@ mod tests {
             r.get_byte_vec(u64::MAX / 2),
             Err(WireError::Truncated)
         ));
+    }
+
+    #[test]
+    fn standalone_checksum_matches_the_stream_trailer() {
+        let mut w = WireWriter::new(Vec::new());
+        w.put_u64(0xFEED).unwrap();
+        w.put_bytes(b"shard payload").unwrap();
+        let bytes = w.finish().unwrap();
+        let body = &bytes[..bytes.len() - 8];
+        let trailer = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        assert_eq!(fnv1a_checksum(body), trailer);
+        assert_ne!(
+            fnv1a_checksum(&bytes[..]),
+            trailer,
+            "whole-file sum differs"
+        );
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Typed errors for sharded building, opening, and serving.
+
+use std::path::PathBuf;
+
+use bayeslsh_core::{SearchError, SnapshotError};
+
+/// Everything that can go wrong between a shard manifest on disk and a
+/// serving [`ShardedSearcher`](crate::ShardedSearcher). Every corruption
+/// and mismatch mode is a distinct variant so operators (and the
+/// corruption proptests) can tell a flipped bit from a stale build from
+/// a missing file — none of them ever panics or silently mis-merges.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The manifest file does not start with the shard-manifest magic.
+    BadMagic,
+    /// The manifest was written by an unsupported format version.
+    UnsupportedVersion {
+        /// Version found in the manifest header.
+        found: u32,
+    },
+    /// The manifest body is malformed: truncated, checksum mismatch,
+    /// unknown partition tag, inconsistent counts, or a partition
+    /// replay that disagrees with the recorded per-shard sizes.
+    CorruptManifest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// A shard snapshot's whole-file checksum does not match the
+    /// manifest — the snapshot was modified (or damaged) after the
+    /// manifest was written.
+    ShardChecksum {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Checksum recorded in the manifest.
+        expected: u64,
+        /// Checksum of the bytes on disk.
+        found: u64,
+    },
+    /// A shard snapshot loads cleanly but was built under a different
+    /// configuration than the manifest records — mixing shards from
+    /// different builds would break the bit-identity guarantee.
+    ConfigFingerprint {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Fingerprint recorded in the manifest.
+        expected: u64,
+        /// Fingerprint of the loaded shard's configuration.
+        found: u64,
+    },
+    /// A shard snapshot file named by the manifest is missing.
+    MissingShard {
+        /// Index of the missing shard.
+        shard: usize,
+        /// Path that could not be opened.
+        path: PathBuf,
+    },
+    /// A shard snapshot failed to load (see
+    /// [`SnapshotError`] for the modes).
+    Snapshot {
+        /// Index of the offending shard.
+        shard: usize,
+        /// The underlying snapshot failure.
+        source: SnapshotError,
+    },
+    /// A search-layer error: invalid configuration or query
+    /// preconditions, surfaced verbatim from the per-shard searchers so
+    /// a router request fails exactly as a single-index request would.
+    Search(SearchError),
+    /// An I/O failure outside the typed cases above.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::BadMagic => write!(f, "not a shard manifest (bad magic)"),
+            ShardError::UnsupportedVersion { found } => {
+                write!(f, "unsupported shard manifest version {found}")
+            }
+            ShardError::CorruptManifest { detail } => {
+                write!(f, "corrupt shard manifest: {detail}")
+            }
+            ShardError::ShardChecksum {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard}: snapshot checksum {found:#018x} does not match \
+                 the manifest's {expected:#018x}"
+            ),
+            ShardError::ConfigFingerprint {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard}: config fingerprint {found:#018x} does not match \
+                 the manifest's {expected:#018x} (shard from a different build?)"
+            ),
+            ShardError::MissingShard { shard, path } => {
+                write!(f, "shard {shard}: snapshot {} is missing", path.display())
+            }
+            ShardError::Snapshot { shard, source } => {
+                write!(f, "shard {shard}: {source}")
+            }
+            ShardError::Search(e) => write!(f, "{e}"),
+            ShardError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Snapshot { source, .. } => Some(source),
+            ShardError::Search(e) => Some(e),
+            ShardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SearchError> for ShardError {
+    fn from(e: SearchError) -> Self {
+        ShardError::Search(e)
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}

@@ -108,6 +108,33 @@ impl Dataset {
         }
     }
 
+    /// Split the corpus into `n_shards` disjoint datasets, assigning each
+    /// vector by `assign(id)` (values are taken modulo `n_shards`, so any
+    /// total function is a valid policy).
+    ///
+    /// Two properties matter to sharded serving and are guaranteed here:
+    ///
+    /// * **Every shard keeps the full feature space.** Each output starts
+    ///   at `self.dim()`, so hash families seeded per-config produce the
+    ///   same signatures on a shard as they would on the whole corpus —
+    ///   the foundation of bit-identical scatter-gather.
+    /// * **Shard-local ids are monotone in global ids**: scanning global
+    ///   ids in ascending order, a vector's local id within its shard is
+    ///   the count of earlier vectors assigned there. Routers invert the
+    ///   mapping by replaying the same assignment.
+    ///
+    /// # Panics
+    ///
+    /// When `n_shards` is zero.
+    pub fn partition(&self, n_shards: usize, assign: impl Fn(u32) -> usize) -> Vec<Dataset> {
+        assert!(n_shards > 0, "need at least one shard");
+        let mut shards: Vec<Dataset> = (0..n_shards).map(|_| Dataset::new(self.dim)).collect();
+        for (id, v) in self.iter() {
+            shards[assign(id) % n_shards].push(v.clone());
+        }
+        shards
+    }
+
     /// A copy with every vector scaled to unit L2 norm (cosine similarity is
     /// then a plain dot product — the precondition for AllPairs).
     pub fn l2_normalized(&self) -> Self {
@@ -265,6 +292,29 @@ mod tests {
     fn iter_yields_ids_in_order() {
         let ids: Vec<u32> = sample().iter().map(|(i, _)| i).collect();
         assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn partition_keeps_dim_and_monotone_local_ids() {
+        let d = sample();
+        let shards = d.partition(2, |id| id as usize);
+        assert_eq!(shards.len(), 2);
+        // Full feature space everywhere, even on the smaller shard.
+        assert!(shards.iter().all(|s| s.dim() == d.dim()));
+        // Round-robin: shard 0 gets globals {0, 2}, shard 1 gets {1}.
+        assert_eq!(shards[0].len(), 2);
+        assert_eq!(shards[1].len(), 1);
+        assert_eq!(shards[0].vector(0).indices(), d.vector(0).indices());
+        assert_eq!(shards[0].vector(1).indices(), d.vector(2).indices());
+        assert_eq!(shards[1].vector(0).indices(), d.vector(1).indices());
+        // Assignments are taken modulo the shard count.
+        let wrapped = d.partition(2, |id| id as usize + 4);
+        assert_eq!(wrapped[0].len(), 2);
+        assert_eq!(wrapped[1].len(), 1);
+        // More shards than vectors leaves trailing shards empty but typed.
+        let wide = d.partition(5, |id| id as usize);
+        assert!(wide[3].is_empty() && wide[4].is_empty());
+        assert_eq!(wide[4].dim(), d.dim());
     }
 
     #[test]

@@ -138,6 +138,45 @@
 //! }
 //! ```
 //!
+//! ## Sharded serving
+//!
+//! The snapshot format scales out: a [`ShardBuilder`](prelude::ShardBuilder)
+//! partitions a corpus into N disjoint shards (a replayable
+//! [`PartitionFn`](prelude::PartitionFn) recorded in a checksummed
+//! [`ShardManifest`](prelude::ShardManifest)), builds each shard's searcher
+//! in parallel, and saves them as independent snapshots; a
+//! [`ShardedSearcher`](prelude::ShardedSearcher) then serves batch joins,
+//! threshold queries, top-k, and inserts by scatter-gather — results
+//! **bit-identical** to a single `Searcher` over the whole corpus at any
+//! shard count × any thread budget — and `reload()` hot-swaps freshly
+//! built snapshots under in-flight queries. Manifest or snapshot damage
+//! surfaces as a typed [`ShardError`](prelude::ShardError), never a panic
+//! or a silent mis-merge.
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let dir = std::env::temp_dir().join(format!("bayeslsh-doc-shards-{}", std::process::id()));
+//! ShardBuilder::new(PipelineConfig::cosine(0.7))
+//!     .algorithm(Algorithm::LshBayesLshLite)
+//!     .shards(3)
+//!     .build_to_dir(&data, &dir)
+//!     .unwrap();
+//! let sharded = ShardedSearcher::open(&dir.join(MANIFEST_FILE)).unwrap();
+//!
+//! let mut single = Searcher::builder(PipelineConfig::cosine(0.7))
+//!     .algorithm(Algorithm::LshBayesLshLite)
+//!     .build(data.clone())
+//!     .unwrap();
+//! let q = data.vector(0);
+//! let (a, b) = (sharded.query(q, 0.7).unwrap(), single.query(q, 0.7).unwrap());
+//! assert_eq!(a.neighbors.len(), b.neighbors.len());
+//! for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+//!     assert_eq!((x.0, x.1.to_bits()), (y.0, y.1.to_bits()));
+//! }
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
@@ -147,6 +186,7 @@
 //! | [`lsh`] | minwise hashing, signed random projections, signature pools |
 //! | [`candgen`] | AllPairs, LSH banding index, PPJoin+ |
 //! | [`core`] | BayesLSH engines, compositions, `Searcher`, pipelines |
+//! | [`shard`] | shard builder, manifest, scatter-gather serving router |
 //! | [`datasets`] | synthetic corpora mimicking the paper's six datasets |
 //!
 //! The API most users need is re-exported from [`prelude`].
@@ -156,6 +196,7 @@ pub use bayeslsh_core as core;
 pub use bayeslsh_datasets as datasets;
 pub use bayeslsh_lsh as lsh;
 pub use bayeslsh_numeric as numeric;
+pub use bayeslsh_shard as shard;
 pub use bayeslsh_sparse as sparse;
 
 /// The one-import API surface.
@@ -180,6 +221,10 @@ pub mod prelude {
         IntSignatures, MinHasher, SignaturePool, SrpHasher,
     };
     pub use bayeslsh_numeric::{BetaDist, Binomial, Parallelism, Xoshiro256};
+    pub use bayeslsh_shard::{
+        LoadPolicy, PartitionFn, ShardBuilder, ShardError, ShardManifest, ShardedSearcher,
+        MANIFEST_FILE,
+    };
     pub use bayeslsh_sparse::{
         cosine, dot, jaccard, overlap, similarity::Measure, Dataset, SparseVector,
     };

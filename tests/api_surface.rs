@@ -127,6 +127,37 @@ fn snapshot_surface() {
 }
 
 #[test]
+fn sharded_surface() {
+    let data = Preset::Rcv1.load(0.0006, 5);
+    let dir = std::env::temp_dir().join(format!("bayeslsh-api-shards-{}", std::process::id()));
+    let manifest: ShardManifest = ShardBuilder::new(PipelineConfig::cosine(0.7))
+        .algorithm(Algorithm::LshBayesLshLite)
+        .shards(2)
+        .partition(PartitionFn::RoundRobin)
+        .build_to_dir(&data, &dir)
+        .expect("builds");
+    assert_eq!(manifest.shard_count(), 2);
+    assert_eq!(manifest.n_total as usize, data.len());
+    let path = dir.join(MANIFEST_FILE);
+    let s = ShardedSearcher::open_with(&path, Parallelism::serial(), LoadPolicy::Lazy)
+        .expect("opens lazily");
+    assert_eq!(s.generation().shards_loaded(), 0);
+    assert_eq!(s.len(), data.len());
+    let q = data.vector(0).clone();
+    let out: QueryOutput = s.query(&q, 0.7).expect("queries");
+    assert!(out.neighbors.iter().any(|&(id, _)| id == 0));
+    let top: TopKOutput = s.top_k(&q, 3, &KnnParams::default()).expect("top-k");
+    assert!(top.neighbors.len() <= 3);
+    let id = s.insert(q).expect("inserts");
+    assert_eq!(id as usize, s.len() - 1);
+    assert_eq!(s.reload().expect("reloads"), 2);
+    // The typed error surface.
+    let err: ShardError = ShardedSearcher::open(&dir.join("nope.blsh")).unwrap_err();
+    assert!(matches!(err, ShardError::Io(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn composition_surface() {
     // Custom compositions instantiate as trait objects and run.
     let comp = Composition::new(GeneratorKind::LshBanding, VerifierKind::Exact);
