@@ -17,7 +17,7 @@ fn bench_all_pairs_by_threads(c: &mut Criterion) {
             let data = Preset::Rcv1.load(0.0008, 17);
             let mut cfg = PipelineConfig::cosine(0.7);
             cfg.parallelism = Parallelism::threads(threads);
-            let mut searcher = Searcher::builder(cfg)
+            let searcher = Searcher::builder(cfg)
                 .algorithm(Algorithm::LshBayesLsh)
                 .build(data)
                 .expect("valid config");

@@ -33,6 +33,10 @@
 //!               through scatter-gather vs a single rebuilt index,
 //!               asserting bit-identical output and hot-swapping a reload
 //!               mid-sweep
+//!   serve-loop  drive a ServingSearcher under mixed load — concurrent
+//!               readers vs a writer batching inserts/removes into
+//!               published epochs — and report p50/p95/p99 latency,
+//!               written as SERVE_LOOP.json (--out)
 //!   all      everything above
 //! ```
 //!
@@ -41,7 +45,8 @@
 use bayeslsh_bench::report::{fmt_count, fmt_secs, render_table};
 use bayeslsh_bench::timing::Family;
 use bayeslsh_bench::{
-    baseline, fig1, fig5, parallel, params, persist, pruning, quality, shard, table1, timing,
+    baseline, fig1, fig5, parallel, params, persist, pruning, quality, serve_loop, shard, table1,
+    timing,
 };
 use bayeslsh_datasets::Preset;
 
@@ -87,46 +92,49 @@ fn parse_args() -> Args {
                 args.scale = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--scale needs a number"));
+                    .unwrap_or_else(|| usage_error("--scale needs a number"));
             }
             "--seed" => {
                 args.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--seed needs an integer"));
+                    .unwrap_or_else(|| usage_error("--seed needs an integer"));
             }
             "--shards" => {
                 args.shards = it
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
-                    .unwrap_or_else(|| die("--shards needs a positive integer"));
+                    .unwrap_or_else(|| usage_error("--shards needs a positive integer"));
             }
             "--out" => {
-                args.out = Some(it.next().unwrap_or_else(|| die("--out needs a path")));
+                args.out = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--out needs a path")),
+                );
             }
             "--from-manifest" => {
                 args.from_manifest = Some(
                     it.next()
-                        .unwrap_or_else(|| die("--from-manifest needs a path")),
+                        .unwrap_or_else(|| usage_error("--from-manifest needs a path")),
                 );
             }
             "--from-snapshot" => {
                 args.from_snapshot = Some(
                     it.next()
-                        .unwrap_or_else(|| die("--from-snapshot needs a path")),
+                        .unwrap_or_else(|| usage_error("--from-snapshot needs a path")),
                 );
             }
             "--diff-schema" => {
                 args.diff_schema = Some(
                     it.next()
-                        .unwrap_or_else(|| die("--diff-schema needs a path")),
+                        .unwrap_or_else(|| usage_error("--diff-schema needs a path")),
                 );
             }
             "--assert-floor" => {
                 args.assert_floor = Some(
                     it.next()
-                        .unwrap_or_else(|| die("--assert-floor needs a path")),
+                        .unwrap_or_else(|| usage_error("--assert-floor needs a path")),
                 );
             }
             "--help" | "-h" => {
@@ -139,18 +147,27 @@ fn parse_args() -> Args {
             p if args.path.is_none() && !p.starts_with('-') => {
                 args.path = Some(p.to_string());
             }
-            other => die(&format!("unknown argument {other:?}")),
+            other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
     if args.command.is_empty() {
-        print_usage();
-        std::process::exit(2);
+        usage_error("missing experiment");
     }
     args
 }
 
+/// Runtime failure: report and exit 2.
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+/// Usage failure (bad flag, unknown or missing experiment, missing
+/// required option): report, print the subcommand table, exit 2. Every
+/// argument error funnels through here so the CLI contract is uniform.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n");
+    print_usage();
     std::process::exit(2);
 }
 
@@ -196,6 +213,10 @@ const SUBCOMMANDS: &[(&str, &str)] = &[
         "shard-serve",
         "scatter-gather vs single index (--from-manifest)",
     ),
+    (
+        "serve-loop",
+        "mixed read/write latency harness: p50/p95/p99 (--out JSON)",
+    ),
     ("all", "everything above"),
 ];
 
@@ -237,7 +258,7 @@ fn run_save_index(args: &Args) {
 
 fn run_serve(args: &Args) {
     let Some(path) = args.from_snapshot.as_deref() else {
-        die("serve needs --from-snapshot PATH (from a prior save-index)");
+        usage_error("serve needs --from-snapshot PATH (from a prior save-index)");
     };
     banner(&format!(
         "Serve: cold-load {path} vs rebuild (scale {})",
@@ -276,7 +297,7 @@ fn run_serve(args: &Args) {
 
 fn run_inspect_snapshot(args: &Args) {
     let Some(path) = args.path.as_deref() else {
-        die("inspect-snapshot needs a PATH argument");
+        usage_error("inspect-snapshot needs a PATH argument");
     };
     banner(&format!("Inspect snapshot: {path}"));
     match persist::inspect(path) {
@@ -335,7 +356,7 @@ fn run_shard_build(args: &Args) {
 
 fn run_shard_serve(args: &Args) {
     let Some(path) = args.from_manifest.as_deref() else {
-        die("shard-serve needs --from-manifest PATH (from a prior shard-build)");
+        usage_error("shard-serve needs --from-manifest PATH (from a prior shard-build)");
     };
     banner(&format!(
         "Shard serve: scatter-gather over {path} vs a single rebuilt index (scale {})",
@@ -366,6 +387,63 @@ fn run_shard_serve(args: &Args) {
             );
         }
         Err(e) => die(&e),
+    }
+}
+
+fn run_serve_loop(args: &Args) {
+    let out = args.out_or("SERVE_LOOP.json");
+    let cfg = serve_loop::ServeLoopConfig {
+        scale: args.scale,
+        seed: args.seed,
+        ..serve_loop::ServeLoopConfig::default()
+    };
+    banner(&format!(
+        "Serve loop: {} readers x {} queries vs 1 writer x {} batches (scale {}, -> {out})",
+        cfg.readers, cfg.queries_per_reader, cfg.batches, args.scale
+    ));
+    let report = match serve_loop::run(&cfg) {
+        Ok(r) => r,
+        Err(e) => die(&e),
+    };
+    let lat_row = |name: &str, l: &serve_loop::LatencySummary| {
+        vec![
+            name.to_string(),
+            fmt_count(l.count),
+            format!("{:.0}us", l.p50_us),
+            format!("{:.0}us", l.p95_us),
+            format!("{:.0}us", l.p99_us),
+            format!("{:.0}us", l.max_us),
+        ]
+    };
+    let table = vec![
+        lat_row("read (query)", &report.read),
+        lat_row("write (batch+publish)", &report.write),
+    ];
+    print!(
+        "{}",
+        render_table(&["op", "count", "p50", "p95", "p99", "max"], &table)
+    );
+    println!(
+        "{} vectors served; {} epochs published ({} observed by readers); \
+         {} inserts, {} removes, {} reclaimed by compaction",
+        fmt_count(report.n_vectors as u64),
+        report.epochs_published,
+        report.epochs_observed,
+        report.inserts,
+        report.removes,
+        report.reclaimed,
+    );
+    let json = report.to_json();
+    if let Err(e) = std::fs::write(&out, &json) {
+        die(&format!("cannot write {out}: {e}"));
+    }
+    // Validate what was written, exactly like bench-baseline: the CI
+    // serving job smoke-tests this path.
+    match serve_loop::validate_json(&std::fs::read_to_string(&out).unwrap_or_default()) {
+        Ok(()) => println!("wrote {out} (schema OK)"),
+        Err(e) => die(&format!(
+            "emitted serve-loop report failed schema check: {e}"
+        )),
     }
 }
 
@@ -482,6 +560,7 @@ fn main() {
         "inspect-snapshot" => run_inspect_snapshot(&args),
         "shard-build" => run_shard_build(&args),
         "shard-serve" => run_shard_serve(&args),
+        "serve-loop" => run_serve_loop(&args),
         "all" => {
             run_parallel(&args);
             run_fig1();
@@ -495,11 +574,7 @@ fn main() {
             let rows = run_fig3(&args);
             run_table2(&rows);
         }
-        other => {
-            eprintln!("error: unknown experiment {other:?}\n");
-            print_usage();
-            std::process::exit(2);
-        }
+        other => usage_error(&format!("unknown experiment {other:?}")),
     }
 }
 

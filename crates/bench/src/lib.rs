@@ -15,6 +15,7 @@ pub mod persist;
 pub mod pruning;
 pub mod quality;
 pub mod report;
+pub mod serve_loop;
 pub mod shard;
 pub mod table1;
 pub mod timing;

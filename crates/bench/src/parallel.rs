@@ -43,7 +43,7 @@ pub fn run(scale: f64, seed: u64) -> Vec<SpeedupRow> {
             let mut cfg = PipelineConfig::cosine(0.7);
             cfg.parallelism = Parallelism::threads(threads as u32);
             let build_start = Instant::now();
-            let mut searcher = Searcher::builder(cfg)
+            let searcher = Searcher::builder(cfg)
                 .algorithm(algo)
                 .build(data)
                 .expect("valid config");

@@ -134,11 +134,11 @@ pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
     let probe_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let mut loaded = Searcher::load(BufReader::new(open()?)).map_err(|e| format!("load: {e}"))?;
+    let loaded = Searcher::load(BufReader::new(open()?)).map_err(|e| format!("load: {e}"))?;
     let load_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let mut rebuilt = build_searcher(scale, seed);
+    let rebuilt = build_searcher(scale, seed);
     let rebuild_secs = start.elapsed().as_secs_f64();
 
     if loaded.len() != rebuilt.len() || loaded.hash_count() != rebuilt.hash_count() {

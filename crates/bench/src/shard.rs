@@ -128,7 +128,7 @@ pub fn shard_serve(scale: f64, seed: u64, manifest_path: &str) -> Result<ShardSe
     let open_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();
-    let mut single = build_single(scale, seed);
+    let single = build_single(scale, seed);
     let rebuild_secs = start.elapsed().as_secs_f64();
 
     if sharded.len() != single.len() {

@@ -1,0 +1,113 @@
+//! The `repro` CLI usage contract: every argument error — bad flag,
+//! missing or unknown experiment, missing required option — exits 2 and
+//! prints the same subcommand table, so scripts and humans always get
+//! the full menu when they hold the tool wrong.
+
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Exit 2 + error line + the subcommand table — the uniform usage
+/// failure shape.
+fn assert_usage_failure(out: &Output, expect_msg: &str, what: &str) {
+    assert_eq!(out.status.code(), Some(2), "{what}: exit code");
+    let err = stderr(out);
+    assert!(
+        err.contains(&format!("error: {expect_msg}")),
+        "{what}: missing error line {expect_msg:?} in:\n{err}"
+    );
+    assert!(
+        err.contains("usage: repro") && err.contains("experiments:"),
+        "{what}: usage header missing:\n{err}"
+    );
+    // A few sentinel rows prove the full table printed.
+    for name in ["fig1", "bench-baseline", "serve-loop", "all"] {
+        assert!(
+            err.contains(name),
+            "{what}: table row {name} missing:\n{err}"
+        );
+    }
+}
+
+#[test]
+fn no_arguments_is_a_usage_error() {
+    assert_usage_failure(&repro(&[]), "missing experiment", "no args");
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    assert_usage_failure(
+        &repro(&["fig99"]),
+        "unknown experiment \"fig99\"",
+        "unknown experiment",
+    );
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    assert_usage_failure(
+        &repro(&["table1", "--frobnicate"]),
+        "unknown argument \"--frobnicate\"",
+        "unknown flag",
+    );
+}
+
+#[test]
+fn bad_flag_values_are_usage_errors() {
+    assert_usage_failure(
+        &repro(&["table1", "--scale", "fast"]),
+        "--scale needs a number",
+        "bad --scale",
+    );
+    assert_usage_failure(
+        &repro(&["shard-build", "--shards", "0"]),
+        "--shards needs a positive integer",
+        "zero --shards",
+    );
+    assert_usage_failure(
+        &repro(&["table1", "--seed"]),
+        "--seed needs an integer",
+        "bare --seed",
+    );
+}
+
+#[test]
+fn missing_required_options_are_usage_errors() {
+    assert_usage_failure(
+        &repro(&["serve"]),
+        "serve needs --from-snapshot PATH",
+        "serve without snapshot",
+    );
+    assert_usage_failure(
+        &repro(&["shard-serve"]),
+        "shard-serve needs --from-manifest PATH",
+        "shard-serve without manifest",
+    );
+    assert_usage_failure(
+        &repro(&["inspect-snapshot"]),
+        "inspect-snapshot needs a PATH argument",
+        "inspect-snapshot without path",
+    );
+}
+
+#[test]
+fn help_exits_zero_with_the_same_table() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(0), "--help must exit 0");
+    let err = stderr(&out);
+    for name in ["fig1", "table5", "serve-loop", "shard-serve", "all"] {
+        assert!(
+            err.contains(name),
+            "--help table row {name} missing:\n{err}"
+        );
+    }
+}

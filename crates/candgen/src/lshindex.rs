@@ -212,6 +212,36 @@ impl BandingIndex {
         self.indexed += 1;
     }
 
+    /// Unlink object `id` from its `l` band buckets (the same keys it was
+    /// inserted under). Returns `true` when the id was present.
+    ///
+    /// Bucket vectors keep their remaining ids in insertion order and
+    /// emptied buckets stay in their maps, so the iteration order other
+    /// ids see — and therefore [`BandingIndex::all_pairs`] /
+    /// [`BandingIndex::probe`] output for the survivors — is exactly the
+    /// original order with the removed id dropped. (A compaction pass
+    /// that rebuilds the index sheds the empty buckets.)
+    pub fn remove(&mut self, id: u32, keys: &[u64]) -> bool {
+        assert_eq!(
+            keys.len(),
+            self.params.l as usize,
+            "expected one key per band"
+        );
+        let mut found = false;
+        for (band, &key) in keys.iter().enumerate() {
+            if let Some(ids) = self.buckets[band].get_mut(&key) {
+                if let Some(pos) = ids.iter().position(|&x| x == id) {
+                    ids.remove(pos);
+                    found = true;
+                }
+            }
+        }
+        if found {
+            self.indexed -= 1;
+        }
+        found
+    }
+
     /// Build an index concurrently: the `l` bands are sharded across up to
     /// `threads` workers, each worker populating its bands' bucket maps by
     /// scanning `ids` in order and asking `key_of(id, band)` for the band
@@ -868,6 +898,30 @@ mod tests {
         w.put_u64(0).unwrap();
         let bad = w.into_inner();
         assert!(BandingIndex::read_wire(&mut WireReader::new(&bad[..]), 10, 1).is_err());
+    }
+
+    #[test]
+    fn remove_unlinks_everywhere_and_preserves_survivor_order() {
+        let params = BandingParams { k: 1, l: 2 };
+        let mut index = BandingIndex::new(params);
+        index.insert(0, &[7, 9]);
+        index.insert(1, &[7, 11]);
+        index.insert(2, &[7, 9]);
+        assert_eq!(index.probe(&[7, 9]), vec![0, 1, 2]);
+        // Removing the middle id drops it from every band but leaves the
+        // survivors in their original relative order.
+        assert!(index.remove(1, &[7, 11]));
+        assert_eq!(index.len(), 2);
+        assert_eq!(index.probe(&[7, 11]), vec![0, 2]);
+        assert_eq!(index.all_pairs(), vec![(0, 2)]);
+        // Removing again is a no-op.
+        assert!(!index.remove(1, &[7, 11]));
+        assert_eq!(index.len(), 2);
+        // A bucket emptied by removal stays probeable (and empty).
+        assert!(index.remove(0, &[7, 9]));
+        assert!(index.remove(2, &[7, 9]));
+        assert!(index.is_empty());
+        assert!(index.probe(&[7, 9]).is_empty());
     }
 
     #[test]

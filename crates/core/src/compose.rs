@@ -170,6 +170,46 @@ impl SigPool {
         }
     }
 
+    /// Whether [`SigPool::hash_query_ready`] can hash an `n`-deep query
+    /// signature right now without mutating the pool (the hasher bank
+    /// already covers the target depth).
+    pub fn query_ready(&self, n: u32) -> bool {
+        match self {
+            SigPool::Bits(p) => p.external_ready(n),
+            SigPool::Ints(p) => p.external_ready(n),
+        }
+    }
+
+    /// Materialize the hasher bank for `n`-deep query hashing up front, so
+    /// subsequent [`SigPool::hash_query_ready`] calls work through `&self`
+    /// (the shared-reader serving path).
+    pub fn prepare_query(&mut self, n: u32, threads: usize) {
+        match self {
+            SigPool::Bits(p) => p.prepare_external(n, threads),
+            SigPool::Ints(p) => p.prepare_external(n, threads),
+        }
+    }
+
+    /// Read-only [`SigPool::hash_query_par`]: bit-identical output, but
+    /// through `&self`. Requires [`SigPool::query_ready`]`(n)`; many reader
+    /// threads may call this concurrently.
+    pub fn hash_query_ready(&self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        match self {
+            SigPool::Bits(p) => p.hash_external_ready(v, n, threads),
+            SigPool::Ints(p) => p.hash_external_ready(v, n, threads),
+        }
+    }
+
+    /// Drop object `id`'s signature and release its hashes from the cost
+    /// accounting (compaction of removed objects). The slot stays valid and
+    /// empty, indistinguishable from a never-hashed object.
+    pub fn clear(&mut self, id: u32) {
+        match self {
+            SigPool::Bits(p) => p.clear(id),
+            SigPool::Ints(p) => p.clear(id),
+        }
+    }
+
     /// The single band-`band` key of pool member `id` (hashed to at least
     /// `params.total_hashes()` already) — the shard-local key lookup
     /// [`bayeslsh_candgen::BandingIndex::par_build`] consumes, avoiding

@@ -78,6 +78,7 @@ pub mod persist;
 pub mod pipeline;
 pub mod posterior;
 pub mod searcher;
+pub mod serving;
 
 pub use bayeslsh_numeric::Parallelism;
 pub use bbit_model::BbitJaccardModel;
@@ -105,3 +106,4 @@ pub use searcher::{
     merge_query_outputs, CandidateScan, HashMode, QueryOutput, QueryStats, Searcher,
     SearcherBuilder, TopKOutput,
 };
+pub use serving::{Epoch, ServingSearcher};

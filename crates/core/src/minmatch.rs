@@ -101,19 +101,30 @@ impl MinMatchTable {
 /// Lite hash budgets interleaved) evicted each other's tables on every
 /// call — and a `&self` sharing of the slot across verification workers
 /// would have raced. This map keeps every shape it has seen (up to
-/// [`MinMatchCache::CAPACITY`]; callers streaming never-repeating
-/// thresholds get correct, unmemoized tables beyond that instead of
-/// unbounded growth), hands out cheap [`Arc`] clones, and is safe to
-/// consult from any thread. The posterior *model* is intentionally not
-/// part of the key: a cache belongs to one searcher, whose model is fixed
-/// by its measure — callers mixing models must use separate caches.
+/// [`MinMatchCache::CAPACITY`]; at capacity the least-recently-used shape
+/// is evicted, so a hot shape keeps memoizing however many cold ones
+/// stream past), hands out cheap [`Arc`] clones, and is safe to consult
+/// from any thread. The posterior *model* is intentionally not part of
+/// the key: a cache belongs to one searcher, whose model is fixed by its
+/// measure — callers mixing models must use separate caches.
 #[derive(Debug, Default)]
 pub struct MinMatchCache {
     map: Mutex<ShapeMap>,
 }
 
-/// Memo storage: `(threshold bits, ε bits, k, max_hashes)` → shared table.
-type ShapeMap = FxHashMap<(u64, u64, u32, u32), Arc<MinMatchTable>>;
+/// `(threshold bits, ε bits, k, max_hashes)` — the full query shape.
+type ShapeKey = (u64, u64, u32, u32);
+
+/// Shared table plus its last-use tick for LRU eviction.
+type ShapeEntry = (Arc<MinMatchTable>, u64);
+
+/// Memo storage plus the LRU clock.
+#[derive(Debug, Default, Clone)]
+struct ShapeMap {
+    entries: FxHashMap<ShapeKey, ShapeEntry>,
+    /// Monotone access counter; every hit or insert stamps the entry.
+    tick: u64,
+}
 
 impl MinMatchCache {
     /// Most query shapes memoized at once. A standing service uses a
@@ -126,11 +137,12 @@ impl MinMatchCache {
         Self::default()
     }
 
-    /// The table for `(threshold, epsilon, k, max_hashes)`, building (and
-    /// memoizing, while under [`MinMatchCache::CAPACITY`] shapes) it on
-    /// first use. Concurrent first calls may build twice; the build is
-    /// deterministic, so either result is the same table and the first
-    /// insertion wins.
+    /// The table for `(threshold, epsilon, k, max_hashes)`, building and
+    /// memoizing it on first use; at [`MinMatchCache::CAPACITY`] shapes the
+    /// least-recently-used one is evicted to make room, so hot shapes stay
+    /// memoized no matter how many cold ones stream past. Concurrent first
+    /// calls may build twice; the build is deterministic, so either result
+    /// is the same table and the first insertion wins.
     pub fn get_or_build<M: PosteriorModel>(
         &self,
         model: &M,
@@ -140,22 +152,50 @@ impl MinMatchCache {
         max_hashes: u32,
     ) -> Arc<MinMatchTable> {
         let key = (threshold.to_bits(), epsilon.to_bits(), k, max_hashes);
-        if let Some(table) = self.map.lock().expect("minmatch cache poisoned").get(&key) {
-            return Arc::clone(table);
+        {
+            let mut map = self.map.lock().expect("minmatch cache poisoned");
+            map.tick += 1;
+            let tick = map.tick;
+            if let Some((table, used)) = map.entries.get_mut(&key) {
+                *used = tick;
+                return Arc::clone(table);
+            }
         }
         let table = Arc::new(MinMatchTable::build(
             model, threshold, epsilon, k, max_hashes,
         ));
         let mut map = self.map.lock().expect("minmatch cache poisoned");
-        if map.len() >= Self::CAPACITY && !map.contains_key(&key) {
-            return table; // full: serve unmemoized rather than grow forever
+        map.tick += 1;
+        let tick = map.tick;
+        if map.entries.len() >= Self::CAPACITY && !map.entries.contains_key(&key) {
+            // Full: drop the coldest shape rather than refusing to memoize —
+            // a standing service whose 65th shape is hot must not rebuild
+            // its table on every call.
+            if let Some(coldest) = map
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+            {
+                map.entries.remove(&coldest);
+            }
         }
-        Arc::clone(map.entry(key).or_insert(table))
+        Arc::clone(
+            &map.entries
+                .entry(key)
+                .and_modify(|(_, used)| *used = tick)
+                .or_insert((table, tick))
+                .0,
+        )
     }
 
     /// Number of distinct query shapes memoized.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("minmatch cache poisoned").len()
+        self.map
+            .lock()
+            .expect("minmatch cache poisoned")
+            .entries
+            .len()
     }
 
     /// True when nothing has been memoized yet.
@@ -294,6 +334,41 @@ mod tests {
             assert_eq!(got, fresh.min_matches(64), "slot {i}");
         }
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn hot_shape_keeps_memoizing_past_capacity() {
+        let model = JaccardModel::uniform();
+        let cache = MinMatchCache::new();
+        let hot = cache.get_or_build(&model, 0.7, 0.03, 4, 8);
+        // Stream 3× CAPACITY cold shapes, touching the hot one between each
+        // so it is never the LRU victim. The pre-fix cache refused to
+        // memoize anything once full, so the hot shape's Arc would stop
+        // being returned; the LRU cache must keep handing back the same
+        // allocation throughout.
+        for i in 0..(3 * MinMatchCache::CAPACITY) {
+            let t = 0.50 + 1e-6 * i as f64; // distinct shape per iteration
+            cache.get_or_build(&model, t, 0.03, 4, 8);
+            let again = cache.get_or_build(&model, 0.7, 0.03, 4, 8);
+            assert!(
+                Arc::ptr_eq(&hot, &again),
+                "hot shape rebuilt after {} cold inserts",
+                i + 1
+            );
+            assert!(
+                cache.len() <= MinMatchCache::CAPACITY,
+                "cache grew unboundedly"
+            );
+        }
+        assert_eq!(cache.len(), MinMatchCache::CAPACITY, "cache should be full");
+        // And a brand-new shape still gets memoized (evicting a cold one).
+        let fresh = cache.get_or_build(&model, 0.9, 0.03, 4, 8);
+        let fresh2 = cache.get_or_build(&model, 0.9, 0.03, 4, 8);
+        assert!(
+            Arc::ptr_eq(&fresh, &fresh2),
+            "new shape must memoize at capacity"
+        );
+        assert_eq!(cache.len(), MinMatchCache::CAPACITY);
     }
 
     #[test]

@@ -418,9 +418,22 @@ impl Searcher {
     ///
     /// # Errors
     ///
-    /// Only transport failures: every serialization step is infallible for
+    /// [`std::io::ErrorKind::InvalidInput`] when the searcher carries
+    /// pending tombstones (call [`Searcher::compact`] first — the v1
+    /// format has no tombstone notion, and compaction folds removals into
+    /// the snapshot-stable empty-vector representation); otherwise only
+    /// transport failures, as every serialization step is infallible for
     /// a well-formed searcher.
     pub fn save<W: Write>(&self, w: W) -> std::io::Result<()> {
+        if self.pending_removals() > 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "snapshot with {} pending removals: call compact() before save()",
+                    self.pending_removals()
+                ),
+            ));
+        }
         let mut w = WireWriter::new(w);
         self.write_snapshot(&mut w)
             .and_then(|()| w.finish().map(|_| ()))
@@ -448,7 +461,7 @@ impl Searcher {
         w.put_u64(self.hash_count())?;
         write_section(w, SECTION_CONFIG, |s| write_config(s, cfg))?;
         write_section(w, SECTION_CORPUS, |s| self.data().write_wire(s))?;
-        write_section(w, SECTION_POOL, |s| match self.pool() {
+        write_section(w, SECTION_POOL, |s| match &*self.pool() {
             SigPool::Bits(p) => {
                 s.put_u8(0)?;
                 p.write_wire(s)

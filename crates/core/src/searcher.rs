@@ -30,9 +30,25 @@
 //! signatures to the verifier's scan depth (eager builds already pay it),
 //! and [`Searcher::top_k`]'s rising-threshold prune runs sequentially by
 //! design while its hashing/probing phases parallelize.
+//!
+//! ## Concurrent reads
+//!
+//! [`Searcher::query`], [`Searcher::top_k`], and [`Searcher::all_pairs`]
+//! take `&self`, so a `Searcher` behind an `Arc` serves many reader
+//! threads at once. The signature pool sits behind an internal `RwLock`:
+//! when the pool already covers a request (always, under the default
+//! [`HashMode::Eager`]), queries run entirely under a shared read lock —
+//! readers never block each other. Under [`HashMode::Lazy`] a query that
+//! must deepen signatures upgrades to the write lock for that call, and
+//! results are bit-identical either way (signature bits are a pure
+//! function of object and position, so the interleaving of lazily
+//! deepening readers cannot change any outcome). Mutation —
+//! [`Searcher::insert`], [`Searcher::remove`], [`Searcher::compact`] —
+//! still requires `&mut self`; see [`crate::serving::ServingSearcher`]
+//! for serving reads concurrently with a writer.
 
 use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bayeslsh_candgen::{BandingIndex, BandingPlan};
 use bayeslsh_lsh::SignaturePool;
@@ -166,6 +182,13 @@ impl SearcherBuilder {
         let index = BandingIndex::par_build(plan.params, &ids, threads, |id, band| {
             pool.band_key(id, band, plan.params)
         });
+        if self.mode == HashMode::Eager {
+            // Materialize the hasher bank to query depth so `&self` queries
+            // run entirely under the pool's read lock (even when the corpus
+            // had nothing to hash, e.g. all-empty vectors).
+            pool.prepare_query(sig_depth, threads);
+        }
+        let removed = vec![false; data.len()];
         Ok(Searcher {
             data,
             cfg,
@@ -173,9 +196,11 @@ impl SearcherBuilder {
             mode: self.mode,
             threads,
             sig_depth,
-            pool,
+            pool: RwLock::new(pool),
             index,
             plan,
+            removed,
+            n_removed: 0,
             minmatch_cache: MinMatchCache::new(),
         })
     }
@@ -275,7 +300,7 @@ pub struct TopKOutput {
 /// A persistent similarity searcher: one corpus, one signature pool, one
 /// banding index — many operations. See the [module docs](crate::searcher)
 /// for the full story and [`SearcherBuilder`] for construction.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Searcher {
     data: Dataset,
     cfg: PipelineConfig,
@@ -285,14 +310,42 @@ pub struct Searcher {
     threads: usize,
     /// Depth every indexed vector is hashed to at build/insert time.
     sig_depth: u32,
-    pool: SigPool,
+    /// The signature pool, behind a lock so `&self` queries can share it:
+    /// fully-covered requests run under the read lock, lazy deepening
+    /// upgrades to the write lock per call.
+    pool: RwLock<SigPool>,
     index: BandingIndex,
     plan: BandingPlan,
+    /// Tombstones: `removed[id]` marks a vector deleted by
+    /// [`Searcher::remove`] but not yet rewritten out by
+    /// [`Searcher::compact`].
+    removed: Vec<bool>,
+    /// Count of set tombstones.
+    n_removed: usize,
     /// Point-query pruning tables, memoized per query shape
     /// `(threshold, ε, k, max_hashes)`; thread-safe, so verification
     /// workers and alternating query shapes share it without eviction or
     /// corruption.
     minmatch_cache: MinMatchCache,
+}
+
+impl Clone for Searcher {
+    fn clone(&self) -> Self {
+        Searcher {
+            data: self.data.clone(),
+            cfg: self.cfg,
+            composition: self.composition,
+            mode: self.mode,
+            threads: self.threads,
+            sig_depth: self.sig_depth,
+            pool: RwLock::new(self.pool_read().clone()),
+            index: self.index.clone(),
+            plan: self.plan,
+            removed: self.removed.clone(),
+            n_removed: self.n_removed,
+            minmatch_cache: self.minmatch_cache.clone(),
+        }
+    }
 }
 
 /// The state a snapshot must capture to reconstruct a [`Searcher`]; the
@@ -315,9 +368,22 @@ impl Searcher {
         SearcherBuilder::new(cfg)
     }
 
-    /// The standing signature pool (snapshot serialization).
-    pub(crate) fn pool(&self) -> &SigPool {
-        &self.pool
+    /// The standing signature pool (snapshot serialization), under the
+    /// shared read lock.
+    pub(crate) fn pool(&self) -> RwLockReadGuard<'_, SigPool> {
+        self.pool_read()
+    }
+
+    fn pool_read(&self) -> RwLockReadGuard<'_, SigPool> {
+        self.pool.read().expect("signature pool lock poisoned")
+    }
+
+    fn pool_write(&self) -> RwLockWriteGuard<'_, SigPool> {
+        self.pool.write().expect("signature pool lock poisoned")
+    }
+
+    fn pool_mut(&mut self) -> &mut SigPool {
+        self.pool.get_mut().expect("signature pool lock poisoned")
     }
 
     /// The standing banding index (snapshot serialization).
@@ -349,6 +415,13 @@ impl Searcher {
         } = parts;
         let plan = cfg.banding_plan();
         pool.depth_hint(sig_depth);
+        if mode == HashMode::Eager {
+            // Same bank materialization `SearcherBuilder::build` performs,
+            // so reloaded eager searchers answer `&self` queries under the
+            // read lock from the first call.
+            pool.prepare_query(sig_depth, threads);
+        }
+        let removed = vec![false; data.len()];
         Searcher {
             data,
             cfg,
@@ -356,9 +429,11 @@ impl Searcher {
             mode,
             threads,
             sig_depth,
-            pool,
+            pool: RwLock::new(pool),
             index,
             plan,
+            removed,
+            n_removed: 0,
             minmatch_cache: MinMatchCache::new(),
         }
     }
@@ -413,24 +488,37 @@ impl Searcher {
     /// per-call `params.h` budget (cached, so repeated top-k queries add
     /// nothing either).
     pub fn hash_count(&self) -> u64 {
-        self.pool.total_hashes()
+        self.pool_read().total_hashes()
     }
 
     /// Run the configured composition over the whole corpus, reusing the
     /// standing signature pool and banding index. Preconditions were
     /// enforced at build/insert time, so no per-call corpus scan happens.
+    /// Takes the pool's write lock for the duration (batch joins may
+    /// lazily deepen signatures), so it serializes against concurrent
+    /// point queries but never corrupts them.
     ///
     /// # Errors
     ///
     /// None currently — fallible for forward compatibility.
-    pub fn all_pairs(&mut self) -> Result<CompositionOutput, SearchError> {
+    pub fn all_pairs(&self) -> Result<CompositionOutput, SearchError> {
+        let mut pool = self.pool_write();
         let mut ctx = SearchContext {
             data: &self.data,
             cfg: &self.cfg,
-            pool: &mut self.pool,
+            pool: &mut pool,
             index: Some(&self.index),
         };
-        run_composition_prechecked(self.composition, &mut ctx)
+        let mut out = run_composition_prechecked(self.composition, &mut ctx)?;
+        if self.n_removed > 0 {
+            // The exact generators (AllPairs, PPJoin+) scan the raw corpus,
+            // which keeps tombstoned vectors in place until `compact()`;
+            // filter their pairs so every generator agrees with the
+            // standing index, where removed ids are already unlinked.
+            out.pairs
+                .retain(|&(a, b, _)| !self.removed[a as usize] && !self.removed[b as usize]);
+        }
+        Ok(out)
     }
 
     /// All corpus vectors whose similarity to `q` clears `threshold`,
@@ -453,7 +541,7 @@ impl Searcher {
     /// [`SearchError::DimensionExceeded`] when `q` has feature indices
     /// beyond the indexed space (cosine only — the projection planes are
     /// fixed at build time).
-    pub fn query(&mut self, q: &SparseVector, threshold: f64) -> Result<QueryOutput, SearchError> {
+    pub fn query(&self, q: &SparseVector, threshold: f64) -> Result<QueryOutput, SearchError> {
         if !(threshold > 0.0 && threshold <= 1.0) {
             return Err(SearchError::invalid(
                 "threshold",
@@ -470,22 +558,65 @@ impl Searcher {
         }
 
         let params = self.plan.params;
-        let depth = params
-            .total_hashes()
-            .max(self.composition.verifier.signature_depth(&self.cfg));
+        let scan_cap = self.composition.verifier.signature_depth(&self.cfg);
+        let depth = params.total_hashes().max(scan_cap);
+
+        // Fast path: when the hasher bank covers the query depth and every
+        // candidate's stored signature covers the verifier's scan cap
+        // (always, under eager hashing), the whole query runs under the
+        // shared read lock — concurrent readers never block each other.
+        {
+            let pool = self.pool_read();
+            if pool.query_ready(depth) {
+                let sig = pool.hash_query_ready(q, depth, self.threads);
+                let keys = pool.query_band_keys(&sig, params);
+                let cand_ids = self.index.par_probe(&keys, self.threads);
+                if cand_ids.iter().all(|&id| pool.len(id) >= scan_cap) {
+                    stats.candidates = cand_ids.len() as u64;
+                    let mut access = ReadPool(&pool);
+                    let mut neighbors = if self.threads > 1 {
+                        self.par_verify_query(
+                            &mut access,
+                            q,
+                            threshold,
+                            &sig,
+                            &cand_ids,
+                            &mut stats,
+                        )
+                    } else {
+                        self.serial_verify_query(
+                            &mut access,
+                            q,
+                            threshold,
+                            &sig,
+                            &cand_ids,
+                            &mut stats,
+                        )
+                    };
+                    neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+                    return Ok(QueryOutput { neighbors, stats });
+                }
+            }
+        }
+
+        // Slow path (lazy hashing with signatures still shallow): redo the
+        // query under the write lock with the usual lazy extension.
+        // Signature bits are pure functions of (object, position), so this
+        // path is bit-identical to the read path.
+        let mut pool = self.pool_write();
         let sig = if self.threads > 1 {
-            self.pool.hash_query_par(q, depth, self.threads)
+            pool.hash_query_par(q, depth, self.threads)
         } else {
-            self.pool.hash_query(q, depth)
+            pool.hash_query(q, depth)
         };
-        let keys = self.pool.query_band_keys(&sig, params);
+        let keys = pool.query_band_keys(&sig, params);
         let cand_ids = self.index.par_probe(&keys, self.threads);
         stats.candidates = cand_ids.len() as u64;
-
+        let mut access = WritePool(&mut pool);
         let mut neighbors = if self.threads > 1 {
-            self.par_verify_query(q, threshold, &sig, &cand_ids, &mut stats)
+            self.par_verify_query(&mut access, q, threshold, &sig, &cand_ids, &mut stats)
         } else {
-            self.serial_verify_query(q, threshold, &sig, &cand_ids, &mut stats)
+            self.serial_verify_query(&mut access, q, threshold, &sig, &cand_ids, &mut stats)
         };
         neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(QueryOutput { neighbors, stats })
@@ -497,8 +628,9 @@ impl Searcher {
     /// thread those run inline and compare every candidate to the same
     /// fixed depth a dedicated serial loop would, so only the Bayesian
     /// arms (whose laziness matters) keep serial twins.
-    fn serial_verify_query(
-        &mut self,
+    fn serial_verify_query<P: PoolAccess>(
+        &self,
+        pool: &mut P,
         q: &SparseVector,
         threshold: f64,
         sig: &[u32],
@@ -507,22 +639,34 @@ impl Searcher {
     ) -> Vec<(u32, f64)> {
         match self.composition.verifier {
             VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
-            VerifierKind::Mle => self.par_query_mle(threshold, sig, cand_ids, stats),
+            VerifierKind::Mle => self.par_query_mle(pool, threshold, sig, cand_ids, stats),
             VerifierKind::Bayes => match self.cfg.measure {
                 Measure::Cosine => {
-                    self.query_bayes(&CosineModel::new(), threshold, sig, cand_ids, stats)
+                    self.query_bayes(pool, &CosineModel::new(), threshold, sig, cand_ids, stats)
                 }
                 // The fitted prior is a batch concept (it samples candidate
                 // *pairs*); point queries fall back to the uniform prior.
-                Measure::Jaccard => {
-                    self.query_bayes(&JaccardModel::uniform(), threshold, sig, cand_ids, stats)
-                }
+                Measure::Jaccard => self.query_bayes(
+                    pool,
+                    &JaccardModel::uniform(),
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
             },
             VerifierKind::BayesLite => match self.cfg.measure {
-                Measure::Cosine => {
-                    self.query_bayes_lite(&CosineModel::new(), q, threshold, sig, cand_ids, stats)
-                }
+                Measure::Cosine => self.query_bayes_lite(
+                    pool,
+                    &CosineModel::new(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
                 Measure::Jaccard => self.query_bayes_lite(
+                    pool,
                     &JaccardModel::uniform(),
                     q,
                     threshold,
@@ -539,8 +683,9 @@ impl Searcher {
     /// under eager hashing), then candidate chunks fan out across the
     /// resolved thread budget and merge in candidate order — results and
     /// counters are bit-identical to [`Searcher::serial_verify_query`].
-    fn par_verify_query(
-        &mut self,
+    fn par_verify_query<P: PoolAccess>(
+        &self,
+        pool: &mut P,
         q: &SparseVector,
         threshold: f64,
         sig: &[u32],
@@ -549,17 +694,23 @@ impl Searcher {
     ) -> Vec<(u32, f64)> {
         match self.composition.verifier {
             VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
-            VerifierKind::Mle => self.par_query_mle(threshold, sig, cand_ids, stats),
+            VerifierKind::Mle => self.par_query_mle(pool, threshold, sig, cand_ids, stats),
             VerifierKind::Bayes => match self.cfg.measure {
                 Measure::Cosine => {
-                    self.par_query_bayes(&CosineModel::new(), threshold, sig, cand_ids, stats)
+                    self.par_query_bayes(pool, &CosineModel::new(), threshold, sig, cand_ids, stats)
                 }
-                Measure::Jaccard => {
-                    self.par_query_bayes(&JaccardModel::uniform(), threshold, sig, cand_ids, stats)
-                }
+                Measure::Jaccard => self.par_query_bayes(
+                    pool,
+                    &JaccardModel::uniform(),
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
             },
             VerifierKind::BayesLite => match self.cfg.measure {
                 Measure::Cosine => self.par_query_bayes_lite(
+                    pool,
                     &CosineModel::new(),
                     q,
                     threshold,
@@ -568,6 +719,7 @@ impl Searcher {
                     stats,
                 ),
                 Measure::Jaccard => self.par_query_bayes_lite(
+                    pool,
                     &JaccardModel::uniform(),
                     q,
                     threshold,
@@ -601,23 +753,23 @@ impl Searcher {
         chunks.into_iter().flatten().collect()
     }
 
-    fn par_query_mle(
-        &mut self,
+    fn par_query_mle<P: PoolAccess>(
+        &self,
+        pool: &mut P,
         t: f64,
         sig: &[u32],
         cand_ids: &[u32],
         stats: &mut QueryStats,
     ) -> Vec<(u32, f64)> {
         let n = self.cfg.approx_hashes;
-        self.pool
-            .par_ensure_ids(&self.data, cand_ids, n, self.threads);
-        let this = &*self;
+        pool.par_ensure_ids(&self.data, cand_ids, n, self.threads);
+        let pool = pool.get();
+        let this = self;
         let chunks = fan_out(cand_ids.len(), self.threads, |_, range| {
             // One batched word-parallel sweep per worker chunk.
             let ids = &cand_ids[range];
             let mut counts = Vec::new();
-            this.pool
-                .query_agreements_batched(sig, ids, 0, n, &mut counts);
+            pool.query_agreements_batched(sig, ids, 0, n, &mut counts);
             ids.iter()
                 .zip(&counts)
                 .filter_map(|(&id, &m)| {
@@ -630,8 +782,9 @@ impl Searcher {
         chunks.into_iter().flatten().collect()
     }
 
-    fn par_query_bayes<M: PosteriorModel + Sync>(
-        &mut self,
+    fn par_query_bayes<P: PoolAccess, M: PosteriorModel + Sync>(
+        &self,
+        pool: &mut P,
         model: &M,
         t: f64,
         sig: &[u32],
@@ -640,10 +793,10 @@ impl Searcher {
     ) -> Vec<(u32, f64)> {
         let k = self.cfg.k;
         let max_chunks = (self.cfg.max_hashes / k).max(1);
-        self.pool
-            .par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        pool.par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        let pool = pool.get();
         let table = self.query_minmatch(model, t, max_chunks * k);
-        let this = &*self;
+        let this = self;
         let table = &*table;
         let results = fan_out(cand_ids.len(), self.threads, |_, range| {
             let mut cache = ConcentrationCache::new(this.cfg.delta, this.cfg.gamma);
@@ -665,13 +818,7 @@ impl Searcher {
                 scan.alive_ids.clear();
                 scan.alive_ids
                     .extend(scan.alive.iter().map(|&r| ids[r as usize]));
-                this.pool.query_agreements_batched(
-                    sig,
-                    &scan.alive_ids,
-                    n,
-                    n + k,
-                    &mut scan.counts,
-                );
+                pool.query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
                 n += k;
                 local.hash_comparisons += k as u64 * scan.alive.len() as u64;
                 let mut kept = 0usize;
@@ -707,8 +854,10 @@ impl Searcher {
         merge_query_chunks(results, stats)
     }
 
-    fn par_query_bayes_lite<M: PosteriorModel + Sync>(
-        &mut self,
+    #[allow(clippy::too_many_arguments)]
+    fn par_query_bayes_lite<P: PoolAccess, M: PosteriorModel + Sync>(
+        &self,
+        pool: &mut P,
         model: &M,
         q: &SparseVector,
         t: f64,
@@ -718,10 +867,10 @@ impl Searcher {
     ) -> Vec<(u32, f64)> {
         let k = self.cfg.k;
         let max_chunks = (self.cfg.lite_h / k).max(1);
-        self.pool
-            .par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        pool.par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        let pool = pool.get();
         let table = self.query_minmatch(model, t, max_chunks * k);
-        let this = &*self;
+        let this = self;
         let table = &*table;
         let measure = self.cfg.measure;
         let results = fan_out(cand_ids.len(), self.threads, |_, range| {
@@ -740,13 +889,7 @@ impl Searcher {
                 scan.alive_ids.clear();
                 scan.alive_ids
                     .extend(scan.alive.iter().map(|&r| ids[r as usize]));
-                this.pool.query_agreements_batched(
-                    sig,
-                    &scan.alive_ids,
-                    n,
-                    n + k,
-                    &mut scan.counts,
-                );
+                pool.query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
                 n += k;
                 local.hash_comparisons += k as u64 * scan.alive.len() as u64;
                 let mut kept = 0usize;
@@ -778,8 +921,9 @@ impl Searcher {
         merge_query_chunks(results, stats)
     }
 
-    fn query_bayes<M: PosteriorModel>(
-        &mut self,
+    fn query_bayes<P: PoolAccess, M: PosteriorModel>(
+        &self,
+        pool: &mut P,
         model: &M,
         t: f64,
         sig: &[u32],
@@ -805,11 +949,10 @@ impl Searcher {
             scan.alive_ids.clear();
             for &r in &scan.alive {
                 let id = cand_ids[r as usize];
-                let v = self.data.vector(id);
-                self.pool.ensure(id, v, n + k);
+                pool.ensure(&self.data, id, n + k);
                 scan.alive_ids.push(id);
             }
-            self.pool
+            pool.get()
                 .query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
             n += k;
             stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
@@ -844,8 +987,9 @@ impl Searcher {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn query_bayes_lite<M: PosteriorModel>(
-        &mut self,
+    fn query_bayes_lite<P: PoolAccess, M: PosteriorModel>(
+        &self,
+        pool: &mut P,
         model: &M,
         q: &SparseVector,
         t: f64,
@@ -871,11 +1015,10 @@ impl Searcher {
             scan.alive_ids.clear();
             for &r in &scan.alive {
                 let id = cand_ids[r as usize];
-                let v = self.data.vector(id);
-                self.pool.ensure(id, v, n + k);
+                pool.ensure(&self.data, id, n + k);
                 scan.alive_ids.push(id);
             }
-            self.pool
+            pool.get()
                 .query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
             n += k;
             stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
@@ -904,39 +1047,6 @@ impl Searcher {
             }
         }
         out
-    }
-
-    /// Incrementally compare an external query signature against pool
-    /// member `id`, `chunk` hashes at a time, letting `step` adjudicate
-    /// after each chunk. The first chunk's agreement count `m1` is supplied
-    /// by the caller ([`Searcher::top_k`] precomputes it for every
-    /// candidate in one batched word-parallel sweep — it is independent of
-    /// the rising threshold, so only the sequential *verdicts* remain
-    /// order-dependent). Returns the outcome with the final `(m, n)`
-    /// counts; `n` is the number of hash comparisons spent.
-    fn scan_candidate_resume(
-        &mut self,
-        sig: &[u32],
-        id: u32,
-        m1: u32,
-        chunk: u32,
-        max_chunks: u32,
-        mut step: impl FnMut(u32, u32) -> StepVerdict,
-    ) -> (ScanOutcome, u32, u32) {
-        let v = self.data.vector(id);
-        let (mut m, mut n) = (m1, chunk);
-        if step(m, n) == StepVerdict::Prune {
-            return (ScanOutcome::Pruned, m, n);
-        }
-        for _ in 1..max_chunks {
-            self.pool.ensure(id, v, n + chunk);
-            m += self.pool.query_agreements(sig, id, n, n + chunk);
-            n += chunk;
-            if step(m, n) == StepVerdict::Prune {
-                return (ScanOutcome::Pruned, m, n);
-            }
-        }
-        (ScanOutcome::Exhausted, m, n)
     }
 
     /// The pruning table for point queries at threshold `t`, memoized
@@ -970,7 +1080,7 @@ impl Searcher {
     /// [`KnnParams`], [`SearchError::NonBinaryData`] and
     /// [`SearchError::DimensionExceeded`] as for [`Searcher::query`].
     pub fn top_k(
-        &mut self,
+        &self,
         q: &SparseVector,
         k: usize,
         params: &KnnParams,
@@ -1003,29 +1113,73 @@ impl Searcher {
         }
 
         let banding = self.plan.params;
-        let max_chunks = params.h / params.chunk;
-        let depth = banding.total_hashes().max(max_chunks * params.chunk);
+        let scan_cap = (params.h / params.chunk) * params.chunk;
+        let depth = banding.total_hashes().max(scan_cap);
         // Parallelism accelerates the data-parallel phases — query hashing,
         // index probing, candidate signature extension. The pruning scan
-        // below stays sequential by design: its rising k-th-best threshold
-        // makes each candidate's verdict depend on all previous ones, and
-        // keeping that order is what makes top-k output deterministic.
+        // stays sequential by design: its rising k-th-best threshold makes
+        // each candidate's verdict depend on all previous ones, and keeping
+        // that order is what makes top-k output deterministic.
+
+        // Fast path under the shared read lock: possible when the hasher
+        // bank covers the query depth and every candidate's stored
+        // signature covers the full scan budget. (`params.h` may exceed
+        // even an eager build's depth, in which case the first such query
+        // deepens the candidates under the write lock below — and caches
+        // them, so repeat queries come back to this path.)
+        {
+            let pool = self.pool_read();
+            if pool.query_ready(depth) {
+                let sig = pool.hash_query_ready(q, depth, self.threads);
+                let keys = pool.query_band_keys(&sig, banding);
+                let cand_ids = self.index.par_probe(&keys, self.threads);
+                if cand_ids.iter().all(|&id| pool.len(id) >= scan_cap) {
+                    stats.candidates = cand_ids.len() as u64;
+                    let mut access = ReadPool(&pool);
+                    let neighbors =
+                        self.top_k_scan(&mut access, q, &sig, &cand_ids, k, params, &mut stats);
+                    return Ok(TopKOutput { neighbors, stats });
+                }
+            }
+        }
+
+        let mut pool = self.pool_write();
         let sig = if self.threads > 1 {
-            self.pool.hash_query_par(q, depth, self.threads)
+            pool.hash_query_par(q, depth, self.threads)
         } else {
-            self.pool.hash_query(q, depth)
+            pool.hash_query(q, depth)
         };
-        let keys = self.pool.query_band_keys(&sig, banding);
+        let keys = pool.query_band_keys(&sig, banding);
         let cand_ids = self.index.par_probe(&keys, self.threads);
         stats.candidates = cand_ids.len() as u64;
+        let mut access = WritePool(&mut pool);
+        let neighbors = self.top_k_scan(&mut access, q, &sig, &cand_ids, k, params, &mut stats);
+        Ok(TopKOutput { neighbors, stats })
+    }
+
+    /// Everything [`Searcher::top_k`] does after candidate generation:
+    /// first-chunk batched agreements, then the sequential rising-threshold
+    /// pruning scan. Generic over the pool handle so the read- and
+    /// write-lock paths share one implementation.
+    #[allow(clippy::too_many_arguments)]
+    fn top_k_scan<P: PoolAccess>(
+        &self,
+        pool: &mut P,
+        q: &SparseVector,
+        sig: &[u32],
+        cand_ids: &[u32],
+        k: usize,
+        params: &KnnParams,
+        stats: &mut KnnStats,
+    ) -> Vec<(u32, f64)> {
+        let max_chunks = params.h / params.chunk;
         if self.threads > 1 {
             // Pre-extend candidates to the FIRST chunk only: every
             // candidate pays at least one chunk, so this parallelizes the
             // bulk of the hashing without hashing to the full `params.h`
             // budget signatures the sequential scan below would prune at
             // chunk 1 — the lazy economy survives the fan-out.
-            self.pool
-                .par_ensure_ids(&self.data, &cand_ids, params.chunk, self.threads);
+            pool.par_ensure_ids(&self.data, cand_ids, params.chunk, self.threads);
         }
 
         let measure = self.cfg.measure;
@@ -1048,14 +1202,13 @@ impl Searcher {
         // (order-dependent) verdicts and deeper chunks to the sequential
         // scan below.
         if self.threads == 1 {
-            for &id in &cand_ids {
-                let v = self.data.vector(id);
-                self.pool.ensure(id, v, params.chunk);
+            for &id in cand_ids {
+                pool.ensure(&self.data, id, params.chunk);
             }
         }
         let mut first = Vec::new();
-        self.pool
-            .query_agreements_batched(&sig, &cand_ids, 0, params.chunk, &mut first);
+        pool.get()
+            .query_agreements_batched(sig, cand_ids, 0, params.chunk, &mut first);
 
         // Min-heap of the current top-k (similarity, id); the k-th best
         // similarity is a rising pruning threshold.
@@ -1063,8 +1216,10 @@ impl Searcher {
         let mut kth_best = params.floor;
         for (idx, &id) in cand_ids.iter().enumerate() {
             let prune_below = kth_best;
-            let (outcome, _, n) = self.scan_candidate_resume(
-                &sig,
+            let (outcome, _, n) = scan_candidate_resume(
+                &self.data,
+                pool,
+                sig,
                 id,
                 first[idx],
                 params.chunk,
@@ -1099,11 +1254,17 @@ impl Searcher {
             .map(|std::cmp::Reverse(HeapItem(s, id))| (id, s))
             .collect();
         neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        Ok(TopKOutput { neighbors, stats })
+        neighbors
     }
 
     /// Append a vector to the corpus, extending the signature pool and
     /// banding index in place. Returns the new vector's id.
+    ///
+    /// An **empty** vector is accepted: it takes up an id and lives in the
+    /// corpus, but is never hashed or indexed, so it cannot appear as a
+    /// candidate of any query, top-k, or batch join (its similarity to
+    /// everything is zero/undefined). It remains [`Searcher::remove`]-able
+    /// and round-trips through snapshots like any other id.
     ///
     /// # Errors
     ///
@@ -1113,21 +1274,101 @@ impl Searcher {
     pub fn insert(&mut self, v: SparseVector) -> Result<u32, SearchError> {
         self.check_query(&v)?;
         let id = self.data.push(v);
-        self.pool.grow_to(self.data.len());
+        self.removed.push(false);
+        let pool = self.pool.get_mut().expect("signature pool lock poisoned");
+        pool.grow_to(self.data.len());
         let v = self.data.vector(id);
         if !v.is_empty() {
             if self.threads > 1 {
                 // One object, many hashes: split the new signature's hash
                 // range across the thread budget (bit-identical splice).
-                self.pool
-                    .par_ensure_ids(&self.data, &[id], self.sig_depth, self.threads);
+                pool.par_ensure_ids(&self.data, &[id], self.sig_depth, self.threads);
             } else {
-                self.pool.ensure(id, v, self.sig_depth);
+                pool.ensure(id, v, self.sig_depth);
             }
-            self.index
-                .insert(id, &self.pool.band_keys(id, self.plan.params));
+            self.index.insert(id, &pool.band_keys(id, self.plan.params));
         }
         Ok(id)
+    }
+
+    /// Remove vector `id` from search: it stops appearing in any query,
+    /// top-k, or batch output immediately. The vector's storage and
+    /// signature stay in place — ids are stable — until
+    /// [`Searcher::compact`] rewrites them out. Returns `Ok(true)` when
+    /// the id was live, `Ok(false)` when it was already removed.
+    ///
+    /// # Errors
+    ///
+    /// [`SearchError::InvalidConfig`] for an id outside the corpus.
+    pub fn remove(&mut self, id: u32) -> Result<bool, SearchError> {
+        if (id as usize) >= self.data.len() {
+            return Err(SearchError::invalid(
+                "id",
+                format!("no such vector: {id} (corpus holds {})", self.data.len()),
+            ));
+        }
+        if self.removed[id as usize] {
+            return Ok(false);
+        }
+        if !self.data.vector(id).is_empty() {
+            let pool = self.pool.get_mut().expect("signature pool lock poisoned");
+            let keys = pool.band_keys(id, self.plan.params);
+            self.index.remove(id, &keys);
+        }
+        self.removed[id as usize] = true;
+        self.n_removed += 1;
+        Ok(true)
+    }
+
+    /// True when `id` has been [`Searcher::remove`]d and not yet
+    /// rewritten out by [`Searcher::compact`] (which clears tombstones
+    /// while keeping ids stable).
+    pub fn is_removed(&self, id: u32) -> bool {
+        self.removed.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Number of tombstoned vectors awaiting [`Searcher::compact`].
+    pub fn pending_removals(&self) -> usize {
+        self.n_removed
+    }
+
+    /// Rewrite removed vectors out of the standing state: their vector
+    /// data and signatures are dropped (reclaiming memory and hash
+    /// accounting) and the banding index is rebuilt over the survivors.
+    /// Ids are **stable** — a removed id keeps its slot as a permanently
+    /// empty vector, exactly the representation an empty
+    /// [`Searcher::insert`] produces — so snapshots and shard manifests
+    /// round-trip unchanged. Returns the number of vectors compacted away.
+    pub fn compact(&mut self) -> usize {
+        if self.n_removed == 0 {
+            return 0;
+        }
+        let pool = self.pool.get_mut().expect("signature pool lock poisoned");
+        for id in 0..self.data.len() as u32 {
+            if self.removed[id as usize] {
+                self.data.clear_vector(id);
+                pool.clear(id);
+            }
+        }
+        // Rebuild the index from scratch over the survivors: removal left
+        // emptied buckets behind (to keep probe order stable mid-flight),
+        // and a fresh build sheds them exactly as `SearcherBuilder::build`
+        // would lay the survivors out.
+        let ids: Vec<u32> = self
+            .data
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        let plan = self.plan;
+        let threads = self.threads;
+        self.index = BandingIndex::par_build(plan.params, &ids, threads, |id, band| {
+            pool.band_key(id, band, plan.params)
+        });
+        let count = self.n_removed;
+        self.removed.iter_mut().for_each(|r| *r = false);
+        self.n_removed = 0;
+        count
     }
 
     /// Map a raw hash-agreement fraction to the target similarity.
@@ -1148,7 +1389,8 @@ impl Searcher {
                 requires: self.composition.binary_requirement(self.cfg.measure),
             });
         }
-        if let SigPool::Bits(pool) = &self.pool {
+        let pool = self.pool_read();
+        if let SigPool::Bits(pool) = &*pool {
             let dim = pool.hasher().dim();
             if v.min_dim() > dim {
                 return Err(SearchError::DimensionExceeded {
@@ -1189,10 +1431,12 @@ impl Searcher {
     /// computed on one shard is valid against every shard of the same
     /// build.
     pub fn hash_query_signature(&mut self, q: &SparseVector, depth: u32) -> Vec<u32> {
-        if self.threads > 1 {
-            self.pool.hash_query_par(q, depth, self.threads)
+        let threads = self.threads;
+        let pool = self.pool_mut();
+        if threads > 1 {
+            pool.hash_query_par(q, depth, threads)
         } else {
-            self.pool.hash_query(q, depth)
+            pool.hash_query(q, depth)
         }
     }
 
@@ -1209,13 +1453,14 @@ impl Searcher {
     /// `(first band, global id)`.
     pub fn probe_first_bands(&self, sig: &[u32]) -> Vec<(u32, u32)> {
         let params = self.plan.params;
-        let keys = self.pool.query_band_keys(sig, params);
+        let pool = self.pool_read();
+        let keys = pool.query_band_keys(sig, params);
         let cand_ids = self.index.par_probe(&keys, self.threads);
         cand_ids
             .into_iter()
             .map(|id| {
                 let band = (0..params.l)
-                    .find(|&b| self.pool.band_key(id, b, params) == keys[b as usize])
+                    .find(|&b| pool.band_key(id, b, params) == keys[b as usize])
                     .expect("probed candidate must share a band key with the query");
                 (id, band)
             })
@@ -1230,18 +1475,18 @@ impl Searcher {
     /// independent of the rising threshold, so only the verdicts remain
     /// sequential.
     pub fn first_chunk_agreements(&mut self, sig: &[u32], ids: &[u32], chunk: u32) -> Vec<u32> {
-        if self.threads > 1 {
-            self.pool
-                .par_ensure_ids(&self.data, ids, chunk, self.threads);
+        let threads = self.threads;
+        let pool = self.pool.get_mut().expect("signature pool lock poisoned");
+        if threads > 1 {
+            pool.par_ensure_ids(&self.data, ids, chunk, threads);
         } else {
             for &id in ids {
                 let v = self.data.vector(id);
-                self.pool.ensure(id, v, chunk);
+                pool.ensure(id, v, chunk);
             }
         }
         let mut out = Vec::new();
-        self.pool
-            .query_agreements_batched(sig, ids, 0, chunk, &mut out);
+        pool.query_agreements_batched(sig, ids, 0, chunk, &mut out);
         out
     }
 
@@ -1281,14 +1526,23 @@ impl Searcher {
                 &jaccard_model
             }
         };
-        let (outcome, _, n) =
-            self.scan_candidate_resume(sig, id, first_m, params.chunk, max_chunks, |m, n| {
+        let mut access = WritePool(self.pool.get_mut().expect("signature pool lock poisoned"));
+        let (outcome, _, n) = scan_candidate_resume(
+            &self.data,
+            &mut access,
+            sig,
+            id,
+            first_m,
+            params.chunk,
+            max_chunks,
+            |m, n| {
                 if model.prob_above_threshold(m, n, prune_below) < params.epsilon {
                     StepVerdict::Prune
                 } else {
                     StepVerdict::Continue
                 }
-            });
+            },
+        );
         match outcome {
             ScanOutcome::Pruned => CandidateScan::Pruned { comparisons: n },
             ScanOutcome::Exhausted => CandidateScan::Survivor {
@@ -1297,6 +1551,90 @@ impl Searcher {
             },
         }
     }
+}
+
+/// Uniform pool handle for the two execution paths of `&self` queries:
+/// the read path (the pool already covers every request, so lazy ensures
+/// are debug-checked no-ops) and the write path (real lazy extension
+/// under the write lock). Verification code is generic over this, so
+/// both paths run the exact same scan logic and stay bit-identical by
+/// construction.
+trait PoolAccess {
+    fn get(&self) -> &SigPool;
+    fn ensure(&mut self, data: &Dataset, id: u32, n: u32);
+    fn par_ensure_ids(&mut self, data: &Dataset, ids: &[u32], n: u32, threads: usize);
+}
+
+/// Read-lock pool handle: every touched signature is already deep
+/// enough, so ensures are no-ops (verified in debug builds).
+struct ReadPool<'a>(&'a SigPool);
+
+impl PoolAccess for ReadPool<'_> {
+    fn get(&self) -> &SigPool {
+        self.0
+    }
+
+    fn ensure(&mut self, _data: &Dataset, id: u32, n: u32) {
+        debug_assert!(self.0.len(id) >= n, "read-path ensure must be a no-op");
+    }
+
+    fn par_ensure_ids(&mut self, _data: &Dataset, ids: &[u32], n: u32, _threads: usize) {
+        debug_assert!(
+            ids.iter().all(|&id| self.0.len(id) >= n),
+            "read-path ensure must be a no-op"
+        );
+    }
+}
+
+/// Write-lock pool handle: the usual lazy-extension economy.
+struct WritePool<'a>(&'a mut SigPool);
+
+impl PoolAccess for WritePool<'_> {
+    fn get(&self) -> &SigPool {
+        self.0
+    }
+
+    fn ensure(&mut self, data: &Dataset, id: u32, n: u32) {
+        self.0.ensure(id, data.vector(id), n);
+    }
+
+    fn par_ensure_ids(&mut self, data: &Dataset, ids: &[u32], n: u32, threads: usize) {
+        self.0.par_ensure_ids(data, ids, n, threads);
+    }
+}
+
+/// Incrementally compare an external query signature against pool
+/// member `id`, `chunk` hashes at a time, letting `step` adjudicate
+/// after each chunk. The first chunk's agreement count `m1` is supplied
+/// by the caller ([`Searcher::top_k`] precomputes it for every
+/// candidate in one batched word-parallel sweep — it is independent of
+/// the rising threshold, so only the sequential *verdicts* remain
+/// order-dependent). Returns the outcome with the final `(m, n)`
+/// counts; `n` is the number of hash comparisons spent.
+#[allow(clippy::too_many_arguments)]
+fn scan_candidate_resume<P: PoolAccess>(
+    data: &Dataset,
+    pool: &mut P,
+    sig: &[u32],
+    id: u32,
+    m1: u32,
+    chunk: u32,
+    max_chunks: u32,
+    mut step: impl FnMut(u32, u32) -> StepVerdict,
+) -> (ScanOutcome, u32, u32) {
+    let (mut m, mut n) = (m1, chunk);
+    if step(m, n) == StepVerdict::Prune {
+        return (ScanOutcome::Pruned, m, n);
+    }
+    for _ in 1..max_chunks {
+        pool.ensure(data, id, n + chunk);
+        m += pool.get().query_agreements(sig, id, n, n + chunk);
+        n += chunk;
+        if step(m, n) == StepVerdict::Prune {
+            return (ScanOutcome::Pruned, m, n);
+        }
+    }
+    (ScanOutcome::Exhausted, m, n)
 }
 
 /// Merge per-chunk query verification results in chunk (= candidate)
@@ -1396,7 +1734,7 @@ mod tests {
     #[test]
     fn query_finds_self_and_respects_threshold() {
         let data = corpus(3);
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+        let s = Searcher::builder(PipelineConfig::cosine(0.7))
             .algorithm(Algorithm::LshBayesLshLite)
             .build(data)
             .unwrap();
@@ -1419,7 +1757,7 @@ mod tests {
     #[test]
     fn eager_queries_never_touch_the_corpus_pool() {
         let data = corpus(4);
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+        let s = Searcher::builder(PipelineConfig::cosine(0.7))
             .build(data)
             .unwrap();
         let built = s.hash_count();
@@ -1438,7 +1776,7 @@ mod tests {
     #[test]
     fn lazy_queries_extend_once_and_amortize() {
         let data = corpus(5);
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+        let s = Searcher::builder(PipelineConfig::cosine(0.7))
             .hash_mode(HashMode::Lazy)
             .build(data)
             .unwrap();
@@ -1489,7 +1827,7 @@ mod tests {
     #[test]
     fn top_k_returns_sorted_exact_neighbours() {
         let data = corpus(8);
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.5))
+        let s = Searcher::builder(PipelineConfig::cosine(0.5))
             .build(data)
             .unwrap();
         let q = s.data().vector(3).clone();
@@ -1508,7 +1846,7 @@ mod tests {
     #[test]
     fn all_pairs_can_run_repeatedly_without_rehashing() {
         let data = corpus(9);
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+        let s = Searcher::builder(PipelineConfig::cosine(0.7))
             .algorithm(Algorithm::LshBayesLsh)
             .build(data)
             .unwrap();
@@ -1535,7 +1873,7 @@ mod tests {
                 .unwrap()
         };
         let _ = data;
-        let mut interleaved = build();
+        let interleaved = build();
         let shapes = [0.7f64, 0.5, 0.7, 0.5, 0.9, 0.7];
         let queries: Vec<SparseVector> = (0..6)
             .map(|i| interleaved.data().vector(i * 7).clone())
@@ -1545,7 +1883,7 @@ mod tests {
             // Top-k in between changes the access pattern (different
             // pruning machinery, same searcher state).
             interleaved.top_k(q, 3, &KnnParams::default()).unwrap();
-            let mut fresh = build();
+            let fresh = build();
             let expect = fresh.query(q, t).unwrap();
             assert_eq!(got.neighbors.len(), expect.neighbors.len());
             for (a, b) in got.neighbors.iter().zip(&expect.neighbors) {
@@ -1560,12 +1898,149 @@ mod tests {
 
     #[test]
     fn query_threshold_is_validated() {
-        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+        let s = Searcher::builder(PipelineConfig::cosine(0.7))
             .build(corpus(10))
             .unwrap();
         let q = s.data().vector(0).clone();
         assert!(s.query(&q, 0.0).is_err());
         assert!(s.query(&q, 1.2).is_err());
         assert!(s.query(&q, 1.0).is_ok());
+    }
+
+    #[test]
+    fn concurrent_queries_match_serial_results() {
+        // `query` through `&self`: many threads sharing one searcher must
+        // each get the serial answer, on both the eager (read-only) and
+        // lazy (write-locked ensure) paths.
+        for mode in [HashMode::Eager, HashMode::Lazy] {
+            let s = Searcher::builder(PipelineConfig::cosine(0.5))
+                .algorithm(Algorithm::LshBayesLsh)
+                .hash_mode(mode)
+                .build(corpus(21))
+                .unwrap();
+            let queries: Vec<SparseVector> =
+                (0..8).map(|i| s.data().vector(i * 7).clone()).collect();
+            let serial: Vec<Vec<(u32, f64)>> = queries
+                .iter()
+                .map(|q| s.query(q, 0.5).unwrap().neighbors)
+                .collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = queries
+                    .iter()
+                    .map(|q| scope.spawn(|| s.query(q, 0.5).unwrap().neighbors))
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    assert_eq!(
+                        h.join().unwrap(),
+                        serial[i],
+                        "{mode:?} concurrent query {i} diverged from serial"
+                    );
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn empty_vector_insert_is_inert_but_removable() {
+        // An empty vector takes an id but is never hashed or indexed: it
+        // must not surface from queries, top_k, or all_pairs, must survive
+        // a snapshot round-trip, and must be removable.
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.7))
+            .algorithm(Algorithm::LshBayesLsh)
+            .build(corpus(31))
+            .unwrap();
+        let id = s.insert(SparseVector::empty()).unwrap();
+        assert_eq!(id as usize, s.len() - 1);
+        assert_eq!(s.data().vector(id).nnz(), 0);
+
+        let probe = s.data().vector(0).clone();
+        let out = s.query(&probe, 0.7).unwrap();
+        assert!(out.neighbors.iter().all(|&(got, _)| got != id));
+        let top = s.top_k(&probe, s.len(), &KnnParams::default()).unwrap();
+        assert!(top.neighbors.iter().all(|&(got, _)| got != id));
+        let pairs = s.all_pairs().unwrap();
+        assert!(pairs.pairs.iter().all(|&(a, b, _)| a != id && b != id));
+
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let loaded = Searcher::load(&buf[..]).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        assert_eq!(loaded.data().vector(id).nnz(), 0);
+        let reloaded = loaded.query(&probe, 0.7).unwrap();
+        assert_eq!(reloaded.neighbors, out.neighbors);
+
+        assert!(s.remove(id).unwrap());
+        assert_eq!(s.compact(), 1);
+        assert_eq!(s.len(), loaded.len(), "compaction keeps ids stable");
+    }
+
+    #[test]
+    fn remove_then_compact_round_trips_through_snapshot() {
+        let mut s = Searcher::builder(PipelineConfig::cosine(0.5))
+            .algorithm(Algorithm::LshBayesLsh)
+            .build(corpus(41))
+            .unwrap();
+        let victim = 13u32;
+        let probe = s.data().vector(victim).clone();
+        assert!(s
+            .query(&probe, 0.99)
+            .unwrap()
+            .neighbors
+            .iter()
+            .any(|&(got, _)| got == victim));
+
+        assert!(s.remove(victim).unwrap());
+        assert!(!s.remove(victim).unwrap(), "double remove is a no-op");
+        assert!(s.is_removed(victim));
+        assert_eq!(s.pending_removals(), 1);
+        assert!(matches!(
+            s.remove(s.len() as u32).unwrap_err(),
+            SearchError::InvalidConfig { param: "id", .. }
+        ));
+
+        // Tombstoned: hidden from every read path, but not yet persistable.
+        assert!(s
+            .query(&probe, 0.2)
+            .unwrap()
+            .neighbors
+            .iter()
+            .all(|&(got, _)| got != victim));
+        assert!(s
+            .top_k(&probe, s.len(), &KnnParams::default())
+            .unwrap()
+            .neighbors
+            .iter()
+            .all(|&(got, _)| got != victim));
+        assert!(s
+            .all_pairs()
+            .unwrap()
+            .pairs
+            .iter()
+            .all(|&(a, b, _)| a != victim && b != victim));
+        let err = s.save(&mut Vec::new()).unwrap_err();
+        assert!(
+            err.to_string().contains("compact"),
+            "save must demand compaction"
+        );
+
+        // Compaction rewrites index + pool; results are unchanged and the
+        // snapshot round-trips bit-identically.
+        let before = s.query(&probe, 0.2).unwrap().neighbors;
+        assert_eq!(s.compact(), 1);
+        assert_eq!(s.pending_removals(), 0);
+        assert_eq!(s.len(), corpus(41).len(), "ids stay stable after compact");
+        assert_eq!(s.query(&probe, 0.2).unwrap().neighbors, before);
+
+        let mut buf = Vec::new();
+        s.save(&mut buf).unwrap();
+        let loaded = Searcher::load(&buf[..]).unwrap();
+        assert_eq!(loaded.len(), s.len());
+        assert_eq!(loaded.query(&probe, 0.2).unwrap().neighbors, before);
+        assert!(loaded
+            .all_pairs()
+            .unwrap()
+            .pairs
+            .iter()
+            .all(|&(a, b, _)| a != victim && b != victim));
     }
 }

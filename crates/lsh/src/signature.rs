@@ -412,12 +412,50 @@ impl BitSignatures {
     pub fn hash_external_par(&mut self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
         let target = n.div_ceil(32) * 32;
         self.hasher.ensure_planes_par(target as usize, threads);
+        self.hash_external_ready(v, n, threads)
+    }
+
+    /// Whether [`BitSignatures::hash_external_ready`] can serve `n` bits
+    /// right now — i.e. the plane bank already covers the word-rounded
+    /// target, so hashing needs no `&mut self`.
+    pub fn external_ready(&self, n: u32) -> bool {
+        let target = n.div_ceil(32) * 32;
+        self.hasher.planes_ready() >= target as usize
+    }
+
+    /// Materialize the plane bank for `n`-bit external hashing up front, so
+    /// subsequent [`BitSignatures::hash_external_ready`] calls work through
+    /// `&self` (the shared-reader serving path).
+    pub fn prepare_external(&mut self, n: u32, threads: usize) {
+        let target = n.div_ceil(32) * 32;
+        self.hasher.ensure_planes_par(target as usize, threads);
+    }
+
+    /// Read-only external hashing: identical output to
+    /// [`BitSignatures::hash_external_par`], but through `&self`. The plane
+    /// bank must already cover `n` bits ([`BitSignatures::external_ready`]);
+    /// many reader threads may call this concurrently.
+    pub fn hash_external_ready(&self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        let target = n.div_ceil(32) * 32;
+        debug_assert!(self.external_ready(n), "plane bank not prepared");
         let hasher = &self.hasher;
         let chunks = fan_out((target / 32) as usize, threads, |_, r| {
             let mut scratch = SrpScratch::new();
             hasher.hash_bits_packed_with(v, 32 * r.start as u32, 32 * r.end as u32, &mut scratch)
         });
         chunks.into_iter().flatten().collect()
+    }
+
+    /// Drop object `id`'s signature and release its hashes from the cost
+    /// accounting (compaction of removed objects). The slot stays valid and
+    /// empty — identical to a never-hashed object — so the wire invariant
+    /// `total == Σ stored depths` is preserved.
+    pub fn clear(&mut self, id: u32) {
+        let slot = &mut self.words[id as usize];
+        slot.clear();
+        slot.shrink_to_fit();
+        self.total -= self.bits[id as usize] as u64;
+        self.bits[id as usize] = 0;
     }
 }
 
@@ -638,12 +676,47 @@ impl IntSignatures {
     /// [`IntSignatures::hash_external`] over `0..n`.
     pub fn hash_external_par(&mut self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
         self.hasher.ensure_functions(n as usize);
+        self.hash_external_ready(v, n, threads)
+    }
+
+    /// Whether [`IntSignatures::hash_external_ready`] can serve `n` hashes
+    /// right now — i.e. the hash-function bank already covers the target,
+    /// so hashing needs no `&mut self`.
+    pub fn external_ready(&self, n: u32) -> bool {
+        self.hasher.functions_ready() >= n as usize
+    }
+
+    /// Materialize the hash-function bank for `n`-hash external hashing up
+    /// front, so subsequent [`IntSignatures::hash_external_ready`] calls
+    /// work through `&self` (the shared-reader serving path).
+    pub fn prepare_external(&mut self, n: u32, threads: usize) {
+        let _ = threads;
+        self.hasher.ensure_functions(n as usize);
+    }
+
+    /// Read-only external hashing: identical output to
+    /// [`IntSignatures::hash_external_par`], but through `&self`. The
+    /// hash-function bank must already cover `n`
+    /// ([`IntSignatures::external_ready`]); many reader threads may call
+    /// this concurrently.
+    pub fn hash_external_ready(&self, v: &SparseVector, n: u32, threads: usize) -> Vec<u32> {
+        debug_assert!(self.external_ready(n), "hash-function bank not prepared");
         let hasher = &self.hasher;
         let chunks = fan_out(n as usize, threads, |_, r| {
             let mut scratch = MinScratch::new();
             hasher.hash_range_packed_with(v, r.start as u32, r.end as u32, &mut scratch)
         });
         chunks.into_iter().flatten().collect()
+    }
+
+    /// Drop object `id`'s signature and release its hashes from the cost
+    /// accounting (compaction of removed objects); see
+    /// [`BitSignatures::clear`].
+    pub fn clear(&mut self, id: u32) {
+        let slot = &mut self.sigs[id as usize];
+        self.total -= slot.len() as u64;
+        slot.clear();
+        slot.shrink_to_fit();
     }
 }
 
@@ -943,6 +1016,41 @@ mod tests {
         back.ensure(0, &sets[0], 100);
         ints.ensure(0, &sets[0], 100);
         assert_eq!(back.raw(0), ints.raw(0));
+    }
+
+    #[test]
+    fn ready_external_hash_matches_mut_path_and_clear_releases_hashes() {
+        let vs = vecs(2, 80, 15, 51);
+        let mut bits = BitSignatures::new(SrpHasher::new(80, 52), 2);
+        assert!(!bits.external_ready(96));
+        bits.prepare_external(96, 2);
+        assert!(bits.external_ready(96) && bits.external_ready(33));
+        let mut expect = Vec::new();
+        bits.hash_external(&vs[0], 0, 96, &mut expect);
+        for threads in [1usize, 3] {
+            assert_eq!(bits.hash_external_ready(&vs[0], 96, threads), expect);
+        }
+        bits.ensure(0, &vs[0], 64);
+        bits.ensure(1, &vs[1], 96);
+        assert_eq!(bits.total_hashes(), 160);
+        bits.clear(0);
+        assert_eq!(bits.len(0), 0);
+        assert_eq!(bits.total_hashes(), 96);
+        // A cleared slot is indistinguishable from a never-hashed one.
+        bits.ensure(0, &vs[0], 64);
+        assert_eq!(bits.total_hashes(), 160);
+
+        let set = SparseVector::from_indices(vec![4, 9, 44, 70]);
+        let mut ints = IntSignatures::new(MinHasher::new(53), 2);
+        assert!(!ints.external_ready(50));
+        ints.prepare_external(50, 1);
+        assert!(ints.external_ready(50));
+        let mut expect = Vec::new();
+        ints.hash_external(&set, 0, 50, &mut expect);
+        assert_eq!(ints.hash_external_ready(&set, 50, 2), expect);
+        ints.ensure(0, &set, 40);
+        ints.clear(0);
+        assert_eq!((ints.len(0), ints.total_hashes()), (0, 0));
     }
 
     #[test]

@@ -203,6 +203,22 @@ impl Generation {
         let mut slot = self.slot(s)?;
         Ok(f(slot.as_mut().expect("slot was just filled")))
     }
+
+    /// Read shard `s`'s searcher (loading and verifying it first if
+    /// needed) — the hook re-shard and snapshot-rewrite jobs use to save
+    /// a served shard (e.g. after [`ShardedSearcher::compact`]) back out
+    /// through [`Searcher::save`].
+    ///
+    /// # Errors
+    ///
+    /// Shard load failures, as for any lazy first touch.
+    pub fn with_searcher<T>(
+        &self,
+        s: usize,
+        f: impl FnOnce(&Searcher) -> T,
+    ) -> Result<T, ShardError> {
+        self.with_shard(s, |sr| f(sr))
+    }
 }
 
 /// Exact ordering twin of the single-index top-k heap item
@@ -569,5 +585,86 @@ impl ShardedSearcher {
             m.insert(v).map_err(ShardError::Search)?;
         }
         Ok(global)
+    }
+
+    /// Tombstone the vector with `global` id: the id map routes it to its
+    /// owning shard, which unlinks it exactly as [`Searcher::remove`] on
+    /// the single index would; the merged batch-join searcher, if built,
+    /// tombstones the same global id so [`all_pairs`] stays in sync.
+    /// Returns `Ok(false)` when the id was already removed.
+    ///
+    /// Like inserts, removals land in the *current generation* only.
+    ///
+    /// [`all_pairs`]: ShardedSearcher::all_pairs
+    ///
+    /// # Errors
+    ///
+    /// As [`Searcher::remove`] (unknown id), wrapped in
+    /// [`ShardError::Search`]; plus shard load failures.
+    pub fn remove(&self, global: u32) -> Result<bool, ShardError> {
+        let generation = self.generation();
+        let ids = generation.ids.read().expect("id map poisoned");
+        let Some(&(s, local)) = ids.locate.get(global as usize) else {
+            return Err(SearchError::invalid(
+                "id",
+                format!(
+                    "no such vector: {global} (corpus holds {})",
+                    ids.locate.len()
+                ),
+            )
+            .into());
+        };
+        let mut merged = generation.merged.lock().expect("merged searcher poisoned");
+        let removed = generation.with_shard(s as usize, |sr| sr.remove(local))??;
+        if removed {
+            if let Some(m) = merged.as_mut() {
+                m.remove(global).map_err(ShardError::Search)?;
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Tombstoned vectors not yet reclaimed, summed over loaded shards.
+    pub fn pending_removals(&self) -> usize {
+        let generation = self.generation();
+        generation
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("shard slot poisoned")
+                    .as_ref()
+                    .map_or(0, Searcher::pending_removals)
+            })
+            .sum()
+    }
+
+    /// Run [`Searcher::compact`] on every shard carrying tombstones (and
+    /// on the merged batch-join searcher, if built), returning the number
+    /// of vectors reclaimed across shards. Global ids are stable across
+    /// compaction — removed slots keep their positions as empty vectors —
+    /// so the id map is untouched and shard snapshots saved afterwards
+    /// reload under the same manifest partition.
+    pub fn compact(&self) -> usize {
+        let generation = self.generation();
+        let _ids = generation.ids.read().expect("id map poisoned");
+        let mut merged = generation.merged.lock().expect("merged searcher poisoned");
+        let mut reclaimed = 0;
+        for slot in &generation.slots {
+            // A never-loaded slot has no tombstones: removals load the
+            // owning shard, so only loaded searchers can need compaction.
+            let mut slot = slot.lock().expect("shard slot poisoned");
+            if let Some(sr) = slot.as_mut() {
+                if sr.pending_removals() > 0 {
+                    reclaimed += sr.compact();
+                }
+            }
+        }
+        if let Some(m) = merged.as_mut() {
+            if m.pending_removals() > 0 {
+                m.compact();
+            }
+        }
+        reclaimed
     }
 }

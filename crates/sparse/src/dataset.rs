@@ -57,6 +57,18 @@ impl Dataset {
         (self.vectors.len() - 1) as u32
     }
 
+    /// Replace vector `id` with the empty vector, keeping its slot (ids
+    /// are positions, so they must stay stable) and the feature-space
+    /// dimensionality. Used by index compaction to reclaim the storage of
+    /// removed vectors.
+    ///
+    /// # Panics
+    ///
+    /// When `id` is out of range.
+    pub fn clear_vector(&mut self, id: u32) {
+        self.vectors[id as usize] = SparseVector::empty();
+    }
+
     /// Number of vectors.
     pub fn len(&self) -> usize {
         self.vectors.len()
@@ -315,6 +327,17 @@ mod tests {
         let wide = d.partition(5, |id| id as usize);
         assert!(wide[3].is_empty() && wide[4].is_empty());
         assert_eq!(wide[4].dim(), d.dim());
+    }
+
+    #[test]
+    fn clear_vector_keeps_slot_and_dim() {
+        let mut d = sample();
+        let dim = d.dim();
+        d.clear_vector(1);
+        assert_eq!(d.len(), 3, "ids stay stable");
+        assert!(d.vector(1).is_empty());
+        assert_eq!(d.dim(), dim, "feature space must not shrink");
+        assert_eq!(d.vector(2).nnz(), 3, "neighbours untouched");
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn main() {
     // threshold: here "similarities below 0.5 are uninteresting".
     let cfg = PipelineConfig::cosine(0.5);
     let build_start = std::time::Instant::now();
-    let mut searcher = Searcher::builder(cfg)
+    let searcher = Searcher::builder(cfg)
         .algorithm(Algorithm::Lsh)
         .build(data)
         .expect("valid config");

@@ -21,7 +21,7 @@ fn main() {
     // algorithm picks the composition — LSH banding candidates verified by
     // BayesLSH (incremental pruning + concentration-controlled estimates).
     let threshold = 0.7;
-    let mut searcher = Searcher::builder(PipelineConfig::cosine(threshold))
+    let searcher = Searcher::builder(PipelineConfig::cosine(threshold))
         .algorithm(Algorithm::LshBayesLsh)
         .build(data)
         .expect("valid config");

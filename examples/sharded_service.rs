@@ -52,7 +52,7 @@ fn main() {
     );
 
     // Scatter-gather answers are bit-identical to a single index.
-    let mut single = Searcher::builder(cfg)
+    let single = Searcher::builder(cfg)
         .algorithm(Algorithm::LshBayesLshLite)
         .build(corpus.clone())
         .expect("valid config");

@@ -138,6 +138,47 @@
 //! }
 //! ```
 //!
+//! ## Online serving
+//!
+//! Every `Searcher` read path — `query`, `top_k`, `all_pairs` — takes
+//! `&self`, so any number of threads can share one built index. For live
+//! writes under that read traffic,
+//! [`ServingSearcher`](prelude::ServingSearcher) adds an epoch model:
+//! readers snapshot the published [`Epoch`](prelude::Epoch) (an `Arc`
+//! clone — never blocked by the writer), while a writer stages
+//! `insert`/`remove`/`compact` batches and `publish()`es them as the next
+//! epoch in one atomic swap. Each epoch is bit-identical to a serial
+//! application of the same write-log prefix (`tests/serving_stress.rs`
+//! pins this under concurrent load), and removals follow tombstone
+//! semantics: hidden from queries at the next publish, reclaimed by an
+//! explicit compaction that rewrites the banding index and signature pool
+//! in place — ids stay stable — after which snapshots save again.
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let searcher = Searcher::builder(PipelineConfig::cosine(0.7))
+//!     .algorithm(Algorithm::LshBayesLshLite)
+//!     .build(data)
+//!     .unwrap();
+//! let q = searcher.data().vector(0).clone();
+//! let serving = ServingSearcher::new(searcher);
+//!
+//! // Readers pin an epoch; staged writes stay invisible until publish.
+//! let epoch = serving.epoch();
+//! serving.remove(0).unwrap();
+//! assert!(epoch.searcher().query(&q, 0.7).unwrap().neighbors.iter().any(|&(id, _)| id == 0));
+//!
+//! let next = serving.publish();
+//! assert!(next.searcher().query(&q, 0.7).unwrap().neighbors.iter().all(|&(id, _)| id != 0));
+//!
+//! // Reclaim tombstones (ids stay stable), then snapshots save again.
+//! serving.compact();
+//! let compacted = serving.publish();
+//! let mut snapshot = Vec::new();
+//! compacted.searcher().save(&mut snapshot).unwrap();
+//! ```
+//!
 //! ## Sharded serving
 //!
 //! The snapshot format scales out: a [`ShardBuilder`](prelude::ShardBuilder)
@@ -209,11 +250,12 @@ pub mod prelude {
     pub use bayeslsh_core::{
         bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against,
         run_algorithm, run_composition, Algorithm, BayesLshConfig, BbitJaccardModel,
-        CandidateGenerator, Composition, CompositionOutput, CosineModel, EngineStats, ErrorStats,
-        GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats, LiteConfig,
-        MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput, QueryStats,
-        RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder, SigPool, SnapshotError,
-        SnapshotHeader, TopKOutput, Verifier, VerifierKind, SNAPSHOT_FORMAT_VERSION,
+        CandidateGenerator, Composition, CompositionOutput, CosineModel, EngineStats, Epoch,
+        ErrorStats, GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats,
+        LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput,
+        QueryStats, RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder,
+        ServingSearcher, SigPool, SnapshotError, SnapshotHeader, TopKOutput, Verifier,
+        VerifierKind, SNAPSHOT_FORMAT_VERSION,
     };
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{

@@ -161,7 +161,7 @@ fn point_queries_are_thread_count_invariant() {
     ] {
         let mut cfg = PipelineConfig::cosine(0.7);
         cfg.parallelism = Parallelism::serial();
-        let mut serial = Searcher::builder(cfg)
+        let serial = Searcher::builder(cfg)
             .algorithm(algo)
             .build(data.clone())
             .unwrap();
@@ -176,7 +176,7 @@ fn point_queries_are_thread_count_invariant() {
         for threads in THREADS {
             let mut cfg = PipelineConfig::cosine(0.7);
             cfg.parallelism = Parallelism::threads(threads);
-            let mut par = Searcher::builder(cfg)
+            let par = Searcher::builder(cfg)
                 .algorithm(algo)
                 .build(data.clone())
                 .unwrap();
@@ -200,13 +200,13 @@ fn top_k_is_thread_count_invariant() {
     let data = corpus(505);
     let mut cfg = PipelineConfig::cosine(0.5);
     cfg.parallelism = Parallelism::serial();
-    let mut serial = Searcher::builder(cfg).build(data.clone()).unwrap();
+    let serial = Searcher::builder(cfg).build(data.clone()).unwrap();
     let q = serial.data().vector(9).clone();
     let expect = serial.top_k(&q, 5, &KnnParams::default()).unwrap();
     for threads in THREADS {
         let mut cfg = PipelineConfig::cosine(0.5);
         cfg.parallelism = Parallelism::threads(threads);
-        let mut par = Searcher::builder(cfg).build(data.clone()).unwrap();
+        let par = Searcher::builder(cfg).build(data.clone()).unwrap();
         let got = par.top_k(&q, 5, &KnnParams::default()).unwrap();
         assert_eq!(expect.neighbors.len(), got.neighbors.len());
         for (a, b) in expect.neighbors.iter().zip(&got.neighbors) {

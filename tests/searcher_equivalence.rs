@@ -52,7 +52,7 @@ fn every_cosine_algorithm_matches_its_searcher_composition() {
             continue; // PPJoin+ is covered by the jaccard test below.
         }
         let legacy = run_algorithm(algo, &data, &cfg);
-        let mut searcher = Searcher::builder(cfg)
+        let searcher = Searcher::builder(cfg)
             .algorithm(algo)
             .build(data.clone())
             .unwrap();
@@ -72,7 +72,7 @@ fn every_jaccard_algorithm_matches_its_searcher_composition() {
     let cfg = PipelineConfig::jaccard(0.5);
     for algo in Algorithm::ALL {
         let legacy = run_algorithm(algo, &data, &cfg);
-        let mut searcher = Searcher::builder(cfg)
+        let searcher = Searcher::builder(cfg)
             .algorithm(algo)
             .build(data.clone())
             .unwrap();
@@ -90,7 +90,7 @@ fn lazy_hash_mode_is_equivalent_too() {
     let data = corpus(303);
     let cfg = PipelineConfig::cosine(0.7);
     let legacy = run_algorithm(Algorithm::LshBayesLsh, &data, &cfg);
-    let mut searcher = Searcher::builder(cfg)
+    let searcher = Searcher::builder(cfg)
         .algorithm(Algorithm::LshBayesLsh)
         .hash_mode(HashMode::Lazy)
         .build(data)
@@ -104,7 +104,7 @@ fn queries_do_not_rehash_the_corpus() {
     // The acceptance bar for build-once/query-many: one build pays for all
     // corpus hashing; N point queries add nothing.
     let data = corpus(304);
-    let mut searcher = Searcher::builder(PipelineConfig::cosine(0.7))
+    let searcher = Searcher::builder(PipelineConfig::cosine(0.7))
         .algorithm(Algorithm::LshBayesLsh)
         .build(data)
         .unwrap();
@@ -212,7 +212,7 @@ fn searcher_builder_reports_typed_errors() {
 #[test]
 fn top_k_agrees_with_brute_force_mostly() {
     let data = corpus(308);
-    let mut searcher = Searcher::builder(PipelineConfig::cosine(0.5))
+    let searcher = Searcher::builder(PipelineConfig::cosine(0.5))
         .build(data)
         .unwrap();
     let k = 5;

@@ -83,7 +83,7 @@ fn assert_equivalent(
         .unwrap_or_else(|e| panic!("{ctx}: build failed: {e}"));
     let sharded =
         ShardedSearcher::open_with(&dir.join(MANIFEST_FILE), par, LoadPolicy::Eager).unwrap();
-    let mut single = Searcher::builder(cfg)
+    let single = Searcher::builder(cfg)
         .algorithm(algo)
         .parallelism(par)
         .build(data.clone())
@@ -213,10 +213,110 @@ fn insert_into_shard_then_query_stays_equivalent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Removes route through the id map to the owning shard, stay
+/// bit-identical to a single index applying the same removals, and the
+/// compacted shards round-trip through their snapshots under the same
+/// manifest partition (ids are stable across compaction).
+#[test]
+fn remove_and_compact_stay_equivalent_and_roundtrip_snapshots() {
+    let data = corpus(409);
+    let cfg = PipelineConfig::cosine(0.7);
+    let dir = scratch("remove");
+    let par = Parallelism::threads(2);
+    ShardBuilder::new(cfg)
+        .algorithm(Algorithm::LshBayesLshLite)
+        .shards(3)
+        .partition(PartitionFn::Hashed { seed: 5 })
+        .parallelism(par)
+        .build_to_dir(&data, &dir)
+        .unwrap();
+    let sharded =
+        ShardedSearcher::open_with(&dir.join(MANIFEST_FILE), par, LoadPolicy::Eager).unwrap();
+    let mut single = Searcher::builder(cfg)
+        .algorithm(Algorithm::LshBayesLshLite)
+        .parallelism(par)
+        .build(data.clone())
+        .unwrap();
+
+    // Build the merged batch-join index first so the remove-sync path is
+    // exercised too.
+    assert_eq!(
+        pair_bits(&sharded.all_pairs().unwrap().pairs),
+        pair_bits(&single.all_pairs().unwrap().pairs)
+    );
+
+    for victim in [4u32, 17, 31] {
+        assert!(sharded.remove(victim).unwrap());
+        assert!(single.remove(victim).unwrap());
+        assert!(!sharded.remove(victim).unwrap(), "double remove is a no-op");
+    }
+    assert_eq!(sharded.pending_removals(), 3);
+    assert!(matches!(
+        sharded.remove(data.len() as u32 + 50),
+        Err(ShardError::Search(_))
+    ));
+
+    let compare = |sharded: &ShardedSearcher, single: &Searcher, what: &str| {
+        for qid in [0u32, 4, 17, 31, 39] {
+            let q = data.vector(qid).clone();
+            let sa = sharded.query(&q, 0.7).unwrap();
+            let sb = single.query(&q, 0.7).unwrap();
+            assert_eq!(
+                neighbor_bits(&sa.neighbors),
+                neighbor_bits(&sb.neighbors),
+                "{what}: query {qid}"
+            );
+            let ka = sharded.top_k(&q, 4, &KnnParams::default()).unwrap();
+            let kb = single.top_k(&q, 4, &KnnParams::default()).unwrap();
+            assert_eq!(
+                neighbor_bits(&ka.neighbors),
+                neighbor_bits(&kb.neighbors),
+                "{what}: top_k {qid}"
+            );
+        }
+    };
+    compare(&sharded, &single, "tombstoned");
+
+    // Compaction reclaims the tombstones on every surface, including the
+    // merged join index, and results are unchanged.
+    assert_eq!(sharded.compact(), 3);
+    assert_eq!(single.compact(), 3);
+    assert_eq!(sharded.pending_removals(), 0);
+    assert_eq!(sharded.len(), single.len(), "ids stay stable");
+    compare(&sharded, &single, "compacted");
+    assert_eq!(
+        pair_bits(&sharded.all_pairs().unwrap().pairs),
+        pair_bits(&single.all_pairs().unwrap().pairs)
+    );
+
+    // Round-trip: save the compacted shards under the same manifest and
+    // reopen; the reloaded set must serve the same bits.
+    let manifest = ShardManifest::load(&dir.join(MANIFEST_FILE)).unwrap();
+    let mut doctored = manifest.clone();
+    let generation = sharded.generation();
+    for (s, entry) in doctored.shards.iter_mut().enumerate() {
+        let mut buf = Vec::new();
+        // Write each compacted shard searcher back out via the public
+        // snapshot API, exactly as a re-shard job would.
+        generation
+            .with_searcher(s, |sr| sr.save(&mut buf))
+            .unwrap()
+            .unwrap();
+        entry.checksum = bayeslsh::numeric::fnv1a_checksum(&buf);
+        std::fs::write(dir.join(&entry.file), &buf).unwrap();
+    }
+    std::fs::write(dir.join(MANIFEST_FILE), doctored.to_bytes()).unwrap();
+    let reopened =
+        ShardedSearcher::open_with(&dir.join(MANIFEST_FILE), par, LoadPolicy::Eager).unwrap();
+    compare(&reopened, &single, "reopened");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Hot swap: a sweep that grabs its generation keeps serving the old
-/// corpus across a reload, new requests see the new corpus, and the new
-/// generation's answers are bit-identical to a single index over the
-/// new corpus.
+/// corpus across a reload, new requests see the old corpus until the
+/// swap, and the new generation's answers are bit-identical to a single
+/// index over the new corpus.
 #[test]
 fn reload_mid_sweep_swaps_generations_atomically() {
     let cfg = PipelineConfig::cosine(0.7);
@@ -235,7 +335,7 @@ fn reload_mid_sweep_swaps_generations_atomically() {
     build(&old_data, 3);
     let sharded =
         ShardedSearcher::open_with(&dir.join(MANIFEST_FILE), par, LoadPolicy::Eager).unwrap();
-    let mut old_single = Searcher::builder(cfg)
+    let old_single = Searcher::builder(cfg)
         .algorithm(Algorithm::LshBayesLshLite)
         .parallelism(par)
         .build(old_data.clone())
@@ -266,7 +366,7 @@ fn reload_mid_sweep_swaps_generations_atomically() {
     assert_eq!(sharded.shard_count(), 5);
 
     // Second half of the sweep: new generation, still bit-identical.
-    let mut new_single = Searcher::builder(cfg)
+    let new_single = Searcher::builder(cfg)
         .algorithm(Algorithm::LshBayesLshLite)
         .parallelism(par)
         .build(new_data.clone())
@@ -303,7 +403,7 @@ fn failed_reload_keeps_the_current_generation_serving() {
         .unwrap();
     let manifest_path = dir.join(MANIFEST_FILE);
     let sharded = ShardedSearcher::open_with(&manifest_path, par, LoadPolicy::Eager).unwrap();
-    let mut single = Searcher::builder(cfg)
+    let single = Searcher::builder(cfg)
         .algorithm(Algorithm::LshBayesLshLite)
         .parallelism(par)
         .build(data.clone())

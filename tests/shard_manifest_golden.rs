@@ -81,7 +81,7 @@ fn golden_v1_shard_set_opens_and_matches_a_fresh_build() {
                 "golden shard set no longer opens — if the manifest or snapshot format changed \
          on purpose, bump the format version and regenerate the fixture",
             );
-    let mut fresh = Searcher::builder(PipelineConfig::cosine(0.7))
+    let fresh = Searcher::builder(PipelineConfig::cosine(0.7))
         .algorithm(Algorithm::LshBayesLshLite)
         .parallelism(Parallelism::serial())
         .build(fixture_corpus())

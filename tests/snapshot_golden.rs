@@ -74,11 +74,11 @@ fn golden_v1_fixture_loads_and_matches_a_fresh_build() {
     assert_eq!(header.threads, 1);
 
     // Full load, then bit-identical behaviour versus a fresh build.
-    let mut loaded = Searcher::load(&bytes[..]).expect(
+    let loaded = Searcher::load(&bytes[..]).expect(
         "golden snapshot no longer loads — if the format changed on purpose, bump \
          SNAPSHOT_FORMAT_VERSION and regenerate the fixture",
     );
-    let mut fresh = fixture_searcher();
+    let fresh = fixture_searcher();
     assert_eq!(loaded.hash_count(), fresh.hash_count());
 
     let (a, b) = (fresh.all_pairs().unwrap(), loaded.all_pairs().unwrap());

@@ -159,8 +159,8 @@ fn lazy_mode_with_uneven_signature_depths_roundtrips() {
             .build(data.clone())
             .unwrap()
     };
-    let mut fresh = build();
-    let mut to_save = build();
+    let fresh = build();
+    let to_save = build();
     // Deepen some signatures on both, identically, before the save.
     for qid in [0u32, 9, 17] {
         let q = data.vector(qid).clone();
@@ -169,7 +169,7 @@ fn lazy_mode_with_uneven_signature_depths_roundtrips() {
     }
     let mut snapshot = Vec::new();
     to_save.save(&mut snapshot).unwrap();
-    let mut loaded = Searcher::load(&snapshot[..]).unwrap();
+    let loaded = Searcher::load(&snapshot[..]).unwrap();
     assert_eq!(loaded.hash_mode(), HashMode::Lazy);
     assert_eq!(loaded.hash_count(), fresh.hash_count());
     // The same queries again hash nothing new on either side...
