@@ -17,7 +17,13 @@
 //!    timing the steady-state path alone: signatures pre-extended, then the
 //!    run-major batched engine counts agreements through the word-parallel
 //!    XOR + popcount kernels — the popcount-bound ceiling of the system.
-//! 4. **End-to-end all-pairs wall time** per preset.
+//! 4. **SPRT verification throughput** — the same cold-pool workload
+//!    through the sequential-test verifier, whose early accept/prune
+//!    boundaries and shallow signature cap buy both fewer hash
+//!    comparisons per accepted pair and less lazy hashing than the fixed
+//!    concentration schedule. Every verify row also reports
+//!    `hashes_per_accepted_pair`, the adaptive-verification cost metric.
+//! 5. **End-to-end all-pairs wall time** per preset.
 //!
 //! Everything is returned as structured rows; JSON serialization, the
 //! schema check the CI smoke job runs, and the [`assert_floor`] regression
@@ -26,12 +32,14 @@
 use std::time::Instant;
 
 use bayeslsh_core::{
-    bayes_verify, candidate_ids, par_bayes_verify, run_algorithm, Algorithm, BayesLshConfig,
-    CosineModel,
+    bayes_verify, candidate_ids, par_bayes_verify, run_algorithm, sprt_verify, Algorithm,
+    BayesLshConfig, CosineModel, PipelineConfig,
 };
 use bayeslsh_datasets::{generate, CorpusConfig, Preset};
-use bayeslsh_lsh::{generate_plane, quantized, BitSignatures, MinHasher, SrpHasher};
-use bayeslsh_sparse::{Dataset, SparseVector};
+use bayeslsh_lsh::{
+    cos_to_r, generate_plane, quantized, r_to_cos, BitSignatures, MinHasher, SrpHasher,
+};
+use bayeslsh_sparse::{cosine, Dataset, SparseVector};
 
 /// One side of a kernel comparison.
 #[derive(Debug, Clone)]
@@ -66,6 +74,9 @@ pub struct VerifyBench {
     pub pairs_per_s: f64,
     /// Hash comparisons performed (pruning effectiveness context).
     pub hash_comparisons: u64,
+    /// Hash comparisons per accepted pair — the adaptive-verification cost
+    /// metric (0.0 when nothing was accepted).
+    pub hashes_per_accepted_pair: f64,
 }
 
 /// End-to-end all-pairs wall time for one preset.
@@ -99,6 +110,9 @@ pub struct BaselineReport {
     /// Steady-state batched verification throughput (pool pre-extended, so
     /// the engine is pure agreement counting + posterior arithmetic).
     pub verify_batched: VerifyBench,
+    /// SPRT sequential-test verification throughput (cold pool, hashing
+    /// included — directly comparable to `verify`).
+    pub sprt_verify: VerifyBench,
     /// End-to-end preset timings.
     pub end_to_end: Vec<EndToEndRow>,
 }
@@ -299,6 +313,41 @@ pub fn verify_bench(scale: f64, seed: u64) -> VerifyBench {
         secs,
         pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
         hash_comparisons: stats.hash_comparisons,
+        hashes_per_accepted_pair: stats.hashes_per_accepted_pair(),
+    }
+}
+
+/// SPRT verification throughput: the sequential-test verifier over the
+/// identical cold-pool workload as [`verify_bench`] — same corpus, same
+/// candidate set, same threshold, signatures hashed lazily as chunks are
+/// demanded. The SPRT's Wald boundaries decide most pairs within a few
+/// 32-hash chunks and its signature cap is a quarter of the Bayesian
+/// schedule's, so both the hashing bill and the per-pair comparison count
+/// drop; undecided pairs at the cap fall back to one exact similarity.
+pub fn sprt_verify_bench(scale: f64, seed: u64) -> VerifyBench {
+    let (data, candidates, _) = verify_workload(scale, seed);
+    let cfg = PipelineConfig::cosine(0.7).sprt();
+    let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
+    let mut hasher = SrpHasher::new(data.dim(), seed ^ 0xBE7);
+    hasher.ensure_planes(depth as usize);
+    let mut pool = BitSignatures::new(hasher, data.len());
+    let start = Instant::now();
+    let (_, stats) = sprt_verify(
+        &data,
+        &mut pool,
+        &candidates,
+        &cfg,
+        cos_to_r,
+        r_to_cos,
+        |a: &SparseVector, b: &SparseVector| cosine(a, b),
+    );
+    let secs = start.elapsed().as_secs_f64();
+    VerifyBench {
+        pairs: candidates.len() as u64,
+        secs,
+        pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
+        hash_comparisons: stats.hash_comparisons,
+        hashes_per_accepted_pair: stats.hashes_per_accepted_pair(),
     }
 }
 
@@ -315,16 +364,19 @@ pub fn verify_batched_bench(scale: f64, seed: u64) -> VerifyBench {
     pool.par_ensure_ids(&data, &ids, depth, 1);
     let model = CosineModel::new();
     let mut hash_comparisons = 0u64;
+    let mut hashes_per_accepted_pair = 0.0f64;
     let secs = best_of(REPS, || {
         let (pairs, stats) = par_bayes_verify(&pool, &model, &candidates, &cfg, 1);
         std::hint::black_box(pairs.len());
         hash_comparisons = stats.hash_comparisons;
+        hashes_per_accepted_pair = stats.hashes_per_accepted_pair();
     });
     VerifyBench {
         pairs: candidates.len() as u64,
         secs,
         pairs_per_s: candidates.len() as f64 / secs.max(1e-12),
         hash_comparisons,
+        hashes_per_accepted_pair,
     }
 }
 
@@ -356,8 +408,19 @@ pub fn run(scale: f64, seed: u64) -> BaselineReport {
         minhash: minhash_bench(seed),
         verify: verify_bench(scale, seed),
         verify_batched: verify_batched_bench(scale, seed),
+        sprt_verify: sprt_verify_bench(scale, seed),
         end_to_end: end_to_end(scale, seed),
     }
+}
+
+fn json_verify(b: &VerifyBench) -> String {
+    format!(
+        concat!(
+            "{{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, ",
+            "\"hash_comparisons\": {}, \"hashes_per_accepted_pair\": {:.1}}}"
+        ),
+        b.pairs, b.secs, b.pairs_per_s, b.hash_comparisons, b.hashes_per_accepted_pair
+    )
 }
 
 fn json_kernel(b: &KernelBench) -> String {
@@ -394,14 +457,15 @@ impl BaselineReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"bayeslsh-bench-baseline-v2\",\n",
+                "  \"schema\": \"bayeslsh-bench-baseline-v3\",\n",
                 "  \"scale\": {},\n",
                 "  \"seed\": {},\n",
                 "  \"cores\": {},\n",
                 "  \"srp\": {},\n",
                 "  \"minhash\": {},\n",
-                "  \"verify\": {{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, \"hash_comparisons\": {}}},\n",
-                "  \"verify_batched\": {{\"pairs\": {}, \"secs\": {:.4}, \"pairs_per_s\": {:.1}, \"hash_comparisons\": {}}},\n",
+                "  \"verify\": {},\n",
+                "  \"verify_batched\": {},\n",
+                "  \"sprt_verify\": {},\n",
                 "  \"end_to_end\": [\n{}\n  ]\n",
                 "}}\n"
             ),
@@ -410,14 +474,9 @@ impl BaselineReport {
             self.cores,
             json_kernel(&self.srp),
             json_kernel(&self.minhash),
-            self.verify.pairs,
-            self.verify.secs,
-            self.verify.pairs_per_s,
-            self.verify.hash_comparisons,
-            self.verify_batched.pairs,
-            self.verify_batched.secs,
-            self.verify_batched.pairs_per_s,
-            self.verify_batched.hash_comparisons,
+            json_verify(&self.verify),
+            json_verify(&self.verify_batched),
+            json_verify(&self.sprt_verify),
             e2e.join(",\n")
         )
     }
@@ -446,11 +505,12 @@ fn section_slice<'a>(s: &'a str, section: &str) -> Option<&'a str> {
 
 /// The throughput keys the CI `bench-regression` job holds the line on, as
 /// `(section, key)` pairs scoped exactly like [`validate_json`].
-const FLOOR_KEYS: [(&str, &str); 4] = [
+const FLOOR_KEYS: [(&str, &str); 5] = [
     ("\"srp\":", "kernel_components_per_s"),
     ("\"minhash\":", "kernel_components_per_s"),
     ("\"verify\":", "pairs_per_s"),
     ("\"verify_batched\":", "pairs_per_s"),
+    ("\"sprt_verify\":", "pairs_per_s"),
 ];
 
 /// Fraction of a committed throughput a fresh run must retain. CI runners
@@ -493,7 +553,7 @@ pub fn assert_floor(committed: &str, fresh: &str) -> Result<Vec<String>, String>
 /// itself, before declaring success) runs, so the perf-reporting pipeline
 /// cannot silently rot.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v2\"") {
+    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v3\"") {
         return Err("missing or wrong schema marker".into());
     }
     for section in [
@@ -501,6 +561,7 @@ pub fn validate_json(s: &str) -> Result<(), String> {
         "\"minhash\":",
         "\"verify\":",
         "\"verify_batched\":",
+        "\"sprt_verify\":",
         "\"end_to_end\":",
     ] {
         if !s.contains(section) {
@@ -528,6 +589,7 @@ pub fn validate_json(s: &str) -> Result<(), String> {
         ),
         ("\"verify\":", &["pairs_per_s"][..]),
         ("\"verify_batched\":", &["pairs_per_s"][..]),
+        ("\"sprt_verify\":", &["pairs_per_s"][..]),
     ] {
         let sub = section_slice(s, section).ok_or_else(|| format!("missing section {section}"))?;
         for key in keys {
@@ -536,6 +598,16 @@ pub fn validate_json(s: &str) -> Result<(), String> {
                 Some(v) => return Err(format!("{section} {key} = {v}, expected > 0")),
                 None => return Err(format!("{section} missing numeric {key}")),
             }
+        }
+    }
+    // The adaptive-cost metric rides on every verify row; zero is legal
+    // (nothing accepted) but absence is schema rot.
+    for section in ["\"verify\":", "\"verify_batched\":", "\"sprt_verify\":"] {
+        let sub = section_slice(s, section).ok_or_else(|| format!("missing section {section}"))?;
+        match json_number(sub, "hashes_per_accepted_pair") {
+            Some(v) if v >= 0.0 => {}
+            Some(v) => return Err(format!("{section} hashes_per_accepted_pair = {v} < 0")),
+            None => return Err(format!("{section} missing hashes_per_accepted_pair")),
         }
     }
     if !s.contains("\"preset\":") {
@@ -616,12 +688,21 @@ mod tests {
                 secs: 0.1,
                 pairs_per_s: 100.0,
                 hash_comparisons: 320,
+                hashes_per_accepted_pair: 64.0,
             },
             verify_batched: VerifyBench {
                 pairs: 10,
                 secs: 0.01,
                 pairs_per_s: 1000.0,
                 hash_comparisons: 320,
+                hashes_per_accepted_pair: 64.0,
+            },
+            sprt_verify: VerifyBench {
+                pairs: 10,
+                secs: 0.05,
+                pairs_per_s: 200.0,
+                hash_comparisons: 160,
+                hashes_per_accepted_pair: 32.0,
             },
             end_to_end: vec![EndToEndRow {
                 preset: "RCV1".into(),
@@ -692,6 +773,11 @@ mod tests {
         r.verify_batched.pairs_per_s = 500.0;
         let err = assert_floor(&committed, &r.to_json()).unwrap_err();
         assert!(err.contains("verify_batched"));
+        // The SPRT row is gated too.
+        let mut r = sample_report();
+        r.sprt_verify.pairs_per_s = 50.0;
+        let err = assert_floor(&committed, &r.to_json()).unwrap_err();
+        assert!(err.contains("sprt_verify"));
         // A fresh emit missing a gated section is an error, not a pass.
         let truncated = committed.replace("\"verify_batched\":", "\"vb\":");
         assert!(assert_floor(&committed, &truncated).is_err());

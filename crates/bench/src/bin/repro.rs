@@ -281,6 +281,11 @@ fn run_serve(args: &Args) {
                 fmt_count(r.n_vectors as u64),
             );
             println!(
+                "verifier cost: {} hash comparisons ({:.1} per accepted neighbor)",
+                fmt_count(r.hashes_compared),
+                r.hashes_per_accepted_pair,
+            );
+            println!(
                 "banding FNR: achieved {:.4} vs requested {:.4}{}",
                 r.achieved_fnr,
                 r.requested_fnr,
@@ -448,7 +453,7 @@ fn run_serve_loop(args: &Args) {
 }
 
 fn run_bench_baseline(args: &Args) {
-    let out = args.out_or("BENCH_6.json");
+    let out = args.out_or("BENCH_9.json");
     banner(&format!(
         "Perf baseline: hashing kernels + verification (scale {}, -> {out})",
         args.scale
@@ -476,17 +481,34 @@ fn run_bench_baseline(args: &Args) {
         )
     );
     println!(
-        "verify (cold pool): {} pairs in {} ({} pairs/s, {} hash comparisons)",
+        "verify (cold pool): {} pairs in {} ({} pairs/s, {} hash comparisons, \
+         {:.1} hashes/accepted pair)",
         fmt_count(report.verify.pairs),
         fmt_secs(report.verify.secs),
         fmt_count(report.verify.pairs_per_s as u64),
         fmt_count(report.verify.hash_comparisons),
+        report.verify.hashes_per_accepted_pair,
     );
     println!(
         "verify (batched, pre-hashed): {} pairs in {} ({} pairs/s)",
         fmt_count(report.verify_batched.pairs),
         fmt_secs(report.verify_batched.secs),
         fmt_count(report.verify_batched.pairs_per_s as u64),
+    );
+    println!(
+        "sprt verify (cold pool): {} pairs in {} ({} pairs/s, {} hash comparisons, \
+         {:.1} hashes/accepted pair)",
+        fmt_count(report.sprt_verify.pairs),
+        fmt_secs(report.sprt_verify.secs),
+        fmt_count(report.sprt_verify.pairs_per_s as u64),
+        fmt_count(report.sprt_verify.hash_comparisons),
+        report.sprt_verify.hashes_per_accepted_pair,
+    );
+    println!(
+        "sprt vs bayes: {:.2}x pairs/s, {:.1} vs {:.1} hashes/accepted pair",
+        report.sprt_verify.pairs_per_s / report.verify.pairs_per_s.max(1e-12),
+        report.sprt_verify.hashes_per_accepted_pair,
+        report.verify.hashes_per_accepted_pair,
     );
     for row in &report.end_to_end {
         println!(

@@ -111,6 +111,11 @@ pub struct ServeReport {
     pub queries: usize,
     /// Total wall time of those queries on the loaded searcher.
     pub query_secs: f64,
+    /// Hash comparisons the verifier spent across the query sweep.
+    pub hashes_compared: u64,
+    /// Hash comparisons per accepted neighbor over the sweep — the
+    /// adaptive-verification cost metric (0.0 when nothing matched).
+    pub hashes_per_accepted_pair: f64,
     /// False-negative rate the banding plan was asked for.
     pub requested_fnr: f64,
     /// Expected false-negative rate the plan actually achieves at the
@@ -170,12 +175,16 @@ pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
 
     let qids: Vec<u32> = (0..loaded.len() as u32).step_by(7).collect();
     let mut query_secs = 0.0;
+    let mut hashes_compared = 0u64;
+    let mut accepted = 0u64;
     for &qid in &qids {
         let q = rebuilt.data().vector(qid).clone();
         let want = rebuilt.query(&q, 0.7).map_err(|e| e.to_string())?;
         let start = Instant::now();
         let got = loaded.query(&q, 0.7).map_err(|e| e.to_string())?;
         query_secs += start.elapsed().as_secs_f64();
+        hashes_compared += got.stats.hash_comparisons;
+        accepted += got.neighbors.len() as u64;
         if want.neighbors.len() != got.neighbors.len()
             || want
                 .neighbors
@@ -197,6 +206,12 @@ pub fn serve(scale: f64, seed: u64, path: &str) -> Result<ServeReport, String> {
         speedup: rebuild_secs / load_secs.max(1e-12),
         queries: qids.len(),
         query_secs,
+        hashes_compared,
+        hashes_per_accepted_pair: if accepted == 0 {
+            0.0
+        } else {
+            hashes_compared as f64 / accepted as f64
+        },
         requested_fnr: plan.requested_fnr,
         achieved_fnr: plan.achieved_fnr,
         fnr_clamped: plan.clamped,

@@ -25,7 +25,7 @@ use bayeslsh_candgen::{
     lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex, BandingParams,
 };
 use bayeslsh_lsh::{
-    count_bit_agreements, count_bit_agreements_batched, count_int_agreements,
+    cos_to_r, count_bit_agreements, count_bit_agreements_batched, count_int_agreements,
     count_int_agreements_batched, r_to_cos, BitSignatures, IntSignatures, MinHasher, SignaturePool,
     SrpHasher,
 };
@@ -33,12 +33,13 @@ use bayeslsh_numeric::{derive_seed, Xoshiro256};
 use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset, SparseVector};
 
 use crate::cosine_model::CosineModel;
-use crate::engine::{bayes_verify, bayes_verify_lite, EngineStats};
+use crate::engine::{bayes_verify, bayes_verify_lite, sprt_verify, EngineStats};
 use crate::error::SearchError;
 use crate::estimator::mle_verify;
 use crate::jaccard_model::JaccardModel;
 use crate::parallel::{
     candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
+    par_sprt_verify,
 };
 use crate::pipeline::{PipelineConfig, PriorChoice};
 
@@ -358,6 +359,10 @@ pub enum VerifierKind {
     Bayes,
     /// BayesLSH-Lite (Algorithm 2): prune, then verify survivors exactly.
     BayesLite,
+    /// Wald sequential probability-ratio test: adaptive early-accept /
+    /// early-prune per chunk, exact fallback for pairs still undecided at
+    /// the hash cap.
+    Sprt,
 }
 
 impl VerifierKind {
@@ -368,6 +373,7 @@ impl VerifierKind {
             VerifierKind::Mle => "MLE",
             VerifierKind::Bayes => "BayesLSH",
             VerifierKind::BayesLite => "BayesLSH-Lite",
+            VerifierKind::Sprt => "SPRT",
         }
     }
 
@@ -378,6 +384,7 @@ impl VerifierKind {
             VerifierKind::Mle => Box::new(MleVerifier),
             VerifierKind::Bayes => Box::new(BayesVerifier),
             VerifierKind::BayesLite => Box::new(BayesLiteVerifier),
+            VerifierKind::Sprt => Box::new(SprtVerifier),
         }
     }
 
@@ -390,6 +397,7 @@ impl VerifierKind {
             VerifierKind::Mle => cfg.approx_hashes,
             VerifierKind::Bayes => (cfg.max_hashes / chunk).max(1) * chunk,
             VerifierKind::BayesLite => (cfg.lite_h / chunk).max(1) * chunk,
+            VerifierKind::Sprt => (cfg.sprt().max_hashes / chunk).max(1) * chunk,
         }
     }
 }
@@ -456,7 +464,13 @@ pub struct CompositionOutput {
     pub verify_secs: f64,
     /// Total wall-clock seconds.
     pub total_secs: f64,
-    /// Verification statistics (Bayesian verifiers only).
+    /// Per-pair hash comparisons spent by the verifier (0 for exact
+    /// verification, which never consults hashes).
+    pub hashes_compared: u64,
+    /// Hash comparisons per accepted pair — the adaptive-verification cost
+    /// metric (0.0 when nothing was accepted or no hashes were compared).
+    pub hashes_per_accepted_pair: f64,
+    /// Verification statistics (hash-based pruning verifiers only).
     pub engine: Option<EngineStats>,
 }
 
@@ -501,6 +515,8 @@ pub(crate) fn run_composition_prechecked(
                 candgen_secs: total,
                 verify_secs: 0.0,
                 total_secs: total,
+                hashes_compared: 0,
+                hashes_per_accepted_pair: 0.0,
                 engine: None,
             });
         }
@@ -511,6 +527,10 @@ pub(crate) fn run_composition_prechecked(
     let verify_start = Instant::now();
     let (mut pairs, engine) = verifier.verify(ctx, &candidates);
     canonical_order(&mut pairs);
+    let hashes_compared = engine.as_ref().map_or(0, |s| s.hash_comparisons);
+    let hashes_per_accepted_pair = engine
+        .as_ref()
+        .map_or(0.0, |s| s.hashes_per_accepted_pair());
     Ok(CompositionOutput {
         composition: comp,
         pairs,
@@ -518,6 +538,8 @@ pub(crate) fn run_composition_prechecked(
         candgen_secs,
         verify_secs: verify_start.elapsed().as_secs_f64(),
         total_secs: start.elapsed().as_secs_f64(),
+        hashes_compared,
+        hashes_per_accepted_pair,
         engine,
     })
 }
@@ -771,6 +793,54 @@ impl Verifier for BayesLiteVerifier {
     }
 }
 
+/// SPRT verification: Wald sequential hypothesis tests per pair.
+struct SprtVerifier;
+
+impl Verifier for SprtVerifier {
+    fn name(&self) -> &'static str {
+        VerifierKind::Sprt.name()
+    }
+
+    fn verify(
+        &self,
+        ctx: &mut SearchContext<'_>,
+        candidates: &[(u32, u32)],
+    ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
+        let cfg = ctx.cfg.sprt();
+        let threads = ctx.cfg.parallelism.resolve();
+        if threads > 1 {
+            let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
+            let ids = candidate_ids(candidates, ctx.data.len());
+            ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
+            let (pairs, stats) = match ctx.cfg.measure {
+                Measure::Cosine => par_sprt_verify(
+                    ctx.data, &*ctx.pool, candidates, &cfg, cos_to_r, r_to_cos, cosine, threads,
+                ),
+                Measure::Jaccard => par_sprt_verify(
+                    ctx.data,
+                    &*ctx.pool,
+                    candidates,
+                    &cfg,
+                    |s| s,
+                    |f| f,
+                    jaccard,
+                    threads,
+                ),
+            };
+            return (pairs, Some(stats));
+        }
+        let (pairs, stats) = match ctx.cfg.measure {
+            Measure::Cosine => sprt_verify(
+                ctx.data, ctx.pool, candidates, &cfg, cos_to_r, r_to_cos, cosine,
+            ),
+            Measure::Jaccard => {
+                sprt_verify(ctx.data, ctx.pool, candidates, &cfg, |s| s, |f| f, jaccard)
+            }
+        };
+        (pairs, Some(stats))
+    }
+}
+
 /// Fit the Jaccard prior from a random sample of candidate pairs, per the
 /// paper's method-of-moments recipe.
 pub(crate) fn fit_jaccard_prior(
@@ -850,6 +920,10 @@ mod tests {
         assert_eq!(VerifierKind::Mle.signature_depth(&cfg), cfg.approx_hashes);
         assert_eq!(VerifierKind::Bayes.signature_depth(&cfg), 2048);
         assert_eq!(VerifierKind::BayesLite.signature_depth(&cfg), 128);
+        // SPRT scans Lite-style shallow: 4·lite_h, capped by max_hashes.
+        assert_eq!(VerifierKind::Sprt.signature_depth(&cfg), 512);
+        let cfg = PipelineConfig::jaccard(0.5);
+        assert_eq!(VerifierKind::Sprt.signature_depth(&cfg), 256);
     }
 
     #[test]

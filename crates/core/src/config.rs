@@ -113,9 +113,97 @@ impl LiteConfig {
     }
 }
 
+/// Parameters of the SPRT verifier: a Wald sequential probability-ratio
+/// test over the per-chunk agreement counts, deciding between
+/// `H1: S ≥ t + δ` (accept with an estimate) and `H0: S ≤ t − δ` (prune)
+/// with bounded error probabilities. Pairs still undecided at `max_hashes`
+/// fall back to one exact similarity computation, so output quality is
+/// never worse than BayesLSH-Lite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SprtConfig {
+    /// Similarity threshold `t`.
+    pub threshold: f64,
+    /// Recall bound α: a pair with `S ≥ t + δ` is pruned with probability
+    /// at most α (Wald's type-II error of the accept decision).
+    pub alpha: f64,
+    /// Precision bound β: a pair with `S ≤ t − δ` is accepted with
+    /// probability at most β.
+    pub beta: f64,
+    /// Indifference half-width δ: the test is indifferent on
+    /// `(t − δ, t + δ)`; such pairs terminate by the `max_hashes` fallback.
+    pub delta: f64,
+    /// Hashes compared per iteration (decision points sit at multiples).
+    pub k: u32,
+    /// Hard cap on hashes per pair; undecided pairs are verified exactly.
+    /// Deliberately shallow (Lite-style truncation): near-threshold pairs
+    /// carry almost no per-hash information, so past a few hundred hashes
+    /// one exact similarity is cheaper than continuing the scan. The cap
+    /// has no bearing on the α/β guarantees.
+    pub max_hashes: u32,
+}
+
+impl SprtConfig {
+    /// Defaults at threshold `t` for bit hashes (cosine), matching the
+    /// BayesLSH error budget (α = ε, β = γ, δ as the paper's δ).
+    pub fn cosine(threshold: f64) -> Self {
+        Self {
+            threshold,
+            alpha: 0.03,
+            beta: 0.03,
+            delta: 0.05,
+            k: 32,
+            max_hashes: 512,
+        }
+    }
+
+    /// Defaults at threshold `t` for integer hashes (Jaccard).
+    pub fn jaccard(threshold: f64) -> Self {
+        Self {
+            threshold,
+            alpha: 0.03,
+            beta: 0.03,
+            delta: 0.05,
+            k: 32,
+            max_hashes: 256,
+        }
+    }
+
+    /// Panic early on nonsensical settings.
+    pub fn validate(&self) {
+        assert!(
+            self.threshold > 0.0 && self.threshold <= 1.0,
+            "threshold {}",
+            self.threshold
+        );
+        assert!(self.alpha > 0.0 && self.alpha < 1.0, "alpha {}", self.alpha);
+        assert!(self.beta > 0.0 && self.beta < 1.0, "beta {}", self.beta);
+        assert!(self.delta > 0.0 && self.delta < 1.0, "delta {}", self.delta);
+        assert!(self.k >= 1, "k must be positive");
+        assert!(self.max_hashes >= self.k, "max_hashes below one chunk");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sprt_defaults_mirror_bayes_budget() {
+        let c = SprtConfig::cosine(0.7);
+        assert_eq!((c.alpha, c.beta, c.delta, c.k), (0.03, 0.03, 0.05, 32));
+        assert_eq!(c.max_hashes, 512);
+        assert_eq!(SprtConfig::jaccard(0.5).max_hashes, 256);
+        c.validate();
+        SprtConfig::jaccard(0.5).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_hashes")]
+    fn sprt_validate_rejects_cap_below_chunk() {
+        let mut c = SprtConfig::cosine(0.7);
+        c.max_hashes = 16;
+        c.validate();
+    }
 
     #[test]
     fn defaults_match_paper() {

@@ -18,9 +18,10 @@ use bayeslsh_lsh::SignaturePool;
 use bayeslsh_sparse::{Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
-use crate::config::{BayesLshConfig, LiteConfig};
+use crate::config::{BayesLshConfig, LiteConfig, SprtConfig};
 use crate::minmatch::MinMatchTable;
 use crate::posterior::PosteriorModel;
+use crate::sprt::SprtTable;
 
 /// Counters describing one verification run; the source of the paper's
 /// Figure 4 pruning curves and the cache/hashing cost discussion.
@@ -64,6 +65,17 @@ impl EngineStats {
         self.cache_misses += other.cache_misses;
         for (dst, src) in self.pruned_at_chunk.iter_mut().zip(&other.pruned_at_chunk) {
             *dst += src;
+        }
+    }
+
+    /// Hash comparisons spent per accepted pair — the verification-cost
+    /// metric the adaptive (SPRT) verifier optimizes. 0.0 when nothing was
+    /// accepted.
+    pub fn hashes_per_accepted_pair(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.hash_comparisons as f64 / self.accepted as f64
         }
     }
 
@@ -327,6 +339,107 @@ where
     (out, stats)
 }
 
+/// SPRT verification: a Wald sequential test over each pair's agreement
+/// stream, with per-chunk early-accept *and* early-prune boundaries (see
+/// [`SprtTable`]) and a bounded exact fallback for pairs still undecided at
+/// `cfg.max_hashes` — so output quality is never worse than BayesLSH-Lite
+/// while obviously-similar and obviously-junk pairs terminate after a
+/// handful of chunks.
+///
+/// `collision` maps a similarity to the hash family's per-hash agreement
+/// probability (`cos_to_r` for SRP bits, identity for minhashes),
+/// `estimate` maps an agreement fraction back to the similarity space
+/// (`r_to_cos` / identity), and `exact` computes the true similarity for
+/// the fallback. Scanning is run-major and batched exactly like
+/// [`bayes_verify`].
+pub fn sprt_verify<P, F>(
+    data: &Dataset,
+    pool: &mut P,
+    candidates: &[(u32, u32)],
+    cfg: &SprtConfig,
+    collision: impl Fn(f64) -> f64,
+    estimate: impl Fn(f64) -> f64,
+    exact: F,
+) -> (Vec<(u32, u32, f64)>, EngineStats)
+where
+    P: SignaturePool,
+    F: Fn(&SparseVector, &SparseVector) -> f64,
+{
+    let table = SprtTable::build(cfg, collision);
+    let k = cfg.k;
+    let max_chunks = (cfg.max_hashes / k).max(1);
+
+    let mut stats = EngineStats {
+        input_pairs: candidates.len() as u64,
+        k,
+        pruned_at_chunk: vec![0; max_chunks as usize],
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+
+    let mut scan = RunScan::default();
+    let mut i = 0usize;
+    while i < candidates.len() {
+        let j = run_end(candidates, i);
+        let run = &candidates[i..j];
+        let a = run[0].0;
+        let va = data.vector(a);
+        scan.reset(run.len());
+        let mut n = 0u32;
+        for c in 0..max_chunks {
+            if scan.alive.is_empty() {
+                break;
+            }
+            pool.ensure(a, va, n + k);
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let b = run[r as usize].1;
+                pool.ensure(b, data.vector(b), n + k);
+                scan.alive_ids.push(b);
+            }
+            pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
+            n += k;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t in 0..scan.alive.len() {
+                let r = scan.alive[t] as usize;
+                let m = scan.m[r] + scan.counts[t];
+                scan.m[r] = m;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    stats.pruned_at_chunk[c as usize] += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
+                } else if table.should_accept(m, n) {
+                    scan.verdicts[r] = RunVerdict::Emit(estimate(m as f64 / n as f64));
+                    stats.accepted += 1;
+                } else {
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
+                }
+            }
+            scan.alive.truncate(kept);
+        }
+        // Undecided at the cap (inside the indifference region): one exact
+        // check settles the pair, in candidate order.
+        for (r, &(_, b)) in run.iter().enumerate() {
+            match scan.verdicts[r] {
+                RunVerdict::Emit(est) => out.push((a, b, est)),
+                RunVerdict::Pending => {
+                    stats.exact_verifications += 1;
+                    let s = exact(va, data.vector(b));
+                    if s >= cfg.threshold {
+                        out.push((a, b, s));
+                        stats.accepted += 1;
+                    }
+                }
+                RunVerdict::Pruned => {}
+            }
+        }
+        i = j;
+    }
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +594,74 @@ mod tests {
         assert!(stats.hash_comparisons <= cands.len() as u64 * cfg.h as u64);
         // Exact verifications only for unpruned pairs.
         assert_eq!(stats.exact_verifications, stats.input_pairs - stats.pruned);
+    }
+
+    #[test]
+    fn sprt_meets_recall_with_fewer_hashes_than_bayes() {
+        use bayeslsh_lsh::{cos_to_r, r_to_cos};
+        let data = corpus(75);
+        let t = 0.7;
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 76), data.len());
+        let cfg = SprtConfig::cosine(t);
+        let (out, stats) = sprt_verify(&data, &mut pool, &cands, &cfg, cos_to_r, r_to_cos, cosine);
+
+        // Bookkeeping: every pair is pruned, accepted early, or settled by
+        // the exact fallback (which may reject without counting anywhere).
+        assert_eq!(stats.input_pairs, cands.len() as u64);
+        assert!(stats.pruned + stats.accepted <= stats.input_pairs);
+        assert!(stats.exact_verifications < stats.input_pairs / 10);
+
+        let gt = truth(&data, t, cosine);
+        assert!(gt.len() >= 30);
+        let out_keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let found = gt
+            .iter()
+            .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+            .count();
+        let recall = found as f64 / gt.len() as f64;
+        assert!(recall >= 0.9, "recall {recall}");
+
+        // The adaptive stopping rule must beat the concentration schedule
+        // on hash comparisons over the same candidates.
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 76), data.len());
+        let bayes_cfg = BayesLshConfig::cosine(t);
+        let (_, bayes_stats) =
+            bayes_verify(&data, &mut pool, &CosineModel::new(), &cands, &bayes_cfg);
+        assert!(
+            stats.hash_comparisons < bayes_stats.hash_comparisons,
+            "SPRT {} vs Bayes {} hash comparisons",
+            stats.hash_comparisons,
+            bayes_stats.hash_comparisons
+        );
+        assert!(stats.hashes_per_accepted_pair() > 0.0);
+    }
+
+    #[test]
+    fn sprt_jaccard_recall_and_empty_input() {
+        let data = corpus(77).binarized();
+        let t = 0.5;
+        let cfg = SprtConfig::jaccard(t);
+        let cands = all_pairs(data.len() as u32);
+        let mut pool = IntSignatures::new(MinHasher::new(78), data.len());
+        let (out, stats) = sprt_verify(&data, &mut pool, &cands, &cfg, |s| s, |f| f, jaccard);
+        let gt = truth(&data, t, jaccard);
+        assert!(gt.len() >= 30);
+        let out_keys: std::collections::HashSet<(u32, u32)> =
+            out.iter().map(|&(a, b, _)| (a, b)).collect();
+        let found = gt
+            .iter()
+            .filter(|&&(a, b, _)| out_keys.contains(&(a, b)))
+            .count();
+        assert!(found as f64 / gt.len() as f64 >= 0.9);
+        assert!(stats.pruned as f64 / stats.input_pairs as f64 > 0.8);
+
+        let mut pool = IntSignatures::new(MinHasher::new(78), data.len());
+        let (out, stats) = sprt_verify(&data, &mut pool, &[], &cfg, |s| s, |f| f, jaccard);
+        assert!(out.is_empty());
+        assert_eq!(stats.input_pairs, 0);
+        assert_eq!(stats.hashes_per_accepted_pair(), 0.0);
     }
 
     #[test]

@@ -42,6 +42,11 @@
 //! * [`knn`] — the paper's future-work item: **k-NN retrieval** where the
 //!   current k-th best similarity acts as a rising pruning threshold and
 //!   survivors are verified exactly.
+//! * [`sprt`] — an **adaptive SPRT verifier** (Wald sequential hypothesis
+//!   tests over the same agreement streams, after Chakrabarti &
+//!   Parthasarathy): per-chunk early-accept/early-prune integer boundaries
+//!   replace the fixed concentration schedule, with a bounded exact
+//!   fallback at the hash cap.
 
 //! ## Parallelism & determinism
 //!
@@ -55,8 +60,9 @@
 //! Whatever the thread count, batch and query output is **bit-identical to
 //! serial**: work is split into deterministic contiguous chunks, every
 //! worker computes a pure function of its chunk, and results merge in
-//! canonical order (`tests/parallel_equivalence.rs` pins this down for all
-//! eight algorithms). The only observable deltas are wall-clock time,
+//! canonical order (`tests/parallel_equivalence.rs` pins this down for
+//! every named composition, the paper's eight plus the SPRT verifier). The
+//! only observable deltas are wall-clock time,
 //! per-worker concentration-cache hit/miss splits, and — under
 //! [`searcher::HashMode::Lazy`] — candidate signatures being pre-extended
 //! to the verifier's scan depth before a parallel verification.
@@ -79,6 +85,7 @@ pub mod pipeline;
 pub mod posterior;
 pub mod searcher;
 pub mod serving;
+pub mod sprt;
 
 pub use bayeslsh_numeric::Parallelism;
 pub use bbit_model::BbitJaccardModel;
@@ -87,9 +94,9 @@ pub use compose::{
     run_composition, CandidateGenerator, Composition, CompositionOutput, GeneratorKind,
     SearchContext, SigPool, Verifier, VerifierKind,
 };
-pub use config::{BayesLshConfig, LiteConfig};
+pub use config::{BayesLshConfig, LiteConfig, SprtConfig};
 pub use cosine_model::CosineModel;
-pub use engine::{bayes_verify, bayes_verify_lite, EngineStats};
+pub use engine::{bayes_verify, bayes_verify_lite, sprt_verify, EngineStats};
 pub use error::SearchError;
 pub use estimator::mle_verify;
 pub use jaccard_model::JaccardModel;
@@ -98,6 +105,7 @@ pub use metrics::{estimate_errors, recall_against, ErrorStats};
 pub use minmatch::{MinMatchCache, MinMatchTable};
 pub use parallel::{
     candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
+    par_sprt_verify,
 };
 pub use persist::{SnapshotError, SnapshotHeader, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC};
 pub use pipeline::{run_algorithm, Algorithm, PipelineConfig, PriorChoice, RunOutput};
@@ -107,3 +115,4 @@ pub use searcher::{
     SearcherBuilder, TopKOutput,
 };
 pub use serving::{Epoch, ServingSearcher};
+pub use sprt::SprtTable;

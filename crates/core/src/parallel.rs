@@ -29,10 +29,11 @@ use bayeslsh_numeric::fan_out;
 use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
-use crate::config::{BayesLshConfig, LiteConfig};
+use crate::config::{BayesLshConfig, LiteConfig, SprtConfig};
 use crate::engine::{run_end, EngineStats, RunScan, RunVerdict};
 use crate::minmatch::MinMatchTable;
 use crate::posterior::PosteriorModel;
+use crate::sprt::SprtTable;
 
 /// The distinct object ids appearing in `candidates`, in first-encounter
 /// order — the id set a parallel verification must pre-hash. `n_objects`
@@ -303,6 +304,101 @@ where
     merge(candidates.len() as u64, k, max_chunks, results)
 }
 
+/// Parallel SPRT verification. Signatures must already cover the scan
+/// depth `(cfg.max_hashes / cfg.k).max(1) * cfg.k`; output and counters
+/// are identical to [`crate::engine::sprt_verify`] (every verdict is a
+/// pure function of the cumulative `(m, n)` at a chunk boundary, so the
+/// partition cannot move a decision).
+#[allow(clippy::too_many_arguments)]
+pub fn par_sprt_verify<P, F>(
+    data: &Dataset,
+    pool: &P,
+    candidates: &[(u32, u32)],
+    cfg: &SprtConfig,
+    collision: impl Fn(f64) -> f64,
+    estimate: impl Fn(f64) -> f64 + Sync,
+    exact: F,
+    threads: usize,
+) -> (Vec<(u32, u32, f64)>, EngineStats)
+where
+    P: SignaturePool + Sync,
+    F: Fn(&SparseVector, &SparseVector) -> f64 + Sync,
+{
+    let table = SprtTable::build(cfg, collision);
+    let k = cfg.k;
+    let max_chunks = (cfg.max_hashes / k).max(1);
+    let (table, estimate, exact) = (&table, &estimate, &exact);
+
+    let results = fan_out(candidates.len(), threads, |_, range| {
+        let mut stats = EngineStats {
+            k,
+            pruned_at_chunk: vec![0; max_chunks as usize],
+            ..Default::default()
+        };
+        let mut out = Vec::new();
+        // Same run-major batched scan as the serial engine; the pool is
+        // pre-extended, so no `ensure` calls here.
+        let slice = &candidates[range];
+        let mut scan = RunScan::default();
+        let mut i = 0usize;
+        while i < slice.len() {
+            let j = run_end(slice, i);
+            let run = &slice[i..j];
+            let a = run[0].0;
+            let va = data.vector(a);
+            scan.reset(run.len());
+            let mut n = 0u32;
+            for c in 0..max_chunks {
+                if scan.alive.is_empty() {
+                    break;
+                }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| run[r as usize].1));
+                pool.agreements_batched(a, &scan.alive_ids, n, n + k, &mut scan.counts);
+                n += k;
+                stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t in 0..scan.alive.len() {
+                    let r = scan.alive[t] as usize;
+                    let m = scan.m[r] + scan.counts[t];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        stats.pruned += 1;
+                        stats.pruned_at_chunk[c as usize] += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else if table.should_accept(m, n) {
+                        scan.verdicts[r] = RunVerdict::Emit(estimate(m as f64 / n as f64));
+                        stats.accepted += 1;
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
+                    }
+                }
+                scan.alive.truncate(kept);
+            }
+            for (r, &(_, b)) in run.iter().enumerate() {
+                match scan.verdicts[r] {
+                    RunVerdict::Emit(est) => out.push((a, b, est)),
+                    RunVerdict::Pending => {
+                        stats.exact_verifications += 1;
+                        let s = exact(va, data.vector(b));
+                        if s >= cfg.threshold {
+                            out.push((a, b, s));
+                            stats.accepted += 1;
+                        }
+                    }
+                    RunVerdict::Pruned => {}
+                }
+            }
+            i = j;
+        }
+        (out, stats)
+    });
+
+    merge(candidates.len() as u64, k, max_chunks, results)
+}
+
 /// One worker's verification output: surviving pairs plus its counters.
 type ChunkResult = (Vec<(u32, u32, f64)>, EngineStats);
 
@@ -332,9 +428,9 @@ fn merge(
 mod tests {
     use super::*;
     use crate::cosine_model::CosineModel;
-    use crate::engine::{bayes_verify, bayes_verify_lite};
+    use crate::engine::{bayes_verify, bayes_verify_lite, sprt_verify};
     use crate::estimator::mle_verify;
-    use bayeslsh_lsh::{r_to_cos, BitSignatures, SrpHasher};
+    use bayeslsh_lsh::{cos_to_r, r_to_cos, BitSignatures, SrpHasher};
     use bayeslsh_numeric::Xoshiro256;
     use bayeslsh_sparse::cosine;
 
@@ -396,6 +492,10 @@ mod tests {
             bayes_verify_lite(&data, &mut pool, &model, &cands, &lite, cosine);
         let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
         let (serial_mle, serial_comps) = mle_verify(&data, &mut pool, &cands, 256, 0.7, r_to_cos);
+        let sprt = SprtConfig::cosine(0.7);
+        let mut pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
+        let (serial_sprt, serial_sprt_stats) =
+            sprt_verify(&data, &mut pool, &cands, &sprt, cos_to_r, r_to_cos, cosine);
 
         let ids = candidate_ids(&cands, data.len());
         for threads in [1usize, 2, 4, 8] {
@@ -417,6 +517,19 @@ mod tests {
                 stats.exact_verifications,
                 serial_lite_stats.exact_verifications
             );
+
+            let (pairs, stats) = par_sprt_verify(
+                &data, &pool, &cands, &sprt, cos_to_r, r_to_cos, cosine, threads,
+            );
+            assert_eq!(pairs, serial_sprt, "sprt pairs, threads {threads}");
+            assert_eq!(stats.pruned, serial_sprt_stats.pruned);
+            assert_eq!(stats.accepted, serial_sprt_stats.accepted);
+            assert_eq!(
+                stats.exact_verifications,
+                serial_sprt_stats.exact_verifications
+            );
+            assert_eq!(stats.hash_comparisons, serial_sprt_stats.hash_comparisons);
+            assert_eq!(stats.pruned_at_chunk, serial_sprt_stats.pruned_at_chunk);
 
             let mut mle_pool = BitSignatures::new(SrpHasher::new(data.dim(), 402), data.len());
             mle_pool.par_ensure_ids(&data, &ids, 256, threads);

@@ -227,6 +227,7 @@ fn verifier_tag(v: VerifierKind) -> u8 {
         VerifierKind::Mle => 1,
         VerifierKind::Bayes => 2,
         VerifierKind::BayesLite => 3,
+        VerifierKind::Sprt => 4,
     }
 }
 
@@ -263,6 +264,7 @@ fn read_header<R: Read>(r: &mut WireReader<R>) -> Result<SnapshotHeader, Snapsho
         1 => VerifierKind::Mle,
         2 => VerifierKind::Bayes,
         3 => VerifierKind::BayesLite,
+        4 => VerifierKind::Sprt,
         other => return Err(corrupt(S, format!("unknown verifier tag {other}"))),
     };
     let hash_mode = match in_section(S, r.get_u8())? {

@@ -36,7 +36,7 @@ use bayeslsh_sparse::{similarity::Measure, Dataset};
 use crate::compose::{
     run_composition, Composition, GeneratorKind, SearchContext, SigPool, VerifierKind,
 };
-use crate::config::{BayesLshConfig, LiteConfig};
+use crate::config::{BayesLshConfig, LiteConfig, SprtConfig};
 use crate::engine::EngineStats;
 use crate::error::SearchError;
 
@@ -322,6 +322,28 @@ impl PipelineConfig {
             epsilon: self.epsilon,
             k: self.k,
             h: self.lite_h,
+        }
+    }
+
+    /// The engine configuration for SPRT verification. The Wald error
+    /// bounds reuse the Bayesian error budget: α (the probability of
+    /// pruning a pair with `S ≥ t`, i.e. the recall knob) is `epsilon`,
+    /// β (the probability of accepting a pair with `S ≤ t − δ`, the
+    /// precision knob) is `gamma`, and the indifference half-width is
+    /// `delta` — so a config tuned for BayesLSH carries the same guarantees
+    /// over unchanged. The hash cap is Lite-style shallow (4·`lite_h`,
+    /// never above `max_hashes`): a pair the sequential test has not
+    /// decided by then is settled by one exact similarity, so the cap
+    /// trades hash-comparison cost against exact-verification cost and
+    /// has no bearing on the α/β guarantees.
+    pub fn sprt(&self) -> SprtConfig {
+        SprtConfig {
+            threshold: self.threshold,
+            alpha: self.epsilon,
+            beta: self.gamma,
+            delta: self.delta,
+            k: self.k,
+            max_hashes: (4 * self.lite_h).clamp(self.k, self.max_hashes),
         }
     }
 

@@ -60,6 +60,7 @@ use crate::compose::{
     run_composition_prechecked, Composition, CompositionOutput, SearchContext, SigPool,
     VerifierKind,
 };
+use crate::config::SprtConfig;
 use crate::cosine_model::CosineModel;
 use crate::engine::{RunScan, RunVerdict};
 use crate::error::SearchError;
@@ -68,6 +69,7 @@ use crate::knn::{HeapItem, KnnParams, KnnStats};
 use crate::minmatch::{MinMatchCache, MinMatchTable};
 use crate::pipeline::{Algorithm, PipelineConfig};
 use crate::posterior::PosteriorModel;
+use crate::sprt::SprtTable;
 
 /// When corpus signatures are hashed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -675,6 +677,7 @@ impl Searcher {
                     stats,
                 ),
             },
+            VerifierKind::Sprt => self.query_sprt(pool, q, threshold, sig, cand_ids, stats),
         }
     }
 
@@ -728,6 +731,7 @@ impl Searcher {
                     stats,
                 ),
             },
+            VerifierKind::Sprt => self.par_query_sprt(pool, q, threshold, sig, cand_ids, stats),
         }
     }
 
@@ -1047,6 +1051,163 @@ impl Searcher {
             }
         }
         out
+    }
+
+    /// The SPRT boundary table for point queries at threshold `t`. Rebuilt
+    /// per query rather than memoized: unlike the [`MinMatchTable`] (whose
+    /// entries integrate posterior tails), building it is a handful of
+    /// logarithms plus a binary search per chunk — cheaper than a cache
+    /// lookup under contention.
+    fn query_sprt_table(&self, t: f64) -> (SprtConfig, SprtTable) {
+        let cfg = SprtConfig {
+            threshold: t,
+            ..self.cfg.sprt()
+        };
+        let table = match self.cfg.measure {
+            Measure::Cosine => SprtTable::build(&cfg, bayeslsh_lsh::cos_to_r),
+            Measure::Jaccard => SprtTable::build(&cfg, |s| s),
+        };
+        (cfg, table)
+    }
+
+    fn query_sprt<P: PoolAccess>(
+        &self,
+        pool: &mut P,
+        q: &SparseVector,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let (_, table) = self.query_sprt_table(t);
+        let max_chunks = (table.max_hashes() / k).max(1);
+        let measure = self.cfg.measure;
+        let mut out = Vec::new();
+        // Chunk-major batched scan with both decision boundaries, lazily
+        // deepening only the candidates still undecided; candidates still
+        // `Pending` at the cap get the exact check in candidate order.
+        let mut scan = RunScan::default();
+        scan.reset(cand_ids.len());
+        let mut n = 0u32;
+        for _ in 0..max_chunks {
+            if scan.alive.is_empty() {
+                break;
+            }
+            scan.alive_ids.clear();
+            for &r in &scan.alive {
+                let id = cand_ids[r as usize];
+                pool.ensure(&self.data, id, n + k);
+                scan.alive_ids.push(id);
+            }
+            pool.get()
+                .query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
+            n += k;
+            stats.hash_comparisons += k as u64 * scan.alive.len() as u64;
+            let mut kept = 0usize;
+            for t_idx in 0..scan.alive.len() {
+                let r = scan.alive[t_idx] as usize;
+                let m = scan.m[r] + scan.counts[t_idx];
+                scan.m[r] = m;
+                if table.should_prune(m, n) {
+                    stats.pruned += 1;
+                    scan.verdicts[r] = RunVerdict::Pruned;
+                } else if table.should_accept(m, n) {
+                    scan.verdicts[r] = RunVerdict::Emit(self.to_similarity(m as f64 / n as f64));
+                } else {
+                    scan.alive[kept] = r as u32;
+                    kept += 1;
+                }
+            }
+            scan.alive.truncate(kept);
+        }
+        for (r, &id) in cand_ids.iter().enumerate() {
+            match scan.verdicts[r] {
+                RunVerdict::Emit(est) => out.push((id, est)),
+                RunVerdict::Pending => {
+                    stats.exact += 1;
+                    let s = measure.eval(q, self.data.vector(id));
+                    if s >= t {
+                        out.push((id, s));
+                    }
+                }
+                RunVerdict::Pruned => {}
+            }
+        }
+        out
+    }
+
+    fn par_query_sprt<P: PoolAccess>(
+        &self,
+        pool: &mut P,
+        q: &SparseVector,
+        t: f64,
+        sig: &[u32],
+        cand_ids: &[u32],
+        stats: &mut QueryStats,
+    ) -> Vec<(u32, f64)> {
+        let k = self.cfg.k;
+        let (_, table) = self.query_sprt_table(t);
+        let max_chunks = (table.max_hashes() / k).max(1);
+        pool.par_ensure_ids(&self.data, cand_ids, max_chunks * k, self.threads);
+        let pool = pool.get();
+        let this = self;
+        let table = &table;
+        let measure = self.cfg.measure;
+        let results = fan_out(cand_ids.len(), self.threads, |_, range| {
+            let mut local = QueryStats::default();
+            let mut out = Vec::new();
+            // Same chunk-major batched scan as the serial twin; every
+            // verdict is a pure function of the cumulative (m, n), so the
+            // partition cannot move a decision.
+            let ids = &cand_ids[range];
+            let mut scan = RunScan::default();
+            scan.reset(ids.len());
+            let mut n = 0u32;
+            for _ in 0..max_chunks {
+                if scan.alive.is_empty() {
+                    break;
+                }
+                scan.alive_ids.clear();
+                scan.alive_ids
+                    .extend(scan.alive.iter().map(|&r| ids[r as usize]));
+                pool.query_agreements_batched(sig, &scan.alive_ids, n, n + k, &mut scan.counts);
+                n += k;
+                local.hash_comparisons += k as u64 * scan.alive.len() as u64;
+                let mut kept = 0usize;
+                for t_idx in 0..scan.alive.len() {
+                    let r = scan.alive[t_idx] as usize;
+                    let m = scan.m[r] + scan.counts[t_idx];
+                    scan.m[r] = m;
+                    if table.should_prune(m, n) {
+                        local.pruned += 1;
+                        scan.verdicts[r] = RunVerdict::Pruned;
+                    } else if table.should_accept(m, n) {
+                        scan.verdicts[r] =
+                            RunVerdict::Emit(this.to_similarity(m as f64 / n as f64));
+                    } else {
+                        scan.alive[kept] = r as u32;
+                        kept += 1;
+                    }
+                }
+                scan.alive.truncate(kept);
+            }
+            for (r, &id) in ids.iter().enumerate() {
+                match scan.verdicts[r] {
+                    RunVerdict::Emit(est) => out.push((id, est)),
+                    RunVerdict::Pending => {
+                        local.exact += 1;
+                        let s = measure.eval(q, this.data.vector(id));
+                        if s >= t {
+                            out.push((id, s));
+                        }
+                    }
+                    RunVerdict::Pruned => {}
+                }
+            }
+            (out, local)
+        });
+        merge_query_chunks(results, stats)
     }
 
     /// The pruning table for point queries at threshold `t`, memoized

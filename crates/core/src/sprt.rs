@@ -1,0 +1,322 @@
+//! Precomputed decision boundaries for the SPRT verifier.
+//!
+//! The verifier runs Wald sequential probability-ratio tests on each
+//! candidate pair's agreement stream: hash `i` of a pair with similarity
+//! `s` agrees with probability `p(s)` (the collision probability of the
+//! hash family), so after `n` hashes with `m` agreements the
+//! log-likelihood ratio between two hypothesized collision rates `p_hi`
+//! and `p_lo` is the linear statistic
+//!
+//! ```text
+//! LLR(m, n) = m·ln(p_hi/p_lo) + (n − m)·ln((1 − p_hi)/(1 − p_lo))
+//! ```
+//!
+//! Two decisions are taken at every chunk boundary, each one-sided:
+//!
+//! * **Accept** — the classical Wald test over the indifference region
+//!   `(t − δ, t + δ)`: accept once `LLR ≥ A = ln((1 − α)/β)` with
+//!   `p_hi = p(t + δ)`, `p_lo = p(t − δ)`. By Wald's bound a pair with
+//!   `S ≤ t − δ` is accepted with probability at most β.
+//! * **Prune** — a binomial-quantile test of the keep hypothesis
+//!   `p ≥ p(t)` with a *front-loaded α-spending schedule*: chunk `c` is
+//!   granted the share `α_c = α·2⁻ᶜ` (the final chunk absorbs the
+//!   remainder so the shares sum to α) and prunes any pair whose
+//!   cumulative agreement count `m` satisfies
+//!   `Pr[Bin(n, p(t)) ≤ m] ≤ α_c`. The binomial CDF is decreasing in `p`,
+//!   so under any `p ≥ p(t)` chunk `c` false-prunes with probability at
+//!   most `α_c`, and a union bound over chunks keeps the total at α. The
+//!   schedule is front-loaded because an LSH candidate stream is
+//!   junk-dominated: almost all pairs sit near the hash family's
+//!   background agreement rate, and spending half of α at the very first
+//!   boundary removes the bulk of them after a single chunk — a
+//!   uniformly-valid sequential bound (e.g. Ville's inequality on the
+//!   likelihood-ratio supermartingale) pays for boundaries it never uses
+//!   and lets far too much junk survive into chunk two.
+//!
+//! The prune guarantee is *stronger* than the symmetric textbook
+//! statement: **every** pair with `S ≥ t` (not just `S ≥ t + δ`) survives
+//! pruning with probability at least `1 − α`.
+//!
+//! The accept LLR is strictly increasing in `m` and the binomial CDF is
+//! nondecreasing in `m`, so — exactly like the [`crate::minmatch`] tables
+//! — every decision point `n = (c+1)·k` reduces to two precomputed
+//! integer thresholds, and the hot loop is two comparisons per pair per
+//! chunk with no floating-point work at all.
+//!
+//! Every decision is a pure function of the cumulative `(m, n)` at a chunk
+//! boundary, so verdicts are invariant to how the agreement stream is
+//! batched — the property behind the serial ≡ parallel ≡ sharded
+//! bit-identity guarantees (and pinned by a proptest in
+//! `tests/paper_guarantees_stat.rs`).
+
+use bayeslsh_numeric::Binomial;
+
+use crate::config::SprtConfig;
+
+/// Keep the hypothesized collision probabilities strictly inside (0, 1) so
+/// both log-likelihood terms stay finite.
+const P_CLAMP: f64 = 1e-6;
+
+/// Per-chunk SPRT decision thresholds for a fixed `(collision, t, α, β, δ, k)`.
+#[derive(Debug, Clone)]
+pub struct SprtTable {
+    k: u32,
+    /// `accept[c]` = smallest `m` with `LLR(m, (c+1)·k) ≥ A`; the sentinel
+    /// `n + 1` means "no agreement count accepts at this depth".
+    accept: Vec<u32>,
+    /// `keep[c]` = smallest `m` the chunk's binomial-quantile test does not
+    /// fire on; prune iff `m < keep[c]`.
+    keep: Vec<u32>,
+}
+
+impl SprtTable {
+    /// Build the boundary table for `cfg`, with `collision` mapping a
+    /// similarity to the hash family's per-hash agreement probability
+    /// (`cos_to_r` for SRP bits, identity for minhashes).
+    pub fn build(cfg: &SprtConfig, collision: impl Fn(f64) -> f64) -> Self {
+        cfg.validate();
+        let clamp = |p: f64| p.clamp(P_CLAMP, 1.0 - P_CLAMP);
+
+        // Accept test: p(t + δ) against p(t − δ), Wald boundary A.
+        let p0 = clamp(collision(cfg.threshold - cfg.delta));
+        let mut p1 = clamp(collision(cfg.threshold + cfg.delta));
+        if p1 <= p0 {
+            // Degenerate indifference region (threshold + δ clamped into
+            // threshold − δ): widen minimally so LLR stays monotone in m.
+            p1 = (p0 + P_CLAMP).min(1.0 - P_CLAMP / 2.0);
+        }
+        let la = (p1 / p0).ln();
+        let lb = ((1.0 - p1) / (1.0 - p0)).ln();
+        let a_bound = ((1.0 - cfg.alpha) / cfg.beta).ln();
+        let llr_accept = |m: u32, n: u32| m as f64 * la + (n - m) as f64 * lb;
+
+        // Prune boundary: chunk c spends α·2⁻ᶜ (remainder on the last
+        // chunk) and prunes while the keep hypothesis p(t) puts at most
+        // that much mass at or below the observed agreement count. A chunk
+        // whose share is smaller than the entire lower tail cannot prune
+        // (keep threshold 0); past the schedule's useful depth undecided
+        // pairs simply ride to the exact fallback at the cap.
+        let p_keep = clamp(collision(cfg.threshold));
+
+        let k = cfg.k;
+        let chunks = cfg.max_hashes.div_ceil(k);
+        let mut accept = Vec::with_capacity(chunks as usize);
+        let mut keep = Vec::with_capacity(chunks as usize);
+        let mut alpha_left = cfg.alpha;
+        for c in 1..=chunks {
+            let n = c * k;
+            let share = if c < chunks {
+                alpha_left / 2.0
+            } else {
+                alpha_left
+            };
+            alpha_left -= share;
+            let bin = Binomial::new(n as u64, p_keep);
+            let acc = Self::search(n, |m| llr_accept(m, n) >= a_bound);
+            let kp = Self::search(n, |m| bin.cdf(m as u64) > share);
+            // The prune bar must sit strictly below the accept bar so a
+            // decisive verdict is always exclusive (clamping downward only
+            // makes pruning rarer, which never costs recall).
+            accept.push(acc);
+            keep.push(kp.min(acc.saturating_sub(1)));
+        }
+        Self { k, accept, keep }
+    }
+
+    /// Smallest `m ∈ 0..=n` satisfying the (monotone in `m`) predicate, or
+    /// the sentinel `n + 1` when none does.
+    fn search(n: u32, pred: impl Fn(u32) -> bool) -> u32 {
+        if !pred(n) {
+            return n + 1;
+        }
+        if pred(0) {
+            return 0;
+        }
+        // Invariant: !pred(lo) && pred(hi).
+        let (mut lo, mut hi) = (0u32, n);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if pred(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+
+    #[inline]
+    fn chunk_index(&self, n: u32) -> usize {
+        debug_assert!(
+            n >= self.k && n % self.k == 0,
+            "n={n} not a chunk multiple of {}",
+            self.k
+        );
+        (n / self.k - 1) as usize
+    }
+
+    /// Should a pair with `m` agreements at `n` hashes be accepted?
+    #[inline]
+    pub fn should_accept(&self, m: u32, n: u32) -> bool {
+        m >= self.accept[self.chunk_index(n)]
+    }
+
+    /// Should a pair with `m` agreements at `n` hashes be pruned?
+    #[inline]
+    pub fn should_prune(&self, m: u32, n: u32) -> bool {
+        m < self.keep[self.chunk_index(n)]
+    }
+
+    /// Chunk size the table was built for.
+    pub fn chunk(&self) -> u32 {
+        self.k
+    }
+
+    /// Largest hash count covered (a multiple of the chunk size).
+    pub fn max_hashes(&self) -> u32 {
+        self.accept.len() as u32 * self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_lsh::cos_to_r;
+
+    #[test]
+    fn accept_strictly_above_prune_everywhere() {
+        // Decisive verdicts are exclusive: at every depth the accept
+        // threshold sits strictly above the prune one, leaving a genuine
+        // continuation band.
+        type Collision = fn(f64) -> f64;
+        let families: [(SprtConfig, Collision); 2] = [
+            (SprtConfig::cosine(0.7), cos_to_r),
+            (SprtConfig::jaccard(0.5), |s| s),
+        ];
+        for (cfg, collision) in families {
+            let table = SprtTable::build(&cfg, collision);
+            let mut n = cfg.k;
+            while n <= table.max_hashes() {
+                let c = table.chunk_index(n);
+                assert!(
+                    table.accept[c] > table.keep[c],
+                    "n={n}: accept {} <= keep {}",
+                    table.accept[c],
+                    table.keep[c]
+                );
+                n += cfg.k;
+            }
+        }
+    }
+
+    #[test]
+    fn boundaries_match_brute_force() {
+        // Re-derive both boundaries by direct linear scan over m and
+        // compare with the binary-searched table.
+        let cfg = SprtConfig::jaccard(0.5);
+        let table = SprtTable::build(&cfg, |s| s);
+        let t = cfg.threshold;
+        let (p0, p1) = (t - cfg.delta, t + cfg.delta);
+        let la = (p1 / p0).ln();
+        let lb = ((1.0 - p1) / (1.0 - p0)).ln();
+        let a = ((1.0 - cfg.alpha) / cfg.beta).ln();
+        let chunks = cfg.max_hashes / cfg.k;
+        for n in [32u32, 64, 256] {
+            let c = n / cfg.k;
+            // The chunk's α share under the front-loaded geometric
+            // schedule: halved each chunk, remainder on the last.
+            let share = if c < chunks {
+                cfg.alpha * 0.5f64.powi(c as i32)
+            } else {
+                cfg.alpha * 0.5f64.powi(chunks as i32 - 1)
+            };
+            let bin = Binomial::new(n as u64, t);
+            let acc = (0..=n)
+                .find(|&m| m as f64 * la + (n - m) as f64 * lb >= a)
+                .unwrap_or(n + 1);
+            let kp = (0..=n)
+                .find(|&m| bin.cdf(m as u64) > share)
+                .unwrap_or(n + 1);
+            let keep = kp.min(acc.saturating_sub(1));
+            for m in 0..=n {
+                assert_eq!(table.should_accept(m, n), m >= acc, "accept m={m} n={n}");
+                assert_eq!(table.should_prune(m, n), m < keep, "prune m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_agreement_accepts_and_total_disagreement_prunes() {
+        let cfg = SprtConfig::cosine(0.7);
+        let table = SprtTable::build(&cfg, cos_to_r);
+        // A full chunk of agreements is not necessarily decisive, but by a
+        // few chunks of perfect agreement the accept boundary must trip...
+        assert!(table.should_accept(128, 128));
+        // ...and a fully disagreeing pair is junk immediately.
+        assert!(table.should_prune(0, 32));
+        // A decisive verdict is exclusive.
+        for n in [32u32, 512] {
+            for m in [0, n / 2, n] {
+                assert!(
+                    !(table.should_accept(m, n) && table.should_prune(m, n)),
+                    "m={m} n={n} both accepted and pruned"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn junk_prunes_in_the_first_chunk() {
+        // The whole point of the front-loaded schedule: a pair at the hash
+        // family's background agreement rate must be gone after a single
+        // chunk. For SRP bits an orthogonal pair agrees at rate 1/2, i.e.
+        // m ≈ 16 of 32 — far below Bin(32, p(0.7))'s lower α/2 quantile.
+        let table = SprtTable::build(&SprtConfig::cosine(0.7), cos_to_r);
+        assert!(table.should_prune(16, 32));
+        // For minhashes a disjoint pair agrees (almost) never.
+        let table = SprtTable::build(&SprtConfig::jaccard(0.5), |s| s);
+        assert!(table.should_prune(2, 32));
+    }
+
+    #[test]
+    fn tighter_alpha_raises_the_prune_bar() {
+        // Smaller α (fewer false prunes allowed) must make pruning harder:
+        // the keep threshold can only drop.
+        let loose = SprtTable::build(
+            &SprtConfig {
+                alpha: 0.2,
+                ..SprtConfig::jaccard(0.5)
+            },
+            |s| s,
+        );
+        let tight = SprtTable::build(
+            &SprtConfig {
+                alpha: 0.001,
+                ..SprtConfig::jaccard(0.5)
+            },
+            |s| s,
+        );
+        for c in 0..loose.keep.len() {
+            assert!(
+                tight.keep[c] <= loose.keep[c],
+                "chunk {c}: tight {} > loose {}",
+                tight.keep[c],
+                loose.keep[c]
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_thresholds_survive_the_clamp() {
+        // threshold ± δ beyond [0, 1] must not produce NaN boundaries, an
+        // inverted indifference region, or a degenerate binomial tail.
+        for t in [0.02, 0.98] {
+            let cfg = SprtConfig::jaccard(t);
+            let table = SprtTable::build(&cfg, |s| s);
+            assert_eq!(table.max_hashes(), 256);
+            assert!(table.accept.iter().all(|&m| m <= 256 + 1));
+            let c = table.chunk_index(256);
+            assert!(table.accept[c] > table.keep[c]);
+        }
+    }
+}

@@ -279,6 +279,7 @@ pub fn config_fingerprint(cfg: &PipelineConfig, composition: Composition, mode: 
             VerifierKind::Mle => 1,
             VerifierKind::Bayes => 2,
             VerifierKind::BayesLite => 3,
+            VerifierKind::Sprt => 4,
         })?;
         w.put_u8(match mode {
             HashMode::Eager => 0,

@@ -68,6 +68,39 @@
 //! than one operation against the same corpus; note the builder returns
 //! typed [`SearchError`](prelude::SearchError)s where the shim panics.
 //!
+//! ## The SPRT verifier
+//!
+//! Beyond the paper's eight named algorithms, a ninth composition swaps
+//! the Bayesian posterior for Wald sequential probability-ratio tests
+//! over the same signature pools
+//! ([`VerifierKind::Sprt`](prelude::VerifierKind)). No new tuning
+//! surface: the pipeline's recall knob ε becomes the SPRT's false-prune
+//! bound α (every pair with similarity ≥ t survives pruning with
+//! probability ≥ 1 − α), and the precision knob γ becomes the
+//! false-accept bound β (a pair with similarity ≤ t − δ is accepted with
+//! probability ≤ β, with δ the indifference half-width) — see
+//! [`PipelineConfig::sprt`](prelude::PipelineConfig::sprt) and
+//! [`SprtConfig`](prelude::SprtConfig). The verifier's early-prune
+//! boundary front-loads its α budget, so junk candidates die after a
+//! single hash chunk; both it and the Bayesian engines report the cost
+//! as `hashes_compared` / `hashes_per_accepted_pair` in their outputs.
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let cfg = PipelineConfig::cosine(0.7);
+//! // ε ↦ α (false-prune / recall), γ ↦ β (false-accept / precision).
+//! assert_eq!((cfg.sprt().alpha, cfg.sprt().beta), (cfg.epsilon, cfg.gamma));
+//!
+//! let mut searcher = Searcher::builder(cfg)
+//!     .composition(Composition::new(GeneratorKind::LshBanding, VerifierKind::Sprt))
+//!     .build(data)
+//!     .unwrap();
+//! let out = searcher.all_pairs().expect("composition runs");
+//! assert!(!out.pairs.is_empty());
+//! assert!(out.hashes_per_accepted_pair > 0.0);
+//! ```
+//!
 //! ## Parallelism & determinism
 //!
 //! Hashing, indexing, candidate generation, and verification all fan out
@@ -254,9 +287,10 @@ pub mod prelude {
         ErrorStats, GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats,
         LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput,
         QueryStats, RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder,
-        ServingSearcher, SigPool, SnapshotError, SnapshotHeader, TopKOutput, Verifier,
-        VerifierKind, SNAPSHOT_FORMAT_VERSION,
+        ServingSearcher, SigPool, SnapshotError, SnapshotHeader, SprtConfig, SprtTable, TopKOutput,
+        Verifier, VerifierKind, SNAPSHOT_FORMAT_VERSION,
     };
+    pub use bayeslsh_core::{par_sprt_verify, sprt_verify};
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{
         bbit_collision_prob, bbit_to_jaccard, cos_to_r, r_to_cos, BbitSignatures, BitSignatures,

@@ -9,6 +9,14 @@
 //!    with probability below ε, so the recall of LSH + BayesLSH[-Lite]
 //!    must stay above `(1 − δ) − ε`, where δ is the index's achieved
 //!    false-negative rate and ε the Bayesian recall parameter.
+//! 3. **SPRT recall**: the sequential verifier's prune schedule false-prunes
+//!    a true pair (`S ≥ t`) with probability at most α (mapped from the
+//!    same ε knob), so LSH + SPRT recall must also stay above
+//!    `(1 − δ) − α`.
+//!
+//! Plus a property check on the SPRT decision rule itself: verdicts are a
+//! pure function of cumulative agreement counts at chunk boundaries, so
+//! they cannot depend on how the agreement stream was delivered.
 //!
 //! Corpora are the scaled synthetic preset stand-ins (RCV1 shape), one per
 //! seed, with the hash-family seed varied alongside — deterministic, so
@@ -17,6 +25,10 @@
 use std::collections::HashSet;
 
 use bayeslsh::prelude::*;
+use proptest::prelude::*;
+
+mod support;
+use support::run_comp;
 
 const N_SEEDS: u64 = 20;
 
@@ -26,6 +38,7 @@ struct Pooled {
     candidate_misses: usize,
     bayes_hits: usize,
     lite_hits: usize,
+    sprt_hits: usize,
 }
 
 fn pair_keys(pairs: &[(u32, u32, f64)]) -> HashSet<(u32, u32)> {
@@ -50,6 +63,8 @@ fn pool_over_seeds(
         let lsh = pair_keys(&run_algorithm(Algorithm::Lsh, &data, &cfg).pairs);
         let bayes = pair_keys(&run_algorithm(Algorithm::LshBayesLsh, &data, &cfg).pairs);
         let lite = pair_keys(&run_algorithm(Algorithm::LshBayesLshLite, &data, &cfg).pairs);
+        let sprt_comp = Composition::new(GeneratorKind::LshBanding, VerifierKind::Sprt);
+        let sprt = pair_keys(&run_comp(sprt_comp, &data, &cfg).pairs);
         for &(a, b, _) in &gt {
             pooled.truth += 1;
             if !lsh.contains(&(a, b)) {
@@ -60,6 +75,9 @@ fn pool_over_seeds(
             }
             if lite.contains(&(a, b)) {
                 pooled.lite_hits += 1;
+            }
+            if sprt.contains(&(a, b)) {
+                pooled.sprt_hits += 1;
             }
         }
     }
@@ -118,6 +136,16 @@ fn check_family(
         lite_recall >= bound,
         "{measure:?}: BayesLSH-Lite recall {lite_recall:.4} below {bound:.4}"
     );
+
+    // (3) SPRT recall ≥ (1 − δ) − α. The verifier's α (false-prune bound
+    // over all pairs with S ≥ t) is mapped from the same ε knob, so the
+    // sequential test must clear the exact bound the Bayesian verifiers do.
+    assert_eq!(cfg.sprt().alpha, cfg.epsilon, "α is mapped from ε");
+    let sprt_recall = pooled.sprt_hits as f64 / pooled.truth as f64;
+    assert!(
+        sprt_recall >= bound,
+        "{measure:?}: SPRT recall {sprt_recall:.4} below (1 − {delta_fnr:.4}) − α = {bound:.4}"
+    );
 }
 
 #[test]
@@ -132,4 +160,96 @@ fn jaccard_recall_meets_the_paper_bound_over_20_seeds() {
     check_family(Measure::Jaccard, 0.5, PipelineConfig::jaccard(0.5), |s| {
         Preset::Rcv1.load_binary(0.0004, 9100 + s)
     });
+}
+
+// ---------------------------------------------------------------------
+// SPRT chunk-boundary invariance: the verdict for a pair is a pure
+// function of its cumulative (agreements, hashes) at each chunk
+// boundary. Delivering the same agreement stream incrementally (the
+// engine's batched path) or recounting every prefix from scratch (what a
+// different thread/shard partition amounts to) must produce the same
+// verdict at the same depth.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, PartialEq)]
+enum Verdict {
+    Accept(u32),
+    Prune(u32),
+    Undecided,
+}
+
+/// First decision the table reaches, checking every chunk boundary with
+/// cumulative counts supplied by `m_at`.
+fn first_decision(table: &SprtTable, n_chunks: u32, m_at: impl Fn(u32) -> u32) -> Verdict {
+    let k = table.chunk();
+    for c in 1..=n_chunks {
+        let (m, n) = (m_at(c), c * k);
+        if table.should_accept(m, n) {
+            return Verdict::Accept(n);
+        }
+        if table.should_prune(m, n) {
+            return Verdict::Prune(n);
+        }
+    }
+    Verdict::Undecided
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sprt_verdicts_are_chunk_boundary_invariant(
+        per_chunk in proptest::collection::vec(0u32..=32, 1..16),
+        family in 0u8..2,
+    ) {
+        let (cfg, table) = if family == 0 {
+            let cfg = PipelineConfig::cosine(0.7).sprt();
+            let table = SprtTable::build(&cfg, cos_to_r);
+            (cfg, table)
+        } else {
+            let cfg = PipelineConfig::jaccard(0.5).sprt();
+            let table = SprtTable::build(&cfg, |s| s);
+            (cfg, table)
+        };
+        prop_assert_eq!(table.chunk(), cfg.k);
+        let n_chunks = (per_chunk.len() as u32).min(table.max_hashes() / table.chunk());
+
+        // (a) Incremental: running total carried across chunks, the way
+        // the engine consumes `query_agreements_batched`.
+        let mut running = 0u32;
+        let mut incremental = Verdict::Undecided;
+        for c in 1..=n_chunks {
+            running += per_chunk[c as usize - 1];
+            let n = c * table.chunk();
+            if table.should_accept(running, n) {
+                incremental = Verdict::Accept(n);
+                break;
+            }
+            if table.should_prune(running, n) {
+                incremental = Verdict::Prune(n);
+                break;
+            }
+        }
+
+        // (b) All-at-once: every prefix recounted from the raw stream.
+        let from_scratch = first_decision(&table, n_chunks, |c| {
+            per_chunk[..c as usize].iter().sum()
+        });
+
+        prop_assert_eq!(incremental, from_scratch);
+    }
+
+    #[test]
+    fn sprt_accept_and_prune_are_mutually_exclusive(
+        m in 0u32..=512,
+        chunks in 1u32..=16,
+    ) {
+        let table = SprtTable::build(&PipelineConfig::cosine(0.7).sprt(), cos_to_r);
+        let n = (chunks * table.chunk()).min(table.max_hashes());
+        let m = m.min(n);
+        prop_assert!(
+            !(table.should_accept(m, n) && table.should_prune(m, n)),
+            "m={} n={} both accepted and pruned", m, n
+        );
+    }
 }

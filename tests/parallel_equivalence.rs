@@ -1,11 +1,15 @@
-//! The parallel execution layer's core guarantee: for every one of the
-//! paper's eight algorithm compositions and every tested thread count,
-//! output is **bit-identical to the serial path** — same pairs, same
-//! similarities (exact or Bayesian estimates, compared as raw bits), same
-//! candidate and prune counters — including after incremental `insert()`s
-//! and across point queries. Parallelism may only change wall-clock time.
+//! The parallel execution layer's core guarantee: for every named
+//! composition (the paper's eight algorithms plus the SPRT verifier) and
+//! every tested thread count, output is **bit-identical to the serial
+//! path** — same pairs, same similarities (exact or Bayesian estimates,
+//! compared as raw bits), same candidate and prune counters — including
+//! after incremental `insert()`s and across point queries. Parallelism may
+//! only change wall-clock time.
 
 use bayeslsh::prelude::*;
+
+mod support;
+use support::all_compositions;
 
 const THREADS: [u32; 4] = [1, 2, 4, 8];
 
@@ -74,19 +78,17 @@ fn assert_outputs_match(serial: &CompositionOutput, par: &CompositionOutput, lab
     }
 }
 
-fn check_all_algorithms(data: &Dataset, cfg_for: impl Fn() -> PipelineConfig) {
-    for algo in Algorithm::ALL {
+fn check_all_compositions(data: &Dataset, cfg_for: impl Fn() -> PipelineConfig) {
+    for comp in all_compositions() {
         let cfg = cfg_for();
-        if algo.composition().requires_binary(cfg.measure)
-            && !data.vectors().iter().all(|v| v.is_binary())
-        {
+        if comp.requires_binary(cfg.measure) && !data.vectors().iter().all(|v| v.is_binary()) {
             continue;
         }
         // Serial reference, including an insert mid-life.
         let mut serial_cfg = cfg;
         serial_cfg.parallelism = Parallelism::serial();
         let mut serial = Searcher::builder(serial_cfg)
-            .algorithm(algo)
+            .composition(comp)
             .build(data.clone())
             .unwrap();
         let serial_before = serial.all_pairs().unwrap();
@@ -98,19 +100,19 @@ fn check_all_algorithms(data: &Dataset, cfg_for: impl Fn() -> PipelineConfig) {
             let mut par_cfg = cfg;
             par_cfg.parallelism = Parallelism::threads(threads);
             let mut par = Searcher::builder(par_cfg)
-                .algorithm(algo)
+                .composition(comp)
                 .build(data.clone())
                 .unwrap();
             assert_eq!(par.threads(), threads as usize);
             let out = par.all_pairs().unwrap();
-            assert_outputs_match(&serial_before, &out, &format!("{algo} threads={threads}"));
+            assert_outputs_match(&serial_before, &out, &format!("{comp} threads={threads}"));
             // Incremental insert must keep the guarantee.
             par.insert(planted.clone()).unwrap();
             let out = par.all_pairs().unwrap();
             assert_outputs_match(
                 &serial_after,
                 &out,
-                &format!("{algo} threads={threads} after insert"),
+                &format!("{comp} threads={threads} after insert"),
             );
         }
     }
@@ -119,13 +121,13 @@ fn check_all_algorithms(data: &Dataset, cfg_for: impl Fn() -> PipelineConfig) {
 #[test]
 fn cosine_compositions_are_thread_count_invariant() {
     let data = corpus(501);
-    check_all_algorithms(&data, || PipelineConfig::cosine(0.7));
+    check_all_compositions(&data, || PipelineConfig::cosine(0.7));
 }
 
 #[test]
 fn jaccard_compositions_are_thread_count_invariant() {
     let data = corpus(502).binarized();
-    check_all_algorithms(&data, || PipelineConfig::jaccard(0.5));
+    check_all_compositions(&data, || PipelineConfig::jaccard(0.5));
 }
 
 #[test]
@@ -153,16 +155,17 @@ fn legacy_shim_is_thread_count_invariant_too() {
 #[test]
 fn point_queries_are_thread_count_invariant() {
     let data = corpus(504);
-    for algo in [
-        Algorithm::Lsh,
-        Algorithm::LshApprox,
-        Algorithm::LshBayesLsh,
-        Algorithm::LshBayesLshLite,
+    for comp in [
+        Algorithm::Lsh.composition(),
+        Algorithm::LshApprox.composition(),
+        Algorithm::LshBayesLsh.composition(),
+        Algorithm::LshBayesLshLite.composition(),
+        Composition::new(GeneratorKind::LshBanding, VerifierKind::Sprt),
     ] {
         let mut cfg = PipelineConfig::cosine(0.7);
         cfg.parallelism = Parallelism::serial();
         let serial = Searcher::builder(cfg)
-            .algorithm(algo)
+            .composition(comp)
             .build(data.clone())
             .unwrap();
         let queries: Vec<SparseVector> = (0..10)
@@ -177,7 +180,7 @@ fn point_queries_are_thread_count_invariant() {
             let mut cfg = PipelineConfig::cosine(0.7);
             cfg.parallelism = Parallelism::threads(threads);
             let par = Searcher::builder(cfg)
-                .algorithm(algo)
+                .composition(comp)
                 .build(data.clone())
                 .unwrap();
             for (q, e) in queries.iter().zip(&expect) {
@@ -188,8 +191,8 @@ fn point_queries_are_thread_count_invariant() {
                         .map(|&(id, s)| (id, s.to_bits()))
                         .collect::<Vec<_>>()
                 };
-                assert_eq!(pack(e), pack(&got), "{algo} threads={threads}");
-                assert_eq!(e.stats, got.stats, "{algo} threads={threads}");
+                assert_eq!(pack(e), pack(&got), "{comp} threads={threads}");
+                assert_eq!(e.stats, got.stats, "{comp} threads={threads}");
             }
         }
     }

@@ -7,6 +7,9 @@
 
 use bayeslsh::prelude::*;
 
+mod support;
+use support::{algorithm_for, all_compositions, run_comp, supports_weighted};
+
 /// Clustered corpus with planted near-duplicates (weighted vectors).
 fn corpus(seed: u64) -> Dataset {
     let mut rng = Xoshiro256::seed_from_u64(seed);
@@ -43,44 +46,53 @@ fn sorted(mut pairs: Vec<(u32, u32, f64)>) -> Vec<(u32, u32, u64)> {
         .collect()
 }
 
-#[test]
-fn every_cosine_algorithm_matches_its_searcher_composition() {
-    let data = corpus(301);
-    let cfg = PipelineConfig::cosine(0.7);
-    for algo in Algorithm::ALL {
-        if !algo.supports_weighted() {
-            continue; // PPJoin+ is covered by the jaccard test below.
-        }
-        let legacy = run_algorithm(algo, &data, &cfg);
-        let searcher = Searcher::builder(cfg)
-            .algorithm(algo)
-            .build(data.clone())
-            .unwrap();
-        let composed = searcher.all_pairs().unwrap();
-        assert_eq!(
-            sorted(legacy.pairs),
-            sorted(composed.pairs),
-            "{algo}: shim and Searcher must produce identical results"
-        );
-        assert_eq!(composed.composition, algo.composition());
+/// One-shot pairs for a composition: the legacy `run_algorithm` shim for
+/// the named eight, the composable runner for off-grid points (SPRT).
+fn one_shot_pairs(comp: Composition, data: &Dataset, cfg: &PipelineConfig) -> Vec<(u32, u32, f64)> {
+    match algorithm_for(comp) {
+        Some(algo) => run_algorithm(algo, data, cfg).pairs,
+        None => run_comp(comp, data, cfg).pairs,
     }
 }
 
 #[test]
-fn every_jaccard_algorithm_matches_its_searcher_composition() {
-    let data = corpus(302).binarized();
-    let cfg = PipelineConfig::jaccard(0.5);
-    for algo in Algorithm::ALL {
-        let legacy = run_algorithm(algo, &data, &cfg);
+fn every_cosine_composition_matches_its_searcher() {
+    let data = corpus(301);
+    let cfg = PipelineConfig::cosine(0.7);
+    for comp in all_compositions() {
+        if !supports_weighted(comp) {
+            continue; // PPJoin+ is covered by the jaccard test below.
+        }
+        let legacy = one_shot_pairs(comp, &data, &cfg);
         let searcher = Searcher::builder(cfg)
-            .algorithm(algo)
+            .composition(comp)
             .build(data.clone())
             .unwrap();
         let composed = searcher.all_pairs().unwrap();
         assert_eq!(
-            sorted(legacy.pairs),
+            sorted(legacy),
             sorted(composed.pairs),
-            "{algo}: shim and Searcher must produce identical results"
+            "{comp}: one-shot and Searcher must produce identical results"
+        );
+        assert_eq!(composed.composition, comp);
+    }
+}
+
+#[test]
+fn every_jaccard_composition_matches_its_searcher() {
+    let data = corpus(302).binarized();
+    let cfg = PipelineConfig::jaccard(0.5);
+    for comp in all_compositions() {
+        let legacy = one_shot_pairs(comp, &data, &cfg);
+        let searcher = Searcher::builder(cfg)
+            .composition(comp)
+            .build(data.clone())
+            .unwrap();
+        let composed = searcher.all_pairs().unwrap();
+        assert_eq!(
+            sorted(legacy),
+            sorted(composed.pairs),
+            "{comp}: one-shot and Searcher must produce identical results"
         );
     }
 }

@@ -15,6 +15,9 @@ use std::sync::OnceLock;
 use bayeslsh::prelude::*;
 use proptest::prelude::*;
 
+mod support;
+use support::{all_compositions, supports_weighted};
+
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
 const THREAD_BUDGETS: [u32; 2] = [1, 4];
 
@@ -64,18 +67,23 @@ fn pair_bits(p: &[(u32, u32, f64)]) -> Vec<(u32, u32, u64)> {
 /// (batch join, threshold queries, top-k) is bit-identical to a single
 /// index over the same corpus at the given thread budget.
 fn assert_equivalent(
-    algo: Algorithm,
+    comp: Composition,
     data: &Dataset,
     cfg: PipelineConfig,
     n_shards: usize,
     threads: u32,
     tag: &str,
 ) {
-    let ctx = format!("{algo} × {n_shards} shards × {threads} threads");
-    let dir = scratch(&format!("{tag}-{algo}-{n_shards}-{threads}"));
+    let ctx = format!("{comp} × {n_shards} shards × {threads} threads");
+    let slug: String = comp
+        .to_string()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let dir = scratch(&format!("{tag}-{slug}-{n_shards}-{threads}"));
     let par = Parallelism::threads(threads);
     ShardBuilder::new(cfg)
-        .algorithm(algo)
+        .composition(comp)
         .shards(n_shards)
         .partition(PartitionFn::Hashed { seed: 11 })
         .parallelism(par)
@@ -84,7 +92,7 @@ fn assert_equivalent(
     let sharded =
         ShardedSearcher::open_with(&dir.join(MANIFEST_FILE), par, LoadPolicy::Eager).unwrap();
     let single = Searcher::builder(cfg)
-        .algorithm(algo)
+        .composition(comp)
         .parallelism(par)
         .build(data.clone())
         .unwrap();
@@ -120,16 +128,17 @@ fn assert_equivalent(
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// All eight compositions × every shard count × every thread budget,
-/// under Jaccard (the only measure every composition supports).
+/// Every named composition (the paper's eight plus the SPRT verifier) ×
+/// every shard count × every thread budget, under Jaccard (the only
+/// measure every composition supports).
 #[test]
 fn jaccard_all_compositions_bit_identical_across_shards_and_threads() {
     let data = corpus(401).binarized();
     let cfg = PipelineConfig::jaccard(0.5);
-    for algo in Algorithm::ALL {
+    for comp in all_compositions() {
         for n_shards in SHARD_COUNTS {
             for threads in THREAD_BUDGETS {
-                assert_equivalent(algo, &data, cfg, n_shards, threads, "jac");
+                assert_equivalent(comp, &data, cfg, n_shards, threads, "jac");
             }
         }
     }
@@ -141,13 +150,13 @@ fn jaccard_all_compositions_bit_identical_across_shards_and_threads() {
 fn cosine_compositions_bit_identical_across_shards_and_threads() {
     let data = corpus(402);
     let cfg = PipelineConfig::cosine(0.7);
-    for algo in Algorithm::ALL {
-        if !algo.supports_weighted() {
+    for comp in all_compositions() {
+        if !supports_weighted(comp) {
             continue; // PPJoin+ is binary-only; covered by the Jaccard grid.
         }
         for n_shards in [2usize, 7] {
             for threads in THREAD_BUDGETS {
-                assert_equivalent(algo, &data, cfg, n_shards, threads, "cos");
+                assert_equivalent(comp, &data, cfg, n_shards, threads, "cos");
             }
         }
     }

@@ -1,10 +1,14 @@
-//! Round-trip equivalence suite for index snapshots: for **all 8
-//! compositions**, at thread budgets {1, 4}, a searcher that went through
-//! `save` → `load` must behave **bit-identically** to the never-persisted
-//! searcher it was saved from — batch joins, threshold queries, top-k, and
-//! insert-then-query, including every counter.
+//! Round-trip equivalence suite for index snapshots: for **every named
+//! composition** (the paper's eight plus the SPRT verifier), at thread
+//! budgets {1, 4}, a searcher that went through `save` → `load` must
+//! behave **bit-identically** to the never-persisted searcher it was saved
+//! from — batch joins, threshold queries, top-k, and insert-then-query,
+//! including every counter.
 
 use bayeslsh::prelude::*;
+
+mod support;
+use support::{all_compositions, supports_weighted};
 
 /// Clustered corpus with planted near-duplicates (weighted vectors).
 fn corpus(seed: u64) -> Dataset {
@@ -103,11 +107,11 @@ fn assert_equivalent(label: &str, fresh: &mut Searcher, loaded: &mut Searcher, t
     );
 }
 
-fn roundtrip(algo: Algorithm, cfg: PipelineConfig, data: &Dataset, threads: u32) {
-    let label = format!("{algo} (threads {threads})");
+fn roundtrip(comp: Composition, cfg: PipelineConfig, data: &Dataset, threads: u32) {
+    let label = format!("{comp} (threads {threads})");
     let build = || {
         Searcher::builder(cfg)
-            .algorithm(algo)
+            .composition(comp)
             .parallelism(Parallelism::threads(threads))
             .build(data.clone())
             .unwrap()
@@ -117,30 +121,31 @@ fn roundtrip(algo: Algorithm, cfg: PipelineConfig, data: &Dataset, threads: u32)
     build().save(&mut snapshot).unwrap();
     let mut loaded = Searcher::load(&snapshot[..]).unwrap();
     assert_eq!(loaded.threads(), threads as usize, "{label}: saved budget");
+    assert_eq!(loaded.composition(), comp, "{label}: saved composition");
     assert_equivalent(&label, &mut fresh, &mut loaded, cfg.threshold);
 }
 
 #[test]
-fn all_eight_compositions_roundtrip_bit_identically_serial() {
+fn every_composition_roundtrips_bit_identically_serial() {
     let weighted = corpus(501);
     let binary = corpus(502).binarized();
-    for algo in Algorithm::ALL {
-        if algo.supports_weighted() {
-            roundtrip(algo, PipelineConfig::cosine(0.7), &weighted, 1);
+    for comp in all_compositions() {
+        if supports_weighted(comp) {
+            roundtrip(comp, PipelineConfig::cosine(0.7), &weighted, 1);
         }
-        roundtrip(algo, PipelineConfig::jaccard(0.5), &binary, 1);
+        roundtrip(comp, PipelineConfig::jaccard(0.5), &binary, 1);
     }
 }
 
 #[test]
-fn all_eight_compositions_roundtrip_bit_identically_threaded() {
+fn every_composition_roundtrips_bit_identically_threaded() {
     let weighted = corpus(503);
     let binary = corpus(504).binarized();
-    for algo in Algorithm::ALL {
-        if algo.supports_weighted() {
-            roundtrip(algo, PipelineConfig::cosine(0.7), &weighted, 4);
+    for comp in all_compositions() {
+        if supports_weighted(comp) {
+            roundtrip(comp, PipelineConfig::cosine(0.7), &weighted, 4);
         }
-        roundtrip(algo, PipelineConfig::jaccard(0.5), &binary, 4);
+        roundtrip(comp, PipelineConfig::jaccard(0.5), &binary, 4);
     }
 }
 
