@@ -23,7 +23,13 @@
 //!    comparisons per accepted pair and less lazy hashing than the fixed
 //!    concentration schedule. Every verify row also reports
 //!    `hashes_per_accepted_pair`, the adaptive-verification cost metric.
-//! 5. **End-to-end all-pairs wall time** per preset.
+//! 5. **E2LSH hashing microbench** — the per-slot scalar gather
+//!    ([`bayeslsh_lsh::E2lshHasher::hash_ready`]) versus the feature-major
+//!    projection kernel, outputs asserted bucket-identical.
+//! 6. **Multi-probe query throughput** — a standing cosine `Searcher`
+//!    answering point queries with the full step-wise per-band probe
+//!    budget, in queries/s, with the probe accounting asserted first.
+//! 7. **End-to-end all-pairs wall time** per preset.
 //!
 //! Everything is returned as structured rows; JSON serialization, the
 //! schema check the CI smoke job runs, and the [`assert_floor`] regression
@@ -33,11 +39,11 @@ use std::time::Instant;
 
 use bayeslsh_core::{
     bayes_verify, candidate_ids, par_bayes_verify, run_algorithm, sprt_verify, Algorithm,
-    BayesLshConfig, CosineModel, PipelineConfig,
+    BayesLshConfig, CosineModel, PipelineConfig, Searcher,
 };
 use bayeslsh_datasets::{generate, CorpusConfig, Preset};
 use bayeslsh_lsh::{
-    cos_to_r, generate_plane, quantized, r_to_cos, BitSignatures, MinHasher, SrpHasher,
+    cos_to_r, generate_plane, quantized, r_to_cos, BitSignatures, E2lshHasher, MinHasher, SrpHasher,
 };
 use bayeslsh_sparse::{cosine, Dataset, SparseVector};
 
@@ -79,6 +85,19 @@ pub struct VerifyBench {
     pub hashes_per_accepted_pair: f64,
 }
 
+/// Point-query throughput through the step-wise multi-probe path.
+#[derive(Debug, Clone)]
+pub struct QueryBench {
+    /// Point queries issued per pass.
+    pub queries: u64,
+    /// Best-of-reps wall time for one pass.
+    pub secs: f64,
+    /// `queries / secs`.
+    pub queries_per_s: f64,
+    /// Bucket lookups per pass (bands × probe budget × queries).
+    pub bucket_probes: u64,
+}
+
 /// End-to-end all-pairs wall time for one preset.
 #[derive(Debug, Clone)]
 pub struct EndToEndRow {
@@ -105,6 +124,10 @@ pub struct BaselineReport {
     pub srp: KernelBench,
     /// MinHash microbench.
     pub minhash: KernelBench,
+    /// E2LSH p-stable projection microbench.
+    pub e2lsh_hash: KernelBench,
+    /// Step-wise multi-probe point-query throughput.
+    pub multiprobe_query: QueryBench,
     /// BayesLSH verification throughput (cold pool, hashing included).
     pub verify: VerifyBench,
     /// Steady-state batched verification throughput (pool pre-extended, so
@@ -167,6 +190,7 @@ const SRP_DIM: u32 = 8_192;
 const SRP_VECTORS: usize = 256;
 const SRP_BITS: u32 = 512;
 const MH_HASHES: u32 = 256;
+const E2_HASHES: u32 = 256;
 const REPS: usize = 5;
 
 fn micro_corpus(seed: u64) -> Dataset {
@@ -262,6 +286,98 @@ pub fn minhash_bench(seed: u64) -> KernelBench {
     });
     std::hint::black_box(sink);
     bench_result(components, scalar_secs, kernel_secs)
+}
+
+/// E2LSH microbench: the per-slot scalar gather (`hash_ready`, one bank
+/// stride walk per bucket) vs the feature-major projection kernel, over
+/// weighted vectors at the default L2 bucket width. Panics if the two
+/// paths ever disagree on a bucket — like the SRP row, the baseline
+/// doubles as a bit-identity check.
+pub fn e2lsh_bench(seed: u64) -> KernelBench {
+    let data = micro_corpus(seed);
+    let mut hasher = E2lshHasher::new(SRP_DIM, seed ^ 0x72E2, 4.0);
+    hasher.ensure_functions(E2_HASHES as usize);
+
+    let components: u64 = data
+        .vectors()
+        .iter()
+        .map(|v| v.nnz() as u64 * E2_HASHES as u64)
+        .sum();
+
+    for (_, v) in data.iter() {
+        let old: Vec<u32> = (0..E2_HASHES)
+            .map(|i| hasher.hash_ready(i as usize, v))
+            .collect();
+        let mut new = Vec::new();
+        hasher.hash_range_into(v, 0, E2_HASHES, &mut new);
+        assert_eq!(old, new, "kernel diverged from the scalar per-slot path");
+    }
+
+    let mut sink = 0u32;
+    let scalar_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut out = Vec::new();
+            for i in 0..E2_HASHES {
+                out.push(hasher.hash_ready(i as usize, v));
+            }
+            sink ^= out[0];
+        }
+    });
+    let kernel_secs = best_of(REPS, || {
+        for (_, v) in data.iter() {
+            let mut out = Vec::new();
+            hasher.hash_range_into(v, 0, E2_HASHES, &mut out);
+            sink ^= out[0];
+        }
+    });
+    std::hint::black_box(sink);
+    bench_result(components, scalar_secs, kernel_secs)
+}
+
+/// Multi-probe query throughput: a standing cosine `Searcher` (LSH
+/// banding × exact, paper-default plan) answering point queries with the
+/// full per-band flip budget (`band_width + 1` probes per band). The
+/// probe accounting is asserted before timing, so the row cannot
+/// silently fall back to the single-probe path.
+pub fn multiprobe_query_bench(scale: f64, seed: u64) -> QueryBench {
+    let data = Preset::Rcv1.load(scale, seed);
+    let mut cfg = PipelineConfig::cosine(0.7);
+    cfg.probes = cfg.band_width as usize + 1;
+    let searcher = Searcher::builder(cfg)
+        .algorithm(Algorithm::Lsh)
+        .build(data.clone())
+        .expect("valid config");
+    let bands = searcher.banding_plan().params.l as u64;
+    let step = (data.len() / 256).max(1);
+    let queries: Vec<SparseVector> = (0..data.len() as u32)
+        .step_by(step)
+        .map(|id| data.vector(id).clone())
+        .collect();
+
+    let mut bucket_probes = 0u64;
+    for q in &queries {
+        let out = searcher.query(q, 0.7).expect("in-range threshold");
+        assert_eq!(
+            out.stats.bucket_probes,
+            bands * cfg.probes as u64,
+            "multi-probe accounting"
+        );
+        bucket_probes += out.stats.bucket_probes;
+    }
+
+    let mut sink = 0usize;
+    let secs = best_of(REPS, || {
+        for q in &queries {
+            sink ^= searcher.query(q, 0.7).unwrap().neighbors.len();
+        }
+    });
+    std::hint::black_box(sink);
+    QueryBench {
+        queries: queries.len() as u64,
+        secs,
+        queries_per_s: queries.len() as f64 / secs.max(1e-12),
+        bucket_probes,
+    }
 }
 
 fn bench_result(components: u64, scalar_secs: f64, kernel_secs: f64) -> KernelBench {
@@ -406,6 +522,8 @@ pub fn run(scale: f64, seed: u64) -> BaselineReport {
         cores: std::thread::available_parallelism().map_or(1, |c| c.get()),
         srp: srp_bench(seed),
         minhash: minhash_bench(seed),
+        e2lsh_hash: e2lsh_bench(seed),
+        multiprobe_query: multiprobe_query_bench(scale, seed),
         verify: verify_bench(scale, seed),
         verify_batched: verify_batched_bench(scale, seed),
         sprt_verify: sprt_verify_bench(scale, seed),
@@ -420,6 +538,16 @@ fn json_verify(b: &VerifyBench) -> String {
             "\"hash_comparisons\": {}, \"hashes_per_accepted_pair\": {:.1}}}"
         ),
         b.pairs, b.secs, b.pairs_per_s, b.hash_comparisons, b.hashes_per_accepted_pair
+    )
+}
+
+fn json_query(b: &QueryBench) -> String {
+    format!(
+        concat!(
+            "{{\"queries\": {}, \"secs\": {:.4}, \"queries_per_s\": {:.1}, ",
+            "\"bucket_probes\": {}}}"
+        ),
+        b.queries, b.secs, b.queries_per_s, b.bucket_probes
     )
 }
 
@@ -457,12 +585,14 @@ impl BaselineReport {
         format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"bayeslsh-bench-baseline-v3\",\n",
+                "  \"schema\": \"bayeslsh-bench-baseline-v4\",\n",
                 "  \"scale\": {},\n",
                 "  \"seed\": {},\n",
                 "  \"cores\": {},\n",
                 "  \"srp\": {},\n",
                 "  \"minhash\": {},\n",
+                "  \"e2lsh_hash\": {},\n",
+                "  \"multiprobe_query\": {},\n",
                 "  \"verify\": {},\n",
                 "  \"verify_batched\": {},\n",
                 "  \"sprt_verify\": {},\n",
@@ -474,6 +604,8 @@ impl BaselineReport {
             self.cores,
             json_kernel(&self.srp),
             json_kernel(&self.minhash),
+            json_kernel(&self.e2lsh_hash),
+            json_query(&self.multiprobe_query),
             json_verify(&self.verify),
             json_verify(&self.verify_batched),
             json_verify(&self.sprt_verify),
@@ -505,9 +637,11 @@ fn section_slice<'a>(s: &'a str, section: &str) -> Option<&'a str> {
 
 /// The throughput keys the CI `bench-regression` job holds the line on, as
 /// `(section, key)` pairs scoped exactly like [`validate_json`].
-const FLOOR_KEYS: [(&str, &str); 5] = [
+const FLOOR_KEYS: [(&str, &str); 7] = [
     ("\"srp\":", "kernel_components_per_s"),
     ("\"minhash\":", "kernel_components_per_s"),
+    ("\"e2lsh_hash\":", "kernel_components_per_s"),
+    ("\"multiprobe_query\":", "queries_per_s"),
     ("\"verify\":", "pairs_per_s"),
     ("\"verify_batched\":", "pairs_per_s"),
     ("\"sprt_verify\":", "pairs_per_s"),
@@ -553,12 +687,14 @@ pub fn assert_floor(committed: &str, fresh: &str) -> Result<Vec<String>, String>
 /// itself, before declaring success) runs, so the perf-reporting pipeline
 /// cannot silently rot.
 pub fn validate_json(s: &str) -> Result<(), String> {
-    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v3\"") {
+    if !s.contains("\"schema\": \"bayeslsh-bench-baseline-v4\"") {
         return Err("missing or wrong schema marker".into());
     }
     for section in [
         "\"srp\":",
         "\"minhash\":",
+        "\"e2lsh_hash\":",
+        "\"multiprobe_query\":",
         "\"verify\":",
         "\"verify_batched\":",
         "\"sprt_verify\":",
@@ -586,6 +722,18 @@ pub fn validate_json(s: &str) -> Result<(), String> {
                 "kernel_components_per_s",
                 "speedup",
             ][..],
+        ),
+        (
+            "\"e2lsh_hash\":",
+            &[
+                "scalar_components_per_s",
+                "kernel_components_per_s",
+                "speedup",
+            ][..],
+        ),
+        (
+            "\"multiprobe_query\":",
+            &["queries_per_s", "bucket_probes"][..],
         ),
         ("\"verify\":", &["pairs_per_s"][..]),
         ("\"verify_batched\":", &["pairs_per_s"][..]),
@@ -683,6 +831,17 @@ mod tests {
                 kernel: t(30.0),
                 speedup: 3.0,
             },
+            e2lsh_hash: KernelBench {
+                scalar: t(40.0),
+                kernel: t(120.0),
+                speedup: 3.0,
+            },
+            multiprobe_query: QueryBench {
+                queries: 64,
+                secs: 0.02,
+                queries_per_s: 3200.0,
+                bucket_probes: 4096,
+            },
             verify: VerifyBench {
                 pairs: 10,
                 secs: 0.1,
@@ -778,6 +937,15 @@ mod tests {
         r.sprt_verify.pairs_per_s = 50.0;
         let err = assert_floor(&committed, &r.to_json()).unwrap_err();
         assert!(err.contains("sprt_verify"));
+        // And the v4 rows: the E2LSH kernel and the multi-probe query path.
+        let mut r = sample_report();
+        r.e2lsh_hash.kernel.per_s = 10.0;
+        let err = assert_floor(&committed, &r.to_json()).unwrap_err();
+        assert!(err.contains("e2lsh_hash"));
+        let mut r = sample_report();
+        r.multiprobe_query.queries_per_s = 100.0;
+        let err = assert_floor(&committed, &r.to_json()).unwrap_err();
+        assert!(err.contains("multiprobe_query"));
         // A fresh emit missing a gated section is an error, not a pass.
         let truncated = committed.replace("\"verify_batched\":", "\"vb\":");
         assert!(assert_floor(&committed, &truncated).is_err());
@@ -792,6 +960,8 @@ mod tests {
         let b = srp_bench(7);
         assert!(b.scalar.per_s > 0.0 && b.kernel.per_s > 0.0);
         let b = minhash_bench(7);
+        assert!(b.scalar.per_s > 0.0 && b.kernel.per_s > 0.0);
+        let b = e2lsh_bench(7);
         assert!(b.scalar.per_s > 0.0 && b.kernel.per_s > 0.0);
     }
 }

@@ -453,7 +453,7 @@ fn run_serve_loop(args: &Args) {
 }
 
 fn run_bench_baseline(args: &Args) {
-    let out = args.out_or("BENCH_9.json");
+    let out = args.out_or("BENCH_10.json");
     banner(&format!(
         "Perf baseline: hashing kernels + verification (scale {}, -> {out})",
         args.scale
@@ -472,6 +472,12 @@ fn run_bench_baseline(args: &Args) {
             fmt_count(report.minhash.kernel.per_s as u64),
             format!("{:.2}x", report.minhash.speedup),
         ],
+        vec![
+            "E2LSH (p-stable)".to_string(),
+            fmt_count(report.e2lsh_hash.scalar.per_s as u64),
+            fmt_count(report.e2lsh_hash.kernel.per_s as u64),
+            format!("{:.2}x", report.e2lsh_hash.speedup),
+        ],
     ];
     print!(
         "{}",
@@ -479,6 +485,13 @@ fn run_bench_baseline(args: &Args) {
             &["kernel", "scalar comp/s", "kernel comp/s", "speedup"],
             &table
         )
+    );
+    println!(
+        "multi-probe queries: {} in {} ({} queries/s, {} bucket probes)",
+        fmt_count(report.multiprobe_query.queries),
+        fmt_secs(report.multiprobe_query.secs),
+        fmt_count(report.multiprobe_query.queries_per_s as u64),
+        fmt_count(report.multiprobe_query.bucket_probes),
     );
     println!(
         "verify (cold pool): {} pairs in {} ({} pairs/s, {} hash comparisons, \

@@ -7,7 +7,8 @@
 use bayeslsh_core::pipeline::ground_truth;
 use bayeslsh_core::{estimate_errors, recall_against, run_algorithm, Algorithm, PipelineConfig};
 use bayeslsh_datasets::Preset;
-use bayeslsh_sparse::{similarity::Measure, Dataset};
+use bayeslsh_lsh::Measure;
+use bayeslsh_sparse::Dataset;
 
 /// Which parameter a sweep row varies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

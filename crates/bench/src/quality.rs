@@ -5,7 +5,7 @@
 use bayeslsh_core::pipeline::ground_truth;
 use bayeslsh_core::{estimate_errors, recall_against, run_algorithm, Algorithm, PipelineConfig};
 use bayeslsh_datasets::Preset;
-use bayeslsh_sparse::similarity::Measure;
+use bayeslsh_lsh::Measure;
 
 /// One recall measurement (Table 3).
 #[derive(Debug, Clone)]

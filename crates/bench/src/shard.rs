@@ -159,13 +159,18 @@ pub fn shard_serve(scale: f64, seed: u64, manifest_path: &str) -> Result<ShardSe
         let start = Instant::now();
         let got = sharded.query(&q, 0.7).map_err(|e| e.to_string())?;
         scatter_secs += start.elapsed().as_secs_f64();
+        // Scatter-gather probes each shard's own index, so the merged
+        // probe count is shards × the single index's; everything else
+        // must match bit for bit.
+        let mut scaled = want.stats;
+        scaled.bucket_probes *= sharded.shard_count() as u64;
         if want.neighbors.len() != got.neighbors.len()
             || want
                 .neighbors
                 .iter()
                 .zip(&got.neighbors)
                 .any(|(x, y)| (x.0, x.1.to_bits()) != (y.0, y.1.to_bits()))
-            || want.stats != got.stats
+            || scaled != got.stats
         {
             return Err(format!("query {qid} diverged between sharded and single"));
         }

@@ -10,7 +10,8 @@
 
 use bayeslsh_core::{run_algorithm, Algorithm, PipelineConfig};
 use bayeslsh_datasets::Preset;
-use bayeslsh_sparse::{similarity::Measure, Dataset};
+use bayeslsh_lsh::Measure;
+use bayeslsh_sparse::Dataset;
 
 /// Which of the paper's three experiment families to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,8 +79,8 @@ impl Family {
     /// Pipeline configuration at threshold `t`.
     pub fn config(&self, t: f64, seed: u64) -> PipelineConfig {
         let mut cfg = match self.measure() {
-            Measure::Cosine => PipelineConfig::cosine(t),
             Measure::Jaccard => PipelineConfig::jaccard(t),
+            _ => PipelineConfig::cosine(t),
         };
         cfg.seed = seed;
         cfg

@@ -30,7 +30,7 @@ pub use allpairs::{
 };
 pub use lshindex::{
     band_key_bits, band_key_ints, band_keys_bits, band_keys_ints, lsh_candidates_bits,
-    lsh_candidates_ints, BandingIndex, BandingParams, BandingPlan,
+    lsh_candidates_ints, lsh_candidates_projs, BandingIndex, BandingParams, BandingPlan,
 };
 pub use pairs::PairSet;
 pub use ppjoin::{ppjoin_binary_cosine, ppjoin_jaccard};

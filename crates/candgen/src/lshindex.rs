@@ -6,7 +6,7 @@
 //! t`; cosine: `p = c2r(t)`), the number of signatures needed for an
 //! expected false-negative rate ε is `l = ceil(log ε / log(1 − p^k))`.
 
-use bayeslsh_lsh::{BitSignatures, IntSignatures, SignaturePool};
+use bayeslsh_lsh::{BitSignatures, IntSignatures, ProjSignatures, SignaturePool};
 use bayeslsh_numeric::fan_out;
 use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_sparse::Dataset;
@@ -482,6 +482,43 @@ impl BandingIndex {
         out
     }
 
+    /// Step-wise multi-probe lookup: `key_seqs[band]` is that band's probe
+    /// sequence, its first entry the base band key and later entries
+    /// perturbed keys ordered by descending expected collision probability
+    /// (Lv et al., VLDB'07). Probing interleaves *step-wise* — every band's
+    /// step-`s` key is tried before any band's step-`s+1` key — so the most
+    /// promising buckets across all bands are drained first and truncating
+    /// the sequences degrades gracefully. Hits are deduplicated in
+    /// first-encounter order, which for one-key sequences is exactly
+    /// [`BandingIndex::probe`]'s order; the second return is the number of
+    /// bucket lookups performed (`Σ sequence lengths`, the query-cost knob
+    /// multi-probe trades against band count).
+    pub fn probe_multi(&self, key_seqs: &[Vec<u64>]) -> (Vec<u32>, u64) {
+        assert_eq!(
+            key_seqs.len(),
+            self.params.l as usize,
+            "expected one probe sequence per band"
+        );
+        let depth = key_seqs.iter().map(Vec::len).max().unwrap_or(0);
+        let mut out = Vec::new();
+        let mut seen = crate::fxhash::FxHashSet::<u32>::default();
+        let mut probes = 0u64;
+        for step in 0..depth {
+            for (band, seq) in key_seqs.iter().enumerate() {
+                let Some(&key) = seq.get(step) else { continue };
+                probes += 1;
+                if let Some(ids) = self.buckets[band].get(&key) {
+                    for &id in ids {
+                        if seen.insert(id) {
+                            out.push(id);
+                        }
+                    }
+                }
+            }
+        }
+        (out, probes)
+    }
+
     /// All distinct candidate pairs: every pair of ids sharing at least one
     /// band bucket.
     pub fn all_pairs(&self) -> Vec<(u32, u32)> {
@@ -577,10 +614,42 @@ pub fn lsh_candidates_ints(
     out.into_vec()
 }
 
+/// Candidate pairs from quantized-projection signatures (L2 / E2LSH).
+/// The bucket hashes are integer-valued like minhash, so the banding is
+/// identical to [`lsh_candidates_ints`]; streams one band at a time.
+pub fn lsh_candidates_projs(
+    pool: &mut ProjSignatures,
+    data: &Dataset,
+    params: BandingParams,
+) -> Vec<(u32, u32)> {
+    let need = params.total_hashes();
+    // Feature-major projection kernel: one pass per vector; see
+    // [`lsh_candidates_bits`] on the allocation hint.
+    pool.depth_hint(need);
+    for (id, v) in data.iter() {
+        if !v.is_empty() {
+            pool.ensure(id, v, need);
+        }
+    }
+    let mut out = PairSet::new();
+    for band in 0..params.l {
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (id, v) in data.iter() {
+            if v.is_empty() {
+                continue;
+            }
+            let key = band_key_ints(pool.raw(id), band, params.k);
+            buckets.entry(key).or_default().push(id);
+        }
+        pairs_from_buckets(&buckets, &mut out);
+    }
+    out.into_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bayeslsh_lsh::{MinHasher, SrpHasher};
+    use bayeslsh_lsh::{E2lshHasher, MinHasher, SrpHasher};
     use bayeslsh_numeric::Xoshiro256;
     use bayeslsh_sparse::{jaccard, SparseVector};
 
@@ -796,6 +865,84 @@ mod tests {
         assert_eq!(pairs, vec![(0, 1), (1, 2)]);
         assert_eq!(index.probe(&[8, 9]), vec![2, 0]);
         assert!(index.probe(&[100, 100]).is_empty());
+    }
+
+    #[test]
+    fn probe_multi_single_step_matches_probe() {
+        let data = clustered_sets(6, 5, 63);
+        let params = BandingParams::for_threshold(0.5, 3, 0.03, 1000);
+        let mut pool = IntSignatures::new(MinHasher::new(64), data.len());
+        let mut index = BandingIndex::new(params);
+        for (id, v) in data.iter() {
+            pool.ensure(id, v, params.total_hashes());
+            index.insert(id, &band_keys_ints(pool.raw(id), params));
+        }
+        // With one key per band, multi-probe is plain probe: same hits in
+        // the same order, exactly l bucket lookups.
+        for (id, _) in data.iter().step_by(9) {
+            let keys = band_keys_ints(pool.raw(id), params);
+            let seqs: Vec<Vec<u64>> = keys.iter().map(|&k| vec![k]).collect();
+            let (hits, probes) = index.probe_multi(&seqs);
+            assert_eq!(hits, index.probe(&keys), "id {id}");
+            assert_eq!(probes, params.l as u64);
+        }
+    }
+
+    #[test]
+    fn probe_multi_interleaves_step_wise() {
+        let params = BandingParams { k: 1, l: 2 };
+        let mut index = BandingIndex::new(params);
+        index.insert(0, &[10, 20]);
+        index.insert(1, &[11, 21]);
+        index.insert(2, &[12, 20]);
+        index.insert(3, &[11, 22]);
+        // Band 0 probes keys 10 then 11; band 1 probes only 20 (ragged).
+        let seqs = vec![vec![10, 11], vec![20]];
+        let (hits, probes) = index.probe_multi(&seqs);
+        // Step 0 drains band 0's bucket 10 → [0], then band 1's bucket
+        // 20 → [0, 2] (0 deduplicated); step 1 drains band 0's bucket
+        // 11 → [1, 3]. Band-major order would yield [0, 1, 3, 2] instead.
+        assert_eq!(hits, vec![0, 2, 1, 3]);
+        assert_eq!(probes, 3);
+        // Empty sequences everywhere: nothing probed.
+        let (hits, probes) = index.probe_multi(&[Vec::new(), Vec::new()]);
+        assert!(hits.is_empty());
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn projs_candidates_find_l2_clusters_and_match_index() {
+        // Two tight L2 clusters 50 apart; every within-cluster pair must
+        // surface as a candidate.
+        let mut data = Dataset::new(4);
+        let mut rng = Xoshiro256::seed_from_u64(71);
+        for c in 0..2u32 {
+            let base = c as f32 * 50.0;
+            for _ in 0..6 {
+                let pairs: Vec<(u32, f32)> = (0..4)
+                    .map(|i| (i, base + 1.0 + rng.next_f64() as f32 * 0.05))
+                    .collect();
+                data.push(SparseVector::from_pairs(pairs));
+            }
+        }
+        let params = BandingParams { k: 2, l: 4 };
+        let mut pool = ProjSignatures::new(E2lshHasher::new(data.dim(), 72, 4.0), data.len());
+        let cands = lsh_candidates_projs(&mut pool, &data, params);
+        for c in 0..2u32 {
+            for a in 0..6u32 {
+                for b in (a + 1)..6 {
+                    let (x, y) = (c * 6 + a, c * 6 + b);
+                    assert!(cands.contains(&(x, y)), "missing near pair ({x},{y})");
+                }
+            }
+        }
+        // The one-shot streaming path reads identically to an id-order
+        // BandingIndex, same as the bits/ints paths.
+        let mut index = BandingIndex::new(params);
+        for (id, _) in data.iter() {
+            index.insert(id, &band_keys_ints(pool.raw(id), params));
+        }
+        assert_eq!(cands, index.all_pairs());
     }
 
     #[test]

@@ -22,50 +22,64 @@ use std::time::Instant;
 use bayeslsh_candgen::{
     all_pairs_cosine, all_pairs_cosine_candidates, all_pairs_jaccard, all_pairs_jaccard_candidates,
     band_key_bits, band_key_ints, band_keys_bits, band_keys_ints, lsh_candidates_bits,
-    lsh_candidates_ints, ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex, BandingParams,
+    lsh_candidates_ints, lsh_candidates_projs, ppjoin_binary_cosine, ppjoin_jaccard, BandingIndex,
+    BandingParams,
 };
 use bayeslsh_lsh::{
     cos_to_r, count_bit_agreements, count_bit_agreements_batched, count_int_agreements,
-    count_int_agreements_batched, r_to_cos, BitSignatures, IntSignatures, MinHasher, SignaturePool,
-    SrpHasher,
+    count_int_agreements_batched, e2lsh_collision, e2lsh_similarity_at, r_to_cos, BitSignatures,
+    E2lshHasher, IntSignatures, Measure, MinHasher, ProjSignatures, SignaturePool, SrpHasher,
 };
 use bayeslsh_numeric::{derive_seed, Xoshiro256};
-use bayeslsh_sparse::{cosine, jaccard, similarity::Measure, Dataset, SparseVector};
+use bayeslsh_sparse::{cosine, jaccard, l2_similarity, Dataset, SparseVector};
 
 use crate::cosine_model::CosineModel;
 use crate::engine::{bayes_verify, bayes_verify_lite, sprt_verify, EngineStats};
 use crate::error::SearchError;
 use crate::estimator::mle_verify;
+use crate::family_model::FamilyModel;
 use crate::jaccard_model::JaccardModel;
 use crate::parallel::{
     candidate_ids, par_bayes_verify, par_bayes_verify_lite, par_exact_verify, par_mle_verify,
     par_sprt_verify,
 };
-use crate::pipeline::{PipelineConfig, PriorChoice};
+use crate::pipeline::{all_pairs_l2, PipelineConfig, PriorChoice};
 
-/// A signature pool for either hash family, created to match a
-/// [`PipelineConfig`]'s measure: signed-random-projection bits for cosine,
-/// integer minhashes for Jaccard. Seeds are derived from the config's
-/// master seed exactly as the classic pipelines did, so results are
-/// reproducible across the legacy and composable APIs.
+/// A signature pool for any hash family, created to match a
+/// [`PipelineConfig`]'s family: signed-random-projection bits for cosine
+/// (and for MIPS, which is SRP on augmented vectors with its own seed
+/// stream), integer minhashes for Jaccard, quantized p-stable projections
+/// for L2. Seeds are derived from the config's master seed exactly as the
+/// classic pipelines did, so results are reproducible across the legacy
+/// and composable APIs.
 #[derive(Debug, Clone)]
 pub enum SigPool {
-    /// Bit signatures (cosine / signed random projections).
+    /// Bit signatures (cosine or MIPS / signed random projections).
     Bits(BitSignatures),
     /// Integer minhash signatures (Jaccard).
     Ints(IntSignatures),
+    /// Quantized-projection bucket signatures (L2 / E2LSH).
+    Projs(ProjSignatures),
 }
 
 impl SigPool {
-    /// A pool matching `cfg.measure`, sized for `data`.
+    /// A pool matching `cfg.family`, sized for `data`.
     pub fn for_config(cfg: &PipelineConfig, data: &Dataset) -> Self {
-        match cfg.measure {
+        match cfg.family.measure() {
             Measure::Cosine => SigPool::Bits(BitSignatures::new(
                 SrpHasher::new(data.dim(), derive_seed(cfg.seed, 1)),
                 data.len(),
             )),
             Measure::Jaccard => SigPool::Ints(IntSignatures::new(
                 MinHasher::new(derive_seed(cfg.seed, 2)),
+                data.len(),
+            )),
+            Measure::L2 => SigPool::Projs(ProjSignatures::new(
+                E2lshHasher::new(data.dim(), derive_seed(cfg.seed, 3), l2_width(cfg)),
+                data.len(),
+            )),
+            Measure::Mips => SigPool::Bits(BitSignatures::new(
+                SrpHasher::new(data.dim(), derive_seed(cfg.seed, 4)),
                 data.len(),
             )),
         }
@@ -76,6 +90,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.grow_to(n_objects),
             SigPool::Ints(p) => p.grow_to(n_objects),
+            SigPool::Projs(p) => p.grow_to(n_objects),
         }
     }
 
@@ -85,6 +100,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => band_keys_bits(p.raw_words(id), params),
             SigPool::Ints(p) => band_keys_ints(p.raw(id), params),
+            SigPool::Projs(p) => band_keys_ints(p.raw(id), params),
         }
     }
 
@@ -98,6 +114,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.hash_external(v, 0, n, &mut sig),
             SigPool::Ints(p) => p.hash_external(v, 0, n, &mut sig),
+            SigPool::Projs(p) => p.hash_external(v, 0, n, &mut sig),
         }
         sig
     }
@@ -108,7 +125,7 @@ impl SigPool {
             SigPool::Bits(_) => (0..params.l)
                 .map(|band| band_key_bits(sig, band, params.k))
                 .collect(),
-            SigPool::Ints(_) => (0..params.l)
+            SigPool::Ints(_) | SigPool::Projs(_) => (0..params.l)
                 .map(|band| band_key_ints(sig, band, params.k))
                 .collect(),
         }
@@ -120,6 +137,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => count_bit_agreements(sig, p.raw_words(id), lo, hi),
             SigPool::Ints(p) => count_int_agreements(sig, p.raw(id), lo, hi),
+            SigPool::Projs(p) => count_int_agreements(sig, p.raw(id), lo, hi),
         }
     }
 
@@ -148,6 +166,9 @@ impl SigPool {
             SigPool::Ints(p) => {
                 count_int_agreements_batched(sig, ids.iter().map(|&id| p.raw(id)), lo, hi, out)
             }
+            SigPool::Projs(p) => {
+                count_int_agreements_batched(sig, ids.iter().map(|&id| p.raw(id)), lo, hi, out)
+            }
         }
     }
 
@@ -159,6 +180,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.par_ensure_ids(data, ids, n, threads),
             SigPool::Ints(p) => p.par_ensure_ids(data, ids, n, threads),
+            SigPool::Projs(p) => p.par_ensure_ids(data, ids, n, threads),
         }
     }
 
@@ -168,6 +190,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.hash_external_par(v, n, threads),
             SigPool::Ints(p) => p.hash_external_par(v, n, threads),
+            SigPool::Projs(p) => p.hash_external_par(v, n, threads),
         }
     }
 
@@ -178,6 +201,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.external_ready(n),
             SigPool::Ints(p) => p.external_ready(n),
+            SigPool::Projs(p) => p.external_ready(n),
         }
     }
 
@@ -188,6 +212,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.prepare_external(n, threads),
             SigPool::Ints(p) => p.prepare_external(n, threads),
+            SigPool::Projs(p) => p.prepare_external(n, threads),
         }
     }
 
@@ -198,6 +223,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.hash_external_ready(v, n, threads),
             SigPool::Ints(p) => p.hash_external_ready(v, n, threads),
+            SigPool::Projs(p) => p.hash_external_ready(v, n, threads),
         }
     }
 
@@ -208,6 +234,7 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => p.clear(id),
             SigPool::Ints(p) => p.clear(id),
+            SigPool::Projs(p) => p.clear(id),
         }
     }
 
@@ -219,8 +246,16 @@ impl SigPool {
         match self {
             SigPool::Bits(p) => band_key_bits(p.raw_words(id), band, params.k),
             SigPool::Ints(p) => band_key_ints(p.raw(id), band, params.k),
+            SigPool::Projs(p) => band_key_ints(p.raw(id), band, params.k),
         }
     }
+}
+
+/// The L2 family's bucket width; callers must hold an L2 pipeline config.
+pub(crate) fn l2_width(cfg: &PipelineConfig) -> f64 {
+    cfg.family
+        .l2_width()
+        .expect("L2 pipeline carries a bucket width")
 }
 
 impl SignaturePool for SigPool {
@@ -228,6 +263,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.ensure(id, v, n),
             SigPool::Ints(p) => p.ensure(id, v, n),
+            SigPool::Projs(p) => p.ensure(id, v, n),
         }
     }
 
@@ -235,6 +271,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.len(id),
             SigPool::Ints(p) => p.len(id),
+            SigPool::Projs(p) => p.len(id),
         }
     }
 
@@ -242,6 +279,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.agreements(a, b, lo, hi),
             SigPool::Ints(p) => p.agreements(a, b, lo, hi),
+            SigPool::Projs(p) => p.agreements(a, b, lo, hi),
         }
     }
 
@@ -249,6 +287,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.agreements_batched(a, others, lo, hi, out),
             SigPool::Ints(p) => p.agreements_batched(a, others, lo, hi, out),
+            SigPool::Projs(p) => p.agreements_batched(a, others, lo, hi, out),
         }
     }
 
@@ -256,6 +295,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.total_hashes(),
             SigPool::Ints(p) => p.total_hashes(),
+            SigPool::Projs(p) => p.total_hashes(),
         }
     }
 
@@ -263,6 +303,7 @@ impl SignaturePool for SigPool {
         match self {
             SigPool::Bits(p) => p.depth_hint(n),
             SigPool::Ints(p) => p.depth_hint(n),
+            SigPool::Projs(p) => p.depth_hint(n),
         }
     }
 }
@@ -485,9 +526,10 @@ pub fn run_composition(
     comp: Composition,
     ctx: &mut SearchContext<'_>,
 ) -> Result<CompositionOutput, SearchError> {
-    if comp.requires_binary(ctx.cfg.measure) && !ctx.data.vectors().iter().all(|v| v.is_binary()) {
+    let measure = ctx.cfg.family.measure();
+    if comp.requires_binary(measure) && !ctx.data.vectors().iter().all(|v| v.is_binary()) {
         return Err(SearchError::NonBinaryData {
-            requires: comp.binary_requirement(ctx.cfg.measure),
+            requires: comp.binary_requirement(measure),
         });
     }
     run_composition_prechecked(comp, ctx)
@@ -500,6 +542,19 @@ pub(crate) fn run_composition_prechecked(
     comp: Composition,
     ctx: &mut SearchContext<'_>,
 ) -> Result<CompositionOutput, SearchError> {
+    if comp.generator == GeneratorKind::PpjoinPlus
+        && matches!(ctx.cfg.family.measure(), Measure::L2 | Measure::Mips)
+    {
+        // PPJoin+'s prefix filter is derived from the cosine/Jaccard
+        // overlap bound; it has no L2 or inner-product counterpart.
+        return Err(SearchError::invalid(
+            "family",
+            format!(
+                "PPJoin+ supports cosine and Jaccard only, got {}",
+                ctx.cfg.family
+            ),
+        ));
+    }
     let generator = comp.generator.instantiate();
     let verifier = comp.verifier.instantiate();
     let start = Instant::now();
@@ -562,18 +617,42 @@ impl CandidateGenerator for AllPairsGenerator {
     }
 
     fn exact_join(&self, ctx: &mut SearchContext<'_>) -> Option<Vec<(u32, u32, f64)>> {
-        Some(match ctx.cfg.measure {
+        Some(match ctx.cfg.family.measure() {
             Measure::Cosine => all_pairs_cosine(ctx.data, ctx.cfg.threshold),
             Measure::Jaccard => all_pairs_jaccard(ctx.data, ctx.cfg.threshold),
+            Measure::L2 => all_pairs_l2(ctx.data, ctx.cfg.threshold),
+            // MIPS is cosine on (externally) augmented vectors.
+            Measure::Mips => all_pairs_cosine(ctx.data, ctx.cfg.threshold),
         })
     }
 
     fn generate(&self, ctx: &mut SearchContext<'_>) -> Vec<(u32, u32)> {
-        match ctx.cfg.measure {
+        match ctx.cfg.family.measure() {
             Measure::Cosine => all_pairs_cosine_candidates(ctx.data, ctx.cfg.threshold),
             Measure::Jaccard => all_pairs_jaccard_candidates(ctx.data, ctx.cfg.threshold),
+            Measure::L2 => all_pairs_l2_candidates(ctx.data),
+            Measure::Mips => all_pairs_cosine_candidates(ctx.data, ctx.cfg.threshold),
         }
     }
+}
+
+/// Every pair of non-empty vectors, in ascending id order. AllPairs'
+/// max-weight prefix filter is a dot-product bound with no L2 analogue, so
+/// the L2 "AllPairs" candidate set is the exhaustive scan — downstream
+/// Bayesian verifiers do all the pruning.
+fn all_pairs_l2_candidates(data: &Dataset) -> Vec<(u32, u32)> {
+    let ids: Vec<u32> = data
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|(id, _)| id)
+        .collect();
+    let mut out = Vec::with_capacity(ids.len().saturating_mul(ids.len().saturating_sub(1)) / 2);
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            out.push((a, b));
+        }
+    }
+    out
 }
 
 /// LSH banding candidate generation over the shared signature pool.
@@ -612,6 +691,7 @@ impl CandidateGenerator for LshBandingGenerator {
         match ctx.pool {
             SigPool::Bits(pool) => lsh_candidates_bits(pool, ctx.data, params),
             SigPool::Ints(pool) => lsh_candidates_ints(pool, ctx.data, params),
+            SigPool::Projs(pool) => lsh_candidates_projs(pool, ctx.data, params),
         }
     }
 }
@@ -625,9 +705,13 @@ impl CandidateGenerator for PpjoinGenerator {
     }
 
     fn exact_join(&self, ctx: &mut SearchContext<'_>) -> Option<Vec<(u32, u32, f64)>> {
-        Some(match ctx.cfg.measure {
+        Some(match ctx.cfg.family.measure() {
             Measure::Cosine => ppjoin_binary_cosine(ctx.data, ctx.cfg.threshold),
             Measure::Jaccard => ppjoin_jaccard(ctx.data, ctx.cfg.threshold),
+            // Rejected with a typed error before any generator runs.
+            Measure::L2 | Measure::Mips => {
+                unreachable!("run_composition rejects PPJoin+ under L2/MIPS")
+            }
         })
     }
 
@@ -653,7 +737,7 @@ impl Verifier for ExactVerifier {
         ctx: &mut SearchContext<'_>,
         candidates: &[(u32, u32)],
     ) -> (Vec<(u32, u32, f64)>, Option<EngineStats>) {
-        let measure = ctx.cfg.measure;
+        let measure = ctx.cfg.family.measure();
         let t = ctx.cfg.threshold;
         let threads = ctx.cfg.parallelism.resolve();
         let pairs = par_exact_verify(ctx.data, measure, t, candidates, threads);
@@ -680,15 +764,36 @@ impl Verifier for MleVerifier {
         if threads > 1 {
             let ids = candidate_ids(candidates, ctx.data.len());
             ctx.pool.par_ensure_ids(ctx.data, &ids, n, threads);
-            let (pairs, _) = match ctx.cfg.measure {
-                Measure::Cosine => par_mle_verify(&*ctx.pool, candidates, n, t, r_to_cos, threads),
+            let (pairs, _) = match ctx.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => {
+                    par_mle_verify(&*ctx.pool, candidates, n, t, r_to_cos, threads)
+                }
                 Measure::Jaccard => par_mle_verify(&*ctx.pool, candidates, n, t, |f| f, threads),
+                Measure::L2 => {
+                    let r = l2_width(ctx.cfg);
+                    par_mle_verify(
+                        &*ctx.pool,
+                        candidates,
+                        n,
+                        t,
+                        move |f| e2lsh_similarity_at(f, r),
+                        threads,
+                    )
+                }
             };
             return (pairs, None);
         }
-        let (pairs, _) = match ctx.cfg.measure {
-            Measure::Cosine => mle_verify(ctx.data, ctx.pool, candidates, n, t, r_to_cos),
+        let (pairs, _) = match ctx.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => {
+                mle_verify(ctx.data, ctx.pool, candidates, n, t, r_to_cos)
+            }
             Measure::Jaccard => mle_verify(ctx.data, ctx.pool, candidates, n, t, |f| f),
+            Measure::L2 => {
+                let r = l2_width(ctx.cfg);
+                mle_verify(ctx.data, ctx.pool, candidates, n, t, move |f| {
+                    e2lsh_similarity_at(f, r)
+                })
+            }
         };
         (pairs, None)
     }
@@ -713,23 +818,31 @@ impl Verifier for BayesVerifier {
             let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
             let ids = candidate_ids(candidates, ctx.data.len());
             ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
-            let (pairs, stats) = match ctx.cfg.measure {
-                Measure::Cosine => {
+            let (pairs, stats) = match ctx.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => {
                     par_bayes_verify(&*ctx.pool, &CosineModel::new(), candidates, &cfg, threads)
                 }
                 Measure::Jaccard => {
                     let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
                     par_bayes_verify(&*ctx.pool, &model, candidates, &cfg, threads)
                 }
+                Measure::L2 => {
+                    let model = FamilyModel::new(ctx.cfg.family);
+                    par_bayes_verify(&*ctx.pool, &model, candidates, &cfg, threads)
+                }
             };
             return (pairs, Some(stats));
         }
-        let (pairs, stats) = match ctx.cfg.measure {
-            Measure::Cosine => {
+        let (pairs, stats) = match ctx.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => {
                 bayes_verify(ctx.data, ctx.pool, &CosineModel::new(), candidates, &cfg)
             }
             Measure::Jaccard => {
                 let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
+                bayes_verify(ctx.data, ctx.pool, &model, candidates, &cfg)
+            }
+            Measure::L2 => {
+                let model = FamilyModel::new(ctx.cfg.family);
                 bayes_verify(ctx.data, ctx.pool, &model, candidates, &cfg)
             }
         };
@@ -756,8 +869,8 @@ impl Verifier for BayesLiteVerifier {
             let depth = (cfg.h / cfg.k).max(1) * cfg.k;
             let ids = candidate_ids(candidates, ctx.data.len());
             ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
-            let (pairs, stats) = match ctx.cfg.measure {
-                Measure::Cosine => par_bayes_verify_lite(
+            let (pairs, stats) = match ctx.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => par_bayes_verify_lite(
                     ctx.data,
                     &*ctx.pool,
                     &CosineModel::new(),
@@ -772,11 +885,23 @@ impl Verifier for BayesLiteVerifier {
                         ctx.data, &*ctx.pool, &model, candidates, &cfg, jaccard, threads,
                     )
                 }
+                Measure::L2 => {
+                    let model = FamilyModel::new(ctx.cfg.family);
+                    par_bayes_verify_lite(
+                        ctx.data,
+                        &*ctx.pool,
+                        &model,
+                        candidates,
+                        &cfg,
+                        l2_similarity,
+                        threads,
+                    )
+                }
             };
             return (pairs, Some(stats));
         }
-        let (pairs, stats) = match ctx.cfg.measure {
-            Measure::Cosine => bayes_verify_lite(
+        let (pairs, stats) = match ctx.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => bayes_verify_lite(
                 ctx.data,
                 ctx.pool,
                 &CosineModel::new(),
@@ -787,6 +912,10 @@ impl Verifier for BayesLiteVerifier {
             Measure::Jaccard => {
                 let model = fit_jaccard_prior(ctx.data, candidates, ctx.cfg);
                 bayes_verify_lite(ctx.data, ctx.pool, &model, candidates, &cfg, jaccard)
+            }
+            Measure::L2 => {
+                let model = FamilyModel::new(ctx.cfg.family);
+                bayes_verify_lite(ctx.data, ctx.pool, &model, candidates, &cfg, l2_similarity)
             }
         };
         (pairs, Some(stats))
@@ -812,8 +941,8 @@ impl Verifier for SprtVerifier {
             let depth = (cfg.max_hashes / cfg.k).max(1) * cfg.k;
             let ids = candidate_ids(candidates, ctx.data.len());
             ctx.pool.par_ensure_ids(ctx.data, &ids, depth, threads);
-            let (pairs, stats) = match ctx.cfg.measure {
-                Measure::Cosine => par_sprt_verify(
+            let (pairs, stats) = match ctx.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => par_sprt_verify(
                     ctx.data, &*ctx.pool, candidates, &cfg, cos_to_r, r_to_cos, cosine, threads,
                 ),
                 Measure::Jaccard => par_sprt_verify(
@@ -826,15 +955,40 @@ impl Verifier for SprtVerifier {
                     jaccard,
                     threads,
                 ),
+                Measure::L2 => {
+                    let r = l2_width(ctx.cfg);
+                    par_sprt_verify(
+                        ctx.data,
+                        &*ctx.pool,
+                        candidates,
+                        &cfg,
+                        move |s| e2lsh_collision(s, r),
+                        move |p| e2lsh_similarity_at(p, r),
+                        l2_similarity,
+                        threads,
+                    )
+                }
             };
             return (pairs, Some(stats));
         }
-        let (pairs, stats) = match ctx.cfg.measure {
-            Measure::Cosine => sprt_verify(
+        let (pairs, stats) = match ctx.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => sprt_verify(
                 ctx.data, ctx.pool, candidates, &cfg, cos_to_r, r_to_cos, cosine,
             ),
             Measure::Jaccard => {
                 sprt_verify(ctx.data, ctx.pool, candidates, &cfg, |s| s, |f| f, jaccard)
+            }
+            Measure::L2 => {
+                let r = l2_width(ctx.cfg);
+                sprt_verify(
+                    ctx.data,
+                    ctx.pool,
+                    candidates,
+                    &cfg,
+                    move |s| e2lsh_collision(s, r),
+                    move |p| e2lsh_similarity_at(p, r),
+                    l2_similarity,
+                )
             }
         };
         (pairs, Some(stats))

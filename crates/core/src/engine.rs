@@ -48,6 +48,10 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// See [`EngineStats::cache_hits`].
     pub cache_misses: u64,
+    /// Bucket lookups performed by the candidate-generation stage (1 per
+    /// band for single-probe queries, more under step-wise multi-probe).
+    /// 0 for batch joins, which enumerate buckets instead of probing them.
+    pub bucket_probes: u64,
 }
 
 impl EngineStats {
@@ -63,6 +67,7 @@ impl EngineStats {
         self.hash_comparisons += other.hash_comparisons;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.bucket_probes += other.bucket_probes;
         for (dst, src) in self.pruned_at_chunk.iter_mut().zip(&other.pruned_at_chunk) {
             *dst += src;
         }

@@ -6,16 +6,63 @@
 //! [`crate::compose::run_composition`]) reports failures through
 //! [`SearchError`] instead.
 
+/// A structured expected-vs-found discrepancy in one configuration field.
+///
+/// Shared by the config-mismatch variants of every error type in the
+/// workspace — [`SearchError::InvalidConfig`] here,
+/// `SnapshotError::ConfigMismatch` in [`crate::persist`], and the shard
+/// manifest's `ShardError::ConfigFingerprint` — so callers can diagnose
+/// snapshot/manifest incompatibility programmatically instead of parsing
+/// message strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigDiff {
+    /// Name of the mismatched configuration field.
+    pub field: &'static str,
+    /// The value the consumer expected (rendered with `Display`).
+    pub expected: String,
+    /// The value actually found.
+    pub found: String,
+}
+
+impl ConfigDiff {
+    /// Shorthand constructor rendering both sides with `Display`.
+    pub fn new(
+        field: &'static str,
+        expected: impl std::fmt::Display,
+        found: impl std::fmt::Display,
+    ) -> Self {
+        ConfigDiff {
+            field,
+            expected: expected.to_string(),
+            found: found.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: expected {}, found {}",
+            self.field, self.expected, self.found
+        )
+    }
+}
+
 /// Why a search operation could not be performed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SearchError {
     /// A configuration parameter is out of range. `param` names the
-    /// offending field; `message` says what was expected.
+    /// offending field; `message` says what was expected. When the failure
+    /// is an expected-vs-found comparison (rather than a range violation),
+    /// `diff` carries the structured [`ConfigDiff`].
     InvalidConfig {
         /// The offending configuration field.
         param: &'static str,
         /// Human-readable description of the violated constraint.
         message: String,
+        /// Structured payload for comparison-style failures.
+        diff: Option<ConfigDiff>,
     },
     /// The requested composition needs binary vectors (Jaccard measure, or
     /// the PPJoin+ generator) but the corpus contains weighted ones.
@@ -40,6 +87,17 @@ impl SearchError {
         SearchError::InvalidConfig {
             param,
             message: message.into(),
+            diff: None,
+        }
+    }
+
+    /// Shorthand constructor for expected-vs-found configuration errors;
+    /// the message is rendered from the diff.
+    pub fn mismatch(diff: ConfigDiff) -> Self {
+        SearchError::InvalidConfig {
+            param: diff.field,
+            message: format!("expected {}, found {}", diff.expected, diff.found),
+            diff: Some(diff),
         }
     }
 }
@@ -47,7 +105,7 @@ impl SearchError {
 impl std::fmt::Display for SearchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SearchError::InvalidConfig { param, message } => {
+            SearchError::InvalidConfig { param, message, .. } => {
                 write!(f, "invalid config: {param}: {message}")
             }
             SearchError::NonBinaryData { requires } => {
@@ -95,5 +153,28 @@ mod tests {
     fn is_std_error() {
         fn takes_error(_: &dyn std::error::Error) {}
         takes_error(&SearchError::invalid("k", "must be positive"));
+    }
+
+    #[test]
+    fn mismatch_carries_structured_diff() {
+        let e = SearchError::mismatch(ConfigDiff::new("family", "cosine", "jaccard"));
+        assert_eq!(
+            e.to_string(),
+            "invalid config: family: expected cosine, found jaccard"
+        );
+        match e {
+            SearchError::InvalidConfig { diff: Some(d), .. } => {
+                assert_eq!(d.field, "family");
+                assert_eq!(d.expected, "cosine");
+                assert_eq!(d.found, "jaccard");
+                assert_eq!(d.to_string(), "family: expected cosine, found jaccard");
+            }
+            other => panic!("expected a diff-carrying InvalidConfig, got {other:?}"),
+        }
+        // Range-style errors carry no diff.
+        assert!(matches!(
+            SearchError::invalid("k", "must be positive"),
+            SearchError::InvalidConfig { diff: None, .. }
+        ));
     }
 }

@@ -1,0 +1,139 @@
+//! Family-generic BayesLSH posterior model.
+//!
+//! The Jaccard and cosine models exploit closed forms special to their
+//! collision curves. This model is the generic construction that works for
+//! *any* [`FamilyConfig`] exposing the monotone map `p(s)` between target
+//! similarity and per-hash collision probability (paper Eq. 1): place the
+//! uniform `Beta(1, 1)` prior on the collision probability `p` itself, so
+//! after observing `M(m, n)` the posterior over `p` is conjugate,
+//! `Beta(m + 1, n − m + 1)`, and every inference query transports through
+//! `p(·)` / its inverse:
+//!
+//! * `Pr[S ≥ t | M(m,n)] = Pr[p ≥ p(t)]` — one regularized-incomplete-beta
+//!   tail (monotonicity of `p(·)` makes the events identical);
+//! * `Ŝ = p⁻¹(mode)` — the MAP collision rate pulled back to similarity;
+//! * concentration integrates the posterior over `p((Ŝ−δ, Ŝ+δ))`.
+//!
+//! This is what lets the L2 (E2LSH) family — whose collision curve (Datar
+//! et al. Eq. 2) has no conjugate similarity-space prior — ride the Bayes
+//! and BayesLite verifiers unchanged.
+
+use bayeslsh_lsh::FamilyConfig;
+use bayeslsh_numeric::BetaDist;
+
+use crate::posterior::PosteriorModel;
+
+/// Posterior model for any hash family, with a uniform prior on the
+/// per-hash collision probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FamilyModel {
+    family: FamilyConfig,
+    prior: BetaDist,
+}
+
+impl FamilyModel {
+    /// A model for `family` with the uniform `Beta(1, 1)` prior on the
+    /// collision probability.
+    pub fn new(family: FamilyConfig) -> Self {
+        Self {
+            family,
+            prior: BetaDist::uniform(),
+        }
+    }
+
+    /// The family whose collision curve this model transports through.
+    pub fn family(&self) -> FamilyConfig {
+        self.family
+    }
+
+    /// Posterior over the collision probability after observing `m`
+    /// matches in `n` hashes.
+    pub fn posterior(&self, m: u32, n: u32) -> BetaDist {
+        self.prior.posterior(m as u64, n as u64)
+    }
+
+    /// Clamp a similarity into the family's invertible range before
+    /// evaluating the collision curve.
+    fn collision_at(&self, s: f64) -> f64 {
+        self.family.collision_one(s.clamp(-1.0, 1.0))
+    }
+}
+
+impl PosteriorModel for FamilyModel {
+    fn prob_above_threshold(&self, m: u32, n: u32, t: f64) -> f64 {
+        self.posterior(m, n).sf(self.collision_at(t))
+    }
+
+    fn map_estimate(&self, m: u32, n: u32) -> f64 {
+        assert!(n > 0, "MAP estimate needs at least one observation");
+        self.family.similarity_at(self.posterior(m, n).mode())
+    }
+
+    fn concentration(&self, m: u32, n: u32, delta: f64) -> f64 {
+        let post = self.posterior(m, n);
+        let s_hat = self.family.similarity_at(post.mode());
+        post.interval_prob(
+            self.collision_at(s_hat - delta),
+            self.collision_at(s_hat + delta),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "family-beta"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard_model::JaccardModel;
+    use crate::posterior::test_support::check_model_invariants;
+    use bayeslsh_lsh::e2lsh_collision;
+
+    #[test]
+    fn invariant_battery_l2() {
+        check_model_invariants(&FamilyModel::new(FamilyConfig::L2 { r: 4.0 }), 0.5);
+        check_model_invariants(&FamilyModel::new(FamilyConfig::L2 { r: 1.0 }), 0.8);
+    }
+
+    #[test]
+    fn jaccard_family_reduces_to_uniform_jaccard_model() {
+        // For MinHash, p(s) = s, so the generic construction must coincide
+        // with the specialized uniform-prior Jaccard model exactly.
+        let generic = FamilyModel::new(FamilyConfig::Jaccard);
+        let special = JaccardModel::uniform();
+        for &(m, n) in &[(0u32, 32u32), (17, 32), (32, 32), (200, 256)] {
+            for &t in &[0.3, 0.5, 0.9] {
+                let a = generic.prob_above_threshold(m, n, t);
+                let b = special.prob_above_threshold(m, n, t);
+                assert!((a - b).abs() < 1e-12, "m={m} n={n} t={t}: {a} vs {b}");
+            }
+            let a = generic.map_estimate(m, n);
+            let b = special.map_estimate(m, n);
+            assert!((a - b).abs() < 1e-12, "MAP m={m} n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn l2_threshold_transports_through_collision_curve() {
+        let r = 4.0;
+        let model = FamilyModel::new(FamilyConfig::L2 { r });
+        let (m, n, t) = (28u32, 32u32, 0.5);
+        // Pr[S >= t] must equal the Beta tail beyond p(t).
+        let direct = model.posterior(m, n).sf(e2lsh_collision(t, r));
+        assert!((model.prob_above_threshold(m, n, t) - direct).abs() < 1e-15);
+        // The MAP estimate inverts the curve: p(Ŝ) = posterior mode.
+        let s_hat = model.map_estimate(m, n);
+        let mode = model.posterior(m, n).mode();
+        assert!((e2lsh_collision(s_hat, r) - mode).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_evidence_is_decisive() {
+        let model = FamilyModel::new(FamilyConfig::L2 { r: 4.0 });
+        // Near-total agreement: surely above a mid threshold.
+        assert!(model.prob_above_threshold(127, 128, 0.5) > 0.98);
+        // Near-total disagreement: surely below it.
+        assert!(model.prob_above_threshold(5, 128, 0.5) < 1e-9);
+    }
+}

@@ -75,6 +75,7 @@ pub mod cosine_model;
 pub mod engine;
 pub mod error;
 pub mod estimator;
+pub mod family_model;
 pub mod jaccard_model;
 pub mod knn;
 pub mod metrics;
@@ -87,6 +88,7 @@ pub mod searcher;
 pub mod serving;
 pub mod sprt;
 
+pub use bayeslsh_lsh::{FamilyConfig, HashFamily, Measure};
 pub use bayeslsh_numeric::Parallelism;
 pub use bbit_model::BbitJaccardModel;
 pub use cache::ConcentrationCache;
@@ -97,8 +99,9 @@ pub use compose::{
 pub use config::{BayesLshConfig, LiteConfig, SprtConfig};
 pub use cosine_model::CosineModel;
 pub use engine::{bayes_verify, bayes_verify_lite, sprt_verify, EngineStats};
-pub use error::SearchError;
+pub use error::{ConfigDiff, SearchError};
 pub use estimator::mle_verify;
+pub use family_model::FamilyModel;
 pub use jaccard_model::JaccardModel;
 pub use knn::{KnnIndex, KnnParams, KnnStats};
 pub use metrics::{estimate_errors, recall_against, ErrorStats};

@@ -2,7 +2,8 @@
 //! error statistics (Tables 4 and 5).
 
 use bayeslsh_candgen::fxhash::FxHashSet;
-use bayeslsh_sparse::{similarity::Measure, Dataset};
+use bayeslsh_lsh::Measure;
+use bayeslsh_sparse::Dataset;
 
 /// Fraction of ground-truth pairs present in `output` (1.0 for an empty
 /// truth set). Pair orientation is ignored.

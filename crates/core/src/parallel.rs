@@ -24,9 +24,9 @@
 //! buffer per worker, so the whole parallel verification path — hashing
 //! included — performs no per-pair heap allocation in steady state.
 
-use bayeslsh_lsh::SignaturePool;
+use bayeslsh_lsh::{Measure, SignaturePool};
 use bayeslsh_numeric::fan_out;
-use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
+use bayeslsh_sparse::{Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
 use crate::config::{BayesLshConfig, LiteConfig, SprtConfig};

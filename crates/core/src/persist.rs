@@ -70,12 +70,15 @@
 use std::io::{Read, Write};
 
 use bayeslsh_candgen::BandingIndex;
-use bayeslsh_lsh::{BitSignatures, IntSignatures, SignaturePool};
+use bayeslsh_lsh::{
+    BitSignatures, FamilyConfig, IntSignatures, Measure, ProjSignatures, SignaturePool,
+};
 use bayeslsh_numeric::wire::{WireError, WireReader, WireWriter};
 use bayeslsh_numeric::Parallelism;
-use bayeslsh_sparse::{similarity::Measure, Dataset};
+use bayeslsh_sparse::Dataset;
 
 use crate::compose::{Composition, GeneratorKind, SigPool, VerifierKind};
+use crate::error::ConfigDiff;
 use crate::pipeline::{PipelineConfig, PriorChoice};
 use crate::searcher::{HashMode, Searcher, SearcherParts};
 
@@ -113,6 +116,10 @@ pub enum SnapshotError {
     ConfigMismatch {
         /// What disagreed.
         detail: String,
+        /// The structured expected-versus-found view of the disagreement,
+        /// when it concerns a single nameable field (shared shape with
+        /// `SearchError::InvalidConfig` and the shard manifest errors).
+        diff: Option<ConfigDiff>,
     },
     /// The underlying reader/writer failed for a non-truncation reason.
     Io(std::io::Error),
@@ -130,7 +137,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Corrupt { section, detail } => {
                 write!(f, "corrupt snapshot ({section}): {detail}")
             }
-            SnapshotError::ConfigMismatch { detail } => {
+            SnapshotError::ConfigMismatch { detail, .. } => {
                 write!(f, "snapshot sections disagree: {detail}")
             }
             SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
@@ -162,6 +169,14 @@ fn corrupt(section: &'static str, detail: impl Into<String>) -> SnapshotError {
 fn mismatch(detail: impl Into<String>) -> SnapshotError {
     SnapshotError::ConfigMismatch {
         detail: detail.into(),
+        diff: None,
+    }
+}
+
+fn mismatch_diff(diff: ConfigDiff) -> SnapshotError {
+    SnapshotError::ConfigMismatch {
+        detail: diff.to_string(),
+        diff: Some(diff),
     }
 }
 
@@ -210,6 +225,8 @@ fn measure_tag(m: Measure) -> u8 {
     match m {
         Measure::Cosine => 0,
         Measure::Jaccard => 1,
+        Measure::L2 => 2,
+        Measure::Mips => 3,
     }
 }
 
@@ -251,6 +268,8 @@ fn read_header<R: Read>(r: &mut WireReader<R>) -> Result<SnapshotHeader, Snapsho
     let measure = match in_section(S, r.get_u8())? {
         0 => Measure::Cosine,
         1 => Measure::Jaccard,
+        2 => Measure::L2,
+        3 => Measure::Mips,
         other => return Err(corrupt(S, format!("unknown measure tag {other}"))),
     };
     let generator = match in_section(S, r.get_u8())? {
@@ -362,6 +381,14 @@ fn write_config<W: Write>(w: &mut WireWriter<W>, cfg: &PipelineConfig) -> Result
         PriorChoice::Fitted => 1,
     })?;
     w.put_u64(cfg.prior_sample as u64)?;
+    // Trailing fields, appended after the original v1 layout. Readers take
+    // them only when bytes remain in the section, so snapshots written
+    // before these fields existed (the committed golden fixtures) still
+    // parse: they default to single-probe and the measure's default family.
+    w.put_u64(cfg.probes as u64)?;
+    if let Some(r) = cfg.family.l2_width() {
+        w.put_f64(r)?;
+    }
     Ok(())
 }
 
@@ -369,6 +396,7 @@ fn read_config<R: Read>(
     r: &mut WireReader<R>,
     measure: Measure,
     threads: usize,
+    section_len: u64,
 ) -> Result<PipelineConfig, WireError> {
     let threshold = r.get_f64()?;
     let seed = r.get_u64()?;
@@ -390,8 +418,27 @@ fn read_config<R: Read>(
     if prior_sample > usize::MAX as u64 {
         return Err(WireError::corrupt("prior sample size out of range"));
     }
+    let probes = if r.bytes_read() < section_len {
+        let p = r.get_u64()?;
+        if p == 0 || p > usize::MAX as u64 {
+            return Err(WireError::corrupt(format!("probe count {p} out of range")));
+        }
+        p as usize
+    } else {
+        1
+    };
+    let family = match measure {
+        Measure::L2 => {
+            if r.bytes_read() >= section_len {
+                return Err(WireError::corrupt("L2 config is missing its bucket width"));
+            }
+            FamilyConfig::L2 { r: r.get_f64()? }
+        }
+        other => FamilyConfig::for_measure(other),
+    };
     Ok(PipelineConfig {
-        measure,
+        family,
+        probes,
         threshold,
         seed,
         epsilon,
@@ -449,7 +496,7 @@ impl Searcher {
         w.put_bytes(&SNAPSHOT_MAGIC)?;
         w.put_u32(SNAPSHOT_FORMAT_VERSION)?;
         let cfg = self.config();
-        w.put_u8(measure_tag(cfg.measure))?;
+        w.put_u8(measure_tag(cfg.family.measure()))?;
         w.put_u8(generator_tag(self.composition().generator))?;
         w.put_u8(verifier_tag(self.composition().verifier))?;
         w.put_u8(match self.hash_mode() {
@@ -470,6 +517,10 @@ impl Searcher {
             }
             SigPool::Ints(p) => {
                 s.put_u8(1)?;
+                p.write_wire(s)
+            }
+            SigPool::Projs(p) => {
+                s.put_u8(2)?;
                 p.write_wire(s)
             }
         })?;
@@ -529,7 +580,7 @@ impl Searcher {
         in_section("checksum", r.verify_checksum())?;
 
         let cfg = parse_section("config", &config_bytes, |s| {
-            read_config(s, header.measure, threads)
+            read_config(s, header.measure, threads, config_bytes.len() as u64)
         })?;
         cfg.validate()
             .map_err(|e| corrupt("config", e.to_string()))?;
@@ -546,9 +597,10 @@ impl Searcher {
             }
         };
         if header.sig_depth != expected_depth {
-            return Err(mismatch(format!(
-                "header sig depth {} versus the config's build depth {expected_depth}",
-                header.sig_depth
+            return Err(mismatch_diff(ConfigDiff::new(
+                "sig_depth",
+                expected_depth,
+                header.sig_depth,
             )));
         }
         // The closure is not redundant: the bare fn item fixes one
@@ -559,6 +611,7 @@ impl Searcher {
             Ok(match s.get_u8()? {
                 0 => SigPool::Bits(BitSignatures::read_wire(s, threads, header.sig_depth)?),
                 1 => SigPool::Ints(IntSignatures::read_wire(s, header.sig_depth)?),
+                2 => SigPool::Projs(ProjSignatures::read_wire(s, threads, header.sig_depth)?),
                 other => {
                     return Err(WireError::corrupt(format!("unknown pool tag {other}")));
                 }
@@ -601,14 +654,21 @@ impl Searcher {
                 data.dim()
             )));
         }
-        let (pool_objects, pool_kind) = match pool {
-            SigPool::Bits(p) => (p.n_objects(), Measure::Cosine),
-            SigPool::Ints(p) => (p.n_objects(), Measure::Jaccard),
+        let (pool_objects, pool_name) = match pool {
+            SigPool::Bits(p) => (p.n_objects(), "srp-bits"),
+            SigPool::Ints(p) => (p.n_objects(), "minhash-ints"),
+            SigPool::Projs(p) => (p.n_objects(), "e2lsh-projs"),
         };
-        if pool_kind != header.measure {
-            return Err(mismatch(format!(
-                "{:?} header over a {:?}-family pool",
-                header.measure, pool_kind
+        let expected_pool = match header.measure {
+            Measure::Cosine | Measure::Mips => "srp-bits",
+            Measure::Jaccard => "minhash-ints",
+            Measure::L2 => "e2lsh-projs",
+        };
+        if pool_name != expected_pool {
+            return Err(mismatch_diff(ConfigDiff::new(
+                "pool",
+                expected_pool,
+                pool_name,
             )));
         }
         if pool_objects != data.len() {
@@ -624,12 +684,26 @@ impl Searcher {
                 pool.total_hashes()
             )));
         }
-        if let SigPool::Bits(p) = pool {
-            if p.hasher().dim() != data.dim() {
+        let hasher_dim = match pool {
+            SigPool::Bits(p) => Some(p.hasher().dim()),
+            SigPool::Projs(p) => Some(p.hasher().dim()),
+            SigPool::Ints(_) => None,
+        };
+        if let Some(hasher_dim) = hasher_dim {
+            if hasher_dim != data.dim() {
                 return Err(mismatch(format!(
-                    "hasher dim {} versus corpus dim {}",
-                    p.hasher().dim(),
+                    "hasher dim {hasher_dim} versus corpus dim {}",
                     data.dim()
+                )));
+            }
+        }
+        if let SigPool::Projs(p) = pool {
+            let cfg_r = cfg.family.l2_width().unwrap_or(f64::NAN);
+            if p.hasher().r().to_bits() != cfg_r.to_bits() {
+                return Err(mismatch_diff(ConfigDiff::new(
+                    "family.r",
+                    cfg_r,
+                    p.hasher().r(),
                 )));
             }
         }

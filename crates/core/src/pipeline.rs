@@ -29,9 +29,9 @@
 //! further amortizing the costs of hashing").
 
 use bayeslsh_candgen::{all_pairs_cosine, all_pairs_jaccard, BandingParams, BandingPlan};
-use bayeslsh_lsh::cos_to_r;
+use bayeslsh_lsh::{FamilyConfig, Measure};
 use bayeslsh_numeric::Parallelism;
-use bayeslsh_sparse::{similarity::Measure, Dataset};
+use bayeslsh_sparse::{l2_similarity, Dataset};
 
 use crate::compose::{
     run_composition, Composition, GeneratorKind, SearchContext, SigPool, VerifierKind,
@@ -142,8 +142,9 @@ pub enum PriorChoice {
 /// Full pipeline configuration; defaults follow the paper's Section 5.1.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
-    /// Target similarity measure.
-    pub measure: Measure,
+    /// The hash family (and thereby the target similarity measure) this
+    /// pipeline runs under, with its per-family parameters.
+    pub family: FamilyConfig,
     /// Similarity threshold `t`.
     pub threshold: f64,
     /// Master seed; hash families derive their streams from it.
@@ -170,6 +171,13 @@ pub struct PipelineConfig {
     pub prior: PriorChoice,
     /// Candidate-pair sample size for the fitted prior.
     pub prior_sample: usize,
+    /// Buckets probed per band when querying the LSH index (step-wise
+    /// multi-probe, Lv et al. VLDB'07): 1 is classical banding; larger
+    /// values additionally probe the buckets whose band keys differ in the
+    /// lowest-margin bit, letting an index built with fewer bands reach the
+    /// same recall. Only bit families (cosine / MIPS) perturb keys;
+    /// integer-hash families treat any value as 1.
+    pub probes: usize,
     /// Worker-thread budget for hashing, banding-index construction, and
     /// candidate verification. Output is bit-identical to the serial path
     /// whatever the setting (see the crate's "Parallelism & determinism"
@@ -187,7 +195,7 @@ impl PipelineConfig {
     /// Paper defaults for cosine similarity at threshold `t`.
     pub fn cosine(threshold: f64) -> Self {
         Self {
-            measure: Measure::Cosine,
+            family: FamilyConfig::Cosine,
             threshold,
             seed: 42,
             epsilon: 0.03,
@@ -201,6 +209,7 @@ impl PipelineConfig {
             lsh_fnr: 0.03,
             prior: PriorChoice::Uniform,
             prior_sample: 1000,
+            probes: 1,
             parallelism: Parallelism::Auto,
         }
     }
@@ -208,7 +217,7 @@ impl PipelineConfig {
     /// Paper defaults for Jaccard similarity at threshold `t`.
     pub fn jaccard(threshold: f64) -> Self {
         Self {
-            measure: Measure::Jaccard,
+            family: FamilyConfig::Jaccard,
             threshold,
             seed: 42,
             epsilon: 0.03,
@@ -222,8 +231,55 @@ impl PipelineConfig {
             lsh_fnr: 0.03,
             prior: PriorChoice::Fitted,
             prior_sample: 1000,
+            probes: 1,
             parallelism: Parallelism::Auto,
         }
+    }
+
+    /// Defaults for L2 similarity `s = 1/(1 + d)` at threshold `t` with
+    /// E2LSH bucket width `r`. The integer-valued bucket hashes share the
+    /// Jaccard-style verification budgets; the prior is uniform (the
+    /// fitted Beta prior is a Jaccard-specific device).
+    pub fn l2(threshold: f64, r: f64) -> Self {
+        Self {
+            family: FamilyConfig::L2 { r },
+            threshold,
+            seed: 42,
+            epsilon: 0.03,
+            delta: 0.05,
+            gamma: 0.03,
+            k: 32,
+            max_hashes: 512,
+            lite_h: 64,
+            approx_hashes: 360,
+            band_width: 3,
+            lsh_fnr: 0.03,
+            prior: PriorChoice::Uniform,
+            prior_sample: 1000,
+            probes: 1,
+            parallelism: Parallelism::Auto,
+        }
+    }
+
+    /// Defaults for maximum inner product at *augmented-cosine* threshold
+    /// `t`. The corpus must already be lifted through
+    /// [`bayeslsh_lsh::MipsTransform`] (and queries through
+    /// `MipsTransform::augment_query`); internally this is the cosine/SRP
+    /// machinery on its own seed stream, so all cosine defaults carry over.
+    pub fn mips(threshold: f64) -> Self {
+        Self {
+            family: FamilyConfig::Mips,
+            ..Self::cosine(threshold)
+        }
+    }
+
+    /// Compatibility shim from the era when the pipeline was configured by
+    /// bare [`Measure`]: replaces [`PipelineConfig::family`] with that
+    /// measure's default family parameters.
+    #[deprecated(note = "set the `family` field (a `FamilyConfig`) directly")]
+    pub fn measure(mut self, measure: Measure) -> Self {
+        self.family = FamilyConfig::for_measure(measure);
+        self
     }
 
     /// Check every parameter against its admissible range, with a
@@ -261,13 +317,23 @@ impl PipelineConfig {
                 "band width must be positive",
             ));
         }
-        if self.band_width > 64 && self.measure == Measure::Cosine {
+        if let Err((param, message)) = self.family.validate() {
+            return Err(SearchError::invalid(param, message));
+        }
+        if self.band_width > 64 && matches!(self.family.measure(), Measure::Cosine | Measure::Mips)
+        {
             return Err(SearchError::invalid(
                 "band_width",
                 format!(
                     "bit band keys are packed into u64 (band_width <= 64), got {}",
                     self.band_width
                 ),
+            ));
+        }
+        if self.probes == 0 {
+            return Err(SearchError::invalid(
+                "probes",
+                "at least the base bucket is probed per band (probes >= 1)",
             ));
         }
         if self.max_hashes < self.k {
@@ -351,10 +417,7 @@ impl PipelineConfig {
     /// achieved (vs. requested) false-negative rate — which differ when
     /// the internal band cap truncates the `l` formula.
     pub fn banding_plan(&self) -> BandingPlan {
-        let p = match self.measure {
-            Measure::Cosine => cos_to_r(self.threshold),
-            Measure::Jaccard => self.threshold,
-        };
+        let p = self.family.collision_one(self.threshold);
         BandingParams::plan(p, self.band_width, self.lsh_fnr, MAX_BANDS)
     }
 }
@@ -388,7 +451,32 @@ pub fn ground_truth(data: &Dataset, measure: Measure, threshold: f64) -> Vec<(u3
     match measure {
         Measure::Cosine => all_pairs_cosine(data, threshold),
         Measure::Jaccard => all_pairs_jaccard(data, threshold),
+        // MIPS corpora are pre-augmented, so inner-product order *is*
+        // cosine order (see `bayeslsh_lsh::mips`).
+        Measure::Mips => all_pairs_cosine(data, threshold),
+        Measure::L2 => all_pairs_l2(data, threshold),
     }
+}
+
+/// Exact L2-similarity join by brute force (no inverted-index bounds apply
+/// to `1/(1 + d)`); skips empty vectors like the candidate paths do.
+pub(crate) fn all_pairs_l2(data: &Dataset, threshold: f64) -> Vec<(u32, u32, f64)> {
+    let mut out = Vec::new();
+    for a in 0..data.len() as u32 {
+        if data.vector(a).is_empty() {
+            continue;
+        }
+        for b in (a + 1)..data.len() as u32 {
+            if data.vector(b).is_empty() {
+                continue;
+            }
+            let s = l2_similarity(data.vector(a), data.vector(b));
+            if s >= threshold {
+                out.push((a, b, s));
+            }
+        }
+    }
+    out
 }
 
 fn assert_binary(data: &Dataset, algo: Algorithm) {
@@ -414,7 +502,7 @@ fn assert_binary(data: &Dataset, algo: Algorithm) {
 /// builder API reports both as typed [`SearchError`]s.
 pub fn run_algorithm(algo: Algorithm, data: &Dataset, cfg: &PipelineConfig) -> RunOutput {
     let comp = algo.composition();
-    if comp.requires_binary(cfg.measure) {
+    if comp.requires_binary(cfg.family.measure()) {
         assert_binary(data, algo);
     }
     let mut pool = SigPool::for_config(cfg, data);

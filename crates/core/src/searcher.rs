@@ -51,19 +51,20 @@ use std::collections::BinaryHeap;
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use bayeslsh_candgen::{BandingIndex, BandingPlan};
-use bayeslsh_lsh::SignaturePool;
+use bayeslsh_lsh::{Measure, SignaturePool};
 use bayeslsh_numeric::{fan_out, Parallelism};
-use bayeslsh_sparse::{similarity::Measure, Dataset, SparseVector};
+use bayeslsh_sparse::{Dataset, SparseVector};
 
 use crate::cache::ConcentrationCache;
 use crate::compose::{
-    run_composition_prechecked, Composition, CompositionOutput, SearchContext, SigPool,
-    VerifierKind,
+    l2_width, run_composition_prechecked, Composition, CompositionOutput, GeneratorKind,
+    SearchContext, SigPool, VerifierKind,
 };
 use crate::config::SprtConfig;
 use crate::cosine_model::CosineModel;
 use crate::engine::{RunScan, RunVerdict};
 use crate::error::SearchError;
+use crate::family_model::FamilyModel;
 use crate::jaccard_model::JaccardModel;
 use crate::knn::{HeapItem, KnnParams, KnnStats};
 use crate::minmatch::{MinMatchCache, MinMatchTable};
@@ -107,6 +108,39 @@ impl SearcherBuilder {
         }
     }
 
+    /// Preset: cosine search (SRP signatures) at similarity threshold `t`,
+    /// with every other knob at the paper defaults.
+    pub fn cosine(t: f64) -> Self {
+        Self::new(PipelineConfig::cosine(t))
+    }
+
+    /// Preset: Jaccard search (minwise hashing, binary vectors) at
+    /// similarity threshold `t`.
+    pub fn jaccard(t: f64) -> Self {
+        Self::new(PipelineConfig::jaccard(t))
+    }
+
+    /// Preset: L2 proximity search (E2LSH quantized projections with
+    /// bucket width `r`) at similarity threshold `t` on the
+    /// `s = 1/(1 + d)` scale.
+    pub fn l2(t: f64, r: f64) -> Self {
+        Self::new(PipelineConfig::l2(t, r))
+    }
+
+    /// Preset: maximum-inner-product search at augmented-cosine threshold
+    /// `t`. Corpus and queries are expected to already carry the
+    /// asymmetric augmentation (see `bayeslsh_sparse::MipsTransform`).
+    pub fn mips(t: f64) -> Self {
+        Self::new(PipelineConfig::mips(t))
+    }
+
+    /// Step-wise multi-probe budget per band for point queries (default 1 =
+    /// classic single-probe). See [`PipelineConfig::probes`].
+    pub fn probes(mut self, probes: usize) -> Self {
+        self.cfg.probes = probes;
+        self
+    }
+
     /// Use the composition named by one of the paper's eight algorithms.
     pub fn algorithm(mut self, algo: Algorithm) -> Self {
         self.composition = algo.composition();
@@ -147,11 +181,23 @@ impl SearcherBuilder {
     /// weighted ones.
     pub fn build(self, data: Dataset) -> Result<Searcher, SearchError> {
         self.cfg.validate()?;
-        if self.composition.requires_binary(self.cfg.measure)
+        let measure = self.cfg.family.measure();
+        if self.composition.generator == GeneratorKind::PpjoinPlus
+            && matches!(measure, Measure::L2 | Measure::Mips)
+        {
+            return Err(SearchError::invalid(
+                "family",
+                format!(
+                    "PPJoin+ supports cosine and Jaccard only, got {}",
+                    self.cfg.family
+                ),
+            ));
+        }
+        if self.composition.requires_binary(measure)
             && !data.vectors().iter().all(|v| v.is_binary())
         {
             return Err(SearchError::NonBinaryData {
-                requires: self.composition.binary_requirement(self.cfg.measure),
+                requires: self.composition.binary_requirement(measure),
             });
         }
         // Resolve the thread budget once: `Auto` reads the environment /
@@ -219,6 +265,10 @@ pub struct QueryStats {
     pub exact: u64,
     /// Hash comparisons performed.
     pub hash_comparisons: u64,
+    /// Bucket lookups against the banding index: one per band for
+    /// single-probe queries, up to `probes` per band under step-wise
+    /// multi-probe (empty probe steps still count — they paid the lookup).
+    pub bucket_probes: u64,
 }
 
 /// The result of one threshold point query.
@@ -263,6 +313,7 @@ pub fn merge_query_outputs(parts: Vec<QueryOutput>) -> QueryOutput {
         stats.pruned += part.stats.pruned;
         stats.exact += part.stats.exact;
         stats.hash_comparisons += part.stats.hash_comparisons;
+        stats.bucket_probes += part.stats.bucket_probes;
     }
     neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     QueryOutput { neighbors, stats }
@@ -572,9 +623,10 @@ impl Searcher {
             if pool.query_ready(depth) {
                 let sig = pool.hash_query_ready(q, depth, self.threads);
                 let keys = pool.query_band_keys(&sig, params);
-                let cand_ids = self.index.par_probe(&keys, self.threads);
+                let (cand_ids, probes_done) = self.probe_query_index(&pool, q, &keys);
                 if cand_ids.iter().all(|&id| pool.len(id) >= scan_cap) {
                     stats.candidates = cand_ids.len() as u64;
+                    stats.bucket_probes = probes_done;
                     let mut access = ReadPool(&pool);
                     let mut neighbors = if self.threads > 1 {
                         self.par_verify_query(
@@ -612,8 +664,9 @@ impl Searcher {
             pool.hash_query(q, depth)
         };
         let keys = pool.query_band_keys(&sig, params);
-        let cand_ids = self.index.par_probe(&keys, self.threads);
+        let (cand_ids, probes_done) = self.probe_query_index(&pool, q, &keys);
         stats.candidates = cand_ids.len() as u64;
+        stats.bucket_probes = probes_done;
         let mut access = WritePool(&mut pool);
         let mut neighbors = if self.threads > 1 {
             self.par_verify_query(&mut access, q, threshold, &sig, &cand_ids, &mut stats)
@@ -622,6 +675,61 @@ impl Searcher {
         };
         neighbors.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         Ok(QueryOutput { neighbors, stats })
+    }
+
+    /// Generate candidates for a threshold point query, honouring the
+    /// [`crate::pipeline::PipelineConfig::probes`] knob. Single-probe (the
+    /// default, and the only option for integer-hash families, whose band
+    /// keys are FxHash digests with no meaningful single-bit flips) keeps
+    /// the one-lookup-per-band fast path; `probes > 1` on a bit family
+    /// walks the step-wise multi-probe sequences instead. Returns the
+    /// deduplicated candidate ids and the number of bucket lookups paid.
+    fn probe_query_index(&self, pool: &SigPool, q: &SparseVector, keys: &[u64]) -> (Vec<u32>, u64) {
+        let params = self.plan.params;
+        let probes = match pool {
+            // The base bucket plus one probe per flippable band bit.
+            SigPool::Bits(_) => self.cfg.probes.min(params.k as usize + 1),
+            SigPool::Ints(_) | SigPool::Projs(_) => 1,
+        };
+        if probes <= 1 {
+            let ids = self.index.par_probe(keys, self.threads);
+            return (ids, keys.len() as u64);
+        }
+        let SigPool::Bits(bits) = pool else {
+            unreachable!("multi-probe clamps to 1 for non-bit pools")
+        };
+        // Per-band probe sequences: the band's own key first, then
+        // single-bit flips in ascending-|margin| order — the bit whose
+        // projection landed closest to its hyperplane is the likeliest to
+        // differ for a true near neighbour, so its flip has the highest
+        // expected collision probability.
+        let mut margins = Vec::new();
+        bits.hasher()
+            .project_into(q, 0, params.total_hashes(), &mut margins);
+        let seqs: Vec<Vec<u64>> = keys
+            .iter()
+            .enumerate()
+            .map(|(band, &base)| {
+                let lo = band * params.k as usize;
+                let mut bit_order: Vec<usize> = (0..params.k as usize).collect();
+                bit_order.sort_by(|&a, &b| {
+                    margins[lo + a]
+                        .abs()
+                        .total_cmp(&margins[lo + b].abs())
+                        .then(a.cmp(&b))
+                });
+                let mut seq = Vec::with_capacity(probes);
+                seq.push(base);
+                seq.extend(
+                    bit_order
+                        .iter()
+                        .take(probes - 1)
+                        .map(|&bit| base ^ (1u64 << bit)),
+                );
+                seq
+            })
+            .collect();
+        self.index.probe_multi(&seqs)
     }
 
     /// Serial candidate verification for [`Searcher::query`] (lazily
@@ -642,8 +750,8 @@ impl Searcher {
         match self.composition.verifier {
             VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
             VerifierKind::Mle => self.par_query_mle(pool, threshold, sig, cand_ids, stats),
-            VerifierKind::Bayes => match self.cfg.measure {
-                Measure::Cosine => {
+            VerifierKind::Bayes => match self.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => {
                     self.query_bayes(pool, &CosineModel::new(), threshold, sig, cand_ids, stats)
                 }
                 // The fitted prior is a batch concept (it samples candidate
@@ -656,9 +764,17 @@ impl Searcher {
                     cand_ids,
                     stats,
                 ),
+                Measure::L2 => self.query_bayes(
+                    pool,
+                    &FamilyModel::new(self.cfg.family),
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
             },
-            VerifierKind::BayesLite => match self.cfg.measure {
-                Measure::Cosine => self.query_bayes_lite(
+            VerifierKind::BayesLite => match self.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => self.query_bayes_lite(
                     pool,
                     &CosineModel::new(),
                     q,
@@ -670,6 +786,15 @@ impl Searcher {
                 Measure::Jaccard => self.query_bayes_lite(
                     pool,
                     &JaccardModel::uniform(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
+                Measure::L2 => self.query_bayes_lite(
+                    pool,
+                    &FamilyModel::new(self.cfg.family),
                     q,
                     threshold,
                     sig,
@@ -698,8 +823,8 @@ impl Searcher {
         match self.composition.verifier {
             VerifierKind::Exact => self.par_query_exact(q, threshold, cand_ids, stats),
             VerifierKind::Mle => self.par_query_mle(pool, threshold, sig, cand_ids, stats),
-            VerifierKind::Bayes => match self.cfg.measure {
-                Measure::Cosine => {
+            VerifierKind::Bayes => match self.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => {
                     self.par_query_bayes(pool, &CosineModel::new(), threshold, sig, cand_ids, stats)
                 }
                 Measure::Jaccard => self.par_query_bayes(
@@ -710,9 +835,17 @@ impl Searcher {
                     cand_ids,
                     stats,
                 ),
+                Measure::L2 => self.par_query_bayes(
+                    pool,
+                    &FamilyModel::new(self.cfg.family),
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
             },
-            VerifierKind::BayesLite => match self.cfg.measure {
-                Measure::Cosine => self.par_query_bayes_lite(
+            VerifierKind::BayesLite => match self.cfg.family.measure() {
+                Measure::Cosine | Measure::Mips => self.par_query_bayes_lite(
                     pool,
                     &CosineModel::new(),
                     q,
@@ -724,6 +857,15 @@ impl Searcher {
                 Measure::Jaccard => self.par_query_bayes_lite(
                     pool,
                     &JaccardModel::uniform(),
+                    q,
+                    threshold,
+                    sig,
+                    cand_ids,
+                    stats,
+                ),
+                Measure::L2 => self.par_query_bayes_lite(
+                    pool,
+                    &FamilyModel::new(self.cfg.family),
                     q,
                     threshold,
                     sig,
@@ -742,7 +884,7 @@ impl Searcher {
         cand_ids: &[u32],
         stats: &mut QueryStats,
     ) -> Vec<(u32, f64)> {
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let data = &self.data;
         let chunks = fan_out(cand_ids.len(), self.threads, |_, range| {
             cand_ids[range]
@@ -876,7 +1018,7 @@ impl Searcher {
         let table = self.query_minmatch(model, t, max_chunks * k);
         let this = self;
         let table = &*table;
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let results = fan_out(cand_ids.len(), self.threads, |_, range| {
             let mut local = QueryStats::default();
             let mut out = Vec::new();
@@ -1004,7 +1146,7 @@ impl Searcher {
         let k = self.cfg.k;
         let max_chunks = (self.cfg.lite_h / k).max(1);
         let table = self.query_minmatch(model, t, max_chunks * k);
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let mut out = Vec::new();
         // Prune-only chunk-major batched scan (lazily deepening survivors);
         // candidates still `Pending` at the cap get the exact check in
@@ -1063,9 +1205,13 @@ impl Searcher {
             threshold: t,
             ..self.cfg.sprt()
         };
-        let table = match self.cfg.measure {
-            Measure::Cosine => SprtTable::build(&cfg, bayeslsh_lsh::cos_to_r),
+        let table = match self.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => SprtTable::build(&cfg, bayeslsh_lsh::cos_to_r),
             Measure::Jaccard => SprtTable::build(&cfg, |s| s),
+            Measure::L2 => {
+                let r = l2_width(&self.cfg);
+                SprtTable::build(&cfg, move |s| bayeslsh_lsh::e2lsh_collision(s, r))
+            }
         };
         (cfg, table)
     }
@@ -1082,7 +1228,7 @@ impl Searcher {
         let k = self.cfg.k;
         let (_, table) = self.query_sprt_table(t);
         let max_chunks = (table.max_hashes() / k).max(1);
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let mut out = Vec::new();
         // Chunk-major batched scan with both decision boundaries, lazily
         // deepening only the candidates still undecided; candidates still
@@ -1153,7 +1299,7 @@ impl Searcher {
         let pool = pool.get();
         let this = self;
         let table = &table;
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let results = fan_out(cand_ids.len(), self.threads, |_, range| {
             let mut local = QueryStats::default();
             let mut out = Vec::new();
@@ -1343,17 +1489,22 @@ impl Searcher {
             pool.par_ensure_ids(&self.data, cand_ids, params.chunk, self.threads);
         }
 
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let cosine_model;
         let jaccard_model;
+        let family_model;
         let model: &dyn PosteriorModel = match measure {
-            Measure::Cosine => {
+            Measure::Cosine | Measure::Mips => {
                 cosine_model = CosineModel::new();
                 &cosine_model
             }
             Measure::Jaccard => {
                 jaccard_model = JaccardModel::uniform();
                 &jaccard_model
+            }
+            Measure::L2 => {
+                family_model = FamilyModel::new(self.cfg.family);
+                &family_model
             }
         };
 
@@ -1534,25 +1685,32 @@ impl Searcher {
 
     /// Map a raw hash-agreement fraction to the target similarity.
     fn to_similarity(&self, frac: f64) -> f64 {
-        match self.cfg.measure {
-            Measure::Cosine => bayeslsh_lsh::r_to_cos(frac),
+        match self.cfg.family.measure() {
+            Measure::Cosine | Measure::Mips => bayeslsh_lsh::r_to_cos(frac),
             Measure::Jaccard => frac,
+            Measure::L2 => bayeslsh_lsh::e2lsh_similarity_at(frac, l2_width(&self.cfg)),
         }
     }
 
     /// Enforce the preconditions every incoming vector (query or insert)
     /// must meet: binary support when the composition demands it, and —
-    /// for cosine, whose projection planes fix the feature space at build
-    /// time — no feature indices beyond the indexed dimensionality.
+    /// for the projection families (SRP for cosine/MIPS, E2LSH for L2),
+    /// whose projection banks fix the feature space at build time — no
+    /// feature indices beyond the indexed dimensionality.
     fn check_query(&self, v: &SparseVector) -> Result<(), SearchError> {
-        if self.composition.requires_binary(self.cfg.measure) && !v.is_binary() {
+        let measure = self.cfg.family.measure();
+        if self.composition.requires_binary(measure) && !v.is_binary() {
             return Err(SearchError::NonBinaryData {
-                requires: self.composition.binary_requirement(self.cfg.measure),
+                requires: self.composition.binary_requirement(measure),
             });
         }
         let pool = self.pool_read();
-        if let SigPool::Bits(pool) = &*pool {
-            let dim = pool.hasher().dim();
+        let dim = match &*pool {
+            SigPool::Bits(pool) => Some(pool.hasher().dim()),
+            SigPool::Projs(pool) => Some(pool.hasher().dim()),
+            SigPool::Ints(_) => None,
+        };
+        if let Some(dim) = dim {
             if v.min_dim() > dim {
                 return Err(SearchError::DimensionExceeded {
                     dim,
@@ -1674,17 +1832,22 @@ impl Searcher {
     ) -> CandidateScan {
         debug_assert!(params.chunk >= 1 && params.h >= params.chunk);
         let max_chunks = params.h / params.chunk;
-        let measure = self.cfg.measure;
+        let measure = self.cfg.family.measure();
         let cosine_model;
         let jaccard_model;
+        let family_model;
         let model: &dyn PosteriorModel = match measure {
-            Measure::Cosine => {
+            Measure::Cosine | Measure::Mips => {
                 cosine_model = CosineModel::new();
                 &cosine_model
             }
             Measure::Jaccard => {
                 jaccard_model = JaccardModel::uniform();
                 &jaccard_model
+            }
+            Measure::L2 => {
+                family_model = FamilyModel::new(self.cfg.family);
+                &family_model
             }
         };
         let mut access = WritePool(self.pool.get_mut().expect("signature pool lock poisoned"));

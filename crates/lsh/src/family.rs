@@ -1,0 +1,470 @@
+//! First-class hash-family surface: which similarity a pipeline targets and
+//! how its LSH family's collision probability relates to that similarity.
+//!
+//! Charikar's definition (paper Eq. 1) ties an LSH family to a similarity
+//! through `Pr[h(x) = h(y)] = p(sim(x, y))` for a monotone `p`. Everything
+//! downstream of hashing — banding plans, Bayesian posteriors over hash
+//! agreements, SPRT decision boundaries — only needs that monotone map and
+//! its inverse, never the hash functions themselves. This module makes that
+//! contract explicit:
+//!
+//! * [`Measure`] — the similarity being searched (cosine, Jaccard, L2,
+//!   maximum inner product), with its exact ground-truth evaluation;
+//! * [`HashFamily`] — the collision model trait: `collision_probability`
+//!   (forward map, raised to a hash depth) and [`HashFamily::similarity_at`]
+//!   (inverse map);
+//! * [`FamilyConfig`] — the value-level family selector pipelines carry,
+//!   including per-family parameters such as the E2LSH bucket width `r`;
+//! * the four concrete families: [`SrpFamily`] (signed random projections
+//!   for cosine), [`MinHashFamily`] (minwise hashing for Jaccard),
+//!   [`E2LshFamily`] (p-stable quantized projections for L2, Datar et al.
+//!   SoCG'04), and [`MipsFamily`] (inner product via the asymmetric
+//!   augmentation of Shrivastava & Li / Neyshabur & Srebro, reduced to SRP
+//!   on augmented vectors).
+//!
+//! # The E2LSH collision model
+//!
+//! For `h(x) = ⌊(a·x + b)/r⌋` with `a` standard Gaussian and `b` uniform on
+//! `[0, r)`, the collision probability at Euclidean distance `d > 0` is
+//!
+//! ```text
+//! p(d) = 1 − 2Φ(−r/d) − (2d / (√(2π)·r)) · (1 − exp(−r²/2d²))
+//! ```
+//!
+//! (Datar et al., Eq. 2), with `p(0) = 1`. Distances are mapped into the
+//! `(0, 1]` similarity scale the verifiers speak via
+//! `s = 1 / (1 + d)` (see `bayeslsh_sparse::l2_similarity`), so `p` becomes
+//! a monotone *increasing* function of `s` like every other family's.
+
+use bayeslsh_numeric::norm_cdf;
+use bayeslsh_sparse::{cosine, jaccard, l2_similarity, SparseVector};
+
+use crate::srp::{cos_to_r, r_to_cos};
+
+/// The similarity measure a pipeline targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Measure {
+    /// Cosine similarity (weighted or binary vectors).
+    Cosine,
+    /// Jaccard set similarity (binary vectors).
+    Jaccard,
+    /// L2 (Euclidean) proximity, on the `1/(1 + d)` similarity scale.
+    L2,
+    /// Maximum inner product, searched as cosine over vectors augmented with
+    /// the extra `√(M² − ‖x‖²)` coordinate (queries get a 0 there), which
+    /// makes augmented cosine order candidates by inner product.
+    Mips,
+}
+
+impl Measure {
+    /// Evaluate the exact similarity under this measure.
+    ///
+    /// For [`Measure::Mips`] the arguments are expected to already be
+    /// augmented (see `MipsTransform`): on augmented vectors the measure
+    /// *is* cosine, which is exactly what the SRP signatures estimate.
+    pub fn eval(&self, x: &SparseVector, y: &SparseVector) -> f64 {
+        match self {
+            Measure::Cosine | Measure::Mips => cosine(x, y),
+            Measure::Jaccard => jaccard(x, y),
+            Measure::L2 => l2_similarity(x, y),
+        }
+    }
+}
+
+impl std::fmt::Display for Measure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Measure::Cosine => write!(f, "cosine"),
+            Measure::Jaccard => write!(f, "jaccard"),
+            Measure::L2 => write!(f, "l2"),
+            Measure::Mips => write!(f, "mips"),
+        }
+    }
+}
+
+/// The collision model of an LSH family: the monotone map between the
+/// target similarity and hash-collision probability, and its inverse.
+///
+/// `collision_probability(sim, depth)` is `Pr[all of `depth` independent
+/// hashes agree]` — `p(sim)^depth` — the quantity banding plans and
+/// sequential tests are built from. `similarity_at(p)` inverts the
+/// single-hash map, recovering the similarity at which one hash collides
+/// with probability `p`.
+pub trait HashFamily {
+    /// The similarity this family is locality-sensitive for.
+    fn measure(&self) -> Measure;
+
+    /// `Pr[h₁..h_depth all agree]` at similarity `sim`: `p(sim)^depth`.
+    fn collision_probability(&self, sim: f64, depth: u32) -> f64 {
+        self.collision_one(sim).powi(depth as i32)
+    }
+
+    /// Single-hash collision probability `p(sim)`, clamped to `[0, 1]`.
+    fn collision_one(&self, sim: f64) -> f64;
+
+    /// Inverse of [`HashFamily::collision_one`]: the similarity at which a
+    /// single hash collides with probability `p`.
+    fn similarity_at(&self, p: f64) -> f64;
+}
+
+/// Signed random projections (cosine): `p(s) = 1 − θ/π = cos_to_r(s)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SrpFamily;
+
+impl HashFamily for SrpFamily {
+    fn measure(&self) -> Measure {
+        Measure::Cosine
+    }
+
+    fn collision_one(&self, sim: f64) -> f64 {
+        cos_to_r(sim).clamp(0.0, 1.0)
+    }
+
+    fn similarity_at(&self, p: f64) -> f64 {
+        r_to_cos(p.clamp(0.0, 1.0))
+    }
+}
+
+/// Minwise hashing (Jaccard): the collision probability *is* the
+/// similarity, `p(s) = s`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinHashFamily;
+
+impl HashFamily for MinHashFamily {
+    fn measure(&self) -> Measure {
+        Measure::Jaccard
+    }
+
+    fn collision_one(&self, sim: f64) -> f64 {
+        sim.clamp(0.0, 1.0)
+    }
+
+    fn similarity_at(&self, p: f64) -> f64 {
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// p-stable projections for L2 (Datar et al.): quantized Gaussian
+/// projections with bucket width `r`, on the `s = 1/(1 + d)` scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct E2LshFamily {
+    /// Bucket (quantization) width of `h(x) = ⌊(a·x + b)/r⌋`. Larger `r`
+    /// raises collision probability at every distance.
+    pub r: f64,
+}
+
+impl E2LshFamily {
+    /// A family with bucket width `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r` is finite and positive.
+    pub fn new(r: f64) -> Self {
+        assert!(r.is_finite() && r > 0.0, "E2LSH bucket width must be > 0");
+        Self { r }
+    }
+}
+
+impl HashFamily for E2LshFamily {
+    fn measure(&self) -> Measure {
+        Measure::L2
+    }
+
+    fn collision_one(&self, sim: f64) -> f64 {
+        e2lsh_collision(sim, self.r)
+    }
+
+    fn similarity_at(&self, p: f64) -> f64 {
+        e2lsh_similarity_at(p, self.r)
+    }
+}
+
+/// Maximum inner product via asymmetric augmentation: after the
+/// `√(M² − ‖x‖²)` lift the family is SRP on the augmented space, so the
+/// collision model is [`SrpFamily`]'s applied to augmented cosine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MipsFamily;
+
+impl HashFamily for MipsFamily {
+    fn measure(&self) -> Measure {
+        Measure::Mips
+    }
+
+    fn collision_one(&self, sim: f64) -> f64 {
+        cos_to_r(sim).clamp(0.0, 1.0)
+    }
+
+    fn similarity_at(&self, p: f64) -> f64 {
+        r_to_cos(p.clamp(0.0, 1.0))
+    }
+}
+
+/// E2LSH collision probability at Euclidean distance `d ≥ 0` with bucket
+/// width `r > 0` (Datar et al., Eq. 2); `p(0) = 1`.
+pub fn e2lsh_collision_at_distance(d: f64, r: f64) -> f64 {
+    debug_assert!(r > 0.0, "bucket width must be positive");
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let t = r / d;
+    let p = 1.0
+        - 2.0 * norm_cdf(-t)
+        - (2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t)) * (1.0 - (-t * t / 2.0).exp());
+    p.clamp(0.0, 1.0)
+}
+
+/// E2LSH single-hash collision probability as a function of L2 *similarity*
+/// `s = 1/(1 + d)`: monotone increasing in `s`, with `p(1) = 1`.
+pub fn e2lsh_collision(sim: f64, r: f64) -> f64 {
+    if sim >= 1.0 {
+        return 1.0;
+    }
+    if sim <= 0.0 {
+        return 0.0;
+    }
+    e2lsh_collision_at_distance((1.0 - sim) / sim, r)
+}
+
+/// Inverse of [`e2lsh_collision`] in `sim`, by bisection: the L2 similarity
+/// at which one hash collides with probability `p`. The map has no closed
+/// form, but it is strictly monotone, so 80 halvings pin the root far below
+/// every tolerance the estimators carry.
+pub fn e2lsh_similarity_at(p: f64, r: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    if p >= 1.0 {
+        return 1.0;
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if e2lsh_collision(mid, r) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Value-level hash-family selector a pipeline carries: which family to
+/// hash with, including per-family parameters. Marked `#[non_exhaustive]`
+/// so further families can be added without a breaking release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FamilyConfig {
+    /// Signed random projections for cosine similarity.
+    Cosine,
+    /// Minwise hashing for Jaccard similarity (binary vectors).
+    Jaccard,
+    /// p-stable quantized projections for L2, with bucket width `r`.
+    L2 {
+        /// Bucket width of the quantized projection (see [`E2LshFamily`]).
+        r: f64,
+    },
+    /// Maximum inner product via asymmetric augmentation + SRP.
+    Mips,
+}
+
+impl FamilyConfig {
+    /// The similarity measure this family searches.
+    pub fn measure(&self) -> Measure {
+        match self {
+            FamilyConfig::Cosine => Measure::Cosine,
+            FamilyConfig::Jaccard => Measure::Jaccard,
+            FamilyConfig::L2 { .. } => Measure::L2,
+            FamilyConfig::Mips => Measure::Mips,
+        }
+    }
+
+    /// The family selector for a bare measure, with default parameters
+    /// (L2 gets bucket width `r = 4`, a common E2LSH default for unit-scale
+    /// data).
+    pub fn for_measure(measure: Measure) -> Self {
+        match measure {
+            Measure::Cosine => FamilyConfig::Cosine,
+            Measure::Jaccard => FamilyConfig::Jaccard,
+            Measure::L2 => FamilyConfig::L2 { r: 4.0 },
+            Measure::Mips => FamilyConfig::Mips,
+        }
+    }
+
+    /// Single-hash collision probability `p(sim)`.
+    pub fn collision_one(&self, sim: f64) -> f64 {
+        match self {
+            FamilyConfig::Cosine => SrpFamily.collision_one(sim),
+            FamilyConfig::Jaccard => MinHashFamily.collision_one(sim),
+            FamilyConfig::L2 { r } => e2lsh_collision(sim, *r),
+            FamilyConfig::Mips => MipsFamily.collision_one(sim),
+        }
+    }
+
+    /// `Pr[all of `depth` independent hashes agree]` at similarity `sim`.
+    pub fn collision_probability(&self, sim: f64, depth: u32) -> f64 {
+        self.collision_one(sim).powi(depth as i32)
+    }
+
+    /// The similarity at which one hash collides with probability `p`
+    /// (inverse of [`FamilyConfig::collision_one`]).
+    pub fn similarity_at(&self, p: f64) -> f64 {
+        match self {
+            FamilyConfig::Cosine => SrpFamily.similarity_at(p),
+            FamilyConfig::Jaccard => MinHashFamily.similarity_at(p),
+            FamilyConfig::L2 { r } => e2lsh_similarity_at(p, *r),
+            FamilyConfig::Mips => MipsFamily.similarity_at(p),
+        }
+    }
+
+    /// The E2LSH bucket width, for the L2 family only. Exists because the
+    /// enum is `#[non_exhaustive]`: downstream crates dispatch on
+    /// [`FamilyConfig::measure`] (which is exhaustive) and fetch per-family
+    /// parameters through accessors like this one.
+    pub fn l2_width(&self) -> Option<f64> {
+        match self {
+            FamilyConfig::L2 { r } => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Validate family parameters, returning the offending field on error.
+    pub fn validate(&self) -> Result<(), (&'static str, String)> {
+        match self {
+            FamilyConfig::L2 { r } if !(r.is_finite() && *r > 0.0) => {
+                Err(("family.r", format!("bucket width must be > 0, got {r}")))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+impl std::fmt::Display for FamilyConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FamilyConfig::L2 { r } => write!(f, "l2(r={r})"),
+            other => write!(f, "{}", other.measure()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_display_and_eval_dispatch() {
+        assert_eq!(Measure::Cosine.to_string(), "cosine");
+        assert_eq!(Measure::Jaccard.to_string(), "jaccard");
+        assert_eq!(Measure::L2.to_string(), "l2");
+        assert_eq!(Measure::Mips.to_string(), "mips");
+
+        let x = SparseVector::from_pairs([(0u32, 1.0f32), (2, 2.0)]);
+        let y = SparseVector::from_pairs([(2u32, 4.0f32), (5, 2.0)]);
+        assert!((Measure::Cosine.eval(&x, &y) - cosine(&x, &y)).abs() < 1e-12);
+        assert!((Measure::Jaccard.eval(&x, &y) - jaccard(&x, &y)).abs() < 1e-12);
+        assert!((Measure::L2.eval(&x, &y) - l2_similarity(&x, &y)).abs() < 1e-12);
+        assert!((Measure::Mips.eval(&x, &y) - cosine(&x, &y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn e2lsh_collision_reference_value() {
+        // At d = r the closed form gives
+        // 1 − 2Φ(−1) − (2/√(2π))(1 − e^{−1/2}) ≈ 0.368742.
+        let p = e2lsh_collision_at_distance(2.5, 2.5);
+        assert!((p - 0.368742).abs() < 1e-4, "p(d=r) = {p}");
+    }
+
+    #[test]
+    fn e2lsh_collision_limits_and_monotonicity() {
+        for &r in &[0.5, 1.0, 4.0] {
+            assert_eq!(e2lsh_collision_at_distance(0.0, r), 1.0);
+            assert_eq!(e2lsh_collision(1.0, r), 1.0);
+            assert_eq!(e2lsh_collision(0.0, r), 0.0);
+            // Far points essentially never collide.
+            assert!(e2lsh_collision_at_distance(1e6 * r, r) < 1e-3);
+            // Monotone decreasing in d (increasing in s).
+            let mut prev = 1.0;
+            let mut d = 0.0;
+            while d <= 20.0 {
+                let p = e2lsh_collision_at_distance(d, r);
+                assert!((0.0..=1.0).contains(&p));
+                assert!(p <= prev + 1e-12, "not monotone at d={d}, r={r}");
+                prev = p;
+                d += 0.05;
+            }
+        }
+    }
+
+    #[test]
+    fn e2lsh_similarity_at_inverts_collision() {
+        for &r in &[0.5, 2.0, 8.0] {
+            let fam = E2LshFamily::new(r);
+            let mut s = 0.05;
+            while s < 1.0 {
+                let p = fam.collision_one(s);
+                let back = fam.similarity_at(p);
+                assert!((back - s).abs() < 1e-9, "r={r} s={s} back={back}");
+                s += 0.05;
+            }
+            assert_eq!(fam.similarity_at(1.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn wider_buckets_collide_more() {
+        let s = 0.5;
+        assert!(e2lsh_collision(s, 4.0) > e2lsh_collision(s, 1.0));
+        assert!(e2lsh_collision(s, 1.0) > e2lsh_collision(s, 0.25));
+    }
+
+    #[test]
+    fn family_config_delegates_per_family() {
+        let t = 0.7;
+        assert_eq!(
+            FamilyConfig::Cosine.collision_one(t),
+            SrpFamily.collision_one(t)
+        );
+        assert_eq!(FamilyConfig::Cosine.collision_one(t), cos_to_r(t));
+        assert_eq!(FamilyConfig::Jaccard.collision_one(t), t);
+        assert_eq!(
+            FamilyConfig::Mips.collision_one(t),
+            MipsFamily.collision_one(t)
+        );
+        let l2 = FamilyConfig::L2 { r: 2.0 };
+        assert_eq!(l2.collision_one(t), e2lsh_collision(t, 2.0));
+        // depth composes multiplicatively.
+        let p = l2.collision_one(t);
+        assert!((l2.collision_probability(t, 3) - p * p * p).abs() < 1e-12);
+        // Inverses round-trip.
+        for fam in [
+            FamilyConfig::Cosine,
+            FamilyConfig::Jaccard,
+            l2,
+            FamilyConfig::Mips,
+        ] {
+            let back = fam.similarity_at(fam.collision_one(0.6));
+            assert!((back - 0.6).abs() < 1e-9, "{fam}: {back}");
+        }
+    }
+
+    #[test]
+    fn family_config_measure_and_display() {
+        assert_eq!(FamilyConfig::Cosine.measure(), Measure::Cosine);
+        assert_eq!(FamilyConfig::Jaccard.measure(), Measure::Jaccard);
+        assert_eq!(FamilyConfig::L2 { r: 1.0 }.measure(), Measure::L2);
+        assert_eq!(FamilyConfig::Mips.measure(), Measure::Mips);
+        assert_eq!(
+            FamilyConfig::for_measure(Measure::L2).measure(),
+            Measure::L2
+        );
+        assert_eq!(FamilyConfig::L2 { r: 2.0 }.to_string(), "l2(r=2)");
+        assert_eq!(FamilyConfig::Mips.to_string(), "mips");
+    }
+
+    #[test]
+    fn family_config_validation() {
+        assert!(FamilyConfig::Cosine.validate().is_ok());
+        assert!(FamilyConfig::L2 { r: 0.5 }.validate().is_ok());
+        let err = FamilyConfig::L2 { r: 0.0 }.validate().unwrap_err();
+        assert_eq!(err.0, "family.r");
+        assert!(FamilyConfig::L2 { r: f64::NAN }.validate().is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! Maximum-inner-product search via asymmetric augmentation.
+//!
+//! Inner product is not a proper similarity — it is unbounded and
+//! `x` may have a larger inner product with some `y ≠ x` than with itself —
+//! so no LSH family exists for it directly. The reduction of Neyshabur &
+//! Srebro (ICML'15, building on Shrivastava & Li) lifts the problem to
+//! cosine: with `M = max_x ‖x‖` over the corpus,
+//!
+//! ```text
+//! corpus:  x ↦ x̂ = [x/M ; √(1 − ‖x‖²/M²)]
+//! query:   q ↦ q̂ = [q/‖q‖ ; 0]
+//! ```
+//!
+//! every augmented corpus vector is unit-norm, and
+//! `cos(q̂, x̂) = (q·x) / (M·‖q‖)` — for any fixed query, augmented cosine
+//! orders candidates exactly by inner product. The augmented space is then
+//! searched with the ordinary SRP/cosine machinery (its own seed stream and
+//! snapshot family tag), with thresholds expressed on the augmented-cosine
+//! scale.
+//!
+//! [`MipsTransform`] is the data-preparation step, applied like
+//! `bayeslsh_sparse::tfidf` before building a pipeline: fit it on the raw
+//! corpus, transform the corpus once, and push each query through
+//! [`MipsTransform::augment_query`] before searching.
+
+use bayeslsh_sparse::{Dataset, SparseVector};
+
+/// The asymmetric MIPS-to-cosine augmentation: scales by the corpus'
+/// maximum norm and appends one extra coordinate (feature id `dim`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MipsTransform {
+    /// Dimensionality of the *raw* space; the extra coordinate lives at
+    /// feature id `dim`, so augmented vectors have dimensionality `dim + 1`.
+    dim: u32,
+    /// The corpus' maximum L2 norm `M` (the scale of the reduction).
+    max_norm: f64,
+}
+
+impl MipsTransform {
+    /// A transform for a `dim`-dimensional raw space with scale `max_norm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `max_norm` is finite and positive.
+    pub fn new(dim: u32, max_norm: f64) -> Self {
+        assert!(
+            max_norm.is_finite() && max_norm > 0.0,
+            "MIPS scale must be > 0"
+        );
+        Self { dim, max_norm }
+    }
+
+    /// Fit the transform on a corpus: `M` is the maximum vector norm
+    /// (1.0 for an empty or all-zero corpus, where the reduction is
+    /// trivial).
+    pub fn fit(data: &Dataset) -> Self {
+        let max_norm = data
+            .vectors()
+            .iter()
+            .map(|v| v.norm())
+            .fold(0.0f64, f64::max);
+        Self::new(data.dim(), if max_norm > 0.0 { max_norm } else { 1.0 })
+    }
+
+    /// Dimensionality of the raw space.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Dimensionality of the augmented space (`dim + 1`).
+    pub fn augmented_dim(&self) -> u32 {
+        self.dim + 1
+    }
+
+    /// The corpus' maximum norm `M`.
+    pub fn max_norm(&self) -> f64 {
+        self.max_norm
+    }
+
+    /// Augment one corpus vector: `x ↦ [x/M ; √(1 − ‖x‖²/M²)]` (unit norm
+    /// up to floating error; the extra coordinate sits at feature id
+    /// `dim`). A norm epsilon above `M` — a query-side vector, or floating
+    /// error — clamps the extra coordinate to 0.
+    pub fn augment_corpus(&self, v: &SparseVector) -> SparseVector {
+        let inv_m = (1.0 / self.max_norm) as f32;
+        let scaled = v.norm() / self.max_norm;
+        let extra = (1.0 - scaled * scaled).max(0.0).sqrt() as f32;
+        let mut pairs: Vec<(u32, f32)> = v.iter().map(|(i, x)| (i, x * inv_m)).collect();
+        if extra > 0.0 {
+            pairs.push((self.dim, extra));
+        }
+        SparseVector::from_pairs(pairs)
+    }
+
+    /// Augment one query vector: `q ↦ [q/‖q‖ ; 0]` (the extra coordinate is
+    /// zero, so it is simply absent from the sparse support). The zero
+    /// vector maps to itself — it has no inner product ordering to
+    /// preserve.
+    pub fn augment_query(&self, q: &SparseVector) -> SparseVector {
+        let n = q.norm();
+        if n == 0.0 {
+            return q.clone();
+        }
+        q.scaled((1.0 / n) as f32)
+    }
+
+    /// Augment a whole corpus into a fresh `dim + 1`-dimensional dataset,
+    /// preserving ids.
+    pub fn transform_corpus(&self, data: &Dataset) -> Dataset {
+        let mut out = Dataset::new(self.augmented_dim());
+        for (_, v) in data.iter() {
+            out.push(self.augment_corpus(v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bayeslsh_sparse::{cosine, dot};
+
+    fn corpus() -> Dataset {
+        let mut data = Dataset::new(6);
+        data.push(SparseVector::from_pairs(vec![(0, 3.0), (2, 4.0)])); // ‖·‖ = 5
+        data.push(SparseVector::from_pairs(vec![(1, 1.0), (3, 2.0)]));
+        data.push(SparseVector::from_pairs(vec![(0, 0.5), (4, 0.5)]));
+        data.push(SparseVector::empty());
+        data
+    }
+
+    #[test]
+    fn fit_finds_max_norm_and_augmented_corpus_is_unit() {
+        let data = corpus();
+        let t = MipsTransform::fit(&data);
+        assert_eq!(t.dim(), 6);
+        assert_eq!(t.augmented_dim(), 7);
+        assert!((t.max_norm() - 5.0).abs() < 1e-6);
+        let aug = t.transform_corpus(&data);
+        assert_eq!(aug.len(), data.len());
+        assert_eq!(aug.dim(), 7);
+        for (id, v) in aug.iter() {
+            if data.vector(id).is_empty() {
+                // The zero vector augments to the pure extra coordinate.
+                assert!((v.norm() - 1.0).abs() < 1e-6);
+                assert_eq!(v.indices(), &[6]);
+            } else {
+                assert!((v.norm() - 1.0).abs() < 1e-4, "id {id}: {}", v.norm());
+            }
+        }
+        // The max-norm vector's extra coordinate vanishes.
+        assert_eq!(aug.vector(0).indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn augmented_cosine_orders_by_inner_product() {
+        let data = corpus();
+        let t = MipsTransform::fit(&data);
+        let aug = t.transform_corpus(&data);
+        let q = SparseVector::from_pairs(vec![(0, 2.0), (1, 1.5), (2, 0.5)]);
+        let qa = t.augment_query(&q);
+        assert!((qa.norm() - 1.0).abs() < 1e-6);
+        // cos(q̂, x̂) must equal (q·x)/(M‖q‖) and therefore order by q·x.
+        let m = t.max_norm();
+        let qn = q.norm();
+        let mut by_cos: Vec<(u32, f64)> = aug.iter().map(|(id, v)| (id, cosine(&qa, v))).collect();
+        for &(id, c) in &by_cos {
+            let expected = dot(&q, data.vector(id)) / (m * qn);
+            assert!((c - expected).abs() < 1e-4, "id {id}: {c} vs {expected}");
+        }
+        by_cos.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let mut by_ip: Vec<(u32, f64)> = data.iter().map(|(id, v)| (id, dot(&q, v))).collect();
+        by_ip.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let cos_order: Vec<u32> = by_cos.iter().map(|p| p.0).collect();
+        let ip_order: Vec<u32> = by_ip.iter().map(|p| p.0).collect();
+        assert_eq!(cos_order, ip_order);
+    }
+
+    #[test]
+    fn query_augmentation_edge_cases() {
+        let t = MipsTransform::new(4, 2.0);
+        let zero = SparseVector::empty();
+        assert!(t.augment_query(&zero).is_empty());
+        // Queries keep their support (no extra coordinate).
+        let q = SparseVector::from_pairs(vec![(1, 3.0)]);
+        let qa = t.augment_query(&q);
+        assert_eq!(qa.indices(), q.indices());
+        assert!((qa.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_on_empty_corpus_is_identity_scale() {
+        let data = Dataset::new(3);
+        let t = MipsTransform::fit(&data);
+        assert_eq!(t.max_norm(), 1.0);
+        assert_eq!(t.transform_corpus(&data).len(), 0);
+    }
+}

@@ -199,8 +199,9 @@ pub trait SignaturePool {
 
 /// First occurrence of each id in `ids`, in order — parallel extension
 /// must process an id exactly once (two workers splicing the same slot
-/// would append the range twice).
-fn dedup_ids(ids: &[u32]) -> impl Iterator<Item = u32> + '_ {
+/// would append the range twice). Shared with the crate's other pools
+/// (`ProjSignatures`), whose `par_ensure_ids` carries the same contract.
+pub(crate) fn dedup_ids(ids: &[u32]) -> impl Iterator<Item = u32> + '_ {
     let mut seen = std::collections::HashSet::with_capacity(ids.len());
     ids.iter().copied().filter(move |&id| seen.insert(id))
 }

@@ -365,6 +365,20 @@ impl SrpHasher {
         words
     }
 
+    /// The raw projection values `dot(plane_{lo+j}, v)` for `j < hi − lo`,
+    /// written into `acc` (resized to the range length). Planes must
+    /// already be materialized to `hi` ([`SrpHasher::ensure_planes`] /
+    /// [`SrpHasher::ensure_planes_par`]). Exposes the accumulators the
+    /// sign bits are cut from, so multi-probe querying can order per-band
+    /// bit flips by ascending margin `|dot|` — the least-confident bits
+    /// are the likeliest to differ for a near neighbour.
+    pub fn project_into(&self, v: &SparseVector, lo: u32, hi: u32, acc: &mut Vec<f64>) {
+        acc.resize((hi - lo) as usize, 0.0);
+        if lo < hi {
+            self.project_ready(v, lo, hi, acc);
+        }
+    }
+
     /// Total Gaussian components generated (throughput accounting).
     pub fn components_generated(&self) -> u64 {
         self.components_generated

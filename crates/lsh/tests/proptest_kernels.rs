@@ -12,8 +12,9 @@
 use bayeslsh_lsh::srp::PlaneStorage;
 use bayeslsh_lsh::{
     count_bbit_agreements, count_bit_agreements, count_bit_agreements_batched,
-    count_int_agreements, count_int_agreements_batched, generate_plane, quantized, BbitSignatures,
-    BitSignatures, IntSignatures, MinHasher, SignaturePool, SrpHasher, SrpScratch,
+    count_int_agreements, count_int_agreements_batched, generate_plane, generate_projection,
+    quantized, BbitSignatures, BitSignatures, E2lshHasher, E2lshScratch, IntSignatures, MinHasher,
+    ProjSignatures, SignaturePool, SrpHasher, SrpScratch,
 };
 use bayeslsh_numeric::Xoshiro256;
 use bayeslsh_sparse::{Dataset, SparseVector};
@@ -41,6 +42,20 @@ fn oracle_srp_bit(dim: u32, seed: u64, storage: PlaneStorage, i: usize, v: &Spar
         }
     };
     acc >= 0.0
+}
+
+/// The E2LSH scalar reference: regenerate projection `i` as a column
+/// through the pure [`generate_projection`] stream, accumulate a single
+/// `f64` dot product over the nonzeros in index order, and quantize with
+/// the kernel's exact arithmetic — `acc · (1/r) + b/r`, floored, truncated
+/// to 32 bits (NOT `acc / r`, whose rounding can differ by one ulp).
+fn oracle_e2lsh_bucket(dim: u32, seed: u64, r: f64, i: usize, v: &SparseVector) -> u32 {
+    let (components, offset) = generate_projection(dim, seed, i);
+    let mut acc = 0.0f64;
+    for (idx, val) in v.iter() {
+        acc += components[idx as usize] as f64 * val as f64;
+    }
+    ((acc * (1.0 / r) + offset).floor() as i64) as u32
 }
 
 /// A random sparse vector with signed weights (possibly empty).
@@ -342,6 +357,106 @@ proptest! {
         prop_assert_eq!(
             count_bbit_agreements(pool.raw_words(0), pool.raw_words(1), b, lo, hi),
             naive
+        );
+    }
+
+    /// The feature-major E2LSH range kernel over arbitrary increments —
+    /// and the per-slot gather — are bit-identical to the scalar oracle,
+    /// across bucket widths.
+    #[test]
+    fn e2lsh_incremental_extension_matches_oracle(
+        seed in 0u64..500,
+        dim_sel in 8u32..200,
+        r_sel in 0u32..4,
+        total in 1u32..300,
+    ) {
+        let r = [0.5f64, 1.0, 4.0, 7.25][r_sel as usize];
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xC9);
+        let v = random_vector(dim_sel, 24, &mut rng);
+        let mut h = E2lshHasher::new(dim_sel, seed, r);
+        let mut out = Vec::new();
+        for (lo, hi) in random_cuts(total, &mut rng) {
+            h.hash_range_into(&v, lo, hi, &mut out);
+        }
+        prop_assert_eq!(out.len(), total as usize);
+        for (i, &got) in out.iter().enumerate() {
+            let want = oracle_e2lsh_bucket(dim_sel, seed, r, i, &v);
+            prop_assert_eq!(got, want, "slot {} of {}", i, total);
+            prop_assert_eq!(h.hash_ready(i, &v), want);
+        }
+    }
+
+    /// The packed read-only kernel (the parallel splice building block),
+    /// with a shared scratch and a bank grown in two stages — forcing a
+    /// stride relocation of the filled prefix — matches the oracle. The
+    /// second growth goes through the parallel generator, which must land
+    /// the same bank as the serial one.
+    #[test]
+    fn e2lsh_packed_matches_oracle_after_bank_growth(
+        seed in 0u64..500,
+        total in 65u32..300,
+        threads in 1u32..5,
+    ) {
+        let dim = 96;
+        let r = 4.0;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xDA);
+        let v = random_vector(dim, 20, &mut rng);
+        let mut h = E2lshHasher::new(dim, seed, r);
+        // First growth fills the minimum stride; the second (past 64)
+        // must relocate those columns into the wider rows.
+        h.ensure_functions(1 + rng.next_below(64) as usize);
+        h.ensure_functions_par(total as usize, threads as usize);
+        prop_assert_eq!(h.functions_ready(), total as usize);
+        let mut scratch = E2lshScratch::new();
+        let mut packed = Vec::new();
+        for (lo, hi) in random_cuts(total, &mut rng) {
+            packed.extend(h.hash_range_packed_with(&v, lo, hi, &mut scratch));
+        }
+        for (i, &got) in packed.iter().enumerate() {
+            prop_assert_eq!(got, oracle_e2lsh_bucket(dim, seed, r, i, &v), "slot {}", i);
+        }
+    }
+
+    /// Pool-level parallel `ensure` in increments equals a one-shot deep
+    /// pool, the external-query paths, and the oracle — whatever the
+    /// thread count or demand pattern.
+    #[test]
+    fn proj_pool_extension_patterns_match_one_shot(
+        seed in 0u64..300,
+        total in 1u32..260,
+        threads in 1u32..5,
+    ) {
+        let dim = 80;
+        let r = 2.0;
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xEB);
+        let va = random_vector(dim, 18, &mut rng);
+        let vb = random_vector(dim, 18, &mut rng);
+        let mut data = Dataset::new(dim);
+        data.push(va.clone());
+        data.push(vb.clone());
+
+        let mut incremental = ProjSignatures::new(E2lshHasher::new(dim, seed, r), 2);
+        for (_, hi) in random_cuts(total, &mut rng) {
+            incremental.par_ensure_ids(&data, &[0, 1, 0], hi, threads as usize);
+        }
+        let mut one_shot = ProjSignatures::new(E2lshHasher::new(dim, seed, r), 2);
+        one_shot.par_ensure_ids(&data, &[0, 1], total, 1);
+        for id in 0..2u32 {
+            prop_assert_eq!(incremental.raw(id), one_shot.raw(id), "id {}", id);
+        }
+        for (i, &got) in one_shot.raw(0).iter().enumerate() {
+            prop_assert_eq!(got, oracle_e2lsh_bucket(dim, seed, r, i, &va), "slot {}", i);
+        }
+        // External queries ride the same bank: the chunked `hash_external`
+        // path and the parallel splice both reproduce the pool's stream.
+        let mut ext = Vec::new();
+        for (lo, hi) in random_cuts(total, &mut rng) {
+            incremental.hash_external(&va, lo, hi, &mut ext);
+        }
+        prop_assert_eq!(ext.as_slice(), incremental.raw(0));
+        prop_assert_eq!(
+            incremental.hash_external_par(&vb, total, threads as usize).as_slice(),
+            incremental.raw(1)
         );
     }
 }

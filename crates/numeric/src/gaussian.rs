@@ -1,11 +1,35 @@
-//! Standard normal sampling via the Marsaglia polar method.
+//! Standard normal sampling via the Marsaglia polar method, plus the
+//! normal CDF.
 //!
 //! The signed-random-projection LSH family for cosine similarity (paper
 //! Section 4.2) draws each component of each projection vector from
 //! N(0, 1); a corpus-scale index needs millions of such draws, so the
 //! sampler caches the spare variate the polar method produces for free.
+//! The p-stable (E2LSH) family's collision model additionally needs
+//! Φ(x), provided here as [`norm_cdf`] via an [`erf`] approximation.
 
 use crate::rng::Xoshiro256;
+
+/// The error function, via Abramowitz & Stegun 7.1.26 (max absolute
+/// error 1.5e-7 — far below every tolerance the collision models carry).
+pub fn erf(x: f64) -> f64 {
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// The standard normal CDF Φ(x) = P(N(0,1) ≤ x).
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
 
 /// A standard normal sampler with spare-value caching.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +124,43 @@ mod tests {
         let mut g2 = Gaussian::new();
         for _ in 0..1000 {
             assert_eq!(g1.sample(&mut r1), g2.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn erf_matches_reference_values() {
+        // Reference values to 7 decimals (A&S tables).
+        for &(x, want) in &[
+            (0.0, 0.0),
+            (0.5, 0.5204999),
+            (1.0, 0.8427008),
+            (2.0, 0.9953223),
+            (3.0, 0.9999779),
+        ] {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})");
+            assert!((erf(-x) + want).abs() < 2e-7, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn norm_cdf_matches_reference_values() {
+        for &(x, want) in &[
+            (0.0, 0.5),
+            (1.0, 0.8413447),
+            (1.96, 0.9750021),
+            (-1.0, 0.1586553),
+            (3.0, 0.9986501),
+        ] {
+            assert!((norm_cdf(x) - want).abs() < 2e-7, "Phi({x})");
+        }
+        // Monotone and bounded.
+        let mut prev = 0.0;
+        let mut t = -6.0;
+        while t <= 6.0 {
+            let p = norm_cdf(t);
+            assert!((0.0..=1.0).contains(&p) && p >= prev);
+            prev = p;
+            t += 0.125;
         }
     }
 

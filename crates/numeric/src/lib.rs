@@ -39,7 +39,7 @@ pub use beta::{ln_beta, reg_inc_beta};
 pub use betadist::BetaDist;
 pub use binomial::Binomial;
 pub use gamma::{ln_choose, ln_gamma};
-pub use gaussian::Gaussian;
+pub use gaussian::{erf, norm_cdf, Gaussian};
 pub use parallel::{chunk_ranges, fan_out, Parallelism};
 pub use rng::{derive_seed, SplitMix64, Xoshiro256};
 pub use wire::{fnv1a_checksum, WireError, WireReader, WireWriter};

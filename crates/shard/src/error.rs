@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use bayeslsh_core::{SearchError, SnapshotError};
+use bayeslsh_core::{ConfigDiff, SearchError, SnapshotError};
 
 /// Everything that can go wrong between a shard manifest on disk and a
 /// serving [`ShardedSearcher`](crate::ShardedSearcher). Every corruption
@@ -46,6 +46,10 @@ pub enum ShardError {
         expected: u64,
         /// Fingerprint of the loaded shard's configuration.
         found: u64,
+        /// The same disagreement in the shared structured shape
+        /// (`SearchError::InvalidConfig` / `SnapshotError::ConfigMismatch`
+        /// carry it too), for callers that diagnose programmatically.
+        diff: ConfigDiff,
     },
     /// A shard snapshot file named by the manifest is missing.
     MissingShard {
@@ -93,6 +97,7 @@ impl std::fmt::Display for ShardError {
                 shard,
                 expected,
                 found,
+                ..
             } => write!(
                 f,
                 "shard {shard}: config fingerprint {found:#018x} does not match \

@@ -33,11 +33,10 @@
 use std::path::Path;
 
 use bayeslsh_core::{
-    Composition, GeneratorKind, HashMode, PipelineConfig, PriorChoice, VerifierKind,
+    Composition, GeneratorKind, HashMode, Measure, PipelineConfig, PriorChoice, VerifierKind,
 };
 use bayeslsh_numeric::wire::WireError;
 use bayeslsh_numeric::{derive_seed, WireReader, WireWriter};
-use bayeslsh_sparse::similarity::Measure;
 
 use crate::error::ShardError;
 
@@ -256,19 +255,24 @@ impl ShardManifest {
 }
 
 /// A 64-bit fingerprint of everything that determines a build's output
-/// besides the corpus: the similarity measure, the generator × verifier
-/// composition, the hash mode, and every [`PipelineConfig`] field
-/// *except* `parallelism` (thread budgets change wall-clock, never
-/// results — the workspace's parallel-equals-serial guarantee). Two
-/// shards fingerprint equal iff a router may merge their results into
-/// one bit-identical answer.
+/// besides the corpus: the hash family (measure tag plus per-family
+/// parameters such as the E2LSH bucket width), the generator × verifier
+/// composition, the hash mode, the multi-probe budget, and every
+/// [`PipelineConfig`] field *except* `parallelism` (thread budgets change
+/// wall-clock, never results — the workspace's parallel-equals-serial
+/// guarantee). Two shards fingerprint equal iff a router may merge their
+/// results into one bit-identical answer.
 pub fn config_fingerprint(cfg: &PipelineConfig, composition: Composition, mode: HashMode) -> u64 {
     let mut w = WireWriter::new(Vec::new());
     let r: Result<(), WireError> = (|| {
-        w.put_u8(match cfg.measure {
+        w.put_u8(match cfg.family.measure() {
             Measure::Cosine => 0,
             Measure::Jaccard => 1,
+            Measure::L2 => 2,
+            Measure::Mips => 3,
         })?;
+        w.put_f64(cfg.family.l2_width().unwrap_or(0.0))?;
+        w.put_u64(cfg.probes as u64)?;
         w.put_u8(match composition.generator {
             GeneratorKind::AllPairs => 0,
             GeneratorKind::LshBanding => 1,

@@ -184,6 +184,11 @@ impl Generation {
                 shard: s,
                 expected: self.manifest.config_fingerprint,
                 found: fp,
+                diff: bayeslsh_core::ConfigDiff::new(
+                    "config_fingerprint",
+                    format_args!("{:#018x}", self.manifest.config_fingerprint),
+                    format_args!("{fp:#018x}"),
+                ),
             });
         }
         if searcher.len() as u64 != entry.n_vectors {

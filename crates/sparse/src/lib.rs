@@ -20,5 +20,5 @@ pub mod tfidf;
 pub mod vector;
 
 pub use dataset::{Dataset, DatasetStats};
-pub use similarity::{cosine, dot, jaccard, overlap};
+pub use similarity::{cosine, dot, jaccard, l2_distance, l2_similarity, overlap};
 pub use vector::SparseVector;

@@ -69,32 +69,45 @@ pub fn jaccard(x: &SparseVector, y: &SparseVector) -> f64 {
     inter as f64 / union as f64
 }
 
-/// The similarity measure a pipeline targets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Measure {
-    /// Cosine similarity (weighted or binary vectors).
-    Cosine,
-    /// Jaccard set similarity (binary vectors).
-    Jaccard,
-}
-
-impl Measure {
-    /// Evaluate the exact similarity under this measure.
-    pub fn eval(&self, x: &SparseVector, y: &SparseVector) -> f64 {
-        match self {
-            Measure::Cosine => cosine(x, y),
-            Measure::Jaccard => jaccard(x, y),
+/// Euclidean (L2) distance `‖x − y‖₂`, accumulated in `f64` via a sorted
+/// merge join over the union of supports.
+pub fn l2_distance(x: &SparseVector, y: &SparseVector) -> f64 {
+    let (xi, xv) = (x.indices(), x.values());
+    let (yi, yv) = (y.indices(), y.values());
+    let mut acc = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < xi.len() && j < yi.len() {
+        match xi[i].cmp(&yi[j]) {
+            std::cmp::Ordering::Less => {
+                acc += (xv[i] as f64) * (xv[i] as f64);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                acc += (yv[j] as f64) * (yv[j] as f64);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let d = xv[i] as f64 - yv[j] as f64;
+                acc += d * d;
+                i += 1;
+                j += 1;
+            }
         }
     }
+    for &v in &xv[i..] {
+        acc += (v as f64) * (v as f64);
+    }
+    for &v in &yv[j..] {
+        acc += (v as f64) * (v as f64);
+    }
+    acc.sqrt()
 }
 
-impl std::fmt::Display for Measure {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Measure::Cosine => write!(f, "cosine"),
-            Measure::Jaccard => write!(f, "jaccard"),
-        }
-    }
+/// L2 similarity `1 / (1 + ‖x − y‖₂)` — a monotone map of Euclidean
+/// distance into `(0, 1]`, so L2 search speaks the same threshold
+/// language as cosine and Jaccard (s = 1 ⇔ d = 0).
+pub fn l2_similarity(x: &SparseVector, y: &SparseVector) -> f64 {
+    1.0 / (1.0 + l2_distance(x, y))
 }
 
 #[cfg(test)]
@@ -178,13 +191,15 @@ mod tests {
     }
 
     #[test]
-    fn measure_dispatch() {
-        let x = SparseVector::from_indices(vec![1, 2, 3, 4]);
-        let y = SparseVector::from_indices(vec![3, 4, 5, 6]);
-        assert_eq!(Measure::Jaccard.eval(&x, &y), jaccard(&x, &y));
-        assert_eq!(Measure::Cosine.eval(&x, &y), cosine(&x, &y));
-        assert_eq!(Measure::Cosine.to_string(), "cosine");
-        assert_eq!(Measure::Jaccard.to_string(), "jaccard");
+    fn l2_hand_computed() {
+        let x = v(&[(0, 1.0), (2, 2.0)]);
+        let y = v(&[(2, 4.0), (5, 2.0)]);
+        // Diffs: 1 at 0, -2 at 2, -2 at 5 → sqrt(1 + 4 + 4) = 3.
+        assert!((l2_distance(&x, &y) - 3.0).abs() < 1e-9);
+        assert!((l2_similarity(&x, &y) - 0.25).abs() < 1e-9);
+        assert_eq!(l2_distance(&x, &x), 0.0);
+        assert_eq!(l2_similarity(&x, &x), 1.0);
+        assert!((l2_distance(&x, &SparseVector::empty()) - x.norm()).abs() < 1e-6);
     }
 
     fn arb_vec() -> impl Strategy<Value = SparseVector> {
@@ -224,6 +239,15 @@ mod tests {
         #[test]
         fn cauchy_schwarz(x in arb_vec(), y in arb_vec()) {
             prop_assert!(dot(&x, &y).abs() <= x.norm() * y.norm() + 1e-6);
+        }
+
+        #[test]
+        fn l2_is_a_metric_sample(x in arb_vec(), y in arb_vec()) {
+            let d = l2_distance(&x, &y);
+            prop_assert!(d >= 0.0);
+            prop_assert!((d - l2_distance(&y, &x)).abs() < 1e-9);
+            let s = l2_similarity(&x, &y);
+            prop_assert!(s > 0.0 && s <= 1.0);
         }
     }
 }

@@ -18,7 +18,7 @@ fn main() {
     // verification across the available cores — honoring BAYESLSH_THREADS
     // when set — with output bit-identical to `Parallelism::serial()`.
     let t0 = std::time::Instant::now();
-    let mut searcher = Searcher::builder(PipelineConfig::cosine(threshold))
+    let mut searcher = SearcherBuilder::cosine(threshold)
         .algorithm(Algorithm::LshBayesLshLite)
         .parallelism(Parallelism::Auto)
         .build(corpus)

@@ -68,6 +68,63 @@
 //! than one operation against the same corpus; note the builder returns
 //! typed [`SearchError`](prelude::SearchError)s where the shim panics.
 //!
+//! ## Hash families
+//!
+//! Similarity spaces are first-class: a
+//! [`FamilyConfig`](prelude::FamilyConfig) names the hash family — signed
+//! random projections for **cosine**, minwise hashing for **Jaccard**,
+//! p-stable quantized projections (E2LSH) for **L2** proximity
+//! (`s = 1/(1 + d)` with bucket width `r`), and an asymmetric
+//! norm-augmentation ([`MipsTransform`](prelude::MipsTransform)) that
+//! reduces **maximum inner product** search to cosine — and every family
+//! exposes its collision-probability curve through
+//! [`HashFamily`](prelude::HashFamily), which is exactly what the banding
+//! planner and the Bayesian/SPRT verifiers consume. The
+//! [`SearcherBuilder`](prelude::SearcherBuilder) presets pick a family in
+//! one call, and the `probes` knob turns point queries into **step-wise
+//! multi-probe** queries (extra bucket lookups per band, visited in
+//! best-first bit-flip order), trading a smaller index for slightly
+//! costlier queries:
+//!
+//! ```
+//! use bayeslsh::prelude::*;
+//! let data = Preset::Rcv1.load(0.001, 7);
+//! let q = data.vector(0).clone();
+//!
+//! // Cosine with step-wise multi-probe: 3 bucket lookups per band.
+//! let searcher = SearcherBuilder::cosine(0.7)
+//!     .probes(3)
+//!     .build(data.clone())
+//!     .unwrap();
+//! let out = searcher.query(&q, 0.7).unwrap();
+//! assert_eq!(
+//!     out.stats.bucket_probes,
+//!     3 * searcher.banding_plan().params.l as u64
+//! );
+//!
+//! // L2 proximity: E2LSH quantized projections with bucket width r = 4,
+//! // thresholding the proximity s = 1 / (1 + d).
+//! let searcher = SearcherBuilder::l2(0.5, 4.0).build(data.clone()).unwrap();
+//! let out = searcher.query(&q, 0.5).unwrap();
+//! assert!(out.neighbors.iter().any(|&(id, _)| id == 0));
+//!
+//! // MIPS: fit the norm-augmenting transform once; inner products then
+//! // ride the cosine machinery on the augmented corpus.
+//! let transform = MipsTransform::fit(&data);
+//! let searcher = SearcherBuilder::mips(0.3)
+//!     .build(transform.transform_corpus(&data))
+//!     .unwrap();
+//! let top = searcher
+//!     .top_k(&transform.augment_query(&q), 3, &KnnParams::default())
+//!     .unwrap();
+//! assert!(!top.neighbors.is_empty());
+//! ```
+//!
+//! The deprecated `PipelineConfig::measure` setter still compiles and maps
+//! onto `family` (`Measure::L2` gets the default bucket width); new code
+//! should set [`PipelineConfig::family`](prelude::PipelineConfig) or use
+//! the presets.
+//!
 //! ## The SPRT verifier
 //!
 //! Beyond the paper's eight named algorithms, a ninth composition swaps
@@ -257,7 +314,7 @@
 //! |--------|----------|
 //! | [`numeric`] | special functions, Beta/Binomial distributions, RNG |
 //! | [`sparse`] | sparse vectors, exact similarities, datasets, tf-idf |
-//! | [`lsh`] | minwise hashing, signed random projections, signature pools |
+//! | [`lsh`] | hash families: minwise, signed random projections, E2LSH, MIPS |
 //! | [`candgen`] | AllPairs, LSH banding index, PPJoin+ |
 //! | [`core`] | BayesLSH engines, compositions, `Searcher`, pipelines |
 //! | [`shard`] | shard builder, manifest, scatter-gather serving router |
@@ -283,18 +340,19 @@ pub mod prelude {
     pub use bayeslsh_core::{
         bayes_verify, bayes_verify_lite, estimate_errors, mle_verify, recall_against,
         run_algorithm, run_composition, Algorithm, BayesLshConfig, BbitJaccardModel,
-        CandidateGenerator, Composition, CompositionOutput, CosineModel, EngineStats, Epoch,
-        ErrorStats, GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams, KnnStats,
-        LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice, QueryOutput,
-        QueryStats, RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder,
+        CandidateGenerator, Composition, CompositionOutput, ConfigDiff, CosineModel, EngineStats,
+        Epoch, ErrorStats, FamilyModel, GeneratorKind, HashMode, JaccardModel, KnnIndex, KnnParams,
+        KnnStats, LiteConfig, MinMatchTable, PipelineConfig, PosteriorModel, PriorChoice,
+        QueryOutput, QueryStats, RunOutput, SearchContext, SearchError, Searcher, SearcherBuilder,
         ServingSearcher, SigPool, SnapshotError, SnapshotHeader, SprtConfig, SprtTable, TopKOutput,
         Verifier, VerifierKind, SNAPSHOT_FORMAT_VERSION,
     };
     pub use bayeslsh_core::{par_sprt_verify, sprt_verify};
     pub use bayeslsh_datasets::{generate, CorpusConfig, Preset};
     pub use bayeslsh_lsh::{
-        bbit_collision_prob, bbit_to_jaccard, cos_to_r, r_to_cos, BbitSignatures, BitSignatures,
-        IntSignatures, MinHasher, SignaturePool, SrpHasher,
+        bbit_collision_prob, bbit_to_jaccard, cos_to_r, e2lsh_collision, e2lsh_similarity_at,
+        r_to_cos, BbitSignatures, BitSignatures, E2lshHasher, FamilyConfig, HashFamily,
+        IntSignatures, Measure, MinHasher, MipsTransform, ProjSignatures, SignaturePool, SrpHasher,
     };
     pub use bayeslsh_numeric::{BetaDist, Binomial, Parallelism, Xoshiro256};
     pub use bayeslsh_shard::{
@@ -302,6 +360,6 @@ pub mod prelude {
         MANIFEST_FILE,
     };
     pub use bayeslsh_sparse::{
-        cosine, dot, jaccard, overlap, similarity::Measure, Dataset, SparseVector,
+        cosine, dot, jaccard, l2_similarity, overlap, Dataset, SparseVector,
     };
 }

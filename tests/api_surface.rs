@@ -58,8 +58,13 @@ fn config_constructors() {
     LiteConfig::cosine(0.7).validate();
     LiteConfig::jaccard(0.5).validate();
     let cfg = PipelineConfig::jaccard(0.4);
-    assert_eq!(cfg.measure, Measure::Jaccard);
+    assert_eq!(cfg.family, FamilyConfig::Jaccard);
+    assert_eq!(cfg.family.measure(), Measure::Jaccard);
     assert_eq!(cfg.prior, PriorChoice::Fitted);
+    let l2 = PipelineConfig::l2(0.5, 2.0);
+    assert_eq!(l2.family.measure(), Measure::L2);
+    assert_eq!(l2.family.l2_width(), Some(2.0));
+    assert_eq!(PipelineConfig::mips(0.6).family.measure(), Measure::Mips);
 }
 
 #[test]

@@ -162,6 +162,45 @@ fn jaccard_recall_meets_the_paper_bound_over_20_seeds() {
     });
 }
 
+/// Clustered weighted corpus with planted L2 near-neighbours: cluster
+/// members share their center's support and jitter its values, so
+/// within-cluster Euclidean distances are small (`s = 1/(1 + d)` above
+/// the threshold) while cross-cluster distances stay large.
+fn l2_corpus(seed: u64) -> Dataset {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut d = Dataset::new(2000);
+    for c in 0..8 {
+        let center: Vec<(u32, f32)> = (0..30)
+            .map(|_| {
+                (
+                    (c * 250 + rng.next_below(240) as usize) as u32,
+                    (rng.next_f64() + 0.3) as f32,
+                )
+            })
+            .collect();
+        for m in 0..6 {
+            let spread = 0.01 + 0.03 * m as f64;
+            let pairs: Vec<(u32, f32)> = center
+                .iter()
+                .map(|&(i, x)| (i, x + ((rng.next_f64() - 0.5) * spread) as f32))
+                .collect();
+            d.push(SparseVector::from_pairs(pairs));
+        }
+    }
+    d
+}
+
+#[test]
+fn l2_recall_meets_the_paper_bound_over_20_seeds() {
+    // The E2LSH family rides the same layered guarantee: candidate misses
+    // bounded by the plan's achieved FNR, and LSH + {BayesLSH, Lite, SPRT}
+    // recall above (1 − δ) − ε / (1 − δ) − α, through the family's
+    // collision model instead of the cosine/Jaccard closed forms.
+    check_family(Measure::L2, 0.5, PipelineConfig::l2(0.5, 4.0), |s| {
+        l2_corpus(9200 + s)
+    });
+}
+
 // ---------------------------------------------------------------------
 // SPRT chunk-boundary invariance: the verdict for a pair is a pure
 // function of its cumulative (agreements, hashes) at each chunk

@@ -81,7 +81,9 @@ fn assert_outputs_match(serial: &CompositionOutput, par: &CompositionOutput, lab
 fn check_all_compositions(data: &Dataset, cfg_for: impl Fn() -> PipelineConfig) {
     for comp in all_compositions() {
         let cfg = cfg_for();
-        if comp.requires_binary(cfg.measure) && !data.vectors().iter().all(|v| v.is_binary()) {
+        if comp.requires_binary(cfg.family.measure())
+            && !data.vectors().iter().all(|v| v.is_binary())
+        {
             continue;
         }
         // Serial reference, including an insert mid-life.

@@ -63,6 +63,15 @@ fn pair_bits(p: &[(u32, u32, f64)]) -> Vec<(u32, u32, u64)> {
     p.iter().map(|&(a, b, s)| (a, b, s.to_bits())).collect()
 }
 
+/// Scatter-gather sends the query's band keys to every shard, so the
+/// merged bucket-probe count is exactly `n_shards ×` the single index's;
+/// every other counter partitions and must match bit for bit.
+fn assert_query_stats_match(sharded: QueryStats, single: QueryStats, n_shards: u64, ctx: &str) {
+    let mut scaled = single;
+    scaled.bucket_probes *= n_shards;
+    assert_eq!(sharded, scaled, "{ctx}");
+}
+
 /// Build `data` into `n_shards` shards and assert every serving surface
 /// (batch join, threshold queries, top-k) is bit-identical to a single
 /// index over the same corpus at the given thread budget.
@@ -114,7 +123,12 @@ fn assert_equivalent(
             neighbor_bits(&sb.neighbors),
             "{ctx}: query {qid}"
         );
-        assert_eq!(sa.stats, sb.stats, "{ctx}: query {qid} stats");
+        assert_query_stats_match(
+            sa.stats,
+            sb.stats,
+            n_shards as u64,
+            &format!("{ctx}: query {qid} stats"),
+        );
 
         let ka = sharded.top_k(&q, 5, &KnnParams::default()).unwrap();
         let kb = single.top_k(&q, 5, &KnnParams::default()).unwrap();
@@ -207,7 +221,7 @@ fn insert_into_shard_then_query_stays_equivalent() {
         let sa = sharded.query(&q, 0.7).unwrap();
         let sb = single.query(&q, 0.7).unwrap();
         assert_eq!(neighbor_bits(&sa.neighbors), neighbor_bits(&sb.neighbors));
-        assert_eq!(sa.stats, sb.stats);
+        assert_query_stats_match(sa.stats, sb.stats, 3, &format!("insert: query {qid}"));
         let ka = sharded.top_k(&q, 4, &KnnParams::default()).unwrap();
         let kb = single.top_k(&q, 4, &KnnParams::default()).unwrap();
         assert_eq!(neighbor_bits(&ka.neighbors), neighbor_bits(&kb.neighbors));
@@ -385,7 +399,7 @@ fn reload_mid_sweep_swaps_generations_atomically() {
         let sa = sharded.query(&q, 0.7).unwrap();
         let sb = new_single.query(&q, 0.7).unwrap();
         assert_eq!(neighbor_bits(&sa.neighbors), neighbor_bits(&sb.neighbors));
-        assert_eq!(sa.stats, sb.stats);
+        assert_query_stats_match(sa.stats, sb.stats, 5, &format!("reload: query {qid}"));
     }
 
     // The held (old) generation is untouched by the swap.
